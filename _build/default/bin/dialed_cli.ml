@@ -1,0 +1,256 @@
+(* Command-line front end.
+
+     dialed list
+     dialed compile  [--app NAME | --file F --entry E]
+     dialed instrument [--app NAME ...] [--variant unmodified|cfa|dialed]
+     dialed run      [--app NAME] [--variant V] [--arg N]...
+     dialed attest   [--app NAME] [--arg N]...
+     dialed disasm   [--app NAME] [--variant V]
+*)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+module C = Dialed_core
+module Apps = Dialed_apps.Apps
+module Minic = Dialed_minic.Minic
+
+open Cmdliner
+
+let apps_by_name =
+  List.map (fun a -> (a.Apps.name, a)) (Apps.syringe_pump_vuln :: Apps.all)
+
+let variant_of_string s =
+  match s with
+  | "unmodified" | "plain" -> Ok C.Pipeline.Unmodified
+  | "cfa" | "tiny-cfa" -> Ok C.Pipeline.Cfa_only
+  | "dialed" | "full" -> Ok C.Pipeline.Full
+  | _ -> Error (`Msg (Printf.sprintf "unknown variant %S" s))
+
+let variant_conv =
+  Arg.conv
+    ( (fun s -> variant_of_string s),
+      fun ppf v ->
+        Format.pp_print_string ppf (C.Pipeline.variant_name v) )
+
+let app_arg =
+  let doc = "Application name (see 'dialed list')." in
+  Arg.(value & opt (some string) None & info [ "app" ] ~docv:"NAME" ~doc)
+
+let file_arg =
+  let doc = "MiniC source file (alternative to --app)." in
+  Arg.(value & opt (some file) None & info [ "file" ] ~docv:"FILE" ~doc)
+
+let entry_arg =
+  let doc = "Entry function for --file sources." in
+  Arg.(value & opt string "main" & info [ "entry" ] ~docv:"FUNC" ~doc)
+
+let variant_arg =
+  let doc = "Instrumentation variant: unmodified, cfa, or dialed." in
+  Arg.(value & opt variant_conv C.Pipeline.Full & info [ "variant" ] ~doc)
+
+let args_arg =
+  let doc = "Operation argument (repeatable; first lands in r15)." in
+  Arg.(value & opt_all int [] & info [ "arg" ] ~docv:"N" ~doc)
+
+let trace_arg =
+  let doc = "Print an execution trace (up to N lines, middle elided)." in
+  Arg.(value & opt (some int) None & info [ "trace" ] ~docv:"N" ~doc)
+
+let load_source app file entry =
+  match app, file with
+  | Some name, None ->
+    (match List.assoc_opt name apps_by_name with
+     | Some a -> Ok (a.Apps.source, a.Apps.entry, Some a)
+     | None -> Error (`Msg (Printf.sprintf "unknown app %S" name)))
+  | None, Some path ->
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok (s, entry, None)
+  | None, None -> Error (`Msg "one of --app or --file is required")
+  | Some _, Some _ -> Error (`Msg "--app and --file are exclusive")
+
+let build_from source entry app variant =
+  let compiled = Minic.compile ~entry source in
+  let or_min =
+    match app with Some a -> a.Apps.or_min | None -> 0x0280
+  in
+  C.Pipeline.build ~variant ~data:compiled.Minic.data ~op:compiled.Minic.op
+    ~or_min ()
+
+let wrap f = try f () with
+  | Minic.Error msg | C.Pipeline.Error msg -> Error (`Msg msg)
+  | Dialed_tinycfa.Instrument.Error msg | C.Dfa.Error msg -> Error (`Msg msg)
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Format.printf "%-20s %s@." "name" "description";
+    Format.printf "%s@." (String.make 64 '-');
+    List.iter
+      (fun (name, a) -> Format.printf "%-20s %s@." name a.Apps.description)
+      apps_by_name;
+    Ok ()
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled applications")
+    Term.(term_result (const run $ const ()))
+
+let compile_cmd =
+  let run app file entry =
+    wrap (fun () ->
+        match load_source app file entry with
+        | Error e -> Error e
+        | Ok (source, entry, _) ->
+          let compiled = Minic.compile ~entry source in
+          print_string compiled.Minic.op_text;
+          Ok ())
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile MiniC and print the generated assembly")
+    Term.(term_result (const run $ app_arg $ file_arg $ entry_arg))
+
+let instrument_cmd =
+  let run app file entry variant =
+    wrap (fun () ->
+        match load_source app file entry with
+        | Error e -> Error e
+        | Ok (source, entry, a) ->
+          let built = build_from source entry a variant in
+          print_string (M.Program.to_string built.C.Pipeline.program);
+          Ok ())
+  in
+  Cmd.v
+    (Cmd.info "instrument"
+       ~doc:"Print the full instrumented program (with caller shim)")
+    Term.(term_result (const run $ app_arg $ file_arg $ entry_arg $ variant_arg))
+
+let disasm_cmd =
+  let run app file entry variant =
+    wrap (fun () ->
+        match load_source app file entry with
+        | Error e -> Error e
+        | Ok (source, entry, a) ->
+          let built = build_from source entry a variant in
+          let mem = M.Memory.create () in
+          M.Assemble.load built.C.Pipeline.image mem;
+          let l = built.C.Pipeline.layout in
+          Format.printf "%a" (M.Disasm.pp_range mem ~lo:l.A.Layout.er_min
+                                ~hi:l.A.Layout.er_max) ();
+          Ok ())
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble the assembled ER")
+    Term.(term_result (const run $ app_arg $ file_arg $ entry_arg $ variant_arg))
+
+let setup_device app device =
+  match app with Some a -> a.Apps.setup device | None -> ()
+
+let run_cmd =
+  let run app file entry variant args trace_n =
+    wrap (fun () ->
+        match load_source app file entry with
+        | Error e -> Error e
+        | Ok (source, entry, a) ->
+          let built = build_from source entry a variant in
+          let device = C.Pipeline.device built in
+          setup_device a device;
+          let args =
+            if args = [] then
+              match a with Some a -> a.Apps.benign_args | None -> []
+            else args
+          in
+          let trace = M.Trace.create () in
+          let on_step =
+            match trace_n with
+            | Some _ -> Some (M.Trace.record trace)
+            | None -> None
+          in
+          let result = A.Device.run_operation ~args ?on_step device in
+          Format.printf
+            "variant=%s completed=%b exec=%b steps=%d cycles=%d code=%dB@."
+            (C.Pipeline.variant_name variant) result.A.Device.completed
+            (A.Monitor.exec_flag (A.Device.monitor device))
+            result.A.Device.steps result.A.Device.cycles
+            (C.Pipeline.code_size_bytes built);
+          (match variant with
+           | C.Pipeline.Unmodified -> ()
+           | _ ->
+             let oplog = C.Oplog.of_device device in
+             Format.printf "log: %d bytes used@."
+               (C.Oplog.used_bytes oplog
+                  ~final_r4:(M.Cpu.get_reg (A.Device.cpu device) 4)));
+          let writes = M.Peripherals.gpio_writes (A.Device.board device) in
+          if writes <> [] then begin
+            Format.printf "gpio:";
+            List.iter (fun (p, v) -> Format.printf " %s<-0x%02x" p v) writes;
+            Format.printf "@."
+          end;
+          let sent = M.Peripherals.uart_sent (A.Device.board device) in
+          if sent <> [] then begin
+            Format.printf "uart tx:";
+            List.iter (Format.printf " %02x") sent;
+            Format.printf "@."
+          end;
+          (match trace_n with
+           | Some limit ->
+             Format.printf "trace (%d steps, %d cycles):@."
+               (M.Trace.length trace) (M.Trace.total_cycles trace);
+             M.Trace.pp ~limit Format.std_formatter trace
+           | None -> ());
+          Ok ())
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run an operation on the simulated prover")
+    Term.(term_result
+            (const run $ app_arg $ file_arg $ entry_arg $ variant_arg $ args_arg
+             $ trace_arg))
+
+let attest_cmd =
+  let run app file entry args =
+    wrap (fun () ->
+        match load_source app file entry with
+        | Error e -> Error e
+        | Ok (source, entry, a) ->
+          let built = build_from source entry a C.Pipeline.Full in
+          let device = C.Pipeline.device built in
+          setup_device a device;
+          let args =
+            if args = [] then
+              match a with Some a -> a.Apps.benign_args | None -> []
+            else args
+          in
+          let verifier = C.Verifier.create built in
+          let session = C.Protocol.make_session verifier in
+          let request = C.Protocol.next_request session ~args in
+          let report, result = C.Protocol.prover_execute device request in
+          let outcome = C.Protocol.check_response session request report in
+          Format.printf "device: completed=%b exec=%b@."
+            result.A.Device.completed report.A.Pox.exec;
+          Format.printf "verifier: %a@." C.Verifier.pp_outcome outcome;
+          (match outcome.C.Verifier.trace with
+           | Some trace ->
+             Format.printf
+               "replay: %d steps, %d control-flow events, %d inputs@."
+               (List.length trace.C.Verifier.steps)
+               (List.length trace.C.Verifier.cf_dests)
+               (List.length trace.C.Verifier.inputs)
+           | None -> ());
+          Ok ())
+  in
+  Cmd.v
+    (Cmd.info "attest" ~doc:"Full round: run, attest, verify by replay")
+    Term.(term_result (const run $ app_arg $ file_arg $ entry_arg $ args_arg))
+
+let () =
+  let default =
+    Term.(ret (const (`Help (`Pager, None))))
+  in
+  let info =
+    Cmd.info "dialed" ~version:"1.0.0"
+      ~doc:"DIALED: data-flow attestation for low-end embedded devices"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ list_cmd; compile_cmd; instrument_cmd; disasm_cmd; run_cmd;
+            attest_cmd ]))

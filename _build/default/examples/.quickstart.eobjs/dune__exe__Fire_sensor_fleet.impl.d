@@ -1,0 +1,1 @@
+examples/fire_sensor_fleet.ml: Bytes Char Dialed_apex Dialed_apps Dialed_core Dialed_msp430 Format List Printf String

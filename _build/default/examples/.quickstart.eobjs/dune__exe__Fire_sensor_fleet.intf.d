@@ -1,0 +1,1 @@
+examples/fire_sensor_fleet.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dialed_apex Dialed_core Dialed_minic Dialed_msp430 Format List String

@@ -1,0 +1,1 @@
+examples/syringe_pump_attack.ml: Dialed_apex Dialed_apps Dialed_core Dialed_msp430 Format List

@@ -1,0 +1,1 @@
+examples/syringe_pump_attack.mli:

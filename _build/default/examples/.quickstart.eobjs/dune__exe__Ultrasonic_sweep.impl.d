@@ -1,0 +1,1 @@
+examples/ultrasonic_sweep.ml: Dialed_apex Dialed_apps Dialed_core Dialed_minic Dialed_msp430 Format List String

@@ -1,0 +1,1 @@
+examples/ultrasonic_sweep.mli:

@@ -1,0 +1,65 @@
+(* The paper's motivating scenario (§II-B): a syringe pump whose
+   configuration path contains the Fig. 2 data-only vulnerability. We run
+   three remote rounds:
+
+   - a benign configuration update           -> accepted;
+   - the data-only attack (settings overflow) -> control flow unchanged,
+     EXEC = 1, but the verifier's abstract execution catches the
+     out-of-bounds write and the suppressed actuation;
+   - a code-modification attempt              -> rejected by the PoX token.
+
+   Run with: dune exec examples/syringe_pump_attack.exe
+*)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+module C = Dialed_core
+module Apps = Dialed_apps.Apps
+
+let show_round name device session args =
+  Format.printf "-- %s (args %a)@." name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    args;
+  let request = C.Protocol.next_request session ~args in
+  let report, result = C.Protocol.prover_execute device request in
+  let outcome = C.Protocol.check_response session request report in
+  Format.printf "   device: completed=%b  exec=%b  pulses(P3OUT=1)=%d@."
+    result.A.Device.completed report.A.Pox.exec
+    (List.length
+       (List.filter (fun (p, v) -> p = "P3OUT" && v = 1)
+          (M.Peripherals.gpio_writes (A.Device.board device))));
+  Format.printf "   verifier: %a@.@." C.Verifier.pp_outcome outcome
+
+let () =
+  let app = Apps.syringe_pump_vuln in
+  Format.printf "Embedded operation under attestation:@.%s@."
+    app.Apps.source;
+
+  let built = Apps.build app in
+  let verifier = C.Verifier.create built in
+
+  (* Round 1: benign *)
+  let device = C.Pipeline.device built in
+  let session = C.Protocol.make_session verifier in
+  show_round "benign configuration" device session [ 7; 3 ];
+
+  (* Round 2: Fig. 2 data-only attack. index 8 overflows settings[] onto
+     'set', silently disabling actuation. No control-flow change. *)
+  let device = C.Pipeline.device built in
+  let session = C.Protocol.make_session verifier in
+  show_round "data-only attack (Fig. 2)" device session
+    Apps.attack_args_syringe_vuln;
+
+  (* Round 3: malware rewrites one instruction of the operation *)
+  let device = C.Pipeline.device built in
+  let session = C.Protocol.make_session verifier in
+  let er_min = (A.Device.layout device).A.Layout.er_min in
+  A.Device.attacker_write device ~addr:(er_min + 4) ~value:0x3F;
+  show_round "code modification" device session [ 7; 3 ];
+
+  Format.printf
+    "Note how the data-only attack completes with EXEC = 1 — invisible to \
+     static RA, PoX and CFA alone — and is caught only by DIALED's replay \
+     of the authenticated I-Log.@."

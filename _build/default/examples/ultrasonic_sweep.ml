@@ -1,0 +1,51 @@
+(* Parameter sweep on the ultrasonic ranger: how the attestation log and
+   runtime grow with the number of measurement rounds, at each
+   instrumentation level — a miniature of the paper's Fig. 6 methodology
+   on one application.
+
+   Run with: dune exec examples/ultrasonic_sweep.exe
+*)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+module C = Dialed_core
+module Apps = Dialed_apps.Apps
+
+let run_once ~variant ~rounds =
+  let app = Apps.ultrasonic_ranger in
+  let compiled = Apps.compile app in
+  let built =
+    C.Pipeline.build ~variant ~data:compiled.Dialed_minic.Minic.data
+      ~op:compiled.Dialed_minic.Minic.op ~or_min:0x0280 ()
+  in
+  let device = C.Pipeline.device built in
+  M.Peripherals.feed_echo (A.Device.board device)
+    (List.init rounds (fun i -> 580 + (290 * i)));
+  let result = A.Device.run_operation ~args:[ rounds ] device in
+  if not result.A.Device.completed then failwith "did not complete";
+  let oplog = C.Oplog.of_device device in
+  let used =
+    C.Oplog.used_bytes oplog ~final_r4:(M.Cpu.get_reg (A.Device.cpu device) 4)
+  in
+  (result.A.Device.cycles, used)
+
+let () =
+  Format.printf
+    "Ultrasonic ranger: cycles and log bytes vs measurement rounds@.@.";
+  Format.printf "%-7s | %12s | %18s | %18s@." "rounds" "unmodified"
+    "tiny-cfa" "dialed";
+  Format.printf "%-7s | %12s | %10s %7s | %10s %7s@." "" "cycles" "cycles"
+    "log B" "cycles" "log B";
+  Format.printf "%s@." (String.make 66 '-');
+  List.iter
+    (fun rounds ->
+       let pc, _ = run_once ~variant:C.Pipeline.Unmodified ~rounds in
+       let cc, cl = run_once ~variant:C.Pipeline.Cfa_only ~rounds in
+       let fc, fl = run_once ~variant:C.Pipeline.Full ~rounds in
+       Format.printf "%-7d | %12d | %10d %7d | %10d %7d@." rounds pc cc cl fc
+         fl)
+    [ 1; 2; 3; 4; 5 ];
+  Format.printf
+    "@.Each extra round adds one echo input to I-Log plus the divider's \
+     control-flow entries to CF-Log; the DIALED increment over Tiny-CFA \
+     stays a thin, roughly constant slice — the paper's Fig. 6 shape.@."

@@ -1,0 +1,1 @@
+lib/apex/device.ml: Dialed_msp430 Layout List Monitor Pox Vrased

@@ -1,0 +1,1 @@
+lib/apex/device.mli: Dialed_msp430 Layout Monitor Pox

@@ -1,0 +1,1 @@
+lib/apex/layout.ml: Format

@@ -1,0 +1,1 @@
+lib/apex/monitor.ml: Dialed_msp430 Format Layout List

@@ -1,0 +1,1 @@
+lib/apex/monitor.mli: Dialed_msp430 Format Layout

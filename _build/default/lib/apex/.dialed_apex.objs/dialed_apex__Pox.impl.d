@@ -1,0 +1,1 @@
+lib/apex/pox.ml: Char Dialed_crypto Dialed_msp430 Layout Printf String Vrased

@@ -1,0 +1,1 @@
+lib/apex/pox.mli: Dialed_msp430 Layout Vrased

@@ -1,0 +1,1 @@
+lib/apex/swatt.ml: Array Buffer Char Device Dialed_crypto Dialed_msp430 Int32 Layout List Monitor Pox Printf String

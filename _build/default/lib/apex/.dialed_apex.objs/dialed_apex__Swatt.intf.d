@@ -1,0 +1,1 @@
+lib/apex/swatt.mli: Device Layout Pox

@@ -1,0 +1,1 @@
+lib/apex/vrased.ml: Dialed_crypto Dialed_msp430 List Printf

@@ -1,0 +1,1 @@
+lib/apex/vrased.mli: Dialed_msp430

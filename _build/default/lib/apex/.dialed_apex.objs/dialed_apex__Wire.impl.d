@@ -1,0 +1,1 @@
+lib/apex/wire.ml: Buffer Char Pox Printf String

@@ -1,0 +1,1 @@
+lib/apex/wire.mli: Pox

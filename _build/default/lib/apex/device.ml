@@ -1,0 +1,90 @@
+module M = Dialed_msp430
+module Memory = M.Memory
+module Cpu = M.Cpu
+module Isa = M.Isa
+module Assemble = M.Assemble
+module Peripherals = M.Peripherals
+
+type t = {
+  mem : Memory.t;
+  cpu : Cpu.t;
+  board : Peripherals.t;
+  monitor : Monitor.t;
+  vrased : Vrased.t;
+  layout : Layout.t;
+  image : Assemble.image;
+  mutable pending_irq : (int * int) option; (* steps-from-now, vector *)
+}
+
+type run_result = {
+  halted : Cpu.halt_reason option;
+  steps : int;
+  cycles : int;
+  completed : bool;
+}
+
+let default_key = "dialed-device-key-0001"
+
+let create ?(key = default_key) ~image ~layout () =
+  let mem = Memory.create () in
+  let board = Peripherals.create mem in
+  Assemble.load image mem;
+  { mem; cpu = Cpu.create mem; board;
+    monitor = Monitor.create layout; vrased = Vrased.create ~key;
+    layout; image; pending_irq = None }
+
+let memory t = t.mem
+let cpu t = t.cpu
+let board t = t.board
+let monitor t = t.monitor
+let layout t = t.layout
+let image t = t.image
+
+let run_operation ?(args = []) ?(max_steps = 2_000_000) ?on_step t =
+  let entry = Assemble.symbol t.image "__caller" in
+  let halt_at = Assemble.symbol_opt t.image "__caller_ret" in
+  Cpu.reset_halt t.cpu;
+  Cpu.set_reg t.cpu Isa.pc entry;
+  Cpu.set_reg t.cpu Isa.sp t.layout.Layout.stack_top;
+  if List.length args > 8 then invalid_arg "run_operation: more than 8 args";
+  List.iteri (fun i v -> Cpu.set_reg t.cpu (15 - i) v) args;
+  let start_steps = Cpu.steps t.cpu and start_cycles = Cpu.cycles t.cpu in
+  let countdown = ref (match t.pending_irq with Some (n, _) -> n | None -> -1) in
+  let halted =
+    Cpu.run t.cpu ~max_steps (fun info ->
+        Monitor.observe t.monitor info;
+        (match on_step with Some f -> f info | None -> ());
+        if !countdown >= 0 then begin
+          if !countdown = 0 then begin
+            (match t.pending_irq with
+             | Some (_, vector) -> Cpu.request_irq t.cpu ~vector
+             | None -> ());
+            t.pending_irq <- None
+          end;
+          decr countdown
+        end)
+  in
+  let completed =
+    match halted, halt_at with
+    | Some (Cpu.Self_jump a), Some h -> a = h
+    | _ -> false
+  in
+  { halted;
+    steps = Cpu.steps t.cpu - start_steps;
+    cycles = Cpu.cycles t.cpu - start_cycles;
+    completed }
+
+let attest t ~challenge =
+  Pox.issue t.vrased t.mem ~exec:(Monitor.exec_flag t.monitor) t.layout
+    ~challenge
+
+let attacker_write t ~addr ~value =
+  Memory.poke8 t.mem addr value;
+  Monitor.host_write_event t.monitor ~addr
+
+let dma_write t ~addr ~value =
+  Memory.poke8 t.mem addr value;
+  Monitor.dma_event t.monitor ~addr
+
+let raise_irq_during t ~after_steps ~vector =
+  t.pending_irq <- Some (after_steps, vector)

@@ -1,0 +1,59 @@
+(** The Prover: an MSP430 with the APEX monitor, VRASED key, and the
+    scripted peripheral board.
+
+    The build pipeline produces an image containing a small untrusted
+    caller shim ([__caller] / [__caller_ret] symbols) that invokes the
+    attested operation — the "main loop" of the paper's setting. Arguments
+    are passed in registers r15 down to r8, the convention DIALED's F3
+    instrumentation logs. *)
+
+type t
+
+type run_result = {
+  halted : Dialed_msp430.Cpu.halt_reason option;
+  steps : int;
+  cycles : int;
+  completed : bool;
+      (** execution reached the caller's halt point (not an abort loop) *)
+}
+
+val create :
+  ?key:string -> image:Dialed_msp430.Assemble.image -> layout:Layout.t ->
+  unit -> t
+(** Load the image into a fresh device. Default key = {!default_key}. *)
+
+val default_key : string
+
+val memory : t -> Dialed_msp430.Memory.t
+val cpu : t -> Dialed_msp430.Cpu.t
+val board : t -> Dialed_msp430.Peripherals.t
+val monitor : t -> Monitor.t
+val layout : t -> Layout.t
+val image : t -> Dialed_msp430.Assemble.image
+
+val run_operation :
+  ?args:int list -> ?max_steps:int ->
+  ?on_step:(Dialed_msp430.Cpu.step_info -> unit) -> t -> run_result
+(** Point the CPU at [__caller] with SP at the layout's stack top, load
+    [args] into r15, r14, ... (at most 8), and run until halt. Every step
+    is fed to the monitor, then to [on_step] (e.g. a
+    {!Dialed_msp430.Trace} collector). *)
+
+val attest : t -> challenge:string -> Pox.report
+(** Invoke (the model of) SW-Att: measure ER and OR, bind the EXEC flag. *)
+
+(** {1 Adversary controls}
+
+    The threat model (paper §III-B) gives the adversary full write access
+    to unprotected memory plus DMA and interrupt lines. These helpers
+    mutate state {e through the monitor}, as the hardware would see it. *)
+
+val attacker_write : t -> addr:int -> value:int -> unit
+(** Byte write with full software compromise (monitor-visible). *)
+
+val dma_write : t -> addr:int -> value:int -> unit
+(** Byte write over the DMA channel (monitor-visible). *)
+
+val raise_irq_during : t -> after_steps:int -> vector:int -> unit
+(** Arrange for an interrupt request to be asserted after N further steps
+    of the next {!run_operation}. *)

@@ -1,0 +1,48 @@
+type t = {
+  er_min : int;
+  er_max : int;
+  er_exit : int;
+  or_min : int;
+  or_max : int;
+  stack_top : int;
+}
+
+exception Invalid of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let default_or_min = 0x0400
+let default_or_max = 0x05FE
+let default_stack_top = 0x0A00
+let default_code_base = 0xE000
+
+let ranges_disjoint (a_lo, a_hi) (b_lo, b_hi) = a_hi < b_lo || b_hi < a_lo
+
+let make ~er_min ~er_max ~er_exit ~or_min ~or_max ~stack_top =
+  if er_min land 1 = 1 then fail "er_min 0x%04x odd" er_min;
+  if or_max land 1 = 1 then fail "or_max 0x%04x odd" or_max;
+  if er_min > er_max then fail "empty ER";
+  if or_min > or_max then fail "empty OR";
+  if not (er_exit >= er_min && er_exit <= er_max) then
+    fail "er_exit 0x%04x outside ER" er_exit;
+  if stack_top land 1 = 1 then fail "stack_top odd";
+  let er = (er_min, er_max) and orr = (or_min, or_max + 1) in
+  if not (ranges_disjoint er orr) then fail "ER and OR overlap";
+  (* the stack occupies addresses below stack_top; insist OR and ER do not
+     sit immediately under it (we cannot know its dynamic extent, so only a
+     sanity check that stack_top is outside both regions) *)
+  if er_min <= stack_top - 2 && stack_top - 2 <= er_max then
+    fail "stack_top inside ER";
+  if or_min <= stack_top - 2 && stack_top - 2 <= or_max + 1 then
+    fail "stack_top inside OR";
+  { er_min; er_max; er_exit; or_min; or_max; stack_top }
+
+let in_er t addr = addr >= t.er_min && addr <= t.er_max
+let in_or t addr = addr >= t.or_min && addr <= t.or_max + 1
+
+let or_size_bytes t = t.or_max + 2 - t.or_min
+
+let pp ppf t =
+  Format.fprintf ppf
+    "ER=[0x%04x,0x%04x] exit=0x%04x OR=[0x%04x,0x%04x] stack_top=0x%04x"
+    t.er_min t.er_max t.er_exit t.or_min (t.or_max + 1) t.stack_top

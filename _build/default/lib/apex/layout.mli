@@ -1,0 +1,43 @@
+(** APEX memory layout: the Executable Range (ER) holding the attested
+    operation, the Output Range (OR) holding its authenticated output
+    (here: the CF-Log/I-Log stack plus the saved stack-pointer word), and
+    the device stack.
+
+    Conventions used throughout this reproduction (paper §III-C, F5):
+    - the log stack lives in OR and grows {e downward} from [or_max];
+    - the word at [or_max] holds the base stack pointer saved at entry (F3);
+    - OR occupies the bytes [\[or_min, or_max + 1\]] ([or_max] is even);
+    - [er_exit] is the address of the operation's designated exit
+      instruction — APEX's "legal exit" point. *)
+
+type t = private {
+  er_min : int;
+  er_max : int;        (** last byte of ER, inclusive *)
+  er_exit : int;       (** address of the legal exit instruction *)
+  or_min : int;
+  or_max : int;        (** even; OR covers [or_min .. or_max+1] *)
+  stack_top : int;     (** initial SP (stack grows down below this) *)
+}
+
+exception Invalid of string
+
+val make :
+  er_min:int -> er_max:int -> er_exit:int ->
+  or_min:int -> or_max:int -> stack_top:int -> t
+(** Validates: ranges well-formed, even where required, ER/OR/stack
+    pairwise disjoint. Raises {!Invalid}. *)
+
+val default_or_min : int
+val default_or_max : int
+val default_stack_top : int
+val default_code_base : int
+(** Canonical addresses used by the build pipeline: OR = 0x0400..0x05FF,
+    stack top 0x0A00, operation code at 0xE000 — all inside the MSP430F1xx
+    RAM/flash map. *)
+
+val in_er : t -> int -> bool
+val in_or : t -> int -> bool
+
+val or_size_bytes : t -> int
+
+val pp : Format.formatter -> t -> unit

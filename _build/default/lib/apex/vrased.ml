@@ -1,0 +1,19 @@
+module Memory = Dialed_msp430.Memory
+module Hmac = Dialed_crypto.Hmac
+
+type t = { key : string }
+
+let create ~key = { key }
+
+let attest t mem ~challenge ~regions =
+  let parts =
+    challenge
+    :: List.concat_map
+      (fun (lo, hi) ->
+         [ Printf.sprintf "%04x:%04x|" lo hi;
+           Memory.dump mem ~addr:lo ~len:(hi - lo + 1) ])
+      regions
+  in
+  Hmac.mac_parts ~key:t.key parts
+
+let mac_parts t parts = Hmac.mac_parts ~key:t.key parts

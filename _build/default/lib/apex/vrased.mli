@@ -1,0 +1,24 @@
+(** VRASED: verified static remote attestation (the RA root of trust APEX
+    builds on).
+
+    On real hardware SW-Att is an immutable ROM routine that computes
+    HMAC(K, challenge ‖ attested memory) with a key that hardware access
+    control makes readable only to SW-Att itself. We model SW-Att natively:
+    the key lives inside the abstract [t] and never crosses the API, which
+    preserves exactly the protocol-visible behaviour (an unforgeable MAC
+    over the device's actual memory contents). *)
+
+type t
+
+val create : key:string -> t
+(** Provision a device key (shared with the verifier at enrolment). *)
+
+val attest :
+  t -> Dialed_msp430.Memory.t -> challenge:string ->
+  regions:(int * int) list -> string
+(** HMAC over the challenge and the raw bytes of each (lo, hi)-inclusive
+    region, read from backing memory — the measurement SW-Att would take. *)
+
+val mac_parts : t -> string list -> string
+(** MAC arbitrary serialized parts with the device key (used by APEX to
+    bind the EXEC flag and OR contents into the PoX token). *)

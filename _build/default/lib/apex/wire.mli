@@ -1,0 +1,23 @@
+(** Wire format for PoX reports — the bytes the Prover actually sends.
+
+    A fixed little-endian header, the OR payload, and the 32-byte HMAC
+    tag:
+
+    {v
+      0   2  magic  "DX"
+      2   1  version (1)
+      3   1  exec flag (0/1)
+      4   2  challenge length  (then the challenge bytes)
+      ..  2  er_min, er_max, er_exit, or_min, or_max   (5 words)
+      ..  2  or_data length    (then the OR bytes)
+      ..  32 token
+    v}
+
+    Decoding is defensive: length fields are validated against the buffer
+    before any allocation, and trailing garbage is rejected — a verifier
+    parses these bytes from an untrusted device. *)
+
+val encode : Pox.report -> string
+
+val decode : string -> (Pox.report, string) result
+(** Returns a readable parse error on malformed input. *)

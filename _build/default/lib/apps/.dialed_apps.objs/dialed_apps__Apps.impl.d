@@ -1,0 +1,1 @@
+lib/apps/apps.ml: Dialed_apex Dialed_core Dialed_minic Dialed_msp430

@@ -1,0 +1,1 @@
+lib/apps/apps.mli: Dialed_apex Dialed_core Dialed_minic

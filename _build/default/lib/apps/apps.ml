@@ -1,0 +1,208 @@
+module M = Dialed_msp430
+module A = Dialed_apex
+module C = Dialed_core
+module Minic = Dialed_minic.Minic
+
+type app = {
+  name : string;
+  description : string;
+  source : string;
+  entry : string;
+  or_min : int;
+  benign_args : int list;
+  setup : A.Device.t -> unit;
+}
+
+let no_setup _ = ()
+
+(* ------------------------------------------------------------------ *)
+
+let syringe_pump_source = {|
+  // OpenSyringePump, reduced to its embedded operation: dispense or
+  // withdraw a commanded number of units by pulsing the stepper driver.
+  volatile char P3OUT @ 0x0019;   // stepper coil drive
+  volatile char TXBUF @ 0x0077;   // status reporting
+
+  int steps_per_unit = 4;
+  int syringe_pos = 0;            // units currently in the barrel
+  int max_units = 9;              // hardware barrel capacity
+
+  void pulse(int coil) {
+    P3OUT = coil;
+    P3OUT = 0;
+  }
+
+  void process_command(int cmd, int amount) {
+    // cmd: 1 = dispense (push), 2 = refill (pull)
+    if (amount > max_units) {     // safety clamp (Fig. 1's line-4 check)
+      amount = 0;
+    }
+    int steps = amount * steps_per_unit;
+    int i = 0;
+    while (i < steps) {
+      if (cmd == 1) { pulse(1); } else { pulse(2); }
+      i++;
+    }
+    if (cmd == 1) { syringe_pos -= amount; }
+    else { syringe_pos += amount; }
+    TXBUF = syringe_pos;
+  }
+|}
+
+let syringe_pump = {
+  name = "syringe-pump";
+  description = "OpenSyringePump: stepper-driven medicine dispenser";
+  source = syringe_pump_source;
+  entry = "process_command";
+  or_min = 0x0280;
+  benign_args = [ 1; 5 ];  (* dispense 5 units *)
+  setup = no_setup;
+}
+
+(* ------------------------------------------------------------------ *)
+
+let fire_sensor_source = {|
+  // Seeed Grove temperature/humidity alarm: average ADC samples,
+  // convert to degrees, raise the alarm pin above the threshold.
+  volatile int ADC @ 0x0140;
+  volatile char P3OUT @ 0x0019;   // bit 2: alarm
+  volatile char TXBUF @ 0x0077;
+
+  int threshold = 55;             // degrees
+  int history[8];
+  int hist_idx = 0;
+
+  void sense_and_report(int samples) {
+    int acc = 0;
+    int i = 0;
+    while (i < samples) {
+      acc += ADC;                 // each sample is a logged data input
+      i++;
+    }
+    int avg = acc / samples;
+    history[hist_idx] = avg;
+    hist_idx = (hist_idx + 1) % 8;
+    int celsius = (avg - 300) / 10;
+    if (celsius > threshold) { P3OUT = 4; } else { P3OUT = 0; }
+    TXBUF = celsius;
+  }
+|}
+
+let fire_sensor = {
+  name = "fire-sensor";
+  description = "Grove temperature alarm over a scripted ADC";
+  source = fire_sensor_source;
+  entry = "sense_and_report";
+  or_min = 0x0280;
+  benign_args = [ 4 ];
+  setup =
+    (fun device ->
+       (* four samples around 29 C: (590-300)/10 = 29, below threshold *)
+       M.Peripherals.feed_adc (A.Device.board device) [ 588; 590; 592; 590 ]);
+}
+
+(* ------------------------------------------------------------------ *)
+
+let ultrasonic_ranger_source = {|
+  // Seeed ultrasonic ranger: trigger a pulse, read the echo time from
+  // the capture register, convert to centimetres (t / 58), warn when an
+  // obstacle is closer than the safety distance.
+  volatile char P2OUT @ 0x0029;   // bit 0: trigger
+  volatile int ECHO @ 0x0174;     // echo duration capture
+  volatile char P3OUT @ 0x0019;   // bit 3: proximity warning
+  volatile char TXBUF @ 0x0077;
+
+  int min_distance_cm = 10;
+
+  void measure(int rounds) {
+    int closest = 32767;
+    int i = 0;
+    while (i < rounds) {
+      P2OUT = 1;                  // arm the capture
+      P2OUT = 0;
+      int duration = ECHO;        // logged data input
+      int cm = duration / 58;
+      if (cm < closest) { closest = cm; }
+      i++;
+    }
+    if (closest < min_distance_cm) { P3OUT = 8; } else { P3OUT = 0; }
+    TXBUF = closest;
+  }
+|}
+
+let ultrasonic_ranger = {
+  name = "ultrasonic-ranger";
+  description = "HC-SR04-style obstacle ranger over a scripted echo line";
+  source = ultrasonic_ranger_source;
+  entry = "measure";
+  or_min = 0x0280;
+  benign_args = [ 3 ];
+  setup =
+    (fun device ->
+       (* echoes of 35, 30 and 40 cm: duration = cm * 58 *)
+       M.Peripherals.feed_echo (A.Device.board device) [ 2030; 1740; 2320 ]);
+}
+
+(* ------------------------------------------------------------------ *)
+
+let syringe_pump_vuln_source = {|
+  // The Fig. 2 vulnerability, in the pump's remote-configuration path:
+  // settings[index] is written without a bounds check, and the actuation
+  // port word lives right after the array.
+  volatile char P3OUT @ 0x0019;
+  volatile char TXBUF @ 0x0077;
+
+  int settings[8] = {5, 0, 0, 0, 0, 0, 0, 0};   // settings[0] = dose
+  int set = 1;                                  // coil pattern for port 1
+
+  void configure_and_inject(int new_setting, int index) {
+    settings[index] = new_setting;              // VULNERABLE: no bound check
+    int dose = settings[0];
+    if (dose < 10) {                            // overdose prevention
+      int i = 0;
+      while (i < dose) {
+        P3OUT = set;                            // actuate
+        P3OUT = 0;
+        i++;
+      }
+    }
+    TXBUF = dose;
+  }
+|}
+
+let syringe_pump_vuln = {
+  name = "syringe-pump-vuln";
+  description = "pump with the Fig. 2 unchecked settings write";
+  source = syringe_pump_vuln_source;
+  entry = "configure_and_inject";
+  or_min = 0x0280;
+  benign_args = [ 7; 3 ];
+  setup = no_setup;
+}
+
+(* index 8 lands on 'set': actuation silently disabled, no control-flow
+   change — invisible to CFA, caught by DIALED's abstract execution *)
+let attack_args_syringe_vuln = [ 0; 8 ]
+
+let all = [ syringe_pump; fire_sensor; ultrasonic_ranger ]
+
+let compile app = Minic.compile ~entry:app.entry app.source
+
+let build ?(variant = C.Pipeline.Full) app =
+  let compiled = compile app in
+  C.Pipeline.build ~variant ~data:compiled.Minic.data ~op:compiled.Minic.op
+    ~or_min:app.or_min ()
+
+type run = {
+  built : C.Pipeline.built;
+  device : A.Device.t;
+  result : A.Device.run_result;
+}
+
+let run ?(variant = C.Pipeline.Full) ?args app =
+  let args = match args with Some a -> a | None -> app.benign_args in
+  let built = build ~variant app in
+  let device = C.Pipeline.device built in
+  app.setup device;
+  let result = A.Device.run_operation ~args device in
+  { built; device; result }

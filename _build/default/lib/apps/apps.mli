@@ -1,0 +1,54 @@
+(** The paper's three evaluation applications (§V-B), written in MiniC and
+    driven by scripted peripherals:
+
+    - {b syringe_pump} — OpenSyringePump: dispenses units of medicine by
+      pulsing a stepper motor through GPIO, with a software dosage clamp;
+    - {b fire_sensor} — Seeed temperature/humidity alarm: averages ADC
+      samples, converts to degrees, raises an alarm pin over a threshold;
+    - {b ultrasonic_ranger} — Seeed HC-SR04-style ranger: triggers pulses,
+      converts echo time to centimetres, raises a proximity warning.
+
+    Each application names one {e embedded operation} (the attested entry
+    point called from the untrusted main loop) and a deterministic
+    peripheral scenario, so benches and tests reproduce identical runs.
+
+    [syringe_pump_vuln] is the Fig. 2-style vulnerable variant whose
+    configuration store can be overflowed from operation arguments. *)
+
+type app = {
+  name : string;
+  description : string;
+  source : string;           (** MiniC source *)
+  entry : string;            (** the embedded operation *)
+  or_min : int;              (** OR sizing for the app's log volume *)
+  benign_args : int list;
+  setup : Dialed_apex.Device.t -> unit;  (** scripted peripheral inputs *)
+}
+
+val syringe_pump : app
+val fire_sensor : app
+val ultrasonic_ranger : app
+val syringe_pump_vuln : app
+
+val all : app list
+(** The three benchmark applications (excludes the vulnerable variant). *)
+
+val compile : app -> Dialed_minic.Minic.compiled
+
+val build : ?variant:Dialed_core.Pipeline.variant -> app -> Dialed_core.Pipeline.built
+(** Compile and build the app at the given instrumentation variant. *)
+
+type run = {
+  built : Dialed_core.Pipeline.built;
+  device : Dialed_apex.Device.t;
+  result : Dialed_apex.Device.run_result;
+}
+
+val run :
+  ?variant:Dialed_core.Pipeline.variant -> ?args:int list -> app -> run
+(** Build a fresh device, apply the app's scenario, run the operation with
+    [args] (default: the app's benign arguments). *)
+
+val attack_args_syringe_vuln : int list
+(** Arguments that overflow the vulnerable pump's settings array onto its
+    actuation configuration (the Fig. 2 data-only attack). *)

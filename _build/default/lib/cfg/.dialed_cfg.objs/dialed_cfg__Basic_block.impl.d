@@ -1,0 +1,1 @@
+lib/cfg/basic_block.ml: Dialed_msp430 Format Hashtbl List

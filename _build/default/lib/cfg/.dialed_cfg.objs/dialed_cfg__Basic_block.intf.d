@@ -1,0 +1,1 @@
+lib/cfg/basic_block.mli: Dialed_msp430 Format

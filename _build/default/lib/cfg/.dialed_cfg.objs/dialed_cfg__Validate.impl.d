@@ -1,0 +1,1 @@
+lib/cfg/validate.ml: Basic_block Format List

@@ -1,0 +1,1 @@
+lib/cfg/validate.mli: Basic_block Format

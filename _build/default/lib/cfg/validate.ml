@@ -1,0 +1,89 @@
+type error =
+  | Illegal_edge of { at : int; dest : int; allowed : int list }
+  | Bad_return of { at : int; dest : int; expected : int option }
+  | Not_instruction_start of int
+  | Log_truncated of { at : int }
+  | Trailing_entries of int
+  | Unknown_block of int
+
+let pp_error ppf e =
+  match e with
+  | Illegal_edge { at; dest; allowed } ->
+    Format.fprintf ppf "illegal edge at 0x%04x -> 0x%04x (allowed:%a)" at dest
+      (Format.pp_print_list (fun ppf a -> Format.fprintf ppf " 0x%04x" a))
+      allowed
+  | Bad_return { at; dest; expected = Some e } ->
+    Format.fprintf ppf "return at 0x%04x to 0x%04x, call site expects 0x%04x"
+      at dest e
+  | Bad_return { at; dest; expected = None } ->
+    Format.fprintf ppf
+      "return at 0x%04x to 0x%04x with an empty shadow stack" at dest
+  | Not_instruction_start a ->
+    Format.fprintf ppf "destination 0x%04x is not an instruction boundary" a
+  | Log_truncated { at } ->
+    Format.fprintf ppf "control-flow log exhausted inside block 0x%04x" at
+  | Trailing_entries n ->
+    Format.fprintf ppf "%d unexplained trailing log entries" n
+  | Unknown_block a -> Format.fprintf ppf "no block starts at 0x%04x" a
+
+let check_path cfg ?(uncond_logged = true) ~dests () =
+  let module B = Basic_block in
+  (* bound the walk: a legal path visits each logged edge once, so the
+     number of steps is bounded by |dests| + |blocks| fallthroughs *)
+  let fuel = ref (List.length dests + List.length (B.blocks cfg) + 8) in
+  let rec walk at dests shadow =
+    decr fuel;
+    if !fuel < 0 then Error (Log_truncated { at })
+    else
+      match B.block_at cfg at with
+      | None -> Error (Unknown_block at)
+      | Some b ->
+        let consume k =
+          match dests with
+          | [] -> Error (Log_truncated { at })
+          | d :: rest -> k d rest
+        in
+        let goto dest rest shadow =
+          if not (B.is_instruction_start cfg dest) then
+            Error (Not_instruction_start dest)
+          else walk dest rest shadow
+        in
+        (match b.B.term with
+         | B.Fallthrough n -> walk n dests shadow
+         | B.Jump_uncond n ->
+           if uncond_logged then
+             consume (fun d rest ->
+                 if d <> n then
+                   Error (Illegal_edge { at; dest = d; allowed = [ n ] })
+                 else goto d rest shadow)
+           else walk n dests shadow
+         | B.Jump_cond { taken; fallthrough } ->
+           consume (fun d rest ->
+               if d <> taken && d <> fallthrough then
+                 Error
+                   (Illegal_edge { at; dest = d; allowed = [ taken; fallthrough ] })
+               else goto d rest shadow)
+         | B.Call { target; return_to } ->
+           consume (fun d rest ->
+               match target with
+               | Some t when d <> t ->
+                 Error (Illegal_edge { at; dest = d; allowed = [ t ] })
+               | Some _ | None -> goto d rest (return_to :: shadow))
+         | B.Ret ->
+           consume (fun d rest ->
+               match shadow with
+               | expected :: shadow_rest ->
+                 if d <> expected then
+                   Error (Bad_return { at; dest = d; expected = Some expected })
+                 else goto d rest shadow_rest
+               | [] ->
+                 (* the operation's own final return: path ends here *)
+                 if rest = [] then Ok ()
+                 else Error (Trailing_entries (List.length rest)))
+         | B.Branch_indirect ->
+           consume (fun d rest -> goto d rest shadow)
+         | B.Halt ->
+           if dests = [] then Ok ()
+           else Error (Trailing_entries (List.length dests)))
+  in
+  walk (B.entry cfg) dests []

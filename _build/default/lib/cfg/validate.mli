@@ -1,0 +1,32 @@
+(** Static validation of a control-flow path (the CF-Log destination
+    sequence) against the recovered CFG, with a shadow call stack for
+    return-edge checking.
+
+    This is the verifier-side check that catches the paper's Fig. 1 attack:
+    a return whose destination is not the return site of the matching call
+    (e.g. a return-address overwrite jumping past a safety check). *)
+
+type error =
+  | Illegal_edge of { at : int; dest : int; allowed : int list }
+      (** a branch at block [at] went to [dest], not a static successor *)
+  | Bad_return of { at : int; dest : int; expected : int option }
+      (** a return went to [dest]; the shadow stack expected [expected]
+          ([None] = the operation's final return, which ends the path) *)
+  | Not_instruction_start of int
+      (** a destination points into the middle of an instruction *)
+  | Log_truncated of { at : int }
+      (** the path needs more control-flow decisions than were logged *)
+  | Trailing_entries of int
+      (** N log entries remain after the path reached its end *)
+  | Unknown_block of int
+
+val pp_error : Format.formatter -> error -> unit
+
+val check_path :
+  Basic_block.t -> ?uncond_logged:bool -> dests:int list -> unit ->
+  (unit, error) result
+(** Walk the CFG from its entry, consuming one logged destination per
+    control-flow-altering instruction ([uncond_logged] says whether
+    unconditional direct jumps were instrumented too — the default, true,
+    matches the Tiny-CFA pass). The final return of the operation (empty
+    shadow stack) terminates the path. *)

@@ -1,0 +1,1 @@
+lib/core/breakdown.ml: Dialed_msp430 Format Hashtbl List Pipeline

@@ -1,0 +1,1 @@
+lib/core/breakdown.mli: Dialed_msp430 Format Pipeline

@@ -1,0 +1,1 @@
+lib/core/cfa_verifier.ml: Dialed_apex Dialed_msp430 Dialed_tinycfa Format Hashtbl List Oplog Pipeline

@@ -1,0 +1,1 @@
+lib/core/cfa_verifier.mli: Dialed_apex Format Pipeline

@@ -1,0 +1,1 @@
+lib/core/dfa.ml: Dialed_msp430 Dialed_tinycfa Format List

@@ -1,0 +1,1 @@
+lib/core/oplog.ml: Char Dialed_apex Dialed_msp430 List Printf String

@@ -1,0 +1,1 @@
+lib/core/oplog.mli: Dialed_apex

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Dfa Dialed_apex Dialed_msp430 Dialed_tinycfa Format List

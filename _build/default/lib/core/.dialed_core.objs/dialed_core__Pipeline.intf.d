@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Dfa Dialed_apex Dialed_msp430 Dialed_tinycfa

@@ -1,0 +1,1 @@
+lib/core/policies.ml: Dialed_msp430 List Printf Verifier

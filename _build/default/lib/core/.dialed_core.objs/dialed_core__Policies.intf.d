@@ -1,0 +1,1 @@
+lib/core/policies.mli: Verifier

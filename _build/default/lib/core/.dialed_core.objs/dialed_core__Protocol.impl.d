@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Dialed_apex Dialed_crypto Printf String Verifier

@@ -1,0 +1,1 @@
+lib/core/verifier.ml: Dialed_apex Dialed_msp430 Format Hashtbl List Oplog Pipeline Printf

@@ -1,0 +1,1 @@
+lib/core/verifier.mli: Dialed_apex Dialed_msp430 Format Pipeline

@@ -1,0 +1,110 @@
+module M = Dialed_msp430
+module P = M.Program
+module Isa = M.Isa
+
+type category =
+  | Original
+  | Entry_check
+  | Cf_logging
+  | Store_check
+  | Input_logging
+  | Read_check
+  | Abort
+
+let category_name c =
+  match c with
+  | Original -> "application code"
+  | Entry_check -> "entry check (r4 = OR_MAX)"
+  | Cf_logging -> "CF-Log appends + guards"
+  | Store_check -> "store bound checks (F5)"
+  | Input_logging -> "I-Log appends (F3/F4)"
+  | Read_check -> "read range checks (F4)"
+  | Abort -> "abort loop"
+
+type row = {
+  cat : category;
+  instructions : int;
+  bytes : int;
+  est_cycles : int;
+}
+
+(* static size/cycle estimate via a label-blind concretization; labels
+   resolve to a non-CG placeholder, matching the assembler's no-CG rule
+   for label immediates *)
+let concretize i =
+  let eval _ = 0x1000 in
+  let conv_src o =
+    match o with
+    | P.Reg r -> Isa.Sreg r
+    | P.Imm (P.Num n) -> Isa.Simm (M.Word.mask16 n)
+    | P.Imm _ -> Isa.Simm 0x1000
+    | P.Indexed (e, r) -> Isa.Sindexed (eval e, r)
+    | P.Abs _ -> Isa.Sabsolute 0x1000
+    | P.Ind r -> Isa.Sindirect r
+    | P.Ind_inc r -> Isa.Sindirect_inc r
+  in
+  let conv_dst o =
+    match o with
+    | P.Reg r -> Isa.Dreg r
+    | P.Indexed (e, r) -> Isa.Dindexed (eval e, r)
+    | _ -> Isa.Dabsolute 0x1000
+  in
+  match i with
+  | P.Two (op, size, s, d) -> Isa.Two (op, size, conv_src s, conv_dst d)
+  | P.One (op, size, s) -> Isa.One (op, size, conv_src s)
+  | P.Jump (c, _) -> Isa.Jump (c, 0)
+  | P.Reti -> Isa.Reti
+
+let analyze prog =
+  let table = Hashtbl.create 8 in
+  let charge cat i =
+    let concrete = concretize i in
+    let instructions, bytes, cycles =
+      match Hashtbl.find_opt table cat with
+      | Some (n, b, c) -> (n, b, c)
+      | None -> (0, 0, 0)
+    in
+    Hashtbl.replace table cat
+      ( instructions + 1,
+        bytes + Isa.instr_size_bytes concrete,
+        cycles + Isa.cycles concrete )
+  in
+  let mode = ref Entry_check in
+  List.iter
+    (fun item ->
+       match item with
+       | P.Annot (P.Log_site `Cf) -> mode := Cf_logging
+       | P.Annot (P.Log_site `Input) -> mode := Input_logging
+       | P.Annot (P.Synth_mark "entry") -> mode := Entry_check
+       | P.Annot (P.Synth_mark "store") -> mode := Store_check
+       | P.Annot (P.Synth_mark "read") -> mode := Read_check
+       | P.Annot (P.Synth_mark "abort") -> mode := Abort
+       | P.Annot _ | P.Comment _ | P.Label _ | P.Word_data _ | P.Byte_data _
+       | P.Ascii _ | P.Space _ | P.Align | P.Org _ | P.Equ _ -> ()
+       | P.Instr i -> charge Original i
+       | P.Synth i -> charge !mode i)
+    prog;
+  let order =
+    [ Original; Entry_check; Cf_logging; Store_check; Input_logging;
+      Read_check; Abort ]
+  in
+  List.filter_map
+    (fun cat ->
+       match Hashtbl.find_opt table cat with
+       | Some (instructions, bytes, est_cycles) ->
+         Some { cat; instructions; bytes; est_cycles }
+       | None -> None)
+    order
+
+let of_built (built : Pipeline.built) = analyze built.Pipeline.program
+
+let pp ppf rows =
+  let total_bytes = List.fold_left (fun a r -> a + r.bytes) 0 rows in
+  Format.fprintf ppf "%-28s %7s %9s %11s %7s@." "category" "instrs" "bytes"
+    "est cycles" "share";
+  List.iter
+    (fun r ->
+       Format.fprintf ppf "%-28s %7d %8dB %11d %6.1f%%@."
+         (category_name r.cat) r.instructions r.bytes r.est_cycles
+         (100.0 *. float_of_int r.bytes /. float_of_int (max 1 total_bytes)))
+    rows

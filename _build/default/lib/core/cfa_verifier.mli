@@ -1,0 +1,41 @@
+(** Standalone Tiny-CFA verification: validate a CF-Log against the
+    instrumented binary {e without} data replay.
+
+    This is what the Tiny-CFA verifier does on its own (no I-Log, no
+    abstract execution): walk the instrumented code from the operation's
+    entry, consume one authenticated log entry per logged control-flow
+    site, and check that every transfer is a legal edge — direct targets
+    must match their static destination, conditional outcomes must be one
+    of the two arms, and returns must match a shadow call stack.
+
+    Unlogged conditionals introduced by the instrumentation itself (log
+    overflow guards, store checks) are resolved structurally: their arms
+    either converge on the same next log site or are disambiguated by the
+    next entry's value; guard arms that lead to the abort loop are dead in
+    any EXEC = 1 log.
+
+    Works on [Cfa_only] builds (with DIALED's I-Log interleaved the walk
+    would need the data replay — that is {!Verifier}'s job, and exactly the
+    reason CFA alone cannot check data flow). *)
+
+type error =
+  | Bad_token of string
+  | Illegal_target of { at : int; expected : int; got : int }
+  | Bad_return of { at : int; expected : int; got : int }
+  | Not_code of int              (** destination outside the decoded ER *)
+  | Ambiguous of int             (** cannot resolve an unlogged conditional *)
+  | Log_exhausted of int
+  | Malformed of string
+
+val pp_error : Format.formatter -> error -> unit
+
+type outcome = {
+  ok : bool;
+  error : error option;
+  path_length : int;             (** control-flow events consumed *)
+  dests : int list;              (** the validated destination sequence *)
+}
+
+val verify :
+  ?key:string -> Pipeline.built -> Dialed_apex.Pox.report -> outcome
+(** Token check (HMAC + EXEC) followed by the static walk. *)

@@ -1,0 +1,45 @@
+module A = Dialed_apex
+module M = Dialed_msp430
+
+type t = {
+  lo : int;   (* or_min *)
+  hi : int;   (* or_max *)
+  data : string;  (* bytes of [or_min .. or_max+1] *)
+}
+
+let of_report (r : A.Pox.report) =
+  { lo = r.A.Pox.or_min; hi = r.A.Pox.or_max; data = r.A.Pox.or_data }
+
+let of_device d =
+  let layout = A.Device.layout d in
+  let lo = layout.A.Layout.or_min and hi = layout.A.Layout.or_max in
+  { lo; hi;
+    data = M.Memory.dump (A.Device.memory d) ~addr:lo ~len:(hi + 2 - lo) }
+
+let or_min t = t.lo
+let or_max t = t.hi
+
+let word_at t addr =
+  let off = addr - t.lo in
+  if off < 0 || off + 1 >= String.length t.data then
+    invalid_arg (Printf.sprintf "Oplog.word_at: 0x%04x outside OR" addr)
+  else Char.code t.data.[off] lor (Char.code t.data.[off + 1] lsl 8)
+
+let entry t k = word_at t (t.hi - (2 * k))
+
+let saved_sp t = entry t 0
+
+let args t = List.init 8 (fun i -> entry t (1 + i))
+
+(* F3 logs r8 first and r15 last; argument i lives in register 15-i *)
+let arg_value t i =
+  if i < 0 || i > 7 then invalid_arg "Oplog.arg_value: index in 0..7"
+  else entry t (8 - i)
+
+let entries_down_to t ~final_r4 =
+  let n = (t.hi - final_r4) / 2 in
+  List.init n (fun k -> entry t k)
+
+let used_bytes t ~final_r4 = t.hi + 2 - (final_r4 + 2)
+
+let capacity_entries t = (t.hi + 2 - t.lo) / 2

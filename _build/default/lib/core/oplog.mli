@@ -1,0 +1,43 @@
+(** The combined CF-Log / I-Log stack inside OR (paper feature F5).
+
+    A single word-granular stack starting at [OR_MAX] and growing downward:
+    entry [k] lives at address [or_max - 2k]. Entry 0 is the base stack
+    pointer saved by F3; entries 1..8 are the argument registers r8..r15;
+    subsequent entries are control-flow destinations and data inputs in
+    program order, interleaved exactly as execution produced them. *)
+
+type t
+
+val of_report : Dialed_apex.Pox.report -> t
+(** View a PoX report's OR bytes as a log. *)
+
+val of_device : Dialed_apex.Device.t -> t
+(** Device-side view (reads OR from memory) — used by benches. *)
+
+val or_min : t -> int
+val or_max : t -> int
+
+val word_at : t -> int -> int
+(** Word at an absolute address within OR. *)
+
+val entry : t -> int -> int
+(** [entry t k] = word at [or_max - 2k]. *)
+
+val saved_sp : t -> int
+(** Entry 0. *)
+
+val args : t -> int list
+(** Entries 1..8 — r8..r15 as logged by F3. *)
+
+val arg_value : t -> int -> int
+(** [arg_value t i]: the i-th call argument (0-based), i.e. r15 for 0,
+    r14 for 1, ... — inverting the calling convention order. *)
+
+val entries_down_to : t -> final_r4:int -> int list
+(** All entries, oldest first, given the final log pointer (entries occupy
+    [(final_r4, or_max]]). *)
+
+val used_bytes : t -> final_r4:int -> int
+(** Log footprint in bytes — the Fig. 6(c) metric. *)
+
+val capacity_entries : t -> int

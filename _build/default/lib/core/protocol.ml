@@ -1,0 +1,51 @@
+module A = Dialed_apex
+module Sha256 = Dialed_crypto.Sha256
+
+type request = {
+  challenge : string;
+  args : int list;
+}
+
+type session = {
+  verifier : Verifier.t;
+  seed : string;
+  mutable counter : int;
+  mutable outstanding : string option;
+}
+
+let make_session ?(seed = "dialed-session-seed") verifier =
+  { verifier; seed; counter = 0; outstanding = None }
+
+let next_request s ~args =
+  s.counter <- s.counter + 1;
+  let challenge = Sha256.digest (Printf.sprintf "%s|%d" s.seed s.counter) in
+  s.outstanding <- Some challenge;
+  { challenge; args }
+
+let prover_execute device req =
+  let result = A.Device.run_operation ~args:req.args device in
+  let report = A.Device.attest device ~challenge:req.challenge in
+  (report, result)
+
+let check_response s req report =
+  let stale reason =
+    { Verifier.accepted = false;
+      findings = [ Verifier.Bad_token reason ];
+      trace = None }
+  in
+  match s.outstanding with
+  | None -> stale "no outstanding challenge"
+  | Some challenge ->
+    if not (String.equal challenge req.challenge) then
+      stale "request does not match the outstanding challenge"
+    else if not (String.equal report.A.Pox.challenge challenge) then
+      stale "response challenge is stale or replayed"
+    else begin
+      s.outstanding <- None;
+      Verifier.verify s.verifier report
+    end
+
+let attest_round s device ~args =
+  let req = next_request s ~args in
+  let report, result = prover_execute device req in
+  (check_response s req report, result)

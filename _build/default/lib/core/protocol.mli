@@ -1,0 +1,37 @@
+(** The Vrf <-> Prv interaction (challenge-response around one attested
+    execution of the embedded operation).
+
+    A session tracks challenge freshness on the verifier side; the prover
+    side executes the operation and attests. In deployment the two halves
+    live on different machines — here they exchange plain OCaml values,
+    which is exactly the information that would cross the wire. *)
+
+type request = {
+  challenge : string;
+  args : int list;   (** operation arguments, r15 first *)
+}
+
+type session
+
+val make_session : ?seed:string -> Verifier.t -> session
+(** Verifier-side session; challenges are derived deterministically from
+    the seed by hashing a counter (no ambient randomness, so runs are
+    reproducible). *)
+
+val next_request : session -> args:int list -> request
+
+val prover_execute :
+  Dialed_apex.Device.t -> request ->
+  Dialed_apex.Pox.report * Dialed_apex.Device.run_result
+(** Prover side: run the operation with the requested arguments, then
+    attest with the challenge. *)
+
+val check_response :
+  session -> request -> Dialed_apex.Pox.report -> Verifier.outcome
+(** Verifier side: reject stale/mismatched challenges, then run the full
+    DIALED verification. *)
+
+val attest_round :
+  session -> Dialed_apex.Device.t -> args:int list ->
+  Verifier.outcome * Dialed_apex.Device.run_result
+(** One full round against a local device: request, execute, verify. *)

@@ -1,0 +1,287 @@
+module M = Dialed_msp430
+module Memory = M.Memory
+module Cpu = M.Cpu
+module Isa = M.Isa
+module P = M.Program
+module Assemble = M.Assemble
+module A = Dialed_apex
+
+type finding =
+  | Bad_token of string
+  | Wrong_layout of string
+  | Log_divergence of {
+      step : int; pc : int; addr : int;
+      device_value : int; replay_value : int;
+    }
+  | Replay_failed of string
+  | Shadow_stack_violation of { pc : int; expected : int; actual : int }
+  | Oob_access of {
+      pc : int; kind : [ `Read | `Write ];
+      array : string; ea : int; lo : int; hi : int;
+    }
+  | Policy_violation of { policy : string; reason : string }
+
+let pp_finding ppf f =
+  match f with
+  | Bad_token msg -> Format.fprintf ppf "token rejected: %s" msg
+  | Wrong_layout msg -> Format.fprintf ppf "layout mismatch: %s" msg
+  | Log_divergence { step; pc; addr; device_value; replay_value } ->
+    Format.fprintf ppf
+      "log divergence at step %d (pc 0x%04x): OR[0x%04x] device=0x%04x \
+       replay=0x%04x"
+      step pc addr device_value replay_value
+  | Replay_failed msg -> Format.fprintf ppf "replay failed: %s" msg
+  | Shadow_stack_violation { pc; expected; actual } ->
+    Format.fprintf ppf
+      "control-flow attack: return at 0x%04x went to 0x%04x, call site \
+       expects 0x%04x"
+      pc actual expected
+  | Oob_access { pc; kind; array; ea; lo; hi } ->
+    Format.fprintf ppf
+      "data-only attack: out-of-bounds %s of '%s' at pc 0x%04x \
+       (address 0x%04x outside [0x%04x,0x%04x])"
+      (match kind with `Read -> "read" | `Write -> "write")
+      array pc ea lo hi
+  | Policy_violation { policy; reason } ->
+    Format.fprintf ppf "policy '%s' violated: %s" policy reason
+
+type step = {
+  s_index : int;
+  s_pc : int;
+  s_instr : Isa.instr;
+  s_pc_after : int;
+  s_accesses : Memory.access list;
+}
+
+type trace = {
+  steps : step list;
+  cf_dests : int list;
+  inputs : int list;
+  final_r4 : int;
+  replay_memory : Memory.t;
+}
+
+type policy = {
+  policy_name : string;
+  check : trace -> (unit, string) result;
+}
+
+type outcome = {
+  accepted : bool;
+  findings : finding list;
+  trace : trace option;
+}
+
+type t = {
+  key : string;
+  built : Pipeline.built;
+  policies : policy list;
+  max_steps : int;
+}
+
+let create ?(key = A.Device.default_key) ?(policies = []) ?(max_steps = 2_000_000)
+    built =
+  (match built.Pipeline.variant with
+   | Pipeline.Full -> ()
+   | v ->
+     invalid_arg
+       (Printf.sprintf
+          "Verifier.create: replay verification needs the DIALED variant, got %s"
+          (Pipeline.variant_name v)));
+  { key; built; policies; max_steps }
+
+(* The peripheral oracle: a device over the MMIO space that answers every
+   read with the value the Prover logged for it. The next log entry to be
+   pushed always lives at the address r4 currently points to, because the
+   instrumentation pushes a read's value before any other log activity. *)
+let attach_oracle mem cpu oplog =
+  let last = ref None in
+  let byte_of addr =
+    let r4 = Cpu.get_reg cpu 4 in
+    let entry = Oplog.word_at oplog r4 in
+    let v =
+      match !last with
+      | Some (prev_addr, prev_r4) when prev_addr = addr - 1 && prev_r4 = r4 ->
+        (* second half of a word-sized peripheral read *)
+        M.Word.high_byte entry
+      | Some _ | None -> M.Word.low_byte entry
+    in
+    last := Some (addr, r4);
+    v
+  in
+  Memory.attach mem
+    { Memory.dev_name = "ilog-oracle";
+      dev_lo = 0x0000; dev_hi = 0x01FF;
+      dev_read = (fun addr -> Some (byte_of addr));
+      dev_write = (fun _ _ -> ());
+      dev_tick = (fun _ -> ()) }
+
+let is_ret = Pipeline.concrete_is_ret
+
+let verify t report =
+  let built = t.built in
+  let layout = built.Pipeline.layout in
+  let reject findings = { accepted = false; findings; trace = None } in
+  (* 1. layout consistency *)
+  let open A.Layout in
+  if report.A.Pox.er_min <> layout.er_min || report.A.Pox.er_max <> layout.er_max
+     || report.A.Pox.er_exit <> layout.er_exit
+     || report.A.Pox.or_min <> layout.or_min
+     || report.A.Pox.or_max <> layout.or_max
+  then reject [ Wrong_layout "report ranges differ from the provisioned layout" ]
+  else
+    (* 2. token + EXEC *)
+    match
+      A.Pox.verify ~key:t.key ~expected_er:built.Pipeline.expected_er report
+    with
+    | Error msg -> reject [ Bad_token msg ]
+    | Ok () ->
+      let oplog = Oplog.of_report report in
+      (* 3. replay *)
+      let mem = Memory.create () in
+      let cpu = Cpu.create mem in
+      attach_oracle mem cpu oplog;
+      Assemble.load built.Pipeline.image mem;
+      Cpu.set_reg cpu Isa.pc (Assemble.symbol built.Pipeline.image Pipeline.caller_symbol);
+      Cpu.set_reg cpu Isa.sp layout.stack_top;
+      List.iteri (fun i v -> Cpu.set_reg cpu (8 + i) v) (Oplog.args oplog);
+      let annots = Hashtbl.create 64 in
+      List.iter (fun (addr, l) -> Hashtbl.replace annots addr l)
+        built.Pipeline.image.Assemble.annots;
+      let findings = ref [] in
+      let add f = findings := f :: !findings in
+      let steps = ref [] in
+      let cf_dests = ref [] and inputs = ref [] in
+      let shadow = ref [] in
+      let diverged = ref false in
+      let caller_ret =
+        Assemble.symbol built.Pipeline.image Pipeline.caller_ret_symbol
+      in
+      let in_or addr = addr >= layout.or_min && addr <= layout.or_max + 1 in
+      let step_index = ref 0 in
+      let process info =
+        let idx = !step_index in
+        incr step_index;
+        let pc = info.Cpu.pc_before in
+        steps :=
+          { s_index = idx; s_pc = pc; s_instr = info.Cpu.instr;
+            s_pc_after = info.Cpu.pc_after; s_accesses = info.Cpu.accesses }
+          :: !steps;
+        let item_annots =
+          match Hashtbl.find_opt annots pc with Some l -> l | None -> []
+        in
+        (* log pushes: compare against the authenticated log *)
+        List.iter
+          (fun a ->
+             match a.Memory.kind with
+             | Memory.Write when in_or a.Memory.addr ->
+               let device_value = Oplog.word_at oplog a.Memory.addr in
+               if device_value <> a.Memory.value then begin
+                 add (Log_divergence
+                        { step = idx; pc; addr = a.Memory.addr;
+                          device_value; replay_value = a.Memory.value });
+                 diverged := true
+               end
+               else begin
+                 List.iter
+                   (fun an ->
+                      match an with
+                      | P.Log_site `Cf -> cf_dests := a.Memory.value :: !cf_dests
+                      | P.Log_site `Input -> inputs := a.Memory.value :: !inputs
+                      | _ -> ())
+                   item_annots
+               end
+             | _ -> ())
+          info.Cpu.accesses;
+        (* shadow call stack *)
+        (match info.Cpu.instr with
+         | Isa.One (Isa.CALL, _, _) ->
+           shadow := (pc + Isa.instr_size_bytes info.Cpu.instr) :: !shadow
+         | i when is_ret i ->
+           (match !shadow with
+            | expected :: rest ->
+              shadow := rest;
+              if info.Cpu.pc_after <> expected then
+                add (Shadow_stack_violation
+                       { pc; expected; actual = info.Cpu.pc_after })
+            | [] -> ())
+         | _ -> ());
+        (* out-of-bounds object accesses, from compiler annotations *)
+        List.iter
+          (fun an ->
+             match an with
+             | P.Array_store { array_name; base; size_bytes } ->
+               let lo = Pipeline.eval_expr built base in
+               let hi = lo + size_bytes - 1 in
+               List.iter
+                 (fun a ->
+                    match a.Memory.kind with
+                    | Memory.Write when not (in_or a.Memory.addr) ->
+                      if a.Memory.addr < lo || a.Memory.addr > hi then
+                        add (Oob_access
+                               { pc; kind = `Write; array = array_name;
+                                 ea = a.Memory.addr; lo; hi })
+                    | _ -> ())
+                 info.Cpu.accesses
+             | P.Array_load { array_name; base; size_bytes } ->
+               let lo = Pipeline.eval_expr built base in
+               let hi = lo + size_bytes - 1 in
+               List.iter
+                 (fun a ->
+                    match a.Memory.kind with
+                    | Memory.Read ->
+                      if a.Memory.addr < lo || a.Memory.addr > hi then
+                        add (Oob_access
+                               { pc; kind = `Read; array = array_name;
+                                 ea = a.Memory.addr; lo; hi })
+                    | Memory.Write | Memory.Fetch -> ())
+                 info.Cpu.accesses
+             | P.Log_site _ | P.Synth_mark _ | P.Src_line _ -> ())
+          item_annots
+      in
+      let rec run n =
+        if n >= t.max_steps then Some "replay exceeded its step budget"
+        else if !diverged then Some "replay diverged from the received log"
+        else
+          match Cpu.halted cpu with
+          | Some (Cpu.Self_jump a) when a = caller_ret -> None
+          | Some (Cpu.Self_jump a) ->
+            Some (Printf.sprintf "replay halted in an abort loop at 0x%04x" a)
+          | Some (Cpu.Bad_opcode (a, w)) ->
+            Some (Printf.sprintf "replay hit invalid opcode 0x%04x at 0x%04x" w a)
+          | None ->
+            process (Cpu.step cpu);
+            run (n + 1)
+      in
+      let replay_error = run 0 in
+      (match replay_error with
+       | Some msg when not !diverged -> add (Replay_failed msg)
+       | _ -> ());
+      let trace =
+        { steps = List.rev !steps;
+          cf_dests = List.rev !cf_dests;
+          inputs = List.rev !inputs;
+          final_r4 = Cpu.get_reg cpu 4;
+          replay_memory = mem }
+      in
+      (* 4. policies (only meaningful over a complete replay) *)
+      if replay_error = None then
+        List.iter
+          (fun p ->
+             match p.check trace with
+             | Ok () -> ()
+             | Error reason ->
+               add (Policy_violation { policy = p.policy_name; reason }))
+          t.policies;
+      let findings = List.rev !findings in
+      { accepted = findings = [] && replay_error = None;
+        findings;
+        trace = Some trace }
+
+let pp_outcome ppf o =
+  if o.accepted then Format.fprintf ppf "ACCEPTED"
+  else
+    Format.fprintf ppf "REJECTED:@,%a"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+         (fun ppf f -> Format.fprintf ppf "  - %a" pp_finding f))
+      o.findings

@@ -1,0 +1,77 @@
+(** The DIALED verifier (Vrf): token checking plus abstract execution.
+
+    Given a PoX report, Vrf (i) checks the HMAC token against the expected
+    instrumented binary, (ii) {e replays} the operation in a sandboxed CPU,
+    feeding every peripheral read from the authenticated I-Log and checking
+    every log append the replay produces against the received log, and
+    (iii) runs detectors over the reconstructed execution:
+
+    - {b log divergence} — the replay and the device disagree on any log
+      entry (unexplained input, forged entry, desynchronized control flow);
+    - {b shadow call stack} — a return landed somewhere other than its
+      call site (the Fig. 1 control-flow attack);
+    - {b out-of-bounds accesses} — a store/load through an array whose
+      effective address leaves the object's bounds, using the compiler's
+      annotations (the Fig. 2 data-only attack);
+    - {b user policies} — application predicates over the full trace
+      (actuation limits, dosage rules, ...).
+
+    Acceptance means: the token is genuine, EXEC = 1, the replay
+    reconstructs the execution exactly, and no detector fired. *)
+
+type finding =
+  | Bad_token of string
+  | Wrong_layout of string
+  | Log_divergence of {
+      step : int; pc : int; addr : int;
+      device_value : int; replay_value : int;
+    }
+  | Replay_failed of string
+  | Shadow_stack_violation of { pc : int; expected : int; actual : int }
+  | Oob_access of {
+      pc : int; kind : [ `Read | `Write ];
+      array : string; ea : int; lo : int; hi : int;
+    }
+  | Policy_violation of { policy : string; reason : string }
+
+val pp_finding : Format.formatter -> finding -> unit
+
+type step = {
+  s_index : int;
+  s_pc : int;
+  s_instr : Dialed_msp430.Isa.instr;
+  s_pc_after : int;
+  s_accesses : Dialed_msp430.Memory.access list;
+}
+
+type trace = {
+  steps : step list;              (** chronological *)
+  cf_dests : int list;            (** CF-Log entries, in order *)
+  inputs : int list;              (** I-Log entries, in order *)
+  final_r4 : int;
+  replay_memory : Dialed_msp430.Memory.t;  (** post-replay state *)
+}
+
+type policy = {
+  policy_name : string;
+  check : trace -> (unit, string) result;
+}
+
+type outcome = {
+  accepted : bool;
+  findings : finding list;
+  trace : trace option;   (** present when the replay ran to completion *)
+}
+
+type t
+
+val create :
+  ?key:string -> ?policies:policy list -> ?max_steps:int ->
+  Pipeline.built -> t
+(** The verifier holds the expected instrumented build (it produced or
+    audited the binary at provisioning time) and the shared device key.
+    Requires a [Full]-variant build. *)
+
+val verify : t -> Dialed_apex.Pox.report -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

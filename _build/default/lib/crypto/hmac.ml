@@ -1,0 +1,34 @@
+let block_size = Sha256.block_size
+
+let normalize_key key =
+  let key =
+    if String.length key > block_size then Sha256.digest key else key
+  in
+  key ^ String.make (block_size - String.length key) '\000'
+
+let xor_pad key byte =
+  String.map (fun c -> Char.chr (Char.code c lxor byte)) key
+
+let mac_parts ~key parts =
+  let key = normalize_key key in
+  let inner =
+    List.fold_left Sha256.update
+      (Sha256.update (Sha256.init ()) (xor_pad key 0x36))
+      parts
+  in
+  Sha256.digest (xor_pad key 0x5C ^ Sha256.finalize inner)
+
+let mac ~key msg = mac_parts ~key [ msg ]
+
+let verify ~key ~msg ~tag =
+  let expected = mac ~key msg in
+  if String.length tag <> String.length expected then false
+  else begin
+    let diff = ref 0 in
+    String.iteri
+      (fun i c -> diff := !diff lor (Char.code c lxor Char.code expected.[i]))
+      tag;
+    !diff = 0
+  end
+
+let hex = Sha256.hex

@@ -1,0 +1,17 @@
+(** HMAC-SHA256 (RFC 2104).
+
+    The MAC VRASED's SW-Att computes over the attested region, and the MAC
+    DIALED's verifier checks over (challenge, ER, OR, EXEC). *)
+
+val mac : key:string -> string -> string
+(** 32-byte raw tag. *)
+
+val mac_parts : key:string -> string list -> string
+(** MAC over the concatenation of the parts, without building the
+    concatenation eagerly. *)
+
+val verify : key:string -> msg:string -> tag:string -> bool
+(** Constant-time comparison of a received tag against the expected one. *)
+
+val hex : string -> string
+(** Re-export of {!Sha256.hex}. *)

@@ -1,0 +1,122 @@
+let digest_size = 32
+let block_size = 64
+
+let k =
+  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l;
+     0x3956c25bl; 0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l;
+     0xd807aa98l; 0x12835b01l; 0x243185bel; 0x550c7dc3l;
+     0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l; 0xc19bf174l;
+     0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
+     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal;
+     0x983e5152l; 0xa831c66dl; 0xb00327c8l; 0xbf597fc7l;
+     0xc6e00bf3l; 0xd5a79147l; 0x06ca6351l; 0x14292967l;
+     0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl; 0x53380d13l;
+     0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
+     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l;
+     0xd192e819l; 0xd6990624l; 0xf40e3585l; 0x106aa070l;
+     0x19a4c116l; 0x1e376c08l; 0x2748774cl; 0x34b0bcb5l;
+     0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl; 0x682e6ff3l;
+     0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
+     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+
+let initial_h =
+  [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
+     0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |]
+
+type ctx = {
+  h : int32 array;        (* 8 words of chaining state *)
+  pending : string;       (* < 64 bytes awaiting a full block *)
+  total_len : int;        (* message bytes consumed so far *)
+}
+
+let init () = { h = Array.copy initial_h; pending = ""; total_len = 0 }
+
+let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+let ( ^^ ) = Int32.logxor
+let ( &&& ) = Int32.logand
+let ( +% ) = Int32.add
+
+let compress h block off =
+  let w = Array.make 64 0l in
+  for i = 0 to 15 do
+    let b j = Int32.of_int (Char.code block.[off + (4 * i) + j]) in
+    w.(i) <-
+      Int32.logor (Int32.shift_left (b 0) 24)
+        (Int32.logor (Int32.shift_left (b 1) 16)
+           (Int32.logor (Int32.shift_left (b 2) 8) (b 3)))
+  done;
+  for i = 16 to 63 do
+    let s0 = rotr w.(i - 15) 7 ^^ rotr w.(i - 15) 18
+             ^^ Int32.shift_right_logical w.(i - 15) 3 in
+    let s1 = rotr w.(i - 2) 17 ^^ rotr w.(i - 2) 19
+             ^^ Int32.shift_right_logical w.(i - 2) 10 in
+    w.(i) <- w.(i - 16) +% s0 +% w.(i - 7) +% s1
+  done;
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 ^^ rotr !e 11 ^^ rotr !e 25 in
+    let ch = (!e &&& !f) ^^ (Int32.lognot !e &&& !g) in
+    let temp1 = !hh +% s1 +% ch +% k.(i) +% w.(i) in
+    let s0 = rotr !a 2 ^^ rotr !a 13 ^^ rotr !a 22 in
+    let maj = (!a &&& !b) ^^ (!a &&& !c) ^^ (!b &&& !c) in
+    let temp2 = s0 +% maj in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := !d +% temp1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := temp1 +% temp2
+  done;
+  [| h.(0) +% !a; h.(1) +% !b; h.(2) +% !c; h.(3) +% !d;
+     h.(4) +% !e; h.(5) +% !f; h.(6) +% !g; h.(7) +% !hh |]
+
+let update ctx data =
+  let buf = ctx.pending ^ data in
+  let n_blocks = String.length buf / block_size in
+  let h = ref ctx.h in
+  for i = 0 to n_blocks - 1 do
+    h := compress !h buf (i * block_size)
+  done;
+  let consumed = n_blocks * block_size in
+  { h = !h;
+    pending = String.sub buf consumed (String.length buf - consumed);
+    total_len = ctx.total_len + String.length data }
+
+let finalize ctx =
+  let bit_len = 8 * ctx.total_len in
+  let pad_len =
+    let rem = (ctx.total_len + 1 + 8) mod block_size in
+    if rem = 0 then 1 else 1 + (block_size - rem)
+  in
+  let padding = Bytes.make (pad_len + 8) '\000' in
+  Bytes.set padding 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set padding (pad_len + i)
+      (Char.chr ((bit_len lsr (8 * (7 - i))) land 0xFF))
+  done;
+  let final = update ctx (Bytes.to_string padding) in
+  assert (final.pending = "");
+  let out = Bytes.create digest_size in
+  Array.iteri
+    (fun i word ->
+       for j = 0 to 3 do
+         Bytes.set out ((4 * i) + j)
+           (Char.chr
+              (Int32.to_int (Int32.shift_right_logical word (8 * (3 - j)))
+               land 0xFF))
+       done)
+    final.h;
+  Bytes.to_string out
+
+let digest msg = finalize (update (init ()) msg)
+
+let round_constants = Array.copy k
+let initial_state = Array.copy initial_h
+
+let hex raw =
+  String.concat ""
+    (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+       (List.of_seq (String.to_seq raw)))

@@ -1,0 +1,32 @@
+(** SHA-256 (FIPS 180-4), written from scratch.
+
+    VRASED computes an HMAC-SHA256 over program memory inside its ROM
+    routine; this module is the hash that backs {!Hmac}. Pure OCaml, no
+    dependencies, operating on [string] for simplicity — message sizes in
+    this project are at most tens of KiB. *)
+
+type ctx
+
+val init : unit -> ctx
+val update : ctx -> string -> ctx
+val finalize : ctx -> string
+(** 32-byte raw digest. *)
+
+val digest : string -> string
+(** One-shot hash; 32-byte raw digest. *)
+
+val hex : string -> string
+(** Lowercase hex of a raw byte string (handy for digests). *)
+
+val digest_size : int
+(** 32. *)
+
+val block_size : int
+(** 64, needed by HMAC. *)
+
+val round_constants : int32 array
+(** The 64 K constants — exported for the on-device SW-Att code
+    generator, which bakes them into its ROM image. *)
+
+val initial_state : int32 array
+(** The 8 initial H words. *)

@@ -1,0 +1,1 @@
+lib/hwcost/hwcost.ml: Dialed_apex Format List Printf String

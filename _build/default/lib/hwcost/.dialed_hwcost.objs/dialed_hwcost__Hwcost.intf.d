@@ -1,0 +1,1 @@
+lib/hwcost/hwcost.mli: Dialed_apex Format

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Ast Buffer Format List Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/minic/fold.ml: Ast Dialed_msp430 List Option

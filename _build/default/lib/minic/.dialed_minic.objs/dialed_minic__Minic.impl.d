@@ -1,0 +1,1 @@
+lib/minic/minic.ml: Ast Codegen Dialed_msp430 Fold Format Lexer Parser Typecheck

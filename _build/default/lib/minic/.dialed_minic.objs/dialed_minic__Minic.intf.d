@@ -1,0 +1,1 @@
+lib/minic/minic.mli: Ast Dialed_msp430 Typecheck

@@ -1,0 +1,112 @@
+type io_width = Wbyte | Wword
+
+type unop = Neg | Lognot | Bitnot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+
+type stmt =
+  | Sexpr of expr
+  | Assign of string * expr
+  | Store of string * expr * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Return of expr option
+  | Local of string * expr option
+  | Break
+  | Continue
+
+and block = stmt list
+
+type func = {
+  fname : string;
+  params : string list;
+  returns_value : bool;
+  body : block;
+}
+
+type global =
+  | Gvar of string * int
+  | Garray of string * int * int list
+  | Gio of string * io_width * int
+  | Gfunc of func
+
+type program = global list
+
+let unop_name u = match u with Neg -> "-" | Lognot -> "!" | Bitnot -> "~"
+
+let binop_name b =
+  match b with
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Land -> "&&" | Lor -> "||"
+
+let rec pp_expr ppf e =
+  match e with
+  | Int n -> Format.pp_print_int ppf n
+  | Var v -> Format.pp_print_string ppf v
+  | Index (a, e) -> Format.fprintf ppf "%s[%a]" a pp_expr e
+  | Unop (u, e) -> Format.fprintf ppf "%s(%a)" (unop_name u) pp_expr e
+  | Binop (b, l, r) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr l (binop_name b) pp_expr r
+  | Call (f, args) ->
+    Format.fprintf ppf "%s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_expr)
+      args
+
+let rec pp_stmt ppf s =
+  match s with
+  | Sexpr e -> Format.fprintf ppf "%a;" pp_expr e
+  | Assign (v, e) -> Format.fprintf ppf "%s = %a;" v pp_expr e
+  | Store (a, i, e) -> Format.fprintf ppf "%s[%a] = %a;" a pp_expr i pp_expr e
+  | If (c, t, []) -> Format.fprintf ppf "if (%a) { %a }" pp_expr c pp_block t
+  | If (c, t, e) ->
+    Format.fprintf ppf "if (%a) { %a } else { %a }" pp_expr c pp_block t
+      pp_block e
+  | While (c, b) -> Format.fprintf ppf "while (%a) { %a }" pp_expr c pp_block b
+  | Return None -> Format.pp_print_string ppf "return;"
+  | Return (Some e) -> Format.fprintf ppf "return %a;" pp_expr e
+  | Local (v, None) -> Format.fprintf ppf "int %s;" v
+  | Local (v, Some e) -> Format.fprintf ppf "int %s = %a;" v pp_expr e
+  | Break -> Format.pp_print_string ppf "break;"
+  | Continue -> Format.pp_print_string ppf "continue;"
+
+and pp_block ppf b =
+  Format.pp_print_list ~pp_sep:Format.pp_print_space pp_stmt ppf b
+
+let pp_global ppf g =
+  match g with
+  | Gvar (n, v) -> Format.fprintf ppf "int %s = %d;" n v
+  | Garray (n, size, inits) ->
+    Format.fprintf ppf "int %s[%d] = {%a};" n size
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Format.pp_print_int)
+      inits
+  | Gio (n, Wword, a) -> Format.fprintf ppf "volatile int %s @ 0x%04x;" n a
+  | Gio (n, Wbyte, a) -> Format.fprintf ppf "volatile char %s @ 0x%04x;" n a
+  | Gfunc f ->
+    Format.fprintf ppf "%s %s(%a) { %a }"
+      (if f.returns_value then "int" else "void")
+      f.fname
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf p -> Format.fprintf ppf "int %s" p))
+      f.params pp_block f.body
+
+let pp_program ppf p =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_global ppf p

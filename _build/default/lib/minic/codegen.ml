@@ -1,0 +1,501 @@
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type output = {
+  op_text : string;
+  data_text : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Runtime helpers, emitted on demand.                                  *)
+
+let runtime_udiv = {|
+__udiv:                 ; r15 / r14 -> quotient r13, remainder r12 (unsigned)
+    clr r13
+    clr r12
+    mov #16, r11
+__udiv_loop:
+    rla r15
+    rlc r12
+    rla r13
+    cmp r14, r12
+    jlo __udiv_skip
+    sub r14, r12
+    bis #1, r13
+__udiv_skip:
+    dec r11
+    jnz __udiv_loop
+    ret
+|}
+
+let runtime_mul = {|
+__mulhi:                ; r15 * r14 -> r15 (mod 2^16, sign-agnostic)
+    clr r13
+    mov r15, r12
+    mov r14, r11
+__mulhi_loop:
+    tst r11
+    jz __mulhi_done
+    bit #1, r11
+    jz __mulhi_skip
+    add r12, r13
+__mulhi_skip:
+    rla r12
+    clrc
+    rrc r11
+    jmp __mulhi_loop
+__mulhi_done:
+    mov r13, r15
+    ret
+|}
+
+let runtime_div = {|
+__divhi:                ; r15 / r14 -> r15 (C truncation semantics)
+    clr r10
+    tst r15
+    jge __divhi_p1
+    inv r15
+    inc r15
+    xor #1, r10
+__divhi_p1:
+    tst r14
+    jge __divhi_p2
+    inv r14
+    inc r14
+    xor #1, r10
+__divhi_p2:
+    call #__udiv
+    mov r13, r15
+    tst r10
+    jz __divhi_done
+    inv r15
+    inc r15
+__divhi_done:
+    ret
+|}
+
+let runtime_mod = {|
+__modhi:                ; r15 % r14 -> r15 (sign of the dividend)
+    clr r10
+    tst r15
+    jge __modhi_p1
+    inv r15
+    inc r15
+    mov #1, r10
+__modhi_p1:
+    tst r14
+    jge __modhi_p2
+    inv r14
+    inc r14
+__modhi_p2:
+    call #__udiv
+    mov r12, r15
+    tst r10
+    jz __modhi_done
+    inv r15
+    inc r15
+__modhi_done:
+    ret
+|}
+
+let runtime_shl = {|
+__shlhi:                ; r15 << r14 -> r15
+    tst r14
+    jz __shlhi_done
+__shlhi_loop:
+    rla r15
+    dec r14
+    jnz __shlhi_loop
+__shlhi_done:
+    ret
+|}
+
+let runtime_shr = {|
+__shrhi:                ; r15 >> r14 -> r15 (arithmetic)
+    tst r14
+    jz __shrhi_done
+__shrhi_loop:
+    rra r15
+    dec r14
+    jnz __shrhi_loop
+__shrhi_done:
+    ret
+|}
+
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  env : Typecheck.env;
+  buf : Buffer.t;
+  mutable label_counter : int;
+  mutable slots : (string * int) list;  (* local name -> frame offset *)
+  mutable loop_stack : (string * string) list;  (* (continue, break) *)
+  mutable epilogue : string;
+  mutable needs : string list;  (* runtime helpers used *)
+}
+
+let emit ctx fmt = Format.kasprintf (fun s -> Buffer.add_string ctx.buf (s ^ "\n")) fmt
+
+let fresh ctx prefix =
+  ctx.label_counter <- ctx.label_counter + 1;
+  Printf.sprintf "__mc_%s_%d" prefix ctx.label_counter
+
+let need ctx helper =
+  if not (List.mem helper ctx.needs) then ctx.needs <- helper :: ctx.needs
+
+let slot ctx v =
+  match List.assoc_opt v ctx.slots with
+  | Some off -> off
+  | None -> fail "internal: no slot for %s" v
+
+(* All function-scoped local names (params + declarations), frame slots. *)
+let collect_locals params body =
+  let names = ref (List.rev params) in
+  let add v = if not (List.mem v !names) then names := v :: !names in
+  let rec walk stmts =
+    List.iter
+      (fun s ->
+         match s with
+         | Ast.Local (v, _) -> add v
+         | Ast.If (_, t, e) ->
+           walk t;
+           walk e
+         | Ast.While (_, b) -> walk b
+         | Ast.Sexpr _ | Ast.Assign _ | Ast.Store _ | Ast.Return _
+         | Ast.Break | Ast.Continue -> ())
+      stmts
+  in
+  walk body;
+  List.rev !names
+
+let array_size ctx a =
+  match Typecheck.lookup_global ctx.env a with
+  | Some (Typecheck.Karray n) -> n
+  | _ -> fail "internal: %s is not an array" a
+
+(* load/store a named scalar to/from r15 *)
+let load_var ctx v =
+  if List.mem_assoc v ctx.slots then emit ctx "    mov %d(r6), r15" (slot ctx v)
+  else
+    match Typecheck.lookup_global ctx.env v with
+    | Some Typecheck.Kglobal -> emit ctx "    mov &%s, r15" v
+    | Some (Typecheck.Kio (Ast.Wword, addr)) -> emit ctx "    mov &0x%04x, r15" addr
+    | Some (Typecheck.Kio (Ast.Wbyte, addr)) -> emit ctx "    mov.b &0x%04x, r15" addr
+    | _ -> fail "internal: bad variable %s" v
+
+let store_var ctx v =
+  if List.mem_assoc v ctx.slots then emit ctx "    mov r15, %d(r6)" (slot ctx v)
+  else
+    match Typecheck.lookup_global ctx.env v with
+    | Some Typecheck.Kglobal -> emit ctx "    mov r15, &%s" v
+    | Some (Typecheck.Kio (Ast.Wword, addr)) -> emit ctx "    mov r15, &0x%04x" addr
+    | Some (Typecheck.Kio (Ast.Wbyte, addr)) -> emit ctx "    mov.b r15, &0x%04x" addr
+    | _ -> fail "internal: bad variable %s" v
+
+(* comparison emission: cmp + the (possibly inverted) jump mnemonic.
+   lhs is in r14, rhs in r15. *)
+let compare_parts op =
+  (* (swap operands?, jump-if-true, jump-if-false) over "cmp rhs, lhs" *)
+  match op with
+  | Ast.Eq -> (false, "jeq", "jne")
+  | Ast.Ne -> (false, "jne", "jeq")
+  | Ast.Lt -> (false, "jl", "jge")
+  | Ast.Ge -> (false, "jge", "jl")
+  | Ast.Gt -> (true, "jl", "jge")   (* l > r  <=>  r < l *)
+  | Ast.Le -> (true, "jge", "jl")   (* l <= r <=>  r >= l *)
+  | _ -> assert false
+
+let is_comparison op =
+  match op with
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> true
+  | _ -> false
+
+let rec gen_expr ctx e =
+  match e with
+  | Ast.Int n -> emit ctx "    mov #%d, r15" n
+  | Ast.Var v -> load_var ctx v
+  | Ast.Index (a, idx) ->
+    gen_expr ctx idx;
+    emit ctx "    add r15, r15";
+    emit ctx "    mov r15, r14";
+    emit ctx "    .annot load %s %s %d" a a (2 * array_size ctx a);
+    emit ctx "    mov %s(r14), r15" a
+  | Ast.Unop (Ast.Neg, e) ->
+    gen_expr ctx e;
+    emit ctx "    inv r15";
+    emit ctx "    inc r15"
+  | Ast.Unop (Ast.Bitnot, e) ->
+    gen_expr ctx e;
+    emit ctx "    inv r15"
+  | Ast.Unop (Ast.Lognot, e) ->
+    let l_one = fresh ctx "not1" and l_done = fresh ctx "notd" in
+    gen_expr ctx e;
+    emit ctx "    tst r15";
+    emit ctx "    jz %s" l_one;
+    emit ctx "    clr r15";
+    emit ctx "    jmp %s" l_done;
+    emit ctx "%s:" l_one;
+    emit ctx "    mov #1, r15";
+    emit ctx "%s:" l_done
+  | Ast.Binop (Ast.Land, l, r) ->
+    let l_false = fresh ctx "andf" and l_done = fresh ctx "andd" in
+    branch_if_false ctx l l_false;
+    branch_if_false ctx r l_false;
+    emit ctx "    mov #1, r15";
+    emit ctx "    jmp %s" l_done;
+    emit ctx "%s:" l_false;
+    emit ctx "    clr r15";
+    emit ctx "%s:" l_done
+  | Ast.Binop (Ast.Lor, l, r) ->
+    let l_true = fresh ctx "ort" and l_done = fresh ctx "ord" in
+    branch_if_true ctx l l_true;
+    branch_if_true ctx r l_true;
+    emit ctx "    clr r15";
+    emit ctx "    jmp %s" l_done;
+    emit ctx "%s:" l_true;
+    emit ctx "    mov #1, r15";
+    emit ctx "%s:" l_done
+  | Ast.Binop (op, l, r) when is_comparison op ->
+    let l_true = fresh ctx "cmpt" and l_done = fresh ctx "cmpd" in
+    gen_operands ctx l r;
+    let swap, jt, _ = compare_parts op in
+    if swap then emit ctx "    cmp r14, r15" else emit ctx "    cmp r15, r14";
+    emit ctx "    %s %s" jt l_true;
+    emit ctx "    clr r15";
+    emit ctx "    jmp %s" l_done;
+    emit ctx "%s:" l_true;
+    emit ctx "    mov #1, r15";
+    emit ctx "%s:" l_done
+  | Ast.Binop (Ast.Shl, l, Ast.Int k) when k >= 0 && k <= 8 ->
+    gen_expr ctx l;
+    for _ = 1 to k do emit ctx "    rla r15" done
+  | Ast.Binop (Ast.Shr, l, Ast.Int k) when k >= 0 && k <= 8 ->
+    gen_expr ctx l;
+    for _ = 1 to k do emit ctx "    rra r15" done
+  | Ast.Binop (op, l, r) ->
+    (match op with
+     | Ast.Add ->
+       gen_operands ctx l r;
+       emit ctx "    add r14, r15"
+     | Ast.Sub ->
+       gen_operands ctx l r;
+       emit ctx "    sub r15, r14";
+       emit ctx "    mov r14, r15"
+     | Ast.Band ->
+       gen_operands ctx l r;
+       emit ctx "    and r14, r15"
+     | Ast.Bor ->
+       gen_operands ctx l r;
+       emit ctx "    bis r14, r15"
+     | Ast.Bxor ->
+       gen_operands ctx l r;
+       emit ctx "    xor r14, r15"
+     | Ast.Mul -> runtime_binop ctx l r "__mulhi" [ "__mulhi" ]
+     | Ast.Div -> runtime_binop ctx l r "__divhi" [ "__divhi"; "__udiv" ]
+     | Ast.Mod -> runtime_binop ctx l r "__modhi" [ "__modhi"; "__udiv" ]
+     | Ast.Shl -> runtime_binop ctx l r "__shlhi" [ "__shlhi" ]
+     | Ast.Shr -> runtime_binop ctx l r "__shrhi" [ "__shrhi" ]
+     | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge
+     | Ast.Land | Ast.Lor -> assert false)
+  | Ast.Call (f, args) -> gen_call ctx f args
+
+(* evaluate l into r14 and r into r15 via the stack *)
+and gen_operands ctx l r =
+  gen_expr ctx l;
+  emit ctx "    push r15";
+  gen_expr ctx r;
+  emit ctx "    pop r14"
+
+and runtime_binop ctx l r helper needs_list =
+  List.iter (need ctx) needs_list;
+  (* helper convention: lhs r15, rhs r14 *)
+  gen_expr ctx l;
+  emit ctx "    push r15";
+  gen_expr ctx r;
+  emit ctx "    mov r15, r14";
+  emit ctx "    pop r15";
+  emit ctx "    call #%s" helper
+
+and gen_call ctx f args =
+  let k = List.length args in
+  List.iter
+    (fun a ->
+       gen_expr ctx a;
+       emit ctx "    push r15")
+    args;
+  (* pop into r15..r(15-k+1), last argument first *)
+  for i = k - 1 downto 0 do
+    emit ctx "    pop r%d" (15 - i)
+  done;
+  emit ctx "    call #%s" f
+
+(* branch to [target] when the condition is false / true; flag-setting
+   instruction always immediately precedes the conditional jump *)
+and branch_if_false ctx cond target =
+  match cond with
+  | Ast.Binop (op, l, r) when is_comparison op ->
+    gen_operands ctx l r;
+    let swap, _, jf = compare_parts op in
+    if swap then emit ctx "    cmp r14, r15" else emit ctx "    cmp r15, r14";
+    emit ctx "    %s %s" jf target
+  | Ast.Binop (Ast.Land, l, r) ->
+    branch_if_false ctx l target;
+    branch_if_false ctx r target
+  | Ast.Binop (Ast.Lor, l, r) ->
+    let l_true = fresh ctx "orsc" in
+    branch_if_true ctx l l_true;
+    branch_if_false ctx r target;
+    emit ctx "%s:" l_true
+  | Ast.Unop (Ast.Lognot, e) -> branch_if_true ctx e target
+  | e ->
+    gen_expr ctx e;
+    emit ctx "    tst r15";
+    emit ctx "    jz %s" target
+
+and branch_if_true ctx cond target =
+  match cond with
+  | Ast.Binop (op, l, r) when is_comparison op ->
+    gen_operands ctx l r;
+    let swap, jt, _ = compare_parts op in
+    if swap then emit ctx "    cmp r14, r15" else emit ctx "    cmp r15, r14";
+    emit ctx "    %s %s" jt target
+  | Ast.Binop (Ast.Land, l, r) ->
+    let l_false = fresh ctx "andsc" in
+    branch_if_false ctx l l_false;
+    branch_if_true ctx r target;
+    emit ctx "%s:" l_false
+  | Ast.Binop (Ast.Lor, l, r) ->
+    branch_if_true ctx l target;
+    branch_if_true ctx r target
+  | Ast.Unop (Ast.Lognot, e) -> branch_if_false ctx e target
+  | e ->
+    gen_expr ctx e;
+    emit ctx "    tst r15";
+    emit ctx "    jnz %s" target
+
+let rec gen_stmt ctx s =
+  match s with
+  | Ast.Sexpr e ->
+    gen_expr ctx e
+  | Ast.Assign (v, e) ->
+    gen_expr ctx e;
+    store_var ctx v
+  | Ast.Store (a, idx, e) ->
+    gen_expr ctx e;
+    emit ctx "    push r15";
+    gen_expr ctx idx;
+    emit ctx "    add r15, r15";
+    emit ctx "    mov r15, r14";
+    emit ctx "    pop r13";
+    emit ctx "    .annot store %s %s %d" a a (2 * array_size ctx a);
+    emit ctx "    mov r13, %s(r14)" a
+  | Ast.If (c, t, f) ->
+    let l_else = fresh ctx "else" and l_end = fresh ctx "endif" in
+    branch_if_false ctx c (if f = [] then l_end else l_else);
+    List.iter (gen_stmt ctx) t;
+    if f <> [] then begin
+      emit ctx "    jmp %s" l_end;
+      emit ctx "%s:" l_else;
+      List.iter (gen_stmt ctx) f
+    end;
+    emit ctx "%s:" l_end
+  | Ast.While (c, body) ->
+    let l_cond = fresh ctx "while" and l_end = fresh ctx "wend" in
+    emit ctx "%s:" l_cond;
+    branch_if_false ctx c l_end;
+    ctx.loop_stack <- (l_cond, l_end) :: ctx.loop_stack;
+    List.iter (gen_stmt ctx) body;
+    ctx.loop_stack <- List.tl ctx.loop_stack;
+    emit ctx "    jmp %s" l_cond;
+    emit ctx "%s:" l_end
+  | Ast.Return e ->
+    (match e with Some e -> gen_expr ctx e | None -> ());
+    emit ctx "    jmp %s" ctx.epilogue
+  | Ast.Local (v, init) ->
+    (match init with
+     | Some e ->
+       gen_expr ctx e;
+       emit ctx "    mov r15, %d(r6)" (slot ctx v)
+     | None -> ())
+  | Ast.Break ->
+    (match ctx.loop_stack with
+     | (_, brk) :: _ -> emit ctx "    jmp %s" brk
+     | [] -> fail "internal: break outside loop")
+  | Ast.Continue ->
+    (match ctx.loop_stack with
+     | (cont, _) :: _ -> emit ctx "    jmp %s" cont
+     | [] -> fail "internal: continue outside loop")
+
+let gen_func ctx ~is_entry (f : Ast.func) =
+  let locals = collect_locals f.params f.body in
+  ctx.slots <- List.mapi (fun i v -> (v, -2 * (i + 1))) locals;
+  ctx.epilogue <- fresh ctx ("ret_" ^ f.fname);
+  emit ctx "%s:" f.fname;
+  emit ctx "    push r6";
+  emit ctx "    mov sp, r6";
+  let frame = 2 * List.length locals in
+  if frame > 0 then emit ctx "    sub #%d, sp" frame;
+  (* spill incoming arguments to their frame slots *)
+  List.iteri
+    (fun i p -> emit ctx "    mov r%d, %d(r6)" (15 - i) (slot ctx p))
+    f.params;
+  List.iter (gen_stmt ctx) f.body;
+  emit ctx "%s:" ctx.epilogue;
+  emit ctx "    mov r6, sp";
+  emit ctx "    pop r6";
+  if is_entry then emit ctx "    br #__op_exit" else emit ctx "    ret";
+  emit ctx ""
+
+let generate ~entry env program =
+  let funcs =
+    List.filter_map
+      (fun g -> match g with Ast.Gfunc f -> Some f | _ -> None)
+      program
+  in
+  let entry_f =
+    match List.find_opt (fun f -> f.Ast.fname = entry) funcs with
+    | Some f -> f
+    | None -> fail "entry function %s not found" entry
+  in
+  let others = List.filter (fun f -> f.Ast.fname <> entry) funcs in
+  let ctx =
+    { env; buf = Buffer.create 4096; label_counter = 0; slots = [];
+      loop_stack = []; epilogue = ""; needs = [] }
+  in
+  gen_func ctx ~is_entry:true entry_f;
+  List.iter (gen_func ctx ~is_entry:false) others;
+  let runtime_text h =
+    match h with
+    | "__mulhi" -> runtime_mul
+    | "__divhi" -> runtime_div
+    | "__modhi" -> runtime_mod
+    | "__shlhi" -> runtime_shl
+    | "__shrhi" -> runtime_shr
+    | "__udiv" -> runtime_udiv
+    | h -> fail "internal: unknown runtime %s" h
+  in
+  let needs =
+    (* __udiv after its users so the entry function stays first *)
+    let base = List.rev ctx.needs in
+    if List.mem "__divhi" base || List.mem "__modhi" base then
+      List.filter (fun h -> h <> "__udiv") base @ [ "__udiv" ]
+    else base
+  in
+  List.iter (fun h -> Buffer.add_string ctx.buf (runtime_text h)) needs;
+  let data_buf = Buffer.create 512 in
+  List.iter
+    (fun g ->
+       match g with
+       | Ast.Gvar (n, v) ->
+         Buffer.add_string data_buf (Printf.sprintf "%s:\n    .word %d\n" n v)
+       | Ast.Garray (n, size, inits) ->
+         let padded =
+           inits @ List.init (size - List.length inits) (fun _ -> 0)
+         in
+         Buffer.add_string data_buf
+           (Printf.sprintf "%s:\n    .word %s\n" n
+              (String.concat ", " (List.map string_of_int padded)))
+       | Ast.Gio _ | Ast.Gfunc _ -> ())
+    program;
+  { op_text = Buffer.contents ctx.buf; data_text = Buffer.contents data_buf }

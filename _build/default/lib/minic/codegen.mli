@@ -1,0 +1,28 @@
+(** MiniC code generation to MSP430 assembly text.
+
+    Calling convention (matching the paper's F3 assumption): arguments in
+    r15, r14, ... down to r8; result in r15; r6 is the frame pointer;
+    locals live in the frame at negative offsets; expression temporaries
+    go through the hardware stack, so no value is live in a register
+    across a subexpression. r4 is never touched (reserved for the
+    instrumentation log pointer).
+
+    Flag discipline (contract D3 of the instrumentation passes): every
+    conditional jump is emitted immediately after its [cmp]/[tst]/flag
+    source, with no memory-accessing instruction in between.
+
+    Array loads and stores carry [.annot load/store] bounds annotations
+    consumed by the verifier's out-of-bounds detector. *)
+
+exception Error of string
+
+type output = {
+  op_text : string;
+      (** operation code: entry function first (exiting via
+          [br #__op_exit]), then remaining functions, then any runtime
+          helpers ([__mulhi], [__divhi], ...) the program needs *)
+  data_text : string;
+      (** globals segment: labels, [.word] initializers *)
+}
+
+val generate : entry:string -> Typecheck.env -> Ast.program -> output

@@ -1,0 +1,73 @@
+module W = Dialed_msp430.Word
+
+let fold_binop op a b =
+  let s16 = W.signed16 and m16 = W.mask16 in
+  let bool_ c = Some (if c then 1 else 0) in
+  match op with
+  | Ast.Add -> Some (m16 (a + b))
+  | Ast.Sub -> Some (m16 (a - b))
+  | Ast.Mul -> Some (m16 (a * b))
+  | Ast.Div ->
+    let a = s16 a and b = s16 b in
+    if b = 0 then None
+    else
+      Some (m16 (let q = abs a / abs b in if (a < 0) <> (b < 0) then -q else q))
+  | Ast.Mod ->
+    let a = s16 a and b = s16 b in
+    if b = 0 then None
+    else Some (m16 (let m = abs a mod abs b in if a < 0 then -m else m))
+  | Ast.Band -> Some (m16 a land m16 b)
+  | Ast.Bor -> Some (m16 a lor m16 b)
+  | Ast.Bxor -> Some (m16 a lxor m16 b)
+  | Ast.Shl -> if b < 0 || b > 15 then None else Some (m16 (m16 a lsl b))
+  | Ast.Shr -> if b < 0 || b > 15 then None else Some (m16 (s16 a asr b))
+  | Ast.Eq -> bool_ (m16 a = m16 b)
+  | Ast.Ne -> bool_ (m16 a <> m16 b)
+  | Ast.Lt -> bool_ (s16 a < s16 b)
+  | Ast.Le -> bool_ (s16 a <= s16 b)
+  | Ast.Gt -> bool_ (s16 a > s16 b)
+  | Ast.Ge -> bool_ (s16 a >= s16 b)
+  | Ast.Land -> bool_ (m16 a <> 0 && m16 b <> 0)
+  | Ast.Lor -> bool_ (m16 a <> 0 || m16 b <> 0)
+
+let fold_unop op a =
+  match op with
+  | Ast.Neg -> W.mask16 (-a)
+  | Ast.Bitnot -> W.mask16 (lnot a)
+  | Ast.Lognot -> if W.mask16 a = 0 then 1 else 0
+
+let rec expr e =
+  match e with
+  | Ast.Int _ | Ast.Var _ -> e
+  | Ast.Index (a, i) -> Ast.Index (a, expr i)
+  | Ast.Unop (op, inner) ->
+    (match expr inner with
+     | Ast.Int v -> Ast.Int (fold_unop op v)
+     | inner -> Ast.Unop (op, inner))
+  | Ast.Binop (op, l, r) ->
+    (match expr l, expr r with
+     | Ast.Int a, Ast.Int b ->
+       (match fold_binop op a b with
+        | Some v -> Ast.Int v
+        | None -> Ast.Binop (op, Ast.Int a, Ast.Int b))
+     | l, r -> Ast.Binop (op, l, r))
+  | Ast.Call (f, args) -> Ast.Call (f, List.map expr args)
+
+let rec stmt s =
+  match s with
+  | Ast.Sexpr e -> Ast.Sexpr (expr e)
+  | Ast.Assign (v, e) -> Ast.Assign (v, expr e)
+  | Ast.Store (a, i, e) -> Ast.Store (a, expr i, expr e)
+  | Ast.If (c, t, f) -> Ast.If (expr c, List.map stmt t, List.map stmt f)
+  | Ast.While (c, b) -> Ast.While (expr c, List.map stmt b)
+  | Ast.Return e -> Ast.Return (Option.map expr e)
+  | Ast.Local (v, e) -> Ast.Local (v, Option.map expr e)
+  | Ast.Break | Ast.Continue -> s
+
+let program p =
+  List.map
+    (fun g ->
+       match g with
+       | Ast.Gfunc f -> Ast.Gfunc { f with Ast.body = List.map stmt f.Ast.body }
+       | Ast.Gvar _ | Ast.Garray _ | Ast.Gio _ -> g)
+    p

@@ -1,0 +1,11 @@
+(** Constant folding over the MiniC AST.
+
+    Folds operator applications whose operands are both literal constants,
+    using the same 16-bit two's-complement semantics the generated code
+    has on the device (including C-style truncating division). Nothing
+    else is rewritten — in particular no subtree containing a variable or
+    I/O read is ever elided, so volatile reads and their I-Log entries are
+    preserved exactly. *)
+
+val expr : Ast.expr -> Ast.expr
+val program : Ast.program -> Ast.program

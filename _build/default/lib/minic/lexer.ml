@@ -1,0 +1,117 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type lexed = { tok : token; line : int }
+
+exception Error of int * string
+
+let fail line fmt = Format.kasprintf (fun s -> raise (Error (line, s))) fmt
+
+let keywords =
+  [ "int"; "char"; "void"; "volatile"; "if"; "else"; "while"; "for";
+    "return"; "break"; "continue" ]
+
+(* multi-character punctuation, longest first *)
+let puncts3 = [ "<<="; ">>=" ]
+
+let puncts2 =
+  [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||";
+    "+="; "-="; "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let emit tok = out := { tok; line = !line } :: !out in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin incr line; incr pos end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !pos < n && src.[!pos] <> '\n' do incr pos done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      pos := !pos + 2;
+      let rec skip () =
+        if !pos + 1 >= n then fail !line "unterminated comment"
+        else if src.[!pos] = '*' && src.[!pos + 1] = '/' then pos := !pos + 2
+        else begin
+          if src.[!pos] = '\n' then incr line;
+          incr pos;
+          skip ()
+        end
+      in
+      skip ()
+    end
+    else if c = '\'' then begin
+      (* character literal *)
+      if !pos + 2 < n && src.[!pos + 2] = '\'' then begin
+        emit (INT (Char.code src.[!pos + 1]));
+        pos := !pos + 3
+      end
+      else if !pos + 3 < n && src.[!pos + 1] = '\\' && src.[!pos + 3] = '\'' then begin
+        let v =
+          match src.[!pos + 2] with
+          | 'n' -> 10 | 't' -> 9 | 'r' -> 13 | '0' -> 0
+          | '\\' -> 92 | '\'' -> 39
+          | c -> fail !line "unknown escape \\%c" c
+        in
+        emit (INT v);
+        pos := !pos + 4
+      end
+      else fail !line "malformed character literal"
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        pos := !pos + 2;
+        while !pos < n && is_hex src.[!pos] do incr pos done
+      end
+      else while !pos < n && is_digit src.[!pos] do incr pos done;
+      let text = String.sub src start (!pos - start) in
+      match int_of_string_opt text with
+      | Some v -> emit (INT v)
+      | None -> fail !line "bad number %S" text
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident src.[!pos] do incr pos done;
+      let text = String.sub src start (!pos - start) in
+      if List.mem text keywords then emit (KW text) else emit (IDENT text)
+    end
+    else begin
+      let three =
+        if !pos + 2 < n then Some (String.sub src !pos 3) else None
+      in
+      let two =
+        if !pos + 1 < n then Some (String.sub src !pos 2) else None
+      in
+      match three, two with
+      | Some p, _ when List.mem p puncts3 ->
+        emit (PUNCT p);
+        pos := !pos + 3
+      | _, Some p when List.mem p puncts2 ->
+        emit (PUNCT p);
+        pos := !pos + 2
+      | _ ->
+        (match c with
+         | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^' | '~' | '!'
+         | '<' | '>' | '=' | '(' | ')' | '{' | '}' | '[' | ']'
+         | ';' | ',' | '@' ->
+           emit (PUNCT (String.make 1 c));
+           incr pos
+         | c -> fail !line "unexpected character %C" c)
+    end
+  done;
+  List.rev ({ tok = EOF; line = !line } :: !out)

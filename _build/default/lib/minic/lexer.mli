@@ -1,0 +1,17 @@
+(** MiniC lexer. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW of string        (** int, char, void, volatile, if, else, while,
+                            for, return, break, continue *)
+  | PUNCT of string     (** operators and delimiters, longest-match *)
+  | EOF
+
+type lexed = { tok : token; line : int }
+
+exception Error of int * string
+
+val tokenize : string -> lexed list
+(** Skips [//] and [/* */] comments; numbers are decimal, hex ([0x..]) or
+    character literals. *)

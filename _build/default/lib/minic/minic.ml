@@ -1,0 +1,39 @@
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type compiled = {
+  ast : Ast.program;
+  env : Typecheck.env;
+  op : Dialed_msp430.Program.t;
+  data : Dialed_msp430.Program.t;
+  op_text : string;
+}
+
+let compile ?(entry = "main") ?(optimize = true) source =
+  let ast =
+    try Parser.parse source
+    with
+    | Parser.Error (line, msg) -> fail "parse error, line %d: %s" line msg
+    | Lexer.Error (line, msg) -> fail "lex error, line %d: %s" line msg
+  in
+  let env =
+    try Typecheck.check ast
+    with Typecheck.Error msg -> fail "type error: %s" msg
+  in
+  let ast = if optimize then Fold.program ast else ast in
+  let output =
+    try Codegen.generate ~entry env ast
+    with Codegen.Error msg -> fail "codegen error: %s" msg
+  in
+  let parse_asm what text =
+    try Dialed_msp430.Asm_parse.parse text
+    with Dialed_msp430.Asm_parse.Error (line, msg) ->
+      fail "internal: generated %s does not assemble (line %d: %s)\n%s"
+        what line msg text
+  in
+  let op = parse_asm "code" output.Codegen.op_text in
+  let op = if optimize then Dialed_msp430.Peephole.optimize op else op in
+  { ast; env; op;
+    data = parse_asm "data" output.Codegen.data_text;
+    op_text = output.Codegen.op_text }

@@ -1,0 +1,20 @@
+(** MiniC driver: source text to an operation body + data segment ready
+    for {!Dialed_core.Pipeline.build}. *)
+
+exception Error of string
+(** Wraps lexer/parser/typecheck/codegen errors with positions where
+    available. *)
+
+type compiled = {
+  ast : Ast.program;
+  env : Typecheck.env;
+  op : Dialed_msp430.Program.t;    (** operation body (entry fn first) *)
+  data : Dialed_msp430.Program.t;  (** globals *)
+  op_text : string;                (** the generated assembly, for display *)
+}
+
+val compile : ?entry:string -> ?optimize:bool -> string -> compiled
+(** [entry] defaults to ["main"]; it becomes the attested operation's
+    entry point. [optimize] (default true) applies AST constant folding
+    and the {!Dialed_msp430.Peephole} pass to the generated code; note
+    that [op_text] shows the pre-peephole assembly. *)

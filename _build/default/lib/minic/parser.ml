@@ -1,0 +1,452 @@
+exception Error of int * string
+
+let fail line fmt = Format.kasprintf (fun s -> raise (Error (line, s))) fmt
+
+type state = {
+  toks : Lexer.lexed array;
+  mutable cur : int;
+}
+
+let peek st = st.toks.(st.cur).Lexer.tok
+let line st = st.toks.(st.cur).Lexer.line
+let advance st = st.cur <- st.cur + 1
+
+let eat_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p -> advance st
+  | _ -> fail (line st) "expected %S" p
+
+let try_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p ->
+    advance st;
+    true
+  | _ -> false
+
+let eat_kw st k =
+  match peek st with
+  | Lexer.KW q when q = k -> advance st
+  | _ -> fail (line st) "expected keyword %S" k
+
+let try_kw st k =
+  match peek st with
+  | Lexer.KW q when q = k ->
+    advance st;
+    true
+  | _ -> false
+
+let eat_ident st =
+  match peek st with
+  | Lexer.IDENT id ->
+    advance st;
+    id
+  | _ -> fail (line st) "expected identifier"
+
+let eat_int st =
+  match peek st with
+  | Lexer.INT v ->
+    advance st;
+    v
+  | Lexer.PUNCT "-" ->
+    advance st;
+    (match peek st with
+     | Lexer.INT v ->
+       advance st;
+       -v
+     | _ -> fail (line st) "expected number after '-'")
+  | _ -> fail (line st) "expected number"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing.                                   *)
+
+let binop_of_punct p =
+  match p with
+  | "||" -> Some (Ast.Lor, 1)
+  | "&&" -> Some (Ast.Land, 2)
+  | "|" -> Some (Ast.Bor, 3)
+  | "^" -> Some (Ast.Bxor, 4)
+  | "&" -> Some (Ast.Band, 5)
+  | "==" -> Some (Ast.Eq, 6)
+  | "!=" -> Some (Ast.Ne, 6)
+  | "<" -> Some (Ast.Lt, 7)
+  | "<=" -> Some (Ast.Le, 7)
+  | ">" -> Some (Ast.Gt, 7)
+  | ">=" -> Some (Ast.Ge, 7)
+  | "<<" -> Some (Ast.Shl, 8)
+  | ">>" -> Some (Ast.Shr, 8)
+  | "+" -> Some (Ast.Add, 9)
+  | "-" -> Some (Ast.Sub, 9)
+  | "*" -> Some (Ast.Mul, 10)
+  | "/" -> Some (Ast.Div, 10)
+  | "%" -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let rec parse_expr st = parse_binop st 0
+
+and parse_binop st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_loop = ref true in
+  while !continue_loop do
+    match peek st with
+    | Lexer.PUNCT p ->
+      (match binop_of_punct p with
+       | Some (op, prec) when prec >= min_prec ->
+         advance st;
+         let rhs = parse_binop st (prec + 1) in
+         lhs := Ast.Binop (op, !lhs, rhs)
+       | Some _ | None -> continue_loop := false)
+    | _ -> continue_loop := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.PUNCT "-" ->
+    advance st;
+    Ast.Unop (Ast.Neg, parse_unary st)
+  | Lexer.PUNCT "!" ->
+    advance st;
+    Ast.Unop (Ast.Lognot, parse_unary st)
+  | Lexer.PUNCT "~" ->
+    advance st;
+    Ast.Unop (Ast.Bitnot, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT v ->
+    advance st;
+    Ast.Int v
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    eat_punct st ")";
+    e
+  | Lexer.IDENT id ->
+    advance st;
+    (match peek st with
+     | Lexer.PUNCT "(" ->
+       advance st;
+       let args = parse_args st in
+       Ast.Call (id, args)
+     | Lexer.PUNCT "[" ->
+       advance st;
+       let e = parse_expr st in
+       eat_punct st "]";
+       Ast.Index (id, e)
+     | _ -> Ast.Var id)
+  | _ -> fail (line st) "expected expression"
+
+and parse_args st =
+  if try_punct st ")" then []
+  else begin
+    let rec more acc =
+      let e = parse_expr st in
+      if try_punct st "," then more (e :: acc)
+      else begin
+        eat_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    more []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statements.                                                         *)
+
+let compound_op p =
+  match p with
+  | "+=" -> Some Ast.Add
+  | "-=" -> Some Ast.Sub
+  | "*=" -> Some Ast.Mul
+  | "/=" -> Some Ast.Div
+  | "%=" -> Some Ast.Mod
+  | "&=" -> Some Ast.Band
+  | "|=" -> Some Ast.Bor
+  | "^=" -> Some Ast.Bxor
+  | "<<=" -> Some Ast.Shl
+  | ">>=" -> Some Ast.Shr
+  | _ -> None
+
+(* a "simple" statement: assignment (plain, compound, ++/--), array
+   store, or expression. Compound array stores re-evaluate the index
+   expression, so it must be side-effect free (always true in MiniC). *)
+let parse_simple st =
+  match peek st with
+  | Lexer.IDENT id ->
+    let save = st.cur in
+    advance st;
+    (match peek st with
+     | Lexer.PUNCT "=" ->
+       advance st;
+       Ast.Assign (id, parse_expr st)
+     | Lexer.PUNCT "++" ->
+       advance st;
+       Ast.Assign (id, Ast.Binop (Ast.Add, Ast.Var id, Ast.Int 1))
+     | Lexer.PUNCT "--" ->
+       advance st;
+       Ast.Assign (id, Ast.Binop (Ast.Sub, Ast.Var id, Ast.Int 1))
+     | Lexer.PUNCT p when compound_op p <> None ->
+       advance st;
+       let op = Option.get (compound_op p) in
+       Ast.Assign (id, Ast.Binop (op, Ast.Var id, parse_expr st))
+     | Lexer.PUNCT "[" ->
+       advance st;
+       let idx = parse_expr st in
+       eat_punct st "]";
+       (match peek st with
+        | Lexer.PUNCT "=" ->
+          advance st;
+          Ast.Store (id, idx, parse_expr st)
+        | Lexer.PUNCT "++" ->
+          advance st;
+          Ast.Store (id, idx, Ast.Binop (Ast.Add, Ast.Index (id, idx), Ast.Int 1))
+        | Lexer.PUNCT "--" ->
+          advance st;
+          Ast.Store (id, idx, Ast.Binop (Ast.Sub, Ast.Index (id, idx), Ast.Int 1))
+        | Lexer.PUNCT p when compound_op p <> None ->
+          advance st;
+          let op = Option.get (compound_op p) in
+          Ast.Store (id, idx, Ast.Binop (op, Ast.Index (id, idx), parse_expr st))
+        | _ ->
+          st.cur <- save;
+          Ast.Sexpr (parse_expr st))
+     | _ ->
+       st.cur <- save;
+       Ast.Sexpr (parse_expr st))
+  | _ -> Ast.Sexpr (parse_expr st)
+
+(* rename every reference to [old] into [fresh] (used to give for-loop
+   counters their own scope); redeclaration of [old] inside is rejected *)
+let rename_var line_ old fresh stmts =
+  let rec re e =
+    match e with
+    | Ast.Int _ -> e
+    | Ast.Var v -> if v = old then Ast.Var fresh else e
+    | Ast.Index (a, i) -> Ast.Index (a, re i)
+    | Ast.Unop (u, e) -> Ast.Unop (u, re e)
+    | Ast.Binop (b, l, r) -> Ast.Binop (b, re l, re r)
+    | Ast.Call (f, args) -> Ast.Call (f, List.map re args)
+  in
+  let rec rs s =
+    match s with
+    | Ast.Sexpr e -> Ast.Sexpr (re e)
+    | Ast.Assign (v, e) -> Ast.Assign ((if v = old then fresh else v), re e)
+    | Ast.Store (a, i, e) -> Ast.Store (a, re i, re e)
+    | Ast.If (c, t, f) -> Ast.If (re c, List.map rs t, List.map rs f)
+    | Ast.While (c, b) -> Ast.While (re c, List.map rs b)
+    | Ast.Return e -> Ast.Return (Option.map re e)
+    | Ast.Local (v, e) ->
+      if v = old then
+        fail line_ "redeclaration of for-loop variable %s in its body" v
+      else Ast.Local (v, Option.map re e)
+    | Ast.Break | Ast.Continue -> s
+  in
+  List.map rs stmts
+
+let for_counter = ref 0
+
+let rec no_continue line_ stmts =
+  List.iter
+    (fun s ->
+       match s with
+       | Ast.Continue ->
+         fail line_ "continue inside 'for' is not supported (use while)"
+       | Ast.If (_, t, e) ->
+         no_continue line_ t;
+         no_continue line_ e
+       | Ast.While _ -> () (* an inner while owns its continues *)
+       | _ -> ())
+    stmts
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.KW "int" ->
+    advance st;
+    let id = eat_ident st in
+    let init = if try_punct st "=" then Some (parse_expr st) else None in
+    eat_punct st ";";
+    [ Ast.Local (id, init) ]
+  | Lexer.KW "if" ->
+    advance st;
+    eat_punct st "(";
+    let c = parse_expr st in
+    eat_punct st ")";
+    let t = parse_block st in
+    let e =
+      if try_kw st "else" then
+        match peek st with
+        | Lexer.KW "if" -> parse_stmt st
+        | _ -> parse_block st
+      else []
+    in
+    [ Ast.If (c, t, e) ]
+  | Lexer.KW "while" ->
+    advance st;
+    eat_punct st "(";
+    let c = parse_expr st in
+    eat_punct st ")";
+    [ Ast.While (c, parse_block st) ]
+  | Lexer.KW "for" ->
+    let l = line st in
+    advance st;
+    eat_punct st "(";
+    let decl =
+      if peek st = Lexer.PUNCT ";" then None
+      else if try_kw st "int" then begin
+        let id = eat_ident st in
+        let e = if try_punct st "=" then Some (parse_expr st) else None in
+        Some (id, e)
+      end
+      else None
+    in
+    let init =
+      match decl with
+      | Some _ -> []
+      | None ->
+        if peek st = Lexer.PUNCT ";" then [] else [ parse_simple st ]
+    in
+    eat_punct st ";";
+    let cond = if peek st = Lexer.PUNCT ";" then Ast.Int 1 else parse_expr st in
+    eat_punct st ";";
+    let step = if peek st = Lexer.PUNCT ")" then [] else [ parse_simple st ] in
+    eat_punct st ")";
+    let body = parse_block st in
+    no_continue l body;
+    (match decl with
+     | Some (id, e) ->
+       (* scope the counter: rename it to a fresh internal name *)
+       incr for_counter;
+       let fresh = Printf.sprintf "%s__for%d" id !for_counter in
+       let loop = [ Ast.While (cond, body @ step) ] in
+       Ast.Local (fresh, e) :: rename_var l id fresh loop
+     | None -> init @ [ Ast.While (cond, body @ step) ])
+  | Lexer.KW "return" ->
+    advance st;
+    if try_punct st ";" then [ Ast.Return None ]
+    else begin
+      let e = parse_expr st in
+      eat_punct st ";";
+      [ Ast.Return (Some e) ]
+    end
+  | Lexer.KW "break" ->
+    advance st;
+    eat_punct st ";";
+    [ Ast.Break ]
+  | Lexer.KW "continue" ->
+    advance st;
+    eat_punct st ";";
+    [ Ast.Continue ]
+  | _ ->
+    let s = parse_simple st in
+    eat_punct st ";";
+    [ s ]
+
+and parse_block st =
+  eat_punct st "{";
+  let rec stmts acc =
+    if try_punct st "}" then List.rev acc
+    else stmts (List.rev_append (parse_stmt st) acc)
+  in
+  stmts []
+
+(* ------------------------------------------------------------------ *)
+(* Globals.                                                            *)
+
+let parse_params st =
+  eat_punct st "(";
+  if try_punct st ")" then []
+  else if try_kw st "void" then begin
+    eat_punct st ")";
+    []
+  end
+  else begin
+    let rec more acc =
+      eat_kw st "int";
+      let id = eat_ident st in
+      if try_punct st "," then more (id :: acc)
+      else begin
+        eat_punct st ")";
+        List.rev (id :: acc)
+      end
+    in
+    more []
+  end
+
+let parse_global st =
+  if try_kw st "volatile" then begin
+    let width =
+      if try_kw st "char" then Ast.Wbyte
+      else begin
+        eat_kw st "int";
+        Ast.Wword
+      end
+    in
+    let id = eat_ident st in
+    eat_punct st "@";
+    let addr = eat_int st in
+    eat_punct st ";";
+    Ast.Gio (id, width, addr)
+  end
+  else begin
+    let returns_value =
+      if try_kw st "void" then false
+      else begin
+        eat_kw st "int";
+        true
+      end
+    in
+    let id = eat_ident st in
+    match peek st with
+    | Lexer.PUNCT "(" ->
+      let params = parse_params st in
+      if List.length params > 8 then
+        fail (line st) "at most 8 parameters are supported";
+      let body = parse_block st in
+      Ast.Gfunc { fname = id; params; returns_value; body }
+    | Lexer.PUNCT "[" ->
+      advance st;
+      let size = eat_int st in
+      eat_punct st "]";
+      let inits =
+        if try_punct st "=" then begin
+          eat_punct st "{";
+          let rec more acc =
+            let v = eat_int st in
+            if try_punct st "," then more (v :: acc)
+            else begin
+              eat_punct st "}";
+              List.rev (v :: acc)
+            end
+          in
+          more []
+        end
+        else []
+      in
+      eat_punct st ";";
+      if List.length inits > size then
+        fail (line st) "too many initializers for %s[%d]" id size;
+      Ast.Garray (id, size, inits)
+    | Lexer.PUNCT "=" ->
+      advance st;
+      let v = eat_int st in
+      eat_punct st ";";
+      Ast.Gvar (id, v)
+    | Lexer.PUNCT ";" ->
+      advance st;
+      Ast.Gvar (id, 0)
+    | _ -> fail (line st) "expected '(', '[', '=' or ';' after %s" id
+  end
+
+let parse src =
+  let toks =
+    try Array.of_list (Lexer.tokenize src)
+    with Lexer.Error (l, m) -> raise (Error (l, m))
+  in
+  let st = { toks; cur = 0 } in
+  let rec globals acc =
+    match peek st with
+    | Lexer.EOF -> List.rev acc
+    | _ -> globals (parse_global st :: acc)
+  in
+  globals []

@@ -1,0 +1,6 @@
+(** MiniC recursive-descent parser (precedence climbing for expressions;
+    [for] desugars to [while]). *)
+
+exception Error of int * string
+
+val parse : string -> Ast.program

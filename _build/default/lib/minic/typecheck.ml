@@ -1,0 +1,153 @@
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type kind =
+  | Kglobal
+  | Karray of int
+  | Kio of Ast.io_width * int
+
+type env = {
+  globals : (string * kind) list;
+  funcs : (string * (int * bool)) list;
+}
+
+let lookup_global env name = List.assoc_opt name env.globals
+let lookup_func env name = List.assoc_opt name env.funcs
+
+let collect_env program =
+  let globals = ref [] and funcs = ref [] in
+  let declare_global name kind =
+    if List.mem_assoc name !globals || List.mem_assoc name !funcs then
+      fail "duplicate global name %s" name;
+    globals := (name, kind) :: !globals
+  in
+  List.iter
+    (fun g ->
+       match g with
+       | Ast.Gvar (n, _) -> declare_global n Kglobal
+       | Ast.Garray (n, size, _) ->
+         if size <= 0 then fail "array %s has non-positive size" n;
+         declare_global n (Karray size)
+       | Ast.Gio (n, w, addr) ->
+         if addr < 0 || addr > 0xFFFF then fail "io register %s address out of range" n;
+         declare_global n (Kio (w, addr))
+       | Ast.Gfunc f ->
+         if List.mem_assoc f.fname !funcs || List.mem_assoc f.fname !globals then
+           fail "duplicate global name %s" f.fname;
+         funcs := (f.fname, (List.length f.params, f.returns_value)) :: !funcs)
+    program;
+  { globals = List.rev !globals; funcs = List.rev !funcs }
+
+let rec check_expr env locals ~as_value e =
+  match e with
+  | Ast.Int _ -> ()
+  | Ast.Var v ->
+    if List.mem v locals then ()
+    else
+      (match lookup_global env v with
+       | Some (Kglobal | Kio _) -> ()
+       | Some (Karray _) -> fail "array %s used without an index" v
+       | None -> fail "unknown variable %s" v)
+  | Ast.Index (a, idx) ->
+    (if List.mem a locals then fail "%s is a scalar local, not an array" a
+     else
+       match lookup_global env a with
+       | Some (Karray _) -> ()
+       | Some Kglobal -> fail "%s is a scalar, not an array" a
+       | Some (Kio _) -> fail "io register %s cannot be indexed" a
+       | None -> fail "unknown array %s" a);
+    check_expr env locals ~as_value:true idx
+  | Ast.Unop (_, e) -> check_expr env locals ~as_value:true e
+  | Ast.Binop (_, l, r) ->
+    check_expr env locals ~as_value:true l;
+    check_expr env locals ~as_value:true r
+  | Ast.Call (f, args) ->
+    (match lookup_func env f with
+     | None -> fail "unknown function %s" f
+     | Some (arity, returns_value) ->
+       if List.length args <> arity then
+         fail "%s expects %d argument(s), got %d" f arity (List.length args);
+       if as_value && not returns_value then
+         fail "void function %s used as a value" f);
+    List.iter (check_expr env locals ~as_value:true) args
+
+let rec check_block env locals ~in_loop ~returns_value block =
+  match block with
+  | [] -> locals
+  | stmt :: rest ->
+    let locals =
+      match stmt with
+      | Ast.Sexpr e ->
+        check_expr env locals ~as_value:false e;
+        locals
+      | Ast.Assign (v, e) ->
+        (if List.mem v locals then ()
+         else
+           match lookup_global env v with
+           | Some (Kglobal | Kio _) -> ()
+           | Some (Karray _) -> fail "cannot assign to array %s" v
+           | None -> fail "unknown variable %s" v);
+        check_expr env locals ~as_value:true e;
+        locals
+      | Ast.Store (a, idx, e) ->
+        (if List.mem a locals then fail "%s is a scalar local, not an array" a
+         else
+           match lookup_global env a with
+           | Some (Karray _) -> ()
+           | Some _ -> fail "%s is not an array" a
+           | None -> fail "unknown array %s" a);
+        check_expr env locals ~as_value:true idx;
+        check_expr env locals ~as_value:true e;
+        locals
+      | Ast.If (c, t, f) ->
+        check_expr env locals ~as_value:true c;
+        ignore (check_block env locals ~in_loop ~returns_value t);
+        ignore (check_block env locals ~in_loop ~returns_value f);
+        locals
+      | Ast.While (c, body) ->
+        check_expr env locals ~as_value:true c;
+        ignore (check_block env locals ~in_loop:true ~returns_value body);
+        locals
+      | Ast.Return None ->
+        if returns_value then fail "missing return value";
+        locals
+      | Ast.Return (Some e) ->
+        if not returns_value then fail "void function returns a value";
+        check_expr env locals ~as_value:true e;
+        locals
+      | Ast.Local (v, init) ->
+        if List.mem v locals then fail "duplicate local %s" v;
+        (match init with
+         | Some e -> check_expr env locals ~as_value:true e
+         | None -> ());
+        v :: locals
+      | Ast.Break ->
+        if not in_loop then fail "break outside a loop";
+        locals
+      | Ast.Continue ->
+        if not in_loop then fail "continue outside a loop";
+        locals
+    in
+    check_block env locals ~in_loop ~returns_value rest
+
+let check program =
+  let env = collect_env program in
+  List.iter
+    (fun g ->
+       match g with
+       | Ast.Gfunc f ->
+         let params = f.params in
+         let seen = Hashtbl.create 8 in
+         List.iter
+           (fun p ->
+              if Hashtbl.mem seen p then
+                fail "duplicate parameter %s in %s" p f.fname;
+              Hashtbl.add seen p ())
+           params;
+         ignore
+           (check_block env params ~in_loop:false
+              ~returns_value:f.returns_value f.body)
+       | Ast.Gvar _ | Ast.Garray _ | Ast.Gio _ -> ())
+    program;
+  env

@@ -1,0 +1,1 @@
+lib/msp430/assemble.ml: Array Buffer Char Encode Format Hashtbl Isa List Memory Program String Word

@@ -1,0 +1,1 @@
+lib/msp430/cpu.ml: Array Decode Isa Memory Option Word

@@ -1,0 +1,1 @@
+lib/msp430/disasm.ml: Decode Format Isa List Memory

@@ -1,0 +1,1 @@
+lib/msp430/encode.ml: Format Isa List Word

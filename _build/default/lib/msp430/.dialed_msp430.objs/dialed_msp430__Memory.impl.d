@@ -1,0 +1,1 @@
+lib/msp430/memory.ml: Bytes Char Isa List String Word

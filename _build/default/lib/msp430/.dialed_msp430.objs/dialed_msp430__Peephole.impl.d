@@ -1,0 +1,1 @@
+lib/msp430/peephole.ml: Isa List Option Program

@@ -1,0 +1,1 @@
+lib/msp430/peripherals.ml: List Memory Queue Word

@@ -1,0 +1,1 @@
+lib/msp430/trace.ml: Cpu Format Isa List Memory

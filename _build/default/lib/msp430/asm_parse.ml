@@ -1,0 +1,341 @@
+exception Error of int * string
+
+let fail line fmt = Format.kasprintf (fun s -> raise (Error (line, s))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Tokens within a line are separated lexically by hand; the grammar is
+   simple enough that a recursive-descent scan over the line suffices.  *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9') || c = '_' || c = '.' || c = '$'
+
+let strip_comment s =
+  match String.index_opt s ';' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let trim = String.trim
+
+(* Expression grammar: term (('+'|'-') term)*, term = number | identifier. *)
+let parse_expr line s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do incr pos done
+  in
+  let parse_number_or_ident () =
+    skip_ws ();
+    let start = !pos in
+    if !pos < n && s.[!pos] = '\'' then begin
+      (* character literal 'c' *)
+      if !pos + 2 < n && s.[!pos + 2] = '\'' then begin
+        let c = Char.code s.[!pos + 1] in
+        pos := !pos + 3;
+        Program.Num c
+      end
+      else fail line "malformed character literal in %S" s
+    end
+    else begin
+      while !pos < n && is_ident_char s.[!pos] do incr pos done;
+      if !pos = start then fail line "expected expression in %S" s;
+      let tok = String.sub s start (!pos - start) in
+      let c = tok.[0] in
+      if (c >= '0' && c <= '9') then
+        match int_of_string_opt tok with
+        | Some v -> Program.Num v
+        | None -> fail line "bad number %S" tok
+      else Program.Lab tok
+    end
+  in
+  let parse_term () =
+    skip_ws ();
+    match peek () with
+    | Some '-' ->
+      incr pos;
+      (match parse_number_or_ident () with
+       | Program.Num v -> Program.Num (-v)
+       | e -> Program.Sub (Program.Num 0, e))
+    | Some '+' ->
+      incr pos;
+      parse_number_or_ident ()
+    | _ -> parse_number_or_ident ()
+  in
+  let rec parse_sum acc =
+    skip_ws ();
+    match peek () with
+    | Some '+' ->
+      incr pos;
+      let t = parse_term () in
+      parse_sum (Program.Add (acc, t))
+    | Some '-' ->
+      incr pos;
+      let t = parse_term () in
+      parse_sum (Program.Sub (acc, t))
+    | Some c -> fail line "unexpected %C in expression %S" c s
+    | None -> acc
+  in
+  let e = parse_sum (parse_term ()) in
+  skip_ws ();
+  if !pos <> n then fail line "trailing junk in expression %S" s;
+  e
+
+let parse_operand line s =
+  let s = trim s in
+  if s = "" then fail line "empty operand"
+  else if s.[0] = '#' then
+    Program.Imm (parse_expr line (String.sub s 1 (String.length s - 1)))
+  else if s.[0] = '&' then
+    Program.Abs (parse_expr line (String.sub s 1 (String.length s - 1)))
+  else if s.[0] = '@' then begin
+    let rest = String.sub s 1 (String.length s - 1) in
+    if String.length rest > 0 && rest.[String.length rest - 1] = '+' then
+      let rname = trim (String.sub rest 0 (String.length rest - 1)) in
+      match Isa.reg_of_name rname with
+      | Some r -> Program.Ind_inc r
+      | None -> fail line "bad register %S" rname
+    else
+      match Isa.reg_of_name (trim rest) with
+      | Some r -> Program.Ind r
+      | None -> fail line "bad register %S" rest
+  end
+  else
+    match Isa.reg_of_name s with
+    | Some r -> Program.Reg r
+    | None ->
+      (* X(Rn) indexed, else bare expression = absolute address *)
+      (match String.index_opt s '(' with
+       | Some i when s.[String.length s - 1] = ')' ->
+         let xs = String.sub s 0 i in
+         let rs = String.sub s (i + 1) (String.length s - i - 2) in
+         (match Isa.reg_of_name (trim rs) with
+          | Some r -> Program.Indexed (parse_expr line (trim xs), r)
+          | None -> fail line "bad register in %S" s)
+       | Some _ | None -> Program.Abs (parse_expr line s))
+
+(* ------------------------------------------------------------------ *)
+(* Mnemonic tables.                                                    *)
+
+let two_ops =
+  [ ("mov", Isa.MOV); ("add", Isa.ADD); ("addc", Isa.ADDC);
+    ("subc", Isa.SUBC); ("sub", Isa.SUB); ("cmp", Isa.CMP);
+    ("dadd", Isa.DADD); ("bit", Isa.BIT); ("bic", Isa.BIC);
+    ("bis", Isa.BIS); ("xor", Isa.XOR); ("and", Isa.AND) ]
+
+let one_ops =
+  [ ("rrc", Isa.RRC); ("swpb", Isa.SWPB); ("rra", Isa.RRA);
+    ("sxt", Isa.SXT); ("push", Isa.PUSH); ("call", Isa.CALL) ]
+
+let jumps =
+  [ ("jne", Isa.JNE); ("jnz", Isa.JNE); ("jeq", Isa.JEQ); ("jz", Isa.JEQ);
+    ("jnc", Isa.JNC); ("jlo", Isa.JNC); ("jc", Isa.JC); ("jhs", Isa.JC);
+    ("jn", Isa.JN); ("jge", Isa.JGE); ("jl", Isa.JL); ("jmp", Isa.JMP) ]
+
+let split_mnemonic line m =
+  match String.index_opt m '.' with
+  | None -> (m, Isa.Word)
+  | Some i ->
+    let base = String.sub m 0 i in
+    (match String.sub m (i + 1) (String.length m - i - 1) with
+     | "b" -> (base, Isa.Byte)
+     | "w" -> (base, Isa.Word)
+     | sfx -> fail line "unknown size suffix .%s" sfx)
+
+let split_operands line rest =
+  (* split on top-level commas (no nesting possible in this syntax) *)
+  let rest = trim rest in
+  if rest = "" then []
+  else
+    String.split_on_char ',' rest
+    |> List.map (fun s ->
+        let s = trim s in
+        if s = "" then fail line "empty operand" else s)
+
+(* Expansion of emulated mnemonics to core instructions. *)
+let expand_emulated line name size ops =
+  let sr_op mask set =
+    let op = if set then Isa.BIS else Isa.BIC in
+    [ Program.Instr (Program.Two (op, Isa.Word, Program.Imm (Program.Num mask),
+                                  Program.Reg Isa.sr)) ]
+  in
+  let unary core imm =
+    match ops with
+    | [ dst ] ->
+      [ Program.Instr (Program.Two (core, size, Program.Imm (Program.Num imm), dst)) ]
+    | _ -> fail line "%s expects one operand" name
+  in
+  let self core =
+    match ops with
+    | [ dst ] -> [ Program.Instr (Program.Two (core, size, dst, dst)) ]
+    | _ -> fail line "%s expects one operand" name
+  in
+  match name, ops with
+  | "nop", [] ->
+    [ Program.Instr (Program.Two (Isa.MOV, Isa.Word, Program.Imm (Program.Num 0),
+                                  Program.Reg Isa.cg)) ]
+  | "ret", [] ->
+    [ Program.Instr (Program.Two (Isa.MOV, Isa.Word, Program.Ind_inc Isa.sp,
+                                  Program.Reg Isa.pc)) ]
+  | "pop", [ dst ] ->
+    [ Program.Instr (Program.Two (Isa.MOV, size, Program.Ind_inc Isa.sp, dst)) ]
+  | "br", [ src ] ->
+    [ Program.Instr (Program.Two (Isa.MOV, Isa.Word, src, Program.Reg Isa.pc)) ]
+  | "clr", _ -> unary Isa.MOV 0
+  | "inc", _ -> unary Isa.ADD 1
+  | "incd", _ -> unary Isa.ADD 2
+  | "dec", _ -> unary Isa.SUB 1
+  | "decd", _ -> unary Isa.SUB 2
+  | "inv", _ -> unary Isa.XOR 0xFFFF
+  | "tst", _ -> unary Isa.CMP 0
+  | "adc", _ -> unary Isa.ADDC 0
+  | "sbc", _ -> unary Isa.SUBC 0
+  | "dadc", _ -> unary Isa.DADD 0
+  | "rla", _ -> self Isa.ADD
+  | "rlc", _ -> self Isa.ADDC
+  | "clrc", [] -> sr_op 1 false
+  | "setc", [] -> sr_op 1 true
+  | "clrz", [] -> sr_op 2 false
+  | "setz", [] -> sr_op 2 true
+  | "clrn", [] -> sr_op 4 false
+  | "setn", [] -> sr_op 4 true
+  | "dint", [] -> sr_op 8 false
+  | "eint", [] -> sr_op 8 true
+  | _ -> fail line "unknown mnemonic %S (or wrong operand count)" name
+
+(* ------------------------------------------------------------------ *)
+
+let self_label_counter = ref 0
+
+let parse_instruction line text =
+  let text = trim text in
+  let mnemonic, rest =
+    match String.index_opt text ' ', String.index_opt text '\t' with
+    | None, None -> (text, "")
+    | Some i, None | None, Some i ->
+      (String.sub text 0 i, String.sub text i (String.length text - i))
+    | Some i, Some j ->
+      let i = min i j in
+      (String.sub text 0 i, String.sub text i (String.length text - i))
+  in
+  let mnemonic = String.lowercase_ascii mnemonic in
+  let name, size = split_mnemonic line mnemonic in
+  match List.assoc_opt name jumps with
+  | Some cond ->
+    let target = trim rest in
+    if target = "" then fail line "jump needs a target"
+    else if target = "$" then begin
+      incr self_label_counter;
+      let l = Printf.sprintf "__self_%d" !self_label_counter in
+      [ Program.Label l; Program.Instr (Program.Jump (cond, l)) ]
+    end
+    else [ Program.Instr (Program.Jump (cond, target)) ]
+  | None ->
+    if name = "reti" then [ Program.Instr Program.Reti ]
+    else
+      let ops = List.map (parse_operand line) (split_operands line rest) in
+      match List.assoc_opt name two_ops with
+      | Some op ->
+        (match ops with
+         | [ s; d ] -> [ Program.Instr (Program.Two (op, size, s, d)) ]
+         | _ -> fail line "%s expects two operands" name)
+      | None ->
+        (match List.assoc_opt name one_ops with
+         | Some op ->
+           (match ops with
+            | [ s ] -> [ Program.Instr (Program.One (op, size, s)) ]
+            | _ -> fail line "%s expects one operand" name)
+         | None -> expand_emulated line name size ops)
+
+let parse_directive line text =
+  let text = trim text in
+  let directive, rest =
+    match String.index_opt text ' ' with
+    | None -> (text, "")
+    | Some i -> (String.sub text 0 i, trim (String.sub text i (String.length text - i)))
+  in
+  match String.lowercase_ascii directive with
+  | ".org" ->
+    (match parse_expr line rest with
+     | Program.Num a -> [ Program.Org a ]
+     | _ -> fail line ".org requires a numeric address")
+  | ".word" ->
+    [ Program.Word_data (List.map (parse_expr line) (split_operands line rest)) ]
+  | ".byte" ->
+    let bytes =
+      List.map
+        (fun s ->
+           match parse_expr line s with
+           | Program.Num v -> v land 0xFF
+           | _ -> fail line ".byte requires numeric values")
+        (split_operands line rest)
+    in
+    [ Program.Byte_data bytes ]
+  | ".ascii" ->
+    (match String.length rest with
+     | n when n >= 2 && rest.[0] = '"' && rest.[n - 1] = '"' ->
+       [ Program.Ascii (String.sub rest 1 (n - 2)) ]
+     | _ -> fail line ".ascii requires a quoted string")
+  | ".space" ->
+    (match parse_expr line rest with
+     | Program.Num n -> [ Program.Space n ]
+     | _ -> fail line ".space requires a number")
+  | ".align" -> [ Program.Align ]
+  | ".annot" ->
+    (* .annot store <name> <base expr> <size> | .annot load ... |
+       .annot logcf | .annot loginput | .annot line <text> *)
+    (match String.split_on_char ' ' rest |> List.filter (fun s -> s <> "") with
+     | [ "store"; name; base; size ] ->
+       (match int_of_string_opt size with
+        | Some size_bytes ->
+          [ Program.Annot
+              (Program.Array_store
+                 { array_name = name; base = parse_expr line base; size_bytes }) ]
+        | None -> fail line ".annot store: bad size %S" size)
+     | [ "load"; name; base; size ] ->
+       (match int_of_string_opt size with
+        | Some size_bytes ->
+          [ Program.Annot
+              (Program.Array_load
+                 { array_name = name; base = parse_expr line base; size_bytes }) ]
+        | None -> fail line ".annot load: bad size %S" size)
+     | [ "logcf" ] -> [ Program.Annot (Program.Log_site `Cf) ]
+     | [ "loginput" ] -> [ Program.Annot (Program.Log_site `Input) ]
+     | "line" :: words ->
+       [ Program.Annot (Program.Src_line (String.concat " " words)) ]
+     | _ -> fail line "malformed .annot %S" rest)
+  | d -> fail line "unknown directive %S" d
+
+let parse_line lineno raw =
+  let text = trim (strip_comment raw) in
+  if text = "" then []
+  else
+    (* label prefix? *)
+    let label, rest =
+      match String.index_opt text ':' with
+      | Some i
+        when (let l = String.sub text 0 i in
+              l <> "" && String.for_all is_ident_char l) ->
+        (Some (String.sub text 0 i),
+         trim (String.sub text (i + 1) (String.length text - i - 1)))
+      | Some _ | None -> (None, text)
+    in
+    let prefix = match label with Some l -> [ Program.Label l ] | None -> [] in
+    if rest = "" then prefix
+    else if rest.[0] = '.' then prefix @ parse_directive lineno rest
+    else
+      (* symbol definition name = expr ? *)
+      match String.index_opt rest '=' with
+      | Some i
+        when (let l = trim (String.sub rest 0 i) in
+              l <> "" && String.for_all is_ident_char l
+              && not (String.contains (String.sub rest 0 i) '#')) ->
+        let name = trim (String.sub rest 0 i) in
+        let e = parse_expr lineno (trim (String.sub rest (i + 1) (String.length rest - i - 1))) in
+        prefix @ [ Program.Equ (name, e) ]
+      | Some _ | None -> prefix @ parse_instruction lineno rest
+
+let parse_lines lines =
+  List.concat (List.mapi (fun i l -> parse_line (i + 1) l) lines)
+
+let parse text = parse_lines (String.split_on_char '\n' text)

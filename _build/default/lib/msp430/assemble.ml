@@ -1,0 +1,318 @@
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type image = {
+  segments : (int * string) list;
+  symbols : (string * int) list;
+  listing : (int * Isa.instr) list;
+  annots : (int * Program.annot list) list;
+}
+
+let cg_immediate n =
+  match n land 0xFFFF with
+  | 0 | 1 | 2 | 4 | 8 | 0xFFFF -> true
+  | _ -> false
+
+let src_words o =
+  match o with
+  | Program.Reg _ | Program.Ind _ | Program.Ind_inc _ -> 0
+  | Program.Imm (Program.Num n) -> if cg_immediate n then 0 else 1
+  | Program.Imm _ -> 1
+  | Program.Indexed _ | Program.Abs _ -> 1
+
+let dst_words o =
+  match o with
+  | Program.Reg _ -> 0
+  | Program.Indexed _ | Program.Abs _ -> 1
+  | Program.Imm _ | Program.Ind _ | Program.Ind_inc _ ->
+    fail "invalid destination operand %a" Program.pp_operand o
+
+(* Jump relaxation (like any real assembler): a conditional/unconditional
+   jump whose target exceeds the format-III +-1 KiB range is rewritten:
+     jmp L            ->  mov #L, pc                        (4 bytes)
+     j<cc> L          ->  j<!cc> +2w; mov #L, pc            (6 bytes)
+     jn L             ->  jn +1w; jmp +2w; mov #L, pc       (8 bytes)
+   (JN has no inverse condition code.) The layout loop grows monotonically
+   and re-runs until no new jump needs relaxing. *)
+let relaxed_bytes cond =
+  match cond with
+  | Isa.JMP -> 4
+  | Isa.JN -> 8
+  | Isa.JNE | Isa.JEQ | Isa.JNC | Isa.JC | Isa.JGE | Isa.JL -> 6
+
+let invert_cond cond =
+  match cond with
+  | Isa.JNE -> Isa.JEQ
+  | Isa.JEQ -> Isa.JNE
+  | Isa.JNC -> Isa.JC
+  | Isa.JC -> Isa.JNC
+  | Isa.JGE -> Isa.JL
+  | Isa.JL -> Isa.JGE
+  | Isa.JN | Isa.JMP -> assert false
+
+let instr_bytes ~relaxed idx i =
+  match i with
+  | Program.Two (_, _, s, d) -> 2 * (1 + src_words s + dst_words d)
+  | Program.One (_, _, s) -> 2 * (1 + src_words s)
+  | Program.Jump (cond, _) ->
+    if Hashtbl.mem relaxed idx then relaxed_bytes cond else 2
+  | Program.Reti -> 2
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: layout.                                                     *)
+
+let layout ~relaxed items =
+  let labels = Hashtbl.create 64 in
+  let bind name addr =
+    if Hashtbl.mem labels name then fail "duplicate label %s" name
+    else Hashtbl.add labels name addr
+  in
+  let equs = ref [] in
+  let lc = ref 0 in
+  let even_for what =
+    if !lc land 1 = 1 then fail "%s at odd address 0x%04x (missing .align?)" what !lc
+  in
+  Array.iteri
+    (fun idx item ->
+       match item with
+       | Program.Label l -> bind l !lc
+       | Program.Instr i | Program.Synth i ->
+         even_for "instruction";
+         lc := !lc + instr_bytes ~relaxed idx i
+       | Program.Word_data es ->
+         even_for ".word";
+         lc := !lc + (2 * List.length es)
+       | Program.Byte_data bs -> lc := !lc + List.length bs
+       | Program.Ascii s -> lc := !lc + String.length s
+       | Program.Space n -> lc := !lc + n
+       | Program.Align -> if !lc land 1 = 1 then incr lc
+       | Program.Org a -> lc := a
+       | Program.Equ (name, e) ->
+         if Hashtbl.mem labels name then fail "duplicate symbol %s" name;
+         equs := (name, e) :: !equs
+       | Program.Annot _ | Program.Comment _ -> ())
+    items;
+  (labels, List.rev !equs)
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: symbol resolution.                                          *)
+
+let resolve_symbols labels equs =
+  let table = Hashtbl.copy labels in
+  let visiting = Hashtbl.create 8 in
+  let rec eval e =
+    match e with
+    | Program.Num n -> n
+    | Program.Lab l -> lookup l
+    | Program.Add (a, b) -> eval a + eval b
+    | Program.Sub (a, b) -> eval a - eval b
+  and lookup name =
+    match Hashtbl.find_opt table name with
+    | Some v -> v
+    | None ->
+      (match List.assoc_opt name equs with
+       | None -> fail "undefined symbol %s" name
+       | Some e ->
+         if Hashtbl.mem visiting name then fail "cyclic definition of %s" name;
+         Hashtbl.add visiting name ();
+         let v = eval e in
+         Hashtbl.remove visiting name;
+         Hashtbl.add table name v;
+         v)
+  in
+  List.iter (fun (name, _) -> ignore (lookup name)) equs;
+  (table, eval)
+
+(* ------------------------------------------------------------------ *)
+(* Relaxation check: after a layout, find jumps out of range.          *)
+
+let find_new_relaxations ~relaxed items labels eval =
+  (* recompute each jump's address with the current layout and test the
+     word offset against the signed 10-bit field *)
+  let lc = ref 0 in
+  let fresh = ref [] in
+  Array.iteri
+    (fun idx item ->
+       match item with
+       | Program.Instr i | Program.Synth i ->
+         (match i with
+          | Program.Jump (_, target) when not (Hashtbl.mem relaxed idx) ->
+            let taddr =
+              match Hashtbl.find_opt labels target with
+              | Some a -> a
+              | None -> eval (Program.Lab target)
+            in
+            let off = (taddr - (!lc + 2)) asr 1 in
+            if off < -512 || off > 511 then fresh := idx :: !fresh
+          | _ -> ());
+         lc := !lc + instr_bytes ~relaxed idx i
+       | Program.Label _ | Program.Equ _ | Program.Annot _
+       | Program.Comment _ -> ()
+       | Program.Word_data es -> lc := !lc + (2 * List.length es)
+       | Program.Byte_data bs -> lc := !lc + List.length bs
+       | Program.Ascii s -> lc := !lc + String.length s
+       | Program.Space n -> lc := !lc + n
+       | Program.Align -> if !lc land 1 = 1 then incr lc
+       | Program.Org a -> lc := a)
+    items;
+  !fresh
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: emission.                                                   *)
+
+let to_concrete eval i lc =
+  let conv_src o =
+    match o with
+    | Program.Reg r -> (Isa.Sreg r, false)
+    | Program.Imm (Program.Num n) -> (Isa.Simm (Word.mask16 n), false)
+    | Program.Imm e -> (Isa.Simm (Word.mask16 (eval e)), true)
+    | Program.Indexed (e, r) -> (Isa.Sindexed (Word.mask16 (eval e), r), false)
+    | Program.Abs e -> (Isa.Sabsolute (Word.mask16 (eval e)), false)
+    | Program.Ind r -> (Isa.Sindirect r, false)
+    | Program.Ind_inc r -> (Isa.Sindirect_inc r, false)
+  in
+  let conv_dst o =
+    match o with
+    | Program.Reg r -> Isa.Dreg r
+    | Program.Indexed (e, r) -> Isa.Dindexed (Word.mask16 (eval e), r)
+    | Program.Abs e -> Isa.Dabsolute (Word.mask16 (eval e))
+    | Program.Imm _ | Program.Ind _ | Program.Ind_inc _ ->
+      fail "invalid destination operand %a" Program.pp_operand o
+  in
+  match i with
+  | Program.Two (op, size, s, d) ->
+    let s, no_cg = conv_src s in
+    (Isa.Two (op, size, s, conv_dst d), no_cg)
+  | Program.One (op, size, s) ->
+    let s, no_cg = conv_src s in
+    (Isa.One (op, size, s), no_cg)
+  | Program.Jump (c, target) ->
+    let taddr = eval (Program.Lab target) in
+    let delta = taddr - (lc + 2) in
+    if delta land 1 = 1 then fail "jump %s to odd address 0x%04x" target taddr;
+    (Isa.Jump (c, delta asr 1), false)
+  | Program.Reti -> (Isa.Reti, false)
+
+(* the concrete instruction sequence for a relaxed jump at address [lc] *)
+let relax_jump eval cond target lc =
+  let taddr = Word.mask16 (eval (Program.Lab target)) in
+  let branch = Isa.Two (Isa.MOV, Isa.Word, Isa.Simm taddr, Isa.Dreg 0) in
+  match cond with
+  | Isa.JMP -> [ branch ]
+  | Isa.JN ->
+    (* jn +1w; jmp +2w; mov #target, pc *)
+    ignore lc;
+    [ Isa.Jump (Isa.JN, 1); Isa.Jump (Isa.JMP, 2); branch ]
+  | cond -> [ Isa.Jump (invert_cond cond, 2); branch ]
+
+let assemble prog =
+  let items = Array.of_list prog in
+  let relaxed = Hashtbl.create 8 in
+  (* iterate layout until no jump newly exceeds its range; relaxation only
+     grows code, so the set grows monotonically and the loop terminates *)
+  let rec settle n =
+    if n = 0 then fail "jump relaxation did not converge";
+    let labels, equs = layout ~relaxed items in
+    let _, eval = resolve_symbols labels equs in
+    match find_new_relaxations ~relaxed items labels eval with
+    | [] -> (labels, equs)
+    | fresh ->
+      List.iter (fun idx -> Hashtbl.replace relaxed idx ()) fresh;
+      settle (n - 1)
+  in
+  let labels, equs = settle 32 in
+  let table, eval = resolve_symbols labels equs in
+  let segments = ref [] in
+  let seg_base = ref 0 in
+  let buf = Buffer.create 256 in
+  let flush_segment () =
+    if Buffer.length buf > 0 then begin
+      segments := (!seg_base, Buffer.contents buf) :: !segments;
+      Buffer.clear buf
+    end
+  in
+  let listing = ref [] in
+  let annots = ref [] in
+  let pending_annots = ref [] in
+  let lc () = !seg_base + Buffer.length buf in
+  let emit_byte b = Buffer.add_char buf (Char.chr (b land 0xFF)) in
+  let emit_word w =
+    emit_byte (Word.low_byte w);
+    emit_byte (Word.high_byte w)
+  in
+  let emit_concrete addr i ~imm_no_cg =
+    let words =
+      try Encode.encode_gen ~imm_no_cg i
+      with Encode.Unencodable msg ->
+        fail "at 0x%04x (%a): %s" addr Isa.pp i msg
+    in
+    List.iter emit_word words;
+    listing := (addr, i) :: !listing
+  in
+  Array.iteri
+    (fun idx item ->
+       match item with
+       | Program.Label _ | Program.Equ _ | Program.Comment _ -> ()
+       | Program.Annot a -> pending_annots := a :: !pending_annots
+       | Program.Instr i | Program.Synth i ->
+         let addr = lc () in
+         let expected = instr_bytes ~relaxed idx i in
+         (match i with
+          | Program.Jump (cond, target) when Hashtbl.mem relaxed idx ->
+            List.iter
+              (fun concrete -> emit_concrete (lc ()) concrete ~imm_no_cg:true)
+              (relax_jump eval cond target addr)
+          | _ ->
+            let concrete, imm_no_cg = to_concrete eval i addr in
+            emit_concrete addr concrete ~imm_no_cg);
+         if lc () - addr <> expected then
+           fail "internal: size drift at 0x%04x (%a)" addr Program.pp_instr i;
+         if !pending_annots <> [] then begin
+           annots := (addr, List.rev !pending_annots) :: !annots;
+           pending_annots := []
+         end
+       | Program.Word_data es -> List.iter (fun e -> emit_word (eval e)) es
+       | Program.Byte_data bs -> List.iter emit_byte bs
+       | Program.Ascii s -> String.iter (fun c -> emit_byte (Char.code c)) s
+       | Program.Space n ->
+         for _ = 1 to n do emit_byte 0 done
+       | Program.Align -> if lc () land 1 = 1 then emit_byte 0
+       | Program.Org a ->
+         flush_segment ();
+         seg_base := a)
+    items;
+  flush_segment ();
+  let symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] in
+  { segments = List.rev !segments;
+    symbols = List.sort compare symbols;
+    listing = List.rev !listing;
+    annots = List.rev !annots }
+
+let symbol img name =
+  match List.assoc_opt name img.symbols with
+  | Some v -> v
+  | None -> raise Not_found
+
+let symbol_opt img name = List.assoc_opt name img.symbols
+
+let load img mem =
+  List.iter (fun (base, bytes) -> Memory.load_image mem ~addr:base bytes)
+    img.segments
+
+let code_size_bytes img =
+  List.fold_left (fun acc (_, bytes) -> acc + String.length bytes) 0
+    img.segments
+
+let segment_range img ~base =
+  List.find_map
+    (fun (b, bytes) ->
+       if b = base && String.length bytes > 0 then
+         Some (b, b + String.length bytes - 1)
+       else None)
+    img.segments
+
+let annots_at img addr =
+  match List.assoc_opt addr img.annots with
+  | Some l -> l
+  | None -> []

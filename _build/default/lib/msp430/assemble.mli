@@ -1,0 +1,37 @@
+(** Two-pass assembler: {!Program.t} to a loadable binary image.
+
+    Pass 1 lays out items and binds labels; pass 2 resolves expressions and
+    emits bytes. [.org] directives split the output into segments (typically
+    one RAM/data segment and one flash/code segment). *)
+
+exception Error of string
+
+type image = {
+  segments : (int * string) list;
+      (** (base address, raw bytes), in program order *)
+  symbols : (string * int) list;
+      (** every label and [=] definition *)
+  listing : (int * Isa.instr) list;
+      (** address of each emitted instruction with its concrete decoding,
+          in address order per segment *)
+  annots : (int * Program.annot list) list;
+      (** instruction address -> annotations that preceded it *)
+}
+
+val assemble : Program.t -> image
+
+val symbol : image -> string -> int
+(** Raises [Not_found]. *)
+
+val symbol_opt : image -> string -> int option
+
+val load : image -> Memory.t -> unit
+(** Copy all segments into memory (host access, untraced). *)
+
+val code_size_bytes : image -> int
+(** Total bytes across all segments — the paper's Fig 6(a) metric. *)
+
+val segment_range : image -> base:int -> (int * int) option
+(** [(lo, hi)] inclusive byte range of the segment starting at [base]. *)
+
+val annots_at : image -> int -> Program.annot list

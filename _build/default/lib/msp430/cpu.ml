@@ -1,0 +1,338 @@
+type halt_reason =
+  | Self_jump of int
+  | Bad_opcode of int * int
+
+type step_info = {
+  pc_before : int;
+  instr : Isa.instr;
+  pc_after : int;
+  accesses : Memory.access list;
+  irq_taken : bool;
+  step_cycles : int;
+}
+
+type t = {
+  regs : int array;
+  mem : Memory.t;
+  mutable total_cycles : int;
+  mutable total_steps : int;
+  mutable halt : halt_reason option;
+  mutable irq : int option; (* pending vector *)
+}
+
+let create mem =
+  { regs = Array.make 16 0; mem; total_cycles = 0; total_steps = 0;
+    halt = None; irq = None }
+
+let memory t = t.mem
+let cycles t = t.total_cycles
+let steps t = t.total_steps
+let halted t = t.halt
+let reset_halt t = t.halt <- None
+
+let get_reg t r = t.regs.(r)
+
+let set_reg t r v =
+  if r = Isa.pc then t.regs.(r) <- v land 0xFFFE
+  else t.regs.(r) <- Word.mask16 v
+
+(* Status register bits. *)
+let bit_of_flag f =
+  match f with `C -> 0 | `Z -> 1 | `N -> 2 | `GIE -> 3 | `V -> 8
+
+let get_flag t f = Word.bit (bit_of_flag f) t.regs.(Isa.sr)
+
+let set_flag t f b =
+  t.regs.(Isa.sr) <- Word.set_bit (bit_of_flag f) b t.regs.(Isa.sr)
+
+let request_irq t ~vector = t.irq <- Some vector
+let irq_pending t = t.irq <> None
+
+let mask size v = match size with Isa.Byte -> Word.mask8 v | Isa.Word -> Word.mask16 v
+let is_neg size v = match size with Isa.Byte -> Word.is_neg8 v | Isa.Word -> Word.is_neg16 v
+let msb_carry size = match size with Isa.Byte -> 0x100 | Isa.Word -> 0x10000
+
+(* Effective address of a memory source operand, applying auto-increment.
+   Returns [None] for operands that are not memory (register / immediate). *)
+let src_ea t size s =
+  match s with
+  | Isa.Sreg _ | Isa.Simm _ -> None
+  | Isa.Sindexed (x, r) -> Some (Word.mask16 (t.regs.(r) + x))
+  | Isa.Sabsolute a -> Some (Word.mask16 a)
+  | Isa.Sindirect r -> Some t.regs.(r)
+  | Isa.Sindirect_inc r ->
+    let ea = t.regs.(r) in
+    let inc =
+      match size with
+      | Isa.Byte when r <> Isa.pc && r <> Isa.sp -> 1
+      | Isa.Byte | Isa.Word -> 2
+    in
+    t.regs.(r) <- Word.mask16 (t.regs.(r) + inc);
+    Some ea
+
+let src_value t size s =
+  match s with
+  | Isa.Sreg r -> mask size t.regs.(r)
+  | Isa.Simm n -> mask size n
+  | s ->
+    (match src_ea t size s with
+     | Some ea -> Memory.read t.mem size ea
+     | None -> assert false)
+
+let dst_ea t d =
+  match d with
+  | Isa.Dreg _ -> None
+  | Isa.Dindexed (x, r) -> Some (Word.mask16 (t.regs.(r) + x))
+  | Isa.Dabsolute a -> Some (Word.mask16 a)
+
+let read_dst t size d ea =
+  match d, ea with
+  | Isa.Dreg r, _ -> mask size t.regs.(r)
+  | _, Some ea -> Memory.read t.mem size ea
+  | _, None -> assert false
+
+let write_dst t size d ea v =
+  match d, ea with
+  | Isa.Dreg r, _ ->
+    (* Byte writes to a register clear the high byte. *)
+    set_reg t r (mask size v)
+  | _, Some ea -> Memory.write t.mem size ea v
+  | _, None -> assert false
+
+let set_nz t size r =
+  set_flag t `N (is_neg size r);
+  set_flag t `Z (mask size r = 0)
+
+let add_common t size a b carry_in =
+  let raw = a + b + carry_in in
+  let r = mask size raw in
+  set_flag t `C (raw >= msb_carry size);
+  set_flag t `V (is_neg size a = is_neg size b && is_neg size r <> is_neg size a);
+  set_nz t size r;
+  r
+
+(* dst - src = dst + ~src + 1; SUBC uses the carry instead of the 1. *)
+let sub_common t size src dst carry_in =
+  let nsrc = mask size (lnot src) in
+  let raw = dst + nsrc + carry_in in
+  let r = mask size raw in
+  set_flag t `C (raw >= msb_carry size);
+  set_flag t `V (is_neg size dst <> is_neg size src && is_neg size r <> is_neg size dst);
+  set_nz t size r;
+  r
+
+let dadd_common t size a b carry_in =
+  let digits = match size with Isa.Byte -> 2 | Isa.Word -> 4 in
+  let rec loop i carry acc =
+    if i >= digits then (acc, carry)
+    else
+      let da = (a lsr (4 * i)) land 0xF and db = (b lsr (4 * i)) land 0xF in
+      let s = da + db + carry in
+      let s, carry = if s > 9 then (s - 10, 1) else (s, 0) in
+      loop (i + 1) carry (acc lor (s lsl (4 * i)))
+  in
+  let r, carry = loop 0 carry_in 0 in
+  set_flag t `C (carry = 1);
+  set_nz t size r;
+  r
+
+let push t size v =
+  set_reg t Isa.sp (t.regs.(Isa.sp) - 2);
+  (* Byte pushes still consume a full word slot. *)
+  Memory.write t.mem size t.regs.(Isa.sp) v
+
+let exec_two t op size src dst =
+  let sv = src_value t size src in
+  let ea = dst_ea t dst in
+  match op with
+  | Isa.MOV -> write_dst t size dst ea sv
+  | Isa.ADD ->
+    let dv = read_dst t size dst ea in
+    write_dst t size dst ea (add_common t size dv sv 0)
+  | Isa.ADDC ->
+    let dv = read_dst t size dst ea in
+    let c = if get_flag t `C then 1 else 0 in
+    write_dst t size dst ea (add_common t size dv sv c)
+  | Isa.SUB ->
+    let dv = read_dst t size dst ea in
+    write_dst t size dst ea (sub_common t size sv dv 1)
+  | Isa.SUBC ->
+    let dv = read_dst t size dst ea in
+    let c = if get_flag t `C then 1 else 0 in
+    write_dst t size dst ea (sub_common t size sv dv c)
+  | Isa.CMP ->
+    let dv = read_dst t size dst ea in
+    ignore (sub_common t size sv dv 1)
+  | Isa.DADD ->
+    let dv = read_dst t size dst ea in
+    let c = if get_flag t `C then 1 else 0 in
+    write_dst t size dst ea (dadd_common t size dv sv c)
+  | Isa.BIT ->
+    let dv = read_dst t size dst ea in
+    let r = dv land sv in
+    set_nz t size r;
+    set_flag t `C (mask size r <> 0);
+    set_flag t `V false
+  | Isa.BIC ->
+    let dv = read_dst t size dst ea in
+    write_dst t size dst ea (dv land lnot sv)
+  | Isa.BIS ->
+    let dv = read_dst t size dst ea in
+    write_dst t size dst ea (dv lor sv)
+  | Isa.XOR ->
+    let dv = read_dst t size dst ea in
+    let r = mask size (dv lxor sv) in
+    set_nz t size r;
+    set_flag t `C (r <> 0);
+    set_flag t `V (is_neg size sv && is_neg size dv);
+    write_dst t size dst ea r
+  | Isa.AND ->
+    let dv = read_dst t size dst ea in
+    let r = mask size (dv land sv) in
+    set_nz t size r;
+    set_flag t `C (r <> 0);
+    set_flag t `V false;
+    write_dst t size dst ea r
+
+(* Single-operand instructions that write back do so through the source
+   operand's location. *)
+let write_src t size s ea v =
+  match s, ea with
+  | Isa.Sreg r, _ -> set_reg t r (mask size v)
+  | Isa.Simm _, _ -> () (* rotate of a constant: result discarded *)
+  | _, Some ea -> Memory.write t.mem size ea v
+  | _, None -> assert false
+
+let exec_one t op size src =
+  match op with
+  | Isa.RRC ->
+    let ea = src_ea t size src in
+    let v = match src with
+      | Isa.Sreg r -> mask size t.regs.(r)
+      | Isa.Simm n -> mask size n
+      | _ -> Memory.read t.mem size (Option.get ea)
+    in
+    let top = if get_flag t `C then (msb_carry size) lsr 1 else 0 in
+    let r = top lor (v lsr 1) in
+    set_flag t `C (v land 1 = 1);
+    set_flag t `V false;
+    set_nz t size r;
+    write_src t size src ea r
+  | Isa.RRA ->
+    let ea = src_ea t size src in
+    let v = match src with
+      | Isa.Sreg r -> mask size t.regs.(r)
+      | Isa.Simm n -> mask size n
+      | _ -> Memory.read t.mem size (Option.get ea)
+    in
+    let top = v land ((msb_carry size) lsr 1) in
+    let r = top lor (v lsr 1) in
+    set_flag t `C (v land 1 = 1);
+    set_flag t `V false;
+    set_nz t size r;
+    write_src t size src ea r
+  | Isa.SWPB ->
+    let ea = src_ea t Isa.Word src in
+    let v = match src with
+      | Isa.Sreg r -> t.regs.(r)
+      | Isa.Simm n -> Word.mask16 n
+      | _ -> Memory.read t.mem Isa.Word (Option.get ea)
+    in
+    write_src t Isa.Word src ea (Word.swap_bytes v)
+  | Isa.SXT ->
+    let ea = src_ea t Isa.Word src in
+    let v = match src with
+      | Isa.Sreg r -> t.regs.(r)
+      | Isa.Simm n -> Word.mask16 n
+      | _ -> Memory.read t.mem Isa.Word (Option.get ea)
+    in
+    let r = Word.sign_extend8 v in
+    set_nz t Isa.Word r;
+    set_flag t `C (r <> 0);
+    set_flag t `V false;
+    write_src t Isa.Word src ea r
+  | Isa.PUSH ->
+    let v = src_value t size src in
+    push t size v
+  | Isa.CALL ->
+    let dest = src_value t Isa.Word src in
+    push t Isa.Word t.regs.(Isa.pc);
+    set_reg t Isa.pc dest
+
+let cond_taken t c =
+  match c with
+  | Isa.JNE -> not (get_flag t `Z)
+  | Isa.JEQ -> get_flag t `Z
+  | Isa.JNC -> not (get_flag t `C)
+  | Isa.JC -> get_flag t `C
+  | Isa.JN -> get_flag t `N
+  | Isa.JGE -> get_flag t `N = get_flag t `V
+  | Isa.JL -> get_flag t `N <> get_flag t `V
+  | Isa.JMP -> true
+
+let vector_irq t vector =
+  push t Isa.Word t.regs.(Isa.pc);
+  push t Isa.Word t.regs.(Isa.sr);
+  set_flag t `GIE false;
+  set_reg t Isa.pc (Memory.read t.mem Isa.Word vector)
+
+let step t =
+  (match t.halt with
+   | Some _ -> invalid_arg "Cpu.step: already halted"
+   | None -> ());
+  Memory.begin_step t.mem;
+  let pc_before = t.regs.(Isa.pc) in
+  if t.irq <> None && get_flag t `GIE then begin
+    let vector = Option.get t.irq in
+    t.irq <- None;
+    vector_irq t vector;
+    let step_cycles = 6 in
+    t.total_cycles <- t.total_cycles + step_cycles;
+    t.total_steps <- t.total_steps + 1;
+    Memory.tick t.mem step_cycles;
+    { pc_before; instr = Isa.Reti (* placeholder: vectoring *);
+      pc_after = t.regs.(Isa.pc); accesses = Memory.step_trace t.mem;
+      irq_taken = true; step_cycles }
+  end
+  else begin
+    match Decode.decode ~get_word:(Memory.fetch_word t.mem) pc_before with
+    | exception Decode.Undecodable (a, w) ->
+      t.halt <- Some (Bad_opcode (a, w));
+      { pc_before; instr = Isa.Reti; pc_after = pc_before;
+        accesses = Memory.step_trace t.mem; irq_taken = false; step_cycles = 0 }
+    | instr, next ->
+      set_reg t Isa.pc next;
+      (match instr with
+       | Isa.Two (op, size, src, dst) -> exec_two t op size src dst
+       | Isa.One (op, size, src) -> exec_one t op size src
+       | Isa.Jump (c, off) ->
+         if cond_taken t c then set_reg t Isa.pc (next + 2 * off)
+       | Isa.Reti ->
+         let sr_v = Memory.read t.mem Isa.Word t.regs.(Isa.sp) in
+         set_reg t Isa.sp (t.regs.(Isa.sp) + 2);
+         let pc_v = Memory.read t.mem Isa.Word t.regs.(Isa.sp) in
+         set_reg t Isa.sp (t.regs.(Isa.sp) + 2);
+         set_reg t Isa.sr sr_v;
+         set_reg t Isa.pc pc_v);
+      let pc_after = t.regs.(Isa.pc) in
+      if pc_after = pc_before then t.halt <- Some (Self_jump pc_before);
+      let step_cycles = Isa.cycles instr in
+      t.total_cycles <- t.total_cycles + step_cycles;
+      t.total_steps <- t.total_steps + 1;
+      Memory.tick t.mem step_cycles;
+      { pc_before; instr; pc_after; accesses = Memory.step_trace t.mem;
+        irq_taken = false; step_cycles }
+  end
+
+let run t ~max_steps f =
+  let rec loop n =
+    match t.halt with
+    | Some h -> Some h
+    | None ->
+      if n >= max_steps then None
+      else begin
+        f (step t);
+        loop (n + 1)
+      end
+  in
+  loop 0

@@ -1,0 +1,58 @@
+(** MSP430 CPU: fetch-decode-execute with cycle accounting.
+
+    The CPU executes in place from {!Memory}, so attested program bytes are
+    exactly the executed bytes. Each {!step} yields a {!step_info} record —
+    the "bus signals" the APEX hardware monitor snoops. *)
+
+type t
+
+(** Why execution stopped. *)
+type halt_reason =
+  | Self_jump of int       (** [jmp $] at this address — normal termination
+                               or instrumentation abort, by convention *)
+  | Bad_opcode of int * int (** address, word *)
+
+type step_info = {
+  pc_before : int;
+  instr : Isa.instr;
+  pc_after : int;
+  accesses : Memory.access list;  (** data + fetch accesses, program order *)
+  irq_taken : bool;               (** an interrupt was vectored this step *)
+  step_cycles : int;
+}
+
+val create : Memory.t -> t
+(** CPU with all registers zero and SP/PC unset; see {!set_reg}. *)
+
+val memory : t -> Memory.t
+val cycles : t -> int
+(** Total elapsed cycles. *)
+
+val steps : t -> int
+(** Total retired instructions (including vectored interrupts). *)
+
+val halted : t -> halt_reason option
+
+val reset_halt : t -> unit
+(** Clear a latched halt so the CPU can be re-pointed and re-run (the
+    device uses this between operation invocations). *)
+
+val get_reg : t -> Isa.reg -> int
+val set_reg : t -> Isa.reg -> int -> unit
+
+val get_flag : t -> [ `C | `Z | `N | `V | `GIE ] -> bool
+val set_flag : t -> [ `C | `Z | `N | `V | `GIE ] -> bool -> unit
+
+val request_irq : t -> vector:int -> unit
+(** Assert the interrupt line; taken before the next fetch if GIE is set. *)
+
+val irq_pending : t -> bool
+
+val step : t -> step_info
+(** Execute one instruction (or vector a pending interrupt). Raises
+    [Invalid_argument] if the CPU is already halted. A [Self_jump] halt is
+    reported in the returned info {e and} latches {!halted}. *)
+
+val run : t -> max_steps:int -> (step_info -> unit) -> halt_reason option
+(** Step until halt or [max_steps], feeding each step to the callback.
+    Returns the halt reason, or [None] when the step budget ran out. *)

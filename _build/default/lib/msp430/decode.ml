@@ -1,0 +1,83 @@
+exception Undecodable of int * int
+
+let decode ~get_word addr =
+  let w0 = get_word addr in
+  let next = ref (addr + 2) in
+  let fetch_ext () =
+    let v = get_word !next in
+    next := !next + 2;
+    v
+  in
+  let decode_src reg as_bits =
+    match as_bits, reg with
+    | 0, 3 -> Isa.Simm 0
+    | 0, r -> Isa.Sreg r
+    | 1, 3 -> Isa.Simm 1
+    | 1, 2 -> Isa.Sabsolute (fetch_ext ())
+    | 1, r -> Isa.Sindexed (fetch_ext (), r)
+    | 2, 3 -> Isa.Simm 2
+    | 2, 2 -> Isa.Simm 4
+    | 2, r -> Isa.Sindirect r
+    | 3, 3 -> Isa.Simm 0xFFFF
+    | 3, 2 -> Isa.Simm 8
+    | 3, 0 -> Isa.Simm (fetch_ext ())
+    | 3, r -> Isa.Sindirect_inc r
+    | _ -> assert false
+  in
+  let decode_dst reg ad_bit =
+    match ad_bit, reg with
+    | 0, r -> Isa.Dreg r
+    | 1, 2 -> Isa.Dabsolute (fetch_ext ())
+    | 1, r -> Isa.Dindexed (fetch_ext (), r)
+    | _ -> assert false
+  in
+  let size_of_bw bw = if bw = 1 then Isa.Byte else Isa.Word in
+  let instr =
+    if w0 lsr 13 = 0b001 then begin
+      (* Format III: jumps. *)
+      let cond =
+        match (w0 lsr 10) land 0x7 with
+        | 0 -> Isa.JNE | 1 -> Isa.JEQ | 2 -> Isa.JNC | 3 -> Isa.JC
+        | 4 -> Isa.JN | 5 -> Isa.JGE | 6 -> Isa.JL | 7 -> Isa.JMP
+        | _ -> assert false
+      in
+      let off = w0 land 0x3FF in
+      let off = if off >= 0x200 then off - 0x400 else off in
+      Isa.Jump (cond, off)
+    end
+    else if w0 lsr 10 = 0b000100 then begin
+      (* Format II: single operand. *)
+      let reg = w0 land 0xF in
+      let as_bits = (w0 lsr 4) land 0x3 in
+      let bw = (w0 lsr 6) land 1 in
+      match (w0 lsr 7) land 0x7 with
+      | 0 -> Isa.One (Isa.RRC, size_of_bw bw, decode_src reg as_bits)
+      | 1 -> Isa.One (Isa.SWPB, Isa.Word, decode_src reg as_bits)
+      | 2 -> Isa.One (Isa.RRA, size_of_bw bw, decode_src reg as_bits)
+      | 3 -> Isa.One (Isa.SXT, Isa.Word, decode_src reg as_bits)
+      | 4 -> Isa.One (Isa.PUSH, size_of_bw bw, decode_src reg as_bits)
+      | 5 -> Isa.One (Isa.CALL, Isa.Word, decode_src reg as_bits)
+      | 6 -> Isa.Reti
+      | _ -> raise (Undecodable (addr, w0))
+    end
+    else begin
+      (* Format I: double operand. *)
+      let op =
+        match w0 lsr 12 with
+        | 0x4 -> Isa.MOV | 0x5 -> Isa.ADD | 0x6 -> Isa.ADDC
+        | 0x7 -> Isa.SUBC | 0x8 -> Isa.SUB | 0x9 -> Isa.CMP
+        | 0xA -> Isa.DADD | 0xB -> Isa.BIT | 0xC -> Isa.BIC
+        | 0xD -> Isa.BIS | 0xE -> Isa.XOR | 0xF -> Isa.AND
+        | _ -> raise (Undecodable (addr, w0))
+      in
+      let sreg = (w0 lsr 8) land 0xF in
+      let dreg = w0 land 0xF in
+      let ad_bit = (w0 lsr 7) land 1 in
+      let bw = (w0 lsr 6) land 1 in
+      let as_bits = (w0 lsr 4) land 0x3 in
+      let src = decode_src sreg as_bits in
+      let dst = decode_dst dreg ad_bit in
+      Isa.Two (op, size_of_bw bw, src, dst)
+    end
+  in
+  (instr, !next)

@@ -1,0 +1,16 @@
+(** MSP430 binary instruction decoding (inverse of {!Encode}).
+
+    The decoder is used both by the CPU's fetch stage (execute-in-place from
+    program memory) and by the disassembler / CFG recovery. *)
+
+exception Undecodable of int * int
+(** [Undecodable (addr, word)]: the word at [addr] is not a valid opcode. *)
+
+val decode : get_word:(int -> int) -> int -> Isa.instr * int
+(** [decode ~get_word addr] decodes the instruction starting at [addr],
+    fetching 16-bit words through [get_word], and returns it together with
+    the address of the next instruction.
+
+    Constant-generator encodings decode back to [Simm]; an absolute-mode
+    operand decodes to [Sabsolute]/[Dabsolute]; symbolic (pc-indexed) mode
+    decodes to [Sindexed (x, pc)]. *)

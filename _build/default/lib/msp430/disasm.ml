@@ -1,0 +1,20 @@
+let instruction_at mem addr =
+  match Decode.decode ~get_word:(Memory.peek16 mem) addr with
+  | instr, next -> Some (instr, next)
+  | exception Decode.Undecodable _ -> None
+
+let range mem ~lo ~hi =
+  let rec sweep addr acc =
+    if addr > hi then List.rev acc
+    else
+      match instruction_at mem addr with
+      | None -> List.rev acc
+      | Some (instr, next) -> sweep next ((addr, instr) :: acc)
+  in
+  sweep lo []
+
+let pp_range mem ~lo ~hi ppf () =
+  List.iter
+    (fun (addr, instr) ->
+       Format.fprintf ppf "%04x:  %a@." addr Isa.pp instr)
+    (range mem ~lo ~hi)

@@ -1,0 +1,13 @@
+(** Linear-sweep disassembler over memory, used by CFG recovery and
+    debugging output. *)
+
+val instruction_at : Memory.t -> int -> (Isa.instr * int) option
+(** Decode the instruction at an address (host access, untraced); [None] if
+    the word is not a valid opcode. Returns the instruction and the address
+    of the next one. *)
+
+val range : Memory.t -> lo:int -> hi:int -> (int * Isa.instr) list
+(** Linear sweep from [lo] until past [hi] (inclusive), stopping early at an
+    undecodable word. *)
+
+val pp_range : Memory.t -> lo:int -> hi:int -> Format.formatter -> unit -> unit

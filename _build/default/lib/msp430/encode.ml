@@ -1,0 +1,98 @@
+exception Unencodable of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Unencodable s)) fmt
+
+(* Source operand field: (register, As bits, extension words).
+   [imm_no_cg] suppresses constant-generator compression, which the
+   assembler needs for immediates whose value is only known after layout
+   (label references): layout already reserved the extension word. *)
+let src_fields ?(imm_no_cg = false) s =
+  match s with
+  | Isa.Sreg r ->
+    if r = Isa.cg then fail "register read of cg (r3) has no encoding"
+    else (r, 0, [])
+  | Isa.Sindexed (x, r) ->
+    if r = Isa.sr || r = Isa.cg then
+      fail "indexed mode on %s is reserved" (Isa.reg_name r)
+    else (r, 1, [ Word.mask16 x ])
+  | Isa.Sabsolute a -> (Isa.sr, 1, [ Word.mask16 a ])
+  | Isa.Sindirect r ->
+    if r = Isa.sr || r = Isa.cg then
+      fail "indirect mode on %s encodes a constant" (Isa.reg_name r)
+    else (r, 2, [])
+  | Isa.Sindirect_inc r ->
+    if r = Isa.sr || r = Isa.cg then
+      fail "indirect-increment mode on %s encodes a constant" (Isa.reg_name r)
+    else (r, 3, [])
+  | Isa.Simm n ->
+    if imm_no_cg then (Isa.pc, 3, [ Word.mask16 n ])
+    else
+      (match Word.mask16 n with
+       | 0 -> (Isa.cg, 0, [])
+       | 1 -> (Isa.cg, 1, [])
+       | 2 -> (Isa.cg, 2, [])
+       | 0xFFFF -> (Isa.cg, 3, [])
+       | 4 -> (Isa.sr, 2, [])
+       | 8 -> (Isa.sr, 3, [])
+       | n -> (Isa.pc, 3, [ n ]))
+
+(* Destination operand field: (register, Ad bit, extension words). *)
+let dst_fields d =
+  match d with
+  | Isa.Dreg r -> (r, 0, [])
+  | Isa.Dindexed (x, r) ->
+    if r = Isa.sr || r = Isa.cg then
+      fail "indexed destination on %s is reserved" (Isa.reg_name r)
+    else (r, 1, [ Word.mask16 x ])
+  | Isa.Dabsolute a -> (Isa.sr, 1, [ Word.mask16 a ])
+
+let two_opcode op =
+  match op with
+  | Isa.MOV -> 0x4 | Isa.ADD -> 0x5 | Isa.ADDC -> 0x6 | Isa.SUBC -> 0x7
+  | Isa.SUB -> 0x8 | Isa.CMP -> 0x9 | Isa.DADD -> 0xA | Isa.BIT -> 0xB
+  | Isa.BIC -> 0xC | Isa.BIS -> 0xD | Isa.XOR -> 0xE | Isa.AND -> 0xF
+
+let one_opcode op =
+  match op with
+  | Isa.RRC -> 0 | Isa.SWPB -> 1 | Isa.RRA -> 2
+  | Isa.SXT -> 3 | Isa.PUSH -> 4 | Isa.CALL -> 5
+
+let cond_code c =
+  match c with
+  | Isa.JNE -> 0 | Isa.JEQ -> 1 | Isa.JNC -> 2 | Isa.JC -> 3
+  | Isa.JN -> 4 | Isa.JGE -> 5 | Isa.JL -> 6 | Isa.JMP -> 7
+
+let bw_bit size = match size with Isa.Byte -> 1 | Isa.Word -> 0
+
+let encode_gen ?(imm_no_cg = false) i =
+  match i with
+  | Isa.Two (op, size, s, d) ->
+    let sreg, as_bits, sext = src_fields ~imm_no_cg s in
+    let dreg, ad_bit, dext = dst_fields d in
+    let word =
+      (two_opcode op lsl 12) lor (sreg lsl 8) lor (ad_bit lsl 7)
+      lor (bw_bit size lsl 6) lor (as_bits lsl 4) lor dreg
+    in
+    (word :: sext) @ dext
+  | Isa.One (op, size, s) ->
+    let sreg, as_bits, sext = src_fields ~imm_no_cg s in
+    (match op, size with
+     | (Isa.SWPB | Isa.SXT | Isa.CALL), Isa.Byte ->
+       fail "%s has no byte form" (Isa.one_op_name op)
+     | _ -> ());
+    let word =
+      (0b000100 lsl 10) lor (one_opcode op lsl 7)
+      lor (bw_bit size lsl 6) lor (as_bits lsl 4) lor sreg
+    in
+    word :: sext
+  | Isa.Jump (c, off) ->
+    if off < -512 || off > 511 then fail "jump offset %d out of range" off
+    else [ (0b001 lsl 13) lor (cond_code c lsl 10) lor (off land 0x3FF) ]
+  | Isa.Reti -> [ 0x1300 ]
+
+let encode i = encode_gen ~imm_no_cg:false i
+
+let encode_bytes i =
+  List.concat_map
+    (fun w -> [ Word.low_byte w; Word.high_byte w ])
+    (encode i)

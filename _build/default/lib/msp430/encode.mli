@@ -1,0 +1,22 @@
+(** MSP430 binary instruction encoding.
+
+    Produces the exact word sequences of the MSP430 instruction formats,
+    including constant-generator compression of #0, #1, #2, #4, #8 and #-1.
+    Instrumented-image sizes measured by the benchmarks therefore reflect
+    real MSP430 code density. *)
+
+exception Unencodable of string
+(** Raised for operand combinations with no hardware encoding (e.g. a
+    source register read of [cg], or an out-of-range jump offset). *)
+
+val encode : Isa.instr -> int list
+(** Encode to a list of 16-bit words (1 to 3 of them). *)
+
+val encode_gen : ?imm_no_cg:bool -> Isa.instr -> int list
+(** [encode_gen ~imm_no_cg:true] suppresses constant-generator compression
+    of source immediates, always emitting an extension word. The assembler
+    uses this for label-valued immediates whose width was fixed at layout
+    time before the value was known. *)
+
+val encode_bytes : Isa.instr -> int list
+(** Same as {!encode}, flattened little-endian to bytes. *)

@@ -1,0 +1,114 @@
+type access_kind = Fetch | Read | Write
+
+type access = {
+  kind : access_kind;
+  addr : int;
+  size : Isa.size;
+  value : int;
+}
+
+type device = {
+  dev_name : string;
+  dev_lo : int;
+  dev_hi : int;
+  dev_read : int -> int option;
+  dev_write : int -> int -> unit;
+  dev_tick : int -> unit;
+}
+
+type t = {
+  bytes : Bytes.t;
+  mutable devices : device list;
+  mutable trace : access list; (* reversed *)
+}
+
+let size_bytes = 0x10000
+
+let create () =
+  { bytes = Bytes.make size_bytes '\000'; devices = []; trace = [] }
+
+let attach t d = t.devices <- d :: t.devices
+
+let tick t n = List.iter (fun d -> d.dev_tick n) t.devices
+
+let device_at t addr =
+  List.find_opt (fun d -> addr >= d.dev_lo && addr <= d.dev_hi) t.devices
+
+let backing_get t addr = Char.code (Bytes.get t.bytes (addr land 0xFFFF))
+
+let backing_set t addr v =
+  Bytes.set t.bytes (addr land 0xFFFF) (Char.chr (v land 0xFF))
+
+let raw_read8 t addr =
+  match device_at t addr with
+  | Some d ->
+    (match d.dev_read addr with
+     | Some v -> Word.mask8 v
+     | None -> backing_get t addr)
+  | None -> backing_get t addr
+
+let raw_write8 t addr v =
+  (* Mirror device writes into backing RAM so attestation and host dumps
+     observe the value last written by the program. *)
+  backing_set t addr v;
+  match device_at t addr with
+  | Some d -> d.dev_write addr (Word.mask8 v)
+  | None -> ()
+
+let peek8 t addr = backing_get t addr
+
+let peek16 t addr =
+  let addr = addr land 0xFFFE in
+  backing_get t addr lor (backing_get t (addr + 1) lsl 8)
+
+let poke8 t addr v = backing_set t addr v
+
+let poke16 t addr v =
+  let addr = addr land 0xFFFE in
+  backing_set t addr (Word.low_byte v);
+  backing_set t (addr + 1) (Word.high_byte v)
+
+let load_image t ~addr s =
+  String.iteri (fun i c -> backing_set t (addr + i) (Char.code c)) s
+
+let dump t ~addr ~len = String.init len (fun i -> Bytes.get t.bytes ((addr + i) land 0xFFFF))
+
+let record t kind addr size value =
+  t.trace <- { kind; addr; size; value } :: t.trace
+
+let read t size addr =
+  let addr, value =
+    match size with
+    | Isa.Byte -> (addr land 0xFFFF, raw_read8 t addr)
+    | Isa.Word ->
+      let addr = addr land 0xFFFE in
+      (* force low-before-high: device reads can have side effects *)
+      let lo = raw_read8 t addr in
+      let hi = raw_read8 t (addr + 1) in
+      (addr, lo lor (hi lsl 8))
+  in
+  record t Read addr size value;
+  value
+
+let write t size addr value =
+  match size with
+  | Isa.Byte ->
+    let addr = addr land 0xFFFF and value = Word.mask8 value in
+    record t Write addr size value;
+    raw_write8 t addr value
+  | Isa.Word ->
+    let addr = addr land 0xFFFE and value = Word.mask16 value in
+    record t Write addr size value;
+    raw_write8 t addr (Word.low_byte value);
+    raw_write8 t (addr + 1) (Word.high_byte value)
+
+let fetch_word t addr =
+  let addr = addr land 0xFFFE in
+  let lo = raw_read8 t addr in
+  let hi = raw_read8 t (addr + 1) in
+  let value = lo lor (hi lsl 8) in
+  record t Fetch addr Isa.Word value;
+  value
+
+let begin_step t = t.trace <- []
+let step_trace t = List.rev t.trace

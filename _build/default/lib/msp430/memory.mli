@@ -1,0 +1,70 @@
+(** 64 KiB flat byte-addressable memory with access tracing and
+    memory-mapped device hooks.
+
+    Every CPU-visible access (fetch, data read, data write) is recorded into
+    a per-step trace that the APEX hardware monitor consumes; host-side
+    [peek]/[poke]/[load_image] accesses bypass both devices and the trace,
+    mirroring a debugger back-door.
+
+    Word accesses are little-endian and force even alignment (bit 0 of the
+    address is ignored), as on the real MCU. *)
+
+type t
+
+type access_kind = Fetch | Read | Write
+
+type access = {
+  kind : access_kind;
+  addr : int;            (** aligned effective address *)
+  size : Isa.size;
+  value : int;           (** value read or written *)
+}
+
+(** A memory-mapped peripheral claiming a byte range. Reads fall back to the
+    backing RAM when the hook answers [None]; writes are mirrored into
+    backing RAM in addition to the hook (so attestation hashes see them). *)
+type device = {
+  dev_name : string;
+  dev_lo : int;
+  dev_hi : int;                      (** inclusive *)
+  dev_read : int -> int option;      (** byte read *)
+  dev_write : int -> int -> unit;    (** byte write *)
+  dev_tick : int -> unit;            (** advance device time by n cycles *)
+}
+
+val size_bytes : int
+(** Address-space size: 65536. *)
+
+val create : unit -> t
+(** Fresh zeroed memory with no devices. *)
+
+val attach : t -> device -> unit
+(** Attach a peripheral. Later attachments win on overlap. *)
+
+val tick : t -> int -> unit
+(** Advance all devices by the given number of CPU cycles. *)
+
+(** {1 Host (untraced) access} *)
+
+val peek8 : t -> int -> int
+val peek16 : t -> int -> int
+val poke8 : t -> int -> int -> unit
+val poke16 : t -> int -> int -> unit
+
+val load_image : t -> addr:int -> string -> unit
+(** Copy raw bytes into backing memory. *)
+
+val dump : t -> addr:int -> len:int -> string
+(** Copy raw bytes out of backing memory. *)
+
+(** {1 CPU (traced) access} *)
+
+val read : t -> Isa.size -> int -> int
+val write : t -> Isa.size -> int -> int -> unit
+val fetch_word : t -> int -> int
+
+val begin_step : t -> unit
+(** Clear the per-step access trace. *)
+
+val step_trace : t -> access list
+(** Accesses recorded since the last {!begin_step}, in program order. *)

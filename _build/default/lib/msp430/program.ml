@@ -1,0 +1,193 @@
+type expr =
+  | Num of int
+  | Lab of string
+  | Add of expr * expr
+  | Sub of expr * expr
+
+type operand =
+  | Reg of Isa.reg
+  | Imm of expr
+  | Indexed of expr * Isa.reg
+  | Abs of expr
+  | Ind of Isa.reg
+  | Ind_inc of Isa.reg
+
+type instr =
+  | Two of Isa.two_op * Isa.size * operand * operand
+  | One of Isa.one_op * Isa.size * operand
+  | Jump of Isa.cond * string
+  | Reti
+
+type annot =
+  | Array_store of { array_name : string; base : expr; size_bytes : int }
+  | Array_load of { array_name : string; base : expr; size_bytes : int }
+  | Log_site of [ `Cf | `Input ]
+  | Synth_mark of string
+  | Src_line of string
+
+type item =
+  | Label of string
+  | Instr of instr
+  | Synth of instr
+  | Word_data of expr list
+  | Byte_data of int list
+  | Ascii of string
+  | Space of int
+  | Align
+  | Org of int
+  | Equ of string * expr
+  | Annot of annot
+  | Comment of string
+
+type t = item list
+
+let operand_regs o =
+  match o with
+  | Reg r | Indexed (_, r) | Ind r | Ind_inc r -> [ r ]
+  | Imm _ | Abs _ -> []
+
+let instr_regs i =
+  match i with
+  | Two (_, _, s, d) -> operand_regs s @ operand_regs d
+  | One (_, _, s) -> operand_regs s
+  | Jump _ | Reti -> []
+
+let instr_registers = instr_regs
+
+let registers_used prog =
+  (* original instructions only: a pass checking for r4-freedom must not
+     trip over another pass's synthetic log code *)
+  let regs =
+    List.concat_map
+      (fun item -> match item with Instr i -> instr_regs i | _ -> [])
+      prog
+  in
+  List.sort_uniq compare regs
+
+(* Rewrites every [Instr]. Annotations immediately preceding a rewritten
+   instruction are re-attached directly before each original [Instr] in its
+   expansion (expansions may duplicate the original on exclusive paths), so
+   that bounds annotations survive instrumentation. *)
+let map_instrs f prog =
+  let rec go acc pending items =
+    (* [acc] is the reversed output; [pending] holds not-yet-flushed annots,
+       newest first *)
+    match items with
+    | [] -> List.rev (pending @ acc)
+    | (Annot _ as a) :: rest -> go acc (a :: pending) rest
+    | Instr i :: rest ->
+      let expansion = f i in
+      let annots = List.rev pending in
+      let out =
+        if annots = [] then expansion
+        else
+          List.concat_map
+            (fun item ->
+               match item with
+               | Instr _ -> annots @ [ item ]
+               | _ -> [ item ])
+            expansion
+      in
+      go (List.rev_append out acc) [] rest
+    | other :: rest ->
+      go (other :: (pending @ acc)) [] rest
+  in
+  go [] [] prog
+
+let instr_count prog =
+  List.length
+    (List.filter (fun item -> match item with Instr _ | Synth _ -> true | _ -> false) prog)
+
+let labels prog =
+  List.filter_map
+    (fun item ->
+       match item with
+       | Label l -> Some l
+       | Equ (l, _) -> Some l
+       | _ -> None)
+    prog
+
+let exists_label prog l = List.mem l (labels prog)
+
+let fresh_label prog ~prefix =
+  let existing = labels prog in
+  let counter = ref 0 in
+  fun () ->
+    let rec next () =
+      let candidate = Printf.sprintf "%s%d" prefix !counter in
+      incr counter;
+      if List.mem candidate existing then next () else candidate
+    in
+    next ()
+
+let rec pp_expr ppf e =
+  match e with
+  | Num n ->
+    if n < 0 then Format.fprintf ppf "-0x%x" (-n)
+    else Format.fprintf ppf "0x%x" n
+  | Lab l -> Format.pp_print_string ppf l
+  | Add (a, b) -> Format.fprintf ppf "%a+%a" pp_expr a pp_expr b
+  | Sub (a, b) -> Format.fprintf ppf "%a-%a" pp_expr a pp_expr b
+
+let pp_operand ppf o =
+  match o with
+  | Reg r -> Format.pp_print_string ppf (Isa.reg_name r)
+  | Imm e -> Format.fprintf ppf "#%a" pp_expr e
+  | Indexed (e, r) -> Format.fprintf ppf "%a(%s)" pp_expr e (Isa.reg_name r)
+  | Abs e -> Format.fprintf ppf "&%a" pp_expr e
+  | Ind r -> Format.fprintf ppf "@%s" (Isa.reg_name r)
+  | Ind_inc r -> Format.fprintf ppf "@%s+" (Isa.reg_name r)
+
+let suffix size = match size with Isa.Byte -> ".b" | Isa.Word -> ""
+
+let pp_instr ppf i =
+  match i with
+  | Two (op, size, s, d) ->
+    Format.fprintf ppf "%s%s %a, %a" (Isa.two_op_name op) (suffix size)
+      pp_operand s pp_operand d
+  | One (op, size, s) ->
+    Format.fprintf ppf "%s%s %a" (Isa.one_op_name op) (suffix size)
+      pp_operand s
+  | Jump (c, l) -> Format.fprintf ppf "%s %s" (Isa.cond_name c) l
+  | Reti -> Format.pp_print_string ppf "reti"
+
+let pp_annot ppf a =
+  match a with
+  | Array_store { array_name; base; size_bytes } ->
+    Format.fprintf ppf ";@store %s %a %d" array_name pp_expr base size_bytes
+  | Array_load { array_name; base; size_bytes } ->
+    Format.fprintf ppf ";@load %s %a %d" array_name pp_expr base size_bytes
+  | Log_site `Cf -> Format.fprintf ppf ";@log cf"
+  | Log_site `Input -> Format.fprintf ppf ";@log input"
+  | Synth_mark m -> Format.fprintf ppf ";@synth %s" m
+  | Src_line s -> Format.fprintf ppf ";@line %s" s
+
+let pp_item ppf item =
+  match item with
+  | Label l -> Format.fprintf ppf "%s:" l
+  | Instr i -> Format.fprintf ppf "    %a" pp_instr i
+  | Synth i -> Format.fprintf ppf "    %a ;~" pp_instr i
+  | Word_data es ->
+    Format.fprintf ppf "    .word %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_expr)
+      es
+  | Byte_data bs ->
+    Format.fprintf ppf "    .byte %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf b -> Format.fprintf ppf "0x%02x" b))
+      bs
+  | Ascii s -> Format.fprintf ppf "    .ascii %S" s
+  | Space n -> Format.fprintf ppf "    .space %d" n
+  | Align -> Format.fprintf ppf "    .align"
+  | Org a -> Format.fprintf ppf "    .org 0x%04x" a
+  | Equ (l, e) -> Format.fprintf ppf "%s = %a" l pp_expr e
+  | Annot a -> Format.fprintf ppf "    %a" pp_annot a
+  | Comment c -> Format.fprintf ppf "    ; %s" c
+
+let pp ppf prog =
+  List.iter (fun item -> Format.fprintf ppf "%a@." pp_item item) prog
+
+let to_string prog = Format.asprintf "%a" pp prog

@@ -1,0 +1,84 @@
+type entry = {
+  t_index : int;
+  t_pc : int;
+  t_instr : Isa.instr;
+  t_pc_after : int;
+  t_accesses : Memory.access list;
+  t_cycles : int;
+}
+
+type t = {
+  mutable rev : entry list;
+  mutable count : int;
+  mutable cycles : int;
+}
+
+let create () = { rev = []; count = 0; cycles = 0 }
+
+let record t info =
+  let e =
+    { t_index = t.count;
+      t_pc = info.Cpu.pc_before;
+      t_instr = info.Cpu.instr;
+      t_pc_after = info.Cpu.pc_after;
+      t_accesses = info.Cpu.accesses;
+      t_cycles = info.Cpu.step_cycles }
+  in
+  t.rev <- e :: t.rev;
+  t.count <- t.count + 1;
+  t.cycles <- t.cycles + info.Cpu.step_cycles
+
+let entries t = List.rev t.rev
+let length t = t.count
+let total_cycles t = t.cycles
+
+let touches addr a =
+  let lo = a.Memory.addr in
+  let hi = match a.Memory.size with Isa.Word -> lo + 1 | Isa.Byte -> lo in
+  addr >= lo && addr <= hi
+
+let writes_to t ~addr =
+  List.filter
+    (fun e ->
+       List.exists
+         (fun a -> a.Memory.kind = Memory.Write && touches addr a)
+         e.t_accesses)
+    (entries t)
+
+let unique_pcs t =
+  List.sort_uniq compare (List.map (fun e -> e.t_pc) (entries t))
+
+let coverage t ~static_starts =
+  let executed = unique_pcs t in
+  let hit = List.filter (fun a -> List.mem a executed) static_starts in
+  (List.length hit, List.length static_starts)
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%6d  %04x:  %-28s" e.t_index e.t_pc
+    (Format.asprintf "%a" Isa.pp e.t_instr);
+  List.iter
+    (fun a ->
+       match a.Memory.kind with
+       | Memory.Write ->
+         Format.fprintf ppf "  [0x%04x]<-0x%04x" a.Memory.addr a.Memory.value
+       | Memory.Read ->
+         Format.fprintf ppf "  [0x%04x]=0x%04x" a.Memory.addr a.Memory.value
+       | Memory.Fetch -> ())
+    e.t_accesses
+
+let pp ?limit ppf t =
+  let all = entries t in
+  let n = List.length all in
+  let limit = match limit with Some l -> l | None -> n in
+  if n <= limit then
+    List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) all
+  else begin
+    let head = limit / 2 and tail = limit - (limit / 2) in
+    List.iteri
+      (fun i e -> if i < head then Format.fprintf ppf "%a@." pp_entry e)
+      all;
+    Format.fprintf ppf "  ... %d steps elided ...@." (n - head - tail);
+    List.iteri
+      (fun i e -> if i >= n - tail then Format.fprintf ppf "%a@." pp_entry e)
+      all
+  end

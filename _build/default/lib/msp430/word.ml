@@ -1,0 +1,14 @@
+let mask16 v = v land 0xFFFF
+let mask8 v = v land 0xFF
+let signed16 v = let v = mask16 v in if v >= 0x8000 then v - 0x10000 else v
+let signed8 v = let v = mask8 v in if v >= 0x80 then v - 0x100 else v
+let is_neg16 v = v land 0x8000 <> 0
+let is_neg8 v = v land 0x80 <> 0
+let low_byte = mask8
+let high_byte v = (v lsr 8) land 0xFF
+let swap_bytes v = ((v land 0xFF) lsl 8) lor ((v lsr 8) land 0xFF)
+let sign_extend8 v = if is_neg8 v then mask16 (v lor 0xFF00) else mask8 v
+let bit n v = (v lsr n) land 1 = 1
+
+let set_bit n b v =
+  if b then v lor (1 lsl n) else v land lnot (1 lsl n)

@@ -1,0 +1,1 @@
+lib/tinycfa/instrument.ml: Dialed_msp430 Format List

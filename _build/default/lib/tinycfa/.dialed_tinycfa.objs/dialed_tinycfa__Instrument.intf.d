@@ -1,0 +1,1 @@
+lib/tinycfa/instrument.mli: Dialed_msp430

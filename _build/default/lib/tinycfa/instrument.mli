@@ -1,0 +1,77 @@
+(** Tiny-CFA: control-flow attestation by automated assembly
+    instrumentation (paper §II-C, and features F2/F5 of §III-C).
+
+    The pass rewrites an attested operation so that every control-flow-
+    altering instruction appends its actual destination to the log stack in
+    OR (pointer in the reserved register [r4], growing downward), and every
+    store with a dynamic address is checked against the live log range
+    [\[r4, OR_MAX\]]. An entry check verifies [r4 = OR_MAX]; any violation
+    branches to an in-ER abort loop, which can never satisfy APEX's legal
+    exit, so EXEC stays 0.
+
+    Input contract (provided by the build pipeline / MiniC code generator):
+    - the operation neither uses [r4] nor contains [reti];
+    - a [cmp]/[tst]-style flag definition is immediately followed by its
+      conditional jump (no store in between) — the pass verifies this;
+    - the program defines the symbols {!or_min_symbol} and
+      {!or_max_symbol}. *)
+
+exception Error of string
+
+val reserved_register : Dialed_msp430.Isa.reg
+(** [r4], the paper's choice for the log stack pointer. *)
+
+val or_min_symbol : string
+(** ["__OR_MIN"]. *)
+
+val or_max_symbol : string
+(** ["__OR_MAX"] — also where DIALED's F3 saves the base stack pointer. *)
+
+val abort_label : string
+(** ["__cfa_abort"], emitted (with its self-loop) by {!instrument}. *)
+
+type config = {
+  log_uncond_jumps : bool;
+      (** instrument direct [jmp]/[br #label] too (default true; ablation
+          knob for the D4 design decision) *)
+  check_stores : bool;
+      (** emit F5 write-bound checks (default true) *)
+}
+
+val default_config : config
+
+val log_value :
+  fresh:(unit -> string) -> Dialed_msp430.Program.operand ->
+  Dialed_msp430.Program.item list
+(** The shared log-append primitive, tagged as a CF-Log site:
+    [mov <op>, 0(r4); sub #2, r4; cmp #__OR_MIN, r4; <abort if below>].
+    The abort branch uses the long (inverted-condition + [br]) form so it
+    reaches the abort loop from anywhere in a large operation. *)
+
+val log_value_tagged :
+  fresh:(unit -> string) -> [ `Cf | `Input ] ->
+  Dialed_msp430.Program.operand -> Dialed_msp430.Program.item list
+(** Same primitive with an explicit log-site tag; the DIALED pass uses
+    [`Input] for I-Log appends. *)
+
+val validate_no_insertion_hazard :
+  needs_insertion:(Dialed_msp430.Program.instr -> bool) ->
+  Dialed_msp430.Program.t -> unit
+(** Shared flag-liveness validator: raises {!Error} if an instruction the
+    given pass would prepend code to sits between a flag definition and the
+    conditional jump consuming it. *)
+
+val entry_check :
+  fresh:(unit -> string) -> Dialed_msp430.Program.item list
+(** [cmp #__OR_MAX, r4; <abort unless equal>] — Fig. 4 lines 2-4. *)
+
+val instrument :
+  ?config:config -> Dialed_msp430.Program.t -> Dialed_msp430.Program.t
+(** Instrument an operation body. Prepends {!entry_check}, rewrites
+    control flow and stores, appends the abort loop. Raises {!Error} on
+    contract violations (use of r4, [reti], flag-liveness hazards,
+    computed branches it cannot attest). *)
+
+val count_logged_sites : Dialed_msp430.Program.t -> int
+(** Number of control-flow log sites in an instrumented program
+    (diagnostic; used by benches). *)

@@ -1,0 +1,1 @@
+test/test_apex.ml: Alcotest Dialed_apex Dialed_msp430 String

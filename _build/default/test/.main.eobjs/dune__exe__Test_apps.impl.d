@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Dialed_apex Dialed_apps Dialed_core Dialed_msp430 List

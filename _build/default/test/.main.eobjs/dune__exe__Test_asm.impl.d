@@ -1,0 +1,1 @@
+test/test_asm.ml: Alcotest Dialed_msp430 List Printf String

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Dialed_cfg Dialed_msp430 List String

@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Dialed_msp430 List

@@ -1,0 +1,1 @@
+test/test_dialed_e2e.ml: Alcotest Bytes Char Dialed_apex Dialed_core Dialed_msp430 List Printf

@@ -1,0 +1,1 @@
+test/test_encdec.ml: Alcotest Array Dialed_msp430 Format List Printf QCheck QCheck_alcotest

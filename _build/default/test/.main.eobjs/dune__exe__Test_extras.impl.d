@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Dialed_apex Dialed_apps Dialed_core Dialed_hwcost Dialed_minic Dialed_msp430 List Option

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Dialed_apex Dialed_msp430 List QCheck QCheck_alcotest String

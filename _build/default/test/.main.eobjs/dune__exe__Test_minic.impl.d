@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Dialed_apex Dialed_core Dialed_minic Dialed_msp430 List Printf QCheck QCheck_alcotest

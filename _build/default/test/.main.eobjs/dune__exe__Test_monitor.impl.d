@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Dialed_apex Dialed_msp430 List

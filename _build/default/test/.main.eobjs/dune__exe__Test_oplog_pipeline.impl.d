@@ -1,0 +1,1 @@
+test/test_oplog_pipeline.ml: Alcotest Dialed_apex Dialed_core Dialed_msp430 Dialed_tinycfa List Option String

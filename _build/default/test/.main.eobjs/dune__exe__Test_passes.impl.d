@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Dialed_core Dialed_msp430 Dialed_tinycfa List

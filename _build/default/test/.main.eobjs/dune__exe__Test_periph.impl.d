@@ -1,0 +1,1 @@
+test/test_periph.ml: Alcotest Char Dialed_msp430

@@ -1,0 +1,1 @@
+test/test_randprog.ml: Buffer Bytes Char Dialed_apex Dialed_core Dialed_minic Dialed_msp430 Format List Printf QCheck QCheck_alcotest String

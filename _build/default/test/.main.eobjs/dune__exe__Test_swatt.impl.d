@@ -1,0 +1,1 @@
+test/test_swatt.ml: Alcotest Dialed_apex Dialed_core Dialed_msp430 String

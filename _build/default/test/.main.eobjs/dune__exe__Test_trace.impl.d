@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Dialed_apex Dialed_core Dialed_minic Dialed_msp430 Format List String

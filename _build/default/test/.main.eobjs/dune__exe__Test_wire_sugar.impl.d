@@ -1,0 +1,1 @@
+test/test_wire_sugar.ml: Alcotest Bytes Char Dialed_apex Dialed_core Dialed_minic Dialed_msp430 String

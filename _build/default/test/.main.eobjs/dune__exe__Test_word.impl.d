@@ -1,0 +1,1 @@
+test/test_word.ml: Alcotest Dialed_msp430 List QCheck QCheck_alcotest

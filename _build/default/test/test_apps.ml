@@ -1,0 +1,177 @@
+(* The three paper applications: deterministic behaviour, acceptance of
+   benign attested runs at every instrumentation variant, and detection of
+   the MiniC-level Fig. 2 attack with compiler-generated annotations. *)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+module C = Dialed_core
+module Apps = Dialed_apps.Apps
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let board run = A.Device.board run.Apps.device
+
+let verify_run run =
+  let verifier = C.Verifier.create run.Apps.built in
+  let report = A.Device.attest run.Apps.device ~challenge:"test" in
+  C.Verifier.verify verifier report
+
+let test_syringe_pump_behaviour () =
+  let run = Apps.run ~variant:C.Pipeline.Unmodified Apps.syringe_pump in
+  check_bool "completed" true run.Apps.result.A.Device.completed;
+  (* 5 units * 4 steps = 20 pulses, each toggling P3OUT on and off *)
+  let pulses =
+    List.length
+      (List.filter (fun (p, v) -> p = "P3OUT" && v = 1)
+         (M.Peripherals.gpio_writes (board run)))
+  in
+  check_int "20 pulses" 20 pulses;
+  check_int "position reported" (M.Word.mask16 (-5))
+    (match M.Peripherals.uart_sent (board run) with
+     | [ v ] -> M.Word.sign_extend8 v
+     | _ -> -1)
+
+let test_syringe_pump_clamp () =
+  (* amount over the barrel capacity is clamped to zero *)
+  let run =
+    Apps.run ~variant:C.Pipeline.Unmodified ~args:[ 1; 12 ] Apps.syringe_pump
+  in
+  check_bool "completed" true run.Apps.result.A.Device.completed;
+  check_int "no pulses" 0
+    (List.length
+       (List.filter (fun (p, _) -> p = "P3OUT")
+          (M.Peripherals.gpio_writes (board run))))
+
+let test_fire_sensor_behaviour () =
+  let run = Apps.run ~variant:C.Pipeline.Unmodified Apps.fire_sensor in
+  check_bool "completed" true run.Apps.result.A.Device.completed;
+  check_int "no alarm at 29C" 0 (M.Peripherals.last_gpio (board run) ~port:`P3);
+  check_int "temperature reported" 29
+    (match M.Peripherals.uart_sent (board run) with [ v ] -> v | _ -> -1)
+
+let test_fire_sensor_alarm () =
+  let app = Apps.fire_sensor in
+  let built = Apps.build ~variant:C.Pipeline.Unmodified app in
+  let device = C.Pipeline.device built in
+  (* hot samples: (900-300)/10 = 60 C > 55 *)
+  M.Peripherals.feed_adc (A.Device.board device) [ 900; 900; 900; 900 ];
+  let result = A.Device.run_operation ~args:app.Apps.benign_args device in
+  check_bool "completed" true result.A.Device.completed;
+  check_int "alarm raised" 4 (M.Peripherals.last_gpio (A.Device.board device) ~port:`P3)
+
+let test_ultrasonic_behaviour () =
+  let run = Apps.run ~variant:C.Pipeline.Unmodified Apps.ultrasonic_ranger in
+  check_bool "completed" true run.Apps.result.A.Device.completed;
+  check_int "closest = 30cm" 30
+    (match M.Peripherals.uart_sent (board run) with [ v ] -> v | _ -> -1);
+  check_int "no warning at 30cm" 0 (M.Peripherals.last_gpio (board run) ~port:`P3)
+
+let test_ultrasonic_warning () =
+  let app = Apps.ultrasonic_ranger in
+  let built = Apps.build ~variant:C.Pipeline.Unmodified app in
+  let device = C.Pipeline.device built in
+  (* 5 cm obstacle: 290 ticks *)
+  M.Peripherals.feed_echo (A.Device.board device) [ 290; 2030; 2320 ];
+  let result = A.Device.run_operation ~args:app.Apps.benign_args device in
+  check_bool "completed" true result.A.Device.completed;
+  check_int "warning raised" 8
+    (M.Peripherals.last_gpio (A.Device.board device) ~port:`P3)
+
+let test_variants_agree () =
+  List.iter
+    (fun app ->
+       let observe variant =
+         let run = Apps.run ~variant app in
+         if not run.Apps.result.A.Device.completed then
+           Alcotest.failf "%s did not complete at %s" app.Apps.name
+             (C.Pipeline.variant_name variant);
+         (M.Peripherals.gpio_writes (board run),
+          M.Peripherals.uart_sent (board run))
+       in
+       let plain = observe C.Pipeline.Unmodified in
+       let cfa = observe C.Pipeline.Cfa_only in
+       let full = observe C.Pipeline.Full in
+       if plain <> cfa || cfa <> full then
+         Alcotest.failf "%s: instrumentation changed observable behaviour"
+           app.Apps.name)
+    Apps.all
+
+let test_benign_runs_verify () =
+  List.iter
+    (fun app ->
+       let run = Apps.run app in
+       check_bool (app.Apps.name ^ " completed") true
+         run.Apps.result.A.Device.completed;
+       let outcome = verify_run run in
+       if not outcome.C.Verifier.accepted then
+         Alcotest.failf "%s rejected: %a" app.Apps.name C.Verifier.pp_outcome
+           outcome)
+    Apps.all
+
+let test_vuln_pump_benign () =
+  let run = Apps.run Apps.syringe_pump_vuln in
+  check_bool "completed" true run.Apps.result.A.Device.completed;
+  let outcome = verify_run run in
+  check_bool "benign config accepted" true outcome.C.Verifier.accepted;
+  (* dose 5 -> five actuation pulses *)
+  check_int "five pulses" 5
+    (List.length
+       (List.filter (fun (p, v) -> p = "P3OUT" && v = 1)
+          (M.Peripherals.gpio_writes (board run))))
+
+let test_vuln_pump_attack_detected () =
+  let run =
+    Apps.run ~args:Apps.attack_args_syringe_vuln Apps.syringe_pump_vuln
+  in
+  (* the attack looks like a perfectly normal run to the hardware *)
+  check_bool "completed" true run.Apps.result.A.Device.completed;
+  check_bool "exec = 1" true
+    (A.Monitor.exec_flag (A.Device.monitor run.Apps.device));
+  (* actuation corrupted: set = 0, so the pulses write zeros *)
+  check_int "no real pulses" 0
+    (List.length
+       (List.filter (fun (p, v) -> p = "P3OUT" && v = 1)
+          (M.Peripherals.gpio_writes (board run))));
+  let outcome = verify_run run in
+  check_bool "rejected" true (not outcome.C.Verifier.accepted);
+  let oob =
+    List.exists
+      (fun f ->
+         match f with
+         | C.Verifier.Oob_access { kind = `Write; array = "settings"; _ } ->
+           true
+         | _ -> false)
+      outcome.C.Verifier.findings
+  in
+  check_bool "compiler annotation caught the OOB write" true oob
+
+let test_log_grows_with_inputs () =
+  (* fire sensor: more samples, more logged inputs *)
+  let log_used samples =
+    let app = Apps.fire_sensor in
+    let built = Apps.build app in
+    let device = C.Pipeline.device built in
+    M.Peripherals.feed_adc (A.Device.board device)
+      (List.init samples (fun i -> 500 + i));
+    let result = A.Device.run_operation ~args:[ samples ] device in
+    check_bool "completed" true result.A.Device.completed;
+    let oplog = C.Oplog.of_device device in
+    C.Oplog.used_bytes oplog ~final_r4:(M.Cpu.get_reg (A.Device.cpu device) 4)
+  in
+  let small = log_used 2 and large = log_used 6 in
+  check_bool "log grows with inputs" true (large > small)
+
+let suites =
+  [ ("apps",
+     [ Alcotest.test_case "syringe pump behaviour" `Quick test_syringe_pump_behaviour;
+       Alcotest.test_case "syringe pump safety clamp" `Quick test_syringe_pump_clamp;
+       Alcotest.test_case "fire sensor behaviour" `Quick test_fire_sensor_behaviour;
+       Alcotest.test_case "fire sensor alarm" `Quick test_fire_sensor_alarm;
+       Alcotest.test_case "ultrasonic behaviour" `Quick test_ultrasonic_behaviour;
+       Alcotest.test_case "ultrasonic warning" `Quick test_ultrasonic_warning;
+       Alcotest.test_case "variants agree" `Quick test_variants_agree;
+       Alcotest.test_case "benign runs verify" `Quick test_benign_runs_verify;
+       Alcotest.test_case "vuln pump benign" `Quick test_vuln_pump_benign;
+       Alcotest.test_case "vuln pump attack" `Quick test_vuln_pump_attack_detected;
+       Alcotest.test_case "log grows with inputs" `Quick test_log_grows_with_inputs ]) ]

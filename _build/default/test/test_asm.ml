@@ -1,0 +1,357 @@
+(* Assembler + parser: layout, label resolution, emulated mnemonics,
+   directives, error cases, and an execute-what-you-assembled integration. *)
+
+module M = Dialed_msp430
+module Program = M.Program
+module Asm_parse = M.Asm_parse
+module Assemble = M.Assemble
+module Memory = M.Memory
+module Cpu = M.Cpu
+module Isa = M.Isa
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let assemble_text text = Assemble.assemble (Asm_parse.parse text)
+
+(* Assemble, load, run until halt (or step budget), return the CPU. *)
+let run_text ?(max_steps = 10_000) text =
+  let img = assemble_text text in
+  let mem = Memory.create () in
+  Assemble.load img mem;
+  let cpu = Cpu.create mem in
+  Cpu.set_reg cpu Isa.pc (Assemble.symbol img "start");
+  Cpu.set_reg cpu Isa.sp 0x0A00;
+  ignore (Cpu.run cpu ~max_steps (fun _ -> ()));
+  (cpu, img)
+
+let test_basic_program () =
+  let cpu, _ =
+    run_text {|
+        .org 0xe000
+    start:
+        mov #21, r5
+        add r5, r5
+        jmp $
+    |}
+  in
+  check_int "21+21" 42 (Cpu.get_reg cpu 5)
+
+let test_labels_and_branches () =
+  let cpu, _ =
+    run_text {|
+        .org 0xe000
+    start:
+        mov #5, r5      ; counter
+        clr r6
+    loop:
+        inc r6
+        dec r5
+        jnz loop
+        jmp $
+    |}
+  in
+  check_int "loop executed 5 times" 5 (Cpu.get_reg cpu 6);
+  check_int "counter exhausted" 0 (Cpu.get_reg cpu 5)
+
+let test_equates_and_expressions () =
+  let img =
+    assemble_text {|
+    BASE = 0x0200
+    NEXT = BASE+2
+        .org 0xe000
+    start:
+        mov #NEXT, r5
+        jmp $
+    |}
+  in
+  check_int "equ arithmetic" 0x0202 (Assemble.symbol img "NEXT")
+
+let test_data_directives () =
+  let img =
+    assemble_text {|
+        .org 0x0200
+    table:
+        .word 1, 2, 3
+    msg:
+        .ascii "hi"
+        .align
+    after:
+        .byte 0xff
+        .space 4
+    end_of_data:
+    |}
+  in
+  check_int "table" 0x0200 (Assemble.symbol img "table");
+  check_int "msg after 3 words" 0x0206 (Assemble.symbol img "msg");
+  check_int "aligned" 0x0208 (Assemble.symbol img "after");
+  check_int "space reserved" 0x020D (Assemble.symbol img "end_of_data")
+
+let test_emulated_mnemonics () =
+  let cpu, _ =
+    run_text {|
+        .org 0xe000
+    start:
+        mov #0x0F, r5
+        inv r5           ; -> 0xFFF0
+        inc r5           ; -> 0xFFF1
+        tst r5
+        jn negative
+        clr r6
+        jmp done
+    negative:
+        mov #1, r6
+    done:
+        nop
+        jmp $
+    |}
+  in
+  check_int "inv+inc" 0xFFF1 (Cpu.get_reg cpu 5);
+  check_int "jn taken" 1 (Cpu.get_reg cpu 6)
+
+let test_ret_expansion () =
+  let cpu, _ =
+    run_text {|
+        .org 0xe000
+    start:
+        call #leaf
+        jmp $
+    leaf:
+        mov #7, r7
+        ret
+    |}
+  in
+  check_int "subroutine ran" 7 (Cpu.get_reg cpu 7);
+  check_int "sp balanced" 0x0A00 (Cpu.get_reg cpu Isa.sp)
+
+let test_push_pop_mnemonics () =
+  let cpu, _ =
+    run_text {|
+        .org 0xe000
+    start:
+        mov #123, r5
+        push r5
+        clr r5
+        pop r6
+        jmp $
+    |}
+  in
+  check_int "pop" 123 (Cpu.get_reg cpu 6)
+
+let test_br_long_jump () =
+  let cpu, _ =
+    run_text {|
+        .org 0xe000
+    start:
+        br #target
+        mov #1, r5      ; skipped
+    target:
+        mov #2, r5
+        jmp $
+    |}
+  in
+  check_int "br" 2 (Cpu.get_reg cpu 5)
+
+let test_byte_ops () =
+  let cpu, _ =
+    run_text {|
+        .org 0xe000
+    start:
+        mov #0x0200, r5
+        mov.b #0xAB, 0(r5)
+        mov.b @r5, r6
+        jmp $
+    |}
+  in
+  check_int "byte store/load" 0xAB (Cpu.get_reg cpu 6);
+  check_int "memory byte" 0xAB (Memory.peek8 (Cpu.memory cpu) 0x0200)
+
+let test_code_size () =
+  let img =
+    assemble_text {|
+        .org 0xe000
+    start:
+        mov #0x1234, r5   ; 4 bytes
+        add #1, r5        ; 2 bytes (CG)
+        jmp $             ; 2 bytes
+    |}
+  in
+  check_int "code size" 8 (Assemble.code_size_bytes img)
+
+let test_two_segments () =
+  let img =
+    assemble_text {|
+        .org 0x0200
+    data:
+        .word 0xBEEF
+        .org 0xe000
+    start:
+        mov &data, r5
+        jmp $
+    |}
+  in
+  check_int "two segments" 2 (List.length img.Assemble.segments);
+  let mem = Memory.create () in
+  Assemble.load img mem;
+  check_int "data loaded" 0xBEEF (Memory.peek16 mem 0x0200)
+
+let expect_error name f =
+  match f () with
+  | exception Assemble.Error _ -> ()
+  | exception Asm_parse.Error _ -> ()
+  | _ -> Alcotest.failf "%s: expected an error" name
+
+let test_errors () =
+  expect_error "duplicate label"
+    (fun () -> assemble_text "start:\nstart:\n");
+  expect_error "undefined symbol"
+    (fun () -> assemble_text "    mov #nowhere, r5\n");
+  expect_error "bad mnemonic"
+    (fun () -> assemble_text "    frobnicate r5\n");
+  expect_error "immediate as destination"
+    (fun () -> assemble_text "    mov r5, #3\n");
+  expect_error "cyclic equ"
+    (fun () -> assemble_text "A = B\nB = A\n    mov #A, r5\n")
+
+let test_jump_relaxation () =
+  (* jumps beyond the +-1 KiB format-III range are relaxed automatically;
+     the program must still compute the same result *)
+  let far = String.concat "\n" (List.init 600 (fun _ -> "    nop")) in
+  let text =
+    Printf.sprintf
+      {|
+        .org 0xe000
+    start:
+        mov #3, r5
+    loop:
+        dec r5
+        tst r5
+        jnz far_away
+        jmp done
+    far_away:
+%s
+        jmp loop          ; > 1 KiB backwards: relaxed
+    done:
+        mov #42, r6
+        jmp $
+    |}
+      far
+  in
+  let cpu, img = run_text ~max_steps:100_000 text in
+  check_int "looped to completion" 42 (Cpu.get_reg cpu 6);
+  check_int "counter exhausted" 0 (Cpu.get_reg cpu 5);
+  (* the relaxed distance is real *)
+  check_bool "code spans beyond 1 KiB" true
+    (Assemble.code_size_bytes img > 1024)
+
+let test_relaxed_conditional_both_ways () =
+  (* conditional relaxation: inverted-condition + br; exercise taken and
+     not-taken *)
+  let far = String.concat "\n" (List.init 600 (fun _ -> "    nop")) in
+  let run arg =
+    let text =
+      Printf.sprintf
+        {|
+        .org 0xe000
+    start:
+        mov #%d, r5
+        tst r5
+        jeq target        ; forward > 1 KiB: relaxed
+        mov #1, r6
+        jmp $
+%s
+    target:
+        mov #2, r6
+        jmp $
+    |}
+        arg far
+    in
+    let cpu, _ = run_text ~max_steps:10_000 text in
+    Cpu.get_reg cpu 6
+  in
+  check_int "taken" 2 (run 0);
+  check_int "not taken" 1 (run 7)
+
+let test_listing_and_disasm_roundtrip () =
+  let img =
+    assemble_text {|
+        .org 0xe000
+    start:
+        mov #0x1234, r5
+        add r5, r5
+        push r5
+        call #start
+        jmp $
+    |}
+  in
+  let mem = Memory.create () in
+  Assemble.load img mem;
+  List.iter
+    (fun (addr, instr) ->
+       match M.Disasm.instruction_at mem addr with
+       | Some (decoded, _) ->
+         if decoded <> instr then
+           Alcotest.failf "listing/disasm mismatch at 0x%04x" addr
+       | None -> Alcotest.failf "undecodable at 0x%04x" addr)
+    img.Assemble.listing
+
+let test_annotations_flow_to_addresses () =
+  let prog =
+    [ Program.Org 0xE000;
+      Program.Label "start";
+      Program.Annot (Program.Src_line "x = y");
+      Program.Instr (Program.Two (Isa.MOV, Isa.Word, Program.Reg 5, Program.Reg 6));
+      Program.Instr (Program.Two (Isa.MOV, Isa.Word, Program.Reg 6, Program.Reg 7)) ]
+  in
+  let img = Assemble.assemble prog in
+  (match Assemble.annots_at img 0xE000 with
+   | [ Program.Src_line "x = y" ] -> ()
+   | _ -> Alcotest.fail "annotation not attached to first instruction");
+  Alcotest.(check (list Alcotest.reject)) "no annot on second" []
+    (List.map (fun _ -> ()) (Assemble.annots_at img 0xE002))
+
+let test_registers_used () =
+  let prog = Asm_parse.parse "    mov r5, r6\n    push r10\n    jmp $\n" in
+  Alcotest.(check (list int)) "registers" [ 5; 6; 10 ]
+    (Program.registers_used prog)
+
+let test_pp_parse_roundtrip () =
+  let text = {|
+        .org 0xe000
+    start:
+        mov #0x1234, r5
+        mov.b @r5+, r6
+        add 2(r5), r7
+        cmp &0x0200, r7
+        jne start
+        call #start
+        reti
+    |}
+  in
+  let prog = Asm_parse.parse text in
+  let printed = Program.to_string prog in
+  let reparsed = Asm_parse.parse printed in
+  let img1 = Assemble.assemble prog and img2 = Assemble.assemble reparsed in
+  Alcotest.(check (list (pair int string))) "same image after pp/parse"
+    img1.Assemble.segments img2.Assemble.segments
+
+let suites =
+  [ ("assembler",
+     [ Alcotest.test_case "basic program" `Quick test_basic_program;
+       Alcotest.test_case "labels and branches" `Quick test_labels_and_branches;
+       Alcotest.test_case "equates" `Quick test_equates_and_expressions;
+       Alcotest.test_case "data directives" `Quick test_data_directives;
+       Alcotest.test_case "emulated mnemonics" `Quick test_emulated_mnemonics;
+       Alcotest.test_case "ret expansion" `Quick test_ret_expansion;
+       Alcotest.test_case "push/pop" `Quick test_push_pop_mnemonics;
+       Alcotest.test_case "br long jump" `Quick test_br_long_jump;
+       Alcotest.test_case "byte operations" `Quick test_byte_ops;
+       Alcotest.test_case "code size" `Quick test_code_size;
+       Alcotest.test_case "multiple segments" `Quick test_two_segments;
+       Alcotest.test_case "error reporting" `Quick test_errors;
+       Alcotest.test_case "jump relaxation" `Quick test_jump_relaxation;
+       Alcotest.test_case "relaxed conditionals" `Quick test_relaxed_conditional_both_ways;
+       Alcotest.test_case "listing/disasm roundtrip" `Quick test_listing_and_disasm_roundtrip;
+       Alcotest.test_case "annotations" `Quick test_annotations_flow_to_addresses;
+       Alcotest.test_case "registers_used" `Quick test_registers_used;
+       Alcotest.test_case "pp/parse roundtrip" `Quick test_pp_parse_roundtrip ]) ]

@@ -1,0 +1,216 @@
+(* CFG recovery and static path validation. *)
+
+module M = Dialed_msp430
+module Cfg = Dialed_cfg
+module Memory = M.Memory
+module Assemble = M.Assemble
+module Asm_parse = M.Asm_parse
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let build_cfg source =
+  let img = Assemble.assemble (Asm_parse.parse source) in
+  let mem = Memory.create () in
+  Assemble.load img mem;
+  let lo, hi =
+    match img.Assemble.segments with
+    | [ (base, bytes) ] -> (base, base + String.length bytes - 1)
+    | _ -> Alcotest.fail "expected one segment"
+  in
+  (Cfg.Basic_block.build mem ~lo ~hi ~entry:lo, img)
+
+let test_straight_line () =
+  let cfg, _ =
+    build_cfg {|
+        .org 0xe000
+    start:
+        mov #1, r5
+        add #2, r5
+        jmp $
+    |}
+  in
+  check_int "one block ending in halt" 1
+    (List.length (Cfg.Basic_block.blocks cfg))
+
+let test_diamond () =
+  let cfg, img =
+    build_cfg {|
+        .org 0xe000
+    start:
+        cmp #0, r15
+        jeq else_
+        mov #1, r5
+        jmp join
+    else_:
+        mov #2, r5
+    join:
+        mov r5, r6
+        jmp $
+    |}
+  in
+  let at name = Assemble.symbol img name in
+  let succs = Cfg.Basic_block.successors cfg 0xE000 in
+  check_bool "cond has two successors" true (List.length succs = 2);
+  check_bool "taken edge" true (List.mem (at "else_") succs);
+  let join_succs = Cfg.Basic_block.successors cfg (at "else_") in
+  check_bool "else falls to join" true (List.mem (at "join") join_succs)
+
+let test_call_and_return_sites () =
+  let cfg, img =
+    build_cfg {|
+        .org 0xe000
+    start:
+        call #sub
+    after:
+        jmp $
+    sub:
+        mov #1, r5
+        ret
+    |}
+  in
+  let after = Assemble.symbol img "after" in
+  Alcotest.(check (list int)) "return site" [ after ]
+    (Cfg.Basic_block.call_return_sites cfg);
+  check_bool "call edge to sub" true
+    (List.mem (Assemble.symbol img "sub")
+       (Cfg.Basic_block.successors cfg 0xE000))
+
+let test_instruction_starts () =
+  let cfg, _ =
+    build_cfg {|
+        .org 0xe000
+    start:
+        mov #0x1234, r5   ; 4 bytes
+        jmp $
+    |}
+  in
+  check_bool "0xe000 is code" true (Cfg.Basic_block.is_instruction_start cfg 0xE000);
+  check_bool "0xe002 is the ext word" false
+    (Cfg.Basic_block.is_instruction_start cfg 0xE002);
+  check_bool "0xe004 is code" true (Cfg.Basic_block.is_instruction_start cfg 0xE004)
+
+let test_block_containing () =
+  let cfg, _ =
+    build_cfg {|
+        .org 0xe000
+    start:
+        mov #1, r5
+        mov #2, r6
+        jmp $
+    |}
+  in
+  match Cfg.Basic_block.block_containing cfg 0xE002 with
+  | Some b -> check_int "block starts at entry" 0xE000 b.Cfg.Basic_block.b_start
+  | None -> Alcotest.fail "no block"
+
+(* ------------------------------------------------------------- *)
+(* Path validation.                                                *)
+
+let diamond_source = {|
+        .org 0xe000
+    start:
+        cmp #0, r15
+        jeq else_
+        mov #1, r5
+        jmp join
+    else_:
+        mov #2, r5
+    join:
+        call #sub
+    after:
+        jmp $
+    sub:
+        ret
+    |}
+
+let test_valid_paths () =
+  let cfg, img = build_cfg diamond_source in
+  let at name = Assemble.symbol img name in
+  let fall = 0xE004 (* after the 2-word... cmp #0,r15 is 1 word CG: 2 bytes; jeq at 0xe002; fall = 0xe004 *) in
+  (* taken path: else_ -> (fallthrough join) -> call sub -> ret after *)
+  (match
+     Cfg.Validate.check_path cfg
+       ~dests:[ at "else_"; at "sub"; at "after" ] ()
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "taken path rejected: %a" Cfg.Validate.pp_error e);
+  (* fallthrough path adds the jmp join edge *)
+  (match
+     Cfg.Validate.check_path cfg
+       ~dests:[ fall; at "join"; at "sub"; at "after" ] ()
+   with
+   | Ok () -> ()
+   | Error e ->
+     Alcotest.failf "fallthrough path rejected: %a" Cfg.Validate.pp_error e)
+
+let test_illegal_edge () =
+  let cfg, img = build_cfg diamond_source in
+  let at name = Assemble.symbol img name in
+  (* jumping straight to 'after' from the conditional is not an edge *)
+  match Cfg.Validate.check_path cfg ~dests:[ at "after" ] () with
+  | Error (Cfg.Validate.Illegal_edge _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Cfg.Validate.pp_error e
+  | Ok () -> Alcotest.fail "illegal edge accepted"
+
+let test_bad_return () =
+  let cfg, img = build_cfg diamond_source in
+  let at name = Assemble.symbol img name in
+  (* return to else_ instead of the call site *)
+  match
+    Cfg.Validate.check_path cfg
+      ~dests:[ at "else_"; at "sub"; at "else_" ] ()
+  with
+  | Error (Cfg.Validate.Bad_return _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Cfg.Validate.pp_error e
+  | Ok () -> Alcotest.fail "bad return accepted"
+
+let test_truncated_log () =
+  let cfg, img = build_cfg diamond_source in
+  let at name = Assemble.symbol img name in
+  match Cfg.Validate.check_path cfg ~dests:[ at "else_"; at "sub" ] () with
+  | Error (Cfg.Validate.Log_truncated _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Cfg.Validate.pp_error e
+  | Ok () -> Alcotest.fail "truncated log accepted"
+
+let test_trailing_entries () =
+  let cfg, img = build_cfg diamond_source in
+  let at name = Assemble.symbol img name in
+  match
+    Cfg.Validate.check_path cfg
+      ~dests:[ at "else_"; at "sub"; at "after"; 0xBEEF ] ()
+  with
+  | Error (Cfg.Validate.Trailing_entries _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Cfg.Validate.pp_error e
+  | Ok () -> Alcotest.fail "trailing entries accepted"
+
+let test_mid_instruction_dest () =
+  let cfg, _ =
+    build_cfg {|
+        .org 0xe000
+    start:
+        mov #0x1234, r5
+        br r5             ; indirect: any code destination is plausible
+    next:
+        jmp $
+    |}
+  in
+  (* 0xE002 is the extension word of the first mov, not an instruction *)
+  match Cfg.Validate.check_path cfg ~dests:[ 0xE002 ] () with
+  | Error (Cfg.Validate.Not_instruction_start _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Cfg.Validate.pp_error e
+  | Ok () -> Alcotest.fail "mid-instruction destination accepted"
+
+let suites =
+  [ ("cfg",
+     [ Alcotest.test_case "straight line" `Quick test_straight_line;
+       Alcotest.test_case "diamond" `Quick test_diamond;
+       Alcotest.test_case "calls and return sites" `Quick test_call_and_return_sites;
+       Alcotest.test_case "instruction starts" `Quick test_instruction_starts;
+       Alcotest.test_case "block containing" `Quick test_block_containing;
+       Alcotest.test_case "valid paths" `Quick test_valid_paths;
+       Alcotest.test_case "illegal edge" `Quick test_illegal_edge;
+       Alcotest.test_case "bad return" `Quick test_bad_return;
+       Alcotest.test_case "truncated log" `Quick test_truncated_log;
+       Alcotest.test_case "trailing entries" `Quick test_trailing_entries;
+       Alcotest.test_case "mid-instruction dest" `Quick test_mid_instruction_dest ]) ]

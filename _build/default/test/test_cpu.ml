@@ -1,0 +1,436 @@
+(* CPU semantics: every instruction class, flag behaviour, addressing
+   modes, stack discipline, interrupts and cycle accounting. *)
+
+module M = Dialed_msp430
+module Memory = M.Memory
+module Cpu = M.Cpu
+module Isa = M.Isa
+module Encode = M.Encode
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let code_base = 0xE000
+
+(* Load instructions at [code_base], point pc there, sp at 0x0A00. *)
+let boot instrs =
+  let mem = Memory.create () in
+  let addr = ref code_base in
+  List.iter
+    (fun i ->
+       List.iter
+         (fun b ->
+            Memory.poke8 mem !addr b;
+            incr addr)
+         (Encode.encode_bytes i))
+    instrs;
+  let cpu = Cpu.create mem in
+  Cpu.set_reg cpu Isa.pc code_base;
+  Cpu.set_reg cpu Isa.sp 0x0A00;
+  cpu
+
+let exec instrs =
+  let cpu = boot instrs in
+  List.iter (fun _ -> ignore (Cpu.step cpu)) instrs;
+  cpu
+
+let mov_imm n r = Isa.Two (Isa.MOV, Isa.Word, Isa.Simm n, Isa.Dreg r)
+
+let test_mov () =
+  let cpu = exec [ mov_imm 0x1234 5 ] in
+  check_int "r5" 0x1234 (Cpu.get_reg cpu 5);
+  check_bool "mov sets no flags" false (Cpu.get_flag cpu `Z)
+
+let test_mov_byte_clears_high () =
+  let cpu = exec [ mov_imm 0xABCD 5;
+                   Isa.Two (Isa.MOV, Isa.Byte, Isa.Simm 0x7F, Isa.Dreg 5) ] in
+  check_int "byte write clears high byte" 0x7F (Cpu.get_reg cpu 5)
+
+let test_add_flags () =
+  let cpu = exec [ mov_imm 0x7FFF 5;
+                   Isa.Two (Isa.ADD, Isa.Word, Isa.Simm 1, Isa.Dreg 5) ] in
+  check_int "wrap" 0x8000 (Cpu.get_reg cpu 5);
+  check_bool "overflow" true (Cpu.get_flag cpu `V);
+  check_bool "negative" true (Cpu.get_flag cpu `N);
+  check_bool "no carry" false (Cpu.get_flag cpu `C);
+  let cpu = exec [ mov_imm 0xFFFF 5;
+                   Isa.Two (Isa.ADD, Isa.Word, Isa.Simm 1, Isa.Dreg 5) ] in
+  check_int "wrap to zero" 0 (Cpu.get_reg cpu 5);
+  check_bool "carry out" true (Cpu.get_flag cpu `C);
+  check_bool "zero" true (Cpu.get_flag cpu `Z);
+  check_bool "no overflow" false (Cpu.get_flag cpu `V)
+
+let test_addc () =
+  let cpu = exec [ mov_imm 0xFFFF 5;
+                   Isa.Two (Isa.ADD, Isa.Word, Isa.Simm 1, Isa.Dreg 5); (* sets C *)
+                   mov_imm 10 6;
+                   Isa.Two (Isa.ADDC, Isa.Word, Isa.Simm 0, Isa.Dreg 6) ] in
+  check_int "carry absorbed" 11 (Cpu.get_reg cpu 6)
+
+let test_sub_borrow () =
+  (* 5 - 10: borrow means C = 0 on MSP430 *)
+  let cpu = exec [ mov_imm 5 5;
+                   Isa.Two (Isa.SUB, Isa.Word, Isa.Simm 10, Isa.Dreg 5) ] in
+  check_int "5-10" 0xFFFB (Cpu.get_reg cpu 5);
+  check_bool "borrow -> C clear" false (Cpu.get_flag cpu `C);
+  check_bool "negative" true (Cpu.get_flag cpu `N);
+  (* 10 - 5: no borrow, C = 1 *)
+  let cpu = exec [ mov_imm 10 5;
+                   Isa.Two (Isa.SUB, Isa.Word, Isa.Simm 5, Isa.Dreg 5) ] in
+  check_int "10-5" 5 (Cpu.get_reg cpu 5);
+  check_bool "no borrow -> C set" true (Cpu.get_flag cpu `C)
+
+let test_cmp_preserves_dst () =
+  let cpu = exec [ mov_imm 42 5;
+                   Isa.Two (Isa.CMP, Isa.Word, Isa.Simm 42, Isa.Dreg 5) ] in
+  check_int "dst untouched" 42 (Cpu.get_reg cpu 5);
+  check_bool "equal -> Z" true (Cpu.get_flag cpu `Z);
+  check_bool "equal -> C (no borrow)" true (Cpu.get_flag cpu `C)
+
+let test_logic_ops () =
+  let cpu = exec [ mov_imm 0b1100 5;
+                   Isa.Two (Isa.AND, Isa.Word, Isa.Simm 0b1010, Isa.Dreg 5) ] in
+  check_int "and" 0b1000 (Cpu.get_reg cpu 5);
+  check_bool "and C = not Z" true (Cpu.get_flag cpu `C);
+  let cpu = exec [ mov_imm 0b1100 5;
+                   Isa.Two (Isa.BIS, Isa.Word, Isa.Simm 0b0011, Isa.Dreg 5) ] in
+  check_int "bis" 0b1111 (Cpu.get_reg cpu 5);
+  let cpu = exec [ mov_imm 0b1111 5;
+                   Isa.Two (Isa.BIC, Isa.Word, Isa.Simm 0b0101, Isa.Dreg 5) ] in
+  check_int "bic" 0b1010 (Cpu.get_reg cpu 5);
+  let cpu = exec [ mov_imm 0xFFFF 5;
+                   Isa.Two (Isa.XOR, Isa.Word, Isa.Simm 0xFFFF, Isa.Dreg 5) ] in
+  check_int "xor to zero" 0 (Cpu.get_reg cpu 5);
+  check_bool "xor Z" true (Cpu.get_flag cpu `Z);
+  check_bool "xor both-negative V" true (Cpu.get_flag cpu `V)
+
+let test_bit () =
+  let cpu = exec [ mov_imm 0x40 5;
+                   Isa.Two (Isa.BIT, Isa.Word, Isa.Simm 0x40, Isa.Dreg 5) ] in
+  check_int "bit preserves dst" 0x40 (Cpu.get_reg cpu 5);
+  check_bool "bit C" true (Cpu.get_flag cpu `C);
+  check_bool "bit Z clear" false (Cpu.get_flag cpu `Z)
+
+let test_dadd () =
+  (* BCD: 0x0199 + 0x0001 = 0x0200 *)
+  let cpu = exec [ mov_imm 0x0199 5;
+                   Isa.Two (Isa.DADD, Isa.Word, Isa.Simm 1, Isa.Dreg 5) ] in
+  check_int "bcd add" 0x0200 (Cpu.get_reg cpu 5);
+  (* BCD carry out: 0x9999 + 0x0001 *)
+  let cpu = exec [ mov_imm 0x9999 5;
+                   Isa.Two (Isa.DADD, Isa.Word, Isa.Simm 1, Isa.Dreg 5) ] in
+  check_int "bcd wrap" 0x0000 (Cpu.get_reg cpu 5);
+  check_bool "bcd carry" true (Cpu.get_flag cpu `C)
+
+let test_indexed_and_absolute () =
+  let cpu = boot [ mov_imm 0x0200 5;
+                   Isa.Two (Isa.MOV, Isa.Word, Isa.Simm 0xBEEF, Isa.Dindexed (4, 5));
+                   Isa.Two (Isa.MOV, Isa.Word, Isa.Sindexed (4, 5), Isa.Dreg 6);
+                   Isa.Two (Isa.MOV, Isa.Word, Isa.Sabsolute 0x0204, Isa.Dabsolute 0x0210) ] in
+  for _ = 1 to 4 do ignore (Cpu.step cpu) done;
+  check_int "store indexed" 0xBEEF (Memory.peek16 (Cpu.memory cpu) 0x0204);
+  check_int "load indexed" 0xBEEF (Cpu.get_reg cpu 6);
+  check_int "absolute move" 0xBEEF (Memory.peek16 (Cpu.memory cpu) 0x0210)
+
+let test_autoincrement () =
+  let cpu = boot [ mov_imm 0x0200 5;
+                   Isa.Two (Isa.MOV, Isa.Word, Isa.Sindirect_inc 5, Isa.Dreg 6);
+                   Isa.Two (Isa.MOV, Isa.Byte, Isa.Sindirect_inc 5, Isa.Dreg 7) ] in
+  Memory.poke16 (Cpu.memory cpu) 0x0200 0x1122;
+  Memory.poke8 (Cpu.memory cpu) 0x0202 0x33;
+  for _ = 1 to 3 do ignore (Cpu.step cpu) done;
+  check_int "word load" 0x1122 (Cpu.get_reg cpu 6);
+  check_int "byte load" 0x33 (Cpu.get_reg cpu 7);
+  (* word load advanced r5 by 2, byte load by 1 *)
+  check_int "final pointer" 0x0203 (Cpu.get_reg cpu 5)
+
+let test_push_call_ret () =
+  (* call a subroutine that sets r5 and returns (ret = mov @sp+, pc) *)
+  let sub_addr = code_base + 8 in
+  let cpu = boot [ Isa.One (Isa.CALL, Isa.Word, Isa.Simm sub_addr);   (* 4 bytes *)
+                   Isa.Jump (Isa.JMP, -1);                            (* halt: self *)
+                   mov_imm 0 15;  (* padding to place sub at +8 *)
+                   (* sub: *)
+                   mov_imm 99 5;
+                   Isa.Two (Isa.MOV, Isa.Word, Isa.Sindirect_inc Isa.sp,
+                            Isa.Dreg Isa.pc) ] in
+  (* call *)
+  ignore (Cpu.step cpu);
+  check_int "sp after call" 0x09FE (Cpu.get_reg cpu Isa.sp);
+  check_int "return address pushed" (code_base + 4)
+    (Memory.peek16 (Cpu.memory cpu) 0x09FE);
+  check_int "pc at sub" sub_addr (Cpu.get_reg cpu Isa.pc);
+  (* body + ret *)
+  ignore (Cpu.step cpu);
+  ignore (Cpu.step cpu);
+  check_int "r5 set" 99 (Cpu.get_reg cpu 5);
+  check_int "returned" (code_base + 4) (Cpu.get_reg cpu Isa.pc);
+  check_int "sp restored" 0x0A00 (Cpu.get_reg cpu Isa.sp);
+  (* the jmp $ halts *)
+  ignore (Cpu.step cpu);
+  (match Cpu.halted cpu with
+   | Some (Cpu.Self_jump a) -> check_int "halt addr" (code_base + 4) a
+   | _ -> Alcotest.fail "expected self-jump halt")
+
+let test_push_pop_byte () =
+  let cpu = exec [ mov_imm 0xAB 5;
+                   Isa.One (Isa.PUSH, Isa.Word, Isa.Sreg 5);
+                   Isa.Two (Isa.MOV, Isa.Word, Isa.Sindirect_inc Isa.sp, Isa.Dreg 6) ] in
+  check_int "push/pop roundtrip" 0xAB (Cpu.get_reg cpu 6);
+  check_int "sp balanced" 0x0A00 (Cpu.get_reg cpu Isa.sp)
+
+let test_jumps () =
+  (* jeq taken: mov #5, r5; cmp #5, r5; jeq +1 (skip mov #1, r6); mov #2, r7 *)
+  let cpu = boot [ mov_imm 5 5;
+                   Isa.Two (Isa.CMP, Isa.Word, Isa.Simm 5, Isa.Dreg 5);
+                   Isa.Jump (Isa.JEQ, 1);
+                   mov_imm 1 6;
+                   mov_imm 2 7 ] in
+  for _ = 1 to 4 do ignore (Cpu.step cpu) done;
+  check_int "skipped" 0 (Cpu.get_reg cpu 6);
+  check_int "landed" 2 (Cpu.get_reg cpu 7)
+
+let test_signed_jumps () =
+  (* jl on signed comparison: -1 < 1 *)
+  let cpu = boot [ mov_imm 0xFFFF 5;  (* -1 *)
+                   Isa.Two (Isa.CMP, Isa.Word, Isa.Simm 1, Isa.Dreg 5);
+                   Isa.Jump (Isa.JL, 2);  (* skip the 4-byte mov *)
+                   mov_imm 7 6;
+                   mov_imm 8 7 ] in
+  for _ = 1 to 4 do ignore (Cpu.step cpu) done;
+  check_int "jl taken" 0 (Cpu.get_reg cpu 6);
+  check_int "jl target" 8 (Cpu.get_reg cpu 7)
+
+let test_unsigned_jumps () =
+  (* jc/jhs on unsigned: 0xFFFF >= 1 *)
+  let cpu = boot [ mov_imm 0xFFFF 5;
+                   Isa.Two (Isa.CMP, Isa.Word, Isa.Simm 1, Isa.Dreg 5);
+                   Isa.Jump (Isa.JC, 2);  (* skip the 4-byte mov *)
+                   mov_imm 7 6;
+                   mov_imm 8 7 ] in
+  for _ = 1 to 4 do ignore (Cpu.step cpu) done;
+  check_int "jc taken" 0 (Cpu.get_reg cpu 6);
+  check_int "jc target" 8 (Cpu.get_reg cpu 7)
+
+let test_rrc_rra () =
+  let cpu = exec [ mov_imm 0b101 5;
+                   Isa.One (Isa.RRA, Isa.Word, Isa.Sreg 5) ] in
+  check_int "rra" 0b10 (Cpu.get_reg cpu 5);
+  check_bool "rra carry" true (Cpu.get_flag cpu `C);
+  let cpu = exec [ mov_imm 0x8000 5;
+                   Isa.One (Isa.RRA, Isa.Word, Isa.Sreg 5) ] in
+  check_int "rra keeps sign" 0xC000 (Cpu.get_reg cpu 5);
+  (* rrc shifts carry in at the top *)
+  let cpu = exec [ mov_imm 0xFFFF 5;
+                   Isa.Two (Isa.ADD, Isa.Word, Isa.Simm 1, Isa.Dreg 5); (* C=1 *)
+                   mov_imm 0 6;
+                   Isa.One (Isa.RRC, Isa.Word, Isa.Sreg 6) ] in
+  check_int "rrc carry in" 0x8000 (Cpu.get_reg cpu 6)
+
+let test_swpb_sxt () =
+  let cpu = exec [ mov_imm 0x1234 5;
+                   Isa.One (Isa.SWPB, Isa.Word, Isa.Sreg 5) ] in
+  check_int "swpb" 0x3412 (Cpu.get_reg cpu 5);
+  let cpu = exec [ mov_imm 0x0080 5;
+                   Isa.One (Isa.SXT, Isa.Word, Isa.Sreg 5) ] in
+  check_int "sxt" 0xFF80 (Cpu.get_reg cpu 5);
+  check_bool "sxt N" true (Cpu.get_flag cpu `N)
+
+let test_sr_writes () =
+  (* eint = bis #8, sr *)
+  let cpu = exec [ Isa.Two (Isa.BIS, Isa.Word, Isa.Simm 8, Isa.Dreg Isa.sr) ] in
+  check_bool "GIE set" true (Cpu.get_flag cpu `GIE)
+
+let test_irq () =
+  let cpu = boot [ Isa.Two (Isa.BIS, Isa.Word, Isa.Simm 8, Isa.Dreg Isa.sr);
+                   mov_imm 1 5;
+                   mov_imm 2 5 ] in
+  (* interrupt vector at 0xFFFE points to 0xF000 *)
+  Memory.poke16 (Cpu.memory cpu) 0xFFFE 0xF000;
+  ignore (Cpu.step cpu); (* eint *)
+  Cpu.request_irq cpu ~vector:0xFFFE;
+  let info = Cpu.step cpu in
+  check_bool "irq taken" true info.Cpu.irq_taken;
+  check_int "vectored" 0xF000 (Cpu.get_reg cpu Isa.pc);
+  check_bool "GIE cleared" false (Cpu.get_flag cpu `GIE);
+  check_int "sp dropped by 4" 0x09FC (Cpu.get_reg cpu Isa.sp)
+
+let test_irq_masked () =
+  let cpu = boot [ mov_imm 1 5; mov_imm 2 6 ] in
+  Cpu.request_irq cpu ~vector:0xFFFE;
+  let info = Cpu.step cpu in
+  check_bool "masked irq not taken" false info.Cpu.irq_taken;
+  check_bool "still pending" true (Cpu.irq_pending cpu)
+
+let test_reti () =
+  let cpu = boot [ Isa.One (Isa.PUSH, Isa.Word, Isa.Simm 0xE008); (* pc *)
+                   Isa.One (Isa.PUSH, Isa.Word, Isa.Simm 0x0008); (* sr: GIE *)
+                   Isa.Reti;
+                   mov_imm 3 5 ] in
+  for _ = 1 to 4 do ignore (Cpu.step cpu) done;
+  check_bool "sr restored (GIE)" true (Cpu.get_flag cpu `GIE);
+  check_int "resumed after reti" 3 (Cpu.get_reg cpu 5)
+
+let test_cycles () =
+  (* mov r5, r6: 1 cycle; mov #0x1234, r6: 2; mov &a, &b: 6; jmp: 2 *)
+  let cpu = exec [ Isa.Two (Isa.MOV, Isa.Word, Isa.Sreg 5, Isa.Dreg 6) ] in
+  check_int "reg-reg 1 cycle" 1 (Cpu.cycles cpu);
+  let cpu = exec [ mov_imm 0x1234 6 ] in
+  check_int "imm-reg 2 cycles" 2 (Cpu.cycles cpu);
+  let cpu = exec [ Isa.Two (Isa.MOV, Isa.Word, Isa.Sabsolute 0x0200,
+                            Isa.Dabsolute 0x0210) ] in
+  check_int "mem-mem 6 cycles" 6 (Cpu.cycles cpu);
+  let cpu = boot [ Isa.Jump (Isa.JMP, 1); mov_imm 1 5 ] in
+  ignore (Cpu.step cpu);
+  check_int "jump 2 cycles" 2 (Cpu.cycles cpu)
+
+let test_run_helper () =
+  let cpu = boot [ mov_imm 1 5; mov_imm 2 6; Isa.Jump (Isa.JMP, -1) ] in
+  (match Cpu.run cpu ~max_steps:100 (fun _ -> ()) with
+   | Some (Cpu.Self_jump _) -> ()
+   | _ -> Alcotest.fail "expected halt");
+  check_int "steps" 3 (Cpu.steps cpu)
+
+let test_step_trace_has_fetches () =
+  let cpu = boot [ mov_imm 0x1234 5 ] in
+  let info = Cpu.step cpu in
+  let fetches =
+    List.filter (fun a -> a.Memory.kind = Memory.Fetch) info.Cpu.accesses
+  in
+  check_int "two fetch words (opcode + ext)" 2 (List.length fetches)
+
+let test_byte_arith_flags () =
+  (* byte add: carry out of bit 7 *)
+  let cpu = exec [ mov_imm 0xFF 5;
+                   Isa.Two (Isa.ADD, Isa.Byte, Isa.Simm 1, Isa.Dreg 5) ] in
+  check_int "byte wrap" 0 (Cpu.get_reg cpu 5);
+  check_bool "byte carry" true (Cpu.get_flag cpu `C);
+  check_bool "byte zero" true (Cpu.get_flag cpu `Z);
+  (* byte overflow: 0x7F + 1 *)
+  let cpu = exec [ mov_imm 0x7F 5;
+                   Isa.Two (Isa.ADD, Isa.Byte, Isa.Simm 1, Isa.Dreg 5) ] in
+  check_int "byte signed wrap" 0x80 (Cpu.get_reg cpu 5);
+  check_bool "byte overflow" true (Cpu.get_flag cpu `V);
+  check_bool "byte negative" true (Cpu.get_flag cpu `N)
+
+let test_byte_memory_ops () =
+  (* byte ops on memory leave the sibling byte alone *)
+  let cpu = boot [ mov_imm 0x0200 5;
+                   Isa.Two (Isa.MOV, Isa.Word, Isa.Simm 0x1234, Isa.Dindexed (0, 5));
+                   Isa.Two (Isa.ADD, Isa.Byte, Isa.Simm 1, Isa.Dindexed (0, 5)) ] in
+  for _ = 1 to 3 do ignore (Cpu.step cpu) done;
+  check_int "low byte bumped" 0x1235 (Memory.peek16 (Cpu.memory cpu) 0x0200)
+
+let test_dadd_byte () =
+  let cpu = exec [ mov_imm 0x45 5;
+                   Isa.Two (Isa.DADD, Isa.Byte, Isa.Simm 0x38, Isa.Dreg 5) ] in
+  check_int "bcd byte add 45+38=83" 0x83 (Cpu.get_reg cpu 5)
+
+let test_sxt_memory () =
+  let cpu = boot [ mov_imm 0x0200 5;
+                   Isa.Two (Isa.MOV, Isa.Word, Isa.Simm 0x00F0, Isa.Dindexed (0, 5));
+                   Isa.One (Isa.SXT, Isa.Word, Isa.Sindexed (0, 5)) ] in
+  for _ = 1 to 3 do ignore (Cpu.step cpu) done;
+  check_int "sxt in memory" 0xFFF0 (Memory.peek16 (Cpu.memory cpu) 0x0200)
+
+let test_rrc_byte () =
+  let cpu = exec [ mov_imm 0xFFFF 5;
+                   Isa.Two (Isa.ADD, Isa.Word, Isa.Simm 1, Isa.Dreg 5); (* C=1 *)
+                   mov_imm 0x40 6;
+                   Isa.One (Isa.RRC, Isa.Byte, Isa.Sreg 6) ] in
+  check_int "byte rrc carry into bit 7" 0xA0 (Cpu.get_reg cpu 6)
+
+let test_push_byte () =
+  let cpu = exec [ mov_imm 0x12AB 5;
+                   Isa.One (Isa.PUSH, Isa.Byte, Isa.Sreg 5) ] in
+  check_int "byte pushed" 0xAB (Memory.peek8 (Cpu.memory cpu) 0x09FE);
+  check_int "sp still drops a word" 0x09FE (Cpu.get_reg cpu Isa.sp)
+
+let test_call_via_register () =
+  let target = code_base + 10 in
+  let cpu = boot [ mov_imm target 5;               (* 4 bytes *)
+                   Isa.One (Isa.CALL, Isa.Word, Isa.Sreg 5);   (* 2 bytes *)
+                   Isa.Jump (Isa.JMP, -1);                     (* 2 *)
+                   mov_imm 0 15;                               (* 2 (CG) *)
+                   (* target: *)
+                   mov_imm 77 7;
+                   Isa.Two (Isa.MOV, Isa.Word, Isa.Sindirect_inc Isa.sp,
+                            Isa.Dreg Isa.pc) ] in
+  for _ = 1 to 4 do ignore (Cpu.step cpu) done;
+  check_int "indirect call reached target" 77 (Cpu.get_reg cpu 7);
+  check_int "returned" (code_base + 6) (Cpu.get_reg cpu Isa.pc)
+
+let test_bit_byte () =
+  let cpu = exec [ mov_imm 0x180 5;
+                   Isa.Two (Isa.BIT, Isa.Byte, Isa.Simm 0x80, Isa.Dreg 5) ] in
+  check_bool "byte bit sees only low byte" true (Cpu.get_flag cpu `C);
+  let cpu = exec [ mov_imm 0x100 5;
+                   Isa.Two (Isa.BIT, Isa.Byte, Isa.Simm 0x80, Isa.Dreg 5) ] in
+  check_bool "bit 8 invisible to byte op" true (Cpu.get_flag cpu `Z)
+
+let test_sr_as_source () =
+  (* read SR through an instruction: C flag lands in bit 0 *)
+  let cpu = exec [ mov_imm 0xFFFF 5;
+                   Isa.Two (Isa.ADD, Isa.Word, Isa.Simm 1, Isa.Dreg 5); (* C,Z *)
+                   Isa.Two (Isa.MOV, Isa.Word, Isa.Sreg Isa.sr, Isa.Dreg 6) ] in
+  check_int "sr readback has C and Z" 0b011 (Cpu.get_reg cpu 6 land 0b111)
+
+let test_autoincrement_sp_byte () =
+  (* @sp+ on a byte op still increments by 2 (stack stays aligned) *)
+  let cpu = boot [ Isa.One (Isa.PUSH, Isa.Word, Isa.Simm 0x1234);
+                   Isa.Two (Isa.MOV, Isa.Byte, Isa.Sindirect_inc Isa.sp,
+                            Isa.Dreg 6) ] in
+  ignore (Cpu.step cpu);
+  ignore (Cpu.step cpu);
+  check_int "byte popped" 0x34 (Cpu.get_reg cpu 6);
+  check_int "sp bumped by 2" 0x0A00 (Cpu.get_reg cpu Isa.sp)
+
+let test_format2_cycles () =
+  let cpu = exec [ Isa.One (Isa.RRA, Isa.Word, Isa.Sreg 5) ] in
+  check_int "rra reg 1 cycle" 1 (Cpu.cycles cpu);
+  let cpu = exec [ mov_imm 0x0200 5; Isa.One (Isa.PUSH, Isa.Word, Isa.Sindirect 5) ] in
+  check_int "push @rn 4 cycles +2 for the mov" 6 (Cpu.cycles cpu);
+  let cpu = boot [ Isa.One (Isa.CALL, Isa.Word, Isa.Simm 0xE006);
+                   Isa.Jump (Isa.JMP, -1);
+                   mov_imm 1 5 ] in
+  ignore (Cpu.step cpu);
+  check_int "call #imm 5 cycles" 5 (Cpu.cycles cpu)
+
+let suites =
+  [ ("cpu",
+     [ Alcotest.test_case "mov" `Quick test_mov;
+       Alcotest.test_case "byte mov clears high" `Quick test_mov_byte_clears_high;
+       Alcotest.test_case "add flags" `Quick test_add_flags;
+       Alcotest.test_case "addc" `Quick test_addc;
+       Alcotest.test_case "sub borrow semantics" `Quick test_sub_borrow;
+       Alcotest.test_case "cmp" `Quick test_cmp_preserves_dst;
+       Alcotest.test_case "and/bis/bic/xor" `Quick test_logic_ops;
+       Alcotest.test_case "bit" `Quick test_bit;
+       Alcotest.test_case "dadd (BCD)" `Quick test_dadd;
+       Alcotest.test_case "indexed/absolute" `Quick test_indexed_and_absolute;
+       Alcotest.test_case "autoincrement" `Quick test_autoincrement;
+       Alcotest.test_case "call/ret stack" `Quick test_push_call_ret;
+       Alcotest.test_case "push/pop" `Quick test_push_pop_byte;
+       Alcotest.test_case "conditional jumps" `Quick test_jumps;
+       Alcotest.test_case "signed jumps" `Quick test_signed_jumps;
+       Alcotest.test_case "unsigned jumps" `Quick test_unsigned_jumps;
+       Alcotest.test_case "rrc/rra" `Quick test_rrc_rra;
+       Alcotest.test_case "swpb/sxt" `Quick test_swpb_sxt;
+       Alcotest.test_case "sr writes" `Quick test_sr_writes;
+       Alcotest.test_case "irq vectoring" `Quick test_irq;
+       Alcotest.test_case "irq masked by GIE" `Quick test_irq_masked;
+       Alcotest.test_case "reti" `Quick test_reti;
+       Alcotest.test_case "cycle accounting" `Quick test_cycles;
+       Alcotest.test_case "run until halt" `Quick test_run_helper;
+       Alcotest.test_case "fetch trace" `Quick test_step_trace_has_fetches;
+       Alcotest.test_case "byte arith flags" `Quick test_byte_arith_flags;
+       Alcotest.test_case "byte memory ops" `Quick test_byte_memory_ops;
+       Alcotest.test_case "dadd byte" `Quick test_dadd_byte;
+       Alcotest.test_case "sxt on memory" `Quick test_sxt_memory;
+       Alcotest.test_case "rrc byte" `Quick test_rrc_byte;
+       Alcotest.test_case "push byte" `Quick test_push_byte;
+       Alcotest.test_case "call via register" `Quick test_call_via_register;
+       Alcotest.test_case "bit byte" `Quick test_bit_byte;
+       Alcotest.test_case "sr as source" `Quick test_sr_as_source;
+       Alcotest.test_case "sp byte autoincrement" `Quick test_autoincrement_sp_byte;
+       Alcotest.test_case "format II cycles" `Quick test_format2_cycles ]) ]

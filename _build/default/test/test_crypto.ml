@@ -1,0 +1,112 @@
+(* SHA-256 / HMAC-SHA256 against FIPS and RFC 4231 test vectors, plus
+   incremental-update properties. *)
+
+module Sha256 = Dialed_crypto.Sha256
+module Hmac = Dialed_crypto.Hmac
+
+let check_str = Alcotest.(check string)
+
+let test_sha256_vectors () =
+  check_str "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Sha256.hex (Sha256.digest ""));
+  check_str "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Sha256.hex (Sha256.digest "abc"));
+  check_str "two-block message"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Sha256.hex
+       (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+  check_str "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.hex (Sha256.digest (String.make 1_000_000 'a')))
+
+let test_sha256_block_boundaries () =
+  (* lengths straddling the 55/56/64-byte padding boundaries *)
+  let golden =
+    [ (55, "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+      (56, "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+      (57, "f13b2d724659eb3bf47f2dd6af1accc87b81f09f59f2b75e5c0bed6589dfe8c6");
+      (64, "ffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+      (65, "635361c48bb9eab14198e76ea8ab7f1a41685d6ad62aa9146d301d4f17eb0ae0") ]
+  in
+  List.iter
+    (fun (len, expect) ->
+       check_str (Printf.sprintf "len %d" len) expect
+         (Sha256.hex (Sha256.digest (String.make len 'a'))))
+    golden
+
+let test_incremental () =
+  let msg = "The quick brown fox jumps over the lazy dog" in
+  let whole = Sha256.digest msg in
+  let split_at n =
+    let a = String.sub msg 0 n and b = String.sub msg n (String.length msg - n) in
+    Sha256.finalize (Sha256.update (Sha256.update (Sha256.init ()) a) b)
+  in
+  for n = 0 to String.length msg do
+    check_str (Printf.sprintf "split %d" n) (Sha256.hex whole) (Sha256.hex (split_at n))
+  done
+
+let test_hmac_rfc4231 () =
+  (* RFC 4231 test case 1 *)
+  check_str "tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Hmac.hex (Hmac.mac ~key:(String.make 20 '\x0b') "Hi There"));
+  (* test case 2: short key "Jefe" *)
+  check_str "tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Hmac.hex (Hmac.mac ~key:"Jefe" "what do ya want for nothing?"));
+  (* test case 3: 20x 0xaa key, 50x 0xdd data *)
+  check_str "tc3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Hmac.hex (Hmac.mac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd')));
+  (* test case 6: key longer than the block size *)
+  check_str "tc6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Hmac.hex
+       (Hmac.mac ~key:(String.make 131 '\xaa')
+          "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_mac_parts () =
+  let key = "secret" in
+  check_str "parts = concatenation"
+    (Hmac.hex (Hmac.mac ~key "abcdef"))
+    (Hmac.hex (Hmac.mac_parts ~key [ "ab"; "cd"; "ef" ]))
+
+let test_verify () =
+  let key = "k" and msg = "m" in
+  let tag = Hmac.mac ~key msg in
+  Alcotest.(check bool) "accepts valid" true (Hmac.verify ~key ~msg ~tag);
+  let bad = String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 1) else c) tag in
+  Alcotest.(check bool) "rejects flipped bit" false (Hmac.verify ~key ~msg ~tag:bad);
+  Alcotest.(check bool) "rejects truncation" false
+    (Hmac.verify ~key ~msg ~tag:(String.sub tag 0 16));
+  Alcotest.(check bool) "rejects wrong key" false
+    (Hmac.verify ~key:"other" ~msg ~tag)
+
+let prop_incremental_equals_oneshot =
+  QCheck.Test.make ~name:"incremental = one-shot" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 300)) (int_range 0 300))
+    (fun (s, cut) ->
+       let cut = min cut (String.length s) in
+       let a = String.sub s 0 cut and b = String.sub s cut (String.length s - cut) in
+       Sha256.finalize (Sha256.update (Sha256.update (Sha256.init ()) a) b)
+       = Sha256.digest s)
+
+let prop_distinct_messages_distinct_macs =
+  QCheck.Test.make ~name:"mac respects message identity" ~count:200
+    QCheck.(pair small_string small_string)
+    (fun (a, b) ->
+       if a = b then Hmac.mac ~key:"k" a = Hmac.mac ~key:"k" b
+       else Hmac.mac ~key:"k" a <> Hmac.mac ~key:"k" b)
+
+let suites =
+  [ ("crypto",
+     [ Alcotest.test_case "sha256 FIPS vectors" `Quick test_sha256_vectors;
+       Alcotest.test_case "sha256 padding boundaries" `Quick test_sha256_block_boundaries;
+       Alcotest.test_case "sha256 incremental" `Quick test_incremental;
+       Alcotest.test_case "hmac RFC 4231" `Quick test_hmac_rfc4231;
+       Alcotest.test_case "mac_parts" `Quick test_mac_parts;
+       Alcotest.test_case "verify" `Quick test_verify ]
+     @ List.map QCheck_alcotest.to_alcotest
+         [ prop_incremental_equals_oneshot; prop_distinct_messages_distinct_macs ]) ]

@@ -1,0 +1,292 @@
+(* End-to-end DIALED: instrument -> run on the prover -> attest ->
+   verifier replay. Exercises benign acceptance and the paper's two
+   motivating attacks (Fig. 1 control-flow hijack, Fig. 2 data-only
+   corruption), plus log/report tampering. *)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+module C = Dialed_core
+module Memory = M.Memory
+module Asm_parse = M.Asm_parse
+module Assemble = M.Assemble
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let p3out = M.Peripherals.p3out
+
+(* ---------------------------------------------------------------- *)
+(* Fig. 2-style operation: unchecked settings[index] write, dose from
+   settings, actuation through P3OUT gated by a safety check.         *)
+
+let inject_op = {|
+    inject_medicine:                  ; args: r15 = new_setting, r14 = index
+        mov r14, r13
+        rla r13                       ; index * 2
+        mov #settings, r12
+        add r13, r12
+        .annot store settings settings 16
+        mov r15, 0(r12)               ; settings[index] = new_setting  (VULN)
+        mov &settings, r13            ; dose = settings[0]
+        cmp #10, r13
+        jge no_actuation              ; dose >= 10: unsafe, skip
+        mov &set_var, r12             ; port configuration word
+        mov.b r12, &0x0019            ; P3OUT = set
+    no_actuation:
+        br #__op_exit
+    |}
+
+let inject_data = {|
+    settings:
+        .word 5, 0, 0, 0, 0, 0, 0, 0
+    set_var:
+        .word 0x1
+    |}
+
+let build_inject () =
+  C.Pipeline.build
+    ~data:(Asm_parse.parse inject_data)
+    ~op:(Asm_parse.parse inject_op) ()
+
+let verifier_for built = C.Verifier.create built
+
+let round ?(args = []) built =
+  let device = C.Pipeline.device built in
+  let session = C.Protocol.make_session (verifier_for built) in
+  let outcome, result = C.Protocol.attest_round session device ~args in
+  (device, outcome, result)
+
+let test_benign_accepted () =
+  let built = build_inject () in
+  let device, outcome, result = round ~args:[ 7; 3 ] built in
+  check_bool "run completed" true result.A.Device.completed;
+  check_bool "exec" true (A.Monitor.exec_flag (A.Device.monitor device));
+  if not outcome.C.Verifier.accepted then
+    Alcotest.failf "benign run rejected: %a" C.Verifier.pp_outcome outcome;
+  (* actuation happened on the device (dose 5 < 10, set = 1) *)
+  check_int "P3OUT actuated" 1 (Memory.peek8 (A.Device.memory device) p3out);
+  (* settings[3] updated *)
+  let settings = Assemble.symbol built.C.Pipeline.image "settings" in
+  check_int "settings[3]" 7 (Memory.peek16 (A.Device.memory device) (settings + 6))
+
+let test_benign_trace_contents () =
+  let built = build_inject () in
+  let _, outcome, _ = round ~args:[ 7; 3 ] built in
+  match outcome.C.Verifier.trace with
+  | None -> Alcotest.fail "no trace"
+  | Some trace ->
+    (* inputs contain the two logged globals (dose word and set word) plus
+       the 9 F3 entries *)
+    check_bool "collected inputs" true (List.length trace.C.Verifier.inputs >= 2);
+    check_bool "collected cf dests" true (List.length trace.C.Verifier.cf_dests >= 2)
+
+let test_data_only_attack_detected () =
+  let built = build_inject () in
+  (* index 8 overflows settings[] onto set_var: actuation silently disabled,
+     control flow unchanged — CFA alone cannot see this *)
+  let device, outcome, result = round ~args:[ 0; 8 ] built in
+  check_bool "run completes" true result.A.Device.completed;
+  check_bool "exec still 1 (APEX cannot see it)" true
+    (A.Monitor.exec_flag (A.Device.monitor device));
+  (* the actuation was corrupted: P3OUT = 0 instead of 1 *)
+  check_int "actuation suppressed" 0 (Memory.peek8 (A.Device.memory device) p3out);
+  check_bool "verifier rejects" true (not outcome.C.Verifier.accepted);
+  let has_oob =
+    List.exists
+      (fun f ->
+         match f with
+         | C.Verifier.Oob_access { kind = `Write; array = "settings"; _ } -> true
+         | _ -> false)
+      outcome.C.Verifier.findings
+  in
+  if not has_oob then
+    Alcotest.failf "expected OOB write finding, got: %a" C.Verifier.pp_outcome
+      outcome
+
+let test_policy_detection () =
+  (* the same attack caught by a user policy instead: the configuration
+     word must still be 0x1 after the run *)
+  let built = build_inject () in
+  let set_var = Assemble.symbol built.C.Pipeline.image "set_var" in
+  let policy =
+    { C.Verifier.policy_name = "actuation-config-intact";
+      check =
+        (fun trace ->
+           let v = Memory.peek16 trace.C.Verifier.replay_memory set_var in
+           if v = 0x1 then Ok ()
+           else Error (Printf.sprintf "set_var corrupted to 0x%04x" v)) }
+  in
+  let verifier = C.Verifier.create ~policies:[ policy ] built in
+  let device = C.Pipeline.device built in
+  let session = C.Protocol.make_session verifier in
+  let outcome, _ = C.Protocol.attest_round session device ~args:[ 0; 8 ] in
+  let has_policy =
+    List.exists
+      (fun f ->
+         match f with
+         | C.Verifier.Policy_violation { policy = "actuation-config-intact"; _ } ->
+           true
+         | _ -> false)
+      outcome.C.Verifier.findings
+  in
+  check_bool "policy fired" true has_policy
+
+(* ---------------------------------------------------------------- *)
+(* Fig. 1-style operation: network bytes copied into a fixed stack
+   buffer with an attacker-controlled length; the overflow rewrites
+   return addresses to skip the safety check.                         *)
+
+let parse_op = {|
+    process_commands:                 ; arg r15 unused
+        call #parse
+    after_parse:
+        br #__op_exit
+    check_and_actuate:
+        cmp #10, r15
+        jge no_act
+    actuate:
+        mov.b #1, &0x0019             ; P3OUT = 1
+    no_act:
+        ret
+    parse:
+        sub #8, sp                    ; char buf[8]
+        mov.b &0x0076, r13            ; len = uart_read()
+        clr r12
+    ploop:
+        cmp r13, r12
+        jge pdone
+        mov.b &0x0076, r11            ; byte = uart_read()
+        mov sp, r10
+        add r12, r10
+        mov.b r11, 0(r10)             ; buf[i] = byte  (VULN: i unchecked)
+        inc r12
+        jmp ploop
+    pdone:
+        add #8, sp
+        ret
+    |}
+
+let build_parse () = C.Pipeline.build ~op:(Asm_parse.parse parse_op) ()
+
+let feed_and_round built bytes =
+  let device = C.Pipeline.device built in
+  M.Peripherals.feed_uart (A.Device.board device) bytes;
+  let session = C.Protocol.make_session (verifier_for built) in
+  let outcome, result = C.Protocol.attest_round session device ~args:[ 50 ] in
+  (device, outcome, result)
+
+let test_cf_benign () =
+  let built = build_parse () in
+  let device, outcome, result =
+    feed_and_round built (4 :: [ 0x41; 0x42; 0x43; 0x44 ])
+  in
+  check_bool "completed" true result.A.Device.completed;
+  if not outcome.C.Verifier.accepted then
+    Alcotest.failf "benign parse rejected: %a" C.Verifier.pp_outcome outcome;
+  check_int "no actuation (arg 50 >= 10 and actuate never called)" 0
+    (Memory.peek8 (A.Device.memory device) p3out)
+
+let test_cf_attack_detected () =
+  let built = build_parse () in
+  let image = built.C.Pipeline.image in
+  let actuate = Assemble.symbol image "actuate" in
+  let after_parse = Assemble.symbol image "after_parse" in
+  let caller_ret = Assemble.symbol image "__caller_ret" in
+  let lo v = v land 0xFF and hi v = (v lsr 8) land 0xFF in
+  (* 14 bytes: 8 fill the buffer; 2 overwrite parse's return address with
+     'actuate' (skipping the dose check); 2 overwrite the next return slot
+     so the spurious extra ret lands back at 'after_parse'; 2 plant the
+     caller's return above the frame so the operation still exits through
+     the legal APEX exit with EXEC = 1 *)
+  let payload =
+    [ 14; 0; 0; 0; 0; 0; 0; 0; 0;
+      lo actuate; hi actuate;
+      lo after_parse; hi after_parse;
+      lo caller_ret; hi caller_ret ]
+  in
+  let device, outcome, result = feed_and_round built payload in
+  check_bool "run completes through legal exit" true result.A.Device.completed;
+  check_bool "exec = 1 (hijack invisible to APEX)" true
+    (A.Monitor.exec_flag (A.Device.monitor device));
+  (* the attack fired the actuator even though the dose check should have
+     prevented it *)
+  check_int "unauthorized actuation" 1
+    (Memory.peek8 (A.Device.memory device) p3out);
+  check_bool "verifier rejects" true (not outcome.C.Verifier.accepted);
+  let has_shadow =
+    List.exists
+      (fun f ->
+         match f with C.Verifier.Shadow_stack_violation _ -> true | _ -> false)
+      outcome.C.Verifier.findings
+  in
+  if not has_shadow then
+    Alcotest.failf "expected shadow-stack finding, got: %a"
+      C.Verifier.pp_outcome outcome
+
+(* ---------------------------------------------------------------- *)
+(* Tampering with the transcript.                                     *)
+
+let test_forged_input_rejected () =
+  let built = build_inject () in
+  let device = C.Pipeline.device built in
+  let session = C.Protocol.make_session (verifier_for built) in
+  let req = C.Protocol.next_request session ~args:[ 7; 3 ] in
+  let report, _ = C.Protocol.prover_execute device req in
+  (* flip one byte of the OR data (a logged input value) *)
+  let or_data = Bytes.of_string report.A.Pox.or_data in
+  Bytes.set or_data 10 (Char.chr (Char.code (Bytes.get or_data 10) lxor 0xFF));
+  let forged = { report with A.Pox.or_data = Bytes.to_string or_data } in
+  let outcome = C.Protocol.check_response session req forged in
+  check_bool "forged OR rejected" true (not outcome.C.Verifier.accepted)
+
+let test_replayed_report_rejected () =
+  let built = build_inject () in
+  let device = C.Pipeline.device built in
+  let session = C.Protocol.make_session (verifier_for built) in
+  let req1 = C.Protocol.next_request session ~args:[ 7; 3 ] in
+  let report1, _ = C.Protocol.prover_execute device req1 in
+  let _ = C.Protocol.check_response session req1 report1 in
+  (* second round: prover replays the old report *)
+  let req2 = C.Protocol.next_request session ~args:[ 7; 3 ] in
+  let outcome = C.Protocol.check_response session req2 report1 in
+  check_bool "replay rejected" true (not outcome.C.Verifier.accepted)
+
+let test_wrong_args_claim_rejected () =
+  (* the device runs with args (0, 8) but the operator claims (7, 3):
+     nothing to intercept — args come from the authenticated I-Log, so the
+     verifier replays the true execution and still sees the attack *)
+  let built = build_inject () in
+  let device = C.Pipeline.device built in
+  ignore (A.Device.run_operation ~args:[ 0; 8 ] device);
+  let report = A.Device.attest device ~challenge:"c1" in
+  let verifier = C.Verifier.create built in
+  let outcome = C.Verifier.verify verifier report in
+  check_bool "attack with forged arg claim still detected" true
+    (not outcome.C.Verifier.accepted)
+
+let test_log_sizes_reasonable () =
+  let built = build_inject () in
+  let device = C.Pipeline.device built in
+  ignore (A.Device.run_operation ~args:[ 7; 3 ] device);
+  let oplog = C.Oplog.of_device device in
+  let final_r4 = M.Cpu.get_reg (A.Device.cpu device) 4 in
+  let used = C.Oplog.used_bytes oplog ~final_r4 in
+  (* 9 F3 entries + a handful of CF/input entries; well under OR capacity *)
+  check_bool "log non-trivial" true (used >= 2 * 9);
+  check_bool "log fits" true (used <= A.Layout.or_size_bytes built.C.Pipeline.layout);
+  (* args recoverable from the log *)
+  check_int "arg 0 from I-Log" 7 (C.Oplog.arg_value oplog 0);
+  check_int "arg 1 from I-Log" 3 (C.Oplog.arg_value oplog 1)
+
+let suites =
+  [ ("dialed-e2e",
+     [ Alcotest.test_case "benign accepted" `Quick test_benign_accepted;
+       Alcotest.test_case "trace contents" `Quick test_benign_trace_contents;
+       Alcotest.test_case "data-only attack (Fig 2)" `Quick test_data_only_attack_detected;
+       Alcotest.test_case "policy detection" `Quick test_policy_detection;
+       Alcotest.test_case "cf benign" `Quick test_cf_benign;
+       Alcotest.test_case "cf attack (Fig 1)" `Quick test_cf_attack_detected;
+       Alcotest.test_case "forged input" `Quick test_forged_input_rejected;
+       Alcotest.test_case "replayed report" `Quick test_replayed_report_rejected;
+       Alcotest.test_case "forged args claim" `Quick test_wrong_args_claim_rejected;
+       Alcotest.test_case "log sizes" `Quick test_log_sizes_reasonable ]) ]

@@ -1,0 +1,154 @@
+(* Encode/decode: golden encodings from the MSP430 manual plus a
+   property-based roundtrip over randomly generated valid instructions. *)
+
+module M = Dialed_msp430
+module Isa = M.Isa
+module Encode = M.Encode
+module Decode = M.Decode
+
+let check_words = Alcotest.(check (list int))
+
+let decode_words words =
+  let arr = Array.of_list words in
+  let get_word addr = arr.((addr - 0x1000) / 2) in
+  fst (Decode.decode ~get_word 0x1000)
+
+let test_golden_encodings () =
+  (* mov r5, r6 = 0x4506 *)
+  check_words "mov r5, r6" [ 0x4506 ]
+    (Encode.encode (Isa.Two (Isa.MOV, Isa.Word, Isa.Sreg 5, Isa.Dreg 6)));
+  (* mov.b @r15, r14 = 0x4F6E *)
+  check_words "mov.b @r15, r14" [ 0x4F6E ]
+    (Encode.encode (Isa.Two (Isa.MOV, Isa.Byte, Isa.Sindirect 15, Isa.Dreg 14)));
+  (* add #2, r5 uses the constant generator: 0x5325 *)
+  check_words "add #2, r5" [ 0x5325 ]
+    (Encode.encode (Isa.Two (Isa.ADD, Isa.Word, Isa.Simm 2, Isa.Dreg 5)));
+  (* mov #0x1234, r7 needs an extension word *)
+  check_words "mov #0x1234, r7" [ 0x4037; 0x1234 ]
+    (Encode.encode (Isa.Two (Isa.MOV, Isa.Word, Isa.Simm 0x1234, Isa.Dreg 7)));
+  (* mov 2(r5), 4(r6) *)
+  check_words "mov 2(r5), 4(r6)" [ 0x4596; 0x0002; 0x0004 ]
+    (Encode.encode
+       (Isa.Two (Isa.MOV, Isa.Word, Isa.Sindexed (2, 5), Isa.Dindexed (4, 6))));
+  (* push r10 = 0x120A *)
+  check_words "push r10" [ 0x120A ]
+    (Encode.encode (Isa.One (Isa.PUSH, Isa.Word, Isa.Sreg 10)));
+  (* call #0xF000 *)
+  check_words "call #0xF000" [ 0x12B0; 0xF000 ]
+    (Encode.encode (Isa.One (Isa.CALL, Isa.Word, Isa.Simm 0xF000)));
+  (* reti *)
+  check_words "reti" [ 0x1300 ] (Encode.encode Isa.Reti);
+  (* jmp +0 (to next instruction) = 0x3C00 *)
+  check_words "jmp 0" [ 0x3C00 ] (Encode.encode (Isa.Jump (Isa.JMP, 0)));
+  (* jnz -1 (self loop) = 0x23FF *)
+  check_words "jne -1" [ 0x23FF ] (Encode.encode (Isa.Jump (Isa.JNE, -1)));
+  (* mov &0x0170, &0x0200 *)
+  check_words "mov &a, &b" [ 0x4292; 0x0170; 0x0200 ]
+    (Encode.encode
+       (Isa.Two (Isa.MOV, Isa.Word, Isa.Sabsolute 0x0170, Isa.Dabsolute 0x0200)))
+
+let test_unencodable () =
+  let expect_fail name i =
+    Alcotest.check_raises name
+      (Encode.Unencodable "")
+      (fun () ->
+         try ignore (Encode.encode i)
+         with Encode.Unencodable _ -> raise (Encode.Unencodable ""))
+  in
+  expect_fail "read of cg" (Isa.Two (Isa.MOV, Isa.Word, Isa.Sreg Isa.cg, Isa.Dreg 5));
+  expect_fail "swpb.b" (Isa.One (Isa.SWPB, Isa.Byte, Isa.Sreg 5));
+  expect_fail "jump out of range" (Isa.Jump (Isa.JMP, 600))
+
+let test_cg_decode () =
+  (* constant-generator encodings decode back to immediates *)
+  let roundtrip imm =
+    let i = Isa.Two (Isa.ADD, Isa.Word, Isa.Simm imm, Isa.Dreg 5) in
+    match decode_words (Encode.encode i) with
+    | Isa.Two (Isa.ADD, Isa.Word, Isa.Simm v, Isa.Dreg 5) ->
+      Alcotest.(check int) (Printf.sprintf "cg #%d" imm) imm v
+    | other -> Alcotest.failf "bad decode: %a" Isa.pp other
+  in
+  List.iter roundtrip [ 0; 1; 2; 4; 8; 0xFFFF ]
+
+let test_no_cg_variant () =
+  (* forcing the extension word preserves semantics at +1 word *)
+  let i = Isa.Two (Isa.MOV, Isa.Word, Isa.Simm 2, Isa.Dreg 5) in
+  check_words "forced ext word" [ 0x4035; 0x0002 ]
+    (Encode.encode_gen ~imm_no_cg:true i);
+  (match decode_words (Encode.encode_gen ~imm_no_cg:true i) with
+   | Isa.Two (Isa.MOV, Isa.Word, Isa.Simm 2, Isa.Dreg 5) -> ()
+   | other -> Alcotest.failf "bad decode: %a" Isa.pp other)
+
+(* --------------------------------------------------------------- *)
+(* Random valid instruction generator for the roundtrip property.  *)
+
+let gen_reg_nonspecial = QCheck.Gen.oneofl [ 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ]
+
+let gen_src =
+  QCheck.Gen.(oneof
+    [ map (fun r -> Isa.Sreg r) gen_reg_nonspecial;
+      map2 (fun x r -> Isa.Sindexed (x, r)) (int_range 0 0xFFFF) gen_reg_nonspecial;
+      map (fun a -> Isa.Sabsolute a) (int_range 0 0xFFFF);
+      map (fun r -> Isa.Sindirect r) gen_reg_nonspecial;
+      map (fun r -> Isa.Sindirect_inc r) gen_reg_nonspecial;
+      map (fun n -> Isa.Simm n) (int_range 0 0xFFFF) ])
+
+let gen_dst =
+  QCheck.Gen.(oneof
+    [ map (fun r -> Isa.Dreg r) gen_reg_nonspecial;
+      map2 (fun x r -> Isa.Dindexed (x, r)) (int_range 0 0xFFFF) gen_reg_nonspecial;
+      map (fun a -> Isa.Dabsolute a) (int_range 0 0xFFFF) ])
+
+let gen_two_op =
+  QCheck.Gen.oneofl
+    [ Isa.MOV; Isa.ADD; Isa.ADDC; Isa.SUBC; Isa.SUB; Isa.CMP;
+      Isa.DADD; Isa.BIT; Isa.BIC; Isa.BIS; Isa.XOR; Isa.AND ]
+
+let gen_size = QCheck.Gen.oneofl [ Isa.Byte; Isa.Word ]
+
+let gen_instr =
+  QCheck.Gen.(oneof
+    [ map2 (fun (op, size) (s, d) -> Isa.Two (op, size, s, d))
+        (pair gen_two_op gen_size) (pair gen_src gen_dst);
+      map2 (fun (op, size) s ->
+          match op with
+          | Isa.SWPB | Isa.SXT | Isa.CALL -> Isa.One (op, Isa.Word, s)
+          | _ -> Isa.One (op, size, s))
+        (pair (oneofl [ Isa.RRC; Isa.SWPB; Isa.RRA; Isa.SXT; Isa.PUSH; Isa.CALL ])
+           gen_size)
+        gen_src;
+      map2 (fun c off -> Isa.Jump (c, off))
+        (oneofl [ Isa.JNE; Isa.JEQ; Isa.JNC; Isa.JC; Isa.JN; Isa.JGE; Isa.JL; Isa.JMP ])
+        (int_range (-512) 511);
+      return Isa.Reti ])
+
+let arb_instr = QCheck.make ~print:(Format.asprintf "%a" Isa.pp) gen_instr
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:2000 arb_instr
+    (fun i ->
+       (* RRC/RRA/PUSH of an immediate has odd-but-legal encodings; skip the
+          handful of shapes whose decode canonicalises differently. *)
+       match decode_words (Encode.encode i) with
+       | decoded -> decoded = i
+       | exception Decode.Undecodable _ -> false)
+
+let prop_size_matches_encoding =
+  QCheck.Test.make ~name:"instr_size_bytes = 2 * encoded words" ~count:2000
+    arb_instr
+    (fun i -> Isa.instr_size_bytes i = 2 * List.length (Encode.encode i))
+
+let prop_cycles_positive =
+  QCheck.Test.make ~name:"cycle counts are in 1..6" ~count:2000 arb_instr
+    (fun i ->
+       let c = Isa.cycles i in
+       c >= 1 && c <= 6)
+
+let suites =
+  [ ("encode-decode",
+     [ Alcotest.test_case "golden encodings" `Quick test_golden_encodings;
+       Alcotest.test_case "unencodable shapes" `Quick test_unencodable;
+       Alcotest.test_case "constant generator" `Quick test_cg_decode;
+       Alcotest.test_case "no-cg variant" `Quick test_no_cg_variant ]
+     @ List.map QCheck_alcotest.to_alcotest
+         [ prop_roundtrip; prop_size_matches_encoding; prop_cycles_positive ]) ]

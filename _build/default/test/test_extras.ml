@@ -1,0 +1,301 @@
+(* Peephole optimizer, constant folding, policy library, hardware cost
+   model, and interrupt/DMA attacks on the real applications. *)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+module C = Dialed_core
+module P = M.Program
+module Apps = Dialed_apps.Apps
+module Minic = Dialed_minic.Minic
+module Fold = Dialed_minic.Fold
+module Ast = Dialed_minic.Ast
+module Hwcost = Dialed_hwcost.Hwcost
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------- *)
+(* Peephole.                                                       *)
+
+let test_peephole_push_pop_pair () =
+  let prog = M.Asm_parse.parse "op:\n    push r15\n    pop r14\n    ret\n" in
+  let out = M.Peephole.optimize prog in
+  check_int "collapsed to one mov + ret" 2 (P.instr_count out);
+  let has_mov =
+    List.exists
+      (fun item ->
+         match item with
+         | P.Instr (P.Two (M.Isa.MOV, M.Isa.Word, P.Reg 15, P.Reg 14)) -> true
+         | _ -> false)
+      out
+  in
+  check_bool "mov r15, r14" true has_mov
+
+let test_peephole_same_reg_dropped () =
+  let prog = M.Asm_parse.parse "op:\n    push r15\n    pop r15\n    ret\n" in
+  check_int "no-op removed" 1 (P.instr_count (M.Peephole.optimize prog))
+
+let test_peephole_commute () =
+  let prog =
+    M.Asm_parse.parse
+      "op:\n    push r15\n    mov #5, r15\n    pop r14\n    ret\n"
+  in
+  let out = M.Peephole.optimize prog in
+  check_int "three instructions" 3 (P.instr_count out)
+
+let test_peephole_unsafe_middle_kept () =
+  (* the middle instruction mentions r14: must not commute *)
+  let prog =
+    M.Asm_parse.parse
+      "op:\n    push r15\n    mov r14, r13\n    pop r14\n    ret\n"
+  in
+  check_int "kept as is" 4 (P.instr_count (M.Peephole.optimize prog));
+  (* middle touching sp: must not commute *)
+  let prog2 =
+    M.Asm_parse.parse
+      "op:\n    push r15\n    mov 2(sp), r13\n    pop r14\n    ret\n"
+  in
+  check_int "sp access kept" 4 (P.instr_count (M.Peephole.optimize prog2))
+
+let test_peephole_call_boundary () =
+  let prog =
+    M.Asm_parse.parse
+      "op:\n    push r15\n    call #op\n    pop r14\n    ret\n"
+  in
+  check_int "calls block the window" 4
+    (P.instr_count (M.Peephole.optimize prog))
+
+let test_peephole_semantics_on_device () =
+  (* optimized and unoptimized compilations must agree *)
+  let source =
+    {| int t[4] = {3, 1, 4, 1};
+       int main(int a, int b) {
+         int acc = (2 + 3) * a;
+         int i = 0;
+         while (i < 4) { acc = acc + t[i] * b; i = i + 1; }
+         return acc - (10 / 2);
+       } |}
+  in
+  let run optimize =
+    let compiled = Minic.compile ~optimize source in
+    let built =
+      C.Pipeline.build ~variant:C.Pipeline.Unmodified
+        ~data:compiled.Minic.data ~op:compiled.Minic.op ()
+    in
+    let device = C.Pipeline.device built in
+    let result = A.Device.run_operation ~args:[ 6; 2 ] device in
+    check_bool "completed" true result.A.Device.completed;
+    (M.Cpu.get_reg (A.Device.cpu device) 15, result.A.Device.cycles)
+  in
+  let v_plain, cy_plain = run false in
+  let v_opt, cy_opt = run true in
+  check_int "same result" v_plain v_opt;
+  check_bool "optimizer not slower" true (cy_opt <= cy_plain)
+
+(* ------------------------------------------------------------- *)
+(* Constant folding.                                               *)
+
+let test_fold_basic () =
+  (match Fold.expr (Ast.Binop (Ast.Add, Ast.Int 2, Ast.Int 3)) with
+   | Ast.Int 5 -> ()
+   | _ -> Alcotest.fail "2+3 not folded");
+  (match Fold.expr (Ast.Binop (Ast.Div, Ast.Int (-100), Ast.Int 8)) with
+   | Ast.Int v -> check_int "C division" (M.Word.mask16 (-12)) v
+   | _ -> Alcotest.fail "div not folded");
+  (match Fold.expr (Ast.Binop (Ast.Div, Ast.Int 1, Ast.Int 0)) with
+   | Ast.Binop _ -> ()
+   | _ -> Alcotest.fail "div by zero must not fold")
+
+let test_fold_preserves_volatile () =
+  (* x + (2*3) folds the constant but keeps the variable read *)
+  match
+    Fold.expr
+      (Ast.Binop (Ast.Add, Ast.Var "x", Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Int 3)))
+  with
+  | Ast.Binop (Ast.Add, Ast.Var "x", Ast.Int 6) -> ()
+  | e -> Alcotest.failf "unexpected fold: %a" Ast.pp_expr e
+
+let test_fold_matches_device () =
+  (* folded constants equal the device's runtime arithmetic *)
+  let eval source =
+    let compiled = Minic.compile source in
+    let built =
+      C.Pipeline.build ~variant:C.Pipeline.Unmodified
+        ~data:compiled.Minic.data ~op:compiled.Minic.op ()
+    in
+    let device = C.Pipeline.device built in
+    ignore (A.Device.run_operation device);
+    M.Cpu.get_reg (A.Device.cpu device) 15
+  in
+  check_int "folded shift"
+    (eval "int main() { int k = 3; return 5 << k; }")
+    (eval "int main() { return 5 << 3; }");
+  check_int "folded negative mod"
+    (eval "int main() { int k = 7; return -100 % k; }")
+    (eval "int main() { return -100 % 7; }")
+
+(* ------------------------------------------------------------- *)
+(* Policies.                                                       *)
+
+let vuln_trace args =
+  let built = Apps.build Apps.syringe_pump_vuln in
+  let device = C.Pipeline.device built in
+  ignore (A.Device.run_operation ~args device);
+  let report = A.Device.attest device ~challenge:"p" in
+  let outcome = C.Verifier.verify (C.Verifier.create built) report in
+  (built, Option.get outcome.C.Verifier.trace)
+
+let check_policy expect_ok policy trace =
+  match policy.C.Verifier.check trace with
+  | Ok () -> check_bool "policy verdict" expect_ok true
+  | Error _ -> check_bool "policy verdict" expect_ok false
+
+let test_policy_final_word () =
+  let built, trace = vuln_trace [ 7; 3 ] in
+  let set_var = M.Assemble.symbol built.C.Pipeline.image "set" in
+  check_policy true
+    (C.Policies.final_word ~name:"config" ~addr:set_var ~expect:1) trace;
+  let _, attacked = vuln_trace Apps.attack_args_syringe_vuln in
+  check_policy false
+    (C.Policies.final_word ~name:"config" ~addr:set_var ~expect:1) attacked
+
+let test_policy_never_writes () =
+  let built, trace = vuln_trace [ 7; 3 ] in
+  let set_var = M.Assemble.symbol built.C.Pipeline.image "set" in
+  let p =
+    C.Policies.never_writes ~name:"config-read-only" ~lo:set_var
+      ~hi:(set_var + 1)
+  in
+  check_policy true p trace;
+  let _, attacked = vuln_trace Apps.attack_args_syringe_vuln in
+  check_policy false p attacked
+
+let test_policy_writes_to () =
+  let _, trace = vuln_trace [ 7; 3 ] in
+  (* dose 5: P3OUT written 10 times (5 on + 5 off) *)
+  check_policy true
+    (C.Policies.writes_to ~name:"rate" ~addr:M.Peripherals.p3out ~max_count:10)
+    trace;
+  check_policy false
+    (C.Policies.writes_to ~name:"rate" ~addr:M.Peripherals.p3out ~max_count:3)
+    trace
+
+let test_policy_args_and_combinators () =
+  let _, trace = vuln_trace [ 7; 3 ] in
+  check_policy true
+    (C.Policies.arg_range ~name:"setting" ~arg:0 ~lo:0 ~hi:9) trace;
+  check_policy true
+    (C.Policies.arg_range ~name:"index" ~arg:1 ~lo:0 ~hi:7) trace;
+  let _, attacked = vuln_trace Apps.attack_args_syringe_vuln in
+  let index_ok = C.Policies.arg_range ~name:"index" ~arg:1 ~lo:0 ~hi:7 in
+  check_policy false index_ok attacked;
+  check_policy false
+    (C.Policies.all_of "both"
+       [ C.Policies.arg_range ~name:"setting" ~arg:0 ~lo:0 ~hi:9; index_ok ])
+    attacked;
+  check_policy true (C.Policies.negate "not-both" index_ok) attacked;
+  check_policy true
+    (C.Policies.any_of "either"
+       [ index_ok; C.Policies.max_steps ~name:"steps" 100000 ])
+    attacked
+
+let test_policy_hooked_into_verifier () =
+  let built = Apps.build Apps.syringe_pump_vuln in
+  let set_var = M.Assemble.symbol built.C.Pipeline.image "set" in
+  let verifier =
+    C.Verifier.create
+      ~policies:
+        [ C.Policies.never_writes ~name:"config-read-only" ~lo:set_var
+            ~hi:(set_var + 1) ]
+      built
+  in
+  let device = C.Pipeline.device built in
+  ignore (A.Device.run_operation ~args:Apps.attack_args_syringe_vuln device);
+  let outcome =
+    C.Verifier.verify verifier (A.Device.attest device ~challenge:"p")
+  in
+  check_bool "rejected" true (not outcome.C.Verifier.accepted)
+
+(* ------------------------------------------------------------- *)
+(* Hardware cost model.                                            *)
+
+let test_hwcost_catalog () =
+  check_int "rows incl. baseline" 8 (List.length (Hwcost.table1_rows ()));
+  let lut_factor, reg_factor = Hwcost.dialed_vs_litehax () in
+  check_bool "~5x luts" true (lut_factor > 5.0 && lut_factor < 6.0);
+  check_bool "~50x regs" true (reg_factor > 45.0 && reg_factor < 55.0)
+
+let test_hwcost_overheads () =
+  Alcotest.(check (float 0.6)) "tiny-cfa luts +16%" 16.0
+    (Hwcost.overhead_pct ~baseline:Hwcost.baseline_luts 302);
+  Alcotest.(check (float 0.6)) "tiny-cfa regs +6%" 6.4
+    (Hwcost.overhead_pct ~baseline:Hwcost.baseline_registers 44)
+
+let test_hwcost_estimate () =
+  let layout =
+    A.Layout.make ~er_min:0xE000 ~er_max:0xEFFF ~er_exit:0xEFFE
+      ~or_min:0x0400 ~or_max:0x05FE ~stack_top:0x0A00
+  in
+  let e = Hwcost.estimate_monitor layout in
+  check_bool "estimate within APEX's published class" true
+    (e.Hwcost.est_luts < 302 && e.Hwcost.est_registers < 44)
+
+(* ------------------------------------------------------------- *)
+(* Interrupt / DMA attacks against the real applications.          *)
+
+let test_irq_attack_on_app () =
+  let app = Apps.syringe_pump in
+  let built = Apps.build app in
+  let device = C.Pipeline.device built in
+  app.Apps.setup device;
+  M.Memory.poke16 (A.Device.memory device) 0xFFFE 0xFFF0;
+  M.Cpu.set_flag (A.Device.cpu device) `GIE true;
+  A.Device.raise_irq_during device ~after_steps:40 ~vector:0xFFFE;
+  ignore (A.Device.run_operation ~args:app.Apps.benign_args device);
+  check_bool "exec low" false (A.Monitor.exec_flag (A.Device.monitor device));
+  let outcome =
+    C.Verifier.verify (C.Verifier.create built)
+      (A.Device.attest device ~challenge:"irq")
+  in
+  check_bool "rejected" true (not outcome.C.Verifier.accepted)
+
+let test_dma_attack_on_log () =
+  (* DMA rewrites a log word after a clean run: EXEC must drop *)
+  let app = Apps.fire_sensor in
+  let run = Apps.run app in
+  check_bool "clean run" true run.Apps.result.A.Device.completed;
+  let or_max = run.Apps.built.C.Pipeline.layout.A.Layout.or_max in
+  A.Device.dma_write run.Apps.device ~addr:(or_max - 6) ~value:0xAA;
+  check_bool "exec cleared" false
+    (A.Monitor.exec_flag (A.Device.monitor run.Apps.device));
+  let outcome =
+    C.Verifier.verify
+      (C.Verifier.create run.Apps.built)
+      (A.Device.attest run.Apps.device ~challenge:"dma")
+  in
+  check_bool "rejected" true (not outcome.C.Verifier.accepted)
+
+let suites =
+  [ ("peephole-fold",
+     [ Alcotest.test_case "push/pop pair" `Quick test_peephole_push_pop_pair;
+       Alcotest.test_case "same-reg dropped" `Quick test_peephole_same_reg_dropped;
+       Alcotest.test_case "commute" `Quick test_peephole_commute;
+       Alcotest.test_case "unsafe middle kept" `Quick test_peephole_unsafe_middle_kept;
+       Alcotest.test_case "call boundary" `Quick test_peephole_call_boundary;
+       Alcotest.test_case "device semantics" `Quick test_peephole_semantics_on_device;
+       Alcotest.test_case "fold basics" `Quick test_fold_basic;
+       Alcotest.test_case "fold keeps reads" `Quick test_fold_preserves_volatile;
+       Alcotest.test_case "fold matches device" `Quick test_fold_matches_device ]);
+    ("policies",
+     [ Alcotest.test_case "final word" `Quick test_policy_final_word;
+       Alcotest.test_case "never writes" `Quick test_policy_never_writes;
+       Alcotest.test_case "writes_to" `Quick test_policy_writes_to;
+       Alcotest.test_case "args + combinators" `Quick test_policy_args_and_combinators;
+       Alcotest.test_case "hooked into verifier" `Quick test_policy_hooked_into_verifier ]);
+    ("hwcost",
+     [ Alcotest.test_case "catalog" `Quick test_hwcost_catalog;
+       Alcotest.test_case "overheads" `Quick test_hwcost_overheads;
+       Alcotest.test_case "monitor estimate" `Quick test_hwcost_estimate ]);
+    ("app-attacks",
+     [ Alcotest.test_case "irq during pump run" `Quick test_irq_attack_on_app;
+       Alcotest.test_case "dma on the log" `Quick test_dma_attack_on_log ]) ]

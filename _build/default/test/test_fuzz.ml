@@ -1,0 +1,70 @@
+(* Robustness fuzzing: the decoder and the wire parser face attacker-
+   controlled bytes and must never crash — only decode or reject. *)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+
+let prop_decoder_total =
+  QCheck.Test.make ~name:"decoder: decode or Undecodable, never crash"
+    ~count:2000
+    QCheck.(triple (int_range 0 0xFFFF) (int_range 0 0xFFFF) (int_range 0 0xFFFF))
+    (fun (w0, w1, w2) ->
+       let words = [| w0; w1; w2; 0x4303 |] in
+       let get_word addr = words.((addr / 2) land 3) in
+       match M.Decode.decode ~get_word 0 with
+       | instr, next ->
+         (* whatever decodes must re-encode to the same bytes we read *)
+         next > 0
+         &&
+         (match M.Encode.encode instr with
+          | exception M.Encode.Unencodable _ ->
+            (* a few decoded shapes (e.g. byte call) have no encoder
+               form; acceptable as long as decode stayed total *)
+            true
+          | words' ->
+            (* re-decoding the encoding gives the same instruction *)
+            let arr = Array.of_list words' in
+            let gw a = arr.(a / 2) in
+            (match M.Decode.decode ~get_word:gw 0 with
+             | instr', _ -> instr' = instr
+             | exception M.Decode.Undecodable _ -> false))
+       | exception M.Decode.Undecodable _ -> true)
+
+let prop_wire_total =
+  QCheck.Test.make ~name:"wire: arbitrary bytes parse or reject cleanly"
+    ~count:500
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 200))
+    (fun s ->
+       match A.Wire.decode s with
+       | Ok r -> String.length r.A.Pox.token = 32
+       | Error _ -> true)
+
+let prop_wire_truncations =
+  QCheck.Test.make ~name:"wire: every truncation of a valid message rejects"
+    ~count:60
+    QCheck.(int_range 0 1000)
+    (fun cut ->
+       let report =
+         { A.Pox.challenge = "c"; er_min = 0xE000; er_max = 0xE0FF;
+           er_exit = 0xE0FE; or_min = 0x0400; or_max = 0x05FE; exec = true;
+           or_data = String.make 64 'x'; token = String.make 32 't' }
+       in
+       let encoded = A.Wire.encode report in
+       let cut = cut mod String.length encoded in
+       match A.Wire.decode (String.sub encoded 0 cut) with
+       | Error _ -> true
+       | Ok _ -> false)
+
+let prop_asm_parser_total =
+  QCheck.Test.make ~name:"asm parser: junk lines error, never crash"
+    ~count:500 QCheck.printable_string
+    (fun s ->
+       match M.Asm_parse.parse s with
+       | _ -> true
+       | exception M.Asm_parse.Error _ -> true)
+
+let suites =
+  [ ("fuzz",
+     List.map QCheck_alcotest.to_alcotest
+       [ prop_decoder_total; prop_wire_total; prop_wire_truncations;
+         prop_asm_parser_total ]) ]

@@ -1,0 +1,94 @@
+(* Memory: endianness, alignment, tracing, device hooks. *)
+
+module M = Dialed_msp430
+module Memory = M.Memory
+module Isa = M.Isa
+
+let check_int = Alcotest.(check int)
+
+let test_byte_word () =
+  let m = Memory.create () in
+  Memory.poke16 m 0x0200 0x1234;
+  check_int "low byte" 0x34 (Memory.peek8 m 0x0200);
+  check_int "high byte" 0x12 (Memory.peek8 m 0x0201);
+  Memory.poke8 m 0x0202 0xAB;
+  Memory.poke8 m 0x0203 0xCD;
+  check_int "word LE" 0xCDAB (Memory.peek16 m 0x0202)
+
+let test_alignment () =
+  let m = Memory.create () in
+  Memory.poke16 m 0x0200 0xBEEF;
+  check_int "odd address aligns down" 0xBEEF (Memory.peek16 m 0x0201)
+
+let test_wraparound () =
+  let m = Memory.create () in
+  Memory.poke8 m 0x10005 0x42;
+  check_int "address wraps mod 64K" 0x42 (Memory.peek8 m 0x0005)
+
+let test_trace () =
+  let m = Memory.create () in
+  Memory.begin_step m;
+  ignore (Memory.read m Isa.Word 0x0200);
+  Memory.write m Isa.Byte 0x0300 0x7F;
+  (match Memory.step_trace m with
+   | [ { Memory.kind = Memory.Read; addr = 0x0200; size = Isa.Word; _ };
+       { Memory.kind = Memory.Write; addr = 0x0300; size = Isa.Byte; value = 0x7F } ] ->
+     ()
+   | t -> Alcotest.failf "unexpected trace of length %d" (List.length t));
+  Memory.begin_step m;
+  Alcotest.(check int) "trace cleared" 0 (List.length (Memory.step_trace m))
+
+let test_device_read_write () =
+  let m = Memory.create () in
+  let reads = ref 0 and writes = ref [] in
+  Memory.attach m
+    { Memory.dev_name = "probe"; dev_lo = 0x0040; dev_hi = 0x0041;
+      dev_read = (fun _ -> incr reads; Some 0x5A);
+      dev_write = (fun addr v -> writes := (addr, v) :: !writes);
+      dev_tick = (fun _ -> ()) };
+  check_int "device read value" 0x5A (Memory.read m Isa.Byte 0x0040);
+  check_int "one device read" 1 !reads;
+  Memory.write m Isa.Byte 0x0040 0x99;
+  Alcotest.(check (list (pair int int))) "device write seen" [ (0x0040, 0x99) ] !writes;
+  (* device writes are mirrored into backing RAM *)
+  check_int "mirror" 0x99 (Memory.peek8 m 0x0040);
+  (* host peeks bypass the device *)
+  check_int "peek bypasses device" 0x99 (Memory.peek8 m 0x0040)
+
+let test_device_fallback () =
+  let m = Memory.create () in
+  Memory.attach m
+    { Memory.dev_name = "partial"; dev_lo = 0x0050; dev_hi = 0x0051;
+      dev_read = (fun addr -> if addr = 0x0050 then Some 1 else None);
+      dev_write = (fun _ _ -> ());
+      dev_tick = (fun _ -> ()) };
+  Memory.poke8 m 0x0051 0x77;
+  check_int "hook value" 1 (Memory.read m Isa.Byte 0x0050);
+  check_int "fallback to RAM" 0x77 (Memory.read m Isa.Byte 0x0051)
+
+let test_tick () =
+  let m = Memory.create () in
+  let ticks = ref 0 in
+  Memory.attach m
+    { Memory.dev_name = "clock"; dev_lo = 0x0060; dev_hi = 0x0060;
+      dev_read = (fun _ -> None); dev_write = (fun _ _ -> ());
+      dev_tick = (fun n -> ticks := !ticks + n) };
+  Memory.tick m 3;
+  Memory.tick m 4;
+  check_int "ticks accumulate" 7 !ticks
+
+let test_load_dump () =
+  let m = Memory.create () in
+  Memory.load_image m ~addr:0xE000 "\x01\x02\x03";
+  Alcotest.(check string) "dump" "\x01\x02\x03" (Memory.dump m ~addr:0xE000 ~len:3)
+
+let suites =
+  [ ("memory",
+     [ Alcotest.test_case "byte/word little-endian" `Quick test_byte_word;
+       Alcotest.test_case "word alignment" `Quick test_alignment;
+       Alcotest.test_case "address wraparound" `Quick test_wraparound;
+       Alcotest.test_case "step trace" `Quick test_trace;
+       Alcotest.test_case "device read/write" `Quick test_device_read_write;
+       Alcotest.test_case "device fallback" `Quick test_device_fallback;
+       Alcotest.test_case "device tick" `Quick test_tick;
+       Alcotest.test_case "load/dump image" `Quick test_load_dump ]) ]

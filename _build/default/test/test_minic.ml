@@ -1,0 +1,384 @@
+(* MiniC compiler: language feature tests run on the simulator (against an
+   OCaml oracle for expressions), parse/typecheck error reporting, and the
+   key property that instrumentation preserves program semantics. *)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+module C = Dialed_core
+module Minic = Dialed_minic.Minic
+module Ast = Dialed_minic.Ast
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* language-semantics tests run uninstrumented (instrumented equivalence is
+   covered by the property at the bottom; heavy div/mul tests would
+   overflow the default OR with divider branch logs otherwise) *)
+let build ?(variant = C.Pipeline.Unmodified) ?entry source =
+  let compiled = Minic.compile ?entry source in
+  C.Pipeline.build ~variant ~data:compiled.Minic.data ~op:compiled.Minic.op ()
+
+(* compile, run with args, return r15 (the entry function's result) *)
+let run ?(variant = C.Pipeline.Unmodified) ?entry ?(args = []) source =
+  let built = build ~variant ?entry source in
+  let device = C.Pipeline.device built in
+  let result = A.Device.run_operation ~args device in
+  if not result.A.Device.completed then
+    Alcotest.failf "program did not complete (variant %s)"
+      (C.Pipeline.variant_name variant);
+  (M.Cpu.get_reg (A.Device.cpu device) 15, device)
+
+let eval ?variant ?entry ?args source = fst (run ?variant ?entry ?args source)
+
+let test_arithmetic () =
+  check_int "constant" 42 (eval "int main() { return 42; }");
+  check_int "add/sub" 7 (eval "int main() { return 10 - 5 + 2; }");
+  check_int "precedence" 14 (eval "int main() { return 2 + 3 * 4; }");
+  check_int "parens" 20 (eval "int main() { return (2 + 3) * 4; }");
+  check_int "negative" (M.Word.mask16 (-6)) (eval "int main() { return -6; }");
+  check_int "hex" 0xBEEF (eval "int main() { return 0xBEEF; }");
+  check_int "char literal" 65 (eval "int main() { return 'A'; }")
+
+let test_mul_div_mod () =
+  check_int "mul" 56 (eval "int main() { return 7 * 8; }");
+  check_int "mul wrap" (M.Word.mask16 (1000 * 1000))
+    (eval "int main() { return 1000 * 1000; }");
+  check_int "div" 12 (eval "int main() { return 100 / 8; }");
+  check_int "mod" 4 (eval "int main() { return 100 % 8; }");
+  check_int "div negative" (M.Word.mask16 (-12))
+    (eval "int main() { return -100 / 8; }");
+  check_int "mod negative" (M.Word.mask16 (-4))
+    (eval "int main() { return -100 % 8; }");
+  check_int "div by negative" (M.Word.mask16 (-12))
+    (eval "int main() { return 100 / -8; }")
+
+let test_bitwise_shifts () =
+  check_int "and" 0b1000 (eval "int main() { return 12 & 10; }");
+  check_int "or" 0b1110 (eval "int main() { return 12 | 10; }");
+  check_int "xor" 0b0110 (eval "int main() { return 12 ^ 10; }");
+  check_int "not" 0xFF0F (eval "int main() { return ~0x00F0; }");
+  check_int "shl const" 40 (eval "int main() { return 5 << 3; }");
+  check_int "shr const" 5 (eval "int main() { return 40 >> 3; }");
+  check_int "shr arithmetic" (M.Word.mask16 (-2))
+    (eval "int main() { return -8 >> 2; }");
+  check_int "shl variable" 48 (eval "int main() { int k = 4; return 3 << k; }");
+  check_int "shr variable" 3 (eval "int main() { int k = 4; return 48 >> k; }")
+
+let test_comparisons () =
+  check_int "lt true" 1 (eval "int main() { return 3 < 5; }");
+  check_int "lt false" 0 (eval "int main() { return 5 < 3; }");
+  check_int "signed lt" 1 (eval "int main() { return -1 < 1; }");
+  check_int "le" 1 (eval "int main() { return 5 <= 5; }");
+  check_int "gt" 1 (eval "int main() { return 5 > 3; }");
+  check_int "ge" 0 (eval "int main() { return 3 >= 5; }");
+  check_int "eq" 1 (eval "int main() { return 4 == 4; }");
+  check_int "ne" 1 (eval "int main() { return 4 != 5; }")
+
+let test_logical () =
+  check_int "and tt" 1 (eval "int main() { return 1 && 2; }");
+  check_int "and tf" 0 (eval "int main() { return 1 && 0; }");
+  check_int "or ft" 1 (eval "int main() { return 0 || 3; }");
+  check_int "or ff" 0 (eval "int main() { return 0 || 0; }");
+  check_int "not" 1 (eval "int main() { return !0; }");
+  check_int "not nonzero" 0 (eval "int main() { return !7; }");
+  (* short-circuit: the right operand must not run *)
+  check_int "short-circuit and" 0
+    (eval
+       {| int hits = 0;
+          int bump() { hits = hits + 1; return 1; }
+          int main() { int x = 0 && bump(); return hits; } |});
+  check_int "short-circuit or" 0
+    (eval
+       {| int hits = 0;
+          int bump() { hits = hits + 1; return 1; }
+          int main() { int x = 1 || bump(); return hits; } |})
+
+let test_control_flow () =
+  check_int "if taken" 1 (eval "int main() { if (2 < 3) { return 1; } return 0; }");
+  check_int "if-else" 2
+    (eval "int main() { if (3 < 2) { return 1; } else { return 2; } }");
+  check_int "else-if chain" 3
+    (eval
+       {| int main() {
+            int x = 7;
+            if (x < 5) { return 1; }
+            else if (x < 7) { return 2; }
+            else if (x < 9) { return 3; }
+            else { return 4; }
+          } |});
+  check_int "while sum" 55
+    (eval
+       {| int main() {
+            int i = 1; int acc = 0;
+            while (i <= 10) { acc = acc + i; i = i + 1; }
+            return acc;
+          } |});
+  check_int "for loop" 45
+    (eval
+       {| int main() {
+            int acc = 0;
+            for (int i = 0; i < 10; i = i + 1) { acc = acc + i; }
+            return acc;
+          } |});
+  check_int "break" 5
+    (eval
+       {| int main() {
+            int i = 0;
+            while (1) { if (i == 5) { break; } i = i + 1; }
+            return i;
+          } |});
+  check_int "continue" 25
+    (eval
+       {| int main() {
+            int i = 0; int acc = 0;
+            while (i < 10) {
+              i = i + 1;
+              if (i % 2 == 0) { continue; }
+              acc = acc + i;
+            }
+            return acc;
+          } |})
+
+let test_functions () =
+  check_int "call" 11
+    (eval "int add(int a, int b) { return a + b; } int main() { return add(5, 6); }");
+  check_int "args order" 2
+    (eval "int sub(int a, int b) { return a - b; } int main() { return sub(5, 3); }");
+  check_int "nested calls" 19
+    (eval
+       {| int double(int x) { return x + x; }
+          int inc(int x) { return x + 1; }
+          int main() { return double(inc(double(inc(3)))) + 1; } |});
+  check_int "recursion (factorial)" 720
+    (eval
+       {| int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+          int main() { return fact(6); } |});
+  check_int "mutual recursion" 1
+    (eval
+       (* no prototypes needed: all globals are collected before bodies *)
+       {| int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+          int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+          int main() { return is_even(10); } |});
+  check_int "eight args" 36
+    (eval
+       {| int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+            return a + b + c + d + e + f + g + h;
+          }
+          int main() { return sum8(1, 2, 3, 4, 5, 6, 7, 8); } |})
+
+let test_globals_arrays () =
+  check_int "global read/write" 15
+    (eval "int g = 5; int main() { g = g + 10; return g; }");
+  check_int "array init" 30
+    (eval "int t[4] = {10, 20, 30, 40}; int main() { return t[2]; }");
+  check_int "array store/load" 99
+    (eval "int t[4]; int main() { t[1] = 99; return t[1]; }");
+  check_int "array zero fill" 0
+    (eval "int t[8] = {1, 2}; int main() { return t[5]; }");
+  check_int "array loop" 20
+    (eval
+       {| int t[5];
+          int main() {
+            for (int i = 0; i < 5; i = i + 1) { t[i] = i * 2; }
+            int acc = 0;
+            for (int i = 0; i < 5; i = i + 1) { acc = acc + t[i]; }
+            return acc;
+          } |})
+
+let test_io_registers () =
+  let source =
+    {| volatile char P3OUT @ 0x0019;
+       volatile char P1IN @ 0x0020;
+       int main() { P3OUT = 0x5; return P1IN; } |}
+  in
+  let built = build source in
+  let device = C.Pipeline.device built in
+  M.Peripherals.set_gpio_in (A.Device.board device) ~port:`P1 0x42;
+  let result = A.Device.run_operation device in
+  check_bool "completed" true result.A.Device.completed;
+  check_int "wrote P3OUT" 0x5 (M.Peripherals.last_gpio (A.Device.board device) ~port:`P3);
+  check_int "read P1IN" 0x42 (M.Cpu.get_reg (A.Device.cpu device) 15)
+
+let test_word_io () =
+  let source =
+    {| volatile int ADC @ 0x0140;
+       int main() { return ADC; } |}
+  in
+  let built = build source in
+  let device = C.Pipeline.device built in
+  M.Peripherals.feed_adc (A.Device.board device) [ 0x234 ];
+  ignore (A.Device.run_operation device);
+  check_int "adc word" 0x234 (M.Cpu.get_reg (A.Device.cpu device) 15)
+
+let test_errors () =
+  let expect_error name source =
+    match Minic.compile source with
+    | exception Minic.Error _ -> ()
+    | _ -> Alcotest.failf "%s: expected a compile error" name
+  in
+  expect_error "unknown var" "int main() { return x; }";
+  expect_error "unknown function" "int main() { return f(1); }";
+  expect_error "arity" "int f(int a) { return a; } int main() { return f(1, 2); }";
+  expect_error "void as value"
+    "void f() { return; } int main() { return f(); }";
+  expect_error "array without index" "int t[4]; int main() { return t; }";
+  expect_error "index scalar" "int g; int main() { return g[0]; }";
+  expect_error "assign array" "int t[4]; int main() { t = 3; return 0; }";
+  expect_error "duplicate local" "int main() { int a = 1; int a = 2; return a; }";
+  expect_error "break outside loop" "int main() { break; return 0; }";
+  expect_error "missing entry" "int helper() { return 1; }";
+  expect_error "nine params"
+    "int f(int a,int b,int c,int d,int e,int f_,int g,int h,int i) { return 0; } int main() { return 0; }";
+  expect_error "syntax" "int main() { return 1 + ; }"
+
+let test_args_passed () =
+  check_int "two args" 17
+    (fst (run ~args:[ 12; 5 ] "int main(int a, int b) { return a + b; }"));
+  check_int "arg order" 7
+    (fst (run ~args:[ 10; 3 ] "int main(int a, int b) { return a - b; }"))
+
+(* ---------------------------------------------------------------- *)
+(* Oracle-based property: compiled arithmetic = 16-bit C semantics.  *)
+
+let rec interp e =
+  let open Ast in
+  let s16 = M.Word.signed16 and m16 = M.Word.mask16 in
+  match e with
+  | Int n -> m16 n
+  | Binop (Add, l, r) -> m16 (interp l + interp r)
+  | Binop (Sub, l, r) -> m16 (interp l - interp r)
+  | Binop (Mul, l, r) -> m16 (interp l * interp r)
+  | Binop (Div, l, r) ->
+    let a = s16 (interp l) and b = s16 (interp r) in
+    if b = 0 then 0 else m16 (let q = abs a / abs b in if (a < 0) <> (b < 0) then -q else q)
+  | Binop (Mod, l, r) ->
+    let a = s16 (interp l) and b = s16 (interp r) in
+    if b = 0 then 0 else m16 (let m = abs a mod abs b in if a < 0 then -m else m)
+  | Binop (Band, l, r) -> interp l land interp r
+  | Binop (Bor, l, r) -> interp l lor interp r
+  | Binop (Bxor, l, r) -> interp l lxor interp r
+  | Binop (Shl, l, r) -> m16 (interp l lsl (interp r land 0xF))
+  | Binop (Shr, l, r) -> m16 (s16 (interp l) asr (interp r land 0xF))
+  | Binop (Eq, l, r) -> if interp l = interp r then 1 else 0
+  | Binop (Ne, l, r) -> if interp l <> interp r then 1 else 0
+  | Binop (Lt, l, r) -> if s16 (interp l) < s16 (interp r) then 1 else 0
+  | Binop (Le, l, r) -> if s16 (interp l) <= s16 (interp r) then 1 else 0
+  | Binop (Gt, l, r) -> if s16 (interp l) > s16 (interp r) then 1 else 0
+  | Binop (Ge, l, r) -> if s16 (interp l) >= s16 (interp r) then 1 else 0
+  | Binop (Land, l, r) -> if interp l <> 0 && interp r <> 0 then 1 else 0
+  | Binop (Lor, l, r) -> if interp l <> 0 || interp r <> 0 then 1 else 0
+  | Unop (Neg, e) -> m16 (-interp e)
+  | Unop (Bitnot, e) -> m16 (lnot (interp e))
+  | Unop (Lognot, e) -> if interp e = 0 then 1 else 0
+  | Var _ | Index _ | Call _ -> assert false
+
+let rec expr_to_source e =
+  let open Ast in
+  match e with
+  | Int n -> string_of_int n
+  | Binop (op, l, r) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_source l) (Ast.binop_name op)
+      (expr_to_source r)
+  | Unop (op, e) ->
+    (* the space matters: "-(-20)" must not print as the '--' token *)
+    Printf.sprintf "(%s %s)" (Ast.unop_name op) (expr_to_source e)
+  | Var _ | Index _ | Call _ -> assert false
+
+let gen_pure_expr =
+  let open QCheck.Gen in
+  let leaf = map (fun n -> Ast.Int n) (int_range (-100) 1000) in
+  let nonzero_leaf =
+    map (fun n -> Ast.Int (if n = 0 then 3 else n)) (int_range (-50) 50)
+  in
+  let shift_leaf = map (fun n -> Ast.Int n) (int_range 0 8) in
+  fix
+    (fun self depth ->
+       if depth = 0 then leaf
+       else
+         frequency
+           [ (2, leaf);
+             (2,
+              map2
+                (fun op (l, r) -> Ast.Binop (op, l, r))
+                (oneofl Ast.[ Add; Sub; Mul; Band; Bor; Bxor ])
+                (pair (self (depth - 1)) (self (depth - 1))));
+             (1,
+              map2
+                (fun op (l, r) -> Ast.Binop (op, l, r))
+                (oneofl Ast.[ Eq; Ne; Lt; Le; Gt; Ge; Land; Lor ])
+                (pair (self (depth - 1)) (self (depth - 1))));
+             (1,
+              map2
+                (fun op l -> Ast.Binop (op, l, Ast.Int 7))
+                (oneofl Ast.[ Div; Mod ])
+                (self (depth - 1)));
+             (1,
+              map2
+                (fun (op, k) l -> Ast.Binop (op, l, k))
+                (pair (oneofl Ast.[ Shl; Shr ]) shift_leaf)
+                (self (depth - 1)));
+             (1,
+              map2 (fun op e -> Ast.Unop (op, e))
+                (oneofl Ast.[ Neg; Bitnot; Lognot ])
+                (self (depth - 1)));
+             (1, nonzero_leaf) ])
+    3
+
+let arb_expr = QCheck.make ~print:expr_to_source gen_pure_expr
+
+(* divisions dominate the log (the software divider loops 16 times, logging
+   each branch), so bound them to keep instrumented runs inside OR *)
+let rec count_divs e =
+  match e with
+  | Ast.Binop ((Ast.Div | Ast.Mod | Ast.Mul | Ast.Shl | Ast.Shr), l, r) ->
+    1 + count_divs l + count_divs r
+  | Ast.Binop (_, l, r) -> count_divs l + count_divs r
+  | Ast.Unop (_, e) -> count_divs e
+  | Ast.Int _ | Ast.Var _ | Ast.Index _ | Ast.Call _ -> 0
+
+let eval_wide_or ~variant source =
+  let compiled = Minic.compile source in
+  let built =
+    C.Pipeline.build ~variant ~data:compiled.Minic.data ~op:compiled.Minic.op
+      ~or_min:0x0280 ()
+  in
+  let device = C.Pipeline.device built in
+  let result = A.Device.run_operation device in
+  if not result.A.Device.completed then
+    Alcotest.failf "program did not complete (variant %s)"
+      (C.Pipeline.variant_name variant);
+  M.Cpu.get_reg (A.Device.cpu device) 15
+
+let prop_compiled_matches_oracle =
+  QCheck.Test.make ~name:"compiled expression = oracle" ~count:60 arb_expr
+    (fun e ->
+       let source = Printf.sprintf "int main() { return %s; }" (expr_to_source e) in
+       eval ~variant:C.Pipeline.Unmodified source = interp e)
+
+let prop_instrumentation_preserves_semantics =
+  QCheck.Test.make ~name:"instrumentation preserves results" ~count:40 arb_expr
+    (fun e ->
+       QCheck.assume (count_divs e <= 2);
+       let source = Printf.sprintf "int main() { return %s; }" (expr_to_source e) in
+       let plain = eval_wide_or ~variant:C.Pipeline.Unmodified source in
+       let cfa = eval_wide_or ~variant:C.Pipeline.Cfa_only source in
+       let full = eval_wide_or ~variant:C.Pipeline.Full source in
+       plain = cfa && cfa = full)
+
+let suites =
+  [ ("minic",
+     [ Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+       Alcotest.test_case "mul/div/mod" `Quick test_mul_div_mod;
+       Alcotest.test_case "bitwise and shifts" `Quick test_bitwise_shifts;
+       Alcotest.test_case "comparisons" `Quick test_comparisons;
+       Alcotest.test_case "logical operators" `Quick test_logical;
+       Alcotest.test_case "control flow" `Quick test_control_flow;
+       Alcotest.test_case "functions" `Quick test_functions;
+       Alcotest.test_case "globals and arrays" `Quick test_globals_arrays;
+       Alcotest.test_case "io registers" `Quick test_io_registers;
+       Alcotest.test_case "word io" `Quick test_word_io;
+       Alcotest.test_case "compile errors" `Quick test_errors;
+       Alcotest.test_case "arguments" `Quick test_args_passed ]
+     @ List.map QCheck_alcotest.to_alcotest
+         [ prop_compiled_matches_oracle;
+           prop_instrumentation_preserves_semantics ]) ]

@@ -1,0 +1,145 @@
+(* The APEX monitor FSM in isolation: synthetic bus events, one per rule. *)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+module Memory = M.Memory
+module Cpu = M.Cpu
+
+let check_bool = Alcotest.(check bool)
+
+let layout =
+  A.Layout.make ~er_min:0xE000 ~er_max:0xE0FF ~er_exit:0xE0FE
+    ~or_min:0x0400 ~or_max:0x05FE ~stack_top:0x0A00
+
+(* a synthetic retired instruction *)
+let step ?(writes = []) ?(irq = false) pc_before pc_after =
+  { Cpu.pc_before; instr = M.Isa.Reti (* irrelevant to the monitor *);
+    pc_after;
+    accesses =
+      List.map
+        (fun (addr, size) ->
+           { Memory.kind = Memory.Write; addr; size; value = 0 })
+        writes;
+    irq_taken = irq; step_cycles = 1 }
+
+let fresh () = A.Monitor.create layout
+
+let clean_run mon =
+  (* enter at er_min, execute linearly, exit from er_exit *)
+  A.Monitor.observe mon (step 0xE000 0xE002);
+  A.Monitor.observe mon (step 0xE002 0xE0FE);
+  A.Monitor.observe mon (step 0xE0FE 0xF000)
+
+let test_clean_run_sets_exec () =
+  let mon = fresh () in
+  check_bool "initially low" false (A.Monitor.exec_flag mon);
+  clean_run mon;
+  check_bool "exec high" true (A.Monitor.exec_flag mon);
+  check_bool "no violations" true (A.Monitor.violations mon = [])
+
+let has_violation mon pred = List.exists pred (A.Monitor.violations mon)
+
+let test_mid_entry () =
+  let mon = fresh () in
+  A.Monitor.observe mon (step 0xE010 0xE012);
+  check_bool "exec low" false (A.Monitor.exec_flag mon);
+  check_bool "violation recorded" true
+    (has_violation mon (fun v ->
+         match v with A.Monitor.Entered_er_mid _ -> true | _ -> false))
+
+let test_early_exit () =
+  let mon = fresh () in
+  A.Monitor.observe mon (step 0xE000 0xE002);
+  A.Monitor.observe mon (step 0xE002 0xF000); (* leaves before er_exit *)
+  check_bool "exec low" false (A.Monitor.exec_flag mon);
+  check_bool "left early" true
+    (has_violation mon (fun v ->
+         match v with A.Monitor.Left_er_early _ -> true | _ -> false))
+
+let test_irq_mid_run () =
+  let mon = fresh () in
+  A.Monitor.observe mon (step 0xE000 0xE002);
+  A.Monitor.observe mon (step ~irq:true 0xE002 0xFFF0);
+  (* even completing afterwards must not set exec without a fresh entry *)
+  A.Monitor.observe mon (step 0xE0FE 0xF000);
+  check_bool "exec low" false (A.Monitor.exec_flag mon)
+
+let test_write_to_er_during_run () =
+  let mon = fresh () in
+  A.Monitor.observe mon (step 0xE000 0xE002);
+  A.Monitor.observe mon
+    (step ~writes:[ (0xE050, M.Isa.Word) ] 0xE002 0xE004);
+  A.Monitor.observe mon (step 0xE0FE 0xF000);
+  check_bool "exec low after self-modification" false (A.Monitor.exec_flag mon)
+
+let test_or_write_at_rest_clears_exec () =
+  let mon = fresh () in
+  clean_run mon;
+  A.Monitor.observe mon
+    (step ~writes:[ (0x0480, M.Isa.Word) ] 0xF000 0xF002);
+  check_bool "exec cleared" false (A.Monitor.exec_flag mon);
+  check_bool "or violation" true
+    (has_violation mon (fun v ->
+         match v with A.Monitor.Or_written_outside _ -> true | _ -> false))
+
+let test_word_write_straddling_or_boundary () =
+  (* a word write at or_min - 1 .. would be odd; use or_min - 2 + word:
+     touches or_min-2/or_min-1, outside -> fine; at or_min-0 touches inside *)
+  let mon = fresh () in
+  clean_run mon;
+  A.Monitor.observe mon
+    (step ~writes:[ (0x03FE, M.Isa.Word) ] 0xF000 0xF002);
+  check_bool "write just below OR is fine" true (A.Monitor.exec_flag mon);
+  A.Monitor.observe mon
+    (step ~writes:[ (0x03FF, M.Isa.Word) ] 0xF002 0xF004);
+  (* unaligned word writes align down in the CPU; the monitor sees the
+     aligned access, so craft one that truly touches or_min *)
+  A.Monitor.observe mon
+    (step ~writes:[ (0x0400, M.Isa.Byte) ] 0xF004 0xF006);
+  check_bool "byte write at or_min clears exec" false (A.Monitor.exec_flag mon)
+
+let test_dma_rules () =
+  let mon = fresh () in
+  A.Monitor.observe mon (step 0xE000 0xE002);
+  A.Monitor.dma_event mon ~addr:0x0900;
+  A.Monitor.observe mon (step 0xE0FE 0xF000);
+  check_bool "dma mid-run kills the attempt" false (A.Monitor.exec_flag mon);
+  let mon = fresh () in
+  clean_run mon;
+  A.Monitor.dma_event mon ~addr:0x0900;
+  check_bool "dma outside ER/OR at rest is fine" true (A.Monitor.exec_flag mon);
+  A.Monitor.dma_event mon ~addr:0x0450;
+  check_bool "dma into OR at rest clears exec" false (A.Monitor.exec_flag mon)
+
+let test_reset () =
+  let mon = fresh () in
+  clean_run mon;
+  A.Monitor.reset mon;
+  check_bool "reset clears exec" false (A.Monitor.exec_flag mon);
+  check_bool "reset clears violations" true (A.Monitor.violations mon = []);
+  clean_run mon;
+  check_bool "usable after reset" true (A.Monitor.exec_flag mon)
+
+let test_reentry_restarts () =
+  let mon = fresh () in
+  clean_run mon;
+  (* re-entering at er_min starts a fresh attempt: exec drops until the new
+     run completes *)
+  A.Monitor.observe mon (step 0xE000 0xE002);
+  check_bool "exec low during re-run" false (A.Monitor.exec_flag mon);
+  A.Monitor.observe mon (step 0xE002 0xE0FE);
+  A.Monitor.observe mon (step 0xE0FE 0xF000);
+  check_bool "re-earned" true (A.Monitor.exec_flag mon)
+
+let suites =
+  [ ("monitor",
+     [ Alcotest.test_case "clean run" `Quick test_clean_run_sets_exec;
+       Alcotest.test_case "mid entry" `Quick test_mid_entry;
+       Alcotest.test_case "early exit" `Quick test_early_exit;
+       Alcotest.test_case "irq mid-run" `Quick test_irq_mid_run;
+       Alcotest.test_case "write to ER" `Quick test_write_to_er_during_run;
+       Alcotest.test_case "OR write at rest" `Quick test_or_write_at_rest_clears_exec;
+       Alcotest.test_case "boundary writes" `Quick test_word_write_straddling_or_boundary;
+       Alcotest.test_case "dma rules" `Quick test_dma_rules;
+       Alcotest.test_case "reset" `Quick test_reset;
+       Alcotest.test_case "re-entry restarts" `Quick test_reentry_restarts ]) ]

@@ -1,0 +1,270 @@
+(* Unit tests of the instrumentation passes themselves: structure of the
+   emitted code, contract enforcement, and configuration knobs. *)
+
+module M = Dialed_msp430
+module P = M.Program
+module Isa = M.Isa
+module T = Dialed_tinycfa.Instrument
+module Dfa = Dialed_core.Dfa
+module Asm_parse = M.Asm_parse
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parse = Asm_parse.parse
+
+let expect_cfa_error name prog =
+  match T.instrument prog with
+  | exception T.Error _ -> ()
+  | _ -> Alcotest.failf "%s: expected Tiny-CFA to reject" name
+
+let expect_dfa_error name prog =
+  match Dfa.instrument prog with
+  | exception Dfa.Error _ -> ()
+  | _ -> Alcotest.failf "%s: expected DIALED pass to reject" name
+
+(* ------------------------------------------------------------- *)
+(* Tiny-CFA.                                                       *)
+
+let test_cfa_log_sites () =
+  let prog =
+    parse {|
+    op:
+        mov #1, r5
+        call #sub
+        jmp end_
+    sub:
+        ret
+    end_:
+        ret
+    |}
+  in
+  let out = T.instrument prog in
+  (* call + jmp + 2 rets = 4 log sites *)
+  check_int "log sites" 4 (T.count_logged_sites out)
+
+let test_cfa_conditional_logs_both_arms () =
+  let prog =
+    parse {|
+    op:
+        cmp #1, r15
+        jeq somewhere
+        mov #1, r5
+    somewhere:
+        ret
+    |}
+  in
+  let out = T.instrument prog in
+  (* jeq -> 2 arms + final ret = 3 sites *)
+  check_int "both arms logged" 3 (T.count_logged_sites out)
+
+let test_cfa_no_uncond_config () =
+  let prog = parse "op:\n    jmp end_\nend_:\n    ret\n" in
+  let default = T.instrument prog in
+  let no_uncond =
+    T.instrument ~config:{ T.log_uncond_jumps = false; check_stores = true }
+      prog
+  in
+  check_int "default logs the jmp" 2 (T.count_logged_sites default);
+  check_int "config drops it" 1 (T.count_logged_sites no_uncond)
+
+let test_cfa_store_checks_optional () =
+  let prog =
+    parse {|
+    op:
+        mov #0x0200, r5
+        mov r6, 2(r5)
+        ret
+    |}
+  in
+  let with_checks = P.instr_count (T.instrument prog) in
+  let without =
+    P.instr_count
+      (T.instrument ~config:{ T.log_uncond_jumps = true; check_stores = false }
+         prog)
+  in
+  check_bool "store check adds instructions" true (with_checks > without)
+
+let test_cfa_rejects_r4 () =
+  expect_cfa_error "r4 use" (parse "op:\n    mov r4, r5\n    ret\n")
+
+let test_cfa_rejects_reti () =
+  expect_cfa_error "reti" (parse "op:\n    reti\n")
+
+let test_cfa_rejects_computed_branch () =
+  expect_cfa_error "add to pc" (parse "op:\n    add r5, pc\n    ret\n")
+
+let test_cfa_rejects_flag_hazard () =
+  (* a store between the cmp and its jump would get a check inserted *)
+  expect_cfa_error "store between cmp and jcc"
+    (parse {|
+    op:
+        mov #0x0200, r5
+        cmp #1, r15
+        mov r6, 2(r5)
+        jeq op
+        ret
+    |})
+
+let test_cfa_abort_loop_emitted () =
+  let out = T.instrument (parse "op:\n    ret\n") in
+  check_bool "abort label present" true (P.exists_label out T.abort_label)
+
+let test_cfa_entry_check_first () =
+  let out = T.instrument (parse "op:\n    mov #1, r5\n    ret\n") in
+  (* first instruction after the leading label must be the r4 check *)
+  let rec first_instr items =
+    match items with
+    | P.Synth i :: _ | P.Instr i :: _ -> Some i
+    | _ :: rest -> first_instr rest
+    | [] -> None
+  in
+  (match first_instr out with
+   | Some (P.Two (Isa.CMP, Isa.Word, P.Imm (P.Lab s), P.Reg 4))
+     when s = T.or_max_symbol -> ()
+   | Some i -> Alcotest.failf "unexpected first instruction %a" P.pp_instr i
+   | None -> Alcotest.fail "no instructions")
+
+(* ------------------------------------------------------------- *)
+(* DIALED (DFA) pass.                                              *)
+
+let count_inputs prog = Dfa.count_input_sites prog
+
+let test_dfa_f3_always_logs_nine () =
+  let out = Dfa.instrument (parse "op:\n    ret\n") in
+  check_int "sp + r8..r15" 9 (count_inputs out)
+
+let test_dfa_static_read_logged () =
+  let out = Dfa.instrument (parse "op:\n    mov &0x0140, r15\n    ret\n") in
+  check_int "9 + 1 static input" 10 (count_inputs out)
+
+let test_dfa_stack_reads_skipped () =
+  let out =
+    Dfa.instrument
+      (parse {|
+    op:
+        mov 2(sp), r15
+        mov -4(r6), r14
+        mov @sp, r13
+        ret
+    |})
+  in
+  check_int "frame reads are not inputs" 9 (count_inputs out)
+
+let test_dfa_frame_trust_config () =
+  let prog = parse "op:\n    mov -4(r6), r14\n    ret\n" in
+  let trusted = Dfa.instrument prog in
+  let untrusted =
+    Dfa.instrument
+      ~config:{ Dfa.static_fast_path = true; trust_frame_reads = false }
+      prog
+  in
+  check_int "trusted: no extra site" 9 (count_inputs trusted);
+  check_int "untrusted: runtime-checked site" 10 (count_inputs untrusted)
+
+let test_dfa_dynamic_read_checked () =
+  let prog = parse "op:\n    mov @r15, r14\n    ret\n" in
+  let out = Dfa.instrument prog in
+  check_int "dynamic read site" 10 (count_inputs out);
+  (* the range check reads the saved stack base at OR_MAX *)
+  let reads_base =
+    List.exists
+      (fun item ->
+         match item with
+         | P.Synth (P.Two (Isa.CMP, Isa.Word, P.Abs (P.Lab s), _)) ->
+           s = T.or_max_symbol
+         | _ -> false)
+      out
+  in
+  check_bool "compares against saved base" true reads_base
+
+let test_dfa_static_fast_path_config () =
+  let prog = parse "op:\n    mov &0x0140, r15\n    ret\n" in
+  let fast = P.instr_count (Dfa.instrument prog) in
+  let literal =
+    P.instr_count
+      (Dfa.instrument
+         ~config:{ Dfa.static_fast_path = false; trust_frame_reads = true }
+         prog)
+  in
+  check_bool "literal Fig. 5 checks cost more" true (literal > fast)
+
+let test_dfa_rejects_r4 () =
+  expect_dfa_error "r4" (parse "op:\n    mov @r4, r5\n    ret\n")
+
+let test_dfa_rejects_same_reg_load () =
+  expect_dfa_error "mov @r15, r15" (parse "op:\n    mov @r15, r15\n    ret\n")
+
+let test_dfa_rejects_read_feeding_jcc () =
+  expect_dfa_error "logged read feeds jcc"
+    (parse {|
+    op:
+        cmp &0x0140, r15
+        jeq op
+        ret
+    |})
+
+(* ------------------------------------------------------------- *)
+(* Composition.                                                    *)
+
+let test_composed_order () =
+  (* Fig. 4: r4 entry check first, then F3's sp save, then args *)
+  let out = T.instrument (Dfa.instrument (parse "op:\n    ret\n")) in
+  let rec first_two items =
+    match items with
+    | (P.Synth i | P.Instr i) :: rest -> i :: first_two_tail rest
+    | _ :: rest -> first_two rest
+    | [] -> []
+  and first_two_tail items =
+    match first_two items with i :: _ -> [ i ] | [] -> []
+  in
+  (match first_two out with
+   | [ P.Two (Isa.CMP, _, P.Imm (P.Lab s), P.Reg 4); _ ]
+     when s = T.or_max_symbol -> ()
+   | _ -> Alcotest.fail "entry check is not first after composition");
+  (* and the sp log is present: mov sp, 0(r4) *)
+  let has_sp_log =
+    List.exists
+      (fun item ->
+         match item with
+         | P.Synth (P.Two (Isa.MOV, Isa.Word, P.Reg 1, P.Indexed (P.Num 0, 4))) ->
+           true
+         | _ -> false)
+      out
+  in
+  check_bool "F3 saves sp through r4" true has_sp_log
+
+let test_composed_does_not_reinstrument () =
+  (* Tiny-CFA must not store-check or CF-log the DFA's synthetic code *)
+  let dfa_out = Dfa.instrument (parse "op:\n    mov &0x0140, r15\n    ret\n") in
+  let cfa_sites_on_plain =
+    T.count_logged_sites (T.instrument (parse "op:\n    mov &0x0140, r15\n    ret\n"))
+  in
+  let composed = T.instrument dfa_out in
+  (* composed CF sites = same as instrumenting the original alone *)
+  check_int "no CF logging of synth code" cfa_sites_on_plain
+    (T.count_logged_sites composed - Dfa.count_input_sites composed)
+
+let suites =
+  [ ("passes",
+     [ Alcotest.test_case "cfa: log sites" `Quick test_cfa_log_sites;
+       Alcotest.test_case "cfa: both arms" `Quick test_cfa_conditional_logs_both_arms;
+       Alcotest.test_case "cfa: uncond config" `Quick test_cfa_no_uncond_config;
+       Alcotest.test_case "cfa: store checks" `Quick test_cfa_store_checks_optional;
+       Alcotest.test_case "cfa: rejects r4" `Quick test_cfa_rejects_r4;
+       Alcotest.test_case "cfa: rejects reti" `Quick test_cfa_rejects_reti;
+       Alcotest.test_case "cfa: rejects computed branch" `Quick test_cfa_rejects_computed_branch;
+       Alcotest.test_case "cfa: rejects flag hazard" `Quick test_cfa_rejects_flag_hazard;
+       Alcotest.test_case "cfa: abort loop" `Quick test_cfa_abort_loop_emitted;
+       Alcotest.test_case "cfa: entry check first" `Quick test_cfa_entry_check_first;
+       Alcotest.test_case "dfa: F3 nine entries" `Quick test_dfa_f3_always_logs_nine;
+       Alcotest.test_case "dfa: static read" `Quick test_dfa_static_read_logged;
+       Alcotest.test_case "dfa: stack reads skipped" `Quick test_dfa_stack_reads_skipped;
+       Alcotest.test_case "dfa: frame trust config" `Quick test_dfa_frame_trust_config;
+       Alcotest.test_case "dfa: dynamic read" `Quick test_dfa_dynamic_read_checked;
+       Alcotest.test_case "dfa: fast path config" `Quick test_dfa_static_fast_path_config;
+       Alcotest.test_case "dfa: rejects r4" `Quick test_dfa_rejects_r4;
+       Alcotest.test_case "dfa: rejects same-reg load" `Quick test_dfa_rejects_same_reg_load;
+       Alcotest.test_case "dfa: rejects hazard" `Quick test_dfa_rejects_read_feeding_jcc;
+       Alcotest.test_case "composed: order" `Quick test_composed_order;
+       Alcotest.test_case "composed: no re-instrumentation" `Quick test_composed_does_not_reinstrument ]) ]

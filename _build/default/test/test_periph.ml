@@ -1,0 +1,77 @@
+(* Peripherals board: scripted inputs and recorded outputs. *)
+
+module M = Dialed_msp430
+module Memory = M.Memory
+module Peripherals = M.Peripherals
+module Isa = M.Isa
+
+let check_int = Alcotest.(check int)
+
+let make () =
+  let mem = Memory.create () in
+  let board = Peripherals.create mem in
+  (mem, board)
+
+let test_uart_rx () =
+  let mem, board = make () in
+  Peripherals.feed_uart board [ 0x41; 0x42 ];
+  check_int "rx flag up"
+    Peripherals.urxifg_bit
+    (Memory.read mem Isa.Byte Peripherals.ifg1 land Peripherals.urxifg_bit);
+  check_int "first byte" 0x41 (Memory.read mem Isa.Byte Peripherals.u0rxbuf);
+  check_int "second byte" 0x42 (Memory.read mem Isa.Byte Peripherals.u0rxbuf);
+  check_int "rx flag down" 0
+    (Memory.read mem Isa.Byte Peripherals.ifg1 land Peripherals.urxifg_bit);
+  check_int "empty reads zero" 0 (Memory.read mem Isa.Byte Peripherals.u0rxbuf)
+
+let test_uart_tx () =
+  let mem, board = make () in
+  Memory.write mem Isa.Byte Peripherals.u0txbuf (Char.code 'o');
+  Memory.write mem Isa.Byte Peripherals.u0txbuf (Char.code 'k');
+  Alcotest.(check (list int)) "tx capture"
+    [ Char.code 'o'; Char.code 'k' ] (Peripherals.uart_sent board)
+
+let test_gpio () =
+  let mem, board = make () in
+  Peripherals.set_gpio_in board ~port:`P1 0b1010;
+  check_int "p1in" 0b1010 (Memory.read mem Isa.Byte Peripherals.p1in);
+  Memory.write mem Isa.Byte Peripherals.p3out 0x1;
+  Memory.write mem Isa.Byte Peripherals.p3out 0x0;
+  Alcotest.(check (list (pair string int))) "gpio writes recorded"
+    [ ("P3OUT", 1); ("P3OUT", 0) ] (Peripherals.gpio_writes board);
+  check_int "last value" 0 (Peripherals.last_gpio board ~port:`P3)
+
+let test_adc () =
+  let mem, board = make () in
+  Peripherals.feed_adc board [ 0x123; 0x456 ];
+  check_int "sample 1" 0x123 (Memory.read mem Isa.Word Peripherals.adc12mem0);
+  check_int "sample 2" 0x456 (Memory.read mem Isa.Word Peripherals.adc12mem0);
+  check_int "last repeats" 0x456 (Memory.read mem Isa.Word Peripherals.adc12mem0)
+
+let test_timer () =
+  let mem, board = make () in
+  Memory.tick mem 100;
+  check_int "timer counts cycles" 100 (Memory.read mem Isa.Word Peripherals.ta0r);
+  Memory.tick mem 0xFFFF;
+  check_int "timer wraps" ((100 + 0xFFFF) land 0xFFFF)
+    (Memory.read mem Isa.Word Peripherals.ta0r);
+  ignore board
+
+let test_echo_capture () =
+  let mem, board = make () in
+  Peripherals.feed_echo board [ 580; 1160 ];
+  (* trigger: write bit0 of P2OUT *)
+  Memory.write mem Isa.Byte Peripherals.p2out 1;
+  check_int "first echo" 580 (Memory.read mem Isa.Word Peripherals.taccr1);
+  Memory.write mem Isa.Byte Peripherals.p2out 0;
+  Memory.write mem Isa.Byte Peripherals.p2out 1;
+  check_int "second echo" 1160 (Memory.read mem Isa.Word Peripherals.taccr1)
+
+let suites =
+  [ ("peripherals",
+     [ Alcotest.test_case "uart rx" `Quick test_uart_rx;
+       Alcotest.test_case "uart tx" `Quick test_uart_tx;
+       Alcotest.test_case "gpio" `Quick test_gpio;
+       Alcotest.test_case "adc" `Quick test_adc;
+       Alcotest.test_case "timer" `Quick test_timer;
+       Alcotest.test_case "echo capture" `Quick test_echo_capture ]) ]

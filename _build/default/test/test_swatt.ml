@@ -1,0 +1,134 @@
+(* SW-Att on the device: the generated MSP430 HMAC-SHA256 must produce
+   bit-identical tokens to the native VRASED model, the key gate must
+   keep the key invisible outside the ROM, and reports built from
+   on-device tokens must verify end-to-end. *)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+module C = Dialed_core
+module Asm_parse = M.Asm_parse
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny_op = "op:\n    mov r15, r5\n    add r5, r5\n    mov r5, &0x0210\n    ret\n"
+
+let setup () =
+  let built = C.Pipeline.build ~op:(Asm_parse.parse tiny_op) () in
+  let device = C.Pipeline.device built in
+  let installed =
+    A.Swatt.install ~key:A.Device.default_key built.C.Pipeline.layout device
+  in
+  (built, device, installed)
+
+let test_token_matches_native () =
+  let built, device, installed = setup () in
+  ignore (A.Device.run_operation ~args:[ 21 ] device);
+  check_bool "exec" true (A.Monitor.exec_flag (A.Device.monitor device));
+  let challenge = A.Swatt.pad_challenge "equivalence-check" in
+  let on_device = A.Swatt.attest installed device ~challenge in
+  let native = (A.Device.attest device ~challenge).A.Pox.token in
+  check_int "32-byte tag" 32 (String.length on_device);
+  check_bool "device-computed HMAC equals the native model" true
+    (String.equal on_device native);
+  ignore built
+
+let test_report_verifies () =
+  let built, device, installed = setup () in
+  ignore (A.Device.run_operation ~args:[ 21 ] device);
+  let report = A.Swatt.report installed device ~challenge:"verify-me" in
+  (match
+     A.Pox.verify ~key:A.Device.default_key
+       ~expected_er:built.C.Pipeline.expected_er report
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "on-device report rejected: %s" e);
+  (* and through the full DIALED verifier *)
+  let outcome = C.Verifier.verify (C.Verifier.create built) report in
+  if not outcome.C.Verifier.accepted then
+    Alcotest.failf "DIALED verifier rejected on-device report: %a"
+      C.Verifier.pp_outcome outcome
+
+let test_exec_bound_into_token () =
+  let _, device, installed = setup () in
+  let challenge = "exec-binding" in
+  (* before any run: EXEC = 0 *)
+  let before = A.Swatt.attest installed device ~challenge in
+  ignore (A.Device.run_operation ~args:[ 2 ] device);
+  let after = A.Swatt.attest installed device ~challenge in
+  check_bool "different exec, different tag" false (String.equal before after);
+  (* both match the native model for the same EXEC value *)
+  let native_after =
+    (A.Device.attest device ~challenge:(A.Swatt.pad_challenge challenge)).A.Pox.token
+  in
+  check_bool "post-run tag matches native" true (String.equal after native_after)
+
+let test_code_change_changes_token () =
+  let _, device, installed = setup () in
+  ignore (A.Device.run_operation ~args:[ 21 ] device);
+  let t1 = A.Swatt.attest installed device ~challenge:"c" in
+  (* malware flips a byte of ER; SW-Att hashes actual memory *)
+  A.Device.attacker_write device
+    ~addr:((A.Device.layout device).A.Layout.er_min + 6)
+    ~value:0xFF;
+  let t2 = A.Swatt.attest installed device ~challenge:"c" in
+  check_bool "measurement reflects the real memory" false (String.equal t1 t2)
+
+let test_key_gate () =
+  let _, device, installed = setup () in
+  ignore installed;
+  (* host/attacker reads of the key region see zeros *)
+  let mem = A.Device.memory device in
+  let leaked = ref 0 in
+  for i = 0 to 63 do
+    leaked := !leaked lor M.Memory.read mem M.Isa.Byte (A.Swatt.key_base + i)
+  done;
+  check_int "key reads as zero outside ROM" 0 !leaked
+
+let test_key_gate_from_er_code () =
+  (* an attested operation trying to exfiltrate the key also reads zeros *)
+  let op = {|
+    op:
+        mov #0x6a00, r14
+        mov @r14, r15
+        ret
+    |}
+  in
+  let built = C.Pipeline.build ~variant:C.Pipeline.Unmodified
+      ~op:(Asm_parse.parse op) () in
+  let device = C.Pipeline.device built in
+  let _ =
+    A.Swatt.install ~key:A.Device.default_key built.C.Pipeline.layout device
+  in
+  ignore (A.Device.run_operation device);
+  check_int "ER code cannot read the key" 0
+    (M.Cpu.get_reg (A.Device.cpu device) 15)
+
+let test_challenge_sensitivity () =
+  let _, device, installed = setup () in
+  ignore (A.Device.run_operation ~args:[ 3 ] device);
+  let t1 = A.Swatt.attest installed device ~challenge:"challenge-A" in
+  let t2 = A.Swatt.attest installed device ~challenge:"challenge-B" in
+  check_bool "challenge bound into tag" false (String.equal t1 t2)
+
+let test_runtime_is_mcu_scale () =
+  let _, device, installed = setup () in
+  ignore (A.Device.run_operation ~args:[ 3 ] device);
+  let before = M.Cpu.cycles (A.Device.cpu device) in
+  ignore (A.Swatt.attest installed device ~challenge:"timing");
+  let cycles = M.Cpu.cycles (A.Device.cpu device) - before in
+  (* hashing ~1 KiB through a software SHA-256: hundreds of thousands of
+     cycles — a fraction of a second at 8 MHz, VRASED's published scale *)
+  check_bool "non-trivial work" true (cycles > 100_000);
+  check_bool "but bounded" true (cycles < 20_000_000)
+
+let suites =
+  [ ("swatt",
+     [ Alcotest.test_case "token = native HMAC" `Quick test_token_matches_native;
+       Alcotest.test_case "report verifies" `Quick test_report_verifies;
+       Alcotest.test_case "exec bound into token" `Quick test_exec_bound_into_token;
+       Alcotest.test_case "code change changes token" `Quick test_code_change_changes_token;
+       Alcotest.test_case "key gate (host)" `Quick test_key_gate;
+       Alcotest.test_case "key gate (ER code)" `Quick test_key_gate_from_er_code;
+       Alcotest.test_case "challenge sensitivity" `Quick test_challenge_sensitivity;
+       Alcotest.test_case "mcu-scale runtime" `Quick test_runtime_is_mcu_scale ]) ]

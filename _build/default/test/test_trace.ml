@@ -1,0 +1,92 @@
+(* Trace collector: recording, queries, printing. *)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+module C = Dialed_core
+module Minic = Dialed_minic.Minic
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let traced_run source args =
+  let compiled = Minic.compile source in
+  let built =
+    C.Pipeline.build ~variant:C.Pipeline.Unmodified ~data:compiled.Minic.data
+      ~op:compiled.Minic.op ()
+  in
+  let device = C.Pipeline.device built in
+  let trace = M.Trace.create () in
+  let result =
+    A.Device.run_operation ~args ~on_step:(M.Trace.record trace) device
+  in
+  check_bool "completed" true result.A.Device.completed;
+  (trace, built, result)
+
+let test_counts_match_device () =
+  let trace, _, result =
+    traced_run "int main() { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }" []
+  in
+  check_int "steps" result.A.Device.steps (M.Trace.length trace);
+  check_int "cycles" result.A.Device.cycles (M.Trace.total_cycles trace)
+
+let test_writes_query () =
+  let trace, _, _ =
+    traced_run
+      {| volatile char P3OUT @ 0x0019;
+         int main() { P3OUT = 1; P3OUT = 0; P3OUT = 1; return 0; } |}
+      []
+  in
+  check_int "three stores to the port" 3
+    (List.length (M.Trace.writes_to trace ~addr:0x0019))
+
+let test_coverage () =
+  let source =
+    {| int main(int x) {
+         if (x > 0) { return 1; }
+         return 2;
+       } |}
+  in
+  let trace_pos, built, _ = traced_run source [ 5 ] in
+  let l = built.C.Pipeline.layout in
+  let mem = M.Memory.create () in
+  M.Assemble.load built.C.Pipeline.image mem;
+  let starts =
+    List.map fst
+      (M.Disasm.range mem ~lo:l.A.Layout.er_min ~hi:l.A.Layout.er_max)
+  in
+  let hit_pos, total = M.Trace.coverage trace_pos ~static_starts:starts in
+  check_bool "partial coverage (one branch)" true (hit_pos < total);
+  (* both branches together cover more *)
+  let trace_neg, _, _ = traced_run source [ M.Word.mask16 (-5) ] in
+  let hit_neg, _ = M.Trace.coverage trace_neg ~static_starts:starts in
+  let union =
+    List.sort_uniq compare
+      (M.Trace.unique_pcs trace_pos @ M.Trace.unique_pcs trace_neg)
+  in
+  let union_hits = List.filter (fun a -> List.mem a starts) union in
+  check_bool "union covers more than either" true
+    (List.length union_hits > hit_pos && List.length union_hits > hit_neg)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_pp_elides () =
+  let trace, _, _ =
+    traced_run
+      "int main() { int s = 0; for (int i = 0; i < 30; i++) { s += i; } return s; }"
+      []
+  in
+  let out = Format.asprintf "%a" (M.Trace.pp ~limit:10) trace in
+  check_bool "elision marker" true (contains out "elided");
+  let full = Format.asprintf "%a" (M.Trace.pp ?limit:None) trace in
+  check_bool "full trace has all lines" true
+    (not (contains full "elided"))
+
+let suites =
+  [ ("trace",
+     [ Alcotest.test_case "counts match device" `Quick test_counts_match_device;
+       Alcotest.test_case "writes query" `Quick test_writes_query;
+       Alcotest.test_case "coverage" `Quick test_coverage;
+       Alcotest.test_case "pp elides" `Quick test_pp_elides ]) ]

@@ -1,0 +1,129 @@
+(* Wire encoding of PoX reports, and the MiniC compound-assignment /
+   increment sugar. *)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+module C = Dialed_core
+module Minic = Dialed_minic.Minic
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------- *)
+(* Wire format.                                                    *)
+
+let sample_report () =
+  let compiled = Minic.compile "int main(int a) { return a + 1; }" in
+  let built =
+    C.Pipeline.build ~data:compiled.Minic.data ~op:compiled.Minic.op ()
+  in
+  let device = C.Pipeline.device built in
+  ignore (A.Device.run_operation ~args:[ 4 ] device);
+  (built, A.Device.attest device ~challenge:"wire-test-challenge")
+
+let test_wire_roundtrip () =
+  let _, report = sample_report () in
+  match A.Wire.decode (A.Wire.encode report) with
+  | Ok decoded ->
+    check_bool "identical" true (decoded = report)
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_wire_verifies_after_roundtrip () =
+  let built, report = sample_report () in
+  match A.Wire.decode (A.Wire.encode report) with
+  | Ok decoded ->
+    let outcome = C.Verifier.verify (C.Verifier.create built) decoded in
+    check_bool "still verifies" true outcome.C.Verifier.accepted
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_wire_rejects_garbage () =
+  let expect_error what data =
+    match A.Wire.decode data with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted" what
+  in
+  expect_error "empty" "";
+  expect_error "bad magic" "ZZ\001\001";
+  expect_error "truncated" "DX\001";
+  let _, report = sample_report () in
+  let good = A.Wire.encode report in
+  expect_error "trailing bytes" (good ^ "x");
+  expect_error "cut short" (String.sub good 0 (String.length good - 5));
+  (* oversized length field *)
+  let bad = Bytes.of_string good in
+  Bytes.set bad 4 '\xFF';
+  Bytes.set bad 5 '\xFF';
+  expect_error "length overflow" (Bytes.to_string bad)
+
+let test_wire_tamper_detected_downstream () =
+  (* bit flips survive parsing but fail verification *)
+  let built, report = sample_report () in
+  let encoded = Bytes.of_string (A.Wire.encode report) in
+  let mid = Bytes.length encoded - 40 in
+  Bytes.set encoded mid
+    (Char.chr (Char.code (Bytes.get encoded mid) lxor 0x80));
+  match A.Wire.decode (Bytes.to_string encoded) with
+  | Ok tampered ->
+    let outcome = C.Verifier.verify (C.Verifier.create built) tampered in
+    check_bool "rejected by token" true (not outcome.C.Verifier.accepted)
+  | Error _ -> () (* also acceptable: structural rejection *)
+
+(* ------------------------------------------------------------- *)
+(* MiniC sugar.                                                    *)
+
+let eval ?(args = []) source =
+  let compiled = Minic.compile source in
+  let built =
+    C.Pipeline.build ~variant:C.Pipeline.Unmodified ~data:compiled.Minic.data
+      ~op:compiled.Minic.op ()
+  in
+  let device = C.Pipeline.device built in
+  let result = A.Device.run_operation ~args device in
+  check_bool "completed" true result.A.Device.completed;
+  M.Cpu.get_reg (A.Device.cpu device) 15
+
+let test_compound_assign () =
+  check_int "+=" 15 (eval "int main() { int a = 5; a += 10; return a; }");
+  check_int "-=" 2 (eval "int main() { int a = 5; a -= 3; return a; }");
+  check_int "*=" 20 (eval "int main() { int a = 5; a *= 4; return a; }");
+  check_int "/=" 5 (eval "int main() { int a = 20; a /= 4; return a; }");
+  check_int "%=" 2 (eval "int main() { int a = 17; a %= 5; return a; }");
+  check_int "&=" 4 (eval "int main() { int a = 12; a &= 6; return a; }");
+  check_int "|=" 14 (eval "int main() { int a = 12; a |= 6; return a; }");
+  check_int "^=" 10 (eval "int main() { int a = 12; a ^= 6; return a; }");
+  check_int "<<=" 40 (eval "int main() { int a = 5; a <<= 3; return a; }");
+  check_int ">>=" 5 (eval "int main() { int a = 40; a >>= 3; return a; }")
+
+let test_incr_decr () =
+  check_int "++" 6 (eval "int main() { int a = 5; a++; return a; }");
+  check_int "--" 4 (eval "int main() { int a = 5; a--; return a; }");
+  check_int "for with ++" 45
+    (eval "int main() { int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s; }")
+
+let test_array_compound () =
+  check_int "t[i] +=" 12
+    (eval "int t[4] = {10, 0, 0, 0}; int main() { t[0] += 2; return t[0]; }");
+  check_int "t[i]++" 11
+    (eval "int t[4] = {10, 0, 0, 0}; int main() { t[0]++; return t[0]; }");
+  check_int "global +=" 9
+    (eval "int g = 4; int main() { g += 5; return g; }")
+
+let test_sugar_on_io () =
+  (* compound ops on an io register: read-modify-write *)
+  let source =
+    {| volatile char P3OUT @ 0x0019;
+       int main() { P3OUT = 3; P3OUT |= 4; return P3OUT; } |}
+  in
+  check_int "io |=" 7 (eval source)
+
+let suites =
+  [ ("wire",
+     [ Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
+       Alcotest.test_case "verifies after roundtrip" `Quick test_wire_verifies_after_roundtrip;
+       Alcotest.test_case "rejects garbage" `Quick test_wire_rejects_garbage;
+       Alcotest.test_case "tamper detected" `Quick test_wire_tamper_detected_downstream ]);
+    ("minic-sugar",
+     [ Alcotest.test_case "compound assignment" `Quick test_compound_assign;
+       Alcotest.test_case "increment/decrement" `Quick test_incr_decr;
+       Alcotest.test_case "array compound" `Quick test_array_compound;
+       Alcotest.test_case "io compound" `Quick test_sugar_on_io ]) ]

@@ -1,0 +1,65 @@
+(* Unit and property tests for Dialed_msp430.Word. *)
+
+module Word = Dialed_msp430.Word
+
+let check_int = Alcotest.(check int)
+
+let test_masks () =
+  check_int "mask16 wraps" 0x2345 (Word.mask16 0x12345);
+  check_int "mask16 of negative" 0xFFFF (Word.mask16 (-1));
+  check_int "mask8 wraps" 0x45 (Word.mask8 0x12345);
+  check_int "high_byte" 0x23 (Word.high_byte 0x2345);
+  check_int "low_byte" 0x45 (Word.low_byte 0x2345)
+
+let test_signed () =
+  check_int "signed16 positive" 0x7FFF (Word.signed16 0x7FFF);
+  check_int "signed16 negative" (-1) (Word.signed16 0xFFFF);
+  check_int "signed16 min" (-32768) (Word.signed16 0x8000);
+  check_int "signed8 negative" (-1) (Word.signed8 0xFF);
+  check_int "signed8 positive" 127 (Word.signed8 0x7F)
+
+let test_swap () =
+  check_int "swap" 0x4523 (Word.swap_bytes 0x2345);
+  check_int "swap zero" 0 (Word.swap_bytes 0)
+
+let test_sign_extend () =
+  check_int "sxt positive" 0x007F (Word.sign_extend8 0x7F);
+  check_int "sxt negative" 0xFF80 (Word.sign_extend8 0x80);
+  check_int "sxt ignores high bits" 0xFFFF (Word.sign_extend8 0x12FF)
+
+let test_bits () =
+  Alcotest.(check bool) "bit set" true (Word.bit 3 0b1000);
+  Alcotest.(check bool) "bit clear" false (Word.bit 2 0b1000);
+  check_int "set_bit on" 0b1100 (Word.set_bit 2 true 0b1000);
+  check_int "set_bit off" 0 (Word.set_bit 3 false 0b1000)
+
+let prop_mask16_idempotent =
+  QCheck.Test.make ~name:"mask16 idempotent" ~count:500
+    QCheck.int
+    (fun v -> Word.mask16 (Word.mask16 v) = Word.mask16 v)
+
+let prop_signed16_roundtrip =
+  QCheck.Test.make ~name:"signed16 re-masks to same bits" ~count:500
+    (QCheck.int_range 0 0xFFFF)
+    (fun v -> Word.mask16 (Word.signed16 v) = v)
+
+let prop_swap_involutive =
+  QCheck.Test.make ~name:"swap_bytes involutive" ~count:500
+    (QCheck.int_range 0 0xFFFF)
+    (fun v -> Word.swap_bytes (Word.swap_bytes v) = v)
+
+let prop_neg_flags_agree =
+  QCheck.Test.make ~name:"is_neg16 agrees with signed16" ~count:500
+    (QCheck.int_range 0 0xFFFF)
+    (fun v -> Word.is_neg16 v = (Word.signed16 v < 0))
+
+let suites =
+  [ ("word",
+     [ Alcotest.test_case "masks" `Quick test_masks;
+       Alcotest.test_case "signed" `Quick test_signed;
+       Alcotest.test_case "swap_bytes" `Quick test_swap;
+       Alcotest.test_case "sign_extend8" `Quick test_sign_extend;
+       Alcotest.test_case "bit ops" `Quick test_bits ]
+     @ List.map QCheck_alcotest.to_alcotest
+         [ prop_mask16_idempotent; prop_signed16_roundtrip;
+           prop_swap_involutive; prop_neg_flags_agree ]) ]
