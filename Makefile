@@ -1,0 +1,26 @@
+# Convenience wrappers around dune; `dune` remains the source of truth.
+
+.PHONY: build test bench bench-fleet examples clean
+
+build:
+	dune build @all
+
+test:
+	dune runtest --force
+
+# Full paper regeneration (Table I, Fig. 6(a)-(c), ablations, ...)
+bench:
+	dune exec bench/main.exe
+
+# Just the fleet-verification throughput experiment
+bench-fleet:
+	dune exec bench/main.exe -- fleet
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/syringe_pump_attack.exe
+	dune exec examples/fire_sensor_fleet.exe
+	dune exec examples/ultrasonic_sweep.exe
+
+clean:
+	dune clean

@@ -4,12 +4,13 @@
    itself.
 
    Run everything:        dune exec bench/main.exe
-   One experiment:        dune exec bench/main.exe -- table1|fig6a|fig6b|fig6c|ablations|micro|shapes
+   One experiment:        dune exec bench/main.exe -- table1|fig6a|fig6b|fig6c|ablations|micro|fleet|shapes
 *)
 
 module M = Dialed_msp430
 module A = Dialed_apex
 module C = Dialed_core
+module F = Dialed_fleet
 module Apps = Dialed_apps.Apps
 module Hwcost = Dialed_hwcost.Hwcost
 
@@ -269,6 +270,79 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Fleet verification: serial vs parallel batch replay throughput.      *)
+
+let fleet_batch_size = 64
+
+let fleet () =
+  section "Fleet verification: batch replay throughput (serial vs parallel)";
+  let app = Apps.fire_sensor in
+  let built = Apps.build app in
+  printf "generating %d device reports (%s firmware %s...)@."
+    fleet_batch_size app.Apps.name
+    (String.sub (C.Pipeline.fingerprint built) 0 12);
+  let batch =
+    List.init fleet_batch_size (fun i ->
+        let device = C.Pipeline.device built in
+        (* per-device sensor readings: most rooms are cool, a few are on
+           fire, and every 16th node tampers with its log *)
+        let base = 520 + 17 * (i mod 23) in
+        M.Peripherals.feed_adc (A.Device.board device)
+          [ base; base + 2; base + 4; base + 2 ];
+        ignore (A.Device.run_operation ~args:app.Apps.benign_args device);
+        let report =
+          A.Device.attest device ~challenge:(Printf.sprintf "fleet-%04d" i)
+        in
+        let report =
+          if i mod 16 <> 15 then report
+          else begin
+            let or_data = Bytes.of_string report.A.Pox.or_data in
+            let j = Bytes.length or_data - 24 in
+            Bytes.set or_data j
+              (Char.chr (Char.code (Bytes.get or_data j) lxor 0xFF));
+            { report with A.Pox.or_data = Bytes.to_string or_data }
+          end
+        in
+        (Printf.sprintf "dev-%04d" i, report))
+  in
+  let plan = F.Plan.of_built built in
+  (* warm-up pass so neither measured run pays first-touch costs *)
+  ignore (F.Fleet.verify_batch ~domains:1 plan batch);
+  let serial = F.Fleet.verify_batch ~domains:1 plan batch in
+  let parallel = F.Fleet.verify_batch ~domains:4 plan batch in
+  let same_verdicts =
+    List.for_all2
+      (fun (a : F.Fleet.verdict) (b : F.Fleet.verdict) ->
+         a.F.Fleet.device_id = b.F.Fleet.device_id
+         && a.F.Fleet.accepted = b.F.Fleet.accepted
+         && a.F.Fleet.findings = b.F.Fleet.findings)
+      serial.F.Fleet.verdicts parallel.F.Fleet.verdicts
+  in
+  printf "%-10s %12s %14s %14s@." "domains" "wall (ms)" "reports/s"
+    "Msteps/s";
+  List.iter
+    (fun (s : F.Fleet.summary) ->
+       let m = s.F.Fleet.metrics in
+       printf "%-10d %12.2f %14.0f %14.2f@." m.F.Metrics.domains
+         (m.F.Metrics.wall_seconds *. 1000.0) (F.Metrics.reports_per_sec m)
+         (F.Metrics.replay_steps_per_sec m /. 1e6))
+    [ serial; parallel ];
+  let speedup =
+    F.Metrics.reports_per_sec parallel.F.Fleet.metrics
+    /. F.Metrics.reports_per_sec serial.F.Fleet.metrics
+  in
+  printf "@.verdicts identical across domain counts: %s@."
+    (if same_verdicts then "yes" else "NO — DETERMINISM BUG");
+  printf "rejected: %d/%d (expected %d tampered)@."
+    serial.F.Fleet.metrics.F.Metrics.rejected fleet_batch_size
+    (fleet_batch_size / 16);
+  printf "speedup domains=4 vs domains=1: %.2fx (on %d available cores)@."
+    speedup
+    (Domain.recommended_domain_count ());
+  printf "json: %s@." (F.Metrics.to_json serial.F.Fleet.metrics);
+  printf "json: %s@." (F.Metrics.to_json parallel.F.Fleet.metrics)
+
+(* ------------------------------------------------------------------ *)
 
 let shape_check () =
   section "Shape check against the paper's reported trends";
@@ -307,7 +381,8 @@ let () =
   let experiments =
     [ ("table1", table1); ("fig6a", fig6a); ("fig6b", fig6b);
       ("fig6c", fig6c); ("ablations", ablations); ("breakdown", breakdown);
-      ("swatt", swatt_bench); ("micro", micro); ("shapes", shape_check) ]
+      ("swatt", swatt_bench); ("micro", micro); ("fleet", fleet);
+      ("shapes", shape_check) ]
   in
   match Array.to_list Sys.argv with
   | _ :: ((_ :: _) as picks) ->

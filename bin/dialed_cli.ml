@@ -5,12 +5,15 @@
      dialed instrument [--app NAME ...] [--variant unmodified|cfa|dialed]
      dialed run      [--app NAME] [--variant V] [--arg N]...
      dialed attest   [--app NAME] [--arg N]...
+     dialed fleet    [--app NAME (default fire-sensor)] [--count N]
+                     [--domains D] [--tamper K]
      dialed disasm   [--app NAME] [--variant V]
 *)
 
 module M = Dialed_msp430
 module A = Dialed_apex
 module C = Dialed_core
+module F = Dialed_fleet
 module Apps = Dialed_apps.Apps
 module Minic = Dialed_minic.Minic
 
@@ -241,6 +244,76 @@ let attest_cmd =
     (Cmd.info "attest" ~doc:"Full round: run, attest, verify by replay")
     Term.(term_result (const run $ app_arg $ file_arg $ entry_arg $ args_arg))
 
+let fleet_cmd =
+  let count_arg =
+    let doc = "Number of simulated devices in the fleet." in
+    Arg.(value & opt int 64 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let domains_arg =
+    let doc = "Verifier worker domains (1 = strictly serial)." in
+    Arg.(value & opt int (Domain.recommended_domain_count ())
+         & info [ "domains" ] ~docv:"D" ~doc)
+  in
+  let tamper_arg =
+    let doc = "Tamper with the last K reports (flip one OR log byte each)." in
+    Arg.(value & opt int 0 & info [ "tamper" ] ~docv:"K" ~doc)
+  in
+  let run app file entry args count domains tamper =
+    (* a fleet of the paper's fire sensors unless told otherwise *)
+    let app =
+      match app, file with None, None -> Some "fire-sensor" | _ -> app
+    in
+    wrap (fun () ->
+        match load_source app file entry with
+        | Error e -> Error e
+        | Ok (source, entry, a) ->
+          if count < 1 then Error (`Msg "--count must be positive")
+          else begin
+            let built = build_from source entry a C.Pipeline.Full in
+            let args =
+              if args = [] then
+                match a with Some a -> a.Apps.benign_args | None -> []
+              else args
+            in
+            let batch =
+              List.init count (fun i ->
+                  let device = C.Pipeline.device built in
+                  setup_device a device;
+                  ignore (A.Device.run_operation ~args device);
+                  let report =
+                    A.Device.attest device
+                      ~challenge:(Printf.sprintf "fleet-%06d" i)
+                  in
+                  let report =
+                    if i < count - tamper then report
+                    else begin
+                      (* compromised node: forge one word of the log *)
+                      let or_data = Bytes.of_string report.A.Pox.or_data in
+                      let j = Bytes.length or_data - 24 in
+                      Bytes.set or_data j
+                        (Char.chr (Char.code (Bytes.get or_data j) lxor 0xFF));
+                      { report with A.Pox.or_data = Bytes.to_string or_data }
+                    end
+                  in
+                  (Printf.sprintf "dev-%06d" i, report))
+            in
+            let plan = F.Plan.of_built built in
+            let summary = F.Fleet.verify_batch ~domains plan batch in
+            Format.printf "firmware %s@."
+              (String.sub (F.Plan.fingerprint plan) 0 16);
+            Format.printf "%a@." F.Fleet.pp_summary summary;
+            Format.printf "json: %s@."
+              (F.Metrics.to_json summary.F.Fleet.metrics);
+            Ok ()
+          end)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Verify a simulated device fleet in parallel (batch replay)")
+    Term.(term_result
+            (const run $ app_arg $ file_arg $ entry_arg $ args_arg $ count_arg
+             $ domains_arg $ tamper_arg))
+
 let () =
   let default =
     Term.(ret (const (`Help (`Pager, None))))
@@ -253,4 +326,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; compile_cmd; instrument_cmd; disasm_cmd; run_cmd;
-            attest_cmd ]))
+            attest_cmd; fleet_cmd ]))

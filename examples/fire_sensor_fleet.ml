@@ -13,6 +13,7 @@
 module M = Dialed_msp430
 module A = Dialed_apex
 module C = Dialed_core
+module F = Dialed_fleet
 module Apps = Dialed_apps.Apps
 
 let p3out_addr = M.Peripherals.p3out
@@ -111,4 +112,52 @@ let () =
   Format.printf
     "@.The storage node's forged log fails the HMAC token check; honest \
      nodes are accepted with their alarm behaviour proven consistent with \
-     the authenticated sensor inputs.@."
+     the authenticated sensor inputs.@.";
+
+  (* -------------------------------------------------------------- *)
+  (* Scale-out: the whole campus at once. One shared verification    *)
+  (* plan (per-firmware invariants built once, cached by firmware    *)
+  (* fingerprint), replays spread across worker domains.             *)
+
+  let campus_size = 48 in
+  Format.printf
+    "@.Campus-scale batch: %d sensors, one shared verification plan@."
+    campus_size;
+  let cache = F.Plan.cache () in
+  let plan =
+    F.Plan.find_or_build cache ~policies:[ alarm_policy 55 ] built
+  in
+  let batch =
+    List.init campus_size (fun i ->
+        let device = C.Pipeline.device built in
+        let base = 500 + 13 * (i mod 31) in
+        M.Peripherals.feed_adc (A.Device.board device)
+          [ base; base + 3; base + 1; base + 2 ];
+        ignore (A.Device.run_operation ~args:[ 4 ] device);
+        let report =
+          A.Device.attest device ~challenge:(Printf.sprintf "campus-%03d" i)
+        in
+        let report =
+          if i <> 17 then report
+          else begin
+            (* one compromised node again, buried in the batch *)
+            let or_data = Bytes.of_string report.A.Pox.or_data in
+            let j = Bytes.length or_data - 24 in
+            Bytes.set or_data j
+              (Char.chr (Char.code (Bytes.get or_data j) lxor 0xFF));
+            { report with A.Pox.or_data = Bytes.to_string or_data }
+          end
+        in
+        (Printf.sprintf "room-%03d" i, report))
+  in
+  let domains = Domain.recommended_domain_count () in
+  let summary = F.Fleet.verify_batch ~domains plan batch in
+  Format.printf "%a@." F.Fleet.pp_summary summary;
+  let hits, misses = F.Plan.cache_stats cache in
+  (* a second batch over the same firmware reuses the cached plan *)
+  ignore (F.Plan.find_or_build cache ~policies:[ alarm_policy 55 ] built);
+  let hits', _ = F.Plan.cache_stats cache in
+  Format.printf
+    "plan cache: %d hit(s), %d miss(es) after the first batch; a second \
+     batch over the same firmware hits (%d total).@."
+    hits misses hits'

@@ -36,10 +36,16 @@ let arg_value t i =
   if i < 0 || i > 7 then invalid_arg "Oplog.arg_value: index in 0..7"
   else entry t (8 - i)
 
+let capacity_entries t = (t.hi + 2 - t.lo) / 2
+
+(* [final_r4] comes straight out of an attacker-controlled report: clamp
+   derived counts into [0, capacity] instead of producing negative list
+   lengths or reading outside the OR window. *)
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
 let entries_down_to t ~final_r4 =
-  let n = (t.hi - final_r4) / 2 in
+  let n = clamp 0 (capacity_entries t) ((t.hi - final_r4) / 2) in
   List.init n (fun k -> entry t k)
 
-let used_bytes t ~final_r4 = t.hi + 2 - (final_r4 + 2)
-
-let capacity_entries t = (t.hi + 2 - t.lo) / 2
+let used_bytes t ~final_r4 =
+  clamp 0 (t.hi + 2 - t.lo) (t.hi + 2 - (final_r4 + 2))

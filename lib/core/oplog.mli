@@ -35,9 +35,12 @@ val arg_value : t -> int -> int
 
 val entries_down_to : t -> final_r4:int -> int list
 (** All entries, oldest first, given the final log pointer (entries occupy
-    [(final_r4, or_max]]). *)
+    [(final_r4, or_max]]). A [final_r4] outside [[or_min, or_max]] — an
+    attacker-controlled report field — is clamped: above [or_max] yields
+    [[]], below [or_min] yields every entry OR can hold. *)
 
 val used_bytes : t -> final_r4:int -> int
-(** Log footprint in bytes — the Fig. 6(c) metric. *)
+(** Log footprint in bytes — the Fig. 6(c) metric. Clamped into
+    [[0, or_size]] for out-of-range [final_r4] (never negative). *)
 
 val capacity_entries : t -> int

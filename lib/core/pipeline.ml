@@ -157,6 +157,17 @@ let build ?(variant = Full) ?(dfa_config = Dfa.default_config)
   in
   { variant; program; image; layout; expected_er }
 
+let fingerprint built =
+  let l = built.layout in
+  Dialed_crypto.Sha256.hex
+    (Dialed_crypto.Sha256.digest
+       (String.concat "|"
+          [ variant_name built.variant;
+            Printf.sprintf "%04x.%04x.%04x.%04x.%04x.%04x" l.A.Layout.er_min
+              l.A.Layout.er_max l.A.Layout.er_exit l.A.Layout.or_min
+              l.A.Layout.or_max l.A.Layout.stack_top;
+            built.expected_er ]))
+
 let device ?key built =
   match key with
   | Some key -> A.Device.create ~key ~image:built.image ~layout:built.layout ()

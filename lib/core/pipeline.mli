@@ -49,6 +49,11 @@ val build :
 val device : ?key:string -> built -> Dialed_apex.Device.t
 (** Convenience: a fresh prover loaded with the built image. *)
 
+val fingerprint : built -> string
+(** Stable hex identity of a firmware build: SHA-256 over the variant,
+    the APEX layout and the expected ER bytes. Two builds with the same
+    fingerprint verify identically — the fleet plan cache keys on it. *)
+
 val caller_symbol : string
 val caller_ret_symbol : string
 val op_start_symbol : string

@@ -14,12 +14,22 @@ type finding =
       device_value : int; replay_value : int;
     }
   | Replay_failed of string
-  | Shadow_stack_violation of { pc : int; expected : int; actual : int }
+  | Shadow_stack_violation of { pc : int; expected : int option; actual : int }
   | Oob_access of {
       pc : int; kind : [ `Read | `Write ];
       array : string; ea : int; lo : int; hi : int;
     }
   | Policy_violation of { policy : string; reason : string }
+
+let finding_kind f =
+  match f with
+  | Bad_token _ -> "bad-token"
+  | Wrong_layout _ -> "wrong-layout"
+  | Log_divergence _ -> "log-divergence"
+  | Replay_failed _ -> "replay-failed"
+  | Shadow_stack_violation _ -> "shadow-stack"
+  | Oob_access _ -> "oob-access"
+  | Policy_violation _ -> "policy"
 
 let pp_finding ppf f =
   match f with
@@ -31,11 +41,16 @@ let pp_finding ppf f =
        replay=0x%04x"
       step pc addr device_value replay_value
   | Replay_failed msg -> Format.fprintf ppf "replay failed: %s" msg
-  | Shadow_stack_violation { pc; expected; actual } ->
+  | Shadow_stack_violation { pc; expected = Some expected; actual } ->
     Format.fprintf ppf
       "control-flow attack: return at 0x%04x went to 0x%04x, call site \
        expects 0x%04x"
       pc actual expected
+  | Shadow_stack_violation { pc; expected = None; actual } ->
+    Format.fprintf ppf
+      "control-flow attack: return at 0x%04x went to 0x%04x with no \
+       matching call on the shadow stack"
+      pc actual
   | Oob_access { pc; kind; array; ea; lo; hi } ->
     Format.fprintf ppf
       "data-only attack: out-of-bounds %s of '%s' at pc 0x%04x \
@@ -72,23 +87,73 @@ type outcome = {
   trace : trace option;
 }
 
-type t = {
-  key : string;
-  built : Pipeline.built;
-  policies : policy list;
-  max_steps : int;
+(* A site is an annotation resolved against the image's symbol table once,
+   at plan-build time, so the replay's hot loop does no expression
+   evaluation and no symbol lookups. *)
+type site =
+  | Log_cf
+  | Log_input
+  | Store_bounds of { array : string; lo : int; hi : int }
+  | Load_bounds of { array : string; lo : int; hi : int }
+
+type plan = {
+  plan_key : string;
+  plan_built : Pipeline.built;
+  plan_sites : (int, site list) Hashtbl.t;  (* read-only after build *)
+  plan_entry : int;
+  plan_caller_ret : int;
+  plan_policies : policy list;
+  plan_max_steps : int;
 }
 
-let create ?(key = A.Device.default_key) ?(policies = []) ?(max_steps = 2_000_000)
-    built =
+let plan ?(key = A.Device.default_key) ?(policies = [])
+    ?(max_steps = 2_000_000) built =
   (match built.Pipeline.variant with
    | Pipeline.Full -> ()
    | v ->
      invalid_arg
        (Printf.sprintf
-          "Verifier.create: replay verification needs the DIALED variant, got %s"
+          "Verifier.plan: replay verification needs the DIALED variant, got %s"
           (Pipeline.variant_name v)));
-  { key; built; policies; max_steps }
+  let sites = Hashtbl.create 64 in
+  List.iter
+    (fun (addr, annots) ->
+       let resolved =
+         List.filter_map
+           (fun an ->
+              match an with
+              | P.Log_site `Cf -> Some Log_cf
+              | P.Log_site `Input -> Some Log_input
+              | P.Array_store { array_name; base; size_bytes } ->
+                let lo = Pipeline.eval_expr built base in
+                Some (Store_bounds
+                        { array = array_name; lo; hi = lo + size_bytes - 1 })
+              | P.Array_load { array_name; base; size_bytes } ->
+                let lo = Pipeline.eval_expr built base in
+                Some (Load_bounds
+                        { array = array_name; lo; hi = lo + size_bytes - 1 })
+              | P.Synth_mark _ | P.Src_line _ -> None)
+           annots
+       in
+       if resolved <> [] then Hashtbl.replace sites addr resolved)
+    built.Pipeline.image.Assemble.annots;
+  { plan_key = key;
+    plan_built = built;
+    plan_sites = sites;
+    plan_entry = Assemble.symbol built.Pipeline.image Pipeline.caller_symbol;
+    plan_caller_ret =
+      Assemble.symbol built.Pipeline.image Pipeline.caller_ret_symbol;
+    plan_policies = policies;
+    plan_max_steps = max_steps }
+
+let plan_layout p = p.plan_built.Pipeline.layout
+
+type t = { t_plan : plan }
+
+let create ?key ?policies ?max_steps built =
+  { t_plan = plan ?key ?policies ?max_steps built }
+
+let plan_of t = t.t_plan
 
 (* The peripheral oracle: a device over the MMIO space that answers every
    read with the value the Prover logged for it. The next log entry to be
@@ -118,8 +183,150 @@ let attach_oracle mem cpu oplog =
 
 let is_ret = Pipeline.concrete_is_ret
 
-let verify t report =
-  let built = t.built in
+(* The replay proper: everything that touches attacker-controlled OR bytes.
+   [Invalid_argument] from the log view (a report whose OR data cannot back
+   the claimed layout) is caught by the caller and turned into a finding. *)
+let replay p report =
+  let built = p.plan_built in
+  let layout = built.Pipeline.layout in
+  let open A.Layout in
+  let oplog = Oplog.of_report report in
+  let mem = Memory.create () in
+  let cpu = Cpu.create mem in
+  attach_oracle mem cpu oplog;
+  Assemble.load built.Pipeline.image mem;
+  Cpu.set_reg cpu Isa.pc p.plan_entry;
+  Cpu.set_reg cpu Isa.sp layout.stack_top;
+  List.iteri (fun i v -> Cpu.set_reg cpu (8 + i) v) (Oplog.args oplog);
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let steps = ref [] in
+  let cf_dests = ref [] and inputs = ref [] in
+  let shadow = ref [] in
+  let diverged = ref false in
+  let in_or addr = addr >= layout.or_min && addr <= layout.or_max + 1 in
+  let step_index = ref 0 in
+  let process info =
+    let idx = !step_index in
+    incr step_index;
+    let pc = info.Cpu.pc_before in
+    steps :=
+      { s_index = idx; s_pc = pc; s_instr = info.Cpu.instr;
+        s_pc_after = info.Cpu.pc_after; s_accesses = info.Cpu.accesses }
+      :: !steps;
+    let item_sites =
+      match Hashtbl.find_opt p.plan_sites pc with Some l -> l | None -> []
+    in
+    (* log pushes: compare against the authenticated log *)
+    List.iter
+      (fun a ->
+         match a.Memory.kind with
+         | Memory.Write when in_or a.Memory.addr ->
+           let device_value = Oplog.word_at oplog a.Memory.addr in
+           if device_value <> a.Memory.value then begin
+             add (Log_divergence
+                    { step = idx; pc; addr = a.Memory.addr;
+                      device_value; replay_value = a.Memory.value });
+             diverged := true
+           end
+           else
+             List.iter
+               (fun s ->
+                  match s with
+                  | Log_cf -> cf_dests := a.Memory.value :: !cf_dests
+                  | Log_input -> inputs := a.Memory.value :: !inputs
+                  | Store_bounds _ | Load_bounds _ -> ())
+               item_sites
+         | _ -> ())
+      info.Cpu.accesses;
+    (* shadow call stack *)
+    (match info.Cpu.instr with
+     | Isa.One (Isa.CALL, _, _) ->
+       shadow := (pc + Isa.instr_size_bytes info.Cpu.instr) :: !shadow
+     | i when is_ret i ->
+       (match !shadow with
+        | expected :: rest ->
+          shadow := rest;
+          if info.Cpu.pc_after <> expected then
+            add (Shadow_stack_violation
+                   { pc; expected = Some expected; actual = info.Cpu.pc_after })
+        | [] ->
+          (* return with no matching call: a return-into-the-operation
+             forged frame — there is no legitimate way to pop past the
+             caller's own call *)
+          add (Shadow_stack_violation
+                 { pc; expected = None; actual = info.Cpu.pc_after }))
+     | _ -> ());
+    (* out-of-bounds object accesses, from compiler annotations *)
+    List.iter
+      (fun s ->
+         match s with
+         | Store_bounds { array; lo; hi } ->
+           List.iter
+             (fun a ->
+                match a.Memory.kind with
+                | Memory.Write when not (in_or a.Memory.addr) ->
+                  if a.Memory.addr < lo || a.Memory.addr > hi then
+                    add (Oob_access
+                           { pc; kind = `Write; array;
+                             ea = a.Memory.addr; lo; hi })
+                | _ -> ())
+             info.Cpu.accesses
+         | Load_bounds { array; lo; hi } ->
+           List.iter
+             (fun a ->
+                match a.Memory.kind with
+                | Memory.Read ->
+                  if a.Memory.addr < lo || a.Memory.addr > hi then
+                    add (Oob_access
+                           { pc; kind = `Read; array;
+                             ea = a.Memory.addr; lo; hi })
+                | Memory.Write | Memory.Fetch -> ())
+             info.Cpu.accesses
+         | Log_cf | Log_input -> ())
+      item_sites
+  in
+  let rec run n =
+    if n >= p.plan_max_steps then Some "replay exceeded its step budget"
+    else if !diverged then Some "replay diverged from the received log"
+    else
+      match Cpu.halted cpu with
+      | Some (Cpu.Self_jump a) when a = p.plan_caller_ret -> None
+      | Some (Cpu.Self_jump a) ->
+        Some (Printf.sprintf "replay halted in an abort loop at 0x%04x" a)
+      | Some (Cpu.Bad_opcode (a, w)) ->
+        Some (Printf.sprintf "replay hit invalid opcode 0x%04x at 0x%04x" w a)
+      | None ->
+        process (Cpu.step cpu);
+        run (n + 1)
+  in
+  let replay_error = run 0 in
+  (match replay_error with
+   | Some msg when not !diverged -> add (Replay_failed msg)
+   | _ -> ());
+  let trace =
+    { steps = List.rev !steps;
+      cf_dests = List.rev !cf_dests;
+      inputs = List.rev !inputs;
+      final_r4 = Cpu.get_reg cpu 4;
+      replay_memory = mem }
+  in
+  (* policies (only meaningful over a complete replay) *)
+  if replay_error = None then
+    List.iter
+      (fun pol ->
+         match pol.check trace with
+         | Ok () -> ()
+         | Error reason ->
+           add (Policy_violation { policy = pol.policy_name; reason }))
+      p.plan_policies;
+  let findings = List.rev !findings in
+  { accepted = findings = [] && replay_error = None;
+    findings;
+    trace = Some trace }
+
+let verify_plan p report =
+  let built = p.plan_built in
   let layout = built.Pipeline.layout in
   let reject findings = { accepted = false; findings; trace = None } in
   (* 1. layout consistency *)
@@ -132,151 +339,19 @@ let verify t report =
   else
     (* 2. token + EXEC *)
     match
-      A.Pox.verify ~key:t.key ~expected_er:built.Pipeline.expected_er report
+      A.Pox.verify ~key:p.plan_key ~expected_er:built.Pipeline.expected_er
+        report
     with
     | Error msg -> reject [ Bad_token msg ]
     | Ok () ->
-      let oplog = Oplog.of_report report in
-      (* 3. replay *)
-      let mem = Memory.create () in
-      let cpu = Cpu.create mem in
-      attach_oracle mem cpu oplog;
-      Assemble.load built.Pipeline.image mem;
-      Cpu.set_reg cpu Isa.pc (Assemble.symbol built.Pipeline.image Pipeline.caller_symbol);
-      Cpu.set_reg cpu Isa.sp layout.stack_top;
-      List.iteri (fun i v -> Cpu.set_reg cpu (8 + i) v) (Oplog.args oplog);
-      let annots = Hashtbl.create 64 in
-      List.iter (fun (addr, l) -> Hashtbl.replace annots addr l)
-        built.Pipeline.image.Assemble.annots;
-      let findings = ref [] in
-      let add f = findings := f :: !findings in
-      let steps = ref [] in
-      let cf_dests = ref [] and inputs = ref [] in
-      let shadow = ref [] in
-      let diverged = ref false in
-      let caller_ret =
-        Assemble.symbol built.Pipeline.image Pipeline.caller_ret_symbol
-      in
-      let in_or addr = addr >= layout.or_min && addr <= layout.or_max + 1 in
-      let step_index = ref 0 in
-      let process info =
-        let idx = !step_index in
-        incr step_index;
-        let pc = info.Cpu.pc_before in
-        steps :=
-          { s_index = idx; s_pc = pc; s_instr = info.Cpu.instr;
-            s_pc_after = info.Cpu.pc_after; s_accesses = info.Cpu.accesses }
-          :: !steps;
-        let item_annots =
-          match Hashtbl.find_opt annots pc with Some l -> l | None -> []
-        in
-        (* log pushes: compare against the authenticated log *)
-        List.iter
-          (fun a ->
-             match a.Memory.kind with
-             | Memory.Write when in_or a.Memory.addr ->
-               let device_value = Oplog.word_at oplog a.Memory.addr in
-               if device_value <> a.Memory.value then begin
-                 add (Log_divergence
-                        { step = idx; pc; addr = a.Memory.addr;
-                          device_value; replay_value = a.Memory.value });
-                 diverged := true
-               end
-               else begin
-                 List.iter
-                   (fun an ->
-                      match an with
-                      | P.Log_site `Cf -> cf_dests := a.Memory.value :: !cf_dests
-                      | P.Log_site `Input -> inputs := a.Memory.value :: !inputs
-                      | _ -> ())
-                   item_annots
-               end
-             | _ -> ())
-          info.Cpu.accesses;
-        (* shadow call stack *)
-        (match info.Cpu.instr with
-         | Isa.One (Isa.CALL, _, _) ->
-           shadow := (pc + Isa.instr_size_bytes info.Cpu.instr) :: !shadow
-         | i when is_ret i ->
-           (match !shadow with
-            | expected :: rest ->
-              shadow := rest;
-              if info.Cpu.pc_after <> expected then
-                add (Shadow_stack_violation
-                       { pc; expected; actual = info.Cpu.pc_after })
-            | [] -> ())
-         | _ -> ());
-        (* out-of-bounds object accesses, from compiler annotations *)
-        List.iter
-          (fun an ->
-             match an with
-             | P.Array_store { array_name; base; size_bytes } ->
-               let lo = Pipeline.eval_expr built base in
-               let hi = lo + size_bytes - 1 in
-               List.iter
-                 (fun a ->
-                    match a.Memory.kind with
-                    | Memory.Write when not (in_or a.Memory.addr) ->
-                      if a.Memory.addr < lo || a.Memory.addr > hi then
-                        add (Oob_access
-                               { pc; kind = `Write; array = array_name;
-                                 ea = a.Memory.addr; lo; hi })
-                    | _ -> ())
-                 info.Cpu.accesses
-             | P.Array_load { array_name; base; size_bytes } ->
-               let lo = Pipeline.eval_expr built base in
-               let hi = lo + size_bytes - 1 in
-               List.iter
-                 (fun a ->
-                    match a.Memory.kind with
-                    | Memory.Read ->
-                      if a.Memory.addr < lo || a.Memory.addr > hi then
-                        add (Oob_access
-                               { pc; kind = `Read; array = array_name;
-                                 ea = a.Memory.addr; lo; hi })
-                    | Memory.Write | Memory.Fetch -> ())
-                 info.Cpu.accesses
-             | P.Log_site _ | P.Synth_mark _ | P.Src_line _ -> ())
-          item_annots
-      in
-      let rec run n =
-        if n >= t.max_steps then Some "replay exceeded its step budget"
-        else if !diverged then Some "replay diverged from the received log"
-        else
-          match Cpu.halted cpu with
-          | Some (Cpu.Self_jump a) when a = caller_ret -> None
-          | Some (Cpu.Self_jump a) ->
-            Some (Printf.sprintf "replay halted in an abort loop at 0x%04x" a)
-          | Some (Cpu.Bad_opcode (a, w)) ->
-            Some (Printf.sprintf "replay hit invalid opcode 0x%04x at 0x%04x" w a)
-          | None ->
-            process (Cpu.step cpu);
-            run (n + 1)
-      in
-      let replay_error = run 0 in
-      (match replay_error with
-       | Some msg when not !diverged -> add (Replay_failed msg)
-       | _ -> ());
-      let trace =
-        { steps = List.rev !steps;
-          cf_dests = List.rev !cf_dests;
-          inputs = List.rev !inputs;
-          final_r4 = Cpu.get_reg cpu 4;
-          replay_memory = mem }
-      in
-      (* 4. policies (only meaningful over a complete replay) *)
-      if replay_error = None then
-        List.iter
-          (fun p ->
-             match p.check trace with
-             | Ok () -> ()
-             | Error reason ->
-               add (Policy_violation { policy = p.policy_name; reason }))
-          t.policies;
-      let findings = List.rev !findings in
-      { accepted = findings = [] && replay_error = None;
-        findings;
-        trace = Some trace }
+      (* 3.+4. replay and policies; a report whose OR bytes cannot even
+         back the log view (e.g. short or_data with a forged token) is a
+         malformed report, not a crash *)
+      (try replay p report
+       with Invalid_argument msg ->
+         reject [ Replay_failed (Printf.sprintf "malformed report: %s" msg) ])
+
+let verify t report = verify_plan t.t_plan report
 
 let pp_outcome ppf o =
   if o.accepted then Format.fprintf ppf "ACCEPTED"

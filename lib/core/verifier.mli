@@ -9,7 +9,8 @@
     - {b log divergence} — the replay and the device disagree on any log
       entry (unexplained input, forged entry, desynchronized control flow);
     - {b shadow call stack} — a return landed somewhere other than its
-      call site (the Fig. 1 control-flow attack);
+      call site (the Fig. 1 control-flow attack), or executed with no
+      matching call at all (a forged return frame);
     - {b out-of-bounds accesses} — a store/load through an array whose
       effective address leaves the object's bounds, using the compiler's
       annotations (the Fig. 2 data-only attack);
@@ -17,7 +18,18 @@
       (actuation limits, dosage rules, ...).
 
     Acceptance means: the token is genuine, EXEC = 1, the replay
-    reconstructs the execution exactly, and no detector fired. *)
+    reconstructs the execution exactly, and no detector fired.
+
+    {2 Verification plans}
+
+    All per-firmware invariants — the assembled image, the expected ER
+    bytes, the resolved annotation table, entry and exit addresses — live
+    in an immutable {!plan} built once per {!Pipeline.built}. A plan is
+    safe to share across OCaml 5 domains: {!verify_plan} allocates all
+    mutable replay state (memory image, CPU, shadow stack) per call, so a
+    fleet verifier can replay many reports against one plan in parallel
+    (see [Dialed_fleet.Fleet]). {!create}/{!verify} remain as thin
+    single-session wrappers. *)
 
 type finding =
   | Bad_token of string
@@ -27,12 +39,19 @@ type finding =
       device_value : int; replay_value : int;
     }
   | Replay_failed of string
-  | Shadow_stack_violation of { pc : int; expected : int; actual : int }
+  | Shadow_stack_violation of { pc : int; expected : int option; actual : int }
+      (** [expected = None]: the return executed with an empty shadow
+          stack — no call frame to match (a return-into-the-operation). *)
   | Oob_access of {
       pc : int; kind : [ `Read | `Write ];
       array : string; ea : int; lo : int; hi : int;
     }
   | Policy_violation of { policy : string; reason : string }
+
+val finding_kind : finding -> string
+(** Stable short tag for a finding's constructor ("bad-token",
+    "log-divergence", "shadow-stack", ...) — the key the fleet metrics
+    aggregate rejects under. *)
 
 val pp_finding : Format.formatter -> finding -> unit
 
@@ -63,6 +82,24 @@ type outcome = {
   trace : trace option;   (** present when the replay ran to completion *)
 }
 
+type plan
+(** Immutable per-firmware verification invariants; safe to share across
+    domains. Holds the device key, the expected build, the annotation
+    table resolved to concrete addresses, and the policy list. *)
+
+val plan :
+  ?key:string -> ?policies:policy list -> ?max_steps:int ->
+  Pipeline.built -> plan
+(** Build a plan from a [Full]-variant build (raises [Invalid_argument]
+    otherwise). Resolving annotation expressions happens here, once, so
+    {!verify_plan}'s replay loop is lookup-only. *)
+
+val verify_plan : plan -> Dialed_apex.Pox.report -> outcome
+(** Replay one report against a shared plan. Allocates all mutable state
+    locally — concurrent calls on the same plan are safe. *)
+
+val plan_layout : plan -> Dialed_apex.Layout.t
+
 type t
 
 val create :
@@ -73,5 +110,9 @@ val create :
     Requires a [Full]-variant build. *)
 
 val verify : t -> Dialed_apex.Pox.report -> outcome
+
+val plan_of : t -> plan
+(** The plan backing a single-session verifier, for handing to the fleet
+    engine. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

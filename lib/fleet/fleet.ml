@@ -1,0 +1,161 @@
+module C = Dialed_core
+module A = Dialed_apex
+
+type verdict = {
+  device_id : string;
+  accepted : bool;
+  findings : C.Verifier.finding list;
+  replay_steps : int;
+}
+
+type summary = {
+  verdicts : verdict list;
+  metrics : Metrics.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Chunked work queue: the submitting domain produces index ranges, the
+   worker domains consume them. Closing wakes every blocked consumer.   *)
+
+module Work_queue = struct
+  type t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;
+    chunks : (int * int) Queue.t;   (* (first index, length) *)
+    mutable closed : bool;
+  }
+
+  let create () =
+    { mutex = Mutex.create (); nonempty = Condition.create ();
+      chunks = Queue.create (); closed = false }
+
+  let push q chunk =
+    Mutex.lock q.mutex;
+    Queue.add chunk q.chunks;
+    Condition.signal q.nonempty;
+    Mutex.unlock q.mutex
+
+  let close q =
+    Mutex.lock q.mutex;
+    q.closed <- true;
+    Condition.broadcast q.nonempty;
+    Mutex.unlock q.mutex
+
+  (* Blocks until a chunk is available or the queue is closed and drained. *)
+  let take q =
+    Mutex.lock q.mutex;
+    let rec loop () =
+      match Queue.take_opt q.chunks with
+      | Some chunk -> Mutex.unlock q.mutex; Some chunk
+      | None ->
+        if q.closed then begin Mutex.unlock q.mutex; None end
+        else begin Condition.wait q.nonempty q.mutex; loop () end
+    in
+    loop ()
+end
+
+(* ------------------------------------------------------------------ *)
+
+let default_chunk = 4
+
+let verify_batch ?(domains = 1) ?(chunk = default_chunk) plan batch =
+  if domains < 1 then invalid_arg "Fleet.verify_batch: domains must be >= 1";
+  if chunk < 1 then invalid_arg "Fleet.verify_batch: chunk must be >= 1";
+  let reports = Array.of_list batch in
+  let n = Array.length reports in
+  (* never spawn more workers than there are chunks of work *)
+  let domains = max 1 (min domains ((n + chunk - 1) / chunk)) in
+  let vplan = Plan.vplan plan in
+  let results = Array.make n None in
+  let verify_range (first, len) =
+    for i = first to first + len - 1 do
+      let device_id, report = reports.(i) in
+      let outcome = C.Verifier.verify_plan vplan report in
+      let replay_steps =
+        match outcome.C.Verifier.trace with
+        | Some t -> List.length t.C.Verifier.steps
+        | None -> 0
+      in
+      (* slots are disjoint per worker; publication happens-before the
+         submitter reads them, via Domain.join *)
+      results.(i) <-
+        Some { device_id; accepted = outcome.C.Verifier.accepted;
+               findings = outcome.C.Verifier.findings; replay_steps }
+    done
+  in
+  let t0 = Unix.gettimeofday () in
+  (if domains = 1 then verify_range (0, n)
+   else begin
+     let q = Work_queue.create () in
+     let worker () =
+       let rec drain () =
+         match Work_queue.take q with
+         | Some range -> verify_range range; drain ()
+         | None -> ()
+       in
+       drain ()
+     in
+     let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+     let rec feed first =
+       if first < n then begin
+         Work_queue.push q (first, min chunk (n - first));
+         feed (first + chunk)
+       end
+     in
+     feed 0;
+     Work_queue.close q;
+     worker ();                      (* the submitting domain works too *)
+     List.iter Domain.join spawned
+   end);
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let verdicts =
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> assert false (* every slot filled *))
+         results)
+  in
+  let accepted = List.length (List.filter (fun v -> v.accepted) verdicts) in
+  let replay_steps =
+    List.fold_left (fun acc v -> acc + v.replay_steps) 0 verdicts
+  in
+  let rejects_by_kind =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun v ->
+         if not v.accepted then
+           match v.findings with
+           | f :: _ ->
+             let kind = C.Verifier.finding_kind f in
+             Hashtbl.replace tbl kind
+               (1 + Option.value ~default:0 (Hashtbl.find_opt tbl kind))
+           | [] -> ())
+      verdicts;
+    List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
+  in
+  { verdicts;
+    metrics =
+      { Metrics.domains; batch_size = n; accepted;
+        rejected = n - accepted; replay_steps; wall_seconds;
+        rejects_by_kind } }
+
+let accepted s = List.filter (fun v -> v.accepted) s.verdicts
+let rejected s = List.filter (fun v -> not v.accepted) s.verdicts
+
+let pp_verdict ppf v =
+  if v.accepted then
+    Format.fprintf ppf "%-12s trusted (%d replay steps)" v.device_id
+      v.replay_steps
+  else
+    Format.fprintf ppf "%-12s REJECTED: %a" v.device_id
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+         C.Verifier.pp_finding)
+      v.findings
+
+let pp_summary ppf s =
+  Format.fprintf ppf "@[<v>%a@]" Metrics.pp s.metrics;
+  match rejected s with
+  | [] -> ()
+  | rej ->
+    Format.fprintf ppf "@,@[<v>%a@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_verdict) rej

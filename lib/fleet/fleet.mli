@@ -1,0 +1,49 @@
+(** Batch verification engine: replay many attestation reports against one
+    shared {!Plan} across OCaml 5 domains.
+
+    The paper's verifier handles one report at a time; at fleet scale
+    (thousands of devices running the same firmware) verifier-side replay
+    throughput is the bottleneck. This engine shares the per-firmware
+    setup — assembled image, expected-ER bytes, resolved annotation
+    table — through an immutable plan and spreads the per-report replays
+    over a chunked work queue consumed by [domains] worker domains
+    (guarded by [Mutex]/[Condition]; the submitting domain participates
+    as a worker).
+
+    Verdicts are deterministic: the result is independent of [domains]
+    and chunk scheduling, because every replay only reads the shared plan
+    and writes its own result slot. *)
+
+type verdict = {
+  device_id : string;
+  accepted : bool;
+  findings : Dialed_core.Verifier.finding list;
+  replay_steps : int;   (** instructions the replay executed *)
+}
+
+type summary = {
+  verdicts : verdict list;  (** one per submitted report, in input order *)
+  metrics : Metrics.t;
+}
+
+val verify_batch :
+  ?domains:int -> ?chunk:int ->
+  Plan.t -> (string * Dialed_apex.Pox.report) list -> summary
+(** [verify_batch ~domains plan batch] replays every [(device_id, report)]
+    pair and aggregates outcomes. [domains] defaults to 1 (strictly
+    serial, no spawning); it is capped at the number of chunks so small
+    batches do not spawn idle domains. [chunk] (default 4) is the number
+    of reports a worker claims at a time: small enough to balance skewed
+    replay lengths, large enough to keep queue traffic negligible.
+    Raises [Invalid_argument] on non-positive [domains] or [chunk].
+
+    Guidance: replay is CPU-bound and shares no mutable state, so
+    [~domains:(Domain.recommended_domain_count ())] is the sensible
+    maximum; beyond physical cores it only adds scheduling noise. *)
+
+val accepted : summary -> verdict list
+val rejected : summary -> verdict list
+
+val pp_verdict : Format.formatter -> verdict -> unit
+val pp_summary : Format.formatter -> summary -> unit
+(** Metrics plus one line per rejected device. *)

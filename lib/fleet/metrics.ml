@@ -1,0 +1,49 @@
+type t = {
+  domains : int;
+  batch_size : int;
+  accepted : int;
+  rejected : int;
+  replay_steps : int;
+  wall_seconds : float;
+  rejects_by_kind : (string * int) list;
+}
+
+let reports_per_sec m =
+  if m.wall_seconds <= 0.0 then 0.0
+  else float_of_int m.batch_size /. m.wall_seconds
+
+let replay_steps_per_sec m =
+  if m.wall_seconds <= 0.0 then 0.0
+  else float_of_int m.replay_steps /. m.wall_seconds
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>batch %d over %d domain%s: %d accepted, %d rejected@,\
+     %.1f ms wall, %.0f reports/s, %d replay steps (%.2f Msteps/s)@]"
+    m.batch_size m.domains
+    (if m.domains = 1 then "" else "s")
+    m.accepted m.rejected (m.wall_seconds *. 1000.0) (reports_per_sec m)
+    m.replay_steps
+    (replay_steps_per_sec m /. 1e6);
+  if m.rejects_by_kind <> [] then begin
+    Format.fprintf ppf "@,rejects by kind:";
+    List.iter
+      (fun (kind, n) -> Format.fprintf ppf " %s=%d" kind n)
+      m.rejects_by_kind
+  end
+
+(* Hand-rolled JSON: every value here is an int, a float or a fixed-alphabet
+   kind tag, so no escaping is needed beyond quoting. *)
+let to_json m =
+  let kinds =
+    String.concat ","
+      (List.map
+         (fun (kind, n) -> Printf.sprintf "%S:%d" kind n)
+         m.rejects_by_kind)
+  in
+  Printf.sprintf
+    "{\"domains\":%d,\"batch\":%d,\"accepted\":%d,\"rejected\":%d,\
+     \"replay_steps\":%d,\"wall_seconds\":%.6f,\"reports_per_sec\":%.1f,\
+     \"rejects_by_kind\":{%s}}"
+    m.domains m.batch_size m.accepted m.rejected m.replay_steps
+    m.wall_seconds (reports_per_sec m) kinds

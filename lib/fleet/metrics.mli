@@ -1,0 +1,21 @@
+(** Aggregate counters for one fleet verification batch. *)
+
+type t = {
+  domains : int;          (** worker domains the batch actually used *)
+  batch_size : int;       (** reports submitted *)
+  accepted : int;
+  rejected : int;
+  replay_steps : int;     (** total instructions replayed across the batch *)
+  wall_seconds : float;   (** wall-clock time of the verification phase *)
+  rejects_by_kind : (string * int) list;
+      (** rejected reports bucketed by the {!Dialed_core.Verifier.finding_kind}
+          of their first (decisive) finding, sorted by kind *)
+}
+
+val reports_per_sec : t -> float
+val replay_steps_per_sec : t -> float
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One self-contained JSON object — the bench trajectory point. *)

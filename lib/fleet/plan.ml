@@ -1,0 +1,79 @@
+module C = Dialed_core
+
+type t = {
+  fingerprint : string;
+  vplan : C.Verifier.plan;
+}
+
+let of_built ?key ?policies ?max_steps built =
+  { fingerprint = C.Pipeline.fingerprint built;
+    vplan = C.Verifier.plan ?key ?policies ?max_steps built }
+
+let of_verifier ~built verifier =
+  { fingerprint = C.Pipeline.fingerprint built;
+    vplan = C.Verifier.plan_of verifier }
+
+let vplan t = t.vplan
+let fingerprint t = t.fingerprint
+let layout t = C.Verifier.plan_layout t.vplan
+
+(* ------------------------------------------------------------------ *)
+(* Keyed cache. Every structure here is touched under [mutex] only, so
+   the cache itself is safe to share between domains (the plans it hands
+   out are immutable).                                                  *)
+
+type cache = {
+  capacity : int;
+  mutex : Mutex.t;
+  table : (string, t) Hashtbl.t;
+  order : string Queue.t;           (* insertion order, for FIFO eviction *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let cache ?(capacity = 16) () =
+  if capacity < 1 then invalid_arg "Plan.cache: capacity must be positive";
+  { capacity; mutex = Mutex.create (); table = Hashtbl.create 16;
+    order = Queue.create (); hits = 0; misses = 0 }
+
+let cache_key ~key fingerprint =
+  fingerprint ^ ":" ^ Dialed_crypto.Sha256.hex (Dialed_crypto.Sha256.digest key)
+
+let find_or_build cache ?(key = Dialed_apex.Device.default_key) ?policies
+    ?max_steps built =
+  let k = cache_key ~key (C.Pipeline.fingerprint built) in
+  Mutex.lock cache.mutex;
+  match Hashtbl.find_opt cache.table k with
+  | Some plan ->
+    cache.hits <- cache.hits + 1;
+    Mutex.unlock cache.mutex;
+    plan
+  | None ->
+    cache.misses <- cache.misses + 1;
+    Mutex.unlock cache.mutex;
+    (* build outside the lock: plan construction resolves the whole
+       annotation table and must not serialize other lookups *)
+    let plan = of_built ~key ?policies ?max_steps built in
+    Mutex.lock cache.mutex;
+    if not (Hashtbl.mem cache.table k) then begin
+      if Queue.length cache.order >= cache.capacity then begin
+        let oldest = Queue.pop cache.order in
+        Hashtbl.remove cache.table oldest
+      end;
+      Hashtbl.add cache.table k plan;
+      Queue.add k cache.order
+    end;
+    Mutex.unlock cache.mutex;
+    plan
+
+let cache_stats cache =
+  Mutex.lock cache.mutex;
+  let s = (cache.hits, cache.misses) in
+  Mutex.unlock cache.mutex;
+  s
+
+let cache_size cache =
+  Mutex.lock cache.mutex;
+  let n = Hashtbl.length cache.table in
+  Mutex.unlock cache.mutex;
+  n

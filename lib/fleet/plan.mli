@@ -1,0 +1,51 @@
+(** Shareable per-firmware verification plans, plus a keyed cache.
+
+    A plan bundles {!Dialed_core.Verifier.plan} (the immutable replay
+    invariants: image bytes, expected-ER hash, resolved annotation table,
+    layout) with the firmware's {!Dialed_core.Pipeline.fingerprint}. Plans
+    are built once per firmware version and shared, read-only, by every
+    worker domain of a fleet batch.
+
+    The cache amortizes plan construction for a verifier serving a fleet
+    that mixes several firmware versions: lookups key on
+    [(firmware fingerprint, device key)]. *)
+
+type t
+
+val of_built :
+  ?key:string -> ?policies:Dialed_core.Verifier.policy list ->
+  ?max_steps:int -> Dialed_core.Pipeline.built -> t
+(** Build a plan directly (no cache). Key defaults to
+    {!Dialed_apex.Device.default_key}. *)
+
+val of_verifier : built:Dialed_core.Pipeline.built -> Dialed_core.Verifier.t -> t
+(** Reuse an existing single-session verifier's plan (keeps its key and
+    policies). *)
+
+val vplan : t -> Dialed_core.Verifier.plan
+val fingerprint : t -> string
+val layout : t -> Dialed_apex.Layout.t
+
+(** {2 Keyed plan cache} *)
+
+type cache
+(** Mutex-guarded; safe to share across domains. *)
+
+val cache : ?capacity:int -> unit -> cache
+(** FIFO-evicting cache holding at most [capacity] (default 16) plans.
+    Raises [Invalid_argument] on a non-positive capacity. *)
+
+val find_or_build :
+  cache -> ?key:string -> ?policies:Dialed_core.Verifier.policy list ->
+  ?max_steps:int -> Dialed_core.Pipeline.built -> t
+(** Return the cached plan for [(fingerprint built, key)] or build and
+    insert one. Note: [policies] and [max_steps] only take effect when the
+    entry is first built — a hit returns the plan exactly as first
+    constructed. Fleets that need per-batch policies should use
+    {!of_built}. *)
+
+val cache_stats : cache -> int * int
+(** [(hits, misses)] so far. *)
+
+val cache_size : cache -> int
+(** Plans currently resident. *)

@@ -1,0 +1,230 @@
+(* Adversarial corpus against the DIALED verifier: randomized and
+   deterministic tampering of otherwise-valid reports.
+
+   Two attacker models are exercised:
+   - a network attacker who mutates report bytes but cannot re-MAC:
+     every mutation must die at the token check;
+   - a stronger (hypothetical) attacker who knows the device key and can
+     forge a consistent token over a doctored log: the replay layer must
+     still reject via log divergence, malformed-log handling or the
+     shadow call stack. *)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+module C = Dialed_core
+module Apps = Dialed_apps.Apps
+module Asm_parse = M.Asm_parse
+module Hmac = Dialed_crypto.Hmac
+
+let check_bool = Alcotest.(check bool)
+
+(* ---------------------------------------------------------------- *)
+(* A benign fire-sensor run attested once and shared by every case.   *)
+
+let benign =
+  lazy
+    (let run = Apps.run Apps.fire_sensor in
+     let report = A.Device.attest run.Apps.device ~challenge:"adv-corpus" in
+     let final_r4 = M.Cpu.get_reg (A.Device.cpu run.Apps.device) 4 in
+     let used_entries =
+       (run.Apps.built.C.Pipeline.layout.A.Layout.or_max - final_r4) / 2
+     in
+     (run.Apps.built, report, used_entries))
+
+let plan_for built = C.Verifier.plan built
+
+let verify report =
+  let built, _, _ = Lazy.force benign in
+  C.Verifier.verify_plan (plan_for built) report
+
+let kinds outcome =
+  List.map C.Verifier.finding_kind outcome.C.Verifier.findings
+
+(* log entry k lives at address or_max - 2k; as an or_data offset *)
+let entry_offset (report : A.Pox.report) k =
+  report.A.Pox.or_max - (2 * k) - report.A.Pox.or_min
+
+let entry_word (report : A.Pox.report) k =
+  let off = entry_offset report k in
+  Char.code report.A.Pox.or_data.[off]
+  lor (Char.code report.A.Pox.or_data.[off + 1] lsl 8)
+
+let set_entry_word or_data off v =
+  Bytes.set or_data off (Char.chr (v land 0xFF));
+  Bytes.set or_data (off + 1) (Char.chr ((v lsr 8) land 0xFF))
+
+let with_or_data (report : A.Pox.report) or_data =
+  { report with A.Pox.or_data = Bytes.to_string or_data }
+
+(* the strong attacker: recompute the token over the doctored report with
+   the device key (mirrors Pox.issue's binding order) *)
+let le16 v =
+  Printf.sprintf "%c%c" (Char.chr (v land 0xFF))
+    (Char.chr ((v lsr 8) land 0xFF))
+
+let forge_token built (r : A.Pox.report) =
+  let token =
+    Hmac.mac_parts ~key:A.Device.default_key
+      [ r.A.Pox.challenge;
+        le16 r.A.Pox.er_min; le16 r.A.Pox.er_max; le16 r.A.Pox.er_exit;
+        le16 r.A.Pox.or_min; le16 r.A.Pox.or_max;
+        (if r.A.Pox.exec then "\001" else "\000");
+        built.C.Pipeline.expected_er;
+        r.A.Pox.or_data ]
+  in
+  { r with A.Pox.token }
+
+(* ---------------------------------------------------------------- *)
+(* Network attacker (no key): every byte-level mutation is caught by
+   the HMAC token check and nothing downstream ever runs or crashes.   *)
+
+let prop_bit_flip =
+  let _, report, _ = Lazy.force benign in
+  let len = String.length report.A.Pox.or_data in
+  QCheck.Test.make ~name:"any OR bit flip without the key is rejected"
+    ~count:200
+    QCheck.(pair (int_bound (len - 1)) (int_bound 7))
+    (fun (byte, bit) ->
+       let or_data = Bytes.of_string report.A.Pox.or_data in
+       Bytes.set or_data byte
+         (Char.chr (Char.code (Bytes.get or_data byte) lxor (1 lsl bit)));
+       let outcome = verify (with_or_data report or_data) in
+       (not outcome.C.Verifier.accepted) && kinds outcome = [ "bad-token" ])
+
+let prop_truncation =
+  let _, report, _ = Lazy.force benign in
+  let len = String.length report.A.Pox.or_data in
+  QCheck.Test.make ~name:"any OR truncation without the key is rejected"
+    ~count:100
+    QCheck.(int_bound (len - 1))
+    (fun keep ->
+       let truncated =
+         { report with
+           A.Pox.or_data = String.sub report.A.Pox.or_data 0 keep }
+       in
+       let outcome = verify truncated in
+       (not outcome.C.Verifier.accepted) && kinds outcome = [ "bad-token" ])
+
+let prop_entry_swap =
+  let _, report, used = Lazy.force benign in
+  QCheck.Test.make ~name:"swapping two log entries without the key is rejected"
+    ~count:100
+    QCheck.(pair (int_bound (used - 1)) (int_bound (used - 1)))
+    (fun (i, j) ->
+       let wi = entry_word report i and wj = entry_word report j in
+       if wi = wj then true   (* an equal-word swap is not a mutation *)
+       else begin
+         let or_data = Bytes.of_string report.A.Pox.or_data in
+         set_entry_word or_data (entry_offset report i) wj;
+         set_entry_word or_data (entry_offset report j) wi;
+         let outcome = verify (with_or_data report or_data) in
+         (not outcome.C.Verifier.accepted) && kinds outcome = [ "bad-token" ]
+       end)
+
+(* ---------------------------------------------------------------- *)
+(* Key-holding attacker: the token verifies, so rejection must come
+   from the replay layer.                                             *)
+
+(* Flip the top bit of every attestable log entry in turn and re-MAC.
+   Entry 0 is the F3-saved stack pointer and entries >= 9 are runtime
+   CF-Log/I-Log entries: the replayed execution must contradict each.
+   (Entries 1-8 are the argument snapshot the replay itself boots from,
+   so a flip there changes the claimed execution rather than forging
+   one — covered by [test_wrong_args_claim_rejected] in the e2e suite.) *)
+let test_forged_mac_entry_flips () =
+  let built, report, used = Lazy.force benign in
+  check_bool "log has runtime entries beyond the F3 prologue" true (used > 9);
+  let entries = 0 :: List.init (used - 9) (fun i -> 9 + i) in
+  List.iter
+    (fun k ->
+       let or_data = Bytes.of_string report.A.Pox.or_data in
+       let off = entry_offset report k in
+       set_entry_word or_data off (entry_word report k lxor 0x8000);
+       let forged = forge_token built (with_or_data report or_data) in
+       let outcome = verify forged in
+       if outcome.C.Verifier.accepted then
+         Alcotest.failf "forged-MAC flip of entry %d accepted" k;
+       let ks = kinds outcome in
+       if
+         not
+           (List.exists
+              (fun s -> s = "log-divergence" || s = "replay-failed")
+              ks)
+       then
+         Alcotest.failf
+           "forged-MAC flip of entry %d: expected replay-level rejection, \
+            got: %a"
+           k C.Verifier.pp_outcome outcome)
+    entries
+
+(* A short log with a valid token must be treated as a malformed report,
+   not crash the verifier (exercises the Invalid_argument containment). *)
+let test_forged_mac_truncation_is_malformed () =
+  let built, report, _ = Lazy.force benign in
+  List.iter
+    (fun keep ->
+       let truncated =
+         { report with
+           A.Pox.or_data = String.sub report.A.Pox.or_data 0 keep }
+       in
+       let forged = forge_token built truncated in
+       let outcome = verify forged in
+       check_bool
+         (Printf.sprintf "truncated-to-%d rejected" keep)
+         true (not outcome.C.Verifier.accepted);
+       check_bool
+         (Printf.sprintf "truncated-to-%d flagged as replay failure" keep)
+         true
+         (List.exists
+            (fun f ->
+               match f with
+               | C.Verifier.Replay_failed msg ->
+                 String.length msg >= 9
+                 && String.sub msg 0 9 = "malformed"
+               | _ -> false)
+            outcome.C.Verifier.findings))
+    [ 0; 1; 17; String.length report.A.Pox.or_data - 2 ]
+
+(* ---------------------------------------------------------------- *)
+(* Shadow-stack regression: an operation that returns through a forged
+   frame pushed at runtime. The device completes legally (EXEC = 1, the
+   token verifies), and the final instrumented ret fires with an EMPTY
+   shadow stack — which used to be silently ignored.                   *)
+
+let forged_return_op = {|
+    entry:
+        push #mid
+        ret                       ; returns into the forged frame
+    mid:
+        br #__op_exit
+    |}
+
+let test_empty_shadow_stack_reported () =
+  let built = C.Pipeline.build ~op:(Asm_parse.parse forged_return_op) () in
+  let device = C.Pipeline.device built in
+  let result = A.Device.run_operation device in
+  check_bool "device run completes" true result.A.Device.completed;
+  check_bool "exec = 1 (invisible to APEX)" true
+    (A.Monitor.exec_flag (A.Device.monitor device));
+  let report = A.Device.attest device ~challenge:"forged-frame" in
+  let outcome = C.Verifier.verify_plan (C.Verifier.plan built) report in
+  check_bool "verifier rejects" true (not outcome.C.Verifier.accepted);
+  check_bool "ret on an empty shadow stack is reported" true
+    (List.exists
+       (fun f ->
+          match f with
+          | C.Verifier.Shadow_stack_violation { expected = None; _ } -> true
+          | _ -> false)
+       outcome.C.Verifier.findings)
+
+let suites =
+  [ ("adversarial",
+     [ QCheck_alcotest.to_alcotest prop_bit_flip;
+       QCheck_alcotest.to_alcotest prop_truncation;
+       QCheck_alcotest.to_alcotest prop_entry_swap;
+       Alcotest.test_case "forged-MAC entry flips" `Quick
+         test_forged_mac_entry_flips;
+       Alcotest.test_case "forged-MAC truncation is malformed" `Quick
+         test_forged_mac_truncation_is_malformed;
+       Alcotest.test_case "empty shadow stack reported" `Quick
+         test_empty_shadow_stack_reported ]) ]

@@ -1,0 +1,181 @@
+(* Fleet batch verification: determinism across domain counts, plan
+   sharing/caching, and metrics aggregation over a mixed benign/attacked
+   batch built from the bundled applications. *)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+module C = Dialed_core
+module F = Dialed_fleet
+module Apps = Dialed_apps.Apps
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let flip_or_byte ~at (report : A.Pox.report) =
+  let or_data = Bytes.of_string report.A.Pox.or_data in
+  let at = (at + Bytes.length or_data) mod Bytes.length or_data in
+  Bytes.set or_data at
+    (Char.chr (Char.code (Bytes.get or_data at) lxor 0xFF));
+  { report with A.Pox.or_data = Bytes.to_string or_data }
+
+(* A mixed batch over the vulnerable pump firmware:
+   - i mod 4 = 0,1  -> benign runs (accepted)
+   - i mod 4 = 2    -> the Fig. 2 data-only attack (oob-access)
+   - i mod 4 = 3    -> benign run with a forged log byte (bad-token) *)
+let mixed_batch built n =
+  List.init n (fun i ->
+      let device = C.Pipeline.device built in
+      let args =
+        if i mod 4 = 2 then Apps.attack_args_syringe_vuln
+        else Apps.syringe_pump_vuln.Apps.benign_args
+      in
+      ignore (A.Device.run_operation ~args device);
+      let report =
+        A.Device.attest device ~challenge:(Printf.sprintf "batch-%03d" i)
+      in
+      let report =
+        if i mod 4 = 3 then flip_or_byte ~at:(-24) report else report
+      in
+      (Printf.sprintf "dev-%03d" i, report))
+
+let vuln_built = lazy (Apps.build Apps.syringe_pump_vuln)
+
+let test_determinism_across_domains () =
+  let built = Lazy.force vuln_built in
+  let batch = mixed_batch built 16 in
+  let plan = F.Plan.of_built built in
+  let serial = F.Fleet.verify_batch ~domains:1 plan batch in
+  let parallel = F.Fleet.verify_batch ~domains:4 ~chunk:3 plan batch in
+  check_int "verdict count (serial)" 16
+    (List.length serial.F.Fleet.verdicts);
+  List.iter2
+    (fun (a : F.Fleet.verdict) (b : F.Fleet.verdict) ->
+       Alcotest.(check string) "device order preserved" a.F.Fleet.device_id
+         b.F.Fleet.device_id;
+       check_bool
+         (Printf.sprintf "%s: same verdict" a.F.Fleet.device_id)
+         a.F.Fleet.accepted b.F.Fleet.accepted;
+       check_bool
+         (Printf.sprintf "%s: same findings" a.F.Fleet.device_id)
+         true (a.F.Fleet.findings = b.F.Fleet.findings);
+       check_int
+         (Printf.sprintf "%s: same replay length" a.F.Fleet.device_id)
+         a.F.Fleet.replay_steps b.F.Fleet.replay_steps)
+    serial.F.Fleet.verdicts parallel.F.Fleet.verdicts
+
+let test_mixed_batch_verdicts () =
+  let built = Lazy.force vuln_built in
+  let batch = mixed_batch built 16 in
+  let plan = F.Plan.of_built built in
+  let summary = F.Fleet.verify_batch ~domains:2 plan batch in
+  List.iteri
+    (fun i (v : F.Fleet.verdict) ->
+       match i mod 4 with
+       | 0 | 1 ->
+         check_bool (v.F.Fleet.device_id ^ " benign accepted") true
+           v.F.Fleet.accepted
+       | 2 ->
+         check_bool (v.F.Fleet.device_id ^ " attack rejected") false
+           v.F.Fleet.accepted;
+         check_bool (v.F.Fleet.device_id ^ " oob finding") true
+           (List.exists
+              (fun f ->
+                 match f with C.Verifier.Oob_access _ -> true | _ -> false)
+              v.F.Fleet.findings)
+       | _ ->
+         check_bool (v.F.Fleet.device_id ^ " forged log rejected") false
+           v.F.Fleet.accepted;
+         check_bool (v.F.Fleet.device_id ^ " token finding") true
+           (List.exists
+              (fun f ->
+                 match f with C.Verifier.Bad_token _ -> true | _ -> false)
+              v.F.Fleet.findings))
+    summary.F.Fleet.verdicts
+
+let test_metrics_aggregation () =
+  let built = Lazy.force vuln_built in
+  let n = 16 in
+  let batch = mixed_batch built n in
+  let plan = F.Plan.of_built built in
+  let summary = F.Fleet.verify_batch ~domains:3 plan batch in
+  let m = summary.F.Fleet.metrics in
+  check_int "batch size" n m.F.Metrics.batch_size;
+  check_int "accepted + rejected = batch" n
+    (m.F.Metrics.accepted + m.F.Metrics.rejected);
+  check_int "accepted" (n / 2) m.F.Metrics.accepted;
+  check_int "rejects bucketed" m.F.Metrics.rejected
+    (List.fold_left (fun acc (_, k) -> acc + k) 0 m.F.Metrics.rejects_by_kind);
+  check_bool "oob-access bucket present" true
+    (List.mem_assoc "oob-access" m.F.Metrics.rejects_by_kind);
+  check_bool "bad-token bucket present" true
+    (List.mem_assoc "bad-token" m.F.Metrics.rejects_by_kind);
+  check_bool "replay steps counted" true (m.F.Metrics.replay_steps > 0);
+  check_bool "wall clock advanced" true (m.F.Metrics.wall_seconds >= 0.0);
+  (* the JSON point is well-formed enough to contain every counter *)
+  let json = F.Metrics.to_json m in
+  check_bool "json has batch" true
+    (String.length json > 0 && json.[0] = '{'
+     && List.mem_assoc "oob-access" m.F.Metrics.rejects_by_kind)
+
+let test_empty_and_tiny_batches () =
+  let built = Lazy.force vuln_built in
+  let plan = F.Plan.of_built built in
+  let empty = F.Fleet.verify_batch ~domains:4 plan [] in
+  check_int "empty batch" 0 (List.length empty.F.Fleet.verdicts);
+  check_int "empty batch size" 0 empty.F.Fleet.metrics.F.Metrics.batch_size;
+  (* a one-report batch must not spawn three idle domains *)
+  let one = F.Fleet.verify_batch ~domains:4 plan (mixed_batch built 1) in
+  check_int "single report verified" 1 (List.length one.F.Fleet.verdicts);
+  check_int "capped at one domain" 1 one.F.Fleet.metrics.F.Metrics.domains;
+  (match F.Fleet.verify_batch ~domains:0 plan [] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "domains=0 accepted")
+
+let test_plan_cache () =
+  let cache = F.Plan.cache ~capacity:2 () in
+  let pump = Lazy.force vuln_built in
+  let sensor = Apps.build Apps.fire_sensor in
+  let p1 = F.Plan.find_or_build cache pump in
+  let p2 = F.Plan.find_or_build cache pump in
+  Alcotest.(check string) "same firmware, same plan" (F.Plan.fingerprint p1)
+    (F.Plan.fingerprint p2);
+  check_bool "hit recorded" true (fst (F.Plan.cache_stats cache) = 1);
+  let p3 = F.Plan.find_or_build cache sensor in
+  check_bool "different firmware, different fingerprint" true
+    (F.Plan.fingerprint p1 <> F.Plan.fingerprint p3);
+  check_int "two plans resident" 2 (F.Plan.cache_size cache);
+  (* a distinct device key is a distinct cache entry (and evicts, cap 2) *)
+  ignore (F.Plan.find_or_build cache ~key:"other-device-key" pump);
+  check_int "capacity respected" 2 (F.Plan.cache_size cache);
+  let hits, misses = F.Plan.cache_stats cache in
+  check_int "hits" 1 hits;
+  check_int "misses" 3 misses
+
+let test_cached_plan_verifies () =
+  (* a plan pulled from the cache must verify exactly like a fresh one *)
+  let built = Lazy.force vuln_built in
+  let cache = F.Plan.cache () in
+  let batch = mixed_batch built 8 in
+  let fresh = F.Fleet.verify_batch (F.Plan.of_built built) batch in
+  let via_cache =
+    F.Fleet.verify_batch (F.Plan.find_or_build cache built) batch
+  in
+  check_bool "same verdicts via cache" true
+    (List.map (fun (v : F.Fleet.verdict) -> (v.F.Fleet.device_id, v.F.Fleet.accepted))
+       fresh.F.Fleet.verdicts
+     = List.map (fun (v : F.Fleet.verdict) -> (v.F.Fleet.device_id, v.F.Fleet.accepted))
+         via_cache.F.Fleet.verdicts)
+
+let suites =
+  [ ("fleet",
+     [ Alcotest.test_case "determinism across domains" `Quick
+         test_determinism_across_domains;
+       Alcotest.test_case "mixed batch verdicts" `Quick
+         test_mixed_batch_verdicts;
+       Alcotest.test_case "metrics aggregation" `Quick
+         test_metrics_aggregation;
+       Alcotest.test_case "empty and tiny batches" `Quick
+         test_empty_and_tiny_batches;
+       Alcotest.test_case "plan cache" `Quick test_plan_cache;
+       Alcotest.test_case "cached plan verifies" `Quick
+         test_cached_plan_verifies ]) ]

@@ -62,8 +62,65 @@ let test_oplog_of_report_matches_device () =
   check_int "capacity" (C.Oplog.capacity_entries from_device)
     (C.Oplog.capacity_entries from_report)
 
+(* Bounds hardening: final_r4 is an attacker-controlled report field and
+   must never yield negative counts or out-of-window reads. *)
+
+let attested_oplog () =
+  let _, device = run_tiny [ 7 ] in
+  let report = A.Device.attest device ~challenge:"x" in
+  (C.Oplog.of_report report, report)
+
+let test_oplog_word_at_bounds () =
+  let oplog, _ = attested_oplog () in
+  let lo = C.Oplog.or_min oplog and hi = C.Oplog.or_max oplog in
+  check_int "word at or_min" (C.Oplog.word_at oplog lo) (C.Oplog.word_at oplog lo);
+  (match C.Oplog.word_at oplog (lo - 2) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "word_at below OR accepted");
+  (match C.Oplog.word_at oplog (hi + 2) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "word_at above OR accepted")
+
+let test_oplog_entry_bounds () =
+  let oplog, _ = attested_oplog () in
+  (match C.Oplog.entry oplog (-1) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "negative entry index accepted");
+  (match C.Oplog.entry oplog (C.Oplog.capacity_entries oplog + 1) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "entry index past capacity accepted")
+
+let test_oplog_used_bytes_clamped () =
+  let oplog, _ = attested_oplog () in
+  let lo = C.Oplog.or_min oplog and hi = C.Oplog.or_max oplog in
+  (* final_r4 above the log base: an empty (or lying) log, never negative *)
+  check_int "r4 above or_max" 0 (C.Oplog.used_bytes oplog ~final_r4:(hi + 8));
+  check_int "r4 at or_max" 0 (C.Oplog.used_bytes oplog ~final_r4:hi);
+  (* final_r4 below OR: at most the whole window *)
+  check_int "r4 below or_min" (hi + 2 - lo)
+    (C.Oplog.used_bytes oplog ~final_r4:(lo - 100));
+  check_int "r4 wildly out of range" (hi + 2 - lo)
+    (C.Oplog.used_bytes oplog ~final_r4:(-4))
+
+let test_oplog_entries_down_to_clamped () =
+  let oplog, _ = attested_oplog () in
+  let lo = C.Oplog.or_min oplog and hi = C.Oplog.or_max oplog in
+  Alcotest.(check (list int)) "r4 above or_max -> no entries" []
+    (C.Oplog.entries_down_to oplog ~final_r4:(hi + 10));
+  check_int "r4 below or_min -> capacity, no exception"
+    (C.Oplog.capacity_entries oplog)
+    (List.length (C.Oplog.entries_down_to oplog ~final_r4:(lo - 50)))
+
 (* ------------------------------------------------------------- *)
 (* Pipeline.                                                       *)
+
+let test_pipeline_fingerprint_stable () =
+  let a = build tiny_op and b = build tiny_op in
+  Alcotest.(check string) "same build, same fingerprint"
+    (C.Pipeline.fingerprint a) (C.Pipeline.fingerprint b);
+  let c = build "op:\n    mov r15, r6\n    ret\n" in
+  check_bool "different op, different fingerprint" true
+    (C.Pipeline.fingerprint a <> C.Pipeline.fingerprint c)
 
 let test_pipeline_rejects_no_ret () =
   match build "op:\n    mov r15, r5\n" with
@@ -191,6 +248,11 @@ let suites =
        Alcotest.test_case "oplog saved sp" `Quick test_oplog_saved_sp;
        Alcotest.test_case "oplog entries" `Quick test_oplog_entries_down_to;
        Alcotest.test_case "oplog report = device" `Quick test_oplog_of_report_matches_device;
+       Alcotest.test_case "oplog word_at bounds" `Quick test_oplog_word_at_bounds;
+       Alcotest.test_case "oplog entry bounds" `Quick test_oplog_entry_bounds;
+       Alcotest.test_case "oplog used_bytes clamped" `Quick test_oplog_used_bytes_clamped;
+       Alcotest.test_case "oplog entries clamped" `Quick test_oplog_entries_down_to_clamped;
+       Alcotest.test_case "pipeline: fingerprint" `Quick test_pipeline_fingerprint_stable;
        Alcotest.test_case "pipeline: no ret" `Quick test_pipeline_rejects_no_ret;
        Alcotest.test_case "pipeline: op exit" `Quick test_pipeline_provides_op_exit;
        Alcotest.test_case "pipeline: er_exit" `Quick test_pipeline_er_exit_is_last_ret;
