@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `dune` remains the source of truth.
 
-.PHONY: build test bench bench-fleet examples clean
+.PHONY: build test bench bench-replay bench-fleet examples clean
 
 build:
 	dune build @all
@@ -11,6 +11,10 @@ test:
 # Full paper regeneration (Table I, Fig. 6(a)-(c), ablations, ...)
 bench:
 	dune exec bench/main.exe
+
+# Single-domain replay engine: reference vs optimized (BENCH_replay.json)
+bench-replay:
+	dune exec bench/main.exe -- replay
 
 # Just the fleet-verification throughput experiment
 bench-fleet:

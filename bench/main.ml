@@ -4,7 +4,7 @@
    itself.
 
    Run everything:        dune exec bench/main.exe
-   One experiment:        dune exec bench/main.exe -- table1|fig6a|fig6b|fig6c|ablations|micro|fleet|shapes
+   One experiment:        dune exec bench/main.exe -- table1|fig6a|fig6b|fig6c|ablations|micro|replay|fleet|shapes
 *)
 
 module M = Dialed_msp430
@@ -270,6 +270,93 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Single-domain replay throughput: the unoptimized reference path
+   (fresh byte-level decode every step, full trace retention) against
+   the engine's fast path (predecoded ER, no trace retention). Writes
+   BENCH_replay.json so CI and EXPERIMENTS.md can pin the speedup.      *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* time [f] over enough iterations to fill ~0.5 s of wall clock *)
+let time_per_call f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  ignore (f ());
+  let once = Unix.gettimeofday () -. t0 in
+  let iters = max 3 (int_of_float (0.5 /. Float.max once 1e-6)) in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    ignore (f ())
+  done;
+  (Unix.gettimeofday () -. t0) /. float_of_int iters
+
+let replay_bench () =
+  section "Single-domain replay: reference path vs optimized engine";
+  let app = Apps.fire_sensor in
+  let built = Apps.build app in
+  let device = C.Pipeline.device built in
+  (* a long sampling run (96 ADC reads) so the steps/s rate reflects the
+     interpreter loop rather than per-report fixed costs (HMAC, setup) *)
+  let samples = 96 in
+  M.Peripherals.feed_adc (A.Device.board device)
+    (List.init samples (fun i -> 520 + (i mod 37)));
+  ignore (A.Device.run_operation ~args:[ samples ] device);
+  let report = A.Device.attest device ~challenge:"bench-replay" in
+  let base_plan = C.Verifier.plan ~decode_cache:false built in
+  let fast_plan = C.Verifier.plan built in
+  let steps_of outcome =
+    match outcome.C.Verifier.trace with
+    | Some t -> t.C.Verifier.step_count
+    | None -> 0
+  in
+  let base_outcome = C.Verifier.verify_plan base_plan report in
+  let fast_outcome = C.Verifier.verify_plan ~keep_trace:false fast_plan report in
+  let steps = steps_of base_outcome in
+  assert (steps > 0 && steps = steps_of fast_outcome);
+  assert (base_outcome.C.Verifier.accepted = fast_outcome.C.Verifier.accepted);
+  let base_s =
+    time_per_call (fun () -> C.Verifier.verify_plan base_plan report)
+  in
+  let fast_s =
+    time_per_call (fun () ->
+        C.Verifier.verify_plan ~keep_trace:false fast_plan report)
+  in
+  let sps t = float_of_int steps /. t in
+  let speedup = base_s /. fast_s in
+  (* streaming SHA-256 digest throughput over a 1 MiB buffer *)
+  let mib = String.make (1 lsl 20) '\x5a' in
+  let sha_s = time_per_call (fun () -> Dialed_crypto.Sha256.digest mib) in
+  let sha_mb_s = 1.0 /. sha_s in
+  printf "%-44s %14s %14s %12s@." "path" "steps/s" "reports/s" "us/report";
+  let row name t =
+    printf "%-44s %14.0f %14.0f %12.1f@." name (sps t) (1.0 /. t)
+      (t *. 1e6)
+  in
+  row "baseline (fresh decode, keep_trace=true)" base_s;
+  row "optimized (predecoded ER, keep_trace=false)" fast_s;
+  printf "@.replay speedup: %.2fx over %d steps/replay@." speedup steps;
+  printf "sha256 digest: %.1f MB/s (1 MiB one-shot)@." sha_mb_s;
+  write_file "BENCH_replay.json"
+    (Printf.sprintf
+       "{\n\
+       \  \"experiment\": \"single_domain_replay\",\n\
+       \  \"app\": %S,\n\
+       \  \"steps_per_replay\": %d,\n\
+       \  \"baseline\": { \"decode_cache\": false, \"keep_trace\": true,\n\
+       \                \"steps_per_sec\": %.0f, \"reports_per_sec\": %.1f },\n\
+       \  \"optimized\": { \"decode_cache\": true, \"keep_trace\": false,\n\
+       \                 \"steps_per_sec\": %.0f, \"reports_per_sec\": %.1f },\n\
+       \  \"speedup\": %.2f,\n\
+       \  \"sha256_digest_mb_per_sec\": %.1f\n\
+        }\n"
+       app.Apps.name steps (sps base_s) (1.0 /. base_s) (sps fast_s)
+       (1.0 /. fast_s) speedup sha_mb_s);
+  printf "wrote BENCH_replay.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Fleet verification: serial vs parallel batch replay throughput.      *)
 
 let fleet_batch_size = 64
@@ -340,7 +427,22 @@ let fleet () =
     speedup
     (Domain.recommended_domain_count ());
   printf "json: %s@." (F.Metrics.to_json serial.F.Fleet.metrics);
-  printf "json: %s@." (F.Metrics.to_json parallel.F.Fleet.metrics)
+  printf "json: %s@." (F.Metrics.to_json parallel.F.Fleet.metrics);
+  write_file "BENCH_fleet.json"
+    (Printf.sprintf
+       "{\n\
+       \  \"experiment\": \"fleet_batch_verification\",\n\
+       \  \"batch_size\": %d,\n\
+       \  \"verdicts_identical_across_domains\": %b,\n\
+       \  \"serial\": %s,\n\
+       \  \"parallel\": %s,\n\
+       \  \"parallel_speedup\": %.2f\n\
+        }\n"
+       fleet_batch_size same_verdicts
+       (F.Metrics.to_json serial.F.Fleet.metrics)
+       (F.Metrics.to_json parallel.F.Fleet.metrics)
+       speedup);
+  printf "wrote BENCH_fleet.json@."
 
 (* ------------------------------------------------------------------ *)
 
@@ -381,8 +483,8 @@ let () =
   let experiments =
     [ ("table1", table1); ("fig6a", fig6a); ("fig6b", fig6b);
       ("fig6c", fig6c); ("ablations", ablations); ("breakdown", breakdown);
-      ("swatt", swatt_bench); ("micro", micro); ("fleet", fleet);
-      ("shapes", shape_check) ]
+      ("swatt", swatt_bench); ("micro", micro); ("replay", replay_bench);
+      ("fleet", fleet); ("shapes", shape_check) ]
   in
   match Array.to_list Sys.argv with
   | _ :: ((_ :: _) as picks) ->

@@ -234,7 +234,7 @@ let attest_cmd =
            | Some trace ->
              Format.printf
                "replay: %d steps, %d control-flow events, %d inputs@."
-               (List.length trace.C.Verifier.steps)
+               trace.C.Verifier.step_count
                (List.length trace.C.Verifier.cf_dests)
                (List.length trace.C.Verifier.inputs)
            | None -> ());

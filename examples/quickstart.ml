@@ -54,7 +54,7 @@ let () =
      Format.printf
        "reconstructed execution: %d steps, %d control-flow events, %d data \
         inputs (incl. 9 F3 entries)@."
-       (List.length trace.C.Verifier.steps)
+       trace.C.Verifier.step_count
        (List.length trace.C.Verifier.cf_dests)
        (List.length trace.C.Verifier.inputs)
    | None -> ());

@@ -34,12 +34,12 @@ let issue vrased mem ~exec layout ~challenge =
   in
   { challenge; er_min; er_max; er_exit; or_min; or_max; exec; or_data; token }
 
-let verify ~key ~expected_er r =
+let verify_with ~key_state ~expected_er r =
   if String.length expected_er <> r.er_max - r.er_min + 1 then
     Error "expected ER image size does not match the claimed range"
   else begin
     let expected_token =
-      Hmac.mac_parts ~key
+      Hmac.mac_parts_with key_state
         (token_parts ~challenge:r.challenge ~er_min:r.er_min ~er_max:r.er_max
            ~er_exit:r.er_exit ~or_min:r.or_min ~or_max:r.or_max ~exec:r.exec
            ~er_bytes:expected_er ~or_data:r.or_data)
@@ -50,5 +50,8 @@ let verify ~key ~expected_er r =
       Error "EXEC = 0: the operation did not complete untampered"
     else Ok ()
   end
+
+let verify ~key ~expected_er r =
+  verify_with ~key_state:(Hmac.key_state ~key) ~expected_er r
 
 let accept_exec r = r.exec

@@ -29,5 +29,11 @@ val verify :
     ER bytes the verifier expects to be installed. [Error] explains the
     first check that failed (bad token / EXEC = 0). *)
 
+val verify_with :
+  key_state:Dialed_crypto.Hmac.key_state -> expected_er:string -> report ->
+  (unit, string) result
+(** {!verify} with a precomputed {!Dialed_crypto.Hmac.key_state} — the
+    fleet path, which MACs thousands of reports under one device key. *)
+
 val accept_exec : report -> bool
 (** Just the EXEC bit (meaningful only after {!verify} succeeded). *)

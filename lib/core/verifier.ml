@@ -5,6 +5,7 @@ module Isa = M.Isa
 module P = M.Program
 module Assemble = M.Assemble
 module A = Dialed_apex
+module Hmac = Dialed_crypto.Hmac
 
 type finding =
   | Bad_token of string
@@ -63,13 +64,14 @@ let pp_finding ppf f =
 type step = {
   s_index : int;
   s_pc : int;
-  s_instr : Isa.instr;
+  s_instr : Isa.instr option;
   s_pc_after : int;
   s_accesses : Memory.access list;
 }
 
 type trace = {
   steps : step list;
+  step_count : int;
   cf_dests : int list;
   inputs : int list;
   final_r4 : int;
@@ -97,9 +99,10 @@ type site =
   | Load_bounds of { array : string; lo : int; hi : int }
 
 type plan = {
-  plan_key : string;
+  plan_key_state : Hmac.key_state;
   plan_built : Pipeline.built;
-  plan_sites : (int, site list) Hashtbl.t;  (* read-only after build *)
+  plan_sites : site list array;  (* indexed by pc lsr 1; read-only after build *)
+  plan_dcache : M.Decode_cache.t option;
   plan_entry : int;
   plan_caller_ret : int;
   plan_policies : policy list;
@@ -107,7 +110,7 @@ type plan = {
 }
 
 let plan ?(key = A.Device.default_key) ?(policies = [])
-    ?(max_steps = 2_000_000) built =
+    ?(max_steps = 2_000_000) ?(decode_cache = true) built =
   (match built.Pipeline.variant with
    | Pipeline.Full -> ()
    | v ->
@@ -115,7 +118,7 @@ let plan ?(key = A.Device.default_key) ?(policies = [])
        (Printf.sprintf
           "Verifier.plan: replay verification needs the DIALED variant, got %s"
           (Pipeline.variant_name v)));
-  let sites = Hashtbl.create 64 in
+  let sites = Array.make 0x8000 [] in
   List.iter
     (fun (addr, annots) ->
        let resolved =
@@ -135,11 +138,30 @@ let plan ?(key = A.Device.default_key) ?(policies = [])
               | P.Synth_mark _ | P.Src_line _ -> None)
            annots
        in
-       if resolved <> [] then Hashtbl.replace sites addr resolved)
+       (* instruction addresses are word-aligned, so pc lsr 1 is injective *)
+       if resolved <> [] && addr land 1 = 0 then
+         sites.((addr land 0xFFFF) lsr 1) <-
+           sites.((addr land 0xFFFF) lsr 1) @ resolved)
     built.Pipeline.image.Assemble.annots;
-  { plan_key = key;
+  let dcache =
+    if not decode_cache then None
+    else begin
+      (* predecode the executable region once; APEX guarantees ER
+         immutability on the device, and the replay memory's dirty map
+         catches any replayed write into cached code. Ranging the cache
+         to the ER keeps each replay's dirty map firmware-sized. *)
+      let scratch = Memory.create () in
+      Assemble.load built.Pipeline.image scratch;
+      let open A.Layout in
+      let l = built.Pipeline.layout in
+      Some (M.Decode_cache.build ~lo:(l.er_min land 0xFFFE) ~hi:l.er_max
+              ~get_word:(Memory.peek16 scratch) ())
+    end
+  in
+  { plan_key_state = Hmac.key_state ~key;
     plan_built = built;
     plan_sites = sites;
+    plan_dcache = dcache;
     plan_entry = Assemble.symbol built.Pipeline.image Pipeline.caller_symbol;
     plan_caller_ret =
       Assemble.symbol built.Pipeline.image Pipeline.caller_ret_symbol;
@@ -185,8 +207,15 @@ let is_ret = Pipeline.concrete_is_ret
 
 (* The replay proper: everything that touches attacker-controlled OR bytes.
    [Invalid_argument] from the log view (a report whose OR data cannot back
-   the claimed layout) is caught by the caller and turned into a finding. *)
-let replay p report =
+   the claimed layout) is caught by the caller and turned into a finding.
+
+   The loop runs on {!Cpu.step_raw}: the CPU writes each step's result into
+   a reusable record and the access trace stays packed inside {!Memory},
+   consumed via the allocation-free iterator. Per-step [step] records are
+   only materialized when [keep_trace] is set — policies need them, so it
+   is forced on when the plan carries any. *)
+let replay ?(keep_trace = true) p report =
+  let keep_trace = keep_trace || p.plan_policies <> [] in
   let built = p.plan_built in
   let layout = built.Pipeline.layout in
   let open A.Layout in
@@ -195,6 +224,9 @@ let replay p report =
   let cpu = Cpu.create mem in
   attach_oracle mem cpu oplog;
   Assemble.load built.Pipeline.image mem;
+  (match p.plan_dcache with
+   | Some c -> Memory.attach_code_cache mem c
+   | None -> ());
   Cpu.set_reg cpu Isa.pc p.plan_entry;
   Cpu.set_reg cpu Isa.sp layout.stack_top;
   List.iteri (fun i v -> Cpu.set_reg cpu (8 + i) v) (Oplog.args oplog);
@@ -206,83 +238,92 @@ let replay p report =
   let diverged = ref false in
   let in_or addr = addr >= layout.or_min && addr <= layout.or_max + 1 in
   let step_index = ref 0 in
-  let process info =
+  let raw = Cpu.raw cpu in
+  (* current-step context for the preallocated access callback *)
+  let cur_pc = ref 0 and cur_sites = ref [] in
+  (* log pushes: compare against the authenticated log *)
+  let on_access kind addr _size value =
+    match kind with
+    | Memory.Fetch | Memory.Read -> ()
+    | Memory.Write ->
+      if in_or addr then begin
+        let device_value = Oplog.word_at oplog addr in
+        if device_value <> value then begin
+          add (Log_divergence
+                 { step = !step_index; pc = !cur_pc; addr;
+                   device_value; replay_value = value });
+          diverged := true
+        end
+        else
+          List.iter
+            (fun s ->
+               match s with
+               | Log_cf -> cf_dests := value :: !cf_dests
+               | Log_input -> inputs := value :: !inputs
+               | Store_bounds _ | Load_bounds _ -> ())
+            !cur_sites
+      end
+  in
+  let process () =
     let idx = !step_index in
-    incr step_index;
-    let pc = info.Cpu.pc_before in
-    steps :=
-      { s_index = idx; s_pc = pc; s_instr = info.Cpu.instr;
-        s_pc_after = info.Cpu.pc_after; s_accesses = info.Cpu.accesses }
-      :: !steps;
+    let pc = raw.Cpu.raw_pc_before in
+    let pc_after = raw.Cpu.raw_pc_after in
+    let executed = raw.Cpu.raw_executed in
+    if keep_trace then
+      steps :=
+        { s_index = idx; s_pc = pc;
+          s_instr = (if executed then Some raw.Cpu.raw_instr else None);
+          s_pc_after = pc_after; s_accesses = Memory.step_trace mem }
+        :: !steps;
     let item_sites =
-      match Hashtbl.find_opt p.plan_sites pc with Some l -> l | None -> []
+      if pc land 1 = 0 then Array.unsafe_get p.plan_sites (pc lsr 1) else []
     in
-    (* log pushes: compare against the authenticated log *)
-    List.iter
-      (fun a ->
-         match a.Memory.kind with
-         | Memory.Write when in_or a.Memory.addr ->
-           let device_value = Oplog.word_at oplog a.Memory.addr in
-           if device_value <> a.Memory.value then begin
-             add (Log_divergence
-                    { step = idx; pc; addr = a.Memory.addr;
-                      device_value; replay_value = a.Memory.value });
-             diverged := true
-           end
-           else
-             List.iter
-               (fun s ->
-                  match s with
-                  | Log_cf -> cf_dests := a.Memory.value :: !cf_dests
-                  | Log_input -> inputs := a.Memory.value :: !inputs
-                  | Store_bounds _ | Load_bounds _ -> ())
-               item_sites
-         | _ -> ())
-      info.Cpu.accesses;
-    (* shadow call stack *)
-    (match info.Cpu.instr with
-     | Isa.One (Isa.CALL, _, _) ->
-       shadow := (pc + Isa.instr_size_bytes info.Cpu.instr) :: !shadow
-     | i when is_ret i ->
-       (match !shadow with
-        | expected :: rest ->
-          shadow := rest;
-          if info.Cpu.pc_after <> expected then
-            add (Shadow_stack_violation
-                   { pc; expected = Some expected; actual = info.Cpu.pc_after })
-        | [] ->
-          (* return with no matching call: a return-into-the-operation
-             forged frame — there is no legitimate way to pop past the
-             caller's own call *)
-          add (Shadow_stack_violation
-                 { pc; expected = None; actual = info.Cpu.pc_after }))
-     | _ -> ());
+    cur_pc := pc;
+    cur_sites := item_sites;
+    Memory.iter_step_trace mem on_access;
+    incr step_index;
+    (* shadow call stack — only a retired instruction can push or pop;
+       IRQ vectoring and a decode fault execute no instruction at all *)
+    if executed then begin
+      match raw.Cpu.raw_instr with
+      | Isa.One (Isa.CALL, _, _) as i ->
+        shadow := (pc + Isa.instr_size_bytes i) :: !shadow
+      | i when is_ret i ->
+        (match !shadow with
+         | expected :: rest ->
+           shadow := rest;
+           if pc_after <> expected then
+             add (Shadow_stack_violation
+                    { pc; expected = Some expected; actual = pc_after })
+         | [] ->
+           (* return with no matching call: a return-into-the-operation
+              forged frame — there is no legitimate way to pop past the
+              caller's own call *)
+           add (Shadow_stack_violation
+                  { pc; expected = None; actual = pc_after }))
+      | _ -> ()
+    end;
     (* out-of-bounds object accesses, from compiler annotations *)
     List.iter
       (fun s ->
          match s with
          | Store_bounds { array; lo; hi } ->
-           List.iter
-             (fun a ->
-                match a.Memory.kind with
-                | Memory.Write when not (in_or a.Memory.addr) ->
-                  if a.Memory.addr < lo || a.Memory.addr > hi then
-                    add (Oob_access
-                           { pc; kind = `Write; array;
-                             ea = a.Memory.addr; lo; hi })
+           Memory.iter_step_trace mem
+             (fun kind addr _size _value ->
+                match kind with
+                | Memory.Write when not (in_or addr)
+                                    && (addr < lo || addr > hi) ->
+                  add (Oob_access
+                         { pc; kind = `Write; array; ea = addr; lo; hi })
                 | _ -> ())
-             info.Cpu.accesses
          | Load_bounds { array; lo; hi } ->
-           List.iter
-             (fun a ->
-                match a.Memory.kind with
-                | Memory.Read ->
-                  if a.Memory.addr < lo || a.Memory.addr > hi then
-                    add (Oob_access
-                           { pc; kind = `Read; array;
-                             ea = a.Memory.addr; lo; hi })
-                | Memory.Write | Memory.Fetch -> ())
-             info.Cpu.accesses
+           Memory.iter_step_trace mem
+             (fun kind addr _size _value ->
+                match kind with
+                | Memory.Read when addr < lo || addr > hi ->
+                  add (Oob_access
+                         { pc; kind = `Read; array; ea = addr; lo; hi })
+                | _ -> ())
          | Log_cf | Log_input -> ())
       item_sites
   in
@@ -297,7 +338,8 @@ let replay p report =
       | Some (Cpu.Bad_opcode (a, w)) ->
         Some (Printf.sprintf "replay hit invalid opcode 0x%04x at 0x%04x" w a)
       | None ->
-        process (Cpu.step cpu);
+        Cpu.step_raw cpu;
+        process ();
         run (n + 1)
   in
   let replay_error = run 0 in
@@ -306,6 +348,7 @@ let replay p report =
    | _ -> ());
   let trace =
     { steps = List.rev !steps;
+      step_count = !step_index;
       cf_dests = List.rev !cf_dests;
       inputs = List.rev !inputs;
       final_r4 = Cpu.get_reg cpu 4;
@@ -325,7 +368,7 @@ let replay p report =
     findings;
     trace = Some trace }
 
-let verify_plan p report =
+let verify_plan ?keep_trace p report =
   let built = p.plan_built in
   let layout = built.Pipeline.layout in
   let reject findings = { accepted = false; findings; trace = None } in
@@ -339,15 +382,15 @@ let verify_plan p report =
   else
     (* 2. token + EXEC *)
     match
-      A.Pox.verify ~key:p.plan_key ~expected_er:built.Pipeline.expected_er
-        report
+      A.Pox.verify_with ~key_state:p.plan_key_state
+        ~expected_er:built.Pipeline.expected_er report
     with
     | Error msg -> reject [ Bad_token msg ]
     | Ok () ->
       (* 3.+4. replay and policies; a report whose OR bytes cannot even
          back the log view (e.g. short or_data with a forged token) is a
          malformed report, not a crash *)
-      (try replay p report
+      (try replay ?keep_trace p report
        with Invalid_argument msg ->
          reject [ Replay_failed (Printf.sprintf "malformed report: %s" msg) ])
 

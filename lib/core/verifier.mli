@@ -58,13 +58,18 @@ val pp_finding : Format.formatter -> finding -> unit
 type step = {
   s_index : int;
   s_pc : int;
-  s_instr : Dialed_msp430.Isa.instr;
+  s_instr : Dialed_msp430.Isa.instr option;
+  (** [None] when the step retired no instruction: interrupt vectoring,
+      or a fetch that hit an invalid opcode. *)
   s_pc_after : int;
   s_accesses : Dialed_msp430.Memory.access list;
 }
 
 type trace = {
-  steps : step list;              (** chronological *)
+  steps : step list;              (** chronological; [[]] when the replay
+                                      ran with [keep_trace:false] *)
+  step_count : int;               (** steps actually replayed, regardless
+                                      of retention *)
   cf_dests : int list;            (** CF-Log entries, in order *)
   inputs : int list;              (** I-Log entries, in order *)
   final_r4 : int;
@@ -89,14 +94,28 @@ type plan
 
 val plan :
   ?key:string -> ?policies:policy list -> ?max_steps:int ->
-  Pipeline.built -> plan
+  ?decode_cache:bool -> Pipeline.built -> plan
 (** Build a plan from a [Full]-variant build (raises [Invalid_argument]
     otherwise). Resolving annotation expressions happens here, once, so
-    {!verify_plan}'s replay loop is lookup-only. *)
+    {!verify_plan}'s replay loop is lookup-only. So does predecoding: by
+    default the plan carries a {!Dialed_msp430.Decode_cache} over the
+    executable region — built once, shared read-only by every replay (and
+    every domain) — giving the replay CPU a fetchless fast path. Pass
+    [~decode_cache:false] to force byte-level fetch + decode on every
+    step (the reference path; verdicts are identical either way, which
+    [test_replay_equiv] pins). *)
 
-val verify_plan : plan -> Dialed_apex.Pox.report -> outcome
+val verify_plan :
+  ?keep_trace:bool -> plan -> Dialed_apex.Pox.report -> outcome
 (** Replay one report against a shared plan. Allocates all mutable state
-    locally — concurrent calls on the same plan are safe. *)
+    locally — concurrent calls on the same plan are safe.
+
+    [keep_trace] (default [true]) controls retention of the per-step
+    {!step} list. With [~keep_trace:false] the replay still runs every
+    detector but materializes no step records — [trace.steps] is empty
+    while [trace.step_count] still counts — cutting the dominant
+    allocation on the fleet path. Forced on when the plan carries
+    policies, which inspect [trace.steps]. *)
 
 val plan_layout : plan -> Dialed_apex.Layout.t
 

@@ -10,6 +10,23 @@ val mac_parts : key:string -> string list -> string
 (** MAC over the concatenation of the parts, without building the
     concatenation eagerly. *)
 
+(** {2 Precomputed key states}
+
+    A fleet verifier MACs thousands of reports under one device key;
+    absorbing the padded key block twice per report dominates short-message
+    HMAC. {!key_state} hashes the ipad/opad blocks once; {!mac_parts_with}
+    then clones the cached states per call. A [key_state] is immutable
+    after construction and safe to share across domains. *)
+
+type key_state
+
+val key_state : key:string -> key_state
+
+val mac_with : key_state -> string -> string
+
+val mac_parts_with : key_state -> string list -> string
+(** [mac_parts_with (key_state ~key) parts = mac_parts ~key parts]. *)
+
 val verify : key:string -> msg:string -> tag:string -> bool
 (** Constant-time comparison of a received tag against the expected one. *)
 

@@ -2,15 +2,31 @@
 
     VRASED computes an HMAC-SHA256 over program memory inside its ROM
     routine; this module is the hash that backs {!Hmac}. Pure OCaml, no
-    dependencies, operating on [string] for simplicity — message sizes in
-    this project are at most tens of KiB. *)
+    dependencies.
+
+    The streaming context is {e imperative}: it owns a preallocated
+    message schedule and partial-block buffer, and {!update} folds data
+    into the chaining state in place, returning the {e same} context (the
+    functional signature is kept so existing pipelines read naturally).
+    Use a context linearly, or {!copy} it first to fork — e.g. the cached
+    HMAC key states in {!Hmac.key_state}. {!finalize} does not consume
+    the context: it pads into a local block, so updating after finalize
+    continues the original stream. Contexts are not thread-safe; share
+    them across domains only via {!copy}. *)
 
 type ctx
 
 val init : unit -> ctx
 val update : ctx -> string -> ctx
+(** Absorb bytes. Mutates and returns [ctx] itself. *)
+
+val copy : ctx -> ctx
+(** Independent snapshot of the streaming state (fresh scratch buffers);
+    the clone and the original can diverge safely, even across domains. *)
+
 val finalize : ctx -> string
-(** 32-byte raw digest. *)
+(** 32-byte raw digest of everything absorbed so far. The context is not
+    mutated and remains usable. *)
 
 val digest : string -> string
 (** One-shot hash; 32-byte raw digest. *)

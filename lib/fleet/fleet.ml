@@ -70,10 +70,12 @@ let verify_batch ?(domains = 1) ?(chunk = default_chunk) plan batch =
   let verify_range (first, len) =
     for i = first to first + len - 1 do
       let device_id, report = reports.(i) in
-      let outcome = C.Verifier.verify_plan vplan report in
+      (* fleet verdicts never inspect individual steps, so skip trace
+         retention — the replay still runs every detector *)
+      let outcome = C.Verifier.verify_plan ~keep_trace:false vplan report in
       let replay_steps =
         match outcome.C.Verifier.trace with
-        | Some t -> List.length t.C.Verifier.steps
+        | Some t -> t.C.Verifier.step_count
         | None -> 0
       in
       (* slots are disjoint per worker; publication happens-before the

@@ -4,11 +4,20 @@ type halt_reason =
 
 type step_info = {
   pc_before : int;
-  instr : Isa.instr;
+  instr : Isa.instr option;
   pc_after : int;
   accesses : Memory.access list;
   irq_taken : bool;
   step_cycles : int;
+}
+
+type raw = {
+  mutable raw_pc_before : int;
+  mutable raw_pc_after : int;
+  mutable raw_instr : Isa.instr; (* meaningful iff [raw_executed] *)
+  mutable raw_executed : bool;
+  mutable raw_irq_taken : bool;
+  mutable raw_cycles : int;
 }
 
 type t = {
@@ -18,11 +27,16 @@ type t = {
   mutable total_steps : int;
   mutable halt : halt_reason option;
   mutable irq : int option; (* pending vector *)
+  raw : raw;
 }
 
 let create mem =
   { regs = Array.make 16 0; mem; total_cycles = 0; total_steps = 0;
-    halt = None; irq = None }
+    halt = None; irq = None;
+    raw = { raw_pc_before = 0; raw_pc_after = 0; raw_instr = Isa.Reti;
+            raw_executed = false; raw_irq_taken = false; raw_cycles = 0 } }
+
+let raw t = t.raw
 
 let memory t = t.mem
 let cycles t = t.total_cycles
@@ -276,53 +290,84 @@ let vector_irq t vector =
   set_flag t `GIE false;
   set_reg t Isa.pc (Memory.read t.mem Isa.Word vector)
 
-let step t =
+(* Execute [instr] with pc already advanced to the fall-through address.
+   A taken jump targets [fall-through + 2*off]; reading the fall-through
+   back out of the (masked) pc register is congruent mod 2^16 to the old
+   unmasked arithmetic, and [set_reg] masks again, so results agree. *)
+let exec_instr t instr =
+  match instr with
+  | Isa.Two (op, size, src, dst) -> exec_two t op size src dst
+  | Isa.One (op, size, src) -> exec_one t op size src
+  | Isa.Jump (c, off) ->
+    if cond_taken t c then set_reg t Isa.pc (t.regs.(Isa.pc) + 2 * off)
+  | Isa.Reti ->
+    let sr_v = Memory.read t.mem Isa.Word t.regs.(Isa.sp) in
+    set_reg t Isa.sp (t.regs.(Isa.sp) + 2);
+    let pc_v = Memory.read t.mem Isa.Word t.regs.(Isa.sp) in
+    set_reg t Isa.sp (t.regs.(Isa.sp) + 2);
+    set_reg t Isa.sr sr_v;
+    set_reg t Isa.pc pc_v
+
+let finish_exec t r pc_before instr step_cycles =
+  r.raw_instr <- instr;
+  r.raw_executed <- true;
+  let pc_after = t.regs.(Isa.pc) in
+  r.raw_pc_after <- pc_after;
+  if pc_after = pc_before then t.halt <- Some (Self_jump pc_before);
+  r.raw_cycles <- step_cycles;
+  t.total_cycles <- t.total_cycles + step_cycles;
+  t.total_steps <- t.total_steps + 1;
+  Memory.tick t.mem step_cycles
+
+let step_raw t =
   (match t.halt with
    | Some _ -> invalid_arg "Cpu.step: already halted"
    | None -> ());
   Memory.begin_step t.mem;
+  let r = t.raw in
   let pc_before = t.regs.(Isa.pc) in
-  if t.irq <> None && get_flag t `GIE then begin
-    let vector = Option.get t.irq in
+  r.raw_pc_before <- pc_before;
+  r.raw_executed <- false;
+  r.raw_irq_taken <- false;
+  match t.irq with
+  | Some vector when get_flag t `GIE ->
     t.irq <- None;
     vector_irq t vector;
     let step_cycles = 6 in
+    r.raw_pc_after <- t.regs.(Isa.pc);
+    r.raw_irq_taken <- true;
+    r.raw_cycles <- step_cycles;
     t.total_cycles <- t.total_cycles + step_cycles;
     t.total_steps <- t.total_steps + 1;
-    Memory.tick t.mem step_cycles;
-    { pc_before; instr = Isa.Reti (* placeholder: vectoring *);
-      pc_after = t.regs.(Isa.pc); accesses = Memory.step_trace t.mem;
-      irq_taken = true; step_cycles }
+    Memory.tick t.mem step_cycles
+  | Some _ | None -> begin
+    match Memory.cached_decode t.mem pc_before with
+    | Some e ->
+      (* fast path: no byte-level fetch, no fetch trace records *)
+      t.regs.(Isa.pc) <- e.Decode_cache.dc_next;
+      exec_instr t e.Decode_cache.dc_instr;
+      finish_exec t r pc_before e.Decode_cache.dc_instr e.Decode_cache.dc_cycles
+    | None ->
+      (match Decode.decode ~get_word:(Memory.fetch_word t.mem) pc_before with
+       | exception Decode.Undecodable (a, w) ->
+         t.halt <- Some (Bad_opcode (a, w));
+         r.raw_pc_after <- pc_before;
+         r.raw_cycles <- 0
+       | instr, next ->
+         set_reg t Isa.pc next;
+         exec_instr t instr;
+         finish_exec t r pc_before instr (Isa.cycles instr))
   end
-  else begin
-    match Decode.decode ~get_word:(Memory.fetch_word t.mem) pc_before with
-    | exception Decode.Undecodable (a, w) ->
-      t.halt <- Some (Bad_opcode (a, w));
-      { pc_before; instr = Isa.Reti; pc_after = pc_before;
-        accesses = Memory.step_trace t.mem; irq_taken = false; step_cycles = 0 }
-    | instr, next ->
-      set_reg t Isa.pc next;
-      (match instr with
-       | Isa.Two (op, size, src, dst) -> exec_two t op size src dst
-       | Isa.One (op, size, src) -> exec_one t op size src
-       | Isa.Jump (c, off) ->
-         if cond_taken t c then set_reg t Isa.pc (next + 2 * off)
-       | Isa.Reti ->
-         let sr_v = Memory.read t.mem Isa.Word t.regs.(Isa.sp) in
-         set_reg t Isa.sp (t.regs.(Isa.sp) + 2);
-         let pc_v = Memory.read t.mem Isa.Word t.regs.(Isa.sp) in
-         set_reg t Isa.sp (t.regs.(Isa.sp) + 2);
-         set_reg t Isa.sr sr_v;
-         set_reg t Isa.pc pc_v);
-      let pc_after = t.regs.(Isa.pc) in
-      if pc_after = pc_before then t.halt <- Some (Self_jump pc_before);
-      let step_cycles = Isa.cycles instr in
-      t.total_cycles <- t.total_cycles + step_cycles;
-      t.total_steps <- t.total_steps + 1;
-      Memory.tick t.mem step_cycles;
-      { pc_before; instr; pc_after; accesses = Memory.step_trace t.mem;
-        irq_taken = false; step_cycles }
-  end
+
+let step t =
+  step_raw t;
+  let r = t.raw in
+  { pc_before = r.raw_pc_before;
+    instr = (if r.raw_executed then Some r.raw_instr else None);
+    pc_after = r.raw_pc_after;
+    accesses = Memory.step_trace t.mem;
+    irq_taken = r.raw_irq_taken;
+    step_cycles = r.raw_cycles }
 
 let run t ~max_steps f =
   let rec loop n =

@@ -14,11 +14,27 @@ type halt_reason =
 
 type step_info = {
   pc_before : int;
-  instr : Isa.instr;
+  instr : Isa.instr option;
+  (** The executed instruction, or [None] when no instruction retired:
+      an interrupt was vectored this step, or decode hit an invalid
+      opcode (see {!halt_reason.Bad_opcode}). *)
   pc_after : int;
-  accesses : Memory.access list;  (** data + fetch accesses, program order *)
+  accesses : Memory.access list;
+  (** data + fetch accesses, program order. When the instruction was
+      served by an attached {!Decode_cache}, fetch records are absent. *)
   irq_taken : bool;               (** an interrupt was vectored this step *)
   step_cycles : int;
+}
+
+(** Reusable per-CPU step result, overwritten by every {!step_raw};
+    the allocation-free counterpart of {!step_info}. *)
+type raw = {
+  mutable raw_pc_before : int;
+  mutable raw_pc_after : int;
+  mutable raw_instr : Isa.instr;  (** meaningful iff [raw_executed] *)
+  mutable raw_executed : bool;
+  mutable raw_irq_taken : bool;
+  mutable raw_cycles : int;
 }
 
 val create : Memory.t -> t
@@ -52,6 +68,17 @@ val step : t -> step_info
 (** Execute one instruction (or vector a pending interrupt). Raises
     [Invalid_argument] if the CPU is already halted. A [Self_jump] halt is
     reported in the returned info {e and} latches {!halted}. *)
+
+val step_raw : t -> unit
+(** Exactly {!step}, but the result is written into the reusable {!raw}
+    record (read it via {!raw} before the next [step_raw]) and the
+    per-step access trace stays in {!Memory} — consume it with
+    {!Memory.iter_step_trace}. Allocates nothing on the hot path when a
+    decode cache is attached. *)
+
+val raw : t -> raw
+(** The record {!step_raw} writes into. One per CPU; do not retain
+    across steps. *)
 
 val run : t -> max_steps:int -> (step_info -> unit) -> halt_reason option
 (** Step until halt or [max_steps], feeding each step to the callback.

@@ -16,36 +16,85 @@ type device = {
   dev_tick : int -> unit;
 }
 
+let size_bytes = 0x10000
+let page_shift = 8
+let n_pages = size_bytes lsr page_shift
+
+(* The per-step trace is a reusable growable buffer of packed ints
+   (value:16 | addr:16 | kind:2 | size:1) — recording an access is one
+   array store, and a step leaves no garbage behind. [pages] maps each
+   256-byte page to the devices overlapping it (newest first, mirroring
+   the former whole-list search order), so the per-byte device lookup is
+   O(1) for the vast majority of addresses no device claims. *)
 type t = {
   bytes : Bytes.t;
   mutable devices : device list;
-  mutable trace : access list; (* reversed *)
+  pages : device list array;
+  mutable tr : int array;
+  mutable tr_len : int;
+  mutable dcache : Decode_cache.t option;
+  (* dirty map covering [dirty_lo..dirty_hi] (the attached cache's
+     range), one byte per word; empty range until a cache is attached *)
+  mutable dirty : Bytes.t;
+  mutable dirty_lo : int;
+  mutable dirty_hi : int;
 }
 
-let size_bytes = 0x10000
-
 let create () =
-  { bytes = Bytes.make size_bytes '\000'; devices = []; trace = [] }
+  { bytes = Bytes.make size_bytes '\000'; devices = [];
+    pages = Array.make n_pages [];
+    tr = Array.make 64 0; tr_len = 0;
+    dcache = None; dirty = Bytes.empty; dirty_lo = max_int; dirty_hi = -1 }
 
-let attach t d = t.devices <- d :: t.devices
+let mark_dirty_range t lo hi =
+  let lo = max (lo land 0xFFFF) t.dirty_lo
+  and hi = min (hi land 0xFFFF) t.dirty_hi in
+  if lo <= hi then
+    for s = (lo - t.dirty_lo) lsr 1 to (hi - t.dirty_lo) lsr 1 do
+      Bytes.unsafe_set t.dirty s '\001'
+    done
+
+let attach t d =
+  t.devices <- d :: t.devices;
+  for p = (d.dev_lo land 0xFFFF) lsr page_shift
+      to (d.dev_hi land 0xFFFF) lsr page_shift do
+    t.pages.(p) <- d :: t.pages.(p)
+  done;
+  (* device-claimed bytes must never be served from the decode cache:
+     their reads can have side effects the cache would skip *)
+  mark_dirty_range t d.dev_lo d.dev_hi
 
 let tick t n = List.iter (fun d -> d.dev_tick n) t.devices
 
-let device_at t addr =
-  List.find_opt (fun d -> addr >= d.dev_lo && addr <= d.dev_hi) t.devices
+let rec find_dev addr l =
+  match l with
+  | [] -> None
+  | d :: rest ->
+    if addr >= d.dev_lo && addr <= d.dev_hi then Some d else find_dev addr rest
 
-let backing_get t addr = Char.code (Bytes.get t.bytes (addr land 0xFFFF))
+let device_at t addr =
+  match Array.unsafe_get t.pages ((addr land 0xFFFF) lsr page_shift) with
+  | [] -> None
+  | l -> find_dev addr l
+
+let backing_get t addr = Char.code (Bytes.unsafe_get t.bytes (addr land 0xFFFF))
 
 let backing_set t addr v =
-  Bytes.set t.bytes (addr land 0xFFFF) (Char.chr (v land 0xFF))
+  let addr = addr land 0xFFFF in
+  Bytes.unsafe_set t.bytes addr (Char.unsafe_chr (v land 0xFF));
+  if addr >= t.dirty_lo && addr <= t.dirty_hi then
+    Bytes.unsafe_set t.dirty ((addr - t.dirty_lo) lsr 1) '\001'
 
 let raw_read8 t addr =
-  match device_at t addr with
-  | Some d ->
-    (match d.dev_read addr with
-     | Some v -> Word.mask8 v
+  match Array.unsafe_get t.pages ((addr land 0xFFFF) lsr page_shift) with
+  | [] -> backing_get t addr
+  | l ->
+    (match find_dev addr l with
+     | Some d ->
+       (match d.dev_read addr with
+        | Some v -> Word.mask8 v
+        | None -> backing_get t addr)
      | None -> backing_get t addr)
-  | None -> backing_get t addr
 
 let raw_write8 t addr v =
   (* Mirror device writes into backing RAM so attestation and host dumps
@@ -69,12 +118,53 @@ let poke16 t addr v =
   backing_set t (addr + 1) (Word.high_byte v)
 
 let load_image t ~addr s =
-  String.iteri (fun i c -> backing_set t (addr + i) (Char.code c)) s
+  let addr = addr land 0xFFFF in
+  let len = String.length s in
+  if addr + len <= size_bytes then begin
+    Bytes.blit_string s 0 t.bytes addr len;
+    if len > 0 then mark_dirty_range t addr (addr + len - 1)
+  end
+  else String.iteri (fun i c -> backing_set t (addr + i) (Char.code c)) s
 
 let dump t ~addr ~len = String.init len (fun i -> Bytes.get t.bytes ((addr + i) land 0xFFFF))
 
+(* --- per-step access trace ------------------------------------------ *)
+
+let kind_code k = match k with Fetch -> 0 | Read -> 1 | Write -> 2
+let size_code (s : Isa.size) = match s with Isa.Byte -> 0 | Isa.Word -> 1
+
 let record t kind addr size value =
-  t.trace <- { kind; addr; size; value } :: t.trace
+  let n = t.tr_len in
+  if n = Array.length t.tr then begin
+    let bigger = Array.make (2 * n) 0 in
+    Array.blit t.tr 0 bigger 0 n;
+    t.tr <- bigger
+  end;
+  Array.unsafe_set t.tr n
+    (value lor (addr lsl 16) lor (kind_code kind lsl 32)
+     lor (size_code size lsl 34));
+  t.tr_len <- n + 1
+
+let begin_step t = t.tr_len <- 0
+
+let unpack p =
+  { kind = (match (p lsr 32) land 0x3 with 0 -> Fetch | 1 -> Read | _ -> Write);
+    addr = (p lsr 16) land 0xFFFF;
+    size = (if (p lsr 34) land 1 = 0 then Isa.Byte else Isa.Word);
+    value = p land 0xFFFF }
+
+let step_trace t = List.init t.tr_len (fun i -> unpack (Array.unsafe_get t.tr i))
+
+let iter_step_trace t f =
+  for i = 0 to t.tr_len - 1 do
+    let p = Array.unsafe_get t.tr i in
+    f (match (p lsr 32) land 0x3 with 0 -> Fetch | 1 -> Read | _ -> Write)
+      ((p lsr 16) land 0xFFFF)
+      (if (p lsr 34) land 1 = 0 then Isa.Byte else Isa.Word)
+      (p land 0xFFFF)
+  done
+
+(* --- CPU access ----------------------------------------------------- *)
 
 let read t size addr =
   let addr, value =
@@ -110,5 +200,35 @@ let fetch_word t addr =
   record t Fetch addr Isa.Word value;
   value
 
-let begin_step t = t.trace <- []
-let step_trace t = List.rev t.trace
+(* --- decode cache --------------------------------------------------- *)
+
+let attach_code_cache t c =
+  t.dcache <- Some c;
+  t.dirty <-
+    Bytes.make (((Decode_cache.hi c - Decode_cache.lo c) lsr 1) + 1) '\000';
+  t.dirty_lo <- Decode_cache.lo c;
+  t.dirty_hi <- Decode_cache.hi c;
+  List.iter (fun d -> mark_dirty_range t d.dev_lo d.dev_hi) t.devices
+
+let cached_decode t pc =
+  match t.dcache with
+  | None -> None
+  | Some c ->
+    if pc < t.dirty_lo || pc > t.dirty_hi || pc land 1 <> 0 then None
+    else begin
+      let s = (pc - t.dirty_lo) lsr 1 in
+      match Array.unsafe_get (Decode_cache.entries c) s with
+      | None -> None
+      | Some e as hit ->
+        (* every word the encoding covers must be neither written since
+           load nor claimed by a device *)
+        let d = t.dirty in
+        if
+          Bytes.unsafe_get d s = '\000'
+          && (e.Decode_cache.dc_len <= 2
+              || (Bytes.unsafe_get d (s + 1) = '\000'
+                  && (e.Decode_cache.dc_len <= 4
+                      || Bytes.unsafe_get d (s + 2) = '\000')))
+        then hit
+        else None
+    end

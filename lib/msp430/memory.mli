@@ -67,4 +67,30 @@ val begin_step : t -> unit
 (** Clear the per-step access trace. *)
 
 val step_trace : t -> access list
-(** Accesses recorded since the last {!begin_step}, in program order. *)
+(** Accesses recorded since the last {!begin_step}, in program order.
+    Allocates a fresh list; prefer {!iter_step_trace} on hot paths. *)
+
+val iter_step_trace : t -> (access_kind -> int -> Isa.size -> int -> unit) -> unit
+(** [iter_step_trace t f] calls [f kind addr size value] for each access
+    recorded since the last {!begin_step}, in program order, without
+    allocating. *)
+
+(** {1 Decode cache}
+
+    Pairing a {!Decode_cache.t} with this memory gives the CPU a
+    predecoded fast path for instruction fetch. The memory tracks a
+    per-word dirty map: any byte written through {!write}/{!poke8}/
+    {!load_image} after the cache is attached, and any byte claimed by
+    an attached device, permanently invalidates the covering slots, so
+    self-modifying or device-shadowed code falls back to the bit-exact
+    byte-level fetch path. *)
+
+val attach_code_cache : t -> Decode_cache.t -> unit
+(** Attach a predecoded table (built from the same loaded image) and
+    reset the dirty map. Call after the image is loaded; bytes inside
+    already-attached device ranges are marked dirty immediately. *)
+
+val cached_decode : t -> int -> Decode_cache.entry option
+(** Fast-path lookup for the instruction at [pc]: [Some e] only when a
+    cache is attached, [pc] is even, and no word of the cached encoding
+    has been dirtied. Allocation-free on both hit and miss. *)

@@ -1,7 +1,7 @@
 type entry = {
   t_index : int;
   t_pc : int;
-  t_instr : Isa.instr;
+  t_instr : Isa.instr option;
   t_pc_after : int;
   t_accesses : Memory.access list;
   t_cycles : int;
@@ -55,7 +55,9 @@ let coverage t ~static_starts =
 
 let pp_entry ppf e =
   Format.fprintf ppf "%6d  %04x:  %-28s" e.t_index e.t_pc
-    (Format.asprintf "%a" Isa.pp e.t_instr);
+    (match e.t_instr with
+     | Some i -> Format.asprintf "%a" Isa.pp i
+     | None -> "<no instruction>");
   List.iter
     (fun a ->
        match a.Memory.kind with

@@ -7,7 +7,7 @@
 type entry = {
   t_index : int;
   t_pc : int;
-  t_instr : Isa.instr;
+  t_instr : Isa.instr option;  (** [None]: IRQ vectoring or bad opcode *)
   t_pc_after : int;
   t_accesses : Memory.access list;
   t_cycles : int;

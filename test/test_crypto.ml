@@ -19,7 +19,14 @@ let test_sha256_vectors () =
        (Sha256.digest "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
   check_str "million a"
     "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
-    (Sha256.hex (Sha256.digest (String.make 1_000_000 'a')))
+    (Sha256.hex (Sha256.digest (String.make 1_000_000 'a')));
+  (* NIST 896-bit (two-block) message *)
+  check_str "896-bit message"
+    "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1"
+    (Sha256.hex
+       (Sha256.digest
+          "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+           ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"))
 
 let test_sha256_block_boundaries () =
   (* lengths straddling the 55/56/64-byte padding boundaries *)
@@ -84,6 +91,40 @@ let test_verify () =
   Alcotest.(check bool) "rejects wrong key" false
     (Hmac.verify ~key:"other" ~msg ~tag)
 
+let test_copy_independence () =
+  (* [update] mutates in place, so forks must be taken with [copy] — and
+     a fork must never disturb its origin or siblings *)
+  let base = Sha256.update (Sha256.init ()) "shared prefix " in
+  let left = Sha256.copy base and right = Sha256.copy base in
+  check_str "left branch"
+    (Sha256.hex (Sha256.digest "shared prefix left"))
+    (Sha256.hex (Sha256.finalize (Sha256.update left "left")));
+  check_str "right branch"
+    (Sha256.hex (Sha256.digest "shared prefix right"))
+    (Sha256.hex (Sha256.finalize (Sha256.update right "right")));
+  (* finalize is non-destructive: a finalized ctx can keep absorbing *)
+  check_str "continue after finalize"
+    (Sha256.hex (Sha256.digest "shared prefix left-more"))
+    (Sha256.hex (Sha256.finalize (Sha256.update left "-more")));
+  (* and the origin never saw any of it *)
+  check_str "origin undisturbed"
+    (Sha256.hex (Sha256.digest "shared prefix tail"))
+    (Sha256.hex (Sha256.finalize (Sha256.update base "tail")))
+
+let test_key_state () =
+  let key = String.make 20 '\x0b' in
+  let ks = Hmac.key_state ~key in
+  check_str "key_state = mac"
+    (Hmac.hex (Hmac.mac ~key "Hi There"))
+    (Hmac.hex (Hmac.mac_with ks "Hi There"));
+  check_str "key_state parts = mac"
+    (Hmac.hex (Hmac.mac ~key "Hi There"))
+    (Hmac.hex (Hmac.mac_parts_with ks [ "Hi "; "There" ]));
+  (* the precomputed state is reusable across messages *)
+  check_str "key_state reuse"
+    (Hmac.hex (Hmac.mac ~key "second message"))
+    (Hmac.hex (Hmac.mac_with ks "second message"))
+
 let prop_incremental_equals_oneshot =
   QCheck.Test.make ~name:"incremental = one-shot" ~count:200
     QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 300)) (int_range 0 300))
@@ -92,6 +133,24 @@ let prop_incremental_equals_oneshot =
        let a = String.sub s 0 cut and b = String.sub s cut (String.length s - cut) in
        Sha256.finalize (Sha256.update (Sha256.update (Sha256.init ()) a) b)
        = Sha256.digest s)
+
+let prop_partition_equals_oneshot =
+  (* any way of slicing a message into consecutive chunks and streaming
+     them through [update] must give the one-shot digest *)
+  QCheck.Test.make ~name:"random partition = one-shot" ~count:300
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 0 400))
+              (list_of_size (QCheck.Gen.int_range 0 12) (int_range 0 400)))
+    (fun (s, cuts) ->
+       let n = String.length s in
+       let cuts = List.sort_uniq compare (0 :: n :: List.map (fun c -> min c n) cuts) in
+       let rec chunks = function
+         | a :: (b :: _ as rest) -> String.sub s a (b - a) :: chunks rest
+         | _ -> []
+       in
+       let ctx =
+         List.fold_left Sha256.update (Sha256.init ()) (chunks cuts)
+       in
+       Sha256.finalize ctx = Sha256.digest s)
 
 let prop_distinct_messages_distinct_macs =
   QCheck.Test.make ~name:"mac respects message identity" ~count:200
@@ -107,6 +166,9 @@ let suites =
        Alcotest.test_case "sha256 incremental" `Quick test_incremental;
        Alcotest.test_case "hmac RFC 4231" `Quick test_hmac_rfc4231;
        Alcotest.test_case "mac_parts" `Quick test_mac_parts;
+       Alcotest.test_case "ctx copy independence" `Quick test_copy_independence;
+       Alcotest.test_case "precomputed key state" `Quick test_key_state;
        Alcotest.test_case "verify" `Quick test_verify ]
      @ List.map QCheck_alcotest.to_alcotest
-         [ prop_incremental_equals_oneshot; prop_distinct_messages_distinct_macs ]) ]
+         [ prop_incremental_equals_oneshot; prop_partition_equals_oneshot;
+           prop_distinct_messages_distinct_macs ]) ]

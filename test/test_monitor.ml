@@ -13,7 +13,7 @@ let layout =
 
 (* a synthetic retired instruction *)
 let step ?(writes = []) ?(irq = false) pc_before pc_after =
-  { Cpu.pc_before; instr = M.Isa.Reti (* irrelevant to the monitor *);
+  { Cpu.pc_before; instr = None (* irrelevant to the monitor *);
     pc_after;
     accesses =
       List.map

@@ -1,0 +1,219 @@
+(* Replay-engine equivalence: the optimized engine (predecoded ER,
+   packed trace buffer, [keep_trace:false]) must be verdict-identical to
+   the reference path (fresh byte-level decode, full step retention) on
+   benign and adversarial reports, and the fleet engine must agree
+   regardless of domain count.
+
+   Also pins the bad-opcode regression: a report whose replay fetches an
+   undecodable word must be rejected with [Replay_failed] only — the old
+   engine materialized a placeholder instruction for the faulting step
+   and could file a spurious shadow-stack finding on top. *)
+
+module M = Dialed_msp430
+module A = Dialed_apex
+module C = Dialed_core
+module F = Dialed_fleet
+module Apps = Dialed_apps.Apps
+module Asm_parse = M.Asm_parse
+module Hmac = Dialed_crypto.Hmac
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* re-MAC a doctored report with the device key (Pox.issue binding order) *)
+let le16 v =
+  Printf.sprintf "%c%c" (Char.chr (v land 0xFF))
+    (Char.chr ((v lsr 8) land 0xFF))
+
+let forge_token built (r : A.Pox.report) =
+  let token =
+    Hmac.mac_parts ~key:A.Device.default_key
+      [ r.A.Pox.challenge;
+        le16 r.A.Pox.er_min; le16 r.A.Pox.er_max; le16 r.A.Pox.er_exit;
+        le16 r.A.Pox.or_min; le16 r.A.Pox.or_max;
+        (if r.A.Pox.exec then "\001" else "\000");
+        built.C.Pipeline.expected_er;
+        r.A.Pox.or_data ]
+  in
+  { r with A.Pox.token }
+
+let flip_or_word ~re_mac built (report : A.Pox.report) k =
+  let off = report.A.Pox.or_max - (2 * k) - report.A.Pox.or_min in
+  let or_data = Bytes.of_string report.A.Pox.or_data in
+  Bytes.set or_data off
+    (Char.chr (Char.code (Bytes.get or_data off) lxor 0x80));
+  let r = { report with A.Pox.or_data = Bytes.to_string or_data } in
+  if re_mac then forge_token built r else r
+
+(* benign fire-sensor run plus tampered variants covering every verdict
+   class: accept, bad-token, log-divergence, malformed/replay-failed *)
+let corpus =
+  lazy
+    (let run = Apps.run Apps.fire_sensor in
+     let built = run.Apps.built in
+     let report = A.Device.attest run.Apps.device ~challenge:"equiv" in
+     ( built,
+       [ ("benign", report);
+         ("bit flip, no key", flip_or_word ~re_mac:false built report 10);
+         ("entry flip, forged MAC", flip_or_word ~re_mac:true built report 10);
+         ("F3 frame flip, forged MAC", flip_or_word ~re_mac:true built report 0);
+         ("truncated, forged MAC",
+          forge_token built
+            { report with
+              A.Pox.or_data = String.sub report.A.Pox.or_data 0 17 }) ] ))
+
+let signature outcome =
+  ( outcome.C.Verifier.accepted,
+    outcome.C.Verifier.findings,
+    match outcome.C.Verifier.trace with
+    | Some t -> t.C.Verifier.step_count
+    | None -> -1 )
+
+(* Outcomes must agree across decode_cache on/off x keep_trace on/off.
+   The reference point is (fresh decode, keep_trace=true) — the engine
+   the seed shipped. *)
+let test_cache_and_trace_equivalence () =
+  let built, reports = Lazy.force corpus in
+  let reference_plan = C.Verifier.plan ~decode_cache:false built in
+  let cached_plan = C.Verifier.plan built in
+  List.iter
+    (fun (name, report) ->
+       let reference =
+         signature (C.Verifier.verify_plan reference_plan report)
+       in
+       List.iter
+         (fun (cfg, plan, keep_trace) ->
+            check_bool
+              (Printf.sprintf "%s: %s matches reference" name cfg)
+              true
+              (signature (C.Verifier.verify_plan ~keep_trace plan report)
+               = reference))
+         [ ("fresh decode, no trace", reference_plan, false);
+           ("cached decode, trace", cached_plan, true);
+           ("cached decode, no trace", cached_plan, false) ])
+    reports
+
+(* With keep_trace the cached path must also retell the same story
+   step-by-step; only Fetch accesses may differ (the predecoded fast
+   path never performs the byte-level fetch, so it records none). *)
+let test_step_equivalence_modulo_fetch () =
+  let built, reports = Lazy.force corpus in
+  let benign = List.assoc "benign" reports in
+  let steps plan =
+    match (C.Verifier.verify_plan plan benign).C.Verifier.trace with
+    | Some t -> t.C.Verifier.steps
+    | None -> Alcotest.fail "benign replay produced no trace"
+  in
+  let fresh = steps (C.Verifier.plan ~decode_cache:false built) in
+  let cached = steps (C.Verifier.plan built) in
+  check_int "same number of steps" (List.length fresh) (List.length cached);
+  List.iter2
+    (fun (a : C.Verifier.step) (b : C.Verifier.step) ->
+       let non_fetch s =
+         List.filter
+           (fun (acc : M.Memory.access) ->
+              match acc.M.Memory.kind with
+              | M.Memory.Fetch -> false
+              | M.Memory.Read | M.Memory.Write -> true)
+           s.C.Verifier.s_accesses
+       in
+       check_bool
+         (Printf.sprintf "step %d identical modulo fetches" a.C.Verifier.s_index)
+         true
+         (a.C.Verifier.s_index = b.C.Verifier.s_index
+          && a.C.Verifier.s_pc = b.C.Verifier.s_pc
+          && a.C.Verifier.s_instr = b.C.Verifier.s_instr
+          && a.C.Verifier.s_pc_after = b.C.Verifier.s_pc_after
+          && non_fetch a = non_fetch b))
+    fresh cached
+
+(* Fleet: verdicts independent of the domain count, with the batch path
+   running keep_trace=false over the shared cached plan. *)
+let test_fleet_domains_equivalence () =
+  let built, reports = Lazy.force corpus in
+  let batch =
+    List.concat_map
+      (fun i ->
+         List.map
+           (fun (name, r) -> (Printf.sprintf "%s #%d" name i, r))
+           reports)
+      [ 0; 1 ]
+  in
+  let plan = F.Plan.of_built built in
+  let one = F.Fleet.verify_batch ~domains:1 plan batch in
+  let four = F.Fleet.verify_batch ~domains:4 ~chunk:2 plan batch in
+  check_int "verdict count" (List.length batch)
+    (List.length one.F.Fleet.verdicts);
+  List.iter2
+    (fun (a : F.Fleet.verdict) (b : F.Fleet.verdict) ->
+       check_bool
+         (Printf.sprintf "%s: domains 1 = domains 4" a.F.Fleet.device_id)
+         true
+         (a.F.Fleet.device_id = b.F.Fleet.device_id
+          && a.F.Fleet.accepted = b.F.Fleet.accepted
+          && a.F.Fleet.findings = b.F.Fleet.findings
+          && a.F.Fleet.replay_steps = b.F.Fleet.replay_steps))
+    one.F.Fleet.verdicts four.F.Fleet.verdicts
+
+(* ---------------------------------------------------------------- *)
+(* Bad-opcode regression.                                            *)
+
+let bad_opcode_op = {|
+    entry:
+        .word 0x1380              ; undecodable; faults before the exit
+        br #__op_exit
+    |}
+
+let test_bad_opcode_no_spurious_shadow_stack () =
+  let built = C.Pipeline.build ~op:(Asm_parse.parse bad_opcode_op) () in
+  let device = C.Pipeline.device built in
+  let result = A.Device.run_operation device in
+  check_bool "device run faults" true (not result.A.Device.completed);
+  (* a key-holding attacker claims the faulting run completed *)
+  let report = A.Device.attest device ~challenge:"bad-opcode" in
+  let forged = forge_token built { report with A.Pox.exec = true } in
+  let outcome = C.Verifier.verify_plan (C.Verifier.plan built) forged in
+  check_bool "rejected" true (not outcome.C.Verifier.accepted);
+  check_bool "replay failure names the opcode" true
+    (List.exists
+       (fun f ->
+          match f with
+          | C.Verifier.Replay_failed msg ->
+            String.length msg >= 25
+            && String.sub msg 11 14 = "invalid opcode"
+          | _ -> false)
+       outcome.C.Verifier.findings);
+  check_bool "no spurious shadow-stack finding" true
+    (not
+       (List.exists
+          (fun f ->
+             match f with
+             | C.Verifier.Shadow_stack_violation _ -> true
+             | _ -> false)
+          outcome.C.Verifier.findings));
+  (* the faulting step retired no instruction and must say so *)
+  (match outcome.C.Verifier.trace with
+   | None -> Alcotest.fail "expected a trace from the failed replay"
+   | Some t ->
+     (match List.rev t.C.Verifier.steps with
+      | last :: _ ->
+        check_bool "faulting step has s_instr = None" true
+          (last.C.Verifier.s_instr = None)
+      | [] -> Alcotest.fail "expected at least one replayed step"));
+  (* the same fault under the cacheless plan tells the same story *)
+  let reference =
+    C.Verifier.verify_plan (C.Verifier.plan ~decode_cache:false built) forged
+  in
+  check_bool "reference path agrees" true
+    (reference.C.Verifier.findings = outcome.C.Verifier.findings)
+
+let suites =
+  [ ("replay-equiv",
+     [ Alcotest.test_case "verdicts: cache x trace retention" `Quick
+         test_cache_and_trace_equivalence;
+       Alcotest.test_case "steps identical modulo fetches" `Quick
+         test_step_equivalence_modulo_fetch;
+       Alcotest.test_case "fleet: domains 1 = domains 4" `Quick
+         test_fleet_domains_equivalence;
+       Alcotest.test_case "bad opcode: no spurious shadow stack" `Quick
+         test_bad_opcode_no_spurious_shadow_stack ]) ]
