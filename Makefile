@@ -1,12 +1,16 @@
 # Convenience wrappers around dune; `dune` remains the source of truth.
 
-.PHONY: build test bench bench-replay bench-fleet examples clean
+.PHONY: build test lint bench bench-replay bench-fleet bench-lint examples clean
 
 build:
 	dune build @all
 
 test:
 	dune runtest --force
+
+# Static audit of every bundled instrumented binary (nonzero on findings)
+lint:
+	dune exec bin/dialed_cli.exe -- lint --all
 
 # Full paper regeneration (Table I, Fig. 6(a)-(c), ablations, ...)
 bench:
@@ -19,6 +23,10 @@ bench-replay:
 # Just the fleet-verification throughput experiment
 bench-fleet:
 	dune exec bench/main.exe -- fleet
+
+# Static-audit cost per binary (BENCH_lint.json)
+bench-lint:
+	dune exec bench/main.exe -- lint
 
 examples:
 	dune exec examples/quickstart.exe

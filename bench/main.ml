@@ -4,7 +4,7 @@
    itself.
 
    Run everything:        dune exec bench/main.exe
-   One experiment:        dune exec bench/main.exe -- table1|fig6a|fig6b|fig6c|ablations|micro|replay|fleet|shapes
+   One experiment:        dune exec bench/main.exe -- table1|fig6a|fig6b|fig6c|ablations|micro|replay|fleet|lint|shapes
 *)
 
 module M = Dialed_msp430
@@ -445,6 +445,73 @@ let fleet () =
   printf "wrote BENCH_fleet.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Static audit throughput: the lint pass the verifier runs once per
+   distinct firmware fingerprint before admitting it to the plan cache.
+   Writes BENCH_lint.json.                                             *)
+
+module S = Dialed_staticcheck
+
+let lint_bench () =
+  section "Static audit: lint cost per binary (one audit per fingerprint)";
+  let bounded =
+    { S.Audit.default_config with S.Audit.loop_bound = Some 64 }
+  in
+  let rows =
+    List.map
+      (fun (app : Apps.app) ->
+         let built = Apps.build app in
+         (* the gate configuration the fleet plan cache runs *)
+         let r = C.Verifier.audit_built built in
+         assert (S.Report.ok r);
+         let t = time_per_call (fun () -> C.Verifier.audit_built built) in
+         (* footprint figure under a 64-iteration loop policy (may exceed
+            the OR capacity; that is the point of reporting it) *)
+         let rb = C.Verifier.audit_built ~config:bounded built in
+         (app, r, rb, t))
+      Apps.all
+  in
+  let growth_str = function
+    | S.Report.Bounded n -> Printf.sprintf "%d entries" n
+    | S.Report.Unbounded why -> "unbounded: " ^ why
+  in
+  printf "%-18s %8s %10s %10s %8s %8s %16s@." "application" "ER (B)"
+    "audit us" "us/KiB" "cf" "input" "worst-case log";
+  List.iter
+    (fun ((app : Apps.app), r, rb, t) ->
+       let st = r.S.Report.stats in
+       let us = t *. 1e6 in
+       printf "%-18s %8d %10.1f %10.1f %8d %8d %16s@." app.Apps.name
+         st.S.Report.er_bytes us
+         (us /. (float_of_int st.S.Report.er_bytes /. 1024.0))
+         st.S.Report.cf_sites st.S.Report.input_sites
+         (growth_str rb.S.Report.stats.S.Report.footprint))
+    rows;
+  write_file "BENCH_lint.json"
+    (Printf.sprintf
+       "{\n\
+       \  \"experiment\": \"static_audit\",\n\
+       \  \"loop_bound\": 64,\n\
+       \  \"apps\": [%s\n  ]\n\
+        }\n"
+       (String.concat ","
+          (List.map
+             (fun ((app : Apps.app), r, rb, t) ->
+                let st = r.S.Report.stats in
+                let us = t *. 1e6 in
+                Printf.sprintf
+                  "\n    { \"app\": %S, \"er_bytes\": %d, \"audit_us\": %.1f,\n\
+                  \      \"us_per_kib\": %.1f, \"cf_sites\": %d, \
+                   \"input_sites\": %d,\n\
+                  \      \"worst_case_log\": %S, \"clean\": %b }"
+                  app.Apps.name st.S.Report.er_bytes us
+                  (us /. (float_of_int st.S.Report.er_bytes /. 1024.0))
+                  st.S.Report.cf_sites st.S.Report.input_sites
+                  (growth_str rb.S.Report.stats.S.Report.footprint)
+                  (S.Report.ok r))
+             rows)));
+  printf "@.wrote BENCH_lint.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let shape_check () =
   section "Shape check against the paper's reported trends";
@@ -484,7 +551,7 @@ let () =
     [ ("table1", table1); ("fig6a", fig6a); ("fig6b", fig6b);
       ("fig6c", fig6c); ("ablations", ablations); ("breakdown", breakdown);
       ("swatt", swatt_bench); ("micro", micro); ("replay", replay_bench);
-      ("fleet", fleet); ("shapes", shape_check) ]
+      ("fleet", fleet); ("lint", lint_bench); ("shapes", shape_check) ]
   in
   match Array.to_list Sys.argv with
   | _ :: ((_ :: _) as picks) ->

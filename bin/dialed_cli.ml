@@ -8,12 +8,15 @@
      dialed fleet    [--app NAME (default fire-sensor)] [--count N]
                      [--domains D] [--tamper K]
      dialed disasm   [--app NAME] [--variant V]
+     dialed lint     [--app NAME | --file F | --all] [--variant V] [--json]
+                     [--loop-bound K] [--require-bounded]
 *)
 
 module M = Dialed_msp430
 module A = Dialed_apex
 module C = Dialed_core
 module F = Dialed_fleet
+module S = Dialed_staticcheck
 module Apps = Dialed_apps.Apps
 module Minic = Dialed_minic.Minic
 
@@ -314,6 +317,91 @@ let fleet_cmd =
             (const run $ app_arg $ file_arg $ entry_arg $ args_arg $ count_arg
              $ domains_arg $ tamper_arg))
 
+let lint_cmd =
+  let all_arg =
+    let doc = "Audit every bundled application." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Emit the reports as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let loop_bound_arg =
+    let doc =
+      "Assume every loop iterates at most $(docv) times when bounding the \
+       worst-case log footprint."
+    in
+    Arg.(value & opt (some int) None & info [ "loop-bound" ] ~docv:"K" ~doc)
+  in
+  let require_bounded_arg =
+    let doc = "Treat an unbounded worst-case log footprint as a finding." in
+    Arg.(value & flag & info [ "require-bounded" ] ~doc)
+  in
+  let run app file entry variant all json loop_bound require_bounded =
+    wrap (fun () ->
+        let config =
+          { S.Audit.default_config with
+            S.Audit.loop_bound; S.Audit.require_bounded }
+        in
+        let targets =
+          if all then
+            Ok (List.map
+                  (fun (name, a) -> (name, a.Apps.source, a.Apps.entry, Some a))
+                  apps_by_name)
+          else
+            match load_source app file entry with
+            | Error e -> Error e
+            | Ok (source, entry, a) ->
+              let name =
+                match a, file with
+                | Some a, _ -> a.Apps.name
+                | None, Some f -> f
+                | None, None -> "stdin"
+              in
+              Ok [ (name, source, entry, a) ]
+        in
+        match targets with
+        | Error e -> Error e
+        | Ok targets ->
+          let reports =
+            List.map
+              (fun (name, source, entry, a) ->
+                 let built = build_from source entry a variant in
+                 (name, C.Verifier.audit_built ~config built))
+              targets
+          in
+          if json then
+            Format.printf "[%s]@."
+              (String.concat ","
+                 (List.map
+                    (fun (name, r) ->
+                       Printf.sprintf "{\"app\":%S,\"report\":%s}" name
+                         (S.Report.to_json r))
+                    reports))
+          else
+            List.iter
+              (fun (name, r) ->
+                 Format.printf "%s: %s@." name (S.Report.summary r);
+                 if not (S.Report.ok r) then Format.printf "%a" S.Report.pp r)
+              reports;
+          let bad =
+            List.filter (fun (_, r) -> not (S.Report.ok r)) reports
+          in
+          match bad with
+          | [] -> Ok ()
+          | [ _ ] -> Error (`Msg "static audit rejected 1 binary")
+          | _ ->
+            Error
+              (`Msg (Printf.sprintf "static audit rejected %d binaries"
+                       (List.length bad))))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically audit an instrumented binary (nonzero exit on findings)")
+    Term.(term_result
+            (const run $ app_arg $ file_arg $ entry_arg $ variant_arg $ all_arg
+             $ json_arg $ loop_bound_arg $ require_bounded_arg))
+
 let () =
   let default =
     Term.(ret (const (`Help (`Pager, None))))
@@ -326,4 +414,4 @@ let () =
     (Cmd.eval
        (Cmd.group ~default info
           [ list_cmd; compile_cmd; instrument_cmd; disasm_cmd; run_cmd;
-            attest_cmd; fleet_cmd ]))
+            attest_cmd; fleet_cmd; lint_cmd ]))

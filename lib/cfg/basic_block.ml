@@ -21,6 +21,8 @@ type t = {
   cfg_blocks : block list;
   cfg_entry : int;
   instr_starts : (int, unit) Hashtbl.t;
+  by_start : (int, block) Hashtbl.t;          (* O(1) block_at *)
+  sorted : block array;                       (* by b_start, for containment *)
 }
 
 (* Control-flow classification of a single instruction. *)
@@ -56,18 +58,7 @@ let classify addr instr next =
 
 let build mem ~lo ~hi ~entry =
   (* decode the whole range *)
-  let instrs = ref [] in
-  let addr = ref lo in
-  (try
-     while !addr <= hi do
-       match M.Disasm.instruction_at mem !addr with
-       | None -> raise Exit
-       | Some (instr, next) ->
-         instrs := (!addr, instr, next) :: !instrs;
-         addr := next
-     done
-   with Exit -> ());
-  let instrs = List.rev !instrs in
+  let instrs, _stopped = M.Disasm.sweep mem ~lo ~hi in
   let instr_starts = Hashtbl.create 64 in
   List.iter (fun (a, _, _) -> Hashtbl.replace instr_starts a ()) instrs;
   (* leader detection *)
@@ -111,15 +102,34 @@ let build mem ~lo ~hi ~entry =
        | CF_halt -> flush Halt)
     instrs;
   flush Halt; (* trailing straight-line code: treat as end *)
-  { cfg_blocks = List.rev !blocks; cfg_entry = entry; instr_starts }
+  let cfg_blocks = List.rev !blocks in
+  let by_start = Hashtbl.create (List.length cfg_blocks * 2) in
+  List.iter (fun b -> Hashtbl.replace by_start b.b_start b) cfg_blocks;
+  let sorted = Array.of_list cfg_blocks in
+  Array.sort (fun a b -> compare a.b_start b.b_start) sorted;
+  { cfg_blocks; cfg_entry = entry; instr_starts; by_start; sorted }
 
 let blocks t = t.cfg_blocks
 let entry t = t.cfg_entry
 
-let block_at t a = List.find_opt (fun b -> b.b_start = a) t.cfg_blocks
+let block_at t a = Hashtbl.find_opt t.by_start a
 
+(* binary search: rightmost block starting at or below [a] *)
 let block_containing t a =
-  List.find_opt (fun b -> a >= b.b_start && a <= b.b_last) t.cfg_blocks
+  let n = Array.length t.sorted in
+  let lo = ref 0 and hi = ref (n - 1) and found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let b = t.sorted.(mid) in
+    if b.b_start <= a then begin
+      found := Some b;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  match !found with
+  | Some b when a <= b.b_last -> Some b
+  | _ -> None
 
 let successors t a =
   match block_at t a with

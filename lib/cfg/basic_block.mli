@@ -32,9 +32,10 @@ val blocks : t -> block list
 val entry : t -> int
 
 val block_at : t -> int -> block option
-(** The block starting at this address. *)
+(** The block starting at this address. O(1). *)
 
 val block_containing : t -> int -> block option
+(** The block whose address range covers this address. O(log n). *)
 
 val successors : t -> int -> int list
 (** Static successor block-start addresses of the block at this address
@@ -48,4 +49,5 @@ val is_instruction_start : t -> int -> bool
 (** Whether the address is the start of a decoded instruction (jumping
     anywhere else is an illegal edge by construction). *)
 
+val pp_term : Format.formatter -> terminator -> unit
 val pp : Format.formatter -> t -> unit

@@ -10,7 +10,9 @@ let pp_error ppf e =
   match e with
   | Illegal_edge { at; dest; allowed } ->
     Format.fprintf ppf "illegal edge at 0x%04x -> 0x%04x (allowed:%a)" at dest
-      (Format.pp_print_list (fun ppf a -> Format.fprintf ppf " 0x%04x" a))
+      (Format.pp_print_list
+         ~pp_sep:(fun _ () -> ())
+         (fun ppf a -> Format.fprintf ppf " 0x%04x" a))
       allowed
   | Bad_return { at; dest; expected = Some e } ->
     Format.fprintf ppf "return at 0x%04x to 0x%04x, call site expects 0x%04x"

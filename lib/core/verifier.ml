@@ -6,8 +6,10 @@ module P = M.Program
 module Assemble = M.Assemble
 module A = Dialed_apex
 module Hmac = Dialed_crypto.Hmac
+module S = Dialed_staticcheck
 
 type finding =
+  | Bad_instrumentation of string
   | Bad_token of string
   | Wrong_layout of string
   | Log_divergence of {
@@ -24,6 +26,7 @@ type finding =
 
 let finding_kind f =
   match f with
+  | Bad_instrumentation _ -> "bad-instrumentation"
   | Bad_token _ -> "bad-token"
   | Wrong_layout _ -> "wrong-layout"
   | Log_divergence _ -> "log-divergence"
@@ -34,6 +37,8 @@ let finding_kind f =
 
 let pp_finding ppf f =
   match f with
+  | Bad_instrumentation msg ->
+    Format.fprintf ppf "static audit rejected the binary: %s" msg
   | Bad_token msg -> Format.fprintf ppf "token rejected: %s" msg
   | Wrong_layout msg -> Format.fprintf ppf "layout mismatch: %s" msg
   | Log_divergence { step; pc; addr; device_value; replay_value } ->
@@ -107,10 +112,21 @@ type plan = {
   plan_caller_ret : int;
   plan_policies : policy list;
   plan_max_steps : int;
+  plan_audit : S.Report.t option;
 }
 
+(* Run the static auditor over an assembled build: load the image into a
+   scratch memory and audit the ER range by its bytes alone. *)
+let audit_built ?config built =
+  let scratch = Memory.create () in
+  Assemble.load built.Pipeline.image scratch;
+  let open A.Layout in
+  let l = built.Pipeline.layout in
+  S.Audit.audit ?config ~mem:scratch ~er_min:l.er_min ~er_max:l.er_max
+    ~or_min:l.or_min ~or_max:l.or_max ()
+
 let plan ?(key = A.Device.default_key) ?(policies = [])
-    ?(max_steps = 2_000_000) ?(decode_cache = true) built =
+    ?(max_steps = 2_000_000) ?(decode_cache = true) ?audit built =
   (match built.Pipeline.variant with
    | Pipeline.Full -> ()
    | v ->
@@ -143,20 +159,36 @@ let plan ?(key = A.Device.default_key) ?(policies = [])
          sites.((addr land 0xFFFF) lsr 1) <-
            sites.((addr land 0xFFFF) lsr 1) @ resolved)
     built.Pipeline.image.Assemble.annots;
+  (* one scratch memory serves both the decode-cache prebuild and the
+     static audit; it is garbage once the plan is built *)
+  let scratch =
+    if decode_cache || audit <> None then begin
+      let m = Memory.create () in
+      Assemble.load built.Pipeline.image m;
+      Some m
+    end
+    else None
+  in
+  let open A.Layout in
+  let l = built.Pipeline.layout in
   let dcache =
-    if not decode_cache then None
-    else begin
+    match scratch with
+    | Some m when decode_cache ->
       (* predecode the executable region once; APEX guarantees ER
          immutability on the device, and the replay memory's dirty map
          catches any replayed write into cached code. Ranging the cache
          to the ER keeps each replay's dirty map firmware-sized. *)
-      let scratch = Memory.create () in
-      Assemble.load built.Pipeline.image scratch;
-      let open A.Layout in
-      let l = built.Pipeline.layout in
       Some (M.Decode_cache.build ~lo:(l.er_min land 0xFFFE) ~hi:l.er_max
-              ~get_word:(Memory.peek16 scratch) ())
-    end
+              ~get_word:(Memory.peek16 m) ())
+    | _ -> None
+  in
+  let audit_report =
+    match audit, scratch with
+    | Some config, Some m ->
+      Some
+        (S.Audit.audit ~config ~mem:m ~er_min:l.er_min ~er_max:l.er_max
+           ~or_min:l.or_min ~or_max:l.or_max ())
+    | _ -> None
   in
   { plan_key_state = Hmac.key_state ~key;
     plan_built = built;
@@ -166,14 +198,16 @@ let plan ?(key = A.Device.default_key) ?(policies = [])
     plan_caller_ret =
       Assemble.symbol built.Pipeline.image Pipeline.caller_ret_symbol;
     plan_policies = policies;
-    plan_max_steps = max_steps }
+    plan_max_steps = max_steps;
+    plan_audit = audit_report }
 
 let plan_layout p = p.plan_built.Pipeline.layout
+let plan_audit p = p.plan_audit
 
 type t = { t_plan : plan }
 
-let create ?key ?policies ?max_steps built =
-  { t_plan = plan ?key ?policies ?max_steps built }
+let create ?key ?policies ?max_steps ?audit built =
+  { t_plan = plan ?key ?policies ?max_steps ?audit built }
 
 let plan_of t = t.t_plan
 
@@ -372,6 +406,12 @@ let verify_plan ?keep_trace p report =
   let built = p.plan_built in
   let layout = built.Pipeline.layout in
   let reject findings = { accepted = false; findings; trace = None } in
+  (* 0. static audit: a binary the auditor rejects carries broken or
+     hostile instrumentation, so no report over it can attest anything *)
+  match p.plan_audit with
+  | Some r when not (S.Report.ok r) ->
+    reject [ Bad_instrumentation (S.Report.summary r) ]
+  | _ ->
   (* 1. layout consistency *)
   let open A.Layout in
   if report.A.Pox.er_min <> layout.er_min || report.A.Pox.er_max <> layout.er_max

@@ -32,6 +32,9 @@
     single-session wrappers. *)
 
 type finding =
+  | Bad_instrumentation of string
+      (** the plan's static audit rejected the binary itself — no report
+          over it is ever accepted (see {!Dialed_staticcheck.Audit}) *)
   | Bad_token of string
   | Wrong_layout of string
   | Log_divergence of {
@@ -94,7 +97,8 @@ type plan
 
 val plan :
   ?key:string -> ?policies:policy list -> ?max_steps:int ->
-  ?decode_cache:bool -> Pipeline.built -> plan
+  ?decode_cache:bool -> ?audit:Dialed_staticcheck.Audit.config ->
+  Pipeline.built -> plan
 (** Build a plan from a [Full]-variant build (raises [Invalid_argument]
     otherwise). Resolving annotation expressions happens here, once, so
     {!verify_plan}'s replay loop is lookup-only. So does predecoding: by
@@ -103,7 +107,26 @@ val plan :
     every domain) — giving the replay CPU a fetchless fast path. Pass
     [~decode_cache:false] to force byte-level fetch + decode on every
     step (the reference path; verdicts are identical either way, which
-    [test_replay_equiv] pins). *)
+    [test_replay_equiv] pins).
+
+    [audit] arms the static gating stage: the binary-level auditor runs
+    once here, at plan-build time, and its report rides in the plan.
+    Every subsequent {!verify_plan} call rejects up front — before even
+    looking at the token — when the audit found the instrumentation
+    broken. Omitting [audit] skips the stage entirely. *)
+
+val plan_audit : plan -> Dialed_staticcheck.Report.t option
+(** The audit report captured at plan-build time, when [audit] was
+    given. *)
+
+val audit_built :
+  ?config:Dialed_staticcheck.Audit.config ->
+  Pipeline.built -> Dialed_staticcheck.Report.t
+(** Run the static auditor over an assembled build without building a
+    plan: loads the image into a scratch memory and audits the ER range
+    from its bytes alone. Works on any variant — auditing a
+    [Cfa_only]/[Unmodified] build is exactly how one demonstrates what
+    the auditor rejects. *)
 
 val verify_plan :
   ?keep_trace:bool -> plan -> Dialed_apex.Pox.report -> outcome
@@ -123,7 +146,7 @@ type t
 
 val create :
   ?key:string -> ?policies:policy list -> ?max_steps:int ->
-  Pipeline.built -> t
+  ?audit:Dialed_staticcheck.Audit.config -> Pipeline.built -> t
 (** The verifier holds the expected instrumented build (it produced or
     audited the binary at provisioning time) and the shared device key.
     Requires a [Full]-variant build. *)

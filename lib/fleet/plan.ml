@@ -5,9 +5,11 @@ type t = {
   vplan : C.Verifier.plan;
 }
 
-let of_built ?key ?policies ?max_steps built =
+let of_built ?key ?policies ?max_steps ?audit built =
   { fingerprint = C.Pipeline.fingerprint built;
-    vplan = C.Verifier.plan ?key ?policies ?max_steps built }
+    vplan = C.Verifier.plan ?key ?policies ?max_steps ?audit built }
+
+let audit_report t = C.Verifier.plan_audit t.vplan
 
 let of_verifier ~built verifier =
   { fingerprint = C.Pipeline.fingerprint built;
@@ -29,18 +31,19 @@ type cache = {
   order : string Queue.t;           (* insertion order, for FIFO eviction *)
   mutable hits : int;
   mutable misses : int;
+  mutable audits : int;             (* static audits actually executed *)
 }
 
 let cache ?(capacity = 16) () =
   if capacity < 1 then invalid_arg "Plan.cache: capacity must be positive";
   { capacity; mutex = Mutex.create (); table = Hashtbl.create 16;
-    order = Queue.create (); hits = 0; misses = 0 }
+    order = Queue.create (); hits = 0; misses = 0; audits = 0 }
 
 let cache_key ~key fingerprint =
   fingerprint ^ ":" ^ Dialed_crypto.Sha256.hex (Dialed_crypto.Sha256.digest key)
 
 let find_or_build cache ?(key = Dialed_apex.Device.default_key) ?policies
-    ?max_steps built =
+    ?max_steps ?audit built =
   let k = cache_key ~key (C.Pipeline.fingerprint built) in
   Mutex.lock cache.mutex;
   match Hashtbl.find_opt cache.table k with
@@ -50,10 +53,12 @@ let find_or_build cache ?(key = Dialed_apex.Device.default_key) ?policies
     plan
   | None ->
     cache.misses <- cache.misses + 1;
+    (if audit <> None then cache.audits <- cache.audits + 1);
     Mutex.unlock cache.mutex;
     (* build outside the lock: plan construction resolves the whole
-       annotation table and must not serialize other lookups *)
-    let plan = of_built ~key ?policies ?max_steps built in
+       annotation table (and runs the static audit, when armed) and must
+       not serialize other lookups *)
+    let plan = of_built ~key ?policies ?max_steps ?audit built in
     Mutex.lock cache.mutex;
     if not (Hashtbl.mem cache.table k) then begin
       if Queue.length cache.order >= cache.capacity then begin
@@ -71,6 +76,12 @@ let cache_stats cache =
   let s = (cache.hits, cache.misses) in
   Mutex.unlock cache.mutex;
   s
+
+let cache_audits cache =
+  Mutex.lock cache.mutex;
+  let n = cache.audits in
+  Mutex.unlock cache.mutex;
+  n
 
 let cache_size cache =
   Mutex.lock cache.mutex;

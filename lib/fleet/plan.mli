@@ -14,9 +14,14 @@ type t
 
 val of_built :
   ?key:string -> ?policies:Dialed_core.Verifier.policy list ->
-  ?max_steps:int -> Dialed_core.Pipeline.built -> t
+  ?max_steps:int -> ?audit:Dialed_staticcheck.Audit.config ->
+  Dialed_core.Pipeline.built -> t
 (** Build a plan directly (no cache). Key defaults to
-    {!Dialed_apex.Device.default_key}. *)
+    {!Dialed_apex.Device.default_key}. [audit] arms the static gating
+    stage (see {!Dialed_core.Verifier.plan}). *)
+
+val audit_report : t -> Dialed_staticcheck.Report.t option
+(** The static audit captured at plan-build time, when armed. *)
 
 val of_verifier : built:Dialed_core.Pipeline.built -> Dialed_core.Verifier.t -> t
 (** Reuse an existing single-session verifier's plan (keeps its key and
@@ -37,15 +42,22 @@ val cache : ?capacity:int -> unit -> cache
 
 val find_or_build :
   cache -> ?key:string -> ?policies:Dialed_core.Verifier.policy list ->
-  ?max_steps:int -> Dialed_core.Pipeline.built -> t
+  ?max_steps:int -> ?audit:Dialed_staticcheck.Audit.config ->
+  Dialed_core.Pipeline.built -> t
 (** Return the cached plan for [(fingerprint built, key)] or build and
-    insert one. Note: [policies] and [max_steps] only take effect when the
-    entry is first built — a hit returns the plan exactly as first
-    constructed. Fleets that need per-batch policies should use
+    insert one. Note: [policies], [max_steps] and [audit] only take
+    effect when the entry is first built — a hit returns the plan exactly
+    as first constructed, so a fleet batch runs the (comparatively
+    expensive) static audit once per distinct firmware fingerprint, not
+    once per report. Fleets that need per-batch policies should use
     {!of_built}. *)
 
 val cache_stats : cache -> int * int
 (** [(hits, misses)] so far. *)
+
+val cache_audits : cache -> int
+(** Static audits this cache actually ran — one per miss with [audit]
+    armed; hits never re-audit. *)
 
 val cache_size : cache -> int
 (** Plans currently resident. *)

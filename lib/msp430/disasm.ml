@@ -3,15 +3,19 @@ let instruction_at mem addr =
   | instr, next -> Some (instr, next)
   | exception Decode.Undecodable _ -> None
 
-let range mem ~lo ~hi =
-  let rec sweep addr acc =
-    if addr > hi then List.rev acc
+let sweep mem ~lo ~hi =
+  let rec go addr acc =
+    if addr > hi then (List.rev acc, None)
     else
       match instruction_at mem addr with
-      | None -> List.rev acc
-      | Some (instr, next) -> sweep next ((addr, instr) :: acc)
+      | None -> (List.rev acc, Some (addr, Memory.peek16 mem addr))
+      | Some (instr, next) -> go next ((addr, instr, next) :: acc)
   in
-  sweep lo []
+  go lo []
+
+let range mem ~lo ~hi =
+  let instrs, _ = sweep mem ~lo ~hi in
+  List.map (fun (addr, instr, _) -> (addr, instr)) instrs
 
 let pp_range mem ~lo ~hi ppf () =
   List.iter

@@ -6,6 +6,14 @@ val instruction_at : Memory.t -> int -> (Isa.instr * int) option
     the word is not a valid opcode. Returns the instruction and the address
     of the next one. *)
 
+val sweep :
+  Memory.t -> lo:int -> hi:int ->
+  (int * Isa.instr * int) list * (int * int) option
+(** Linear sweep from [lo] until past [hi] (inclusive). Returns each decoded
+    [(addr, instr, next_addr)] plus, when the sweep stopped early, the
+    [(addr, word)] of the first undecodable word — the static auditor turns
+    a non-[None] stop into a finding instead of silently truncating. *)
+
 val range : Memory.t -> lo:int -> hi:int -> (int * Isa.instr) list
 (** Linear sweep from [lo] until past [hi] (inclusive), stopping early at an
     undecodable word. *)

@@ -1,0 +1,73 @@
+module M = Dialed_msp430
+module B = Dialed_cfg.Basic_block
+module R = Report
+
+type config = Scan.config = {
+  check_stores : bool;
+  log_uncond_jumps : bool;
+  trust_frame_reads : bool;
+  loop_bound : int option;
+  require_bounded : bool;
+}
+
+let default_config = Scan.default_config
+
+(* OR holds 2-byte log entries over [or_min, or_max + 1]. *)
+let capacity_entries ~or_min ~or_max = ((or_max - or_min) / 2) + 1
+
+let audit ?(config = default_config) ~mem ~er_min ~er_max ~or_min ~or_max () =
+  let stream = Stream.of_memory mem ~lo:er_min ~hi:er_max in
+  let undecodable =
+    match stream.Stream.stopped with
+    | Some (at, word) -> [ R.Undecodable { at; word } ]
+    | None -> []
+  in
+  let abort = Stream.discover_abort stream in
+  let abort_findings =
+    if abort = None then
+      [ R.No_abort_loop
+          { reason = "no check guard branches to a self-loop" } ]
+    else []
+  in
+  let scan = Scan.run ~config ~stream ~abort ~or_min ~or_max in
+  let cfg = B.build mem ~lo:er_min ~hi:er_max ~entry:er_min in
+  let allowed =
+    let tbl = Hashtbl.create 256 in
+    Array.iteri
+      (fun i mk ->
+         match mk with
+         | Scan.Seq | Scan.AbortLoop ->
+           Hashtbl.replace tbl (Stream.get stream i).Stream.addr ()
+         | Scan.App | Scan.Cf_site | Scan.Checked_store | Scan.Checked_read ->
+           ())
+      scan.Scan.marks;
+    fun addr -> Hashtbl.mem tbl addr
+  in
+  let reg_findings = Regdiscipline.check ~cfg ~allowed in
+  let footprint =
+    Footprint.worst_case ~cfg ~appends:scan.Scan.appends
+      ?loop_bound:config.loop_bound ~entry:er_min ()
+  in
+  let capacity = capacity_entries ~or_min ~or_max in
+  let fp_findings =
+    match footprint with
+    | R.Bounded w when w > capacity ->
+      [ R.Log_overflow { worst = w; capacity } ]
+    | R.Unbounded reason when config.require_bounded ->
+      [ R.Unbounded_footprint { reason } ]
+    | R.Bounded _ | R.Unbounded _ -> []
+  in
+  let stats =
+    { R.er_bytes = er_max - er_min + 1;
+      instructions = Stream.length stream;
+      cf_sites = scan.Scan.cf_sites;
+      input_sites = scan.Scan.input_sites;
+      store_checks = scan.Scan.store_checks;
+      read_checks = scan.Scan.read_checks;
+      capacity_entries = capacity;
+      footprint }
+  in
+  { R.findings =
+      undecodable @ abort_findings @ scan.Scan.findings @ reg_findings
+      @ fp_findings;
+    stats }

@@ -1,0 +1,35 @@
+(** Binary-level static audit of an instrumented ER.
+
+    Runs the whole pipeline over nothing but the bytes in memory: linear
+    sweep, abort-loop discovery, the completeness scan, the r4
+    register-discipline pass over the recovered CFG, and the worst-case
+    log footprint analysis. Produces one structured {!Report.t}.
+
+    The auditor proves the instrumentation is {e present and intact};
+    the replay engine then proves the logged values are {e consistent}
+    with an execution. Together they discharge the DIALED assumption
+    that the attested binary actually carries the DFA/CFA
+    instrumentation it claims. *)
+
+type config = Scan.config = {
+  check_stores : bool;
+  log_uncond_jumps : bool;
+  trust_frame_reads : bool;
+  loop_bound : int option;
+  require_bounded : bool;
+}
+
+val default_config : config
+
+val capacity_entries : or_min:int -> or_max:int -> int
+(** Log entries the OR can hold. *)
+
+val audit :
+  ?config:config ->
+  mem:Dialed_msp430.Memory.t ->
+  er_min:int ->
+  er_max:int ->
+  or_min:int ->
+  or_max:int ->
+  unit ->
+  Report.t

@@ -1,0 +1,328 @@
+module M = Dialed_msp430
+module Isa = M.Isa
+
+let r4 = 4
+
+(* ------------------------------------------------------------------ *)
+(* Shared log append: mov <src>, 0(r4); sub #2, r4; cmp #OR_MIN, r4;
+   jge ok; mov #abort, pc; ok:                                         *)
+
+type append = {
+  ap_index : int;
+  ap_addr : int;
+  ap_logged : Isa.src;
+  ap_next : int;        (* index just past the guard *)
+}
+
+let append_len = 5
+
+let append t ~abort ~or_min i =
+  match Stream.slice t i append_len with
+  | Some [ e0; e1; e2; e3; e4 ] ->
+    (match e0.Stream.ins, e1.Stream.ins, e2.Stream.ins, e3.Stream.ins,
+           e4.Stream.ins with
+     | Isa.Two (Isa.MOV, Isa.Word, logged, Isa.Dindexed (0, 4)),
+       Isa.Two (Isa.SUB, Isa.Word, Isa.Simm 2, Isa.Dreg 4),
+       Isa.Two (Isa.CMP, Isa.Word, Isa.Simm m, Isa.Dreg 4),
+       Isa.Jump (Isa.JGE, off),
+       Isa.Two (Isa.MOV, Isa.Word, Isa.Simm a, Isa.Dreg 0)
+       when m = or_min && Some a = abort
+            && Stream.jump_target e3 off = e4.Stream.next ->
+       Some { ap_index = i; ap_addr = e0.Stream.addr; ap_logged = logged;
+              ap_next = i + append_len }
+     | _ -> None)
+  | _ -> None
+
+(* the first instruction of an append, used to classify near misses *)
+let append_head t i =
+  if i >= Stream.length t then false
+  else
+    match (Stream.get t i).Stream.ins with
+    | Isa.Two (Isa.MOV, _, _, Isa.Dindexed (0, r)) -> r = r4
+    | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Entry check: cmp #OR_MAX, r4; jeq ok; mov #abort, pc; ok:           *)
+
+let entry_check t ~abort ~or_max i =
+  match Stream.slice t i 3 with
+  | Some [ e0; e1; e2 ] ->
+    (match e0.Stream.ins, e1.Stream.ins, e2.Stream.ins with
+     | Isa.Two (Isa.CMP, Isa.Word, Isa.Simm m, Isa.Dreg 4),
+       Isa.Jump (Isa.JEQ, off),
+       Isa.Two (Isa.MOV, Isa.Word, Isa.Simm a, Isa.Dreg 0)
+       when m = or_max && Some a = abort
+            && Stream.jump_target e1 off = e2.Stream.next ->
+       Some (i + 3)
+     | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* F5 store check:
+   push s; mov base, s; add #x, s; cmp r4, s; jnc ok;
+   cmp #(OR_MAX+2), s; jc ok; mov #abort, pc; ok: mov @sp+, s          *)
+
+type store_check = {
+  sc_index : int;
+  sc_scratch : int;
+  sc_base : int;
+  sc_offset : int;
+  sc_next : int;        (* index of the guarded store *)
+}
+
+let store_check_len = 9
+
+let store_check t ~abort ~or_max i =
+  match Stream.slice t i store_check_len with
+  | Some [ e0; e1; e2; e3; e4; e5; e6; e7; e8 ] ->
+    (match e0.Stream.ins, e1.Stream.ins, e2.Stream.ins, e3.Stream.ins,
+           e4.Stream.ins, e5.Stream.ins, e6.Stream.ins, e7.Stream.ins,
+           e8.Stream.ins with
+     | Isa.One (Isa.PUSH, Isa.Word, Isa.Sreg s0),
+       Isa.Two (Isa.MOV, Isa.Word, Isa.Sreg base, Isa.Dreg s1),
+       Isa.Two (Isa.ADD, Isa.Word, Isa.Simm x, Isa.Dreg s2),
+       Isa.Two (Isa.CMP, Isa.Word, Isa.Sreg 4, Isa.Dreg s3),
+       Isa.Jump (Isa.JNC, off4),
+       Isa.Two (Isa.CMP, Isa.Word, Isa.Simm m, Isa.Dreg s5),
+       Isa.Jump (Isa.JC, off6),
+       Isa.Two (Isa.MOV, Isa.Word, Isa.Simm a, Isa.Dreg 0),
+       Isa.Two (Isa.MOV, Isa.Word, Isa.Sindirect_inc 1, Isa.Dreg s8)
+       when s0 = s1 && s1 = s2 && s2 = s3 && s3 = s5 && s5 = s8
+            && m = (or_max + 2) land 0xFFFF
+            && Some a = abort
+            && Stream.jump_target e4 off4 = e8.Stream.addr
+            && Stream.jump_target e6 off6 = e8.Stream.addr ->
+       Some { sc_index = i; sc_scratch = s0; sc_base = base; sc_offset = x;
+              sc_next = i + store_check_len }
+     | _ -> None)
+  | _ -> None
+
+(* does this store-check guard the given store instruction? *)
+let store_check_matches sc ins =
+  match ins with
+  | Isa.Two (_, _, _, Isa.Dindexed (x, b)) ->
+    x land 0xFFFF = sc.sc_offset land 0xFFFF && b = sc.sc_base
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* F4 read range check (Fig. 5).                                       *)
+
+(* The effective-address prefix computed into the scratch register. *)
+type ea_prefix =
+  | Ea_base of int                 (* mov base, s          -> @base *)
+  | Ea_base_offset of int * int    (* mov base, s; add #x  -> x(base) *)
+  | Ea_imm of int                  (* mov #a, s            -> &a *)
+
+(* the single dynamic (or absolute) memory operand the prefix must cover;
+   br/call operands are control-flow data, never read-checked *)
+let dynamic_candidates ins =
+  let of_src s =
+    match s with
+    | Isa.Sindexed (x, r) -> Some (Ea_base_offset (r, x))
+    | Isa.Sindirect r | Isa.Sindirect_inc r -> Some (Ea_base r)
+    | Isa.Sabsolute a -> Some (Ea_imm a)
+    | Isa.Sreg _ | Isa.Simm _ -> None
+  in
+  let of_dst d =
+    match d with
+    | Isa.Dindexed (x, r) -> Some (Ea_base_offset (r, x))
+    | Isa.Dabsolute a -> Some (Ea_imm a)
+    | Isa.Dreg _ -> None
+  in
+  let reads_dst op =
+    match op with
+    | Isa.MOV -> false
+    | Isa.ADD | Isa.ADDC | Isa.SUBC | Isa.SUB | Isa.CMP | Isa.DADD
+    | Isa.BIT | Isa.BIC | Isa.BIS | Isa.XOR | Isa.AND -> true
+  in
+  match ins with
+  | Isa.Two (Isa.MOV, _, _, Isa.Dreg 0) -> []    (* br / ret *)
+  | Isa.Two (op, _, src, dst) ->
+    Option.to_list (of_src src)
+    @ (if reads_dst op then Option.to_list (of_dst dst) else [])
+  | Isa.One (Isa.CALL, _, _) -> []
+  | Isa.One (_, _, src) -> Option.to_list (of_src src)
+  | Isa.Jump _ | Isa.Reti -> []
+
+let prefix_covers prefix ins =
+  let eq16 a b = a land 0xFFFF = b land 0xFFFF in
+  List.exists
+    (fun cand ->
+       match prefix, cand with
+       | Ea_base b, Ea_base b' -> b = b'
+       | Ea_base_offset (b, x), Ea_base_offset (b', x') ->
+         b = b' && eq16 x x'
+       | Ea_imm a, Ea_imm a' -> eq16 a a'
+       (* @Rn+ checks only the base (offset folds to zero) *)
+       | Ea_base b, Ea_base_offset (b', 0) -> b = b'
+       | _ -> false)
+    (dynamic_candidates ins)
+
+(* EA prefix + range-check tail, shared by both read-check shapes:
+   [prefix]; cmp &OR_MAX, s; jeq in; jc out; cmp sp, s; jc in; out:
+   Returns (prefix, scratch, t_in, index past the tail). *)
+let range_check t ~or_max i =
+  let tail j prefix =
+    match Stream.slice t j 5 with
+    | Some [ e0; e1; e2; e3; e4 ] ->
+      (match e0.Stream.ins, e1.Stream.ins, e2.Stream.ins, e3.Stream.ins,
+             e4.Stream.ins with
+       | Isa.Two (Isa.CMP, Isa.Word, Isa.Sabsolute m, Isa.Dreg s),
+         Isa.Jump (Isa.JEQ, off1),
+         Isa.Jump (Isa.JC, off2),
+         Isa.Two (Isa.CMP, Isa.Word, Isa.Sreg 1, Isa.Dreg s3),
+         Isa.Jump (Isa.JC, off4)
+         when m = or_max && s = s3
+              && Stream.jump_target e1 off1 = Stream.jump_target e4 off4
+              && Stream.jump_target e2 off2 = e4.Stream.next ->
+         Some (prefix, s, Stream.jump_target e1 off1, j + 5)
+       | _ -> None)
+    | _ -> None
+  in
+  (* the prefix is 1 or 2 instructions writing the scratch register *)
+  let ins k =
+    if k < Stream.length t then Some (Stream.get t k).Stream.ins else None
+  in
+  match ins i, ins (i + 1) with
+  | Some (Isa.Two (Isa.MOV, Isa.Word, Isa.Sreg b, Isa.Dreg s)),
+    Some (Isa.Two (Isa.ADD, Isa.Word, Isa.Simm x, Isa.Dreg s')) when s = s'
+    ->
+    (match tail (i + 2) (Ea_base_offset (b, x)) with
+     | Some (p, sc, t_in, nxt) when sc = s -> Some (p, sc, t_in, nxt)
+     | _ -> None)
+  | Some (Isa.Two (Isa.MOV, Isa.Word, Isa.Sreg b, Isa.Dreg s)), _ ->
+    (match tail (i + 1) (Ea_base b) with
+     | Some (p, sc, t_in, nxt) when sc = s -> Some (p, sc, t_in, nxt)
+     | _ -> None)
+  | Some (Isa.Two (Isa.MOV, Isa.Word, Isa.Simm a, Isa.Dreg s)), _ ->
+    (match tail (i + 1) (Ea_imm a) with
+     | Some (p, sc, t_in, nxt) when sc = s -> Some (p, sc, t_in, nxt)
+     | _ -> None)
+  | _ -> None
+
+type read_check = {
+  rc_index : int;
+  rc_append : append;              (* the out-of-stack input log *)
+  rc_store_checks : store_check list;  (* embedded F5 checks, if the
+                                          checked instruction also stores *)
+  rc_checked : int list;           (* indices of the duplicated app instr *)
+  rc_next : int;
+}
+
+(* mov <dyn>, rN form: the destination register doubles as the check
+   scratch and the load is duplicated on the in/out paths. *)
+let read_check_mov_load t ~abort ~or_min ~or_max i =
+  match range_check t ~or_max i with
+  | None -> None
+  | Some (prefix, s, t_in, out_idx) ->
+    (match Stream.slice t out_idx 1 with
+     | Some [ l ] ->
+       (match l.Stream.ins with
+        | Isa.Two (Isa.MOV, _, _, Isa.Dreg d)
+          when d = s && prefix_covers prefix l.Stream.ins ->
+          (match append t ~abort ~or_min (out_idx + 1) with
+           | Some ap when ap.ap_logged = Isa.Sreg s ->
+             (match Stream.slice t ap.ap_next 2 with
+              | Some [ ejmp; l' ]
+                when (match ejmp.Stream.ins with
+                      | Isa.Jump (Isa.JMP, off) ->
+                        Stream.jump_target ejmp off = l'.Stream.next
+                      | _ -> false)
+                     && l'.Stream.ins = l.Stream.ins
+                     && t_in = l'.Stream.addr ->
+                Some { rc_index = i; rc_append = ap; rc_store_checks = [];
+                       rc_checked = [ out_idx; ap.ap_next + 1 ];
+                       rc_next = ap.ap_next + 2 }
+              | _ -> None)
+           | _ -> None)
+        | _ -> None)
+     | _ -> None)
+
+(* general form: push scratch; [range check]; out: pop; instr; log; jmp
+   done; in: pop; instr; done:  — with an optional store check before
+   each duplicated instruction when it also writes through a pointer. *)
+let read_check_general t ~abort ~or_min ~or_max i =
+  let pop_at k s =
+    match Stream.slice t k 1 with
+    | Some [ e ] ->
+      (match e.Stream.ins with
+       | Isa.Two (Isa.MOV, Isa.Word, Isa.Sindirect_inc 1, Isa.Dreg d) ->
+         d = s
+       | _ -> false)
+    | _ -> false
+  in
+  let checked_instr_at k =
+    (* optional store check, then the instruction itself *)
+    match store_check t ~abort ~or_max k with
+    | Some sc when k + store_check_len < Stream.length t
+               && store_check_matches sc (Stream.get t sc.sc_next).Stream.ins
+      -> Some ([ sc ], sc.sc_next)
+    | _ -> if k < Stream.length t then Some ([], k) else None
+  in
+  match Stream.slice t i 1 with
+  | Some [ e0 ] ->
+    (match e0.Stream.ins with
+     | Isa.One (Isa.PUSH, Isa.Word, Isa.Sreg s0) ->
+       (match range_check t ~or_max (i + 1) with
+        | Some (prefix, s, t_in, out_idx) when s = s0 ->
+          if not (pop_at out_idx s) then None
+          else begin
+            match checked_instr_at (out_idx + 1) with
+            | None -> None
+            | Some (scs1, l_idx) ->
+              let l = Stream.get t l_idx in
+              if not (prefix_covers prefix l.Stream.ins) then None
+              else begin
+                match append t ~abort ~or_min (l_idx + 1) with
+                | Some ap
+                  when List.mem ap.ap_logged
+                         (List.filter_map
+                            (fun c ->
+                               match c with
+                               | Ea_base_offset (b, x) ->
+                                 Some (Isa.Sindexed (x, b))
+                               | Ea_base b -> Some (Isa.Sindirect b)
+                               | Ea_imm a -> Some (Isa.Sabsolute a))
+                            (dynamic_candidates l.Stream.ins))
+                       || ap.ap_logged =
+                          (match l.Stream.ins with
+                           | Isa.Two (_, _, src, _) | Isa.One (_, _, src) ->
+                             src
+                           | _ -> Isa.Simm (-1)) ->
+                  (match Stream.slice t ap.ap_next 1 with
+                   | Some [ ejmp ] ->
+                     (match ejmp.Stream.ins with
+                      | Isa.Jump (Isa.JMP, off) ->
+                        let in_idx = ap.ap_next + 1 in
+                        if t_in
+                           <> (if in_idx < Stream.length t then
+                                 (Stream.get t in_idx).Stream.addr
+                               else -1)
+                           || not (pop_at in_idx s)
+                        then None
+                        else begin
+                          match checked_instr_at (in_idx + 1) with
+                          | Some (scs2, l_idx')
+                            when (Stream.get t l_idx').Stream.ins
+                                 = l.Stream.ins
+                                 && Stream.jump_target ejmp off
+                                    = (Stream.get t l_idx').Stream.next ->
+                            Some { rc_index = i; rc_append = ap;
+                                   rc_store_checks = scs1 @ scs2;
+                                   rc_checked = [ l_idx; l_idx' ];
+                                   rc_next = l_idx' + 1 }
+                          | _ -> None
+                        end
+                      | _ -> None)
+                   | _ -> None)
+                | _ -> None
+              end
+          end
+        | _ -> None)
+     | _ -> None)
+  | _ -> None
+
+let read_check t ~abort ~or_min ~or_max i =
+  match read_check_mov_load t ~abort ~or_min ~or_max i with
+  | Some rc -> Some rc
+  | None -> read_check_general t ~abort ~or_min ~or_max i

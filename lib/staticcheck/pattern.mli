@@ -1,0 +1,65 @@
+(** Recognizers for the canonical instrumentation sequences, matched on
+    decoded instructions.
+
+    Each recognizer commits only on a {e complete} structural match —
+    operand registers consistent, guard branches resolving to the right
+    join points, every guard targeting the abort loop — so application
+    code can never be half-claimed as instrumentation, and any tampered
+    sequence falls back to application code where the completeness and
+    register-discipline passes flag it. *)
+
+type append = {
+  ap_index : int;
+  ap_addr : int;
+  ap_logged : Dialed_msp430.Isa.src;  (** operand pushed onto the log *)
+  ap_next : int;
+}
+
+val append_len : int
+(** Instructions in a log append (5). *)
+
+val append :
+  Stream.t -> abort:int option -> or_min:int -> int -> append option
+(** [mov <src>, 0(r4); sub #2, r4; cmp #OR_MIN, r4; jge ok;
+    mov #abort, pc; ok:] *)
+
+val append_head : Stream.t -> int -> bool
+(** Whether the instruction writes through [0(r4)] — the first append
+    instruction; a head without a full append is a damaged sequence. *)
+
+val entry_check :
+  Stream.t -> abort:int option -> or_max:int -> int -> int option
+(** [cmp #OR_MAX, r4; jeq ok; mov #abort, pc; ok:] — returns the index
+    past the check. *)
+
+type store_check = {
+  sc_index : int;
+  sc_scratch : int;
+  sc_base : int;
+  sc_offset : int;
+  sc_next : int;   (** index of the store the check guards *)
+}
+
+val store_check_len : int
+
+val store_check :
+  Stream.t -> abort:int option -> or_max:int -> int -> store_check option
+
+val store_check_matches : store_check -> Dialed_msp430.Isa.instr -> bool
+(** Whether the guarded store writes through exactly the checked
+    effective address. *)
+
+type read_check = {
+  rc_index : int;
+  rc_append : append;
+  rc_store_checks : store_check list;
+  rc_checked : int list;   (** indices of the duplicated app instruction *)
+  rc_next : int;
+}
+
+val read_check :
+  Stream.t -> abort:int option -> or_min:int -> or_max:int -> int ->
+  read_check option
+(** Both F4 shapes: the register-destination load form (destination doubles
+    as scratch, load duplicated on the in/out-of-stack paths) and the
+    general pushed-scratch form. *)

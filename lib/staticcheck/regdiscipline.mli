@@ -1,0 +1,19 @@
+(** Register-discipline pass: r4 is the reserved log write pointer and
+    may only be touched by recognized instrumentation sequences. The
+    per-basic-block def/use extraction runs over the recovered CFG so
+    every reachable-by-sweep instruction is inspected exactly once. *)
+
+type event = { ev_addr : int; ev_write : bool }
+
+val events_of_instr :
+  int -> Dialed_msp430.Isa.instr -> event list
+(** r4 defs and uses of one instruction at an address. *)
+
+val block_events : Dialed_cfg.Basic_block.block -> event list
+
+val check :
+  cfg:Dialed_cfg.Basic_block.t ->
+  allowed:(int -> bool) ->
+  Report.finding list
+(** One [Reserved_register_clobber] per r4 touch at an address the scan
+    did not claim as instrumentation. *)

@@ -1,0 +1,171 @@
+type growth =
+  | Bounded of int
+  | Unbounded of string
+
+type finding =
+  | Undecodable of { at : int; word : int }
+  | No_abort_loop of { reason : string }
+  | Entry_check_missing of { at : int }
+  | Base_sp_save_missing of { at : int; reason : string }
+  | Malformed_append of { at : int; reason : string }
+  | Unlogged_control_flow of { at : int; reason : string }
+  | Wrong_logged_operand of { at : int }
+  | Unchecked_store of { at : int }
+  | Unchecked_read of { at : int }
+  | Unlogged_input of { at : int }
+  | Reserved_register_clobber of { at : int; write : bool }
+  | Static_store_into_or of { at : int; ea : int }
+  | Reti_in_er of { at : int }
+  | Log_overflow of { worst : int; capacity : int }
+  | Unbounded_footprint of { reason : string }
+
+let finding_kind f =
+  match f with
+  | Undecodable _ -> "undecodable"
+  | No_abort_loop _ -> "abort-loop"
+  | Entry_check_missing _ -> "entry-check"
+  | Base_sp_save_missing _ -> "base-sp-save"
+  | Malformed_append _ -> "malformed-append"
+  | Unlogged_control_flow _ -> "unlogged-cf"
+  | Wrong_logged_operand _ -> "wrong-log-operand"
+  | Unchecked_store _ -> "unchecked-store"
+  | Unchecked_read _ -> "unchecked-read"
+  | Unlogged_input _ -> "unlogged-input"
+  | Reserved_register_clobber _ -> "r4-clobber"
+  | Static_store_into_or _ -> "static-store-or"
+  | Reti_in_er _ -> "reti"
+  | Log_overflow _ -> "log-overflow"
+  | Unbounded_footprint _ -> "unbounded-footprint"
+
+let finding_addr f =
+  match f with
+  | Undecodable { at; _ } | Entry_check_missing { at }
+  | Base_sp_save_missing { at; _ } | Malformed_append { at; _ }
+  | Unlogged_control_flow { at; _ } | Wrong_logged_operand { at }
+  | Unchecked_store { at } | Unchecked_read { at } | Unlogged_input { at }
+  | Reserved_register_clobber { at; _ } | Static_store_into_or { at; _ }
+  | Reti_in_er { at } -> Some at
+  | No_abort_loop _ | Log_overflow _ | Unbounded_footprint _ -> None
+
+let pp_growth ppf g =
+  match g with
+  | Bounded n -> Format.fprintf ppf "%d entries" n
+  | Unbounded reason -> Format.fprintf ppf "unbounded (%s)" reason
+
+let pp_finding ppf f =
+  match f with
+  | Undecodable { at; word } ->
+    Format.fprintf ppf "undecodable word 0x%04x at 0x%04x" word at
+  | No_abort_loop { reason } ->
+    Format.fprintf ppf "no intact abort self-loop: %s" reason
+  | Entry_check_missing { at } ->
+    Format.fprintf ppf "entry check (cmp #OR_MAX, r4) missing at 0x%04x" at
+  | Base_sp_save_missing { at; reason } ->
+    Format.fprintf ppf
+      "F3 entry logging (base SP + argument snapshot) broken at 0x%04x: %s"
+      at reason
+  | Malformed_append { at; reason } ->
+    Format.fprintf ppf "malformed log append at 0x%04x: %s" at reason
+  | Unlogged_control_flow { at; reason } ->
+    Format.fprintf ppf "unlogged control flow at 0x%04x: %s" at reason
+  | Wrong_logged_operand { at } ->
+    Format.fprintf ppf
+      "log append at 0x%04x records a value other than the transfer target"
+      at
+  | Unchecked_store { at } ->
+    Format.fprintf ppf "dynamic store without an F5 bound check at 0x%04x" at
+  | Unchecked_read { at } ->
+    Format.fprintf ppf "dynamic read without an F4 range check at 0x%04x" at
+  | Unlogged_input { at } ->
+    Format.fprintf ppf "static input read at 0x%04x is never logged" at
+  | Reserved_register_clobber { at; write } ->
+    Format.fprintf ppf "%s of reserved register r4 at 0x%04x"
+      (if write then "write" else "use") at
+  | Static_store_into_or { at; ea } ->
+    Format.fprintf ppf "static store into OR (0x%04x) at 0x%04x" ea at
+  | Reti_in_er { at } -> Format.fprintf ppf "reti inside the ER at 0x%04x" at
+  | Log_overflow { worst; capacity } ->
+    Format.fprintf ppf
+      "worst-case log footprint %d entries exceeds OR capacity %d" worst
+      capacity
+  | Unbounded_footprint { reason } ->
+    Format.fprintf ppf "log footprint not statically bounded: %s" reason
+
+type stats = {
+  er_bytes : int;
+  instructions : int;
+  cf_sites : int;
+  input_sites : int;
+  store_checks : int;
+  read_checks : int;
+  capacity_entries : int;
+  footprint : growth;
+}
+
+type t = {
+  findings : finding list;
+  stats : stats;
+}
+
+let ok t = t.findings = []
+
+let summary t =
+  if ok t then "clean"
+  else begin
+    let by_kind = Hashtbl.create 8 in
+    List.iter
+      (fun f ->
+         let k = finding_kind f in
+         Hashtbl.replace by_kind k
+           (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind k)))
+      t.findings;
+    let kinds =
+      Hashtbl.fold (fun k n acc -> (k, n) :: acc) by_kind []
+      |> List.sort compare
+      |> List.map (fun (k, n) ->
+          if n = 1 then k else Printf.sprintf "%s x%d" k n)
+    in
+    Printf.sprintf "%d finding(s): %s" (List.length t.findings)
+      (String.concat ", " kinds)
+  end
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>audit: %s@,\
+     er %dB, %d instructions; %d CF sites, %d input sites, %d store checks, \
+     %d read checks@,\
+     worst-case log: %a (capacity %d entries)@]"
+    (if ok t then "CLEAN" else "FINDINGS")
+    t.stats.er_bytes t.stats.instructions t.stats.cf_sites
+    t.stats.input_sites t.stats.store_checks t.stats.read_checks pp_growth
+    t.stats.footprint t.stats.capacity_entries;
+  if not (ok t) then
+    List.iter
+      (fun f ->
+         Format.fprintf ppf "@,  [%s] %a" (finding_kind f) pp_finding f)
+      t.findings
+
+(* Hand-rolled JSON, like [Dialed_fleet.Metrics]: every string here comes
+   from a fixed in-code alphabet, so %S quoting is enough. *)
+let to_json t =
+  let growth_json g =
+    match g with
+    | Bounded n -> Printf.sprintf "{\"bounded\":%d}" n
+    | Unbounded reason -> Printf.sprintf "{\"unbounded\":%S}" reason
+  in
+  let finding_json f =
+    match finding_addr f with
+    | Some at ->
+      Printf.sprintf "{\"kind\":%S,\"at\":%d}" (finding_kind f) at
+    | None -> Printf.sprintf "{\"kind\":%S}" (finding_kind f)
+  in
+  Printf.sprintf
+    "{\"ok\":%b,\"findings\":[%s],\"er_bytes\":%d,\"instructions\":%d,\
+     \"cf_sites\":%d,\"input_sites\":%d,\"store_checks\":%d,\
+     \"read_checks\":%d,\"capacity_entries\":%d,\"footprint\":%s}"
+    (ok t)
+    (String.concat "," (List.map finding_json t.findings))
+    t.stats.er_bytes t.stats.instructions t.stats.cf_sites
+    t.stats.input_sites t.stats.store_checks t.stats.read_checks
+    t.stats.capacity_entries
+    (growth_json t.stats.footprint)

@@ -1,0 +1,50 @@
+(** Linear completeness scan.
+
+    A first pass walks the instruction stream front to back, consuming
+    recognized instrumentation sequences (entry check, F3 snapshot, log
+    appends, F5 store checks, F4 read regions) and marking every
+    instruction with what claimed it. A second pass applies the
+    completeness rules to whatever is left as application code: every
+    control transfer must be fed by a CF append, every dynamic access
+    must sit inside a recognized check, every static input must be
+    logged. *)
+
+type config = {
+  check_stores : bool;      (** require F5 checks on dynamic stores *)
+  log_uncond_jumps : bool;  (** require CF appends on [jmp] *)
+  trust_frame_reads : bool; (** treat r6-based accesses as stack accesses *)
+  loop_bound : int option;  (** iteration bound for footprint loops *)
+  require_bounded : bool;   (** report an unbounded footprint as a finding *)
+}
+
+val default_config : config
+(** Matches the emitter defaults: stores checked, [jmp] logged, frame
+    reads trusted, no loop bound, unbounded footprint tolerated. *)
+
+type mark =
+  | App
+  | Cf_site
+  | Checked_store
+  | Checked_read
+  | Seq
+  | AbortLoop
+
+type t = {
+  marks : mark array;
+  appends : (int * [ `Cf | `Input ]) list;
+      (** start address and kind of every recognized append, in program
+          order *)
+  cf_sites : int;
+  input_sites : int;
+  store_checks : int;
+  read_checks : int;
+  findings : Report.finding list;
+}
+
+val run :
+  config:config ->
+  stream:Stream.t ->
+  abort:int option ->
+  or_min:int ->
+  or_max:int ->
+  t

@@ -210,12 +210,13 @@ let instrument ?(config = default_config) prog =
       P.Annot (P.Synth_mark "abort");
       P.Synth (P.Jump (Isa.JMP, abort_label)) ]
 
-let count_logged_sites prog =
-  List.length
-    (List.filter
-       (fun item ->
-          match item with
-          | P.Synth (P.Two (Isa.MOV, _, _, P.Indexed (P.Num 0, r)))
-            when r = reserved_register -> true
-          | _ -> false)
-       prog)
+let count_sites prog =
+  List.fold_left
+    (fun (cf, input) item ->
+       match item with
+       | P.Annot (P.Log_site `Cf) -> (cf + 1, input)
+       | P.Annot (P.Log_site `Input) -> (cf, input + 1)
+       | _ -> (cf, input))
+    (0, 0) prog
+
+let count_logged_sites prog = fst (count_sites prog)

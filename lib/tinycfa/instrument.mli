@@ -72,6 +72,13 @@ val instrument :
     contract violations (use of r4, [reti], flag-liveness hazards,
     computed branches it cannot attest). *)
 
+val count_sites : Dialed_msp430.Program.t -> int * int
+(** [(cf, input)] log-site counts of an instrumented program, told apart
+    by their [Log_site] annotations (diagnostic; used by benches and the
+    static auditor's cross-checks). *)
+
 val count_logged_sites : Dialed_msp430.Program.t -> int
-(** Number of control-flow log sites in an instrumented program
-    (diagnostic; used by benches). *)
+(** Control-flow log sites only — [fst (count_sites prog)]. Earlier
+    revisions counted every append (input logging included); callers
+    that want the combined number should add both components of
+    {!count_sites}. *)

@@ -217,6 +217,195 @@ let test_empty_shadow_stack_reported () =
           | _ -> false)
        outcome.C.Verifier.findings)
 
+(* ---------------------------------------------------------------- *)
+(* Mutation corpus against the static auditor: take a correctly
+   instrumented binary, apply one targeted byte-level mutation an
+   attacker with flash access could, and check the auditor flags it
+   with the right error class. These mutations never reach the replay —
+   the audit is exactly the stage that catches binaries whose
+   instrumentation itself was doctored.                                *)
+
+module S = Dialed_staticcheck
+module Isa = M.Isa
+
+let mem_of built =
+  let m = M.Memory.create () in
+  M.Assemble.load built.C.Pipeline.image m;
+  m
+
+let audit_mem built mem =
+  let l = built.C.Pipeline.layout in
+  S.Audit.audit ~mem ~er_min:l.A.Layout.er_min ~er_max:l.A.Layout.er_max
+    ~or_min:l.A.Layout.or_min ~or_max:l.A.Layout.or_max ()
+
+let stream_of built mem =
+  let l = built.C.Pipeline.layout in
+  S.Stream.of_memory mem ~lo:l.A.Layout.er_min ~hi:l.A.Layout.er_max
+
+let find_entry stream p =
+  let n = S.Stream.length stream in
+  let rec go i =
+    if i >= n then Alcotest.fail "mutation target not found in the binary"
+    else
+      let e = S.Stream.get stream i in
+      if p i e then (i, e) else go (i + 1)
+  in
+  go 0
+
+let rfind_entry stream p =
+  let rec go i =
+    if i < 0 then Alcotest.fail "mutation target not found in the binary"
+    else
+      let e = S.Stream.get stream i in
+      if p i e then (i, e) else go (i - 1)
+  in
+  go (S.Stream.length stream - 1)
+
+let op_ret = "op:\n    mov #7, r10\n    ret\n"
+let op_store = "op:\n    mov #0x0300, r10\n    mov #1, 2(r10)\n    ret\n"
+let op_jmp = "op:\n    mov #1, r5\n    jmp done\ndone:\n    ret\n"
+
+(* each mutant: (name, operation, patch, expected finding kind) *)
+let mutants =
+  [ ("stripped CF append", op_ret,
+     (fun built mem ->
+        (* retarget the ret append's head store from 0(r4) to 0(r5) *)
+        let _, e =
+          find_entry (stream_of built mem) (fun _ e ->
+              match e.S.Stream.ins with
+              | Isa.Two (Isa.MOV, _, Isa.Sindirect 1, Isa.Dindexed (0, 4)) ->
+                true
+              | _ -> false)
+        in
+        let w = M.Memory.peek16 mem e.S.Stream.addr in
+        M.Memory.poke16 mem e.S.Stream.addr ((w land 0xFFF0) lor 5)),
+     "unlogged-cf");
+    ("r4 clobber in app code", op_ret,
+     (fun built mem ->
+        (* mov #7, r10  ->  mov #7, r4 *)
+        let _, e =
+          find_entry (stream_of built mem) (fun _ e ->
+              e.S.Stream.ins
+              = Isa.Two (Isa.MOV, Isa.Word, Isa.Simm 7, Isa.Dreg 10))
+        in
+        let w = M.Memory.peek16 mem e.S.Stream.addr in
+        M.Memory.poke16 mem e.S.Stream.addr ((w land 0xFFF0) lor 4)),
+     "r4-clobber");
+    ("widened store bound check", op_store,
+     (fun built mem ->
+        (* the F5 check's cmp #(or_max+2), s gets a wider immediate *)
+        let bound = built.C.Pipeline.layout.A.Layout.or_max + 2 in
+        let _, e =
+          find_entry (stream_of built mem) (fun _ e ->
+              match e.S.Stream.ins with
+              | Isa.Two (Isa.CMP, Isa.Word, Isa.Simm m, Isa.Dreg _) ->
+                m = bound land 0xFFFF
+              | _ -> false)
+        in
+        M.Memory.poke16 mem (e.S.Stream.addr + 2) ((bound + 0x10) land 0xFFFF)),
+     "unchecked-store");
+    ("widened entry check", op_ret,
+     (fun built mem ->
+        (* cmp #OR_MAX, r4 at the entry point compares a looser bound *)
+        let l = built.C.Pipeline.layout in
+        let w = M.Memory.peek16 mem (l.A.Layout.er_min + 2) in
+        M.Memory.poke16 mem (l.A.Layout.er_min + 2) (w + 2)),
+     "entry-check");
+    ("widened append floor check", op_ret,
+     (fun built mem ->
+        (* the last append's cmp #OR_MIN, r4 floor is lowered *)
+        let or_min = built.C.Pipeline.layout.A.Layout.or_min in
+        let _, e =
+          rfind_entry (stream_of built mem) (fun _ e ->
+              e.S.Stream.ins
+              = Isa.Two (Isa.CMP, Isa.Word, Isa.Simm or_min, Isa.Dreg 4))
+        in
+        M.Memory.poke16 mem (e.S.Stream.addr + 2) (or_min - 2)),
+     "malformed-append");
+    ("retargeted abort loop", op_ret,
+     (fun built mem ->
+        (* the abort self-jump now falls through instead of looping *)
+        let _, e =
+          find_entry (stream_of built mem) (fun _ e ->
+              e.S.Stream.ins = Isa.Jump (Isa.JMP, -1))
+        in
+        M.Memory.poke16 mem e.S.Stream.addr 0x3C00),
+     "abort-loop");
+    ("retargeted CF log operand", op_jmp,
+     (fun built mem ->
+        (* the jmp's append logs a destination 2 bytes off *)
+        let stream = stream_of built mem in
+        let i, _ =
+          find_entry stream (fun _ e ->
+              match e.S.Stream.ins with
+              | Isa.Jump (Isa.JMP, off) -> off <> -1
+              | _ -> false)
+        in
+        let head = S.Stream.get stream (i - 5) in
+        let v = M.Memory.peek16 mem (head.S.Stream.addr + 2) in
+        M.Memory.poke16 mem (head.S.Stream.addr + 2) (v + 2)),
+     "wrong-log-operand") ]
+
+let test_mutation_corpus () =
+  List.iter
+    (fun (name, op, patch, expected) ->
+       let built = C.Pipeline.build ~op:(Asm_parse.parse op) () in
+       let clean = audit_mem built (mem_of built) in
+       check_bool (name ^ ": baseline audits clean") true (S.Report.ok clean);
+       let mem = mem_of built in
+       patch built mem;
+       let r = audit_mem built mem in
+       check_bool (name ^ ": mutant rejected") false (S.Report.ok r);
+       let ks = List.map S.Report.finding_kind r.S.Report.findings in
+       if not (List.mem expected ks) then
+         Alcotest.failf "%s: expected class %s, report was:@.%a" name expected
+           S.Report.pp r)
+    mutants
+
+(* The gating stage: a plan built with ~audit over a doctored image
+   rejects every report up front with bad-instrumentation — before the
+   token is even looked at. *)
+let test_audit_gates_verification () =
+  let built, report, _ = Lazy.force benign in
+  let patched_segments =
+    List.map
+      (fun (base, data) ->
+         let l = built.C.Pipeline.layout in
+         if base > l.A.Layout.er_max || base + String.length data <= l.A.Layout.er_min
+         then (base, data)
+         else begin
+           (* find a `mov @sp, 0(r4)` append head and retarget it to r5 *)
+           let mem = mem_of built in
+           let _, e =
+             find_entry (stream_of built mem) (fun _ e ->
+                 match e.S.Stream.ins with
+                 | Isa.Two (Isa.MOV, _, Isa.Sindirect 1, Isa.Dindexed (0, 4)) ->
+                   true
+                 | _ -> false)
+           in
+           let off = e.S.Stream.addr - base in
+           let b = Bytes.of_string data in
+           Bytes.set b off
+             (Char.chr ((Char.code (Bytes.get b off) land 0xF0) lor 5));
+           (base, Bytes.to_string b)
+         end)
+      built.C.Pipeline.image.M.Assemble.segments
+  in
+  let doctored =
+    { built with
+      C.Pipeline.image =
+        { built.C.Pipeline.image with M.Assemble.segments = patched_segments } }
+  in
+  let plan = C.Verifier.plan ~audit:S.Audit.default_config doctored in
+  let outcome = C.Verifier.verify_plan plan report in
+  check_bool "doctored binary rejected" true (not outcome.C.Verifier.accepted);
+  Alcotest.(check (list string)) "rejected by the audit, pre-token"
+    [ "bad-instrumentation" ] (kinds outcome);
+  (* the same report against the genuine binary still verifies *)
+  let genuine = C.Verifier.plan ~audit:S.Audit.default_config built in
+  check_bool "genuine binary still accepted" true
+    (C.Verifier.verify_plan genuine report).C.Verifier.accepted
+
 let suites =
   [ ("adversarial",
      [ QCheck_alcotest.to_alcotest prop_bit_flip;
@@ -227,4 +416,8 @@ let suites =
        Alcotest.test_case "forged-MAC truncation is malformed" `Quick
          test_forged_mac_truncation_is_malformed;
        Alcotest.test_case "empty shadow stack reported" `Quick
-         test_empty_shadow_stack_reported ]) ]
+         test_empty_shadow_stack_reported;
+       Alcotest.test_case "auditor mutation corpus" `Quick
+         test_mutation_corpus;
+       Alcotest.test_case "audit gates verification" `Quick
+         test_audit_gates_verification ]) ]

@@ -201,6 +201,47 @@ let test_mid_instruction_dest () =
   | Error e -> Alcotest.failf "wrong error: %a" Cfg.Validate.pp_error e
   | Ok () -> Alcotest.fail "mid-instruction destination accepted"
 
+let test_unknown_block () =
+  let cfg, _ =
+    build_cfg {|
+        .org 0xe000
+    start:
+        mov #0x1234, r5
+        br r5
+    next:
+        jmp $
+    |}
+  in
+  (* 0xE004 (the br itself) is an instruction start but not a block
+     leader, so landing there is an unknown block, not a mid-instruction
+     destination *)
+  match Cfg.Validate.check_path cfg ~dests:[ 0xE004 ] () with
+  | Error (Cfg.Validate.Unknown_block a) -> check_int "address" 0xE004 a
+  | Error e -> Alcotest.failf "wrong error: %a" Cfg.Validate.pp_error e
+  | Ok () -> Alcotest.fail "unknown block accepted"
+
+(* golden strings: verifier diagnostics are part of the tool's surface *)
+let test_error_messages () =
+  let golden expected err =
+    Alcotest.(check string) expected expected
+      (Format.asprintf "%a" Cfg.Validate.pp_error err)
+  in
+  golden "3 unexplained trailing log entries"
+    (Cfg.Validate.Trailing_entries 3);
+  golden "destination 0xe001 is not an instruction boundary"
+    (Cfg.Validate.Not_instruction_start 0xE001);
+  golden "no block starts at 0xbeef" (Cfg.Validate.Unknown_block 0xBEEF);
+  golden "control-flow log exhausted inside block 0xe000"
+    (Cfg.Validate.Log_truncated { at = 0xE000 });
+  golden "illegal edge at 0xe000 -> 0xe010 (allowed: 0xe004 0xe008)"
+    (Cfg.Validate.Illegal_edge
+       { at = 0xE000; dest = 0xE010; allowed = [ 0xE004; 0xE008 ] });
+  golden "return at 0xe00a to 0xe000, call site expects 0xe004"
+    (Cfg.Validate.Bad_return
+       { at = 0xE00A; dest = 0xE000; expected = Some 0xE004 });
+  golden "return at 0xe00a to 0xe000 with an empty shadow stack"
+    (Cfg.Validate.Bad_return { at = 0xE00A; dest = 0xE000; expected = None })
+
 let suites =
   [ ("cfg",
      [ Alcotest.test_case "straight line" `Quick test_straight_line;
@@ -213,4 +254,6 @@ let suites =
        Alcotest.test_case "bad return" `Quick test_bad_return;
        Alcotest.test_case "truncated log" `Quick test_truncated_log;
        Alcotest.test_case "trailing entries" `Quick test_trailing_entries;
-       Alcotest.test_case "mid-instruction dest" `Quick test_mid_instruction_dest ]) ]
+       Alcotest.test_case "mid-instruction dest" `Quick test_mid_instruction_dest;
+       Alcotest.test_case "unknown block" `Quick test_unknown_block;
+       Alcotest.test_case "error messages" `Quick test_error_messages ]) ]

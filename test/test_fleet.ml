@@ -151,6 +151,31 @@ let test_plan_cache () =
   check_int "hits" 1 hits;
   check_int "misses" 3 misses
 
+let test_cache_audits_once () =
+  (* with ~audit armed, each distinct fingerprint is audited exactly once:
+     on its cache miss, never again on hits *)
+  let module S = Dialed_staticcheck in
+  let audit = S.Audit.default_config in
+  let cache = F.Plan.cache () in
+  let pump = Lazy.force vuln_built in
+  let sensor = Apps.build Apps.fire_sensor in
+  let p1 = F.Plan.find_or_build cache ~audit pump in
+  (match F.Plan.audit_report p1 with
+   | Some r -> check_bool "miss carries a clean audit" true (S.Report.ok r)
+   | None -> Alcotest.fail "audited plan carries no report");
+  ignore (F.Plan.find_or_build cache ~audit pump);
+  ignore (F.Plan.find_or_build cache ~audit sensor);
+  ignore (F.Plan.find_or_build cache ~audit sensor);
+  ignore (F.Plan.find_or_build cache ~audit pump);
+  check_int "two distinct binaries, two audits" 2 (F.Plan.cache_audits cache);
+  let hits, misses = F.Plan.cache_stats cache in
+  check_int "hits never re-audit" 3 hits;
+  check_int "misses" 2 misses;
+  (* a hit still hands back the plan with its report attached *)
+  match F.Plan.audit_report (F.Plan.find_or_build cache ~audit pump) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "cached plan lost its audit report"
+
 let test_cached_plan_verifies () =
   (* a plan pulled from the cache must verify exactly like a fresh one *)
   let built = Lazy.force vuln_built in
@@ -177,5 +202,6 @@ let suites =
        Alcotest.test_case "empty and tiny batches" `Quick
          test_empty_and_tiny_batches;
        Alcotest.test_case "plan cache" `Quick test_plan_cache;
+       Alcotest.test_case "cache audits once" `Quick test_cache_audits_once;
        Alcotest.test_case "cached plan verifies" `Quick
          test_cached_plan_verifies ]) ]

@@ -242,8 +242,10 @@ let test_composed_does_not_reinstrument () =
   in
   let composed = T.instrument dfa_out in
   (* composed CF sites = same as instrumenting the original alone *)
-  check_int "no CF logging of synth code" cfa_sites_on_plain
-    (T.count_logged_sites composed - Dfa.count_input_sites composed)
+  let cf_composed, input_composed = T.count_sites composed in
+  check_int "no CF logging of synth code" cfa_sites_on_plain cf_composed;
+  check_int "input sites survive composition"
+    (Dfa.count_input_sites composed) input_composed
 
 let suites =
   [ ("passes",
