@@ -1,6 +1,7 @@
 # Convenience wrappers around dune; `dune` remains the source of truth.
 
-.PHONY: build test lint bench bench-replay bench-fleet bench-lint examples clean
+.PHONY: build test lint bench bench-replay bench-fleet bench-fleet-gate \
+        bench-lint examples clean
 
 build:
 	dune build @all
@@ -20,9 +21,14 @@ bench:
 bench-replay:
 	dune exec bench/main.exe -- replay
 
-# Just the fleet-verification throughput experiment
+# Just the fleet-verification throughput experiment (BENCH_fleet.json)
 bench-fleet:
 	dune exec bench/main.exe -- fleet
+
+# CI soft perf gate: pooled >= 1.5x serial at batch 256 on >= 4 cores
+# (self-skipping on smaller machines)
+bench-fleet-gate:
+	dune exec bench/main.exe -- fleet-gate
 
 # Static-audit cost per binary (BENCH_lint.json)
 bench-lint:

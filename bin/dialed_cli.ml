@@ -6,7 +6,7 @@
      dialed run      [--app NAME] [--variant V] [--arg N]...
      dialed attest   [--app NAME] [--arg N]...
      dialed fleet    [--app NAME (default fire-sensor)] [--count N]
-                     [--domains D] [--tamper K]
+                     [--domains D] [--tamper K] [--pool] [--stream]
      dialed disasm   [--app NAME] [--variant V]
      dialed lint     [--app NAME | --file F | --all] [--variant V] [--json]
                      [--loop-bound K] [--require-bounded]
@@ -261,7 +261,21 @@ let fleet_cmd =
     let doc = "Tamper with the last K reports (flip one OR log byte each)." in
     Arg.(value & opt int 0 & info [ "tamper" ] ~docv:"K" ~doc)
   in
-  let run app file entry args count domains tamper =
+  let pool_arg =
+    let doc =
+      "Verify on a long-lived worker pool instead of spawning domains per \
+       call (the production path; workers and scratch arenas stay warm)."
+    in
+    Arg.(value & flag & info [ "pool" ] ~doc)
+  in
+  let stream_arg =
+    let doc =
+      "Use the streaming engine (submit reports one at a time, bounded \
+       in-flight window) instead of one batch call. Implies a pool."
+    in
+    Arg.(value & flag & info [ "stream" ] ~doc)
+  in
+  let run app file entry args count domains tamper use_pool use_stream =
     (* a fleet of the paper's fire sensors unless told otherwise *)
     let app =
       match app, file with None, None -> Some "fire-sensor" | _ -> app
@@ -301,7 +315,15 @@ let fleet_cmd =
                   (Printf.sprintf "dev-%06d" i, report))
             in
             let plan = F.Plan.of_built built in
-            let summary = F.Fleet.verify_batch ~domains plan batch in
+            let summary =
+              if use_stream then F.Fleet.verify_stream ~domains plan batch
+              else if use_pool then begin
+                let pool = F.Pool.create ~domains () in
+                Fun.protect ~finally:(fun () -> F.Pool.shutdown pool)
+                  (fun () -> F.Fleet.verify_batch ~pool plan batch)
+              end
+              else F.Fleet.verify_batch ~domains plan batch
+            in
             Format.printf "firmware %s@."
               (String.sub (F.Plan.fingerprint plan) 0 16);
             Format.printf "%a@." F.Fleet.pp_summary summary;
@@ -315,7 +337,7 @@ let fleet_cmd =
        ~doc:"Verify a simulated device fleet in parallel (batch replay)")
     Term.(term_result
             (const run $ app_arg $ file_arg $ entry_arg $ args_arg $ count_arg
-             $ domains_arg $ tamper_arg))
+             $ domains_arg $ tamper_arg $ pool_arg $ stream_arg))
 
 let lint_cmd =
   let all_arg =

@@ -214,12 +214,13 @@ let plan_of t = t.t_plan
 (* The peripheral oracle: a device over the MMIO space that answers every
    read with the value the Prover logged for it. The next log entry to be
    pushed always lives at the address r4 currently points to, because the
-   instrumentation pushes a read's value before any other log activity. *)
-let attach_oracle mem cpu oplog =
-  let last = ref None in
+   instrumentation pushes a read's value before any other log activity.
+   The oplog and pairing state live behind refs so a long-lived scratch
+   arena can re-point one attached oracle at each report's log. *)
+let attach_oracle_ref mem cpu oplog_ref last =
   let byte_of addr =
     let r4 = Cpu.get_reg cpu 4 in
-    let entry = Oplog.word_at oplog r4 in
+    let entry = Oplog.word_at !oplog_ref r4 in
     let v =
       match !last with
       | Some (prev_addr, prev_r4) when prev_addr = addr - 1 && prev_r4 = r4 ->
@@ -237,6 +238,55 @@ let attach_oracle mem cpu oplog =
       dev_write = (fun _ _ -> ());
       dev_tick = (fun _ -> ()) }
 
+let attach_oracle mem cpu oplog = attach_oracle_ref mem cpu (ref oplog) (ref None)
+
+(* ------------------------------------------------------------------ *)
+(* Scratch arena: one replay sandbox reused across reports. Binding to a
+   plan loads the image, attaches the oracle and decode cache, and takes
+   a memory snapshot; each subsequent replay against the same plan
+   resets by copying back only the pages the previous replay dirtied
+   (Memory.reset_to_snapshot) instead of allocating and re-imaging a
+   fresh 64 KiB Memory. Single-domain: a scratch must not be shared. *)
+
+type scratch_state = {
+  ss_mem : Memory.t;
+  ss_cpu : Cpu.t;
+  ss_plan : plan;                    (* bound by physical identity *)
+  ss_oplog : Oplog.t ref;
+  ss_last : (int * int) option ref;  (* oracle byte-pairing state *)
+}
+
+type scratch = { mutable sc_state : scratch_state option }
+
+let scratch () = { sc_state = None }
+
+let bind_scratch scratch p oplog =
+  match scratch.sc_state with
+  | Some ss when ss.ss_plan == p ->
+    Memory.reset_to_snapshot ss.ss_mem;
+    Cpu.reset ss.ss_cpu;
+    ss.ss_oplog := oplog;
+    ss.ss_last := None;
+    ss
+  | _ ->
+    (* first use, or a different plan: rebuild the sandbox from scratch
+       (devices cannot be detached), then snapshot the pristine image *)
+    let mem = Memory.create () in
+    let cpu = Cpu.create mem in
+    let oplog_ref = ref oplog and last = ref None in
+    attach_oracle_ref mem cpu oplog_ref last;
+    Assemble.load p.plan_built.Pipeline.image mem;
+    (match p.plan_dcache with
+     | Some c -> Memory.attach_code_cache mem c
+     | None -> ());
+    Memory.snapshot mem;
+    let ss =
+      { ss_mem = mem; ss_cpu = cpu; ss_plan = p;
+        ss_oplog = oplog_ref; ss_last = last }
+    in
+    scratch.sc_state <- Some ss;
+    ss
+
 let is_ret = Pipeline.concrete_is_ret
 
 (* The replay proper: everything that touches attacker-controlled OR bytes.
@@ -248,19 +298,27 @@ let is_ret = Pipeline.concrete_is_ret
    consumed via the allocation-free iterator. Per-step [step] records are
    only materialized when [keep_trace] is set — policies need them, so it
    is forced on when the plan carries any. *)
-let replay ?(keep_trace = true) p report =
+let replay ?(keep_trace = true) ?scratch p report =
   let keep_trace = keep_trace || p.plan_policies <> [] in
   let built = p.plan_built in
   let layout = built.Pipeline.layout in
   let open A.Layout in
   let oplog = Oplog.of_report report in
-  let mem = Memory.create () in
-  let cpu = Cpu.create mem in
-  attach_oracle mem cpu oplog;
-  Assemble.load built.Pipeline.image mem;
-  (match p.plan_dcache with
-   | Some c -> Memory.attach_code_cache mem c
-   | None -> ());
+  let mem, cpu =
+    match scratch with
+    | Some s ->
+      let ss = bind_scratch s p oplog in
+      (ss.ss_mem, ss.ss_cpu)
+    | None ->
+      let mem = Memory.create () in
+      let cpu = Cpu.create mem in
+      attach_oracle mem cpu oplog;
+      Assemble.load built.Pipeline.image mem;
+      (match p.plan_dcache with
+       | Some c -> Memory.attach_code_cache mem c
+       | None -> ());
+      (mem, cpu)
+  in
   Cpu.set_reg cpu Isa.pc p.plan_entry;
   Cpu.set_reg cpu Isa.sp layout.stack_top;
   List.iteri (fun i v -> Cpu.set_reg cpu (8 + i) v) (Oplog.args oplog);
@@ -402,7 +460,7 @@ let replay ?(keep_trace = true) p report =
     findings;
     trace = Some trace }
 
-let verify_plan ?keep_trace p report =
+let verify_plan ?keep_trace ?scratch p report =
   let built = p.plan_built in
   let layout = built.Pipeline.layout in
   let reject findings = { accepted = false; findings; trace = None } in
@@ -430,7 +488,7 @@ let verify_plan ?keep_trace p report =
       (* 3.+4. replay and policies; a report whose OR bytes cannot even
          back the log view (e.g. short or_data with a forged token) is a
          malformed report, not a crash *)
-      (try replay ?keep_trace p report
+      (try replay ?keep_trace ?scratch p report
        with Invalid_argument msg ->
          reject [ Replay_failed (Printf.sprintf "malformed report: %s" msg) ])
 

@@ -128,17 +128,42 @@ val audit_built :
     [Cfa_only]/[Unmodified] build is exactly how one demonstrates what
     the auditor rejects. *)
 
+type scratch
+(** A reusable replay arena: one 64 KiB sandbox {!Dialed_msp430.Memory}
+    (with its attached oracle and decode-cache dirty map), one CPU, and
+    the oracle's pairing state, reused across reports instead of being
+    allocated per call. The arena binds lazily to whichever plan it is
+    used with (rebinding on a plan change) and resets between reports by
+    restoring only the pages the previous replay dirtied
+    ({!Dialed_msp430.Memory.reset_to_snapshot}).
+
+    A scratch belongs to one domain: sharing it across concurrent
+    {!verify_plan} calls is a data race. Verdicts are bit-identical to
+    the fresh-memory path — [test_adversarial] pins this over the
+    tampered-report corpus. *)
+
+val scratch : unit -> scratch
+(** An unbound arena; the first {!verify_plan} call that receives it
+    pays the one-time image load + snapshot. *)
+
 val verify_plan :
-  ?keep_trace:bool -> plan -> Dialed_apex.Pox.report -> outcome
-(** Replay one report against a shared plan. Allocates all mutable state
-    locally — concurrent calls on the same plan are safe.
+  ?keep_trace:bool -> ?scratch:scratch -> plan ->
+  Dialed_apex.Pox.report -> outcome
+(** Replay one report against a shared plan. Without [scratch],
+    allocates all mutable state locally — concurrent calls on the same
+    plan are safe.
 
     [keep_trace] (default [true]) controls retention of the per-step
     {!step} list. With [~keep_trace:false] the replay still runs every
     detector but materializes no step records — [trace.steps] is empty
     while [trace.step_count] still counts — cutting the dominant
     allocation on the fleet path. Forced on when the plan carries
-    policies, which inspect [trace.steps]. *)
+    policies, which inspect [trace.steps].
+
+    [scratch] reuses the given arena for the replay sandbox. The
+    returned [trace.replay_memory] then aliases the arena and is only
+    valid until the arena's next use; policies (which run before
+    returning) are unaffected. *)
 
 val plan_layout : plan -> Dialed_apex.Layout.t
 

@@ -14,8 +14,18 @@ type summary = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Chunked work queue: the submitting domain produces index ranges, the
-   worker domains consume them. Closing wakes every blocked consumer.   *)
+(* Per-domain scratch arena: every domain that replays reports — pool
+   workers, per-call spawned workers, and the submitting domain itself —
+   owns one reusable replay sandbox, fetched through domain-local
+   storage. Pool workers keep theirs warm across batches; that, not the
+   queue, is where the per-report Memory.create/image-load cost goes.   *)
+
+let scratch_key = Domain.DLS.new_key (fun () -> C.Verifier.scratch ())
+
+(* ------------------------------------------------------------------ *)
+(* Chunked work queue for the legacy per-call path: the submitting
+   domain produces index ranges, the worker domains consume them.
+   Closing wakes every blocked consumer.                                *)
 
 module Work_queue = struct
   type t = {
@@ -58,57 +68,106 @@ end
 
 let default_chunk = 4
 
-let verify_batch ?(domains = 1) ?(chunk = default_chunk) plan batch =
+let verify_one vplan scratch device_id report =
+  (* fleet verdicts never inspect individual steps, so skip trace
+     retention — the replay still runs every detector *)
+  let outcome = C.Verifier.verify_plan ~keep_trace:false ~scratch vplan report in
+  let replay_steps =
+    match outcome.C.Verifier.trace with
+    | Some t -> t.C.Verifier.step_count
+    | None -> 0
+  in
+  { device_id; accepted = outcome.C.Verifier.accepted;
+    findings = outcome.C.Verifier.findings; replay_steps }
+
+let rejects_by_kind verdicts =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+       if not v.accepted then begin
+         (* a rejection always names its decisive finding; a rejected
+            verdict with an empty findings list (nothing downstream
+            should produce one, but synthetic or future verdicts might)
+            still counts, under its own bucket *)
+         let kind =
+           match v.findings with
+           | f :: _ -> C.Verifier.finding_kind f
+           | [] -> "no-finding"
+         in
+         Hashtbl.replace tbl kind
+           (1 + Option.value ~default:0 (Hashtbl.find_opt tbl kind))
+       end)
+    verdicts;
+  List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
+
+let summarize ~domains ~wall_seconds verdicts =
+  let n = List.length verdicts in
+  let accepted = List.length (List.filter (fun v -> v.accepted) verdicts) in
+  let replay_steps =
+    List.fold_left (fun acc v -> acc + v.replay_steps) 0 verdicts
+  in
+  { verdicts;
+    metrics =
+      { Metrics.domains; batch_size = n; accepted;
+        rejected = n - accepted; replay_steps; wall_seconds;
+        rejects_by_kind = rejects_by_kind verdicts } }
+
+let verify_batch ?pool ?(domains = 1) ?(chunk = default_chunk) plan batch =
   if domains < 1 then invalid_arg "Fleet.verify_batch: domains must be >= 1";
   if chunk < 1 then invalid_arg "Fleet.verify_batch: chunk must be >= 1";
   let reports = Array.of_list batch in
   let n = Array.length reports in
-  (* never spawn more workers than there are chunks of work *)
-  let domains = max 1 (min domains ((n + chunk - 1) / chunk)) in
+  let n_chunks = (n + chunk - 1) / chunk in
   let vplan = Plan.vplan plan in
   let results = Array.make n None in
   let verify_range (first, len) =
+    let scratch = Domain.DLS.get scratch_key in
     for i = first to first + len - 1 do
       let device_id, report = reports.(i) in
-      (* fleet verdicts never inspect individual steps, so skip trace
-         retention — the replay still runs every detector *)
-      let outcome = C.Verifier.verify_plan ~keep_trace:false vplan report in
-      let replay_steps =
-        match outcome.C.Verifier.trace with
-        | Some t -> t.C.Verifier.step_count
-        | None -> 0
-      in
       (* slots are disjoint per worker; publication happens-before the
-         submitter reads them, via Domain.join *)
-      results.(i) <-
-        Some { device_id; accepted = outcome.C.Verifier.accepted;
-               findings = outcome.C.Verifier.findings; replay_steps }
+         submitter reads them, via Domain.join / the pool's latch *)
+      results.(i) <- Some (verify_one vplan scratch device_id report)
     done
   in
+  let ranges =
+    List.init n_chunks (fun c -> (c * chunk, min chunk (n - (c * chunk))))
+  in
   let t0 = Unix.gettimeofday () in
-  (if domains = 1 then verify_range (0, n)
-   else begin
-     let q = Work_queue.create () in
-     let worker () =
-       let rec drain () =
-         match Work_queue.take q with
-         | Some range -> verify_range range; drain ()
-         | None -> ()
-       in
-       drain ()
-     in
-     let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
-     let rec feed first =
-       if first < n then begin
-         Work_queue.push q (first, min chunk (n - first));
-         feed (first + chunk)
+  let domains_used =
+    match pool with
+    | Some p ->
+      (* never split finer than the pool can exploit *)
+      let par = max 1 (min (Pool.domains p) n_chunks) in
+      if par = 1 then begin
+        if n > 0 then verify_range (0, n)
+      end
+      else Pool.run p (List.map (fun r () -> verify_range r) ranges);
+      par
+    | None ->
+      (* legacy path: spawn fresh worker domains for this one call,
+         never more than there are chunks of work *)
+      let domains = max 1 (min domains n_chunks) in
+      (if domains = 1 then begin
+         if n > 0 then verify_range (0, n)
        end
-     in
-     feed 0;
-     Work_queue.close q;
-     worker ();                      (* the submitting domain works too *)
-     List.iter Domain.join spawned
-   end);
+       else begin
+         let q = Work_queue.create () in
+         let worker () =
+           let rec drain () =
+             match Work_queue.take q with
+             | Some range -> verify_range range; drain ()
+             | None -> ()
+           in
+           drain ()
+         in
+         let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+         List.iter (Work_queue.push q) ranges;
+         Work_queue.close q;
+         worker ();                      (* the submitting domain works too *)
+         List.iter Domain.join spawned
+       end);
+      domains
+  in
   let wall_seconds = Unix.gettimeofday () -. t0 in
   let verdicts =
     Array.to_list
@@ -116,29 +175,144 @@ let verify_batch ?(domains = 1) ?(chunk = default_chunk) plan batch =
          (function Some v -> v | None -> assert false (* every slot filled *))
          results)
   in
-  let accepted = List.length (List.filter (fun v -> v.accepted) verdicts) in
-  let replay_steps =
-    List.fold_left (fun acc v -> acc + v.replay_steps) 0 verdicts
+  summarize ~domains:domains_used ~wall_seconds verdicts
+
+(* ------------------------------------------------------------------ *)
+(* Streaming verification: reports arrive one at a time, verdicts are
+   collected as replays complete, and a bounded in-flight window applies
+   backpressure to the submitter. The submitter helps drain the pool
+   whenever it would otherwise block, so a window-full stream on a
+   1-worker (or busy) pool still makes progress.                        *)
+
+type stream = {
+  st_vplan : C.Verifier.plan;
+  st_pool : Pool.t;
+  st_owned : bool;                   (* shut the pool down on close *)
+  st_window : int;
+  st_mutex : Mutex.t;
+  st_progress : Condition.t;         (* a verdict landed *)
+  mutable st_results : verdict option array;  (* indexed by submission seq *)
+  mutable st_submitted : int;
+  mutable st_inflight : int;
+  mutable st_polled : int;           (* next index stream_poll hands out *)
+  mutable st_exn : exn option;
+  mutable st_closed : bool;
+  st_t0 : float;
+}
+
+let stream ?domains ?pool ?window plan =
+  let p, owned =
+    match pool with
+    | Some p -> (p, false)
+    | None -> (Pool.create ?domains (), true)
   in
-  let rejects_by_kind =
-    let tbl = Hashtbl.create 8 in
-    List.iter
-      (fun v ->
-         if not v.accepted then
-           match v.findings with
-           | f :: _ ->
-             let kind = C.Verifier.finding_kind f in
-             Hashtbl.replace tbl kind
-               (1 + Option.value ~default:0 (Hashtbl.find_opt tbl kind))
-           | [] -> ())
-      verdicts;
-    List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
+  let window =
+    match window with
+    | Some w -> if w < 1 then invalid_arg "Fleet.stream: window must be >= 1" else w
+    | None -> max 16 (4 * Pool.domains p)
   in
-  { verdicts;
-    metrics =
-      { Metrics.domains; batch_size = n; accepted;
-        rejected = n - accepted; replay_steps; wall_seconds;
-        rejects_by_kind } }
+  { st_vplan = Plan.vplan plan; st_pool = p; st_owned = owned;
+    st_window = window; st_mutex = Mutex.create ();
+    st_progress = Condition.create (); st_results = Array.make 64 None;
+    st_submitted = 0; st_inflight = 0; st_polled = 0; st_exn = None;
+    st_closed = false; st_t0 = Unix.gettimeofday () }
+
+(* Wait (helping the pool) until [cond ()] turns false; call with
+   [st_mutex] held, returns with it held. *)
+let help_while st cond =
+  while cond () do
+    Mutex.unlock st.st_mutex;
+    let ran = Pool.try_run_one st.st_pool in
+    Mutex.lock st.st_mutex;
+    if (not ran) && cond () then Condition.wait st.st_progress st.st_mutex
+  done
+
+let stream_submit st device_id report =
+  Mutex.lock st.st_mutex;
+  if st.st_closed then begin
+    Mutex.unlock st.st_mutex;
+    invalid_arg "Fleet.stream_submit: stream is closed"
+  end;
+  let seq = st.st_submitted in
+  st.st_submitted <- seq + 1;
+  st.st_inflight <- st.st_inflight + 1;
+  if seq >= Array.length st.st_results then begin
+    let bigger = Array.make (2 * Array.length st.st_results) None in
+    Array.blit st.st_results 0 bigger 0 (Array.length st.st_results);
+    st.st_results <- bigger
+  end;
+  Mutex.unlock st.st_mutex;
+  let job () =
+    let result =
+      try Ok (verify_one st.st_vplan (Domain.DLS.get scratch_key)
+                device_id report)
+      with e -> Error e
+    in
+    Mutex.lock st.st_mutex;
+    (match result with
+     | Ok v -> st.st_results.(seq) <- Some v
+     | Error e -> if st.st_exn = None then st.st_exn <- Some e);
+    st.st_inflight <- st.st_inflight - 1;
+    Condition.broadcast st.st_progress;
+    Mutex.unlock st.st_mutex
+  in
+  if Pool.workers st.st_pool = 0 then job ()
+  else begin
+    Pool.submit st.st_pool job;
+    (* bounded window: block (helping) until in-flight drops below it *)
+    Mutex.lock st.st_mutex;
+    help_while st (fun () -> st.st_inflight >= st.st_window);
+    Mutex.unlock st.st_mutex
+  end
+
+let stream_pending st =
+  Mutex.lock st.st_mutex;
+  let n = st.st_inflight in
+  Mutex.unlock st.st_mutex;
+  n
+
+let stream_poll st =
+  Mutex.lock st.st_mutex;
+  let out = ref [] in
+  let continue = ref true in
+  while !continue && st.st_polled < st.st_submitted do
+    match st.st_results.(st.st_polled) with
+    | Some v -> out := v :: !out; st.st_polled <- st.st_polled + 1
+    | None -> continue := false
+  done;
+  Mutex.unlock st.st_mutex;
+  List.rev !out
+
+let stream_close st =
+  Mutex.lock st.st_mutex;
+  if st.st_closed then begin
+    Mutex.unlock st.st_mutex;
+    invalid_arg "Fleet.stream_close: already closed"
+  end;
+  st.st_closed <- true;
+  help_while st (fun () -> st.st_inflight > 0);
+  let wall_seconds = Unix.gettimeofday () -. st.st_t0 in
+  let failure = st.st_exn in
+  let n = st.st_submitted in
+  let results = st.st_results in
+  Mutex.unlock st.st_mutex;
+  if st.st_owned then Pool.shutdown st.st_pool;
+  (match failure with Some e -> raise e | None -> ());
+  let verdicts =
+    List.init n (fun i ->
+        match results.(i) with
+        | Some v -> v
+        | None -> assert false (* inflight drained and no exn recorded *))
+  in
+  summarize ~domains:(Pool.domains st.st_pool) ~wall_seconds verdicts
+
+let verify_stream ?domains ?pool ?window plan batch =
+  let st = stream ?domains ?pool ?window plan in
+  List.iter (fun (device_id, report) -> stream_submit st device_id report)
+    batch;
+  stream_close st
+
+(* ------------------------------------------------------------------ *)
 
 let accepted s = List.filter (fun v -> v.accepted) s.verdicts
 let rejected s = List.filter (fun v -> not v.accepted) s.verdicts

@@ -1,18 +1,24 @@
-(** Batch verification engine: replay many attestation reports against one
-    shared {!Plan} across OCaml 5 domains.
+(** Batch and streaming verification: replay many attestation reports
+    against one shared {!Plan} across OCaml 5 domains.
 
     The paper's verifier handles one report at a time; at fleet scale
     (thousands of devices running the same firmware) verifier-side replay
     throughput is the bottleneck. This engine shares the per-firmware
     setup — assembled image, expected-ER bytes, resolved annotation
     table — through an immutable plan and spreads the per-report replays
-    over a chunked work queue consumed by [domains] worker domains
-    (guarded by [Mutex]/[Condition]; the submitting domain participates
-    as a worker).
+    over worker domains, either a long-lived {!Pool} (preferred: workers
+    and their scratch arenas persist across batches) or domains spawned
+    per call (the legacy path, kept for comparison and one-shot use).
 
-    Verdicts are deterministic: the result is independent of [domains]
-    and chunk scheduling, because every replay only reads the shared plan
-    and writes its own result slot. *)
+    Every replaying domain reuses a per-domain
+    {!Dialed_core.Verifier.scratch} arena via domain-local storage, so
+    steady-state verification allocates nothing proportional to the
+    sandbox: the 64 KiB replay memory is reset page-wise between
+    reports instead of being reallocated and re-imaged.
+
+    Verdicts are deterministic: the result is independent of the domain
+    count, chunk scheduling, and scratch reuse, because every replay
+    only reads the shared plan and writes its own result slot. *)
 
 type verdict = {
   device_id : string;
@@ -27,19 +33,73 @@ type summary = {
 }
 
 val verify_batch :
-  ?domains:int -> ?chunk:int ->
+  ?pool:Pool.t -> ?domains:int -> ?chunk:int ->
   Plan.t -> (string * Dialed_apex.Pox.report) list -> summary
-(** [verify_batch ~domains plan batch] replays every [(device_id, report)]
-    pair and aggregates outcomes. [domains] defaults to 1 (strictly
-    serial, no spawning); it is capped at the number of chunks so small
-    batches do not spawn idle domains. [chunk] (default 4) is the number
-    of reports a worker claims at a time: small enough to balance skewed
-    replay lengths, large enough to keep queue traffic negligible.
-    Raises [Invalid_argument] on non-positive [domains] or [chunk].
+(** [verify_batch ~pool plan batch] replays every [(device_id, report)]
+    pair on the pool's domains (the caller participates) and aggregates
+    outcomes; the pool's workers stay warm for the next batch. Without
+    [pool], falls back to spawning [domains - 1] fresh domains for this
+    call ([domains] defaults to 1 — strictly serial, no spawning).
+    Parallelism is capped at the number of chunks so small batches do
+    not split below [chunk] reports per task. [chunk] (default 4) is the
+    number of reports a worker claims at a time: small enough to balance
+    skewed replay lengths, large enough to keep queue traffic
+    negligible. Raises [Invalid_argument] on non-positive [domains] or
+    [chunk].
 
-    Guidance: replay is CPU-bound and shares no mutable state, so
-    [~domains:(Domain.recommended_domain_count ())] is the sensible
-    maximum; beyond physical cores it only adds scheduling noise. *)
+    Guidance: replay is CPU-bound and shares no mutable state, so a pool
+    of [Domain.recommended_domain_count ()] is the sensible maximum;
+    beyond physical cores it only adds scheduling noise. *)
+
+val rejects_by_kind : verdict list -> (string * int) list
+(** Histogram of rejected verdicts by the
+    {!Dialed_core.Verifier.finding_kind} of their first (decisive)
+    finding, sorted by kind. A rejected verdict with no findings at all
+    is counted under ["no-finding"] rather than dropped. This is the
+    exact aggregation {!verify_batch} and {!stream_close} put in
+    {!Metrics.t.rejects_by_kind}. *)
+
+(** {2 Streaming verification}
+
+    Continuous attestation traffic: submit reports as they arrive,
+    collect verdicts as replays complete. A bounded in-flight window
+    applies backpressure to the submitter (who helps drain the pool
+    rather than blocking idle). *)
+
+type stream
+
+val stream : ?domains:int -> ?pool:Pool.t -> ?window:int -> Plan.t -> stream
+(** Open a stream over [plan]. With [pool], replays run on it (and the
+    pool survives the stream); otherwise a private pool of [domains]
+    (default {!Domain.recommended_domain_count}) is created and shut
+    down by {!stream_close}. [window] (default [max 16 (4 * domains)])
+    bounds the submitted-but-unfinished report count. *)
+
+val stream_submit : stream -> string -> Dialed_apex.Pox.report -> unit
+(** Submit one report. Blocks (productively: the caller steals pool
+    jobs) while the in-flight window is full. Raises [Invalid_argument]
+    on a closed stream. *)
+
+val stream_pending : stream -> int
+(** Reports submitted whose verdicts have not landed yet. *)
+
+val stream_poll : stream -> verdict list
+(** Verdicts completed since the last poll, in submission order (an
+    in-order prefix: a still-running replay blocks later, already
+    finished ones). Never blocks. *)
+
+val stream_close : stream -> summary
+(** Drain everything in flight (helping the pool), shut the pool down if
+    the stream owns it, and return the summary over {e all} submitted
+    reports in submission order — including verdicts already handed out
+    by {!stream_poll}. [wall_seconds] spans stream open to drain. *)
+
+val verify_stream :
+  ?domains:int -> ?pool:Pool.t -> ?window:int ->
+  Plan.t -> (string * Dialed_apex.Pox.report) list -> summary
+(** [stream] + submit each pair + [stream_close]: batch semantics over
+    the streaming path. Summaries are verdict-identical to
+    {!verify_batch} on the same input (pinned by [test_fleet]). *)
 
 val accepted : summary -> verdict list
 val rejected : summary -> verdict list

@@ -27,8 +27,11 @@ let layout t = C.Verifier.plan_layout t.vplan
 type cache = {
   capacity : int;
   mutex : Mutex.t;
+  built_cond : Condition.t;         (* an in-flight build finished/failed *)
   table : (string, t) Hashtbl.t;
-  order : string Queue.t;           (* insertion order, for FIFO eviction *)
+  stamps : (string, int) Hashtbl.t; (* key -> last-use tick, for LRU *)
+  building : (string, unit) Hashtbl.t;  (* builds currently in flight *)
+  mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable audits : int;             (* static audits actually executed *)
@@ -36,40 +39,84 @@ type cache = {
 
 let cache ?(capacity = 16) () =
   if capacity < 1 then invalid_arg "Plan.cache: capacity must be positive";
-  { capacity; mutex = Mutex.create (); table = Hashtbl.create 16;
-    order = Queue.create (); hits = 0; misses = 0; audits = 0 }
+  { capacity; mutex = Mutex.create (); built_cond = Condition.create ();
+    table = Hashtbl.create 16; stamps = Hashtbl.create 16;
+    building = Hashtbl.create 4; tick = 0; hits = 0; misses = 0; audits = 0 }
 
 let cache_key ~key fingerprint =
   fingerprint ^ ":" ^ Dialed_crypto.Sha256.hex (Dialed_crypto.Sha256.digest key)
+
+(* must hold [cache.mutex] *)
+let touch cache k =
+  cache.tick <- cache.tick + 1;
+  Hashtbl.replace cache.stamps k cache.tick
+
+(* must hold [cache.mutex]; stamps are unique, so the victim is too *)
+let evict_lru cache =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k _ ->
+       let s = Option.value ~default:0 (Hashtbl.find_opt cache.stamps k) in
+       match !victim with
+       | Some (_, vs) when vs <= s -> ()
+       | _ -> victim := Some (k, s))
+    cache.table;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove cache.table k;
+    Hashtbl.remove cache.stamps k
+  | None -> ()
 
 let find_or_build cache ?(key = Dialed_apex.Device.default_key) ?policies
     ?max_steps ?audit built =
   let k = cache_key ~key (C.Pipeline.fingerprint built) in
   Mutex.lock cache.mutex;
-  match Hashtbl.find_opt cache.table k with
-  | Some plan ->
-    cache.hits <- cache.hits + 1;
-    Mutex.unlock cache.mutex;
-    plan
-  | None ->
-    cache.misses <- cache.misses + 1;
-    (if audit <> None then cache.audits <- cache.audits + 1);
-    Mutex.unlock cache.mutex;
-    (* build outside the lock: plan construction resolves the whole
-       annotation table (and runs the static audit, when armed) and must
-       not serialize other lookups *)
-    let plan = of_built ~key ?policies ?max_steps ?audit built in
-    Mutex.lock cache.mutex;
-    if not (Hashtbl.mem cache.table k) then begin
-      if Queue.length cache.order >= cache.capacity then begin
-        let oldest = Queue.pop cache.order in
-        Hashtbl.remove cache.table oldest
-      end;
-      Hashtbl.add cache.table k plan;
-      Queue.add k cache.order
-    end;
-    Mutex.unlock cache.mutex;
-    plan
+  let rec lookup () =
+    match Hashtbl.find_opt cache.table k with
+    | Some plan ->
+      cache.hits <- cache.hits + 1;
+      touch cache k;
+      Mutex.unlock cache.mutex;
+      plan
+    | None ->
+      if Hashtbl.mem cache.building k then begin
+        (* another domain is already building this exact plan: wait for
+           it instead of duplicating the build (and its audit) *)
+        Condition.wait cache.built_cond cache.mutex;
+        lookup ()
+      end
+      else begin
+        cache.misses <- cache.misses + 1;
+        Hashtbl.add cache.building k ();
+        Mutex.unlock cache.mutex;
+        (* build outside the lock: plan construction resolves the whole
+           annotation table (and runs the static audit, when armed) and
+           must not serialize unrelated lookups *)
+        match of_built ~key ?policies ?max_steps ?audit built with
+        | exception e ->
+          Mutex.lock cache.mutex;
+          Hashtbl.remove cache.building k;
+          Condition.broadcast cache.built_cond;
+          Mutex.unlock cache.mutex;
+          raise e
+        | plan ->
+          Mutex.lock cache.mutex;
+          Hashtbl.remove cache.building k;
+          (* count the audit only now that the build (and therefore the
+             audit inside it) actually ran to completion *)
+          (if audit <> None then cache.audits <- cache.audits + 1);
+          if not (Hashtbl.mem cache.table k) then begin
+            if Hashtbl.length cache.table >= cache.capacity then
+              evict_lru cache;
+            Hashtbl.add cache.table k plan
+          end;
+          touch cache k;
+          Condition.broadcast cache.built_cond;
+          Mutex.unlock cache.mutex;
+          plan
+      end
+  in
+  lookup ()
 
 let cache_stats cache =
   Mutex.lock cache.mutex;

@@ -37,27 +37,34 @@ type cache
 (** Mutex-guarded; safe to share across domains. *)
 
 val cache : ?capacity:int -> unit -> cache
-(** FIFO-evicting cache holding at most [capacity] (default 16) plans.
-    Raises [Invalid_argument] on a non-positive capacity. *)
+(** LRU-evicting cache holding at most [capacity] (default 16) plans: a
+    hit refreshes the entry's recency, so a hot firmware fingerprint is
+    never evicted in favor of cold ones. Raises [Invalid_argument] on a
+    non-positive capacity. *)
 
 val find_or_build :
   cache -> ?key:string -> ?policies:Dialed_core.Verifier.policy list ->
   ?max_steps:int -> ?audit:Dialed_staticcheck.Audit.config ->
   Dialed_core.Pipeline.built -> t
 (** Return the cached plan for [(fingerprint built, key)] or build and
-    insert one. Note: [policies], [max_steps] and [audit] only take
-    effect when the entry is first built — a hit returns the plan exactly
-    as first constructed, so a fleet batch runs the (comparatively
-    expensive) static audit once per distinct firmware fingerprint, not
-    once per report. Fleets that need per-batch policies should use
-    {!of_built}. *)
+    insert one. Concurrent lookups of the same missing key build once:
+    later arrivals wait for the in-flight build and count as hits. If
+    the build raises, the exception propagates to the builder and the
+    waiters retry (one of them becomes the new builder). Note:
+    [policies], [max_steps] and [audit] only take effect when the entry
+    is first built — a hit returns the plan exactly as first
+    constructed, so a fleet batch runs the (comparatively expensive)
+    static audit once per distinct firmware fingerprint, not once per
+    report. Fleets that need per-batch policies should use {!of_built}. *)
 
 val cache_stats : cache -> int * int
-(** [(hits, misses)] so far. *)
+(** [(hits, misses)] so far. A miss is a lookup that started a build —
+    waiting on someone else's in-flight build is a hit. *)
 
 val cache_audits : cache -> int
-(** Static audits this cache actually ran — one per miss with [audit]
-    armed; hits never re-audit. *)
+(** Static audits this cache actually ran to completion — at most one
+    per miss with [audit] armed; hits (including deduplicated concurrent
+    lookups) never re-audit, and a build that raises counts nothing. *)
 
 val cache_size : cache -> int
 (** Plans currently resident. *)

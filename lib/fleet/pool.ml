@@ -1,0 +1,133 @@
+(* Long-lived verification domain pool.
+
+   [Domain.spawn] costs milliseconds and every spawned domain joins the
+   stop-the-world minor-GC barrier, so spawning workers per batch makes
+   small batches slower than serial verification. The pool spawns its
+   workers once — lazily, on the first job — and keeps them blocked on a
+   condition variable between batches, so steady-state fleet traffic
+   pays queue operations only.
+
+   The submitting domain is a first-class worker: [run] pushes the
+   batch's jobs and then drains the queue itself alongside the spawned
+   workers, so a pool of [domains = n] applies n-way parallelism with
+   only n - 1 spawned domains (and [domains = 1] spawns nothing at
+   all, degrading to plain serial execution). *)
+
+type t = {
+  parallelism : int;                     (* including the submitting domain *)
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable workers : unit Domain.t list;  (* spawned lazily; parallelism - 1 *)
+  mutable state : [ `Fresh | `Running | `Stopped ];
+}
+
+let create ?domains () =
+  let parallelism =
+    match domains with
+    | Some d -> d
+    | None -> Domain.recommended_domain_count ()
+  in
+  if parallelism < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  { parallelism; mutex = Mutex.create (); nonempty = Condition.create ();
+    jobs = Queue.create (); workers = []; state = `Fresh }
+
+let domains t = t.parallelism
+let workers t = t.parallelism - 1
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    let rec take () =
+      match Queue.take_opt t.jobs with
+      | Some job -> Mutex.unlock t.mutex; Some job
+      | None ->
+        if t.state = `Stopped then begin Mutex.unlock t.mutex; None end
+        else begin Condition.wait t.nonempty t.mutex; take () end
+    in
+    match take () with
+    | Some job -> job (); loop ()
+    | None -> ()
+  in
+  loop ()
+
+(* must hold [t.mutex] *)
+let ensure_started t =
+  if t.state = `Fresh then begin
+    t.state <- `Running;
+    t.workers <-
+      List.init (t.parallelism - 1) (fun _ ->
+          Domain.spawn (fun () -> worker_loop t))
+  end
+
+let submit t job =
+  Mutex.lock t.mutex;
+  match t.state with
+  | `Stopped ->
+    Mutex.unlock t.mutex;
+    invalid_arg "Pool.submit: pool is shut down"
+  | `Fresh | `Running ->
+    ensure_started t;
+    Queue.add job t.jobs;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex
+
+let try_run_one t =
+  Mutex.lock t.mutex;
+  match Queue.take_opt t.jobs with
+  | Some job -> Mutex.unlock t.mutex; job (); true
+  | None -> Mutex.unlock t.mutex; false
+
+(* ------------------------------------------------------------------ *)
+(* Batch execution: a per-call countdown latch. Jobs may be picked up by
+   any domain (including submitters of unrelated batches helping out);
+   the latch, not the queue, defines batch completion.                  *)
+
+type latch = {
+  l_mutex : Mutex.t;
+  l_done : Condition.t;
+  mutable l_remaining : int;
+  mutable l_exn : exn option;
+}
+
+let run t thunks =
+  let n = List.length thunks in
+  if n > 0 then begin
+    let latch =
+      { l_mutex = Mutex.create (); l_done = Condition.create ();
+        l_remaining = n; l_exn = None }
+    in
+    let wrap job () =
+      let failure = (try job (); None with e -> Some e) in
+      Mutex.lock latch.l_mutex;
+      (match failure with
+       | Some e when latch.l_exn = None -> latch.l_exn <- Some e
+       | _ -> ());
+      latch.l_remaining <- latch.l_remaining - 1;
+      if latch.l_remaining = 0 then Condition.broadcast latch.l_done;
+      Mutex.unlock latch.l_mutex
+    in
+    List.iter (fun job -> submit t (wrap job)) thunks;
+    (* the submitting domain works too *)
+    while try_run_one t do () done;
+    Mutex.lock latch.l_mutex;
+    while latch.l_remaining > 0 do
+      Condition.wait latch.l_done latch.l_mutex
+    done;
+    let failure = latch.l_exn in
+    Mutex.unlock latch.l_mutex;
+    match failure with Some e -> raise e | None -> ()
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  match t.state with
+  | `Stopped -> Mutex.unlock t.mutex
+  | `Fresh -> t.state <- `Stopped; Mutex.unlock t.mutex
+  | `Running ->
+    t.state <- `Stopped;
+    Condition.broadcast t.nonempty;
+    let ws = t.workers in
+    t.workers <- [];
+    Mutex.unlock t.mutex;
+    List.iter Domain.join ws

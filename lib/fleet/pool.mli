@@ -1,0 +1,51 @@
+(** Long-lived pool of verification worker domains.
+
+    [Fleet.verify_batch] originally spawned fresh domains per call;
+    [Domain.spawn] costs milliseconds and every live domain participates
+    in OCaml 5's stop-the-world minor collections, so per-call spawning
+    made parallel batches {e slower} than serial on small batches. A
+    pool amortizes both costs: workers are spawned once (lazily, on the
+    first job) and parked on a condition variable between batches, and
+    each worker keeps its per-domain scratch arena warm across batches.
+
+    Jobs are opaque thunks; completion of a batch is tracked by a
+    per-{!run} countdown latch, so several submitters may share one pool
+    concurrently. The submitting domain always participates in draining
+    the queue — a pool of [domains = n] spawns only [n - 1] domains, and
+    [domains = 1] spawns none (plain serial execution, no queue cost on
+    the replay path). *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] prepares a pool applying [domains]-way
+    parallelism (default {!Domain.recommended_domain_count}). No domain
+    is spawned until the first job arrives. Raises [Invalid_argument]
+    when [domains < 1]. *)
+
+val domains : t -> int
+(** Total parallelism, including the submitting domain. *)
+
+val workers : t -> int
+(** Worker domains the pool spawns ([domains t - 1]); [0] means jobs
+    only ever run on the calling domain. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue one job; spawns the workers on first use. The job runs on an
+    arbitrary pool domain (or on a caller inside {!run}/{!try_run_one}).
+    Raises [Invalid_argument] after {!shutdown}. *)
+
+val try_run_one : t -> bool
+(** Steal and run one queued job on the calling domain; [false] when the
+    queue is empty. Lets a producer (the streaming submitter) help when
+    it would otherwise block. *)
+
+val run : t -> (unit -> unit) list -> unit
+(** Submit the thunks, drain the queue on the calling domain alongside
+    the workers, and return when {e all} of them have finished (even if
+    other pool users stole some). The first exception a thunk raised is
+    re-raised here after the batch completes. *)
+
+val shutdown : t -> unit
+(** Stop accepting jobs, let the workers finish what is queued, and join
+    them. Idempotent. Subsequent {!submit}/{!run} calls raise. *)

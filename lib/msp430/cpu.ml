@@ -38,6 +38,19 @@ let create mem =
 
 let raw t = t.raw
 
+let reset t =
+  Array.fill t.regs 0 16 0;
+  t.total_cycles <- 0;
+  t.total_steps <- 0;
+  t.halt <- None;
+  t.irq <- None;
+  t.raw.raw_pc_before <- 0;
+  t.raw.raw_pc_after <- 0;
+  t.raw.raw_instr <- Isa.Reti;
+  t.raw.raw_executed <- false;
+  t.raw.raw_irq_taken <- false;
+  t.raw.raw_cycles <- 0
+
 let memory t = t.mem
 let cycles t = t.total_cycles
 let steps t = t.total_steps

@@ -40,6 +40,13 @@ type raw = {
 val create : Memory.t -> t
 (** CPU with all registers zero and SP/PC unset; see {!set_reg}. *)
 
+val reset : t -> unit
+(** Return the CPU to its freshly-{!create}d state (registers, flags,
+    counters, pending IRQ, latched halt, the {!raw} record) without
+    touching the attached memory. A [reset] CPU behaves bit-identically
+    to a new one — the verifier's scratch arena relies on this to reuse
+    one CPU across replays. *)
+
 val memory : t -> Memory.t
 val cycles : t -> int
 (** Total elapsed cycles. *)

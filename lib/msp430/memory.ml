@@ -38,13 +38,20 @@ type t = {
   mutable dirty : Bytes.t;
   mutable dirty_lo : int;
   mutable dirty_hi : int;
+  (* reset-to-snapshot support: one byte per 256-byte page, set on any
+     backing write, so a reset only copies back the pages a run touched *)
+  page_dirty : Bytes.t;
+  mutable snap : Bytes.t;        (* empty until [snapshot] *)
+  mutable snap_dirty : Bytes.t;  (* word-dirty map state at snapshot time *)
 }
 
 let create () =
   { bytes = Bytes.make size_bytes '\000'; devices = [];
     pages = Array.make n_pages [];
     tr = Array.make 64 0; tr_len = 0;
-    dcache = None; dirty = Bytes.empty; dirty_lo = max_int; dirty_hi = -1 }
+    dcache = None; dirty = Bytes.empty; dirty_lo = max_int; dirty_hi = -1;
+    page_dirty = Bytes.make n_pages '\000';
+    snap = Bytes.empty; snap_dirty = Bytes.empty }
 
 let mark_dirty_range t lo hi =
   let lo = max (lo land 0xFFFF) t.dirty_lo
@@ -82,6 +89,7 @@ let backing_get t addr = Char.code (Bytes.unsafe_get t.bytes (addr land 0xFFFF))
 let backing_set t addr v =
   let addr = addr land 0xFFFF in
   Bytes.unsafe_set t.bytes addr (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set t.page_dirty (addr lsr page_shift) '\001';
   if addr >= t.dirty_lo && addr <= t.dirty_hi then
     Bytes.unsafe_set t.dirty ((addr - t.dirty_lo) lsr 1) '\001'
 
@@ -122,7 +130,12 @@ let load_image t ~addr s =
   let len = String.length s in
   if addr + len <= size_bytes then begin
     Bytes.blit_string s 0 t.bytes addr len;
-    if len > 0 then mark_dirty_range t addr (addr + len - 1)
+    if len > 0 then begin
+      mark_dirty_range t addr (addr + len - 1);
+      for p = addr lsr page_shift to (addr + len - 1) lsr page_shift do
+        Bytes.unsafe_set t.page_dirty p '\001'
+      done
+    end
   end
   else String.iteri (fun i c -> backing_set t (addr + i) (Char.code c)) s
 
@@ -208,7 +221,32 @@ let attach_code_cache t c =
     Bytes.make (((Decode_cache.hi c - Decode_cache.lo c) lsr 1) + 1) '\000';
   t.dirty_lo <- Decode_cache.lo c;
   t.dirty_hi <- Decode_cache.hi c;
-  List.iter (fun d -> mark_dirty_range t d.dev_lo d.dev_hi) t.devices
+  List.iter (fun d -> mark_dirty_range t d.dev_lo d.dev_hi) t.devices;
+  (* a fresh map is exactly the state a reset should restore, so an
+     existing snapshot keeps working across a (re)attachment *)
+  if Bytes.length t.snap > 0 then t.snap_dirty <- Bytes.copy t.dirty
+
+(* --- snapshot / reset ------------------------------------------------ *)
+
+let snapshot t =
+  if Bytes.length t.snap = 0 then t.snap <- Bytes.create size_bytes;
+  Bytes.blit t.bytes 0 t.snap 0 size_bytes;
+  t.snap_dirty <- Bytes.copy t.dirty;
+  Bytes.fill t.page_dirty 0 n_pages '\000'
+
+let reset_to_snapshot t =
+  if Bytes.length t.snap = 0 then
+    invalid_arg "Memory.reset_to_snapshot: no snapshot taken";
+  for p = 0 to n_pages - 1 do
+    if Bytes.unsafe_get t.page_dirty p <> '\000' then begin
+      Bytes.blit t.snap (p lsl page_shift) t.bytes (p lsl page_shift)
+        (1 lsl page_shift);
+      Bytes.unsafe_set t.page_dirty p '\000'
+    end
+  done;
+  if Bytes.length t.dirty = Bytes.length t.snap_dirty then
+    Bytes.blit t.snap_dirty 0 t.dirty 0 (Bytes.length t.dirty);
+  t.tr_len <- 0
 
 let cached_decode t pc =
   match t.dcache with

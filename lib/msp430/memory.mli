@@ -94,3 +94,29 @@ val cached_decode : t -> int -> Decode_cache.entry option
 (** Fast-path lookup for the instruction at [pc]: [Some e] only when a
     cache is attached, [pc] is even, and no word of the cached encoding
     has been dirtied. Allocation-free on both hit and miss. *)
+
+(** {1 Snapshot / reset}
+
+    A memory that is reused across many short runs (the verifier's
+    per-domain scratch arena) resets by copy-back instead of
+    reallocation: {!snapshot} captures the RAM contents (and the decode
+    cache's word-dirty map) once, and every backing write afterwards
+    marks its 256-byte page in a page-dirty map, so
+    {!reset_to_snapshot} restores only the pages the run actually
+    touched — O(footprint), not O(64 KiB).
+
+    The snapshot covers RAM contents, the word-dirty map, and the
+    per-step trace cursor. It does {e not} cover device-internal state
+    or the device table itself: attach devices before snapshotting and
+    reset their state separately. *)
+
+val snapshot : t -> unit
+(** Capture the current RAM contents as the reset baseline and clear
+    the page-dirty map. Re-attaching a code cache after a snapshot
+    refreshes the captured word-dirty map, so the snapshot survives it. *)
+
+val reset_to_snapshot : t -> unit
+(** Restore every page written since the last {!snapshot} (or
+    {!attach_code_cache}-refresh) from the baseline, restore the
+    word-dirty map, and clear the per-step trace. Raises
+    [Invalid_argument] if {!snapshot} was never called. *)

@@ -406,11 +406,68 @@ let test_audit_gates_verification () =
   check_bool "genuine binary still accepted" true
     (C.Verifier.verify_plan genuine report).C.Verifier.accepted
 
+(* ---------------------------------------------------------------- *)
+(* Scratch-arena equivalence: replaying through one reused
+   Verifier.scratch (the fleet engine's per-domain arena) must be
+   observationally identical to the fresh-sandbox path, for benign and
+   tampered reports alike. A single arena is deliberately shared across
+   the whole random sequence, so residue from any earlier replay —
+   dirty RAM pages, CPU registers, shadow-stack state, trace cursor —
+   would surface as a divergence in a later case if reset were
+   incomplete.                                                        *)
+
+let prop_scratch_equivalence =
+  let built, report, used = Lazy.force benign in
+  let plan = plan_for built in
+  let scratch = C.Verifier.scratch () in
+  let len = String.length report.A.Pox.or_data in
+  let mutate (which, a, b) =
+    match which with
+    | 0 -> report                              (* benign, accepted *)
+    | 1 ->
+      (* network attacker: one bit flip, token no longer verifies *)
+      let or_data = Bytes.of_string report.A.Pox.or_data in
+      let byte = a mod len and bit = b mod 8 in
+      Bytes.set or_data byte
+        (Char.chr (Char.code (Bytes.get or_data byte) lxor (1 lsl bit)));
+      with_or_data report or_data
+    | 2 ->
+      (* key-holder: truncated log under a valid token (malformed path) *)
+      forge_token built
+        { report with
+          A.Pox.or_data = String.sub report.A.Pox.or_data 0 (a mod len) }
+    | _ ->
+      (* key-holder: one log entry flipped and re-MACed (replay path) *)
+      let k = a mod used in
+      let or_data = Bytes.of_string report.A.Pox.or_data in
+      set_entry_word or_data (entry_offset report k)
+        (entry_word report k lxor 0x8000);
+      forge_token built (with_or_data report or_data)
+  in
+  QCheck.Test.make
+    ~name:"scratch-arena replay is bit-identical to fresh replay"
+    ~count:120
+    QCheck.(triple (int_bound 3) (int_bound 20_000) (int_bound 20_000))
+    (fun case ->
+       let r = mutate case in
+       let fresh = C.Verifier.verify_plan plan r in
+       let reused = C.Verifier.verify_plan ~scratch plan r in
+       fresh.C.Verifier.accepted = reused.C.Verifier.accepted
+       && fresh.C.Verifier.findings = reused.C.Verifier.findings
+       && (match (fresh.C.Verifier.trace, reused.C.Verifier.trace) with
+           | Some a, Some b ->
+             a.C.Verifier.step_count = b.C.Verifier.step_count
+             && a.C.Verifier.cf_dests = b.C.Verifier.cf_dests
+             && a.C.Verifier.inputs = b.C.Verifier.inputs
+           | None, None -> true
+           | _ -> false))
+
 let suites =
   [ ("adversarial",
      [ QCheck_alcotest.to_alcotest prop_bit_flip;
        QCheck_alcotest.to_alcotest prop_truncation;
        QCheck_alcotest.to_alcotest prop_entry_swap;
+       QCheck_alcotest.to_alcotest prop_scratch_equivalence;
        Alcotest.test_case "forged-MAC entry flips" `Quick
          test_forged_mac_entry_flips;
        Alcotest.test_case "forged-MAC truncation is malformed" `Quick

@@ -191,6 +191,200 @@ let test_cached_plan_verifies () =
      = List.map (fun (v : F.Fleet.verdict) -> (v.F.Fleet.device_id, v.F.Fleet.accepted))
          via_cache.F.Fleet.verdicts)
 
+(* everything a verdict observable carries; equality over this list is
+   the fleet engine's determinism contract *)
+let verdict_key (v : F.Fleet.verdict) =
+  (v.F.Fleet.device_id, v.F.Fleet.accepted, v.F.Fleet.findings,
+   v.F.Fleet.replay_steps)
+
+let verdict_keys (s : F.Fleet.summary) =
+  List.map verdict_key s.F.Fleet.verdicts
+
+let test_pool_reuse () =
+  (* one long-lived pool across several batches: the pooled path (warm
+     workers, reused scratch arenas) must match both the strictly serial
+     path and the legacy spawn-per-call path, verdict for verdict *)
+  let built = Lazy.force vuln_built in
+  let plan = F.Plan.of_built built in
+  let pool = F.Pool.create ~domains:3 () in
+  check_int "pool domains" 3 (F.Pool.domains pool);
+  check_int "pool workers" 2 (F.Pool.workers pool);
+  List.iter
+    (fun n ->
+       let batch = mixed_batch built n in
+       let serial = F.Fleet.verify_batch ~domains:1 plan batch in
+       let spawned = F.Fleet.verify_batch ~domains:3 ~chunk:2 plan batch in
+       let pooled = F.Fleet.verify_batch ~pool ~chunk:2 plan batch in
+       check_bool
+         (Printf.sprintf "batch %d: serial = spawn-per-call" n) true
+         (verdict_keys serial = verdict_keys spawned);
+       check_bool (Printf.sprintf "batch %d: serial = pooled" n) true
+         (verdict_keys serial = verdict_keys pooled))
+    [ 12; 16; 8 ];
+  F.Pool.shutdown pool;
+  F.Pool.shutdown pool;                       (* shutdown is idempotent *)
+  match F.Fleet.verify_batch ~pool plan (mixed_batch built 8) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "verify_batch on a shut-down pool accepted"
+
+let test_pool_across_plans () =
+  (* the same pool (hence the same per-domain scratch arenas) serves two
+     different firmwares back to back: each arena must rebind cleanly,
+     with no state leaking from the previous plan's replays *)
+  let pump = Lazy.force vuln_built in
+  let sensor_run = Apps.run Apps.fire_sensor in
+  let sensor = sensor_run.Apps.built in
+  let sensor_report =
+    A.Device.attest sensor_run.Apps.device ~challenge:"pool-rebind"
+  in
+  let pump_plan = F.Plan.of_built pump in
+  let sensor_plan = F.Plan.of_built sensor in
+  let sensor_batch =
+    List.init 6 (fun i -> (Printf.sprintf "sensor-%d" i, sensor_report))
+  in
+  let pump_batch = mixed_batch pump 8 in
+  let pool = F.Pool.create ~domains:2 () in
+  let fresh_pump = F.Fleet.verify_batch ~domains:1 pump_plan pump_batch in
+  let fresh_sensor =
+    F.Fleet.verify_batch ~domains:1 sensor_plan sensor_batch
+  in
+  (* interleave the two firmwares on one pool, twice each *)
+  List.iter
+    (fun () ->
+       let p = F.Fleet.verify_batch ~pool ~chunk:2 pump_plan pump_batch in
+       let s = F.Fleet.verify_batch ~pool ~chunk:2 sensor_plan sensor_batch in
+       check_bool "pump verdicts survive rebinding" true
+         (verdict_keys fresh_pump = verdict_keys p);
+       check_bool "sensor verdicts survive rebinding" true
+         (verdict_keys fresh_sensor = verdict_keys s);
+       check_bool "sensor batch all accepted" true
+         (List.for_all (fun (v : F.Fleet.verdict) -> v.F.Fleet.accepted)
+            s.F.Fleet.verdicts))
+    [ (); () ];
+  F.Pool.shutdown pool
+
+let test_stream_matches_batch () =
+  let built = Lazy.force vuln_built in
+  let plan = F.Plan.of_built built in
+  let batch = mixed_batch built 20 in
+  let batch_sum = F.Fleet.verify_batch ~domains:1 plan batch in
+  (* inline path: a 1-domain stream has no workers, replays run in
+     stream_submit itself *)
+  let inline = F.Fleet.verify_stream ~domains:1 plan batch in
+  check_bool "stream (inline) = batch" true
+    (verdict_keys batch_sum = verdict_keys inline);
+  (* pooled path, with a window small enough to exercise backpressure *)
+  let pool = F.Pool.create ~domains:3 () in
+  let streamed = F.Fleet.verify_stream ~pool ~window:4 plan batch in
+  check_bool "stream (pooled, window 4) = batch" true
+    (verdict_keys batch_sum = verdict_keys streamed);
+  check_int "stream batch size" 20
+    streamed.F.Fleet.metrics.F.Metrics.batch_size;
+  F.Pool.shutdown pool;
+  (* poll semantics: verdicts come back in submission order, and close
+     returns every verdict including those already polled *)
+  let st = F.Fleet.stream ~domains:1 plan in
+  let first8 = List.filteri (fun i _ -> i < 8) batch in
+  List.iter (fun (id, r) -> F.Fleet.stream_submit st id r) first8;
+  check_int "nothing left in flight (inline stream)" 0
+    (F.Fleet.stream_pending st);
+  let polled = F.Fleet.stream_poll st in
+  check_bool "poll returns the in-order prefix" true
+    (List.map (fun (v : F.Fleet.verdict) -> v.F.Fleet.device_id) polled
+     = List.map fst first8);
+  check_int "poll drains" 0 (List.length (F.Fleet.stream_poll st));
+  List.iter (fun (id, r) -> F.Fleet.stream_submit st id r)
+    (List.filteri (fun i _ -> i >= 8) batch);
+  let final = F.Fleet.stream_close st in
+  check_bool "close covers polled + unpolled" true
+    (verdict_keys batch_sum = verdict_keys final);
+  match F.Fleet.stream_submit st "late" (snd (List.hd batch)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "submit on a closed stream accepted"
+
+let test_rejects_by_kind_no_finding () =
+  (* regression: a rejected verdict with an empty findings list used to
+     vanish from the histogram, so the buckets no longer summed to the
+     rejected count *)
+  let v id accepted findings =
+    { F.Fleet.device_id = id; accepted; findings; replay_steps = 0 }
+  in
+  let verdicts =
+    [ v "ok" true [];
+      v "bare" false [];
+      v "tok" false [ C.Verifier.Bad_token "forged" ];
+      v "tok2" false [ C.Verifier.Bad_token "forged"; C.Verifier.Replay_failed "x" ];
+      v "bare2" false [] ]
+  in
+  let hist = F.Fleet.rejects_by_kind verdicts in
+  check_int "buckets sum to rejected count" 4
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 hist);
+  check_int "findingless rejections bucketed" 2
+    (Option.value ~default:0 (List.assoc_opt "no-finding" hist));
+  check_int "first finding is the decisive one" 2
+    (Option.value ~default:0 (List.assoc_opt "bad-token" hist))
+
+let test_lru_protects_hot_entry () =
+  (* FIFO would evict the oldest insertion (the pump) even though it is
+     the hot entry; LRU must evict the sensor instead *)
+  let cache = F.Plan.cache ~capacity:2 () in
+  let pump = Lazy.force vuln_built in
+  let sensor = Apps.build Apps.fire_sensor in
+  ignore (F.Plan.find_or_build cache pump);      (* miss: insert pump *)
+  ignore (F.Plan.find_or_build cache sensor);    (* miss: insert sensor *)
+  ignore (F.Plan.find_or_build cache pump);      (* hit: pump is now hot *)
+  (* third key forces an eviction; the cold sensor must be the victim *)
+  ignore (F.Plan.find_or_build cache ~key:"other-device-key" pump);
+  check_int "capacity respected" 2 (F.Plan.cache_size cache);
+  ignore (F.Plan.find_or_build cache pump);      (* still resident: hit *)
+  let hits, misses = F.Plan.cache_stats cache in
+  check_int "hot entry survived eviction" 2 hits;
+  check_int "misses so far" 3 misses;
+  ignore (F.Plan.find_or_build cache sensor);    (* evicted: a miss again *)
+  let hits', misses' = F.Plan.cache_stats cache in
+  check_int "cold entry was the victim" 4 misses';
+  check_int "no phantom hit" 2 hits'
+
+let test_cache_build_dedup () =
+  (* two domains race find_or_build on the same missing key with the
+     audit armed: exactly one build (and one audit) must run; the loser
+     waits and counts as a hit *)
+  let module S = Dialed_staticcheck in
+  let audit = S.Audit.default_config in
+  let cache = F.Plan.cache () in
+  let pump = Lazy.force vuln_built in
+  let racer () = F.Plan.find_or_build cache ~audit pump in
+  let other = Domain.spawn racer in
+  let here = racer () in
+  let there = Domain.join other in
+  Alcotest.(check string) "both racers got the same plan"
+    (F.Plan.fingerprint here) (F.Plan.fingerprint there);
+  let hits, misses = F.Plan.cache_stats cache in
+  check_int "single build" 1 misses;
+  check_int "loser counted as hit" 1 hits;
+  check_int "single audit" 1 (F.Plan.cache_audits cache);
+  check_int "single resident plan" 1 (F.Plan.cache_size cache)
+
+let test_failed_build_counts_nothing () =
+  (* Verifier.plan rejects non-DIALED variants; a build that raises must
+     leave the cache empty, count no audit, and not wedge the in-flight
+     marker (a retry must attempt a fresh build, not deadlock) *)
+  let module S = Dialed_staticcheck in
+  let audit = S.Audit.default_config in
+  let cache = F.Plan.cache () in
+  let cfa_only = Apps.build ~variant:C.Pipeline.Cfa_only Apps.fire_sensor in
+  let attempt () =
+    match F.Plan.find_or_build cache ~audit cfa_only with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "non-DIALED variant produced a plan"
+  in
+  attempt ();
+  attempt ();                                  (* the key is not wedged *)
+  check_int "no audits for failed builds" 0 (F.Plan.cache_audits cache);
+  check_int "nothing resident" 0 (F.Plan.cache_size cache);
+  let _, misses = F.Plan.cache_stats cache in
+  check_int "each attempt was a fresh miss" 2 misses
+
 let suites =
   [ ("fleet",
      [ Alcotest.test_case "determinism across domains" `Quick
@@ -204,4 +398,17 @@ let suites =
        Alcotest.test_case "plan cache" `Quick test_plan_cache;
        Alcotest.test_case "cache audits once" `Quick test_cache_audits_once;
        Alcotest.test_case "cached plan verifies" `Quick
-         test_cached_plan_verifies ]) ]
+         test_cached_plan_verifies;
+       Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
+       Alcotest.test_case "pool rebinds scratch across plans" `Quick
+         test_pool_across_plans;
+       Alcotest.test_case "stream matches batch" `Quick
+         test_stream_matches_batch;
+       Alcotest.test_case "rejects_by_kind keeps findingless rejects" `Quick
+         test_rejects_by_kind_no_finding;
+       Alcotest.test_case "LRU protects hot plan" `Quick
+         test_lru_protects_hot_entry;
+       Alcotest.test_case "concurrent builds dedup" `Quick
+         test_cache_build_dedup;
+       Alcotest.test_case "failed build counts nothing" `Quick
+         test_failed_build_counts_nothing ]) ]
