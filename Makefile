@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; `dune` remains the source of truth.
 
 .PHONY: build test lint bench bench-replay bench-fleet bench-fleet-gate \
-        bench-lint examples clean
+        bench-lint bench-net examples clean
 
 build:
 	dune build @all
@@ -33,6 +33,11 @@ bench-fleet-gate:
 # Static-audit cost per binary (BENCH_lint.json)
 bench-lint:
 	dune exec bench/main.exe -- lint
+
+# Gateway round-trips over the in-memory loopback (BENCH_net.json);
+# no ports, no network access needed
+bench-net:
+	dune exec bench/main.exe -- net
 
 examples:
 	dune exec examples/quickstart.exe

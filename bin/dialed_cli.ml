@@ -10,12 +10,21 @@
      dialed disasm   [--app NAME] [--variant V]
      dialed lint     [--app NAME | --file F | --all] [--variant V] [--json]
                      [--loop-bound K] [--require-bounded]
+     dialed serve    [--app NAME] [--port P] [--domains D] [--rate R] ...
+     dialed prover   [--app NAME] [--host H] [--port P] [--rounds N]
+                     [--device-id ID] [--tamper]
+
+   Exit codes are uniform across commands:
+     0  success — verification accepted, audit clean, output produced
+     1  rejection — a verdict was rejected or the audit found problems
+     2  usage, IO, or build error
 *)
 
 module M = Dialed_msp430
 module A = Dialed_apex
 module C = Dialed_core
 module F = Dialed_fleet
+module N = Dialed_net
 module S = Dialed_staticcheck
 module Apps = Dialed_apps.Apps
 module Minic = Dialed_minic.Minic
@@ -85,9 +94,22 @@ let build_from source entry app variant =
   C.Pipeline.build ~variant ~data:compiled.Minic.data ~op:compiled.Minic.op
     ~or_min ()
 
+(* Commands evaluate to an exit status: [Ok 0] (success) or [Ok 1]
+   (rejection / findings). Usage, IO, and build failures stay in the
+   [Error `Msg] channel, which the driver maps to exit 2 alongside
+   cmdliner's own parse errors. *)
 let wrap f = try f () with
   | Minic.Error msg | C.Pipeline.Error msg -> Error (`Msg msg)
   | Dialed_tinycfa.Instrument.Error msg | C.Dfa.Error msg -> Error (`Msg msg)
+  | Unix.Unix_error (e, fn, arg) ->
+    Error (`Msg (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e)))
+
+let exits =
+  [ Cmd.Exit.info 0 ~doc:"on success (verification accepted, audit clean).";
+    Cmd.Exit.info 1
+      ~doc:"on rejection (a verdict was rejected or the audit reported \
+            findings).";
+    Cmd.Exit.info 2 ~doc:"on usage, IO, or build errors." ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -98,9 +120,9 @@ let list_cmd =
     List.iter
       (fun (name, a) -> Format.printf "%-20s %s@." name a.Apps.description)
       apps_by_name;
-    Ok ()
+    Ok 0
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the bundled applications")
+  Cmd.v (Cmd.info "list" ~exits ~doc:"List the bundled applications")
     Term.(term_result (const run $ const ()))
 
 let compile_cmd =
@@ -111,10 +133,11 @@ let compile_cmd =
         | Ok (source, entry, _) ->
           let compiled = Minic.compile ~entry source in
           print_string compiled.Minic.op_text;
-          Ok ())
+          Ok 0)
   in
   Cmd.v
-    (Cmd.info "compile" ~doc:"Compile MiniC and print the generated assembly")
+    (Cmd.info "compile" ~exits
+       ~doc:"Compile MiniC and print the generated assembly")
     Term.(term_result (const run $ app_arg $ file_arg $ entry_arg))
 
 let instrument_cmd =
@@ -125,10 +148,10 @@ let instrument_cmd =
         | Ok (source, entry, a) ->
           let built = build_from source entry a variant in
           print_string (M.Program.to_string built.C.Pipeline.program);
-          Ok ())
+          Ok 0)
   in
   Cmd.v
-    (Cmd.info "instrument"
+    (Cmd.info "instrument" ~exits
        ~doc:"Print the full instrumented program (with caller shim)")
     Term.(term_result (const run $ app_arg $ file_arg $ entry_arg $ variant_arg))
 
@@ -144,9 +167,9 @@ let disasm_cmd =
           let l = built.C.Pipeline.layout in
           Format.printf "%a" (M.Disasm.pp_range mem ~lo:l.A.Layout.er_min
                                 ~hi:l.A.Layout.er_max) ();
-          Ok ())
+          Ok 0)
   in
-  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble the assembled ER")
+  Cmd.v (Cmd.info "disasm" ~exits ~doc:"Disassemble the assembled ER")
     Term.(term_result (const run $ app_arg $ file_arg $ entry_arg $ variant_arg))
 
 let setup_device app device =
@@ -204,9 +227,10 @@ let run_cmd =
                (M.Trace.length trace) (M.Trace.total_cycles trace);
              M.Trace.pp ~limit Format.std_formatter trace
            | None -> ());
-          Ok ())
+          Ok 0)
   in
-  Cmd.v (Cmd.info "run" ~doc:"Run an operation on the simulated prover")
+  Cmd.v (Cmd.info "run" ~exits
+           ~doc:"Run an operation on the simulated prover")
     Term.(term_result
             (const run $ app_arg $ file_arg $ entry_arg $ variant_arg $ args_arg
              $ trace_arg))
@@ -241,10 +265,11 @@ let attest_cmd =
                (List.length trace.C.Verifier.cf_dests)
                (List.length trace.C.Verifier.inputs)
            | None -> ());
-          Ok ())
+          Ok (if outcome.C.Verifier.accepted then 0 else 1))
   in
   Cmd.v
-    (Cmd.info "attest" ~doc:"Full round: run, attest, verify by replay")
+    (Cmd.info "attest" ~exits
+       ~doc:"Full round: run, attest, verify by replay")
     Term.(term_result (const run $ app_arg $ file_arg $ entry_arg $ args_arg))
 
 let fleet_cmd =
@@ -329,11 +354,12 @@ let fleet_cmd =
             Format.printf "%a@." F.Fleet.pp_summary summary;
             Format.printf "json: %s@."
               (F.Metrics.to_json summary.F.Fleet.metrics);
-            Ok ()
+            Ok (if summary.F.Fleet.metrics.F.Metrics.rejected > 0 then 1
+                else 0)
           end)
   in
   Cmd.v
-    (Cmd.info "fleet"
+    (Cmd.info "fleet" ~exits
        ~doc:"Verify a simulated device fleet in parallel (batch replay)")
     Term.(term_result
             (const run $ app_arg $ file_arg $ entry_arg $ args_arg $ count_arg
@@ -410,30 +436,196 @@ let lint_cmd =
             List.filter (fun (_, r) -> not (S.Report.ok r)) reports
           in
           match bad with
-          | [] -> Ok ()
-          | [ _ ] -> Error (`Msg "static audit rejected 1 binary")
-          | _ ->
-            Error
-              (`Msg (Printf.sprintf "static audit rejected %d binaries"
-                       (List.length bad))))
+          | [] -> Ok 0
+          | bad ->
+            Format.eprintf "static audit rejected %d binar%s@."
+              (List.length bad) (if List.length bad = 1 then "y" else "ies");
+            Ok 1)
   in
   Cmd.v
-    (Cmd.info "lint"
-       ~doc:"Statically audit an instrumented binary (nonzero exit on findings)")
+    (Cmd.info "lint" ~exits
+       ~doc:"Statically audit an instrumented binary (exit 1 on findings)")
     Term.(term_result
             (const run $ app_arg $ file_arg $ entry_arg $ variant_arg $ all_arg
              $ json_arg $ loop_bound_arg $ require_bounded_arg))
 
-let () =
-  let default =
-    Term.(ret (const (`Help (`Pager, None))))
+let port_arg ~default =
+  let doc = "TCP port (0 picks an ephemeral port)." in
+  Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let domains_arg =
+    let doc = "Verifier worker domains behind the gateway." in
+    Arg.(value & opt int 2 & info [ "domains" ] ~docv:"D" ~doc)
   in
+  let window_arg =
+    let doc = "Fleet-stream in-flight window (backpressure bound)." in
+    Arg.(value & opt int 32 & info [ "window" ] ~docv:"W" ~doc)
+  in
+  let rate_arg =
+    let doc = "Token-bucket challenge rate (challenges/sec); unlimited \
+               when absent." in
+    Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let burst_arg =
+    let doc = "Token-bucket burst size." in
+    Arg.(value & opt float 8.0 & info [ "burst" ] ~docv:"B" ~doc)
+  in
+  let max_conns_arg =
+    let doc = "Concurrent connection ceiling; excess connections get Busy." in
+    Arg.(value & opt int 64 & info [ "max-conns" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Seconds a peer may take to complete one message \
+               (slow-loris defense)." in
+    Arg.(value & opt float 10.0 & info [ "deadline" ] ~docv:"S" ~doc)
+  in
+  let duration_arg =
+    let doc = "Serve for $(docv) seconds, then print stats and exit \
+               (default: until SIGINT)." in
+    Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"S" ~doc)
+  in
+  let run app file entry args port domains window rate burst max_conns
+      deadline duration =
+    let app =
+      match app, file with None, None -> Some "fire-sensor" | _ -> app
+    in
+    wrap (fun () ->
+        match load_source app file entry with
+        | Error e -> Error e
+        | Ok (source, entry, a) ->
+          let built = build_from source entry a C.Pipeline.Full in
+          let plan = F.Plan.of_built built in
+          let args =
+            if args = [] then
+              match a with Some a -> a.Apps.benign_args | None -> []
+            else args
+          in
+          let listener, port = N.Transport.tcp_listener ~port () in
+          let config =
+            { N.Server.default_config with
+              N.Server.max_conns; domains; window; rate; burst; args;
+              read_deadline = Some deadline }
+          in
+          let server = N.Server.create ~config ~plan listener in
+          Format.printf "gateway: firmware %s on 127.0.0.1:%d@."
+            (String.sub (F.Plan.fingerprint plan) 0 16) port;
+          (match duration with
+           | Some s -> N.Server.start server; Thread.delay s
+           | None ->
+             Sys.set_signal Sys.sigint
+               (Sys.Signal_handle (fun _ -> ignore (N.Server.stop server)));
+             N.Server.serve_forever server);
+          Format.printf "%a@." N.Server.pp_stats (N.Server.stop server);
+          Ok 0)
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:"Serve attestation traffic: challenge provers over TCP and \
+             judge their reports through the fleet verifier")
+    Term.(term_result
+            (const run $ app_arg $ file_arg $ entry_arg $ args_arg
+             $ port_arg ~default:4242 $ domains_arg $ window_arg $ rate_arg
+             $ burst_arg $ max_conns_arg $ deadline_arg $ duration_arg))
+
+let prover_cmd =
+  let host_arg =
+    let doc = "Gateway host." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let device_id_arg =
+    let doc = "Device identity announced in Hello." in
+    Arg.(value & opt string "dev-000000"
+         & info [ "device-id" ] ~docv:"ID" ~doc)
+  in
+  let rounds_arg =
+    let doc = "Attestation rounds to run before disconnecting." in
+    Arg.(value & opt int 1 & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let tamper_arg =
+    let doc = "Flip one byte of every report before sending (the gateway \
+               must reject it)." in
+    Arg.(value & flag & info [ "tamper" ] ~doc)
+  in
+  let run app file entry host port device_id rounds tamper =
+    let app =
+      match app, file with None, None -> Some "fire-sensor" | _ -> app
+    in
+    wrap (fun () ->
+        match load_source app file entry with
+        | Error e -> Error e
+        | Ok (source, entry, a) ->
+          if rounds < 1 then Error (`Msg "--rounds must be positive")
+          else begin
+            let built = build_from source entry a C.Pipeline.Full in
+            let device () =
+              let d = C.Pipeline.device built in
+              setup_device a d;
+              d
+            in
+            let mangle =
+              if not tamper then None
+              else
+                Some
+                  (fun (r : A.Pox.report) ->
+                     let b = Bytes.of_string r.A.Pox.or_data in
+                     let j = Bytes.length b / 2 in
+                     Bytes.set b j
+                       (Char.chr (Char.code (Bytes.get b j) lxor 0x01));
+                     { r with A.Pox.or_data = Bytes.to_string b })
+            in
+            let config = { N.Client.default_config with N.Client.mangle } in
+            let conn = N.Transport.tcp_connect ~host ~port () in
+            let results =
+              Fun.protect ~finally:(fun () -> N.Transport.close conn)
+                (fun () ->
+                   N.Client.attest_rounds ~config ~device ~device_id ~rounds
+                     conn)
+            in
+            List.iteri
+              (fun i (r : N.Client.round) ->
+                 Format.printf "round %d: %s (attempt %d)@." i
+                   (if r.N.Client.accepted then "accepted"
+                    else if r.N.Client.run = None then "unanswered"
+                    else "rejected")
+                   r.N.Client.attempt;
+                 List.iter
+                   (fun (kind, detail) ->
+                      Format.printf "  [%s] %s@." kind detail)
+                   r.N.Client.findings)
+              results;
+            let all_ok =
+              List.for_all (fun (r : N.Client.round) -> r.N.Client.accepted)
+                results
+            in
+            Ok (if all_ok then 0 else 1)
+          end)
+  in
+  Cmd.v
+    (Cmd.info "prover" ~exits
+       ~doc:"Act as a prover: connect to a gateway, execute challenged \
+             operations on the simulated device, and report")
+    Term.(term_result
+            (const run $ app_arg $ file_arg $ entry_arg $ host_arg
+             $ port_arg ~default:4242 $ device_id_arg $ rounds_arg
+             $ tamper_arg))
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
-    Cmd.info "dialed" ~version:"1.0.0"
+    Cmd.info "dialed" ~version:"1.0.0" ~exits
       ~doc:"DIALED: data-flow attestation for low-end embedded devices"
   in
+  let group =
+    Cmd.group ~default info
+      [ list_cmd; compile_cmd; instrument_cmd; disasm_cmd; run_cmd;
+        attest_cmd; fleet_cmd; lint_cmd; serve_cmd; prover_cmd ]
+  in
+  (* Normalized exit codes: commands yield 0 (ok) or 1 (rejection);
+     cmdliner's parse/term errors — bad flags, unknown apps, IO — all
+     land on 2. *)
   exit
-    (Cmd.eval
-       (Cmd.group ~default info
-          [ list_cmd; compile_cmd; instrument_cmd; disasm_cmd; run_cmd;
-            attest_cmd; fleet_cmd; lint_cmd ]))
+    (match Cmd.eval_value group with
+     | Ok (`Ok code) -> code
+     | Ok (`Help | `Version) -> 0
+     | Error (`Parse | `Term | `Exn) -> 2)

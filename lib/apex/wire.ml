@@ -23,13 +23,31 @@ let encode (r : Pox.report) =
   Buffer.add_string buf r.Pox.token;
   Buffer.contents buf
 
+type error =
+  | Bad_magic
+  | Unsupported_version of int
+  | Short_buffer of { what : string; offset : int }
+  | Bad_field of { what : string; value : int }
+  | Trailing_garbage of { extra : int }
+
+let pp_error ppf = function
+  | Bad_magic -> Format.pp_print_string ppf "bad magic"
+  | Unsupported_version v -> Format.fprintf ppf "unsupported version %d" v
+  | Short_buffer { what; offset } ->
+    Format.fprintf ppf "truncated %s at offset %d" what offset
+  | Bad_field { what; value } -> Format.fprintf ppf "bad %s byte %d" what value
+  | Trailing_garbage { extra } ->
+    Format.fprintf ppf "%d trailing byte%s" extra (if extra = 1 then "" else "s")
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
 type cursor = { data : string; mutable pos : int }
 
-exception Bad of string
+exception Bad of error
 
 let need c n what =
   if c.pos + n > String.length c.data then
-    raise (Bad (Printf.sprintf "truncated %s at offset %d" what c.pos))
+    raise (Bad (Short_buffer { what; offset = c.pos }))
 
 let byte c what =
   need c 1 what;
@@ -52,14 +70,14 @@ let decode data =
   let c = { data; pos = 0 } in
   try
     let m = bytes c 2 "magic" in
-    if m <> magic then raise (Bad "bad magic");
+    if m <> magic then raise (Bad Bad_magic);
     let v = byte c "version" in
-    if v <> version then raise (Bad (Printf.sprintf "unsupported version %d" v));
+    if v <> version then raise (Bad (Unsupported_version v));
     let exec =
       match byte c "exec flag" with
       | 0 -> false
       | 1 -> true
-      | b -> raise (Bad (Printf.sprintf "bad exec byte %d" b))
+      | b -> raise (Bad (Bad_field { what = "exec flag"; value = b }))
     in
     let challenge_len = word c "challenge length" in
     let challenge = bytes c challenge_len "challenge" in
@@ -71,7 +89,8 @@ let decode data =
     let or_len = word c "or length" in
     let or_data = bytes c or_len "or data" in
     let token = bytes c tag_len "token" in
-    if c.pos <> String.length data then raise (Bad "trailing bytes");
+    if c.pos <> String.length data then
+      raise (Bad (Trailing_garbage { extra = String.length data - c.pos }));
     Ok { Pox.challenge; er_min; er_max; er_exit; or_min; or_max; exec;
          or_data; token }
-  with Bad msg -> Error msg
+  with Bad e -> Error e

@@ -15,9 +15,22 @@
 
     Decoding is defensive: length fields are validated against the buffer
     before any allocation, and trailing garbage is rejected — a verifier
-    parses these bytes from an untrusted device. *)
+    parses these bytes from an untrusted device. Malformed input yields a
+    typed {!error} (never an exception), so the gateway can count and
+    report hostile traffic by cause. *)
 
 val encode : Pox.report -> string
 
-val decode : string -> (Pox.report, string) result
-(** Returns a readable parse error on malformed input. *)
+type error =
+  | Bad_magic
+  | Unsupported_version of int
+  | Short_buffer of { what : string; offset : int }
+      (** the buffer ended inside the named field — every strict prefix
+          of a valid encoding decodes to exactly this *)
+  | Bad_field of { what : string; value : int }
+  | Trailing_garbage of { extra : int }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val decode : string -> (Pox.report, error) result

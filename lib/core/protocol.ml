@@ -6,21 +6,69 @@ type request = {
   args : int list;
 }
 
-type session = {
-  verifier : Verifier.t;
-  seed : string;
-  mutable counter : int;
-  mutable outstanding : string option;
+(* ------------------------------------------------------------------ *)
+(* Challenge gate: the verifier-side freshness state, independent of
+   any verifier. Challenges are derived deterministically (seed,
+   per-process session instance, counter) — reproducible run to run,
+   yet never shared between two sessions, so a report accepted under
+   one session can never satisfy a later session even if both were
+   created with the same seed.                                        *)
+
+type gate = {
+  g_seed : string;
+  g_instance : int;
+  mutable g_counter : int;
+  mutable g_outstanding : string option;
+  g_used : (string, unit) Hashtbl.t;   (* challenges already consumed *)
 }
 
-let make_session ?(seed = "dialed-session-seed") verifier =
-  { verifier; seed; counter = 0; outstanding = None }
+let instances = Atomic.make 0
 
-let next_request s ~args =
-  s.counter <- s.counter + 1;
-  let challenge = Sha256.digest (Printf.sprintf "%s|%d" s.seed s.counter) in
-  s.outstanding <- Some challenge;
+let make_gate ?(seed = "dialed-session-seed") () =
+  { g_seed = seed; g_instance = Atomic.fetch_and_add instances 1;
+    g_counter = 0; g_outstanding = None; g_used = Hashtbl.create 8 }
+
+let gate_request g ~args =
+  g.g_counter <- g.g_counter + 1;
+  let challenge =
+    Sha256.digest
+      (Printf.sprintf "%s|%d|%d" g.g_seed g.g_instance g.g_counter)
+  in
+  g.g_outstanding <- Some challenge;
   { challenge; args }
+
+let gate_check g req (report : A.Pox.report) =
+  match g.g_outstanding with
+  | None -> Error "no outstanding challenge"
+  | Some challenge ->
+    if not (String.equal challenge req.challenge) then
+      Error "request does not match the outstanding challenge"
+    else if Hashtbl.mem g.g_used report.A.Pox.challenge then begin
+      (* the challenge was consumed by an earlier round: a replay, even
+         if some confused caller re-issued the same challenge *)
+      g.g_outstanding <- None;
+      Error "challenge already consumed (replay)"
+    end
+    else if not (String.equal report.A.Pox.challenge challenge) then
+      Error "response challenge is stale or replayed"
+    else begin
+      (* consume the challenge whatever the verifier later decides:
+         one challenge, one verification attempt *)
+      g.g_outstanding <- None;
+      Hashtbl.replace g.g_used challenge ();
+      Ok ()
+    end
+
+(* ------------------------------------------------------------------ *)
+
+type session = {
+  gate : gate;
+  verifier : Verifier.t;
+}
+
+let make_session ?seed verifier = { gate = make_gate ?seed (); verifier }
+
+let next_request s ~args = gate_request s.gate ~args
 
 let prover_execute device req =
   let result = A.Device.run_operation ~args:req.args device in
@@ -28,22 +76,12 @@ let prover_execute device req =
   (report, result)
 
 let check_response s req report =
-  let stale reason =
+  match gate_check s.gate req report with
+  | Error reason ->
     { Verifier.accepted = false;
       findings = [ Verifier.Bad_token reason ];
       trace = None }
-  in
-  match s.outstanding with
-  | None -> stale "no outstanding challenge"
-  | Some challenge ->
-    if not (String.equal challenge req.challenge) then
-      stale "request does not match the outstanding challenge"
-    else if not (String.equal report.A.Pox.challenge challenge) then
-      stale "response challenge is stale or replayed"
-    else begin
-      s.outstanding <- None;
-      Verifier.verify s.verifier report
-    end
+  | Ok () -> Verifier.verify s.verifier report
 
 let attest_round s device ~args =
   let req = next_request s ~args in

@@ -3,20 +3,47 @@
 
     A session tracks challenge freshness on the verifier side; the prover
     side executes the operation and attests. In deployment the two halves
-    live on different machines — here they exchange plain OCaml values,
-    which is exactly the information that would cross the wire. *)
+    live on different machines — [Dialed_net] carries exactly these
+    values over framed transports; here they can also be exchanged as
+    plain OCaml values in-process. *)
 
 type request = {
   challenge : string;
   args : int list;   (** operation arguments, r15 first *)
 }
 
+(** {2 Challenge gates}
+
+    The freshness half of a session, decoupled from any verifier: the
+    network gateway tracks one gate per connection and judges reports
+    through the fleet engine instead of a per-session
+    {!Verifier.t}. Challenges are derived deterministically from
+    [(seed, session instance, counter)], where the instance number is
+    unique per gate within a process — reproducible run to run, but a
+    challenge is never issued twice, so a report accepted under one gate
+    can never satisfy another gate created with the same seed (replay
+    across sessions is rejected, not just replay within one). *)
+
+type gate
+
+val make_gate : ?seed:string -> unit -> gate
+
+val gate_request : gate -> args:int list -> request
+(** Derive the next challenge and remember it as outstanding. *)
+
+val gate_check : gate -> request -> Dialed_apex.Pox.report -> (unit, string) result
+(** Freshness only (no verification): reject when there is no
+    outstanding challenge, the request does not carry it, the report
+    answers a different challenge, or the challenge was already consumed
+    by an earlier round. On [Ok] the challenge is consumed — a second
+    presentation of the same report is rejected. *)
+
 type session
 
 val make_session : ?seed:string -> Verifier.t -> session
-(** Verifier-side session; challenges are derived deterministically from
-    the seed by hashing a counter (no ambient randomness, so runs are
-    reproducible). *)
+(** Verifier-side session: a {!gate} plus the verifier that judges
+    reports. Challenge derivation is deterministic (no ambient
+    randomness — see {!make_gate}), so runs are reproducible. *)
 
 val next_request : session -> args:int list -> request
 
@@ -28,8 +55,8 @@ val prover_execute :
 
 val check_response :
   session -> request -> Dialed_apex.Pox.report -> Verifier.outcome
-(** Verifier side: reject stale/mismatched challenges, then run the full
-    DIALED verification. *)
+(** Verifier side: reject stale/mismatched/replayed challenges (a
+    [Bad_token] finding), then run the full DIALED verification. *)
 
 val attest_round :
   session -> Dialed_apex.Device.t -> args:int list ->

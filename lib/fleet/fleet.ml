@@ -14,13 +14,40 @@ type summary = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Per-domain scratch arena: every domain that replays reports — pool
+(* Per-domain scratch arenas: every domain that replays reports — pool
    workers, per-call spawned workers, and the submitting domain itself —
-   owns one reusable replay sandbox, fetched through domain-local
-   storage. Pool workers keep theirs warm across batches; that, not the
-   queue, is where the per-report Memory.create/image-load cost goes.   *)
+   reuses replay sandboxes fetched through domain-local storage. Pool
+   workers keep theirs warm across batches; that, not the queue, is
+   where the per-report Memory.create/image-load cost goes.
 
-let scratch_key = Domain.DLS.new_key (fun () -> C.Verifier.scratch ())
+   The arenas are a checkout pool, not a single per-domain value: a
+   multi-threaded submitter (the network gateway runs one systhread per
+   connection) can have several replays in flight on one domain, since a
+   thread can be preempted mid-replay. Each active replay checks out its
+   own arena; the single-threaded steady state still reuses exactly one
+   arena per domain. *)
+
+let scratch_free = Domain.DLS.new_key (fun () -> ref [])
+let scratch_lock = Mutex.create ()
+
+let with_scratch f =
+  let free = Domain.DLS.get scratch_free in
+  Mutex.lock scratch_lock;
+  let checked_out =
+    match !free with
+    | [] -> None
+    | s :: rest -> free := rest; Some s
+  in
+  Mutex.unlock scratch_lock;
+  let s =
+    match checked_out with Some s -> s | None -> C.Verifier.scratch ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+        Mutex.lock scratch_lock;
+        free := s :: !free;
+        Mutex.unlock scratch_lock)
+    (fun () -> f s)
 
 (* ------------------------------------------------------------------ *)
 (* Chunked work queue for the legacy per-call path: the submitting
@@ -121,13 +148,13 @@ let verify_batch ?pool ?(domains = 1) ?(chunk = default_chunk) plan batch =
   let vplan = Plan.vplan plan in
   let results = Array.make n None in
   let verify_range (first, len) =
-    let scratch = Domain.DLS.get scratch_key in
-    for i = first to first + len - 1 do
-      let device_id, report = reports.(i) in
-      (* slots are disjoint per worker; publication happens-before the
-         submitter reads them, via Domain.join / the pool's latch *)
-      results.(i) <- Some (verify_one vplan scratch device_id report)
-    done
+    with_scratch (fun scratch ->
+        for i = first to first + len - 1 do
+          let device_id, report = reports.(i) in
+          (* slots are disjoint per worker; publication happens-before the
+             submitter reads them, via Domain.join / the pool's latch *)
+          results.(i) <- Some (verify_one vplan scratch device_id report)
+        done)
   in
   let ranges =
     List.init n_chunks (fun c -> (c * chunk, min chunk (n - (c * chunk))))
@@ -198,6 +225,11 @@ type stream = {
   mutable st_exn : exn option;
   mutable st_closed : bool;
   st_t0 : float;
+  (* running aggregates for non-destructive snapshots *)
+  mutable st_accepted : int;
+  mutable st_rejected : int;
+  mutable st_steps : int;
+  st_kinds : (string, int) Hashtbl.t;
 }
 
 let stream ?domains ?pool ?window plan =
@@ -215,7 +247,8 @@ let stream ?domains ?pool ?window plan =
     st_window = window; st_mutex = Mutex.create ();
     st_progress = Condition.create (); st_results = Array.make 64 None;
     st_submitted = 0; st_inflight = 0; st_polled = 0; st_exn = None;
-    st_closed = false; st_t0 = Unix.gettimeofday () }
+    st_closed = false; st_t0 = Unix.gettimeofday (); st_accepted = 0;
+    st_rejected = 0; st_steps = 0; st_kinds = Hashtbl.create 8 }
 
 (* Wait (helping the pool) until [cond ()] turns false; call with
    [st_mutex] held, returns with it held. *)
@@ -244,13 +277,27 @@ let stream_submit st device_id report =
   Mutex.unlock st.st_mutex;
   let job () =
     let result =
-      try Ok (verify_one st.st_vplan (Domain.DLS.get scratch_key)
-                device_id report)
+      try
+        Ok (with_scratch (fun scratch ->
+            verify_one st.st_vplan scratch device_id report))
       with e -> Error e
     in
     Mutex.lock st.st_mutex;
     (match result with
-     | Ok v -> st.st_results.(seq) <- Some v
+     | Ok v ->
+       st.st_results.(seq) <- Some v;
+       st.st_steps <- st.st_steps + v.replay_steps;
+       if v.accepted then st.st_accepted <- st.st_accepted + 1
+       else begin
+         st.st_rejected <- st.st_rejected + 1;
+         let kind =
+           match v.findings with
+           | f :: _ -> C.Verifier.finding_kind f
+           | [] -> "no-finding"
+         in
+         Hashtbl.replace st.st_kinds kind
+           (1 + Option.value ~default:0 (Hashtbl.find_opt st.st_kinds kind))
+       end
      | Error e -> if st.st_exn = None then st.st_exn <- Some e);
     st.st_inflight <- st.st_inflight - 1;
     Condition.broadcast st.st_progress;
@@ -264,6 +311,22 @@ let stream_submit st device_id report =
     help_while st (fun () -> st.st_inflight >= st.st_window);
     Mutex.unlock st.st_mutex
   end
+
+let stream_snapshot st =
+  Mutex.lock st.st_mutex;
+  let m =
+    { Metrics.domains = Pool.domains st.st_pool;
+      batch_size = st.st_submitted;
+      accepted = st.st_accepted;
+      rejected = st.st_rejected;
+      replay_steps = st.st_steps;
+      wall_seconds = Unix.gettimeofday () -. st.st_t0;
+      rejects_by_kind =
+        List.sort compare
+          (Hashtbl.fold (fun k n acc -> (k, n) :: acc) st.st_kinds []) }
+  in
+  Mutex.unlock st.st_mutex;
+  m
 
 let stream_pending st =
   Mutex.lock st.st_mutex;

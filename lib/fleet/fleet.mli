@@ -83,6 +83,13 @@ val stream_submit : stream -> string -> Dialed_apex.Pox.report -> unit
 val stream_pending : stream -> int
 (** Reports submitted whose verdicts have not landed yet. *)
 
+val stream_snapshot : stream -> Metrics.t
+(** Live, non-destructive counters: submitted / accepted / rejected /
+    replay steps / rejects-by-kind so far, with [wall_seconds] measured
+    from stream open to now. In-flight reports are counted in
+    [batch_size] but in neither verdict bucket. The gateway surfaces
+    this from its stats endpoint while the stream keeps running. *)
+
 val stream_poll : stream -> verdict list
 (** Verdicts completed since the last poll, in submission order (an
     in-order prefix: a still-running replay blocks later, already

@@ -1,0 +1,92 @@
+type error =
+  | Frame_error of Frame.error
+  | Codec_error of Codec.error
+  | Eof_mid_frame of int
+
+let pp_error ppf = function
+  | Frame_error e -> Frame.pp_error ppf e
+  | Codec_error e -> Codec.pp_error ppf e
+  | Eof_mid_frame n ->
+    Format.fprintf ppf "connection ended mid-frame (%d byte%s buffered)" n
+      (if n = 1 then "" else "s")
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type t = {
+  c : Transport.conn;
+  dec : Frame.decoder;
+  ready : string Queue.t;       (* decoded frames not yet handed out *)
+  rbuf : bytes;
+  mutable poisoned : error option;
+  mutable frames_rx : int;
+  mutable frames_tx : int;
+  mutable bytes_rx : int;
+  mutable bytes_tx : int;
+}
+
+let create ?cap c =
+  { c; dec = Frame.decoder ?cap (); ready = Queue.create (); poisoned = None;
+    rbuf = Bytes.create 4096; frames_rx = 0; frames_tx = 0; bytes_rx = 0;
+    bytes_tx = 0 }
+
+let conn t = t.c
+let frames_rx t = t.frames_rx
+let frames_tx t = t.frames_tx
+let bytes_rx t = t.bytes_rx
+let bytes_tx t = t.bytes_tx
+
+let send t msg =
+  let frame = Frame.encode ~cap:(Frame.cap t.dec) (Codec.encode msg) in
+  Transport.send t.c frame;
+  t.frames_tx <- t.frames_tx + 1;
+  t.bytes_tx <- t.bytes_tx + String.length frame
+
+let decode_one t payload =
+  t.frames_rx <- t.frames_rx + 1;
+  match Codec.decode payload with
+  | Ok msg -> Ok (Some msg)
+  | Error e ->
+    let e = Codec_error e in
+    t.poisoned <- Some e;
+    Error e
+
+let recv t ?deadline () =
+  match t.poisoned with
+  | Some e -> Error e
+  | None ->
+    match Queue.take_opt t.ready with
+    | Some payload -> decode_one t payload
+    | None ->
+      let t0 = Unix.gettimeofday () in
+      let rec read_more () =
+        let remaining =
+          match deadline with
+          | None -> None
+          | Some d ->
+            let left = d -. (Unix.gettimeofday () -. t0) in
+            if left <= 0.0 then raise Transport.Timeout;
+            Some left
+        in
+        let n = Transport.recv t.c ?deadline:remaining t.rbuf 0 4096 in
+        if n = 0 then begin
+          match Frame.residue t.dec with
+          | 0 -> Ok None
+          | r ->
+            let e = Eof_mid_frame r in
+            t.poisoned <- Some e;
+            Error e
+        end
+        else begin
+          t.bytes_rx <- t.bytes_rx + n;
+          match Frame.feed t.dec (Bytes.sub_string t.rbuf 0 n) with
+          | Error e ->
+            let e = Frame_error e in
+            t.poisoned <- Some e;
+            Error e
+          | Ok [] -> read_more ()
+          | Ok (first :: rest) ->
+            List.iter (fun p -> Queue.add p t.ready) rest;
+            decode_one t first
+        end
+      in
+      read_more ()

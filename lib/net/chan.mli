@@ -1,0 +1,38 @@
+(** A framed {!Codec.msg} channel over one {!Transport} connection —
+    the read/decode loop shared by the gateway and the prover client.
+
+    [recv] enforces a {e per-message} deadline: the clock starts when the
+    call starts, and every underlying read gets only the remaining time.
+    A peer that drips bytes without ever completing a frame (slow loris)
+    therefore times out no matter how steadily it trickles. *)
+
+type t
+
+type error =
+  | Frame_error of Frame.error
+  | Codec_error of Codec.error
+  | Eof_mid_frame of int
+      (** the stream ended with this many bytes of an unfinished frame *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val create : ?cap:int -> Transport.conn -> t
+(** [cap] is the per-frame size cap (default {!Frame.default_cap}). *)
+
+val conn : t -> Transport.conn
+
+val send : t -> Codec.msg -> unit
+(** Frame and write one message. Raises {!Transport.Closed} when the
+    connection is gone. *)
+
+val recv : t -> ?deadline:float -> unit -> (Codec.msg option, error) result
+(** Next message; [Ok None] is a clean end-of-stream. Raises
+    {!Transport.Timeout} when [deadline] (seconds for the whole message)
+    elapses. After an [Error] the channel is poisoned — the connection
+    should be dropped. *)
+
+val frames_rx : t -> int
+val frames_tx : t -> int
+val bytes_rx : t -> int
+val bytes_tx : t -> int

@@ -1,0 +1,97 @@
+module C = Dialed_core
+module A = Dialed_apex
+
+type config = {
+  read_deadline : float option;
+  attempts : int;
+  backoff_base : float;
+  backoff_cap : float;
+  jitter_seed : string;
+  mangle : (A.Pox.report -> A.Pox.report) option;
+}
+
+let default_config =
+  { read_deadline = Some 5.0; attempts = 4; backoff_base = 0.05;
+    backoff_cap = 2.0; jitter_seed = "dialed-prover"; mangle = None }
+
+(* Jitter in [0.5, 1.5) from a hash of (seed, attempt): deterministic,
+   but decorrelated across attempts and across provers with different
+   seeds — a fleet of provers bounced by the same Busy burst does not
+   retry in lockstep. *)
+let jitter_frac cfg attempt =
+  let h =
+    Dialed_crypto.Sha256.digest
+      (Printf.sprintf "%s|backoff|%d" cfg.jitter_seed attempt)
+  in
+  let v = (Char.code h.[0] lsl 8) lor Char.code h.[1] in
+  float_of_int v /. 65536.0
+
+let backoff_delay cfg ~attempt =
+  if attempt < 1 then invalid_arg "Client.backoff_delay: attempt < 1";
+  let raw = cfg.backoff_base *. (2.0 ** float_of_int (attempt - 1)) in
+  Float.min cfg.backoff_cap raw *. (0.5 +. jitter_frac cfg attempt)
+
+type round = {
+  attempt : int;
+  accepted : bool;
+  findings : (string * string) list;
+  run : A.Device.run_result option;
+}
+
+exception Protocol_violation of string
+
+let violation fmt = Printf.ksprintf (fun s -> raise (Protocol_violation s)) fmt
+
+let recv_msg cfg chan =
+  match Chan.recv chan ?deadline:cfg.read_deadline () with
+  | Ok (Some msg) -> Some msg
+  | Ok None -> raise Transport.Closed
+  | Error e -> violation "undecodable gateway frame: %s" (Chan.error_to_string e)
+  | exception Transport.Timeout -> None
+
+(* One attempt at one round. [`Retry] covers Busy and reply timeouts —
+   transient by construction; anything else either concludes the round
+   or is a protocol violation. *)
+let try_round cfg chan device =
+  Chan.send chan Codec.Ready;
+  match recv_msg cfg chan with
+  | None | Some (Codec.Busy _) -> `Retry
+  | Some (Codec.Request { challenge; args }) ->
+    let req = { C.Protocol.challenge; args } in
+    let report, run = C.Protocol.prover_execute (device ()) req in
+    let report =
+      match cfg.mangle with None -> report | Some f -> f report
+    in
+    Chan.send chan (Codec.Report (A.Wire.encode report));
+    (match recv_msg cfg chan with
+     | None -> `Retry
+     | Some (Codec.Verdict { accepted; findings }) ->
+       `Done (accepted, findings, Some run)
+     | Some (Codec.Busy _) -> `Retry
+     | Some other ->
+       violation "expected Verdict, got %s"
+         (Format.asprintf "%a" Codec.pp_msg other))
+  | Some other ->
+    violation "expected Request, got %s"
+      (Format.asprintf "%a" Codec.pp_msg other)
+
+let attest_rounds ?(config = default_config) ~device ~device_id ~rounds conn =
+  if rounds < 0 then invalid_arg "Client.attest_rounds: rounds < 0";
+  if config.attempts < 1 then invalid_arg "Client.attest_rounds: attempts < 1";
+  let chan = Chan.create conn in
+  Chan.send chan (Codec.Hello { device_id });
+  let one_round () =
+    let rec go attempt =
+      match try_round config chan device with
+      | `Done (accepted, findings, run) -> { attempt; accepted; findings; run }
+      | `Retry when attempt >= config.attempts ->
+        { attempt; accepted = false; findings = []; run = None }
+      | `Retry ->
+        Thread.delay (backoff_delay config ~attempt);
+        go (attempt + 1)
+    in
+    go 1
+  in
+  let results = List.init rounds (fun _ -> one_round ()) in
+  (try Chan.send chan Codec.Bye with Transport.Closed -> ());
+  results

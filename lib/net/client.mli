@@ -1,0 +1,51 @@
+(** The prover agent: drives a {!Dialed_apex.Device.t} through
+    attestation rounds against a gateway over any {!Transport}
+    connection.
+
+    Each round is [Ready] → [Request] → execute + attest → [Report] →
+    [Verdict]. A [Busy] answer (rate limit, overload) or a timed-out
+    read is retried with capped exponential backoff; the backoff is
+    fully deterministic (the jitter is seeded hashing, no ambient
+    randomness), so tests can pin exact delay sequences. *)
+
+type config = {
+  read_deadline : float option;
+      (** seconds to wait for each gateway reply *)
+  attempts : int;       (** tries per round, including the first *)
+  backoff_base : float; (** seconds before the first retry *)
+  backoff_cap : float;  (** upper bound on any single delay *)
+  jitter_seed : string; (** deterministic jitter source *)
+  mangle : (Dialed_apex.Pox.report -> Dialed_apex.Pox.report) option;
+      (** corrupt reports before sending — adversarial tests only *)
+}
+
+val default_config : config
+(** 5 s deadline, 4 attempts, 50 ms base, 2 s cap, no mangling. *)
+
+val backoff_delay : config -> attempt:int -> float
+(** Delay before retry [attempt] (1-based):
+    [min cap (base * 2^(attempt-1))] scaled by a deterministic jitter
+    factor in [0.5, 1.5) derived from [jitter_seed] and [attempt]. *)
+
+type round = {
+  attempt : int;                   (** 1 = first try succeeded *)
+  accepted : bool;
+  findings : (string * string) list;
+  run : Dialed_apex.Device.run_result option;
+      (** [None] when the round never got past [Busy]/timeouts *)
+}
+
+exception Protocol_violation of string
+(** The gateway answered outside the protocol (e.g. a [Report] frame or
+    garbage where a [Request]/[Verdict] was expected). *)
+
+val attest_rounds :
+  ?config:config ->
+  device:(unit -> Dialed_apex.Device.t) ->
+  device_id:string -> rounds:int -> Transport.conn -> round list
+(** Connect-level driver: send [Hello], run [rounds] attestation rounds
+    (a fresh device per round via [device ()]), send [Bye], and return
+    one {!round} per requested round — in order, including rounds that
+    exhausted their attempts ([accepted = false], [run = None]).
+    Raises {!Protocol_violation} on out-of-protocol gateway traffic and
+    lets {!Transport.Closed} escape when the gateway disappears. *)

@@ -1,0 +1,176 @@
+type msg =
+  | Hello of { device_id : string }
+  | Ready
+  | Request of { challenge : string; args : int list }
+  | Report of string
+  | Verdict of { accepted : bool; findings : (string * string) list }
+  | Busy of string
+  | Bye
+
+type error =
+  | Empty
+  | Bad_tag of int
+  | Truncated of { what : string; offset : int }
+  | Trailing of { extra : int }
+  | Bad_value of { what : string; value : int }
+
+let pp_error ppf = function
+  | Empty -> Format.pp_print_string ppf "empty message payload"
+  | Bad_tag t -> Format.fprintf ppf "unknown message tag %d" t
+  | Truncated { what; offset } ->
+    Format.fprintf ppf "truncated %s at offset %d" what offset
+  | Trailing { extra } -> Format.fprintf ppf "%d trailing bytes" extra
+  | Bad_value { what; value } ->
+    Format.fprintf ppf "bad %s value %d" what value
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let max_string = 1 lsl 16
+
+(* tags *)
+let t_hello = 1
+let t_ready = 2
+let t_request = 3
+let t_report = 4
+let t_verdict = 5
+let t_busy = 6
+let t_bye = 7
+
+(* ---------------------------------------------------------------- *)
+(* Encoding.                                                         *)
+
+let add_u16 b v =
+  Buffer.add_char b (Char.chr (v land 0xFF));
+  Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF))
+
+let add_str b s =
+  let n = String.length s in
+  if n >= max_string then
+    invalid_arg (Printf.sprintf "Codec.encode: %d-byte string field" n);
+  add_u16 b n;
+  Buffer.add_string b s
+
+let encode msg =
+  let b = Buffer.create 64 in
+  (match msg with
+   | Hello { device_id } ->
+     Buffer.add_char b (Char.chr t_hello);
+     add_str b device_id
+   | Ready -> Buffer.add_char b (Char.chr t_ready)
+   | Request { challenge; args } ->
+     Buffer.add_char b (Char.chr t_request);
+     add_str b challenge;
+     if List.length args >= max_string then
+       invalid_arg "Codec.encode: too many args";
+     add_u16 b (List.length args);
+     List.iter (fun a -> add_u16 b (a land 0xFFFF)) args
+   | Report wire ->
+     Buffer.add_char b (Char.chr t_report);
+     Buffer.add_string b wire
+   | Verdict { accepted; findings } ->
+     Buffer.add_char b (Char.chr t_verdict);
+     Buffer.add_char b (if accepted then '\001' else '\000');
+     if List.length findings >= max_string then
+       invalid_arg "Codec.encode: too many findings";
+     add_u16 b (List.length findings);
+     List.iter
+       (fun (kind, detail) -> add_str b kind; add_str b detail)
+       findings
+   | Busy reason ->
+     Buffer.add_char b (Char.chr t_busy);
+     add_str b reason
+   | Bye -> Buffer.add_char b (Char.chr t_bye));
+  Buffer.contents b
+
+(* ---------------------------------------------------------------- *)
+(* Decoding: a cursor over untrusted bytes; every read is bounds-
+   checked and surfaces a typed error through the [exception]-free
+   result at the top.                                                *)
+
+exception Fail of error
+
+type cursor = { data : string; mutable pos : int }
+
+let need c n what =
+  if c.pos + n > String.length c.data then
+    raise (Fail (Truncated { what; offset = c.pos }))
+
+let byte c what =
+  need c 1 what;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c what =
+  let lo = byte c what in
+  let hi = byte c what in
+  lo lor (hi lsl 8)
+
+let str c what =
+  let n = u16 c what in
+  need c n what;
+  let s = String.sub c.data c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let finish c msg =
+  let extra = String.length c.data - c.pos in
+  if extra <> 0 then raise (Fail (Trailing { extra }));
+  msg
+
+let decode data =
+  if String.length data = 0 then Error Empty
+  else begin
+    let c = { data; pos = 0 } in
+    try
+      let tag = byte c "tag" in
+      if tag = t_hello then
+        finish c (Ok (Hello { device_id = str c "device id" }))
+      else if tag = t_ready then finish c (Ok Ready)
+      else if tag = t_request then begin
+        let challenge = str c "challenge" in
+        let argc = u16 c "arg count" in
+        let args = List.init argc (fun _ -> u16 c "arg") in
+        finish c (Ok (Request { challenge; args }))
+      end
+      else if tag = t_report then begin
+        let wire = String.sub data 1 (String.length data - 1) in
+        c.pos <- String.length data;
+        finish c (Ok (Report wire))
+      end
+      else if tag = t_verdict then begin
+        let accepted =
+          match byte c "accept flag" with
+          | 0 -> false
+          | 1 -> true
+          | v -> raise (Fail (Bad_value { what = "accept flag"; value = v }))
+        in
+        let count = u16 c "finding count" in
+        let findings =
+          List.init count (fun _ ->
+              let kind = str c "finding kind" in
+              let detail = str c "finding detail" in
+              (kind, detail))
+        in
+        finish c (Ok (Verdict { accepted; findings }))
+      end
+      else if tag = t_busy then finish c (Ok (Busy (str c "busy reason")))
+      else if tag = t_bye then finish c (Ok Bye)
+      else Error (Bad_tag tag)
+    with Fail e -> Error e
+  end
+
+let pp_msg ppf = function
+  | Hello { device_id } -> Format.fprintf ppf "Hello %S" device_id
+  | Ready -> Format.pp_print_string ppf "Ready"
+  | Request { challenge; args } ->
+    Format.fprintf ppf "Request chal=%dB args=[%s]" (String.length challenge)
+      (String.concat ";" (List.map string_of_int args))
+  | Report wire -> Format.fprintf ppf "Report %dB" (String.length wire)
+  | Verdict { accepted; findings } ->
+    Format.fprintf ppf "Verdict %s (%d finding%s)"
+      (if accepted then "accepted" else "REJECTED")
+      (List.length findings)
+      (if List.length findings = 1 then "" else "s")
+  | Busy reason -> Format.fprintf ppf "Busy %S" reason
+  | Bye -> Format.pp_print_string ppf "Bye"

@@ -1,0 +1,58 @@
+(** Gateway message codec: the payloads inside {!Frame}s.
+
+    One attestation round over a connection, after a one-time [Hello]:
+
+    {v
+      prover                          gateway (Vrf)
+        | -- Hello { device_id } ------> |        (once per connection)
+        | -- Ready --------------------> |
+        | <------ Request { chal, args } |   (or Busy when rate-limited)
+        | -- Report (Apex.Wire bytes) -> |
+        | <------ Verdict { accepted,.. }|
+        | ... more Ready rounds ...      |
+        | -- Bye ----------------------> |
+    v}
+
+    [Request] carries exactly {!Dialed_core.Protocol.request} — the
+    challenge and the operation arguments the verifier wants executed.
+    [Report] carries the {!Dialed_apex.Wire} encoding of the PoX report,
+    opaque to this layer (the gateway decodes and judges it). [Verdict]
+    summarizes the fleet verifier's outcome: the accept bit plus
+    [(finding kind, rendered finding)] pairs.
+
+    Like {!Frame}, decoding is total: malformed payloads from untrusted
+    peers return typed errors, never raise. Operation arguments travel
+    as unsigned 16-bit words (they land in MSP430 registers); encoding
+    masks, decoding yields [0 .. 0xFFFF]. *)
+
+type msg =
+  | Hello of { device_id : string }
+  | Ready
+  | Request of { challenge : string; args : int list }
+  | Report of string       (** {!Dialed_apex.Wire}-encoded PoX report *)
+  | Verdict of { accepted : bool; findings : (string * string) list }
+  | Busy of string         (** server declined (rate limit, overload) *)
+  | Bye
+
+type error =
+  | Empty                                        (** zero-length payload *)
+  | Bad_tag of int
+  | Truncated of { what : string; offset : int }
+  | Trailing of { extra : int }
+  | Bad_value of { what : string; value : int }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val max_string : int
+(** Per-field string cap (64 KiB): device ids, challenges, finding texts
+    and report payloads are all length-prefixed with 16-bit lengths. *)
+
+val encode : msg -> string
+(** Raises [Invalid_argument] if a field exceeds {!max_string} — caller
+    bug, not peer input. *)
+
+val decode : string -> (msg, error) result
+
+val pp_msg : Format.formatter -> msg -> unit
+(** One-line rendering for logs (payloads elided to lengths). *)

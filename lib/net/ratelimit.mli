@@ -1,0 +1,23 @@
+(** Token-bucket rate limiter for the gateway's attestation requests.
+
+    A bucket holds up to [burst] tokens and refills at [rate] tokens per
+    second; issuing a challenge costs one token. When the bucket is dry
+    the gateway answers [Busy] instead of a challenge, bounding the
+    verification work any fleet of provers can demand.
+
+    The clock is injectable ([?now], seconds) so tests are deterministic;
+    without it the wall clock is used. Internally locked — connection
+    handler threads share one bucket. *)
+
+type t
+
+val create : ?now:float -> rate:float -> burst:float -> unit -> t
+(** [burst] is the bucket capacity (and the initial fill). Raises
+    [Invalid_argument] on a negative rate or a non-positive burst. *)
+
+val try_take : ?now:float -> ?cost:float -> t -> bool
+(** Take [cost] (default 1.0) tokens; [false] when not enough are
+    available — the caller should decline the request. *)
+
+val available : ?now:float -> t -> float
+(** Tokens in the bucket at [now] (diagnostic). *)

@@ -1,0 +1,375 @@
+module C = Dialed_core
+module A = Dialed_apex
+module F = Dialed_fleet
+
+type config = {
+  max_frame : int;
+  read_deadline : float option;
+  max_conns : int;
+  domains : int;
+  window : int;
+  rate : float option;
+  burst : float;
+  args : int list;
+  session_seed : string;
+}
+
+let default_config =
+  { max_frame = Frame.default_cap; read_deadline = Some 10.0; max_conns = 64;
+    domains = 2; window = 32; rate = None; burst = 8.0; args = [];
+    session_seed = "dialed-gateway" }
+
+type stats = {
+  connections_accepted : int;
+  connections_active : int;
+  sessions_active : int;
+  frames_rx : int;
+  frames_tx : int;
+  bytes_rx : int;
+  bytes_tx : int;
+  requests_issued : int;
+  reports_received : int;
+  verdicts_accepted : int;
+  verdicts_rejected : int;
+  rate_limited : int;
+  protocol_errors : int;
+  deadline_timeouts : int;
+  verify : F.Metrics.t;
+}
+
+(* A submitted report waiting for its verdict. The fleet stream yields
+   verdicts in submission order, so a FIFO of these, filled under
+   [disp_m], routes each verdict back to the connection that submitted
+   the report. *)
+type pending = { mutable verdict : F.Fleet.verdict option }
+
+type t = {
+  cfg : config;
+  listener : Transport.listener;
+  pool : F.Pool.t;
+  stream : F.Fleet.stream;
+  limiter : Ratelimit.t option;
+  (* dispatcher: FIFO of submitted-not-yet-answered reports *)
+  disp_m : Mutex.t;
+  pending : pending Queue.t;
+  (* shared mutable state: counters, live connections, lifecycle *)
+  m : Mutex.t;
+  live : (int, Transport.conn) Hashtbl.t;
+  mutable handlers : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  mutable next_conn_id : int;
+  mutable stopping : bool;
+  mutable final : stats option;
+  mutable c_accepted : int;
+  mutable c_active : int;
+  mutable c_sessions : int;
+  mutable c_frames_rx : int;
+  mutable c_frames_tx : int;
+  mutable c_bytes_rx : int;
+  mutable c_bytes_tx : int;
+  mutable c_requests : int;
+  mutable c_reports : int;
+  mutable c_accepted_verdicts : int;
+  mutable c_rejected_verdicts : int;
+  mutable c_ratelimited : int;
+  mutable c_proto_errors : int;
+  mutable c_timeouts : int;
+}
+
+let create ?(config = default_config) ~plan listener =
+  if config.max_conns < 1 then invalid_arg "Server.create: max_conns < 1";
+  if config.domains < 1 then invalid_arg "Server.create: domains < 1";
+  let pool = F.Pool.create ~domains:config.domains () in
+  let stream = F.Fleet.stream ~pool ~window:config.window plan in
+  let limiter =
+    Option.map
+      (fun rate -> Ratelimit.create ~rate ~burst:config.burst ())
+      config.rate
+  in
+  { cfg = config; listener; pool; stream; limiter;
+    disp_m = Mutex.create (); pending = Queue.create ();
+    m = Mutex.create (); live = Hashtbl.create 16; handlers = [];
+    accept_thread = None; next_conn_id = 0; stopping = false; final = None;
+    c_accepted = 0; c_active = 0; c_sessions = 0; c_frames_rx = 0;
+    c_frames_tx = 0; c_bytes_rx = 0; c_bytes_tx = 0; c_requests = 0;
+    c_reports = 0; c_accepted_verdicts = 0; c_rejected_verdicts = 0;
+    c_ratelimited = 0; c_proto_errors = 0; c_timeouts = 0 }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* Submit one already-freshness-checked report and block this handler
+   thread until its verdict lands. Handler threads never run replay jobs
+   themselves (scratch arenas are per-domain); they poll the stream,
+   which completes on the pool's domains — or inline inside
+   [stream_submit] when the pool has no workers. *)
+let submit_and_wait t device_id report =
+  let p = { verdict = None } in
+  Mutex.lock t.disp_m;
+  Queue.add p t.pending;
+  (* under [disp_m], so FIFO order = stream submission order *)
+  (try F.Fleet.stream_submit t.stream device_id report
+   with e -> Mutex.unlock t.disp_m; raise e);
+  Mutex.unlock t.disp_m;
+  let rec wait () =
+    Mutex.lock t.disp_m;
+    List.iter
+      (fun v ->
+         match Queue.take_opt t.pending with
+         | Some waiter -> waiter.verdict <- Some v
+         | None -> ())
+      (F.Fleet.stream_poll t.stream);
+    let mine = p.verdict in
+    Mutex.unlock t.disp_m;
+    match mine with
+    | Some v -> v
+    | None -> Thread.delay 0.0005; wait ()
+  in
+  wait ()
+
+let verdict_msg (v : F.Fleet.verdict) =
+  Codec.Verdict
+    { accepted = v.F.Fleet.accepted;
+      findings =
+        List.map
+          (fun f ->
+             ( C.Verifier.finding_kind f,
+               Format.asprintf "%a" C.Verifier.pp_finding f ))
+          v.F.Fleet.findings }
+
+let rejection kind detail =
+  Codec.Verdict { accepted = false; findings = [ (kind, detail) ] }
+
+(* One connection's protocol state machine. Any exit path — clean Bye,
+   EOF, hostile bytes, deadline — lands in the caller's cleanup. *)
+let session_loop t chan =
+  let gate = ref None in
+  let outstanding = ref None in
+  let count f = locked t (fun () -> f t) in
+  let send msg =
+    Chan.send chan msg;
+    locked t (fun () ->
+        t.c_frames_tx <- t.c_frames_tx + 1)
+  in
+  let rec loop () =
+    match Chan.recv chan ?deadline:t.cfg.read_deadline () with
+    | Ok None -> ()                                  (* peer closed *)
+    | Error _ ->
+      count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1)
+    | exception Transport.Timeout ->
+      count (fun t -> t.c_timeouts <- t.c_timeouts + 1)
+    | exception Transport.Closed -> ()
+    | Ok (Some msg) ->
+      count (fun t -> t.c_frames_rx <- t.c_frames_rx + 1);
+      match !gate, msg with
+      | None, Codec.Hello { device_id }
+        when device_id <> "" && String.length device_id <= 128 ->
+        gate :=
+          Some
+            ( device_id,
+              C.Protocol.make_gate
+                ~seed:(t.cfg.session_seed ^ "/" ^ device_id) () );
+        locked t (fun () -> t.c_sessions <- t.c_sessions + 1);
+        loop ()
+      | None, _ ->
+        (* anything before a well-formed Hello is a protocol violation *)
+        count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1)
+      | Some _, Codec.Hello _ ->
+        count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1)
+      | Some _, Codec.Bye -> ()
+      | Some (_, g), Codec.Ready ->
+        let admit =
+          match t.limiter with
+          | None -> true
+          | Some l -> Ratelimit.try_take l
+        in
+        if admit then begin
+          let req = C.Protocol.gate_request g ~args:t.cfg.args in
+          outstanding := Some req;
+          locked t (fun () -> t.c_requests <- t.c_requests + 1);
+          send (Codec.Request
+                  { challenge = req.C.Protocol.challenge;
+                    args = req.C.Protocol.args })
+        end
+        else begin
+          locked t (fun () -> t.c_ratelimited <- t.c_ratelimited + 1);
+          send (Codec.Busy "rate limited")
+        end;
+        loop ()
+      | Some (device_id, g), Codec.Report wire ->
+        locked t (fun () -> t.c_reports <- t.c_reports + 1);
+        let reject kind detail =
+          locked t (fun () ->
+              t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
+          send (rejection kind detail)
+        in
+        (match !outstanding with
+         | None -> reject "bad-token" "no outstanding challenge"
+         | Some req ->
+           match A.Wire.decode wire with
+           | Error e -> reject "bad-report" (A.Wire.error_to_string e)
+           | Ok report ->
+             match C.Protocol.gate_check g req report with
+             | Error reason ->
+               outstanding := None;
+               reject "bad-token" reason
+             | Ok () ->
+               outstanding := None;
+               let v = submit_and_wait t device_id report in
+               locked t (fun () ->
+                   if v.F.Fleet.accepted then
+                     t.c_accepted_verdicts <- t.c_accepted_verdicts + 1
+                   else
+                     t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
+               send (verdict_msg v));
+        loop ()
+      | Some _, (Codec.Request _ | Codec.Verdict _ | Codec.Busy _) ->
+        (* server-to-client messages arriving at the server *)
+        count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1)
+  in
+  let finish () =
+    locked t (fun () ->
+        t.c_bytes_rx <- t.c_bytes_rx + Chan.bytes_rx chan;
+        t.c_bytes_tx <- t.c_bytes_tx + Chan.bytes_tx chan;
+        if !gate <> None then t.c_sessions <- t.c_sessions - 1)
+  in
+  Fun.protect ~finally:finish loop
+
+let handle t conn_id conn =
+  let chan = Chan.create ~cap:t.cfg.max_frame conn in
+  let cleanup () =
+    (try Transport.close conn with _ -> ());
+    locked t (fun () ->
+        Hashtbl.remove t.live conn_id;
+        t.c_active <- t.c_active - 1)
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      try session_loop t chan with
+      | Transport.Closed -> ()
+      | Transport.Timeout ->
+        locked t (fun () -> t.c_timeouts <- t.c_timeouts + 1)
+      | Unix.Unix_error _ -> ())
+
+let accept_loop t =
+  let rec loop () =
+    match Transport.accept t.listener with
+    | exception Transport.Closed -> ()
+    | exception Unix.Unix_error _ ->
+      if not (locked t (fun () -> t.stopping)) then loop ()
+    | conn ->
+      let admitted =
+        locked t (fun () ->
+            if t.stopping then `Refuse "shutting down"
+            else if t.c_active >= t.cfg.max_conns then `Refuse "server full"
+            else begin
+              let id = t.next_conn_id in
+              t.next_conn_id <- id + 1;
+              t.c_accepted <- t.c_accepted + 1;
+              t.c_active <- t.c_active + 1;
+              Hashtbl.replace t.live id conn;
+              `Admit id
+            end)
+      in
+      (match admitted with
+       | `Refuse reason ->
+         (try
+            Transport.send conn
+              (Frame.encode ~cap:t.cfg.max_frame
+                 (Codec.encode (Codec.Busy reason)));
+            Transport.close conn
+          with _ -> ());
+         locked t (fun () ->
+             if reason = "server full" then
+               t.c_ratelimited <- t.c_ratelimited + 1)
+       | `Admit id ->
+         let th = Thread.create (fun () -> handle t id conn) () in
+         locked t (fun () -> t.handlers <- th :: t.handlers));
+      loop ()
+  in
+  loop ()
+
+let serve_forever t = accept_loop t
+
+let start t =
+  locked t (fun () ->
+      if t.accept_thread <> None then invalid_arg "Server.start: running";
+      t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ()))
+
+let snapshot t verify =
+  { connections_accepted = t.c_accepted;
+    connections_active = t.c_active;
+    sessions_active = t.c_sessions;
+    frames_rx = t.c_frames_rx;
+    frames_tx = t.c_frames_tx;
+    bytes_rx = t.c_bytes_rx;
+    bytes_tx = t.c_bytes_tx;
+    requests_issued = t.c_requests;
+    reports_received = t.c_reports;
+    verdicts_accepted = t.c_accepted_verdicts;
+    verdicts_rejected = t.c_rejected_verdicts;
+    rate_limited = t.c_ratelimited;
+    protocol_errors = t.c_proto_errors;
+    deadline_timeouts = t.c_timeouts;
+    verify }
+
+let stats t =
+  match locked t (fun () -> t.final) with
+  | Some final -> final
+  | None ->
+    let verify = F.Fleet.stream_snapshot t.stream in
+    locked t (fun () -> snapshot t verify)
+
+let stop t =
+  let already = locked t (fun () ->
+      if t.stopping then t.final else begin t.stopping <- true; None end)
+  in
+  match already with
+  | Some final -> final
+  | None ->
+    (* no new connections *)
+    Transport.shutdown t.listener;
+    (match locked t (fun () -> t.accept_thread) with
+     | Some th -> Thread.join th
+     | None -> ());
+    (* cut every live connection; handlers observe EOF/Closed and exit *)
+    let conns = locked t (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) t.live []) in
+    List.iter (fun c -> try Transport.close c with _ -> ()) conns;
+    let handlers = locked t (fun () -> t.handlers) in
+    List.iter Thread.join handlers;
+    (* everything submitted has been answered (handlers wait for their
+       verdicts), so closing the stream cannot block on lost work *)
+    let summary = F.Fleet.stream_close t.stream in
+    F.Pool.shutdown t.pool;
+    let final =
+      locked t (fun () -> snapshot t summary.F.Fleet.metrics)
+    in
+    locked t (fun () -> t.final <- Some final);
+    final
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>conns: %d accepted, %d active, %d sessions@,\
+     frames: %d rx / %d tx   bytes: %d rx / %d tx@,\
+     rounds: %d requests, %d reports, %d accepted, %d rejected@,\
+     defenses: %d rate-limited, %d protocol errors, %d timeouts@,\
+     verify: %a@]"
+    s.connections_accepted s.connections_active s.sessions_active
+    s.frames_rx s.frames_tx s.bytes_rx s.bytes_tx s.requests_issued
+    s.reports_received s.verdicts_accepted s.verdicts_rejected
+    s.rate_limited s.protocol_errors s.deadline_timeouts F.Metrics.pp
+    s.verify
+
+let stats_to_json s =
+  Printf.sprintf
+    "{ \"connections_accepted\": %d, \"connections_active\": %d, \
+     \"sessions_active\": %d, \"frames_rx\": %d, \"frames_tx\": %d, \
+     \"bytes_rx\": %d, \"bytes_tx\": %d, \"requests_issued\": %d, \
+     \"reports_received\": %d, \"verdicts_accepted\": %d, \
+     \"verdicts_rejected\": %d, \"rate_limited\": %d, \
+     \"protocol_errors\": %d, \"deadline_timeouts\": %d, \"verify\": %s }"
+    s.connections_accepted s.connections_active s.sessions_active
+    s.frames_rx s.frames_tx s.bytes_rx s.bytes_tx s.requests_issued
+    s.reports_received s.verdicts_accepted s.verdicts_rejected
+    s.rate_limited s.protocol_errors s.deadline_timeouts
+    (F.Metrics.to_json s.verify)

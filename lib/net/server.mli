@@ -1,0 +1,91 @@
+(** The Vrf gateway: accepts prover connections over any {!Transport}
+    listener, issues challenges, and judges framed PoX reports through
+    the fleet verification engine.
+
+    Architecture (one box per thread of control):
+
+    {v
+      accept loop ──► handler (1 systhread per connection)
+                        │  Hello → per-connection challenge gate
+                        │  Ready → Ratelimit.try_take → Request | Busy
+                        │  Report → Wire.decode → Protocol.gate_check
+                        │           → Fleet.stream_submit ──► pool domains
+                        │           ◄── verdict (submission-order dispatch)
+                        └─ Verdict / Busy frames back to the prover
+    v}
+
+    Defenses, all of them counted in {!stats}:
+    - hard frame cap and typed decode errors ({!Frame}/{!Codec}) — a
+      hostile byte stream closes its own connection, never the gateway;
+    - per-message read deadlines (slow-loris: drip-feeding a frame
+      header times out no matter how steadily the bytes trickle);
+    - a token-bucket {!Ratelimit} on challenge issue;
+    - a connection ceiling ([max_conns]) answered with [Busy];
+    - challenge freshness per connection via
+      {!Dialed_core.Protocol.gate} — replayed or cross-session reports
+      are rejected before any replay work is spent on them.
+
+    Verification runs on a {!Dialed_fleet.Fleet.stream} whose bounded
+    in-flight window applies backpressure to the handlers. *)
+
+type config = {
+  max_frame : int;            (** per-frame byte cap (framing layer) *)
+  read_deadline : float option;
+      (** seconds a peer may take to complete one message *)
+  max_conns : int;            (** concurrent connections; excess get Busy *)
+  domains : int;              (** verifier pool parallelism *)
+  window : int;               (** fleet stream in-flight window *)
+  rate : float option;        (** challenges/sec; [None] = unlimited *)
+  burst : float;              (** rate-limiter bucket size *)
+  args : int list;            (** operation arguments issued in requests *)
+  session_seed : string;      (** base seed for per-connection gates *)
+}
+
+val default_config : config
+(** 1 MiB frames, 10 s deadline, 64 connections, 2 domains, window 32,
+    no rate limit, empty args. *)
+
+type t
+
+type stats = {
+  connections_accepted : int;
+  connections_active : int;
+  sessions_active : int;      (** connections past their [Hello] *)
+  frames_rx : int;
+  frames_tx : int;
+  bytes_rx : int;
+  bytes_tx : int;
+  requests_issued : int;      (** challenges sent *)
+  reports_received : int;
+  verdicts_accepted : int;
+  verdicts_rejected : int;    (** includes freshness/parse rejections *)
+  rate_limited : int;
+  protocol_errors : int;      (** hostile/garbled streams dropped *)
+  deadline_timeouts : int;
+  verify : Dialed_fleet.Metrics.t;
+      (** live {!Dialed_fleet.Fleet.stream_snapshot} (final after stop) *)
+}
+
+val create : ?config:config -> plan:Dialed_fleet.Plan.t ->
+  Transport.listener -> t
+(** The gateway owns the listener and a private fleet pool/stream from
+    [create] until {!stop}. *)
+
+val start : t -> unit
+(** Spawn the accept loop in a background thread and return. *)
+
+val serve_forever : t -> unit
+(** Run the accept loop on the calling thread; returns when {!stop} is
+    called from elsewhere. *)
+
+val stop : t -> stats
+(** Shut the listener, close every live connection, join the handlers,
+    drain and close the fleet stream, and return the final stats.
+    Idempotent (later calls return the same final stats). *)
+
+val stats : t -> stats
+(** Non-blocking snapshot; callable at any time, including mid-traffic. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val stats_to_json : stats -> string

@@ -1,0 +1,240 @@
+exception Timeout
+exception Closed
+
+type conn = {
+  recv_impl : deadline:float option -> bytes -> int -> int -> int;
+  send_impl : string -> unit;
+  close_impl : unit -> unit;
+  peer_name : string;
+}
+
+let recv conn ?deadline buf pos len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Transport.recv: slice out of bounds";
+  if len = 0 then 0 else conn.recv_impl ~deadline buf pos len
+
+let send conn s = conn.send_impl s
+let close conn = conn.close_impl ()
+let peer conn = conn.peer_name
+
+type listener = {
+  accept_impl : unit -> conn;
+  shutdown_impl : unit -> unit;
+}
+
+let accept l = l.accept_impl ()
+let shutdown l = l.shutdown_impl ()
+
+(* ---------------------------------------------------------------- *)
+(* In-memory loopback: two unidirectional pipes. Writers append string
+   chunks; the reader consumes the head chunk at an offset. Deadlines
+   are honored by bounded condition waits (a short poll period keeps
+   the implementation portable — stdlib [Condition] has no timed
+   wait).                                                            *)
+
+let poll_period = 0.002
+
+type pipe = {
+  m : Mutex.t;
+  c : Condition.t;
+  chunks : string Queue.t;
+  mutable head_off : int;      (* consumed prefix of the head chunk *)
+  mutable closed : bool;
+}
+
+let pipe () =
+  { m = Mutex.create (); c = Condition.create (); chunks = Queue.create ();
+    head_off = 0; closed = false }
+
+let pipe_close p =
+  Mutex.lock p.m;
+  p.closed <- true;
+  Condition.broadcast p.c;
+  Mutex.unlock p.m
+
+let pipe_write p s =
+  if String.length s > 0 then begin
+    Mutex.lock p.m;
+    if p.closed then begin
+      Mutex.unlock p.m;
+      raise Closed
+    end;
+    Queue.add s p.chunks;
+    Condition.signal p.c;
+    Mutex.unlock p.m
+  end
+
+let pipe_read p ~deadline buf pos len =
+  let t0 = Unix.gettimeofday () in
+  Mutex.lock p.m;
+  let rec wait () =
+    if not (Queue.is_empty p.chunks) then begin
+      let head = Queue.peek p.chunks in
+      let avail = String.length head - p.head_off in
+      let n = min avail len in
+      Bytes.blit_string head p.head_off buf pos n;
+      if n = avail then begin
+        ignore (Queue.pop p.chunks);
+        p.head_off <- 0
+      end
+      else p.head_off <- p.head_off + n;
+      Mutex.unlock p.m;
+      n
+    end
+    else if p.closed then begin
+      Mutex.unlock p.m;
+      0
+    end
+    else
+      match deadline with
+      | None -> Condition.wait p.c p.m; wait ()
+      | Some d ->
+        if Unix.gettimeofday () -. t0 >= d then begin
+          Mutex.unlock p.m;
+          raise Timeout
+        end
+        else begin
+          (* bounded sleep outside the lock, then re-check; writers and
+             close still broadcast, this only bounds the deadline lag *)
+          Mutex.unlock p.m;
+          Thread.delay poll_period;
+          Mutex.lock p.m;
+          wait ()
+        end
+  in
+  wait ()
+
+let loopback_conn ~peer_name rx tx =
+  { recv_impl = (fun ~deadline buf pos len -> pipe_read rx ~deadline buf pos len);
+    send_impl = (fun s -> pipe_write tx s);
+    close_impl = (fun () -> pipe_close rx; pipe_close tx);
+    peer_name }
+
+let loopback () =
+  let a_to_b = pipe () and b_to_a = pipe () in
+  ( loopback_conn ~peer_name:"loopback:b" b_to_a a_to_b,
+    loopback_conn ~peer_name:"loopback:a" a_to_b b_to_a )
+
+let loopback_listener () =
+  let m = Mutex.create () in
+  let c = Condition.create () in
+  let backlog : conn Queue.t = Queue.create () in
+  let closed = ref false in
+  let accept_impl () =
+    Mutex.lock m;
+    let rec wait () =
+      match Queue.take_opt backlog with
+      | Some conn -> Mutex.unlock m; conn
+      | None ->
+        if !closed then begin
+          Mutex.unlock m;
+          raise Closed
+        end
+        else begin
+          Condition.wait c m;
+          wait ()
+        end
+    in
+    wait ()
+  in
+  let shutdown_impl () =
+    Mutex.lock m;
+    closed := true;
+    Condition.broadcast c;
+    Mutex.unlock m
+  in
+  let dial () =
+    let client_end, server_end = loopback () in
+    Mutex.lock m;
+    if !closed then begin
+      Mutex.unlock m;
+      raise Closed
+    end;
+    Queue.add server_end backlog;
+    Condition.signal c;
+    Mutex.unlock m;
+    client_end
+  in
+  ({ accept_impl; shutdown_impl }, dial)
+
+(* ---------------------------------------------------------------- *)
+(* Unix sockets. Deadlines ride on [Unix.select]; EOF-like errno
+   values surface as end-of-stream rather than exceptions, because a
+   hostile peer resetting the connection is normal gateway input.    *)
+
+let of_fd ~peer_name fd =
+  let closed = ref false in
+  let recv_impl ~deadline buf pos len =
+    (match deadline with
+     | None -> ()
+     | Some d ->
+       if d <= 0.0 then raise Timeout;
+       (match Unix.select [ fd ] [] [] d with
+        | [], _, _ -> raise Timeout
+        | _ -> ()));
+    try Unix.read fd buf pos len with
+    | Unix.Unix_error ((ECONNRESET | EPIPE | ENOTCONN | EBADF), _, _) -> 0
+  in
+  let send_impl s =
+    let n = String.length s in
+    let sent = ref 0 in
+    (try
+       while !sent < n do
+         sent := !sent + Unix.write_substring fd s !sent (n - !sent)
+       done
+     with Unix.Unix_error ((EPIPE | ECONNRESET | EBADF | ENOTCONN), _, _) ->
+       raise Closed)
+  in
+  let close_impl () =
+    if not !closed then begin
+      closed := true;
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+  in
+  { recv_impl; send_impl; close_impl; peer_name }
+
+let socketpair () =
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  (of_fd ~peer_name:"socketpair:b" a, of_fd ~peer_name:"socketpair:a" b)
+
+let tcp_listener ?(backlog = 16) ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.setsockopt fd SO_REUSEADDR true;
+  (try Unix.bind fd (ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  Unix.listen fd backlog;
+  let bound_port =
+    match Unix.getsockname fd with
+    | ADDR_INET (_, p) -> p
+    | ADDR_UNIX _ -> port
+  in
+  let closed = ref false in
+  let accept_impl () =
+    match Unix.accept fd with
+    | peer_fd, addr ->
+      let peer_name =
+        match addr with
+        | Unix.ADDR_INET (a, p) ->
+          Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+        | Unix.ADDR_UNIX s -> s
+      in
+      of_fd ~peer_name peer_fd
+    | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED), _, _)
+      when !closed -> raise Closed
+  in
+  let shutdown_impl () =
+    if not !closed then begin
+      closed := true;
+      (* wake a blocked accept *)
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    end
+  in
+  ({ accept_impl; shutdown_impl }, bound_port)
+
+let tcp_connect ~host ~port () =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  (try Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  of_fd ~peer_name:(Printf.sprintf "%s:%d" host port) fd

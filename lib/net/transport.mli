@@ -1,0 +1,68 @@
+(** Byte-stream transports for the gateway: real Unix sockets and a
+    deterministic in-memory loopback.
+
+    The gateway and prover only ever see this small connection surface,
+    so every test and the bench can run over the loopback — no ports, no
+    kernel buffers, no network flakes — while deployment uses TCP or a
+    [socketpair]. Connections are byte streams with an optional
+    {e per-read deadline}; the gateway composes those into per-message
+    deadlines (its slow-loris defense).
+
+    Loopback connections and listeners are internally locked and safe to
+    drive from multiple threads; Unix-socket connections carry the usual
+    file-descriptor caveats (one reader at a time). *)
+
+exception Timeout
+(** A read outlived its deadline. *)
+
+exception Closed
+(** Write on (or accept from) an endpoint that was closed locally. *)
+
+type conn
+
+val recv : conn -> ?deadline:float -> bytes -> int -> int -> int
+(** [recv conn buf pos len] blocks for at least one byte, returning the
+    count read; [0] means end-of-stream. [deadline] (seconds, relative)
+    bounds the wait — raises {!Timeout} when it elapses first, and a
+    non-positive deadline times out immediately. *)
+
+val send : conn -> string -> unit
+(** Write the whole string. Raises {!Closed} once the peer (or this end)
+    is gone. *)
+
+val close : conn -> unit
+(** Idempotent. The peer's pending and future reads see end-of-stream. *)
+
+val peer : conn -> string
+(** Human-readable peer name, for logs and stats. *)
+
+type listener
+
+val accept : listener -> conn
+(** Block for the next inbound connection. Raises {!Closed} once
+    {!shutdown} has been called (also from inside a blocked accept). *)
+
+val shutdown : listener -> unit
+(** Stop accepting; wakes blocked accepts. Idempotent. *)
+
+(** {2 In-memory loopback} *)
+
+val loopback : unit -> conn * conn
+(** A connected pair of in-memory byte streams. *)
+
+val loopback_listener : unit -> listener * (unit -> conn)
+(** A loopback acceptor and its dial function: each [dial ()] yields the
+    client end and queues the server end for {!accept}. [dial] raises
+    {!Closed} after {!shutdown}. *)
+
+(** {2 Unix sockets} *)
+
+val socketpair : unit -> conn * conn
+(** A connected [Unix.socketpair] (AF_UNIX, stream). *)
+
+val tcp_listener : ?backlog:int -> ?host:string -> port:int -> unit -> listener * int
+(** Bind and listen on [host:port] (host defaults to 127.0.0.1); returns
+    the listener and the actual bound port — pass [~port:0] for an
+    ephemeral one. *)
+
+val tcp_connect : host:string -> port:int -> unit -> conn

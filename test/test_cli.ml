@@ -1,0 +1,55 @@
+(* The CLI's normalized exit codes: 0 = verified/ok, 1 =
+   rejected/findings, 2 = usage/IO error — uniform across commands, so
+   scripts and CI can branch on the status alone. *)
+
+let cli =
+  (* the test binary runs in _build/default/test; the CLI is a sibling *)
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/dialed_cli.exe"
+
+let run args =
+  let cmd =
+    Printf.sprintf "%s %s >/dev/null 2>&1" (Filename.quote cli) args
+  in
+  match Sys.command cmd with
+  | 127 -> Alcotest.failf "CLI not found at %s" cli
+  | code -> code
+
+let check_code what expected args =
+  Alcotest.(check int) what expected (run args)
+
+let test_success_is_zero () =
+  check_code "list" 0 "list";
+  check_code "compile" 0 "compile --app fire-sensor";
+  check_code "attest accepted" 0 "attest --app fire-sensor";
+  check_code "lint clean" 0 "lint --all";
+  check_code "fleet clean" 0 "fleet --count 2 --domains 1"
+
+let test_rejection_is_one () =
+  (* uninstrumented binaries fail the audit: findings, not usage error *)
+  check_code "lint findings" 1 "lint --app fire-sensor --variant unmodified";
+  (* tampered fleet members are rejected *)
+  check_code "fleet tampered" 1 "fleet --count 2 --domains 1 --tamper 1"
+
+let test_usage_error_is_two () =
+  check_code "unknown app" 2 "attest --app no-such-app";
+  check_code "unknown flag" 2 "attest --bogus-flag";
+  check_code "missing source" 2 "compile";
+  check_code "unknown command" 2 "frobnicate";
+  check_code "bad variant" 2 "run --app fire-sensor --variant nonsense"
+
+let test_help_is_zero () =
+  check_code "top-level help" 0 "--help";
+  check_code "subcommand help" 0 "serve --help";
+  check_code "version" 0 "--version"
+
+let test_serve_smoke () =
+  (* ephemeral port, fixed duration: starts, serves nothing, exits 0 *)
+  check_code "serve window" 0 "serve --port 0 --duration 0.2 --domains 1"
+
+let suites =
+  [ ("cli-exit-codes",
+     [ Alcotest.test_case "success -> 0" `Quick test_success_is_zero;
+       Alcotest.test_case "rejection -> 1" `Quick test_rejection_is_one;
+       Alcotest.test_case "usage error -> 2" `Quick test_usage_error_is_two;
+       Alcotest.test_case "help/version -> 0" `Quick test_help_is_zero;
+       Alcotest.test_case "serve smoke" `Quick test_serve_smoke ]) ]

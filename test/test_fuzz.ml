@@ -40,20 +40,23 @@ let prop_wire_total =
        | Error _ -> true)
 
 let prop_wire_truncations =
-  QCheck.Test.make ~name:"wire: every truncation of a valid message rejects"
-    ~count:60
-    QCheck.(int_range 0 1000)
-    (fun cut ->
+  QCheck.Test.make
+    ~name:"wire: every strict prefix rejects as Short_buffer"
+    ~count:200
+    QCheck.(pair (int_range 0 1000)
+              (string_of_size (QCheck.Gen.int_range 0 120)))
+    (fun (cut, challenge) ->
        let report =
-         { A.Pox.challenge = "c"; er_min = 0xE000; er_max = 0xE0FF;
+         { A.Pox.challenge; er_min = 0xE000; er_max = 0xE0FF;
            er_exit = 0xE0FE; or_min = 0x0400; or_max = 0x05FE; exec = true;
            or_data = String.make 64 'x'; token = String.make 32 't' }
        in
        let encoded = A.Wire.encode report in
        let cut = cut mod String.length encoded in
+       (* the buffer ran out mid-field: the typed cause must say so *)
        match A.Wire.decode (String.sub encoded 0 cut) with
-       | Error _ -> true
-       | Ok _ -> false)
+       | Error (A.Wire.Short_buffer _) -> true
+       | Error _ | Ok _ -> false)
 
 let prop_asm_parser_total =
   QCheck.Test.make ~name:"asm parser: junk lines error, never crash"

@@ -1,0 +1,93 @@
+(* Challenge-gate freshness: a report accepted once must never be
+   accepted again — not within its session, and not by a fresh session
+   created from the same deterministic seed (the cross-session replay
+   that purely counter-derived challenges would allow). *)
+
+module A = Dialed_apex
+module C = Dialed_core
+module Minic = Dialed_minic.Minic
+
+let check_bool = Alcotest.(check bool)
+
+let build () =
+  let compiled = Minic.compile "int main(int a) { return a + 1; }" in
+  C.Pipeline.build ~data:compiled.Minic.data ~op:compiled.Minic.op ()
+
+let honest_report built req =
+  let device = C.Pipeline.device built in
+  fst (C.Protocol.prover_execute device req)
+
+let test_gate_consumes_challenge () =
+  let built = build () in
+  let gate = C.Protocol.make_gate () in
+  let req = C.Protocol.gate_request gate ~args:[ 4 ] in
+  let report = honest_report built req in
+  (match C.Protocol.gate_check gate req report with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "fresh report rejected: %s" e);
+  (match C.Protocol.gate_check gate req report with
+   | Ok () -> Alcotest.fail "replayed report accepted"
+   | Error _ -> ());
+  (* the stale report cannot satisfy the next challenge either *)
+  let req2 = C.Protocol.gate_request gate ~args:[ 4 ] in
+  match C.Protocol.gate_check gate req2 report with
+  | Ok () -> Alcotest.fail "stale report accepted for a new challenge"
+  | Error _ -> ()
+
+let test_gate_instances_never_repeat_challenges () =
+  (* two gates from the same seed (a verifier restart) must not issue
+     the same challenge — otherwise recorded reports replay *)
+  let g1 = C.Protocol.make_gate ~seed:"same-seed" () in
+  let g2 = C.Protocol.make_gate ~seed:"same-seed" () in
+  let r1 = C.Protocol.gate_request g1 ~args:[] in
+  let r2 = C.Protocol.gate_request g2 ~args:[] in
+  check_bool "distinct challenges across gate instances" true
+    (r1.C.Protocol.challenge <> r2.C.Protocol.challenge)
+
+let test_session_rejects_same_session_replay () =
+  let built = build () in
+  let session = C.Protocol.make_session (C.Verifier.create built) in
+  let req1 = C.Protocol.next_request session ~args:[ 4 ] in
+  let report1 = honest_report built req1 in
+  let first = C.Protocol.check_response session req1 report1 in
+  check_bool "first presentation accepted" true first.C.Verifier.accepted;
+  let second = C.Protocol.check_response session req1 report1 in
+  check_bool "second presentation rejected" true
+    (not second.C.Verifier.accepted);
+  let req2 = C.Protocol.next_request session ~args:[ 4 ] in
+  let cross = C.Protocol.check_response session req2 report1 in
+  check_bool "old report rejected for new challenge" true
+    (not cross.C.Verifier.accepted)
+
+let test_session_rejects_cross_session_replay () =
+  let built = build () in
+  let seed = "restart-seed" in
+  let s1 = C.Protocol.make_session ~seed (C.Verifier.create built) in
+  let req1 = C.Protocol.next_request s1 ~args:[ 4 ] in
+  let report1 = honest_report built req1 in
+  let first = C.Protocol.check_response s1 req1 report1 in
+  check_bool "first session accepts" true first.C.Verifier.accepted;
+  (* attacker records report1; the verifier restarts with the same
+     deterministic seed — the recorded report must not satisfy it *)
+  let s2 = C.Protocol.make_session ~seed (C.Verifier.create built) in
+  let req2 = C.Protocol.next_request s2 ~args:[ 4 ] in
+  let replay = C.Protocol.check_response s2 req2 report1 in
+  check_bool "cross-session replay rejected" true
+    (not replay.C.Verifier.accepted);
+  (* the fresh session still serves honest provers *)
+  let req3 = C.Protocol.next_request s2 ~args:[ 4 ] in
+  let report3 = honest_report built req3 in
+  let honest = C.Protocol.check_response s2 req3 report3 in
+  check_bool "fresh session accepts honest report" true
+    honest.C.Verifier.accepted
+
+let suites =
+  [ ("protocol-gate",
+     [ Alcotest.test_case "challenge consumed on accept" `Quick
+         test_gate_consumes_challenge;
+       Alcotest.test_case "gate instances never repeat" `Quick
+         test_gate_instances_never_repeat_challenges;
+       Alcotest.test_case "same-session replay rejected" `Quick
+         test_session_rejects_same_session_replay;
+       Alcotest.test_case "cross-session replay rejected" `Quick
+         test_session_rejects_cross_session_replay ]) ]

@@ -1,0 +1,620 @@
+(* The framed attestation gateway: framing, codec, transports, rate
+   limiting, and full server/client rounds over in-memory loopback and
+   real Unix sockets — including a hostile-peer corpus the server must
+   survive. *)
+
+module A = Dialed_apex
+module C = Dialed_core
+module F = Dialed_fleet
+module N = Dialed_net
+module Apps = Dialed_apps.Apps
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------- *)
+(* Framing.                                                        *)
+
+let feed_ok d s =
+  match N.Frame.feed d s with
+  | Ok msgs -> msgs
+  | Error e -> Alcotest.failf "feed: %s" (N.Frame.error_to_string e)
+
+let test_frame_roundtrip () =
+  let d = N.Frame.decoder () in
+  let payloads = [ ""; "x"; String.make 1000 'p'; "tail" ] in
+  let stream = String.concat "" (List.map N.Frame.encode payloads) in
+  (* one big chunk *)
+  check_bool "all at once" true (feed_ok d stream = payloads);
+  (* byte by byte *)
+  let d = N.Frame.decoder () in
+  let out = ref [] in
+  String.iter
+    (fun ch -> out := !out @ feed_ok d (String.make 1 ch))
+    stream;
+  check_bool "byte by byte" true (!out = payloads);
+  check_int "no residue" 0 (N.Frame.residue d)
+
+let test_frame_split_across_chunks () =
+  let d = N.Frame.decoder () in
+  let enc = N.Frame.encode (String.make 300 'q') in
+  let half = String.length enc / 2 in
+  check_int "first half: nothing" 0
+    (List.length (feed_ok d (String.sub enc 0 half)));
+  check_bool "second half completes" true
+    (feed_ok d (String.sub enc half (String.length enc - half))
+     = [ String.make 300 'q' ])
+
+let test_frame_oversize_poisons () =
+  let d = N.Frame.decoder ~cap:64 () in
+  (* declared length 65: rejected from the header alone *)
+  let header = Bytes.create 4 in
+  Bytes.set_int32_le header 0 65l;
+  (match N.Frame.feed d (Bytes.to_string header) with
+   | Error (N.Frame.Oversize { declared = 65; cap = 64 }) -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (N.Frame.error_to_string e)
+   | Ok _ -> Alcotest.fail "oversize accepted");
+  (* poisoned: even a valid frame now errors *)
+  (match N.Frame.feed d (N.Frame.encode "ok") with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "poisoned decoder accepted input");
+  (* encode refuses to build an oversize frame: caller bug *)
+  match N.Frame.encode ~cap:8 (String.make 9 'z') with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encode built an oversize frame"
+
+(* ------------------------------------------------------------- *)
+(* Codec.                                                          *)
+
+let codec_roundtrip msg =
+  match N.Codec.decode (N.Codec.encode msg) with
+  | Ok m -> check_bool "roundtrip" true (m = msg)
+  | Error e -> Alcotest.failf "decode: %s" (N.Codec.error_to_string e)
+
+let test_codec_roundtrip () =
+  List.iter codec_roundtrip
+    [ N.Codec.Hello { device_id = "dev-42" };
+      N.Codec.Ready;
+      N.Codec.Request { challenge = String.make 32 'c'; args = [ 0; 7; 0xFFFF ] };
+      N.Codec.Report (String.make 500 'r');
+      N.Codec.Verdict
+        { accepted = false;
+          findings = [ ("bad-token", "token mismatch"); ("k", "") ] };
+      N.Codec.Busy "rate limited";
+      N.Codec.Bye ]
+
+let test_codec_masks_args () =
+  (* args land in 16-bit registers; encoding masks them *)
+  match N.Codec.decode
+          (N.Codec.encode
+             (N.Codec.Request { challenge = "c"; args = [ 0x1FFFF; -1 ] }))
+  with
+  | Ok (N.Codec.Request { args; _ }) ->
+    check_bool "masked to u16" true (args = [ 0xFFFF; 0xFFFF ])
+  | _ -> Alcotest.fail "request did not decode"
+
+let test_codec_errors () =
+  let expect what pred data =
+    match N.Codec.decode data with
+    | Error e when pred e -> ()
+    | Error e ->
+      Alcotest.failf "%s: wrong cause %s" what (N.Codec.error_to_string e)
+    | Ok _ -> Alcotest.failf "%s accepted" what
+  in
+  expect "empty" (function N.Codec.Empty -> true | _ -> false) "";
+  expect "bad tag" (function N.Codec.Bad_tag 99 -> true | _ -> false)
+    (String.make 1 (Char.chr 99));
+  let hello = N.Codec.encode (N.Codec.Hello { device_id = "abcdef" }) in
+  expect "truncated" (function N.Codec.Truncated _ -> true | _ -> false)
+    (String.sub hello 0 (String.length hello - 2));
+  expect "trailing"
+    (function N.Codec.Trailing { extra = 2 } -> true | _ -> false)
+    (hello ^ "xx");
+  (* every strict prefix of every message kind decodes to an error *)
+  List.iter
+    (fun msg ->
+       let enc = N.Codec.encode msg in
+       for cut = 0 to String.length enc - 1 do
+         match N.Codec.decode (String.sub enc 0 cut) with
+         | Error _ -> ()
+         | Ok _ ->
+           Alcotest.failf "prefix %d of %s accepted" cut
+             (Format.asprintf "%a" N.Codec.pp_msg msg)
+       done)
+    [ N.Codec.Hello { device_id = "d" };
+      N.Codec.Request { challenge = "cc"; args = [ 1; 2 ] };
+      N.Codec.Verdict { accepted = true; findings = [ ("a", "b") ] };
+      N.Codec.Busy "x" ]
+
+(* ------------------------------------------------------------- *)
+(* Rate limiting (injected clock, fully deterministic).            *)
+
+let test_ratelimit () =
+  let rl = N.Ratelimit.create ~now:0.0 ~rate:2.0 ~burst:3.0 () in
+  let take now = N.Ratelimit.try_take ~now rl in
+  check_bool "burst of 3" true (take 0.0 && take 0.0 && take 0.0);
+  check_bool "bucket empty" false (take 0.0);
+  (* 2/s * 0.5s = 1 token back *)
+  check_bool "one refilled" true (take 0.5);
+  check_bool "only one" false (take 0.5);
+  (* a clock that jumps backwards must not mint tokens *)
+  check_bool "no backwards refill" false (take 0.4);
+  check_bool "cap at burst" true
+    (take 100.0 && take 100.0 && take 100.0 && not (take 100.0))
+
+(* ------------------------------------------------------------- *)
+(* Transports.                                                     *)
+
+let recv_all conn n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Bytes.to_string buf
+    else
+      match N.Transport.recv conn buf off (n - off) with
+      | 0 -> Alcotest.fail "unexpected EOF"
+      | k -> go (off + k)
+  in
+  go 0
+
+let exercise_conn_pair (a, b) =
+  N.Transport.send a "ping-from-a";
+  check_bool "a->b" true (recv_all b 11 = "ping-from-a");
+  N.Transport.send b "pong";
+  check_bool "b->a" true (recv_all a 4 = "pong");
+  N.Transport.close a;
+  (* peer sees EOF *)
+  let buf = Bytes.create 8 in
+  check_int "eof after close" 0 (N.Transport.recv b buf 0 8);
+  N.Transport.close b
+
+let test_loopback_roundtrip () = exercise_conn_pair (N.Transport.loopback ())
+let test_socketpair_roundtrip () =
+  exercise_conn_pair (N.Transport.socketpair ())
+
+let test_tcp_roundtrip () =
+  let listener, port = N.Transport.tcp_listener ~port:0 () in
+  let accepted = ref None in
+  let th =
+    Thread.create (fun () -> accepted := Some (N.Transport.accept listener)) ()
+  in
+  let client = N.Transport.tcp_connect ~host:"127.0.0.1" ~port () in
+  Thread.join th;
+  (match !accepted with
+   | Some server -> exercise_conn_pair (client, server)
+   | None -> Alcotest.fail "accept did not complete");
+  N.Transport.shutdown listener
+
+let test_deadlines_fire () =
+  let test_pair (a, b) =
+    let buf = Bytes.create 4 in
+    (match N.Transport.recv a ~deadline:0.05 buf 0 4 with
+     | exception N.Transport.Timeout -> ()
+     | n -> Alcotest.failf "read %d bytes from silent peer" n);
+    N.Transport.close a;
+    N.Transport.close b
+  in
+  test_pair (N.Transport.loopback ());
+  test_pair (N.Transport.socketpair ())
+
+(* ------------------------------------------------------------- *)
+(* Channel: per-message deadlines (slow loris).                    *)
+
+let test_chan_roundtrip () =
+  let a, b = N.Transport.loopback () in
+  let ca = N.Chan.create a and cb = N.Chan.create b in
+  N.Chan.send ca (N.Codec.Hello { device_id = "d" });
+  N.Chan.send ca N.Codec.Bye;
+  (match N.Chan.recv cb () with
+   | Ok (Some (N.Codec.Hello { device_id })) ->
+     check_bool "hello" true (device_id = "d")
+   | _ -> Alcotest.fail "expected Hello");
+  (match N.Chan.recv cb () with
+   | Ok (Some N.Codec.Bye) -> ()
+   | _ -> Alcotest.fail "expected Bye");
+  N.Transport.close a;
+  (match N.Chan.recv cb () with
+   | Ok None -> ()
+   | _ -> Alcotest.fail "expected clean EOF");
+  N.Transport.close b
+
+let test_chan_slow_loris_times_out () =
+  let a, b = N.Transport.loopback () in
+  let cb = N.Chan.create b in
+  (* drip half a frame header, then stall: per-message deadline must
+     fire even though each byte arrived "recently" *)
+  N.Transport.send a "\x08";
+  let t =
+    Thread.create
+      (fun () -> Thread.delay 0.05; N.Transport.send a "\x00")
+      ()
+  in
+  (match N.Chan.recv cb ~deadline:0.2 () with
+   | exception N.Transport.Timeout -> ()
+   | Ok _ | Error _ -> Alcotest.fail "expected Timeout");
+  Thread.join t;
+  N.Transport.close a;
+  N.Transport.close b
+
+(* ------------------------------------------------------------- *)
+(* End-to-end gateway rounds.                                      *)
+
+let fire_sensor = List.find (fun a -> a.Apps.name = "fire-sensor") Apps.all
+
+let build_app () =
+  let compiled =
+    Dialed_minic.Minic.compile ~entry:fire_sensor.Apps.entry
+      fire_sensor.Apps.source
+  in
+  C.Pipeline.build ~variant:C.Pipeline.Full ~data:compiled.Dialed_minic.Minic.data
+    ~op:compiled.Dialed_minic.Minic.op ~or_min:fire_sensor.Apps.or_min ()
+
+let gateway_config =
+  { N.Server.default_config with
+    N.Server.domains = 1; window = 4; read_deadline = Some 2.0;
+    args = fire_sensor.Apps.benign_args }
+
+let with_gateway ?(config = gateway_config) f =
+  let built = build_app () in
+  let plan = F.Plan.of_built built in
+  let listener, dial = N.Transport.loopback_listener () in
+  let server = N.Server.create ~config ~plan listener in
+  N.Server.start server;
+  let device () =
+    let d = C.Pipeline.device built in
+    fire_sensor.Apps.setup d;
+    d
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (N.Server.stop server))
+    (fun () -> f ~server ~dial ~device)
+
+let client_config =
+  { N.Client.default_config with
+    N.Client.read_deadline = Some 2.0; backoff_base = 0.01;
+    backoff_cap = 0.05 }
+
+let test_e2e_loopback () =
+  with_gateway (fun ~server ~dial ~device ->
+      let conn = dial () in
+      let rounds =
+        N.Client.attest_rounds ~config:client_config ~device
+          ~device_id:"dev-1" ~rounds:3 conn
+      in
+      N.Transport.close conn;
+      check_int "three rounds" 3 (List.length rounds);
+      List.iter
+        (fun (r : N.Client.round) ->
+           check_bool "accepted" true r.N.Client.accepted;
+           check_bool "first attempt" true (r.N.Client.attempt = 1);
+           check_bool "ran" true (r.N.Client.run <> None))
+        rounds;
+      let stats = N.Server.stop server in
+      check_int "verdicts accepted" 3 stats.N.Server.verdicts_accepted;
+      check_int "requests issued" 3 stats.N.Server.requests_issued;
+      check_int "no sessions left" 0 stats.N.Server.sessions_active;
+      check_int "no conns left" 0 stats.N.Server.connections_active;
+      check_int "fleet agrees" 3 stats.N.Server.verify.F.Metrics.accepted)
+
+let test_e2e_tcp () =
+  let built = build_app () in
+  let plan = F.Plan.of_built built in
+  let listener, port = N.Transport.tcp_listener ~port:0 () in
+  let server = N.Server.create ~config:gateway_config ~plan listener in
+  N.Server.start server;
+  let device () =
+    let d = C.Pipeline.device built in
+    fire_sensor.Apps.setup d;
+    d
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (N.Server.stop server))
+    (fun () ->
+       let conn = N.Transport.tcp_connect ~host:"127.0.0.1" ~port () in
+       let rounds =
+         N.Client.attest_rounds ~config:client_config ~device
+           ~device_id:"dev-tcp" ~rounds:2 conn
+       in
+       N.Transport.close conn;
+       check_bool "both accepted" true
+         (List.for_all (fun (r : N.Client.round) -> r.N.Client.accepted)
+            rounds);
+       let stats = N.Server.stats server in
+       check_int "two verdicts over tcp" 2 stats.N.Server.verdicts_accepted)
+
+let test_e2e_two_provers () =
+  with_gateway (fun ~server:_ ~dial ~device ->
+      let run id () =
+        let conn = dial () in
+        let rounds =
+          N.Client.attest_rounds ~config:client_config ~device
+            ~device_id:id ~rounds:2 conn
+        in
+        N.Transport.close conn;
+        List.for_all (fun (r : N.Client.round) -> r.N.Client.accepted) rounds
+      in
+      let ok_a = ref false and ok_b = ref false in
+      let ta = Thread.create (fun () -> ok_a := run "dev-a" ()) () in
+      let tb = Thread.create (fun () -> ok_b := run "dev-b" ()) () in
+      Thread.join ta;
+      Thread.join tb;
+      check_bool "prover a all accepted" true !ok_a;
+      check_bool "prover b all accepted" true !ok_b)
+
+let test_e2e_tampered_report_rejected () =
+  with_gateway (fun ~server ~dial ~device ->
+      let mangle (r : A.Pox.report) =
+        let b = Bytes.of_string r.A.Pox.or_data in
+        let j = Bytes.length b / 2 in
+        Bytes.set b j (Char.chr (Char.code (Bytes.get b j) lxor 0x01));
+        { r with A.Pox.or_data = Bytes.to_string b }
+      in
+      let config = { client_config with N.Client.mangle = Some mangle } in
+      let conn = dial () in
+      let rounds =
+        N.Client.attest_rounds ~config ~device ~device_id:"dev-evil"
+          ~rounds:1 conn
+      in
+      N.Transport.close conn;
+      (match rounds with
+       | [ r ] ->
+         check_bool "rejected" true (not r.N.Client.accepted);
+         check_bool "bad-token finding" true
+           (List.exists (fun (k, _) -> k = "bad-token") r.N.Client.findings)
+       | _ -> Alcotest.fail "expected one round");
+      let stats = N.Server.stop server in
+      check_int "rejected counted" 1 stats.N.Server.verdicts_rejected)
+
+let test_e2e_wire_replay_rejected () =
+  (* a prover that answers the second challenge with the first round's
+     report: freshness gate rejects it without any replay work *)
+  with_gateway (fun ~server ~dial ~device ->
+      let conn = dial () in
+      let chan = N.Chan.create conn in
+      let recv () =
+        match N.Chan.recv chan ~deadline:2.0 () with
+        | Ok (Some m) -> m
+        | _ -> Alcotest.fail "gateway hung up"
+      in
+      N.Chan.send chan (N.Codec.Hello { device_id = "dev-replay" });
+      N.Chan.send chan N.Codec.Ready;
+      let report1 =
+        match recv () with
+        | N.Codec.Request { challenge; args } ->
+          let req = { C.Protocol.challenge; args } in
+          let report, _ = C.Protocol.prover_execute (device ()) req in
+          A.Wire.encode report
+        | m -> Alcotest.failf "expected Request, got %a" N.Codec.pp_msg m
+      in
+      N.Chan.send chan (N.Codec.Report report1);
+      (match recv () with
+       | N.Codec.Verdict { accepted; _ } ->
+         check_bool "honest round accepted" true accepted
+       | m -> Alcotest.failf "expected Verdict, got %a" N.Codec.pp_msg m);
+      (* second round: replay the recorded report *)
+      N.Chan.send chan N.Codec.Ready;
+      (match recv () with
+       | N.Codec.Request _ -> ()
+       | m -> Alcotest.failf "expected Request, got %a" N.Codec.pp_msg m);
+      N.Chan.send chan (N.Codec.Report report1);
+      (match recv () with
+       | N.Codec.Verdict { accepted; findings } ->
+         check_bool "replay rejected" true (not accepted);
+         check_bool "freshness finding" true
+           (List.exists (fun (k, _) -> k = "bad-token") findings)
+       | m -> Alcotest.failf "expected Verdict, got %a" N.Codec.pp_msg m);
+      N.Chan.send chan N.Codec.Bye;
+      N.Transport.close conn;
+      let stats = N.Server.stop server in
+      check_int "one accept one reject" 1 stats.N.Server.verdicts_rejected;
+      (* the replay was stopped at the gate: only one report reached
+         the fleet verifier *)
+      check_int "only honest report replayed" 1
+        stats.N.Server.verify.F.Metrics.batch_size)
+
+let test_e2e_rate_limited_busy () =
+  let config =
+    { gateway_config with N.Server.rate = Some 0.000001; burst = 1.0 }
+  in
+  with_gateway ~config (fun ~server ~dial ~device:_ ->
+      let conn = dial () in
+      let chan = N.Chan.create conn in
+      N.Chan.send chan (N.Codec.Hello { device_id = "dev-greedy" });
+      N.Chan.send chan N.Codec.Ready;
+      (match N.Chan.recv chan ~deadline:2.0 () with
+       | Ok (Some (N.Codec.Request _)) -> ()
+       | _ -> Alcotest.fail "first Ready should get the burst token");
+      N.Chan.send chan N.Codec.Ready;
+      (match N.Chan.recv chan ~deadline:2.0 () with
+       | Ok (Some (N.Codec.Busy _)) -> ()
+       | _ -> Alcotest.fail "second Ready should be rate limited");
+      N.Transport.close conn;
+      let stats = N.Server.stop server in
+      check_int "rate limited counted" 1 stats.N.Server.rate_limited)
+
+let test_e2e_max_conns_busy () =
+  let config = { gateway_config with N.Server.max_conns = 1 } in
+  with_gateway ~config (fun ~server:_ ~dial ~device ->
+      (* occupy the only slot with a live session *)
+      let first = dial () in
+      let chan = N.Chan.create first in
+      N.Chan.send chan (N.Codec.Hello { device_id = "dev-slot" });
+      N.Chan.send chan N.Codec.Ready;
+      (match N.Chan.recv chan ~deadline:2.0 () with
+       | Ok (Some (N.Codec.Request _)) -> ()
+       | _ -> Alcotest.fail "first connection should be served");
+      (* the second connection is turned away with Busy *)
+      let second = dial () in
+      let chan2 = N.Chan.create second in
+      (match N.Chan.recv chan2 ~deadline:2.0 () with
+       | Ok (Some (N.Codec.Busy _)) -> ()
+       | _ -> Alcotest.fail "second connection should get Busy");
+      N.Transport.close second;
+      (* freeing the slot lets a new prover in *)
+      N.Transport.close first;
+      let rec retry n =
+        let conn = dial () in
+        (* until the handler notices the hangup we may still be turned
+           away (Busy + close -> Transport.Closed on our next send) *)
+        match
+          Fun.protect ~finally:(fun () -> N.Transport.close conn)
+            (fun () ->
+               N.Client.attest_rounds ~config:client_config ~device
+                 ~device_id:"dev-next" ~rounds:1 conn)
+        with
+        | [ r ] when r.N.Client.accepted -> ()
+        | _ when n > 0 -> Thread.delay 0.02; retry (n - 1)
+        | _ -> Alcotest.fail "freed slot never became usable"
+        | exception N.Transport.Closed when n > 0 ->
+          Thread.delay 0.02; retry (n - 1)
+      in
+      retry 50)
+
+(* ------------------------------------------------------------- *)
+(* Hostile peers: the gateway must shed them and keep serving.     *)
+
+let test_server_survives_malformed_peers () =
+  let config =
+    { gateway_config with N.Server.read_deadline = Some 0.15; max_frame = 4096 }
+  in
+  with_gateway ~config (fun ~server ~dial ~device ->
+      let attack bytes =
+        let conn = dial () in
+        (try N.Transport.send conn bytes with N.Transport.Closed -> ());
+        (* wait for the server to drop us *)
+        let buf = Bytes.create 256 in
+        let rec drain () =
+          match N.Transport.recv conn ~deadline:2.0 buf 0 256 with
+          | 0 -> ()
+          | _ -> drain ()
+          | exception N.Transport.Timeout -> ()
+          | exception N.Transport.Closed -> ()
+        in
+        drain ();
+        N.Transport.close conn
+      in
+      let oversize_header =
+        let b = Bytes.create 4 in
+        Bytes.set_int32_le b 0 1_000_000l;
+        Bytes.to_string b
+      in
+      (* each entry is one hostile connection *)
+      attack "";                                     (* instant hangup *)
+      attack "\x03";                                 (* partial header *)
+      attack oversize_header;                        (* huge declared len *)
+      attack (N.Frame.encode "");                    (* empty payload *)
+      attack (N.Frame.encode "\xFF\xFF\xFF");        (* bad tag *)
+      attack (N.Frame.encode (N.Codec.encode N.Codec.Ready));
+                                       (* Ready before Hello *)
+      attack (N.Frame.encode (N.Codec.encode N.Codec.Bye) ^ "\x01");
+                                       (* trailing partial header *)
+      attack (String.concat ""
+                (List.init 64 (fun i -> N.Frame.encode (String.make i 'j'))));
+                                       (* a burst of junk frames *)
+      (* after all that, an honest prover still gets served *)
+      let conn = dial () in
+      let rounds =
+        N.Client.attest_rounds ~config:client_config ~device
+          ~device_id:"dev-honest" ~rounds:1 conn
+      in
+      N.Transport.close conn;
+      (match rounds with
+       | [ r ] -> check_bool "honest round accepted" true r.N.Client.accepted
+       | _ -> Alcotest.fail "expected one round");
+      let stats = N.Server.stop server in
+      check_bool "hostile streams counted" true
+        (stats.N.Server.protocol_errors + stats.N.Server.deadline_timeouts
+         >= 5);
+      check_int "no sessions leaked" 0 stats.N.Server.sessions_active;
+      check_int "no conns leaked" 0 stats.N.Server.connections_active)
+
+let test_server_survives_slow_loris () =
+  let config = { gateway_config with N.Server.read_deadline = Some 0.1 } in
+  with_gateway ~config (fun ~server ~dial ~device ->
+      let conn = dial () in
+      (* a valid Hello, then a frame header that never completes *)
+      let chan = N.Chan.create conn in
+      N.Chan.send chan (N.Codec.Hello { device_id = "dev-loris" });
+      N.Transport.send conn "\x10\x00";
+      (* server must cut us loose at the deadline *)
+      let buf = Bytes.create 16 in
+      (match N.Transport.recv conn ~deadline:2.0 buf 0 16 with
+       | 0 -> ()
+       | _ -> Alcotest.fail "expected EOF after deadline"
+       | exception N.Transport.Timeout ->
+         Alcotest.fail "server never dropped the slow loris");
+      N.Transport.close conn;
+      (* and still serves honest traffic *)
+      let conn = dial () in
+      let rounds =
+        N.Client.attest_rounds ~config:client_config ~device
+          ~device_id:"dev-honest" ~rounds:1 conn
+      in
+      N.Transport.close conn;
+      (match rounds with
+       | [ r ] -> check_bool "honest round accepted" true r.N.Client.accepted
+       | _ -> Alcotest.fail "expected one round");
+      let stats = N.Server.stop server in
+      check_bool "timeout counted" true (stats.N.Server.deadline_timeouts >= 1);
+      check_int "no sessions leaked" 0 stats.N.Server.sessions_active)
+
+(* ------------------------------------------------------------- *)
+(* Client backoff.                                                 *)
+
+let test_backoff_deterministic () =
+  let cfg =
+    { N.Client.default_config with
+      N.Client.backoff_base = 0.05; backoff_cap = 2.0;
+      jitter_seed = "pin-me" }
+  in
+  let seq n = List.init n (fun i -> N.Client.backoff_delay cfg ~attempt:(i + 1)) in
+  check_bool "same config, same delays" true (seq 8 = seq 8);
+  List.iteri
+    (fun i d ->
+       let attempt = i + 1 in
+       let raw = min 2.0 (0.05 *. (2.0 ** float_of_int (attempt - 1))) in
+       check_bool "within jitter envelope" true
+         (d >= 0.5 *. raw && d < 1.5 *. raw))
+    (seq 8);
+  (* different seeds decorrelate retries across a prover fleet *)
+  let other = { cfg with N.Client.jitter_seed = "someone-else" } in
+  check_bool "different seed, different delays" true
+    (N.Client.backoff_delay cfg ~attempt:1
+     <> N.Client.backoff_delay other ~attempt:1)
+
+let suites =
+  [ ("net-frame",
+     [ Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+       Alcotest.test_case "split chunks" `Quick test_frame_split_across_chunks;
+       Alcotest.test_case "oversize poisons" `Quick test_frame_oversize_poisons ]);
+    ("net-codec",
+     [ Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+       Alcotest.test_case "args masked" `Quick test_codec_masks_args;
+       Alcotest.test_case "typed errors" `Quick test_codec_errors ]);
+    ("net-ratelimit",
+     [ Alcotest.test_case "token bucket" `Quick test_ratelimit ]);
+    ("net-transport",
+     [ Alcotest.test_case "loopback" `Quick test_loopback_roundtrip;
+       Alcotest.test_case "socketpair" `Quick test_socketpair_roundtrip;
+       Alcotest.test_case "tcp" `Quick test_tcp_roundtrip;
+       Alcotest.test_case "deadlines" `Quick test_deadlines_fire ]);
+    ("net-chan",
+     [ Alcotest.test_case "roundtrip" `Quick test_chan_roundtrip;
+       Alcotest.test_case "slow loris times out" `Quick
+         test_chan_slow_loris_times_out ]);
+    ("net-gateway",
+     [ Alcotest.test_case "e2e loopback" `Quick test_e2e_loopback;
+       Alcotest.test_case "e2e tcp" `Quick test_e2e_tcp;
+       Alcotest.test_case "two provers" `Quick test_e2e_two_provers;
+       Alcotest.test_case "tamper rejected" `Quick
+         test_e2e_tampered_report_rejected;
+       Alcotest.test_case "wire replay rejected" `Quick
+         test_e2e_wire_replay_rejected;
+       Alcotest.test_case "rate limit Busy" `Quick test_e2e_rate_limited_busy;
+       Alcotest.test_case "max conns Busy" `Quick test_e2e_max_conns_busy;
+       Alcotest.test_case "survives malformed peers" `Quick
+         test_server_survives_malformed_peers;
+       Alcotest.test_case "survives slow loris" `Quick
+         test_server_survives_slow_loris ]);
+    ("net-client",
+     [ Alcotest.test_case "backoff deterministic" `Quick
+         test_backoff_deterministic ]) ]

@@ -26,7 +26,7 @@ let test_wire_roundtrip () =
   match A.Wire.decode (A.Wire.encode report) with
   | Ok decoded ->
     check_bool "identical" true (decoded = report)
-  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Error e -> Alcotest.failf "decode failed: %s" (A.Wire.error_to_string e)
 
 let test_wire_verifies_after_roundtrip () =
   let built, report = sample_report () in
@@ -34,7 +34,7 @@ let test_wire_verifies_after_roundtrip () =
   | Ok decoded ->
     let outcome = C.Verifier.verify (C.Verifier.create built) decoded in
     check_bool "still verifies" true outcome.C.Verifier.accepted
-  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Error e -> Alcotest.failf "decode failed: %s" (A.Wire.error_to_string e)
 
 let test_wire_rejects_garbage () =
   let expect_error what data =
@@ -54,6 +54,55 @@ let test_wire_rejects_garbage () =
   Bytes.set bad 4 '\xFF';
   Bytes.set bad 5 '\xFF';
   expect_error "length overflow" (Bytes.to_string bad)
+
+let test_wire_error_causes () =
+  (* each rejection carries the specific typed cause, so the gateway can
+     count hostile traffic by kind *)
+  let _, report = sample_report () in
+  let good = A.Wire.encode report in
+  let expect what pred data =
+    match A.Wire.decode data with
+    | Error e when pred e -> ()
+    | Error e ->
+      Alcotest.failf "%s: wrong cause %s" what (A.Wire.error_to_string e)
+    | Ok _ -> Alcotest.failf "%s accepted" what
+  in
+  expect "empty" (function A.Wire.Short_buffer _ -> true | _ -> false) "";
+  expect "bad magic"
+    (function A.Wire.Bad_magic -> true | _ -> false)
+    ("ZZ" ^ String.sub good 2 (String.length good - 2));
+  let v9 = Bytes.of_string good in
+  Bytes.set v9 2 '\009';
+  expect "version 9"
+    (function A.Wire.Unsupported_version 9 -> true | _ -> false)
+    (Bytes.to_string v9);
+  let bad_exec = Bytes.of_string good in
+  Bytes.set bad_exec 3 '\007';
+  expect "exec flag 7"
+    (function
+      | A.Wire.Bad_field { what = "exec flag"; value = 7 } -> true
+      | _ -> false)
+    (Bytes.to_string bad_exec);
+  expect "one trailing byte"
+    (function A.Wire.Trailing_garbage { extra = 1 } -> true | _ -> false)
+    (good ^ "x");
+  expect "three trailing bytes"
+    (function A.Wire.Trailing_garbage { extra = 3 } -> true | _ -> false)
+    (good ^ "xyz")
+
+let test_wire_all_prefixes_short () =
+  (* exhaustive, not sampled: every strict prefix of a valid encoding
+     decodes to Short_buffer — never a crash, never another cause *)
+  let _, report = sample_report () in
+  let good = A.Wire.encode report in
+  for cut = 0 to String.length good - 1 do
+    match A.Wire.decode (String.sub good 0 cut) with
+    | Error (A.Wire.Short_buffer _) -> ()
+    | Error e ->
+      Alcotest.failf "prefix %d: wrong cause %s" cut
+        (A.Wire.error_to_string e)
+    | Ok _ -> Alcotest.failf "prefix %d accepted" cut
+  done
 
 let test_wire_tamper_detected_downstream () =
   (* bit flips survive parsing but fail verification *)
@@ -121,6 +170,9 @@ let suites =
      [ Alcotest.test_case "roundtrip" `Quick test_wire_roundtrip;
        Alcotest.test_case "verifies after roundtrip" `Quick test_wire_verifies_after_roundtrip;
        Alcotest.test_case "rejects garbage" `Quick test_wire_rejects_garbage;
+       Alcotest.test_case "typed error causes" `Quick test_wire_error_causes;
+       Alcotest.test_case "all strict prefixes short" `Quick
+         test_wire_all_prefixes_short;
        Alcotest.test_case "tamper detected" `Quick test_wire_tamper_detected_downstream ]);
     ("minic-sugar",
      [ Alcotest.test_case "compound assignment" `Quick test_compound_assign;
