@@ -1,7 +1,7 @@
 # Convenience wrappers around dune; `dune` remains the source of truth.
 
 .PHONY: build test lint bench bench-replay bench-fleet bench-fleet-gate \
-        bench-lint bench-net examples clean
+        bench-lint bench-net bench-swarm bench-swarm-gate examples clean
 
 build:
 	dune build @all
@@ -38,6 +38,17 @@ bench-lint:
 # no ports, no network access needed
 bench-net:
 	dune exec bench/main.exe -- net
+
+# Pipelined-gateway saturation: swarm of simulated provers vs the raw
+# engine stream rate (BENCH_swarm.json)
+bench-swarm:
+	dune exec bench/main.exe -- swarm
+
+# CI perf gate: gateway within 1.5x of the engine. On >= 2 cores the
+# baseline is the raw stream rate; on 1 core the co-located
+# attest+replay ceiling (provers share the verifier's core).
+bench-swarm-gate:
+	dune exec bench/main.exe -- swarm-gate
 
 examples:
 	dune exec examples/quickstart.exe

@@ -778,6 +778,242 @@ let net_bench () =
   printf "wrote BENCH_net.json@."
 
 (* ------------------------------------------------------------------ *)
+(* Swarm: pipelined gateway saturation against the raw engine rate.
+   BENCH_net times one prover round by round, so its number is bounded
+   by the network round-trip and the prover's own execution cost — the
+   ~20x "gateway/engine gap" was never verifier-side. Here the swarm
+   pipelines windows of rounds from many provers (cheap re-attestation
+   per round: one device execution per prover, one SW-Att pass per
+   challenge), so the gateway's verify stream saturates and the honest
+   comparison is gateway rounds/s vs raw Fleet.verify_stream reports/s
+   on the same host. Writes BENCH_swarm.json.                          *)
+
+let swarm_engine_reports = 384
+let swarm_clients = 48
+let swarm_rounds = 16
+
+type swarm_results = {
+  sw_cores : int;
+  sw_attest_us : float;       (* prover-side SW-Att cost per round *)
+  sw_replay_us : float;       (* verifier replay cost per report *)
+  sw_engine_raw : float;      (* reports/s, pre-attested input *)
+  sw_engine_colocated : float;(* reports/s, attest+replay on this host *)
+  sw_loopback : N.Swarm.outcome;
+  sw_loopback_stats : N.Server.stats;
+  sw_fleet : N.Swarm.outcome;       (* thousand-prover scale run *)
+  sw_tcp : N.Swarm.outcome;
+  sw_tcp_stats : N.Server.stats;
+}
+
+let swarm_measure () =
+  let app = Apps.fire_sensor in
+  let built = Apps.build app in
+  let plan = F.Plan.of_built built in
+  let cores = Domain.recommended_domain_count () in
+  let device = C.Pipeline.device built in
+  app.Apps.setup device;
+  ignore (A.Device.run_operation ~args:app.Apps.benign_args device);
+  (* component costs, for the attribution printed below *)
+  let attest_us =
+    let n = 1000 in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to n - 1 do
+      ignore (A.Device.attest device ~challenge:(string_of_int i))
+    done;
+    1e6 *. (Unix.gettimeofday () -. t0) /. float_of_int n
+  in
+  (* raw engine baseline: pre-attested reports straight into a stream —
+     the rate a verifier host sustains when provers are elsewhere *)
+  let reports =
+    List.init swarm_engine_reports (fun i ->
+        ( Printf.sprintf "eng-%04d" i,
+          A.Device.attest device
+            ~challenge:(Printf.sprintf "swarm-bench-%d" i) ))
+  in
+  let engine = F.Fleet.verify_stream ~domains:cores plan reports in
+  assert (engine.F.Fleet.metrics.F.Metrics.rejected = 0);
+  let engine_raw = F.Metrics.reports_per_sec engine.F.Fleet.metrics in
+  let replay_us = 1e6 /. engine_raw *. float_of_int cores in
+  (* co-located baseline: attest + replay in a tight loop with zero
+     protocol between them — the ceiling for any same-host swarm, since
+     the simulated provers' SW-Att passes burn the same cores the
+     verifier needs. On a multi-core host the swarm spreads out and the
+     raw baseline becomes the binding one. *)
+  let engine_colocated =
+    let n = swarm_engine_reports in
+    let st = F.Fleet.stream ~domains:cores plan in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to n - 1 do
+      F.Fleet.stream_submit st (Printf.sprintf "col-%04d" i)
+        (A.Device.attest device ~challenge:(Printf.sprintf "col-%d" i))
+    done;
+    let summary = F.Fleet.stream_close st in
+    let wall = Unix.gettimeofday () -. t0 in
+    assert (summary.F.Fleet.metrics.F.Metrics.rejected = 0);
+    float_of_int n /. wall
+  in
+  (* gateway swarm over the in-memory loopback *)
+  let server_config =
+    { N.Server.default_config with
+      N.Server.domains = cores; window = 16 * cores; max_window = 32;
+      max_conns = 2048; read_deadline = Some 60.0;
+      args = app.Apps.benign_args }
+  in
+  let swarm_config =
+    { N.Swarm.default_config with
+      N.Swarm.clients = swarm_clients; rounds = swarm_rounds; window = 8;
+      concurrency = 32;
+      client = { N.Client.default_config with
+                 N.Client.read_deadline = Some 60.0 } }
+  in
+  let respond ~client:_ =
+    N.Swarm.cheap_responder
+      ~build:(fun () ->
+          let d = C.Pipeline.device built in
+          app.Apps.setup d;
+          d)
+      ()
+  in
+  let with_server ~listener f =
+    let server = N.Server.create ~config:server_config ~plan listener in
+    N.Server.start server;
+    let outcome = f () in
+    (outcome, N.Server.stop server)
+  in
+  let listener, dial = N.Transport.loopback_listener () in
+  let loopback, loopback_stats =
+    with_server ~listener (fun () ->
+        N.Swarm.run ~config:swarm_config ~dial ~respond ())
+  in
+  (* fleet-scale: a thousand provers, shallow sessions — connection and
+     session churn at scale rather than peak rate *)
+  let listener2, dial2 = N.Transport.loopback_listener () in
+  let fleet_scale, _ =
+    with_server ~listener:listener2 (fun () ->
+        N.Swarm.run
+          ~config:{ swarm_config with
+                    N.Swarm.clients = 1024; rounds = 2; window = 2;
+                    concurrency = 64 }
+          ~dial:dial2 ~respond ())
+  in
+  (* a smaller confirmation run over real TCP sockets *)
+  (* backlog must cover the simultaneous connect burst: a dropped SYN
+     retransmits after ~1 s and dominates the whole measurement *)
+  let tcp_listener, port = N.Transport.tcp_listener ~backlog:256 ~port:0 () in
+  let tcp, tcp_stats =
+    with_server ~listener:tcp_listener (fun () ->
+        N.Swarm.run
+          ~config:{ swarm_config with N.Swarm.clients = 24; rounds = 8 }
+          ~dial:(fun () -> N.Transport.tcp_connect ~host:"127.0.0.1" ~port ())
+          ~respond ())
+  in
+  { sw_cores = cores; sw_attest_us = attest_us; sw_replay_us = replay_us;
+    sw_engine_raw = engine_raw; sw_engine_colocated = engine_colocated;
+    sw_loopback = loopback; sw_loopback_stats = loopback_stats;
+    sw_fleet = fleet_scale; sw_tcp = tcp; sw_tcp_stats = tcp_stats }
+
+let swarm_json r =
+  let gap_raw = r.sw_engine_raw /. r.sw_loopback.N.Swarm.throughput in
+  let gap_col = r.sw_engine_colocated /. r.sw_loopback.N.Swarm.throughput in
+  Printf.sprintf
+    "{\n\
+    \  \"experiment\": \"swarm_saturation\",\n\
+    \  \"cores\": %d,\n\
+    \  \"attest_us\": %.1f,\n\
+    \  \"replay_us\": %.1f,\n\
+    \  \"engine_raw_reports_per_sec\": %.1f,\n\
+    \  \"engine_colocated_reports_per_sec\": %.1f,\n\
+    \  \"gateway_gap_vs_raw_x\": %.3f,\n\
+    \  \"gateway_gap_vs_colocated_x\": %.3f,\n\
+    \  \"gate_threshold_x\": 1.5,\n\
+    \  \"gate_baseline\": \"%s\",\n\
+    \  \"loopback\": %s,\n\
+    \  \"loopback_server\": %s,\n\
+    \  \"fleet_scale\": %s,\n\
+    \  \"tcp\": %s,\n\
+    \  \"tcp_server\": %s\n\
+     }\n"
+    r.sw_cores r.sw_attest_us r.sw_replay_us r.sw_engine_raw
+    r.sw_engine_colocated gap_raw gap_col
+    (if r.sw_cores >= 2 then "raw" else "colocated")
+    (N.Swarm.outcome_to_json r.sw_loopback)
+    (N.Server.stats_to_json r.sw_loopback_stats)
+    (N.Swarm.outcome_to_json r.sw_fleet)
+    (N.Swarm.outcome_to_json r.sw_tcp)
+    (N.Server.stats_to_json r.sw_tcp_stats)
+
+let swarm_report r =
+  let gap_raw = r.sw_engine_raw /. r.sw_loopback.N.Swarm.throughput in
+  let gap_col = r.sw_engine_colocated /. r.sw_loopback.N.Swarm.throughput in
+  printf "%-48s %10.1f@." "prover SW-Att (us/round)" r.sw_attest_us;
+  printf "%-48s %10.1f@." "verifier replay (us/report)" r.sw_replay_us;
+  printf "%-48s %10.0f@." "engine, raw stream (reports/s)" r.sw_engine_raw;
+  printf "%-48s %10.0f@." "engine, co-located attest+replay (reports/s)"
+    r.sw_engine_colocated;
+  printf "%-48s %10.0f@." "gateway swarm, loopback (rounds/s)"
+    r.sw_loopback.N.Swarm.throughput;
+  printf "%-48s %10.0f@." "gateway swarm, 1024 provers (rounds/s)"
+    r.sw_fleet.N.Swarm.throughput;
+  printf "%-48s %10.0f@." "gateway swarm, tcp (rounds/s)"
+    r.sw_tcp.N.Swarm.throughput;
+  printf "%-48s %10.2f@." "gap vs raw engine (x)" gap_raw;
+  printf "%-48s %10.2f@." "gap vs co-located engine (x)" gap_col;
+  printf "%-48s %10.1f@." "loopback p50 round latency (ms)"
+    (1000.0 *. N.Swarm.latency_p r.sw_loopback 50.0);
+  printf "%-48s %10.1f@." "loopback p99 round latency (ms)"
+    (1000.0 *. N.Swarm.latency_p r.sw_loopback 99.0);
+  printf
+    "loopback swarm: %d clients x %d rounds, %d failed; server: %d \
+     rate-limited, %d window-overflow, %d protocol errors@."
+    swarm_clients swarm_rounds r.sw_loopback.N.Swarm.clients_failed
+    r.sw_loopback_stats.N.Server.rate_limited
+    r.sw_loopback_stats.N.Server.window_overflow
+    r.sw_loopback_stats.N.Server.protocol_errors;
+  if r.sw_cores < 2 then
+    printf
+      "(1 core: provers and verifier share it, so attest %.0f us rides on \
+       every round — the co-located baseline is the feasible ceiling \
+       there.)@."
+      r.sw_attest_us
+
+let swarm_bench () =
+  section "Swarm: pipelined gateway saturation vs engine throughput";
+  let r = swarm_measure () in
+  swarm_report r;
+  write_file "BENCH_swarm.json" (swarm_json r);
+  printf "wrote BENCH_swarm.json@."
+
+(* CI perf gate: the pipelined gateway must keep the verify engine fed —
+   within 1.5x of the engine rate. With >= 2 cores the provers get off
+   the verifier's core and the raw stream rate is the fair baseline;
+   on a single core the swarm's own SW-Att passes make that baseline
+   unreachable by arithmetic, so the gate measures against the
+   co-located (attest+replay) ceiling instead.                          *)
+let swarm_gate () =
+  section "Swarm perf gate (gateway within 1.5x of the engine)";
+  let cores = Domain.recommended_domain_count () in
+  let r = swarm_measure () in
+  swarm_report r;
+  let baseline, name =
+    if cores >= 2 then (r.sw_engine_raw, "raw")
+    else (r.sw_engine_colocated, "co-located")
+  in
+  let gap = baseline /. r.sw_loopback.N.Swarm.throughput in
+  printf "gate: gateway %.0f rounds/s vs %s engine %.0f reports/s = \
+          %.2fx on %d core%s@."
+    r.sw_loopback.N.Swarm.throughput name baseline gap cores
+    (if cores = 1 then "" else "s");
+  if r.sw_loopback.N.Swarm.clients_failed > 0 then
+    failwith
+      (Printf.sprintf "swarm-gate: %d clients failed"
+         r.sw_loopback.N.Swarm.clients_failed);
+  if gap > 1.5 then
+    failwith
+      (Printf.sprintf
+         "swarm-gate: gateway %.2fx slower than the %s engine (budget \
+          1.5x) on %d cores" gap name cores)
+
+(* ------------------------------------------------------------------ *)
 
 let shape_check () =
   section "Shape check against the paper's reported trends";
@@ -818,10 +1054,10 @@ let () =
       ("fig6c", fig6c); ("ablations", ablations); ("breakdown", breakdown);
       ("swatt", swatt_bench); ("micro", micro); ("replay", replay_bench);
       ("fleet", fleet); ("lint", lint_bench); ("net", net_bench);
-      ("shapes", shape_check) ]
+      ("swarm", swarm_bench); ("shapes", shape_check) ]
   in
   (* CI-only gates, reachable by name but excluded from a bare run-all *)
-  let gates = [ ("fleet-gate", fleet_gate) ] in
+  let gates = [ ("fleet-gate", fleet_gate); ("swarm-gate", swarm_gate) ] in
   match Array.to_list Sys.argv with
   | _ :: ((_ :: _) as picks) ->
     List.iter

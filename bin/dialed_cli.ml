@@ -10,9 +10,10 @@
      dialed disasm   [--app NAME] [--variant V]
      dialed lint     [--app NAME | --file F | --all] [--variant V] [--json]
                      [--loop-bound K] [--require-bounded]
-     dialed serve    [--app NAME] [--port P] [--domains D] [--rate R] ...
+     dialed serve    [--app NAME] [--port P] [--domains D] [--rate R]
+                     [--max-window W] ...
      dialed prover   [--app NAME] [--host H] [--port P] [--rounds N]
-                     [--device-id ID] [--tamper]
+                     [--device-id ID] [--tamper] [--pipeline W]
 
    Exit codes are uniform across commands:
      0  success — verification accepted, audit clean, output produced
@@ -462,6 +463,11 @@ let serve_cmd =
     let doc = "Fleet-stream in-flight window (backpressure bound)." in
     Arg.(value & opt int 32 & info [ "window" ] ~docv:"W" ~doc)
   in
+  let max_window_arg =
+    let doc = "Largest per-session pipelining window granted to a \
+               Hello_ex peer (legacy peers always get 1)." in
+    Arg.(value & opt int 32 & info [ "max-window" ] ~docv:"W" ~doc)
+  in
   let rate_arg =
     let doc = "Token-bucket challenge rate (challenges/sec); unlimited \
                when absent." in
@@ -485,8 +491,8 @@ let serve_cmd =
                (default: until SIGINT)." in
     Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"S" ~doc)
   in
-  let run app file entry args port domains window rate burst max_conns
-      deadline duration =
+  let run app file entry args port domains window max_window rate burst
+      max_conns deadline duration =
     let app =
       match app, file with None, None -> Some "fire-sensor" | _ -> app
     in
@@ -504,8 +510,8 @@ let serve_cmd =
           let listener, port = N.Transport.tcp_listener ~port () in
           let config =
             { N.Server.default_config with
-              N.Server.max_conns; domains; window; rate; burst; args;
-              read_deadline = Some deadline }
+              N.Server.max_conns; domains; window; max_window; rate;
+              burst; args; read_deadline = Some deadline }
           in
           let server = N.Server.create ~config ~plan listener in
           Format.printf "gateway: firmware %s on 127.0.0.1:%d@."
@@ -525,8 +531,9 @@ let serve_cmd =
              judge their reports through the fleet verifier")
     Term.(term_result
             (const run $ app_arg $ file_arg $ entry_arg $ args_arg
-             $ port_arg ~default:4242 $ domains_arg $ window_arg $ rate_arg
-             $ burst_arg $ max_conns_arg $ deadline_arg $ duration_arg))
+             $ port_arg ~default:4242 $ domains_arg $ window_arg
+             $ max_window_arg $ rate_arg $ burst_arg $ max_conns_arg
+             $ deadline_arg $ duration_arg))
 
 let prover_cmd =
   let host_arg =
@@ -547,7 +554,13 @@ let prover_cmd =
                must reject it)." in
     Arg.(value & flag & info [ "tamper" ] ~doc)
   in
-  let run app file entry host port device_id rounds tamper =
+  let pipeline_arg =
+    let doc = "Pipeline the session with a window of $(docv) requests in \
+               flight (negotiated down to the gateway's ceiling); \
+               without this flag each round is a single-shot exchange." in
+    Arg.(value & opt (some int) None & info [ "pipeline" ] ~docv:"W" ~doc)
+  in
+  let run app file entry host port device_id rounds tamper pipeline =
     let app =
       match app, file with None, None -> Some "fire-sensor" | _ -> app
     in
@@ -576,29 +589,60 @@ let prover_cmd =
             in
             let config = { N.Client.default_config with N.Client.mangle } in
             let conn = N.Transport.tcp_connect ~host ~port () in
-            let results =
-              Fun.protect ~finally:(fun () -> N.Transport.close conn)
-                (fun () ->
-                   N.Client.attest_rounds ~config ~device ~device_id ~rounds
-                     conn)
-            in
-            List.iteri
-              (fun i (r : N.Client.round) ->
-                 Format.printf "round %d: %s (attempt %d)@." i
-                   (if r.N.Client.accepted then "accepted"
-                    else if r.N.Client.run = None then "unanswered"
-                    else "rejected")
-                   r.N.Client.attempt;
-                 List.iter
-                   (fun (kind, detail) ->
-                      Format.printf "  [%s] %s@." kind detail)
-                   r.N.Client.findings)
-              results;
-            let all_ok =
-              List.for_all (fun (r : N.Client.round) -> r.N.Client.accepted)
-                results
-            in
-            Ok (if all_ok then 0 else 1)
+            Fun.protect ~finally:(fun () -> N.Transport.close conn)
+              (fun () ->
+                 match pipeline with
+                 | Some window ->
+                   if window < 1 then Error (`Msg "--pipeline must be >= 1")
+                   else begin
+                     let session =
+                       N.Client.attest_pipelined ~config ~window ~device
+                         ~device_id ~rounds conn
+                     in
+                     Format.printf "pipelined session: window %d granted@."
+                       session.N.Client.granted;
+                     Array.iteri
+                       (fun i (r : N.Client.pipelined_round) ->
+                          Format.printf "round %d: %s (%.1f ms)@." i
+                            (if r.N.Client.p_accepted then "accepted"
+                             else "rejected")
+                            (1000.0 *. r.N.Client.p_latency);
+                          List.iter
+                            (fun (kind, detail) ->
+                               Format.printf "  [%s] %s@." kind detail)
+                            r.N.Client.p_findings)
+                       session.N.Client.results;
+                     let all_ok =
+                       Array.for_all
+                         (fun (r : N.Client.pipelined_round) ->
+                            r.N.Client.p_accepted)
+                         session.N.Client.results
+                     in
+                     Ok (if all_ok then 0 else 1)
+                   end
+                 | None ->
+                   let results =
+                     N.Client.attest_rounds ~config ~device ~device_id
+                       ~rounds conn
+                   in
+                   List.iteri
+                     (fun i (r : N.Client.round) ->
+                        Format.printf "round %d: %s (attempt %d)@." i
+                          (if r.N.Client.accepted then "accepted"
+                           else if r.N.Client.run = None then "unanswered"
+                           else "rejected")
+                          r.N.Client.attempt;
+                        List.iter
+                          (fun (kind, detail) ->
+                             Format.printf "  [%s] %s@." kind detail)
+                          r.N.Client.findings)
+                     results;
+                   let all_ok =
+                     List.for_all
+                       (fun (r : N.Client.round) -> r.N.Client.accepted)
+                       results
+                   in
+                   Ok (if all_ok then 0 else 1))
           end)
   in
   Cmd.v
@@ -608,7 +652,7 @@ let prover_cmd =
     Term.(term_result
             (const run $ app_arg $ file_arg $ entry_arg $ host_arg
              $ port_arg ~default:4242 $ device_id_arg $ rounds_arg
-             $ tamper_arg))
+             $ tamper_arg $ pipeline_arg))
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

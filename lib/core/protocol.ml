@@ -19,6 +19,9 @@ type gate = {
   g_instance : int;
   mutable g_counter : int;
   mutable g_outstanding : string option;
+  g_pending : (string, unit) Hashtbl.t;
+      (* challenges issued by [gate_issue], not yet redeemed: the
+         windowed counterpart of [g_outstanding] *)
   g_used : (string, unit) Hashtbl.t;   (* challenges already consumed *)
 }
 
@@ -26,16 +29,54 @@ let instances = Atomic.make 0
 
 let make_gate ?(seed = "dialed-session-seed") () =
   { g_seed = seed; g_instance = Atomic.fetch_and_add instances 1;
-    g_counter = 0; g_outstanding = None; g_used = Hashtbl.create 8 }
+    g_counter = 0; g_outstanding = None; g_pending = Hashtbl.create 8;
+    g_used = Hashtbl.create 8 }
+
+let derive_challenge g =
+  g.g_counter <- g.g_counter + 1;
+  Sha256.digest (Printf.sprintf "%s|%d|%d" g.g_seed g.g_instance g.g_counter)
 
 let gate_request g ~args =
-  g.g_counter <- g.g_counter + 1;
-  let challenge =
-    Sha256.digest
-      (Printf.sprintf "%s|%d|%d" g.g_seed g.g_instance g.g_counter)
-  in
+  let challenge = derive_challenge g in
   g.g_outstanding <- Some challenge;
   { challenge; args }
+
+(* ------------------------------------------------------------------ *)
+(* Windowed freshness: a pipelined gateway session keeps several
+   challenges outstanding at once. Each [gate_issue] derives a fresh
+   challenge from the same (seed, instance, counter) chain as
+   [gate_request] — the two families share one counter and one used set,
+   so mixing them on a single gate still never re-issues a challenge —
+   and parks it in the pending set; [gate_redeem] consumes pending
+   challenges in any order. *)
+
+let gate_issue g ~args =
+  let challenge = derive_challenge g in
+  Hashtbl.replace g.g_pending challenge ();
+  { challenge; args }
+
+let gate_outstanding g = Hashtbl.length g.g_pending
+
+let gate_redeem g req (report : A.Pox.report) =
+  if not (Hashtbl.mem g.g_pending req.challenge) then
+    if Hashtbl.mem g.g_used req.challenge then
+      Error "challenge already consumed (replay)"
+    else Error "challenge was never issued"
+  else if Hashtbl.mem g.g_used report.A.Pox.challenge then begin
+    (* the report answers some earlier, already-redeemed round: a replay
+       presented against a live challenge. The live challenge stays
+       pending — the round it belongs to was not answered. *)
+    Error "challenge already consumed (replay)"
+  end
+  else if not (String.equal report.A.Pox.challenge req.challenge) then
+    Error "response challenge is stale or replayed"
+  else begin
+    (* one challenge, one verification attempt, whatever the verifier
+       later decides *)
+    Hashtbl.remove g.g_pending req.challenge;
+    Hashtbl.replace g.g_used req.challenge ();
+    Ok ()
+  end
 
 let gate_check g req (report : A.Pox.report) =
   match g.g_outstanding with

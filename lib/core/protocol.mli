@@ -38,6 +38,30 @@ val gate_check : gate -> request -> Dialed_apex.Pox.report -> (unit, string) res
     by an earlier round. On [Ok] the challenge is consumed — a second
     presentation of the same report is rejected. *)
 
+(** {3 Windowed gates}
+
+    A pipelined session keeps up to a window of challenges live at
+    once. [gate_issue]/[gate_redeem] generalize
+    [gate_request]/[gate_check] from one outstanding challenge to a
+    pending {e set}; both families share the gate's derivation counter
+    and consumed set, so no challenge is ever issued twice even when
+    they are mixed on one gate. *)
+
+val gate_issue : gate -> args:int list -> request
+(** Derive the next challenge and add it to the pending set. *)
+
+val gate_redeem : gate -> request -> Dialed_apex.Pox.report -> (unit, string) result
+(** Redeem one pending challenge, in any order relative to other
+    [gate_issue]s: reject when [req]'s challenge was never issued or
+    already consumed, or when the report answers a different (stale,
+    replayed) challenge. On [Ok] the challenge moves from pending to
+    consumed. On [Error] a live [req] challenge stays pending, but the
+    caller has typically retired the round — a rejected round is not
+    retried under the same challenge. *)
+
+val gate_outstanding : gate -> int
+(** Pending (issued, unredeemed) challenge count. *)
+
 type session
 
 val make_session : ?seed:string -> Verifier.t -> session

@@ -334,8 +334,9 @@ let stream_pending st =
   Mutex.unlock st.st_mutex;
   n
 
-let stream_poll st =
-  Mutex.lock st.st_mutex;
+(* Collect the in-order prefix of completed, not-yet-polled verdicts.
+   Call with [st_mutex] held. *)
+let take_ready st =
   let out = ref [] in
   let continue = ref true in
   while !continue && st.st_polled < st.st_submitted do
@@ -343,8 +344,35 @@ let stream_poll st =
     | Some v -> out := v :: !out; st.st_polled <- st.st_polled + 1
     | None -> continue := false
   done;
-  Mutex.unlock st.st_mutex;
   List.rev !out
+
+let stream_poll st =
+  Mutex.lock st.st_mutex;
+  let ready = take_ready st in
+  Mutex.unlock st.st_mutex;
+  ready
+
+let stream_next st =
+  Mutex.lock st.st_mutex;
+  let ready = take_ready st in
+  let ready =
+    if ready <> [] then ready
+    else begin
+      (* every verdict landing broadcasts st_progress, as does
+         stream_wake; one wait, then hand back whatever completed (an
+         empty list on a wake with nothing ready — the caller's loop
+         decides whether to come back) *)
+      Condition.wait st.st_progress st.st_mutex;
+      take_ready st
+    end
+  in
+  Mutex.unlock st.st_mutex;
+  ready
+
+let stream_wake st =
+  Mutex.lock st.st_mutex;
+  Condition.broadcast st.st_progress;
+  Mutex.unlock st.st_mutex
 
 let stream_close st =
   Mutex.lock st.st_mutex;

@@ -95,6 +95,17 @@ val stream_poll : stream -> verdict list
     in-order prefix: a still-running replay blocks later, already
     finished ones). Never blocks. *)
 
+val stream_next : stream -> verdict list
+(** Like {!stream_poll}, but when nothing has completed yet, block until
+    a verdict lands or {!stream_wake} is called — so a dispatcher thread
+    (the gateway's verdict router) can sleep on the stream instead of
+    spin-polling. May return [[]] after a {!stream_wake} (or a spurious
+    wakeup) with nothing ready; callers loop. *)
+
+val stream_wake : stream -> unit
+(** Wake every thread blocked in {!stream_next} (it returns the ready
+    prefix, possibly empty). Used on shutdown to unblock dispatchers. *)
+
 val stream_close : stream -> summary
 (** Drain everything in flight (helping the pool), shut the pool down if
     the stream owns it, and return the summary over {e all} submitted

@@ -95,3 +95,116 @@ let attest_rounds ?(config = default_config) ~device ~device_id ~rounds conn =
   let results = List.init rounds (fun _ -> one_round ()) in
   (try Chan.send chan Codec.Bye with Transport.Closed -> ());
   results
+
+(* ------------------------------------------------------------------ *)
+(* Pipelined sessions: negotiate a window with Hello_ex/Welcome, keep
+   up to [granted] rounds in flight, and tolerate out-of-order
+   completion — the gateway pushes Verdict#seq frames as the fleet
+   engine finishes them, and Request#seq frames may interleave with
+   verdicts for earlier rounds. One thread, one connection: the loop
+   alternates "top up the window with Ready" and "react to the next
+   server frame". *)
+
+type pipelined_round = {
+  p_accepted : bool;
+  p_findings : (string * string) list;
+  p_latency : float;
+}
+
+type pipelined = {
+  granted : int;
+  results : pipelined_round array;
+  busy_bounces : int;
+  reply_timeouts : int;
+}
+
+let failed_round detail =
+  { p_accepted = false; p_findings = [ ("client", detail) ];
+    p_latency = Float.nan }
+
+let attest_pipelined ?(config = default_config) ?(window = 8) ?respond
+    ~device ~device_id ~rounds conn =
+  if rounds < 0 then invalid_arg "Client.attest_pipelined: rounds < 0";
+  if window < 1 then invalid_arg "Client.attest_pipelined: window < 1";
+  if config.attempts < 1 then
+    invalid_arg "Client.attest_pipelined: attempts < 1";
+  let respond =
+    match respond with
+    | Some f -> f
+    | None ->
+      fun ~seq:_ req -> fst (C.Protocol.prover_execute (device ()) req)
+  in
+  let chan = Chan.create conn in
+  Chan.send chan (Codec.Hello_ex { device_id; window });
+  let granted =
+    match recv_msg config chan with
+    | Some (Codec.Welcome { window = w }) ->
+      if w > window then
+        violation "gateway granted window %d > requested %d" w window;
+      w
+    | Some (Codec.Busy reason) -> violation "gateway refused session: %s" reason
+    | None -> violation "no Welcome from gateway (timeout)"
+    | Some other ->
+      violation "expected Welcome, got %s"
+        (Format.asprintf "%a" Codec.pp_msg other)
+  in
+  let results = Array.make rounds (failed_round "round never completed") in
+  let landed = Array.make rounds false in
+  let sent_at : (int, float) Hashtbl.t = Hashtbl.create (2 * granted) in
+  let completed = ref 0 in
+  let inflight = ref 0 in
+  let busy = ref 0 in
+  let timeouts = ref 0 in
+  (* every Busy bounce re-queues a Ready; this caps how much bouncing we
+     absorb before declaring the remaining rounds lost *)
+  let busy_budget = config.attempts * max rounds 1 in
+  let consecutive_timeouts = ref 0 in
+  let give_up = ref false in
+  while (not !give_up) && !completed < rounds do
+    while !inflight < granted && !completed + !inflight < rounds do
+      Chan.send chan Codec.Ready;
+      incr inflight
+    done;
+    match recv_msg config chan with
+    | None ->
+      incr timeouts;
+      incr consecutive_timeouts;
+      if !consecutive_timeouts >= config.attempts then give_up := true
+    | Some (Codec.Request_seq { seq; challenge; args }) ->
+      consecutive_timeouts := 0;
+      if seq >= rounds then
+        violation "Request for sequence %d beyond %d rounds" seq rounds;
+      let report = respond ~seq { C.Protocol.challenge; args } in
+      let report =
+        match config.mangle with None -> report | Some f -> f report
+      in
+      Hashtbl.replace sent_at seq (Unix.gettimeofday ());
+      Chan.send chan (Codec.Report_seq { seq; wire = A.Wire.encode report })
+    | Some (Codec.Verdict_seq { seq; accepted; findings }) ->
+      consecutive_timeouts := 0;
+      if seq >= rounds then
+        violation "Verdict for sequence %d beyond %d rounds" seq rounds;
+      if landed.(seq) then violation "duplicate Verdict for sequence %d" seq;
+      landed.(seq) <- true;
+      let latency =
+        match Hashtbl.find_opt sent_at seq with
+        | Some t0 -> Unix.gettimeofday () -. t0
+        | None -> Float.nan
+      in
+      Hashtbl.remove sent_at seq;
+      results.(seq) <- { p_accepted = accepted; p_findings = findings;
+                         p_latency = latency };
+      incr completed;
+      decr inflight
+    | Some (Codec.Busy _) ->
+      consecutive_timeouts := 0;
+      incr busy;
+      decr inflight;
+      if !busy > busy_budget then give_up := true
+      else Thread.delay (backoff_delay config ~attempt:(min !busy 8))
+    | Some other ->
+      violation "unexpected gateway frame %s in pipelined session"
+        (Format.asprintf "%a" Codec.pp_msg other)
+  done;
+  (try Chan.send chan Codec.Bye with Transport.Closed -> ());
+  { granted; results; busy_bounces = !busy; reply_timeouts = !timeouts }

@@ -49,3 +49,47 @@ val attest_rounds :
     exhausted their attempts ([accepted = false], [run = None]).
     Raises {!Protocol_violation} on out-of-protocol gateway traffic and
     lets {!Transport.Closed} escape when the gateway disappears. *)
+
+(** {2 Pipelined sessions}
+
+    The windowed protocol: one [Hello_ex]/[Welcome] negotiation, then up
+    to the granted window of rounds in flight at once. The gateway
+    pushes [Verdict#seq] frames as its verify engine completes them, so
+    a verdict for round [n] may arrive before the [Request] for round
+    [n+k] — the driver keeps per-sequence bookkeeping and never assumes
+    lockstep. *)
+
+type pipelined_round = {
+  p_accepted : bool;
+  p_findings : (string * string) list;
+  p_latency : float;
+      (** seconds from [Report#seq] sent to [Verdict#seq] received;
+          [nan] for rounds that never completed *)
+}
+
+type pipelined = {
+  granted : int;          (** window the gateway actually granted *)
+  results : pipelined_round array;
+      (** indexed by sequence number = issue order, length [rounds] *)
+  busy_bounces : int;     (** [Busy] answers absorbed (with backoff) *)
+  reply_timeouts : int;   (** reads that hit [read_deadline] *)
+}
+
+val attest_pipelined :
+  ?config:config ->
+  ?window:int ->
+  ?respond:(seq:int -> Dialed_core.Protocol.request -> Dialed_apex.Pox.report) ->
+  device:(unit -> Dialed_apex.Device.t) ->
+  device_id:string -> rounds:int -> Transport.conn -> pipelined
+(** Run [rounds] rounds over one pipelined session, requesting [window]
+    (default 8) rounds in flight; the gateway may grant less, never
+    more. [respond] overrides report production (default: a fresh
+    [device ()] executes and attests per request — same work as
+    {!attest_rounds}); [config.mangle] applies to whichever report
+    [respond] produced. Rounds the session could not finish (timeout
+    budget or Busy budget exhausted) come back [p_accepted = false] with
+    a [("client", _)] finding. Raises {!Protocol_violation} on
+    out-of-window sequence numbers, duplicate verdicts, an oversized
+    [Welcome] grant, or any frame outside the pipelined protocol —
+    including talking to a pre-windowing gateway (which drops the
+    unknown [Hello_ex] frame). *)

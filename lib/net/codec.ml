@@ -6,6 +6,12 @@ type msg =
   | Verdict of { accepted : bool; findings : (string * string) list }
   | Busy of string
   | Bye
+  | Hello_ex of { device_id : string; window : int }
+  | Welcome of { window : int }
+  | Request_seq of { seq : int; challenge : string; args : int list }
+  | Report_seq of { seq : int; wire : string }
+  | Verdict_seq of
+      { seq : int; accepted : bool; findings : (string * string) list }
 
 type error =
   | Empty
@@ -26,6 +32,7 @@ let pp_error ppf = function
 let error_to_string e = Format.asprintf "%a" pp_error e
 
 let max_string = 1 lsl 16
+let max_window = 1 lsl 16 - 1
 
 (* tags *)
 let t_hello = 1
@@ -35,6 +42,13 @@ let t_report = 4
 let t_verdict = 5
 let t_busy = 6
 let t_bye = 7
+(* pipelined session extension: a peer that never sends tags >= 8 talks
+   to any gateway; a gateway that never saw Hello_ex never sends them *)
+let t_hello_ex = 8
+let t_welcome = 9
+let t_request_seq = 10
+let t_report_seq = 11
+let t_verdict_seq = 12
 
 (* ---------------------------------------------------------------- *)
 (* Encoding.                                                         *)
@@ -43,12 +57,35 @@ let add_u16 b v =
   Buffer.add_char b (Char.chr (v land 0xFF));
   Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF))
 
+let add_u32 b v =
+  add_u16 b (v land 0xFFFF);
+  add_u16 b ((v lsr 16) land 0xFFFF)
+
 let add_str b s =
   let n = String.length s in
   if n >= max_string then
     invalid_arg (Printf.sprintf "Codec.encode: %d-byte string field" n);
   add_u16 b n;
   Buffer.add_string b s
+
+let add_seq b seq =
+  if seq < 0 || seq > 0xFFFFFFFF then
+    invalid_arg (Printf.sprintf "Codec.encode: sequence number %d" seq);
+  add_u32 b seq
+
+let add_request_body b challenge args =
+  add_str b challenge;
+  if List.length args >= max_string then
+    invalid_arg "Codec.encode: too many args";
+  add_u16 b (List.length args);
+  List.iter (fun a -> add_u16 b (a land 0xFFFF)) args
+
+let add_verdict_body b accepted findings =
+  Buffer.add_char b (if accepted then '\001' else '\000');
+  if List.length findings >= max_string then
+    invalid_arg "Codec.encode: too many findings";
+  add_u16 b (List.length findings);
+  List.iter (fun (kind, detail) -> add_str b kind; add_str b detail) findings
 
 let encode msg =
   let b = Buffer.create 64 in
@@ -59,27 +96,40 @@ let encode msg =
    | Ready -> Buffer.add_char b (Char.chr t_ready)
    | Request { challenge; args } ->
      Buffer.add_char b (Char.chr t_request);
-     add_str b challenge;
-     if List.length args >= max_string then
-       invalid_arg "Codec.encode: too many args";
-     add_u16 b (List.length args);
-     List.iter (fun a -> add_u16 b (a land 0xFFFF)) args
+     add_request_body b challenge args
    | Report wire ->
      Buffer.add_char b (Char.chr t_report);
      Buffer.add_string b wire
    | Verdict { accepted; findings } ->
      Buffer.add_char b (Char.chr t_verdict);
-     Buffer.add_char b (if accepted then '\001' else '\000');
-     if List.length findings >= max_string then
-       invalid_arg "Codec.encode: too many findings";
-     add_u16 b (List.length findings);
-     List.iter
-       (fun (kind, detail) -> add_str b kind; add_str b detail)
-       findings
+     add_verdict_body b accepted findings
    | Busy reason ->
      Buffer.add_char b (Char.chr t_busy);
      add_str b reason
-   | Bye -> Buffer.add_char b (Char.chr t_bye));
+   | Bye -> Buffer.add_char b (Char.chr t_bye)
+   | Hello_ex { device_id; window } ->
+     Buffer.add_char b (Char.chr t_hello_ex);
+     add_str b device_id;
+     if window < 1 || window > max_window then
+       invalid_arg (Printf.sprintf "Codec.encode: window %d" window);
+     add_u16 b window
+   | Welcome { window } ->
+     Buffer.add_char b (Char.chr t_welcome);
+     if window < 1 || window > max_window then
+       invalid_arg (Printf.sprintf "Codec.encode: window %d" window);
+     add_u16 b window
+   | Request_seq { seq; challenge; args } ->
+     Buffer.add_char b (Char.chr t_request_seq);
+     add_seq b seq;
+     add_request_body b challenge args
+   | Report_seq { seq; wire } ->
+     Buffer.add_char b (Char.chr t_report_seq);
+     add_seq b seq;
+     Buffer.add_string b wire
+   | Verdict_seq { seq; accepted; findings } ->
+     Buffer.add_char b (Char.chr t_verdict_seq);
+     add_seq b seq;
+     add_verdict_body b accepted findings);
   Buffer.contents b
 
 (* ---------------------------------------------------------------- *)
@@ -113,6 +163,16 @@ let str c what =
   c.pos <- c.pos + n;
   s
 
+let u32 c what =
+  let lo = u16 c what in
+  let hi = u16 c what in
+  lo lor (hi lsl 16)
+
+let window c =
+  let w = u16 c "window" in
+  if w < 1 then raise (Fail (Bad_value { what = "window"; value = w }));
+  w
+
 let finish c msg =
   let extra = String.length c.data - c.pos in
   if extra <> 0 then raise (Fail (Trailing { extra }));
@@ -122,40 +182,67 @@ let decode data =
   if String.length data = 0 then Error Empty
   else begin
     let c = { data; pos = 0 } in
+    let request_body () =
+      let challenge = str c "challenge" in
+      let argc = u16 c "arg count" in
+      (challenge, List.init argc (fun _ -> u16 c "arg"))
+    in
+    let verdict_body () =
+      let accepted =
+        match byte c "accept flag" with
+        | 0 -> false
+        | 1 -> true
+        | v -> raise (Fail (Bad_value { what = "accept flag"; value = v }))
+      in
+      let count = u16 c "finding count" in
+      let findings =
+        List.init count (fun _ ->
+            let kind = str c "finding kind" in
+            let detail = str c "finding detail" in
+            (kind, detail))
+      in
+      (accepted, findings)
+    in
+    let rest_of_payload () =
+      let wire = String.sub data c.pos (String.length data - c.pos) in
+      c.pos <- String.length data;
+      wire
+    in
     try
       let tag = byte c "tag" in
       if tag = t_hello then
         finish c (Ok (Hello { device_id = str c "device id" }))
       else if tag = t_ready then finish c (Ok Ready)
       else if tag = t_request then begin
-        let challenge = str c "challenge" in
-        let argc = u16 c "arg count" in
-        let args = List.init argc (fun _ -> u16 c "arg") in
+        let challenge, args = request_body () in
         finish c (Ok (Request { challenge; args }))
       end
-      else if tag = t_report then begin
-        let wire = String.sub data 1 (String.length data - 1) in
-        c.pos <- String.length data;
-        finish c (Ok (Report wire))
-      end
+      else if tag = t_report then finish c (Ok (Report (rest_of_payload ())))
       else if tag = t_verdict then begin
-        let accepted =
-          match byte c "accept flag" with
-          | 0 -> false
-          | 1 -> true
-          | v -> raise (Fail (Bad_value { what = "accept flag"; value = v }))
-        in
-        let count = u16 c "finding count" in
-        let findings =
-          List.init count (fun _ ->
-              let kind = str c "finding kind" in
-              let detail = str c "finding detail" in
-              (kind, detail))
-        in
+        let accepted, findings = verdict_body () in
         finish c (Ok (Verdict { accepted; findings }))
       end
       else if tag = t_busy then finish c (Ok (Busy (str c "busy reason")))
       else if tag = t_bye then finish c (Ok Bye)
+      else if tag = t_hello_ex then begin
+        let device_id = str c "device id" in
+        finish c (Ok (Hello_ex { device_id; window = window c }))
+      end
+      else if tag = t_welcome then finish c (Ok (Welcome { window = window c }))
+      else if tag = t_request_seq then begin
+        let seq = u32 c "sequence number" in
+        let challenge, args = request_body () in
+        finish c (Ok (Request_seq { seq; challenge; args }))
+      end
+      else if tag = t_report_seq then begin
+        let seq = u32 c "sequence number" in
+        finish c (Ok (Report_seq { seq; wire = rest_of_payload () }))
+      end
+      else if tag = t_verdict_seq then begin
+        let seq = u32 c "sequence number" in
+        let accepted, findings = verdict_body () in
+        finish c (Ok (Verdict_seq { seq; accepted; findings }))
+      end
       else Error (Bad_tag tag)
     with Fail e -> Error e
   end
@@ -174,3 +261,17 @@ let pp_msg ppf = function
       (if List.length findings = 1 then "" else "s")
   | Busy reason -> Format.fprintf ppf "Busy %S" reason
   | Bye -> Format.pp_print_string ppf "Bye"
+  | Hello_ex { device_id; window } ->
+    Format.fprintf ppf "Hello_ex %S window=%d" device_id window
+  | Welcome { window } -> Format.fprintf ppf "Welcome window=%d" window
+  | Request_seq { seq; challenge; args } ->
+    Format.fprintf ppf "Request#%d chal=%dB args=[%s]" seq
+      (String.length challenge)
+      (String.concat ";" (List.map string_of_int args))
+  | Report_seq { seq; wire } ->
+    Format.fprintf ppf "Report#%d %dB" seq (String.length wire)
+  | Verdict_seq { seq; accepted; findings } ->
+    Format.fprintf ppf "Verdict#%d %s (%d finding%s)" seq
+      (if accepted then "accepted" else "REJECTED")
+      (List.length findings)
+      (if List.length findings = 1 then "" else "s")

@@ -23,7 +23,19 @@
     Like {!Frame}, decoding is total: malformed payloads from untrusted
     peers return typed errors, never raise. Operation arguments travel
     as unsigned 16-bit words (they land in MSP430 registers); encoding
-    masks, decoding yields [0 .. 0xFFFF]. *)
+    masks, decoding yields [0 .. 0xFFFF].
+
+    {b Pipelined sessions.} A prover that wants several rounds in flight
+    opens with [Hello_ex] instead of [Hello], naming the window it would
+    like; the gateway answers [Welcome] with the window it actually
+    grants (never more than requested). Within such a session every
+    round is sequence-numbered: the gateway issues [Request_seq], the
+    prover answers [Report_seq] with the same [seq], and the verdict
+    comes back as [Verdict_seq] — in per-session FIFO order, but with up
+    to [window] rounds open at once. The extension is wire-compatible:
+    the five new tags are only ever sent after an explicit [Hello_ex] /
+    [Welcome] exchange, so a single-shot peer speaking the original
+    seven messages interoperates unchanged. *)
 
 type msg =
   | Hello of { device_id : string }
@@ -33,6 +45,15 @@ type msg =
   | Verdict of { accepted : bool; findings : (string * string) list }
   | Busy of string         (** server declined (rate limit, overload) *)
   | Bye
+  | Hello_ex of { device_id : string; window : int }
+      (** pipelined session opener; [window] in-flight rounds requested *)
+  | Welcome of { window : int }
+      (** gateway's reply to [Hello_ex]: the granted window *)
+  | Request_seq of { seq : int; challenge : string; args : int list }
+  | Report_seq of { seq : int; wire : string }
+      (** answers the [Request_seq] carrying the same [seq] *)
+  | Verdict_seq of
+      { seq : int; accepted : bool; findings : (string * string) list }
 
 type error =
   | Empty                                        (** zero-length payload *)
@@ -47,6 +68,11 @@ val error_to_string : error -> string
 val max_string : int
 (** Per-field string cap (64 KiB): device ids, challenges, finding texts
     and report payloads are all length-prefixed with 16-bit lengths. *)
+
+val max_window : int
+(** Largest expressible pipeline window (u16; 65535). Sequence numbers
+    are u32, so a session can run [2^32] rounds before wrapping —
+    far past any realistic connection lifetime. *)
 
 val encode : msg -> string
 (** Raises [Invalid_argument] if a field exceeds {!max_string} — caller

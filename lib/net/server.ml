@@ -8,6 +8,7 @@ type config = {
   max_conns : int;
   domains : int;
   window : int;
+  max_window : int;
   rate : float option;
   burst : float;
   args : int list;
@@ -16,8 +17,8 @@ type config = {
 
 let default_config =
   { max_frame = Frame.default_cap; read_deadline = Some 10.0; max_conns = 64;
-    domains = 2; window = 32; rate = None; burst = 8.0; args = [];
-    session_seed = "dialed-gateway" }
+    domains = 2; window = 32; max_window = 32; rate = None; burst = 8.0;
+    args = []; session_seed = "dialed-gateway" }
 
 type stats = {
   connections_accepted : int;
@@ -32,27 +33,50 @@ type stats = {
   verdicts_accepted : int;
   verdicts_rejected : int;
   rate_limited : int;
+  window_overflow : int;
+  bad_seq : int;
   protocol_errors : int;
   deadline_timeouts : int;
   verify : F.Metrics.t;
 }
 
+(* One accepted session, shared between its handler thread (reads the
+   peer, issues challenges, rejects bad rounds) and the server's verdict
+   dispatcher (sends fleet verdicts back). [sx_m] serializes frames onto
+   the connection and guards the round-accounting pair
+   [sx_open_rounds]/[sx_alive]; only the handler increments
+   [sx_open_rounds] (on Request), only round closure decrements it
+   (a dispatched verdict or a handler-side rejection). *)
+type sess = {
+  sx_chan : Chan.t;
+  sx_m : Mutex.t;
+  sx_legacy : bool;            (* single-shot peer: unnumbered frames *)
+  sx_window : int;             (* granted in-flight round ceiling *)
+  mutable sx_alive : bool;
+  mutable sx_open_rounds : int;
+}
+
 (* A submitted report waiting for its verdict. The fleet stream yields
    verdicts in submission order, so a FIFO of these, filled under
-   [disp_m], routes each verdict back to the connection that submitted
-   the report. *)
-type pending = { mutable verdict : F.Fleet.verdict option }
+   [disp_m] in stream-submission order, routes each verdict back to the
+   session (and sequence number) that submitted the report. *)
+type pending = { px_sess : sess; px_seq : int }
 
 type t = {
   cfg : config;
   listener : Transport.listener;
   pool : F.Pool.t;
   stream : F.Fleet.stream;
-  limiter : Ratelimit.t option;
   (* dispatcher: FIFO of submitted-not-yet-answered reports *)
   disp_m : Mutex.t;
   pending : pending Queue.t;
-  (* shared mutable state: counters, live connections, lifecycle *)
+  mutable disp_thread : Thread.t option;
+  mutable disp_quit : bool;          (* guarded by [m] *)
+  (* shared mutable state: counters, live connections, lifecycle.
+     Every counter below is only ever read or written with [m] held, so
+     {!stats} snapshots one mutually-consistent view — a poller can
+     never observe a torn pair (e.g. a verdict counted before its
+     report). *)
   m : Mutex.t;
   live : (int, Transport.conn) Hashtbl.t;
   mutable handlers : Thread.t list;
@@ -72,85 +96,232 @@ type t = {
   mutable c_accepted_verdicts : int;
   mutable c_rejected_verdicts : int;
   mutable c_ratelimited : int;
+  mutable c_window_overflow : int;
+  mutable c_bad_seq : int;
   mutable c_proto_errors : int;
   mutable c_timeouts : int;
 }
-
-let create ?(config = default_config) ~plan listener =
-  if config.max_conns < 1 then invalid_arg "Server.create: max_conns < 1";
-  if config.domains < 1 then invalid_arg "Server.create: domains < 1";
-  let pool = F.Pool.create ~domains:config.domains () in
-  let stream = F.Fleet.stream ~pool ~window:config.window plan in
-  let limiter =
-    Option.map
-      (fun rate -> Ratelimit.create ~rate ~burst:config.burst ())
-      config.rate
-  in
-  { cfg = config; listener; pool; stream; limiter;
-    disp_m = Mutex.create (); pending = Queue.create ();
-    m = Mutex.create (); live = Hashtbl.create 16; handlers = [];
-    accept_thread = None; next_conn_id = 0; stopping = false; final = None;
-    c_accepted = 0; c_active = 0; c_sessions = 0; c_frames_rx = 0;
-    c_frames_tx = 0; c_bytes_rx = 0; c_bytes_tx = 0; c_requests = 0;
-    c_reports = 0; c_accepted_verdicts = 0; c_rejected_verdicts = 0;
-    c_ratelimited = 0; c_proto_errors = 0; c_timeouts = 0 }
 
 let locked t f =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
-(* Submit one already-freshness-checked report and block this handler
-   thread until its verdict lands. Handler threads never run replay jobs
-   themselves (scratch arenas are per-domain); they poll the stream,
-   which completes on the pool's domains — or inline inside
-   [stream_submit] when the pool has no workers. *)
-let submit_and_wait t device_id report =
-  let p = { verdict = None } in
-  Mutex.lock t.disp_m;
-  Queue.add p t.pending;
-  (* under [disp_m], so FIFO order = stream submission order *)
-  (try F.Fleet.stream_submit t.stream device_id report
-   with e -> Mutex.unlock t.disp_m; raise e);
-  Mutex.unlock t.disp_m;
-  let rec wait () =
-    Mutex.lock t.disp_m;
-    List.iter
-      (fun v ->
-         match Queue.take_opt t.pending with
-         | Some waiter -> waiter.verdict <- Some v
-         | None -> ())
-      (F.Fleet.stream_poll t.stream);
-    let mine = p.verdict in
-    Mutex.unlock t.disp_m;
-    match mine with
-    | Some v -> v
-    | None -> Thread.delay 0.0005; wait ()
-  in
-  wait ()
+(* ---------------------------------------------------------------- *)
+(* Sending. The handler and the dispatcher both write frames to the
+   same peer; [sx_m] keeps them whole. A dead connection flips
+   [sx_alive] and later sends become no-ops — the dispatcher must not
+   die (or stall the queue) because one peer hung up.                *)
+
+let sess_send t sess msg =
+  Mutex.lock sess.sx_m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sess.sx_m)
+    (fun () ->
+       if sess.sx_alive then
+         match Chan.send sess.sx_chan msg with
+         | () -> locked t (fun () -> t.c_frames_tx <- t.c_frames_tx + 1)
+         | exception Transport.Closed -> sess.sx_alive <- false
+         | exception Unix.Unix_error _ -> sess.sx_alive <- false)
+
+let close_round sess =
+  Mutex.lock sess.sx_m;
+  sess.sx_open_rounds <- sess.sx_open_rounds - 1;
+  Mutex.unlock sess.sx_m
+
+let open_rounds sess =
+  Mutex.lock sess.sx_m;
+  let n = sess.sx_open_rounds in
+  Mutex.unlock sess.sx_m;
+  n
 
 let verdict_msg (v : F.Fleet.verdict) =
-  Codec.Verdict
-    { accepted = v.F.Fleet.accepted;
-      findings =
-        List.map
-          (fun f ->
-             ( C.Verifier.finding_kind f,
-               Format.asprintf "%a" C.Verifier.pp_finding f ))
-          v.F.Fleet.findings }
+  let findings =
+    List.map
+      (fun f ->
+         ( C.Verifier.finding_kind f,
+           Format.asprintf "%a" C.Verifier.pp_finding f ))
+      v.F.Fleet.findings
+  in
+  (v.F.Fleet.accepted, findings)
 
-let rejection kind detail =
-  Codec.Verdict { accepted = false; findings = [ (kind, detail) ] }
+let rejection sess seq kind detail =
+  let findings = [ (kind, detail) ] in
+  if sess.sx_legacy then Codec.Verdict { accepted = false; findings }
+  else Codec.Verdict_seq { seq; accepted = false; findings }
 
-(* One connection's protocol state machine. Any exit path — clean Bye,
-   EOF, hostile bytes, deadline — lands in the caller's cleanup. *)
-let session_loop t chan =
-  let gate = ref None in
-  let outstanding = ref None in
-  let count f = locked t (fun () -> f t) in
-  let send msg =
-    Chan.send chan msg;
+(* ---------------------------------------------------------------- *)
+(* Verdict dispatcher: one thread per server that sleeps on the fleet
+   stream and routes each completed verdict back to the session that
+   submitted its report. The stream yields verdicts in global
+   submission order — an interleaving of the per-session submission
+   orders — so every session still sees its own verdicts in FIFO order
+   while sessions overlap freely.                                     *)
+
+let dispatch_one t (v : F.Fleet.verdict) =
+  Mutex.lock t.disp_m;
+  let p = Queue.take_opt t.pending in
+  Mutex.unlock t.disp_m;
+  match p with
+  | None -> ()   (* unreachable: pending is enqueued before submission *)
+  | Some { px_sess = sess; px_seq = seq } ->
     locked t (fun () ->
-        t.c_frames_tx <- t.c_frames_tx + 1)
+        if v.F.Fleet.accepted then
+          t.c_accepted_verdicts <- t.c_accepted_verdicts + 1
+        else t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
+    let accepted, findings = verdict_msg v in
+    let msg =
+      if sess.sx_legacy then Codec.Verdict { accepted; findings }
+      else Codec.Verdict_seq { seq; accepted; findings }
+    in
+    sess_send t sess msg;
+    close_round sess
+
+let dispatcher_loop t =
+  let rec loop () =
+    let quit = locked t (fun () -> t.disp_quit) in
+    let drained =
+      Mutex.lock t.disp_m;
+      let d = Queue.is_empty t.pending in
+      Mutex.unlock t.disp_m;
+      d
+    in
+    if not (quit && drained) then begin
+      List.iter (dispatch_one t) (F.Fleet.stream_next t.stream);
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(config = default_config) ~plan listener =
+  if config.max_conns < 1 then invalid_arg "Server.create: max_conns < 1";
+  if config.domains < 1 then invalid_arg "Server.create: domains < 1";
+  if config.max_window < 1 then invalid_arg "Server.create: max_window < 1";
+  if config.max_window > Codec.max_window then
+    invalid_arg "Server.create: max_window exceeds Codec.max_window";
+  let pool = F.Pool.create ~domains:config.domains () in
+  let stream = F.Fleet.stream ~pool ~window:config.window plan in
+  let t =
+    { cfg = config; listener; pool; stream;
+      disp_m = Mutex.create (); pending = Queue.create ();
+      disp_thread = None; disp_quit = false;
+      m = Mutex.create (); live = Hashtbl.create 16; handlers = [];
+      accept_thread = None; next_conn_id = 0; stopping = false; final = None;
+      c_accepted = 0; c_active = 0; c_sessions = 0; c_frames_rx = 0;
+      c_frames_tx = 0; c_bytes_rx = 0; c_bytes_tx = 0; c_requests = 0;
+      c_reports = 0; c_accepted_verdicts = 0; c_rejected_verdicts = 0;
+      c_ratelimited = 0; c_window_overflow = 0; c_bad_seq = 0;
+      c_proto_errors = 0; c_timeouts = 0 }
+  in
+  t.disp_thread <- Some (Thread.create (fun () -> dispatcher_loop t) ());
+  t
+
+(* ---------------------------------------------------------------- *)
+(* One connection's protocol state machine. Any exit path — clean Bye,
+   EOF, hostile bytes, deadline — lands in the caller's cleanup.
+
+   The windowed-session machine (DESIGN §5e):
+
+     AWAIT_HELLO --Hello----------> OPEN(legacy, W=1)
+     AWAIT_HELLO --Hello_ex-------> OPEN(pipelined, W=min(req,max))  [Welcome]
+     OPEN: Ready      | open < W  -> issue seq, open+1        [Request(_seq)]
+           Ready      | open >= W -> window overflow          [Busy]
+           Ready      | no token  -> rate limited             [Busy]
+           Report(seq)| issued    -> decode/redeem -> submit or reject(open-1)
+           Report(seq)| unknown   -> bad-seq                  [Verdict(_seq)-]
+           Bye        | open = 0  -> close (clean)
+           Bye        | open > 0  -> protocol error           [Busy] close
+           <verdict from stream>  -> open-1                   [Verdict(_seq)]
+
+   Invariants: 0 <= open <= W at every step; a seq is issued at most
+   once and answered at most once; per-session verdicts leave in issue
+   order (the fleet stream is FIFO and only the dispatcher sends
+   verdicts for submitted rounds). *)
+
+let session_loop t chan =
+  let count f = locked t (fun () -> f t) in
+  (* session state, populated at Hello/Hello_ex *)
+  let sess = ref None in
+  let gate = ref None in
+  let limiter = ref None in
+  let issued : (int, C.Protocol.request) Hashtbl.t = Hashtbl.create 8 in
+  let next_seq = ref 0 in
+  let device = ref "" in
+  let start_session ~legacy ~window device_id =
+    let s =
+      { sx_chan = chan; sx_m = Mutex.create (); sx_legacy = legacy;
+        sx_window = window; sx_alive = true; sx_open_rounds = 0 }
+    in
+    sess := Some s;
+    device := device_id;
+    gate :=
+      Some
+        (C.Protocol.make_gate
+           ~seed:(t.cfg.session_seed ^ "/" ^ device_id) ());
+    limiter :=
+      Option.map
+        (fun rate -> Ratelimit.create ~rate ~burst:t.cfg.burst ())
+        t.cfg.rate;
+    locked t (fun () -> t.c_sessions <- t.c_sessions + 1);
+    s
+  in
+  let on_ready s g =
+    let admit =
+      match !limiter with None -> true | Some l -> Ratelimit.try_take l
+    in
+    if not admit then begin
+      (* rate before window: a flooding peer drains its own bucket
+         first, so the rate_limited counter lands on the flooder *)
+      count (fun t -> t.c_ratelimited <- t.c_ratelimited + 1);
+      sess_send t s (Codec.Busy "rate limited")
+    end
+    else if open_rounds s >= s.sx_window then begin
+      count (fun t -> t.c_window_overflow <- t.c_window_overflow + 1);
+      sess_send t s (Codec.Busy "window full")
+    end
+    else begin
+      let seq = !next_seq in
+      incr next_seq;
+      let req = C.Protocol.gate_issue g ~args:t.cfg.args in
+      Hashtbl.replace issued seq req;
+      Mutex.lock s.sx_m;
+      s.sx_open_rounds <- s.sx_open_rounds + 1;
+      Mutex.unlock s.sx_m;
+      count (fun t -> t.c_requests <- t.c_requests + 1);
+      let msg =
+        if s.sx_legacy then
+          Codec.Request
+            { challenge = req.C.Protocol.challenge;
+              args = req.C.Protocol.args }
+        else
+          Codec.Request_seq
+            { seq; challenge = req.C.Protocol.challenge;
+              args = req.C.Protocol.args }
+      in
+      sess_send t s msg
+    end
+  in
+  (* a round that dies in the handler (undecodable report, freshness
+     failure) closes here; a round that reaches the fleet closes in the
+     dispatcher when its verdict is sent *)
+  let reject_round s seq kind detail =
+    close_round s;
+    count (fun t -> t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
+    sess_send t s (rejection s seq kind detail)
+  in
+  let on_report s g seq req wire =
+    Hashtbl.remove issued seq;
+    match A.Wire.decode wire with
+    | Error e -> reject_round s seq "bad-report" (A.Wire.error_to_string e)
+    | Ok report ->
+      match C.Protocol.gate_redeem g req report with
+      | Error reason -> reject_round s seq "bad-token" reason
+      | Ok () ->
+        (* under [disp_m], so FIFO order = stream submission order *)
+        Mutex.lock t.disp_m;
+        Queue.add { px_sess = s; px_seq = seq } t.pending;
+        (match F.Fleet.stream_submit t.stream !device report with
+         | () -> Mutex.unlock t.disp_m
+         | exception e -> Mutex.unlock t.disp_m; raise e)
   in
   let rec loop () =
     match Chan.recv chan ?deadline:t.cfg.read_deadline () with
@@ -158,81 +329,90 @@ let session_loop t chan =
     | Error _ ->
       count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1)
     | exception Transport.Timeout ->
-      count (fun t -> t.c_timeouts <- t.c_timeouts + 1)
+      (* a peer with every issued challenge answered and rounds still in
+         flight owes us nothing — it is waiting on the verify engine,
+         and killing it would punish our own queueing delay *)
+      (match !sess with
+       | Some s when Hashtbl.length issued = 0 && open_rounds s > 0 ->
+         loop ()
+       | _ -> count (fun t -> t.c_timeouts <- t.c_timeouts + 1))
     | exception Transport.Closed -> ()
     | Ok (Some msg) ->
       count (fun t -> t.c_frames_rx <- t.c_frames_rx + 1);
-      match !gate, msg with
-      | None, Codec.Hello { device_id }
+      match !sess, !gate, msg with
+      | None, _, Codec.Hello { device_id }
         when device_id <> "" && String.length device_id <= 128 ->
-        gate :=
-          Some
-            ( device_id,
-              C.Protocol.make_gate
-                ~seed:(t.cfg.session_seed ^ "/" ^ device_id) () );
-        locked t (fun () -> t.c_sessions <- t.c_sessions + 1);
+        ignore (start_session ~legacy:true ~window:1 device_id);
         loop ()
-      | None, _ ->
+      | None, _, Codec.Hello_ex { device_id; window }
+        when device_id <> "" && String.length device_id <= 128
+             && window >= 1 ->
+        let granted = min window t.cfg.max_window in
+        let s = start_session ~legacy:false ~window:granted device_id in
+        sess_send t s (Codec.Welcome { window = granted });
+        loop ()
+      | None, _, _ ->
         (* anything before a well-formed Hello is a protocol violation *)
         count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1)
-      | Some _, Codec.Hello _ ->
+      | Some _, _, (Codec.Hello _ | Codec.Hello_ex _) ->
         count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1)
-      | Some _, Codec.Bye -> ()
-      | Some (_, g), Codec.Ready ->
-        let admit =
-          match t.limiter with
-          | None -> true
-          | Some l -> Ratelimit.try_take l
-        in
-        if admit then begin
-          let req = C.Protocol.gate_request g ~args:t.cfg.args in
-          outstanding := Some req;
-          locked t (fun () -> t.c_requests <- t.c_requests + 1);
-          send (Codec.Request
-                  { challenge = req.C.Protocol.challenge;
-                    args = req.C.Protocol.args })
+      | Some s, _, Codec.Bye ->
+        if not s.sx_legacy && open_rounds s > 0 then begin
+          (* Bye with rounds still open abandons work the peer asked
+             for: answer with a typed refusal, then drop the session.
+             In-flight verdicts are discarded at dispatch ([sx_alive]). *)
+          count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1);
+          sess_send t s (Codec.Busy "bye with rounds in flight")
+        end
+      | Some s, Some g, Codec.Ready -> on_ready s g; loop ()
+      | Some s, Some g, Codec.Report wire ->
+        count (fun t -> t.c_reports <- t.c_reports + 1);
+        (* a legacy session has at most one issued challenge *)
+        (match Hashtbl.fold (fun k v _ -> Some (k, v)) issued None with
+         | None ->
+           count (fun t ->
+               t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
+           sess_send t s (rejection s 0 "bad-token" "no outstanding challenge")
+         | Some (seq, req) -> on_report s g seq req wire);
+        loop ()
+      | Some s, Some g, Codec.Report_seq { seq; wire } ->
+        count (fun t -> t.c_reports <- t.c_reports + 1);
+        if s.sx_legacy then begin
+          (* numbered frames on a single-shot session: hostile *)
+          count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1)
         end
         else begin
-          locked t (fun () -> t.c_ratelimited <- t.c_ratelimited + 1);
-          send (Codec.Busy "rate limited")
-        end;
-        loop ()
-      | Some (device_id, g), Codec.Report wire ->
-        locked t (fun () -> t.c_reports <- t.c_reports + 1);
-        let reject kind detail =
-          locked t (fun () ->
-              t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
-          send (rejection kind detail)
-        in
-        (match !outstanding with
-         | None -> reject "bad-token" "no outstanding challenge"
-         | Some req ->
-           match A.Wire.decode wire with
-           | Error e -> reject "bad-report" (A.Wire.error_to_string e)
-           | Ok report ->
-             match C.Protocol.gate_check g req report with
-             | Error reason ->
-               outstanding := None;
-               reject "bad-token" reason
-             | Ok () ->
-               outstanding := None;
-               let v = submit_and_wait t device_id report in
-               locked t (fun () ->
-                   if v.F.Fleet.accepted then
-                     t.c_accepted_verdicts <- t.c_accepted_verdicts + 1
-                   else
-                     t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
-               send (verdict_msg v));
-        loop ()
-      | Some _, (Codec.Request _ | Codec.Verdict _ | Codec.Busy _) ->
+          (match Hashtbl.find_opt issued seq with
+           | None ->
+             (* never issued, or already answered: typed rejection, no
+                round accounting (no round is open under that seq) *)
+             count (fun t ->
+                 t.c_bad_seq <- t.c_bad_seq + 1;
+                 t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
+             sess_send t s
+               (rejection s seq "bad-seq"
+                  "unknown or already-answered sequence number")
+           | Some req -> on_report s g seq req wire);
+          loop ()
+        end
+      | Some _, None, _ -> assert false   (* gate set with sess *)
+      | Some _, _,
+        ( Codec.Request _ | Codec.Verdict _ | Codec.Busy _
+        | Codec.Welcome _ | Codec.Request_seq _ | Codec.Verdict_seq _ ) ->
         (* server-to-client messages arriving at the server *)
         count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1)
   in
   let finish () =
+    (match !sess with
+     | Some s ->
+       Mutex.lock s.sx_m;
+       s.sx_alive <- false;
+       Mutex.unlock s.sx_m
+     | None -> ());
     locked t (fun () ->
         t.c_bytes_rx <- t.c_bytes_rx + Chan.bytes_rx chan;
         t.c_bytes_tx <- t.c_bytes_tx + Chan.bytes_tx chan;
-        if !gate <> None then t.c_sessions <- t.c_sessions - 1)
+        if !sess <> None then t.c_sessions <- t.c_sessions - 1)
   in
   Fun.protect ~finally:finish loop
 
@@ -296,6 +476,7 @@ let start t =
       if t.accept_thread <> None then invalid_arg "Server.start: running";
       t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ()))
 
+(* call with [m] held: one critical section, one consistent view *)
 let snapshot t verify =
   { connections_accepted = t.c_accepted;
     connections_active = t.c_active;
@@ -309,6 +490,8 @@ let snapshot t verify =
     verdicts_accepted = t.c_accepted_verdicts;
     verdicts_rejected = t.c_rejected_verdicts;
     rate_limited = t.c_ratelimited;
+    window_overflow = t.c_window_overflow;
+    bad_seq = t.c_bad_seq;
     protocol_errors = t.c_proto_errors;
     deadline_timeouts = t.c_timeouts;
     verify }
@@ -317,6 +500,8 @@ let stats t =
   match locked t (fun () -> t.final) with
   | Some final -> final
   | None ->
+    (* the verify metrics live under the stream's own lock; taking them
+       first keeps the lock order acyclic (never [m] -> stream) *)
     let verify = F.Fleet.stream_snapshot t.stream in
     locked t (fun () -> snapshot t verify)
 
@@ -337,8 +522,13 @@ let stop t =
     List.iter (fun c -> try Transport.close c with _ -> ()) conns;
     let handlers = locked t (fun () -> t.handlers) in
     List.iter Thread.join handlers;
-    (* everything submitted has been answered (handlers wait for their
-       verdicts), so closing the stream cannot block on lost work *)
+    (* the dispatcher drains whatever the dead handlers left in flight
+       (sends to closed peers are dropped), then exits *)
+    locked t (fun () -> t.disp_quit <- true);
+    F.Fleet.stream_wake t.stream;
+    (match t.disp_thread with Some th -> Thread.join th | None -> ());
+    (* everything submitted has been dispatched, so closing the stream
+       cannot block on lost work *)
     let summary = F.Fleet.stream_close t.stream in
     F.Pool.shutdown t.pool;
     let final =
@@ -352,13 +542,14 @@ let pp_stats ppf s =
     "@[<v>conns: %d accepted, %d active, %d sessions@,\
      frames: %d rx / %d tx   bytes: %d rx / %d tx@,\
      rounds: %d requests, %d reports, %d accepted, %d rejected@,\
-     defenses: %d rate-limited, %d protocol errors, %d timeouts@,\
+     defenses: %d rate-limited, %d window-overflow, %d bad-seq, \
+     %d protocol errors, %d timeouts@,\
      verify: %a@]"
     s.connections_accepted s.connections_active s.sessions_active
     s.frames_rx s.frames_tx s.bytes_rx s.bytes_tx s.requests_issued
     s.reports_received s.verdicts_accepted s.verdicts_rejected
-    s.rate_limited s.protocol_errors s.deadline_timeouts F.Metrics.pp
-    s.verify
+    s.rate_limited s.window_overflow s.bad_seq s.protocol_errors
+    s.deadline_timeouts F.Metrics.pp s.verify
 
 let stats_to_json s =
   Printf.sprintf
@@ -367,9 +558,11 @@ let stats_to_json s =
      \"bytes_rx\": %d, \"bytes_tx\": %d, \"requests_issued\": %d, \
      \"reports_received\": %d, \"verdicts_accepted\": %d, \
      \"verdicts_rejected\": %d, \"rate_limited\": %d, \
+     \"window_overflow\": %d, \"bad_seq\": %d, \
      \"protocol_errors\": %d, \"deadline_timeouts\": %d, \"verify\": %s }"
     s.connections_accepted s.connections_active s.sessions_active
     s.frames_rx s.frames_tx s.bytes_rx s.bytes_tx s.requests_issued
     s.reports_received s.verdicts_accepted s.verdicts_rejected
-    s.rate_limited s.protocol_errors s.deadline_timeouts
+    s.rate_limited s.window_overflow s.bad_seq s.protocol_errors
+    s.deadline_timeouts
     (F.Metrics.to_json s.verify)

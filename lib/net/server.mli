@@ -6,20 +6,37 @@
 
     {v
       accept loop ──► handler (1 systhread per connection)
-                        │  Hello → per-connection challenge gate
-                        │  Ready → Ratelimit.try_take → Request | Busy
-                        │  Report → Wire.decode → Protocol.gate_check
+                        │  Hello / Hello_ex → session (window W)
+                        │  Ready → window + rate checks → Request | Busy
+                        │  Report[_seq] → Wire.decode → gate_redeem
                         │           → Fleet.stream_submit ──► pool domains
-                        │           ◄── verdict (submission-order dispatch)
-                        └─ Verdict / Busy frames back to the prover
+                        └─ rejections / Busy frames back to the prover
+      dispatcher  ◄── Fleet.stream_next (verdicts, submission order)
+                        └─ Verdict[_seq] frames back to each session
     v}
+
+    Sessions are {e windowed}: a peer that greets with [Hello_ex]
+    negotiates up to [max_window] rounds in flight and its verdicts are
+    pushed by the dispatcher as the fleet engine completes them, so the
+    engine never idles waiting for a network round-trip. A legacy
+    [Hello] peer gets the same machine with a window of 1 and unnumbered
+    frames — wire-compatible with single-shot clients. Per-session FIFO
+    verdict order is preserved (the fleet stream yields in submission
+    order); cross-session order is whatever the engine produces.
 
     Defenses, all of them counted in {!stats}:
     - hard frame cap and typed decode errors ({!Frame}/{!Codec}) — a
       hostile byte stream closes its own connection, never the gateway;
     - per-message read deadlines (slow-loris: drip-feeding a frame
-      header times out no matter how steadily the bytes trickle);
-    - a token-bucket {!Ratelimit} on challenge issue;
+      header times out no matter how steadily the bytes trickle) — but a
+      peer whose every issued challenge is answered and whose verdicts
+      are still queued in the engine is {e not} timed out;
+    - a {e per-session} token-bucket {!Ratelimit} on challenge issue, so
+      one flooding prover exhausts its own bucket, not its neighbours';
+    - a per-session window ceiling: [Ready] beyond the granted window
+      gets [Busy] and bumps [window_overflow];
+    - reports for never-issued or already-answered sequence numbers get
+      a typed rejection and bump [bad_seq];
     - a connection ceiling ([max_conns]) answered with [Busy];
     - challenge freshness per connection via
       {!Dialed_core.Protocol.gate} — replayed or cross-session reports
@@ -35,15 +52,19 @@ type config = {
   max_conns : int;            (** concurrent connections; excess get Busy *)
   domains : int;              (** verifier pool parallelism *)
   window : int;               (** fleet stream in-flight window *)
-  rate : float option;        (** challenges/sec; [None] = unlimited *)
+  max_window : int;
+      (** per-session pipeline ceiling granted to [Hello_ex] peers;
+          legacy [Hello] sessions always run with window 1 *)
+  rate : float option;
+      (** challenges/sec {e per session}; [None] = unlimited *)
   burst : float;              (** rate-limiter bucket size *)
   args : int list;            (** operation arguments issued in requests *)
   session_seed : string;      (** base seed for per-connection gates *)
 }
 
 val default_config : config
-(** 1 MiB frames, 10 s deadline, 64 connections, 2 domains, window 32,
-    no rate limit, empty args. *)
+(** 1 MiB frames, 10 s deadline, 64 connections, 2 domains, stream
+    window 32, session window 32, no rate limit, empty args. *)
 
 type t
 
@@ -58,8 +79,10 @@ type stats = {
   requests_issued : int;      (** challenges sent *)
   reports_received : int;
   verdicts_accepted : int;
-  verdicts_rejected : int;    (** includes freshness/parse rejections *)
+  verdicts_rejected : int;    (** includes freshness/parse/seq rejections *)
   rate_limited : int;
+  window_overflow : int;      (** [Ready] past the granted window *)
+  bad_seq : int;              (** reports for unknown/answered sequences *)
   protocol_errors : int;      (** hostile/garbled streams dropped *)
   deadline_timeouts : int;
   verify : Dialed_fleet.Metrics.t;
@@ -68,8 +91,8 @@ type stats = {
 
 val create : ?config:config -> plan:Dialed_fleet.Plan.t ->
   Transport.listener -> t
-(** The gateway owns the listener and a private fleet pool/stream from
-    [create] until {!stop}. *)
+(** The gateway owns the listener, a private fleet pool/stream, and a
+    verdict-dispatcher thread from [create] until {!stop}. *)
 
 val start : t -> unit
 (** Spawn the accept loop in a background thread and return. *)
@@ -80,11 +103,16 @@ val serve_forever : t -> unit
 
 val stop : t -> stats
 (** Shut the listener, close every live connection, join the handlers,
-    drain and close the fleet stream, and return the final stats.
-    Idempotent (later calls return the same final stats). *)
+    drain the dispatcher, close the fleet stream, and return the final
+    stats. Idempotent (later calls return the same final stats). *)
 
 val stats : t -> stats
-(** Non-blocking snapshot; callable at any time, including mid-traffic. *)
+(** Non-blocking snapshot; callable at any time, including mid-traffic.
+    All counters are read in one critical section under the server
+    mutex, so the snapshot is internally consistent: a concurrent
+    poller can rely on cross-counter invariants (e.g.
+    [verdicts_accepted + verdicts_rejected <= reports_received +
+    window_overflow]) holding in every observation. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 

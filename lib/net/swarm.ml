@@ -1,0 +1,171 @@
+module C = Dialed_core
+module A = Dialed_apex
+
+type config = {
+  clients : int;
+  rounds : int;
+  window : int;
+  concurrency : int;
+  device_prefix : string;
+  client : Client.config;
+}
+
+let default_config =
+  { clients = 100; rounds = 4; window = 8; concurrency = 16;
+    device_prefix = "swarm";
+    client = { Client.default_config with Client.read_deadline = Some 30.0 } }
+
+type outcome = {
+  clients_run : int;
+  clients_failed : int;
+  rounds_accepted : int;
+  rounds_rejected : int;
+  busy_bounces : int;
+  reply_timeouts : int;
+  wall_seconds : float;
+  throughput : float;
+  latencies : float array;   (* sorted, finite only *)
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  (* 0 rather than nan: the outcome is serialized to JSON *)
+  if n = 0 then 0.0
+  else
+    let idx = int_of_float (Float.of_int (n - 1) *. p /. 100.0 +. 0.5) in
+    sorted.(max 0 (min (n - 1) idx))
+
+let latency_p outcome p = percentile outcome.latencies p
+
+let cheap_responder ~build () =
+  (* One real operation execution per prover, then SW-Att alone per
+     challenge: the per-round prover cost collapses to an HMAC pass, so
+     on a small host the verifier side — not the simulated fleet — is
+     what saturates. Re-attesting the standing run result under each
+     fresh challenge is exactly what a deployed device does between
+     operation invocations. *)
+  let dev = ref None in
+  fun ~seq:_ (req : C.Protocol.request) ->
+    let d =
+      match !dev with
+      | Some d -> d
+      | None ->
+        let d = build () in
+        ignore (A.Device.run_operation ~args:req.C.Protocol.args d : A.Device.run_result);
+        dev := Some d;
+        d
+    in
+    A.Device.attest d ~challenge:req.C.Protocol.challenge
+
+type client_result =
+  | Finished of Client.pipelined
+  | Died of string
+
+let run ?(config = default_config) ~dial ~respond () =
+  if config.clients < 0 then invalid_arg "Swarm.run: clients < 0";
+  if config.concurrency < 1 then invalid_arg "Swarm.run: concurrency < 1";
+  let results = Array.make config.clients (Died "never ran") in
+  let next = ref 0 in
+  let next_m = Mutex.create () in
+  let take () =
+    Mutex.lock next_m;
+    let i = !next in
+    if i < config.clients then incr next;
+    Mutex.unlock next_m;
+    if i < config.clients then Some i else None
+  in
+  let drive i =
+    let device_id = Printf.sprintf "%s-%04d" config.device_prefix i in
+    let cfg =
+      { config.client with
+        Client.jitter_seed =
+          Printf.sprintf "%s|%d" config.client.Client.jitter_seed i }
+    in
+    match dial () with
+    | exception e -> results.(i) <- Died (Printexc.to_string e)
+    | conn ->
+      let close () = try Transport.close conn with _ -> () in
+      (match
+         Client.attest_pipelined ~config:cfg ~window:config.window
+           ~respond:(respond ~client:i)
+           ~device:(fun () ->
+               invalid_arg "Swarm.run: respond must produce the report")
+           ~device_id ~rounds:config.rounds conn
+       with
+       | session -> close (); results.(i) <- Finished session
+       | exception Client.Protocol_violation msg ->
+         close ();
+         results.(i) <- Died ("protocol violation: " ^ msg)
+       | exception Transport.Closed ->
+         close ();
+         results.(i) <- Died "connection closed by gateway"
+       | exception Transport.Timeout ->
+         close ();
+         results.(i) <- Died "transport timeout")
+  in
+  let worker () =
+    let rec go () =
+      match take () with
+      | None -> ()
+      | Some i -> drive i; go ()
+    in
+    go ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init (min config.concurrency (max config.clients 1)) (fun _ ->
+        Thread.create worker ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let accepted = ref 0 and rejected = ref 0 in
+  let busy = ref 0 and timeouts = ref 0 and failed = ref 0 in
+  let lats = ref [] in
+  Array.iter
+    (function
+      | Died _ -> incr failed
+      | Finished s ->
+        busy := !busy + s.Client.busy_bounces;
+        timeouts := !timeouts + s.Client.reply_timeouts;
+        Array.iter
+          (fun (r : Client.pipelined_round) ->
+             if r.Client.p_accepted then incr accepted else incr rejected;
+             if Float.is_finite r.Client.p_latency then
+               lats := r.Client.p_latency :: !lats)
+          s.Client.results)
+    results;
+  let latencies = Array.of_list !lats in
+  Array.sort compare latencies;
+  let completed = !accepted + !rejected in
+  { clients_run = config.clients;
+    clients_failed = !failed;
+    rounds_accepted = !accepted;
+    rounds_rejected = !rejected;
+    busy_bounces = !busy;
+    reply_timeouts = !timeouts;
+    wall_seconds = wall;
+    throughput = (if wall > 0.0 then float_of_int completed /. wall else 0.0);
+    latencies }
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "@[<v>%d clients (%d failed), %d accepted / %d rejected rounds@,\
+     %d busy bounces, %d reply timeouts@,\
+     %.2f s wall, %.1f rounds/s, latency p50 %.1f ms p99 %.1f ms@]"
+    o.clients_run o.clients_failed o.rounds_accepted o.rounds_rejected
+    o.busy_bounces o.reply_timeouts o.wall_seconds o.throughput
+    (1000.0 *. latency_p o 50.0)
+    (1000.0 *. latency_p o 99.0)
+
+let outcome_to_json o =
+  Printf.sprintf
+    "{ \"clients\": %d, \"clients_failed\": %d, \"rounds_accepted\": %d, \
+     \"rounds_rejected\": %d, \"busy_bounces\": %d, \"reply_timeouts\": %d, \
+     \"wall_seconds\": %.6f, \"throughput_rps\": %.3f, \
+     \"latency_p50_ms\": %.3f, \"latency_p90_ms\": %.3f, \
+     \"latency_p99_ms\": %.3f }"
+    o.clients_run o.clients_failed o.rounds_accepted o.rounds_rejected
+    o.busy_bounces o.reply_timeouts o.wall_seconds o.throughput
+    (1000.0 *. latency_p o 50.0)
+    (1000.0 *. latency_p o 90.0)
+    (1000.0 *. latency_p o 99.0)

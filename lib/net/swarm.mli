@@ -1,0 +1,71 @@
+(** A load generator: thousands of simulated provers driving pipelined
+    attestation sessions against one gateway, from a bounded pool of
+    worker threads.
+
+    Each simulated prover runs one {!Client.attest_pipelined} session
+    over its own connection; [concurrency] worker threads pull prover
+    indices off a shared queue, so [clients] can far exceed the thread
+    count. The aggregate outcome reports saturation throughput and the
+    latency distribution (per-round report→verdict time), which is what
+    the swarm experiment plots against the raw fleet-engine rate.
+
+    Determinism: per-prover backoff jitter seeds are derived from the
+    prover index, so two runs bounce off a loaded gateway with the same
+    (decorrelated) retry pattern. Wall-clock numbers of course vary. *)
+
+type config = {
+  clients : int;            (** simulated provers (one session each) *)
+  rounds : int;             (** attestation rounds per prover *)
+  window : int;             (** per-session window to request *)
+  concurrency : int;        (** worker threads driving the provers *)
+  device_prefix : string;   (** device ids are [prefix-%04d] *)
+  client : Client.config;   (** template; jitter seed is per-prover *)
+}
+
+val default_config : config
+(** 100 clients, 4 rounds, window 8, 16 workers, 30 s read deadline. *)
+
+type outcome = {
+  clients_run : int;
+  clients_failed : int;     (** sessions that died (dial/protocol/EOF) *)
+  rounds_accepted : int;
+  rounds_rejected : int;
+  busy_bounces : int;       (** [Busy] answers absorbed across the swarm *)
+  reply_timeouts : int;
+  wall_seconds : float;
+  throughput : float;       (** completed rounds per second *)
+  latencies : float array;  (** sorted report→verdict times, seconds *)
+}
+
+val cheap_responder :
+  build:(unit -> Dialed_apex.Device.t) -> unit ->
+  seq:int -> Dialed_core.Protocol.request -> Dialed_apex.Pox.report
+(** [cheap_responder ~build ()] makes a per-prover responder that builds
+    and runs the device once (on its first request), then answers every
+    challenge by re-attesting the standing run — per-round prover cost
+    collapses to one SW-Att pass, so the gateway/verifier side is what
+    saturates even when swarm and gateway share a small host. Each
+    responder is single-session state; make a fresh one per prover. *)
+
+val run :
+  ?config:config ->
+  dial:(unit -> Transport.conn) ->
+  respond:(client:int -> seq:int ->
+           Dialed_core.Protocol.request -> Dialed_apex.Pox.report) ->
+  unit -> outcome
+(** Drive the swarm to completion. [dial] opens one connection per
+    prover; [respond ~client] produces that prover's per-request
+    responder (e.g. [fun ~client:_ -> cheap_responder ~build () ]
+    — note the responder must be created per client to get fresh
+    state). A prover whose session raises ({!Client.Protocol_violation},
+    [Transport.Closed], a failed dial) is counted in [clients_failed];
+    the rest of the swarm keeps running. *)
+
+val latency_p : outcome -> float -> float
+(** [latency_p o 99.0] = the p99 round latency in seconds (0 when no
+    round completed). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val outcome_to_json : outcome -> string
+(** One flat JSON object (latencies as p50/p90/p99 milliseconds). *)

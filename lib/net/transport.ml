@@ -213,6 +213,10 @@ let tcp_listener ?(backlog = 16) ?(host = "127.0.0.1") ~port () =
   let accept_impl () =
     match Unix.accept fd with
     | peer_fd, addr ->
+      (* framed request/report messages are small; Nagle + delayed ACK
+         would add ~40 ms per round-trip and flatten any pipelining *)
+      (try Unix.setsockopt peer_fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
       let peer_name =
         match addr with
         | Unix.ADDR_INET (a, p) ->
@@ -235,6 +239,8 @@ let tcp_listener ?(backlog = 16) ?(host = "127.0.0.1") ~port () =
 
 let tcp_connect ~host ~port () =
   let fd = Unix.socket PF_INET SOCK_STREAM 0 in
-  (try Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port))
+  (try
+     Unix.connect fd (ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true
    with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
   of_fd ~peer_name:(Printf.sprintf "%s:%d" host port) fd

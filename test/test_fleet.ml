@@ -302,6 +302,57 @@ let test_stream_matches_batch () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "submit on a closed stream accepted"
 
+let test_stream_next_blocks_and_wakes () =
+  let built = Lazy.force vuln_built in
+  let plan = F.Plan.of_built built in
+  let batch = mixed_batch built 6 in
+  (* pooled stream: a consumer thread sleeps in stream_next while the
+     submitter feeds reports; every verdict must come out exactly once
+     and in submission order *)
+  let pool = F.Pool.create ~domains:2 () in
+  let st = F.Fleet.stream ~pool ~window:2 plan in
+  let out = ref [] in
+  let out_m = Mutex.create () in
+  let quit = ref false in
+  let consumer =
+    Thread.create
+      (fun () ->
+         let rec go () =
+           let vs = F.Fleet.stream_next st in
+           Mutex.lock out_m;
+           out := !out @ vs;
+           let stop = !quit && vs = [] in
+           Mutex.unlock out_m;
+           if not stop then go ()
+         in
+         go ())
+      ()
+  in
+  List.iter (fun (id, r) -> F.Fleet.stream_submit st id r) batch;
+  (* wait for the consumer to drain everything *)
+  let rec wait n =
+    let drained =
+      Mutex.lock out_m;
+      let d = List.length !out = List.length batch in
+      Mutex.unlock out_m;
+      d
+    in
+    if (not drained) && n > 0 then (Thread.delay 0.01; wait (n - 1))
+  in
+  wait 500;
+  Mutex.lock out_m;
+  quit := true;
+  Mutex.unlock out_m;
+  F.Fleet.stream_wake st;
+  Thread.join consumer;
+  check_bool "stream_next yields submission order" true
+    (List.map (fun (v : F.Fleet.verdict) -> v.F.Fleet.device_id) !out
+     = List.map fst batch);
+  let final = F.Fleet.stream_close st in
+  check_int "close still reports all verdicts" (List.length batch)
+    (List.length final.F.Fleet.verdicts);
+  F.Pool.shutdown pool
+
 let test_rejects_by_kind_no_finding () =
   (* regression: a rejected verdict with an empty findings list used to
      vanish from the histogram, so the buckets no longer summed to the
@@ -404,6 +455,8 @@ let suites =
          test_pool_across_plans;
        Alcotest.test_case "stream matches batch" `Quick
          test_stream_matches_batch;
+       Alcotest.test_case "stream_next blocks and wakes" `Quick
+         test_stream_next_blocks_and_wakes;
        Alcotest.test_case "rejects_by_kind keeps findingless rejects" `Quick
          test_rejects_by_kind_no_finding;
        Alcotest.test_case "LRU protects hot plan" `Quick

@@ -81,6 +81,77 @@ let test_session_rejects_cross_session_replay () =
   check_bool "fresh session accepts honest report" true
     honest.C.Verifier.accepted
 
+(* --------------------------------------------------------------- *)
+(* Windowed gates: several challenges pending at once, redeemed in
+   any order, sharing one derivation counter and used-set with the
+   single-shot API.                                                  *)
+
+let check_int = Alcotest.(check int)
+
+let test_gate_window_out_of_order_redeem () =
+  let built = build () in
+  let gate = C.Protocol.make_gate () in
+  let reqs = List.init 5 (fun _ -> C.Protocol.gate_issue gate ~args:[ 4 ]) in
+  check_int "five pending" 5 (C.Protocol.gate_outstanding gate);
+  (* redeem 3, 0, 4, 1, 2: order must not matter *)
+  let order = [ 3; 0; 4; 1; 2 ] in
+  List.iter
+    (fun i ->
+       let req = List.nth reqs i in
+       let report = honest_report built req in
+       match C.Protocol.gate_redeem gate req report with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "redeem %d rejected: %s" i e)
+    order;
+  check_int "none pending" 0 (C.Protocol.gate_outstanding gate)
+
+let test_gate_window_rejects_replay_and_unissued () =
+  let built = build () in
+  let gate = C.Protocol.make_gate () in
+  let req = C.Protocol.gate_issue gate ~args:[ 4 ] in
+  let report = honest_report built req in
+  (match C.Protocol.gate_redeem gate req report with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "fresh redeem rejected: %s" e);
+  (* same challenge again: consumed *)
+  (match C.Protocol.gate_redeem gate req report with
+   | Ok () -> Alcotest.fail "double redeem accepted"
+   | Error _ -> ());
+  (* a challenge this gate never issued *)
+  let forged = { req with C.Protocol.challenge = String.make 32 'f' } in
+  (match C.Protocol.gate_redeem gate forged report with
+   | Ok () -> Alcotest.fail "unissued challenge accepted"
+   | Error e ->
+     check_bool "says never issued" true
+       (e = "challenge was never issued"));
+  (* an old report presented against a live pending challenge: the
+     pending challenge must survive for its real answer *)
+  let req2 = C.Protocol.gate_issue gate ~args:[ 4 ] in
+  (match C.Protocol.gate_redeem gate req2 report with
+   | Ok () -> Alcotest.fail "stale report accepted for live challenge"
+   | Error _ -> ());
+  check_int "live challenge still pending" 1
+    (C.Protocol.gate_outstanding gate);
+  let report2 = honest_report built req2 in
+  match C.Protocol.gate_redeem gate req2 report2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "honest answer rejected after replay: %s" e
+
+let test_gate_mixed_apis_share_counter () =
+  (* interleaving gate_request and gate_issue on one gate must never
+     produce the same challenge twice *)
+  let gate = C.Protocol.make_gate () in
+  let seen = Hashtbl.create 16 in
+  for i = 0 to 19 do
+    let req =
+      if i mod 2 = 0 then C.Protocol.gate_issue gate ~args:[]
+      else C.Protocol.gate_request gate ~args:[]
+    in
+    check_bool "challenge is fresh" true
+      (not (Hashtbl.mem seen req.C.Protocol.challenge));
+    Hashtbl.replace seen req.C.Protocol.challenge ()
+  done
+
 let suites =
   [ ("protocol-gate",
      [ Alcotest.test_case "challenge consumed on accept" `Quick
@@ -90,4 +161,10 @@ let suites =
        Alcotest.test_case "same-session replay rejected" `Quick
          test_session_rejects_same_session_replay;
        Alcotest.test_case "cross-session replay rejected" `Quick
-         test_session_rejects_cross_session_replay ]) ]
+         test_session_rejects_cross_session_replay;
+       Alcotest.test_case "windowed out-of-order redeem" `Quick
+         test_gate_window_out_of_order_redeem;
+       Alcotest.test_case "windowed replay/unissued rejected" `Quick
+         test_gate_window_rejects_replay_and_unissued;
+       Alcotest.test_case "mixed APIs share counter" `Quick
+         test_gate_mixed_apis_share_counter ]) ]

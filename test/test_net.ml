@@ -81,7 +81,48 @@ let test_codec_roundtrip () =
         { accepted = false;
           findings = [ ("bad-token", "token mismatch"); ("k", "") ] };
       N.Codec.Busy "rate limited";
-      N.Codec.Bye ]
+      N.Codec.Bye;
+      (* windowed-session messages *)
+      N.Codec.Hello_ex { device_id = "dev-43"; window = 1 };
+      N.Codec.Hello_ex { device_id = "d"; window = N.Codec.max_window };
+      N.Codec.Welcome { window = 17 };
+      N.Codec.Request_seq
+        { seq = 0; challenge = String.make 32 'c'; args = [ 1; 2 ] };
+      N.Codec.Request_seq
+        { seq = 0xFFFF_FFFF; challenge = "x"; args = [] };
+      N.Codec.Report_seq { seq = 12345; wire = String.make 700 'w' };
+      N.Codec.Report_seq { seq = 0; wire = "" };
+      N.Codec.Verdict_seq
+        { seq = 7; accepted = true; findings = [] };
+      N.Codec.Verdict_seq
+        { seq = 9; accepted = false;
+          findings = [ ("bad-seq", "unknown sequence") ] } ]
+
+let test_codec_window_bounds () =
+  (* a zero window would deadlock a session; the codec rejects it on
+     both ends *)
+  (match N.Codec.encode (N.Codec.Hello_ex { device_id = "d"; window = 0 }) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "encoded a zero window");
+  (match N.Codec.encode
+           (N.Codec.Welcome { window = N.Codec.max_window + 1 })
+   with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "encoded an oversize window");
+  (* a forged zero-window frame decodes to a typed error *)
+  let welcome = Bytes.of_string (N.Codec.encode (N.Codec.Welcome { window = 1 })) in
+  Bytes.set welcome 1 '\x00';
+  (match N.Codec.decode (Bytes.to_string welcome) with
+   | Error (N.Codec.Bad_value { value = 0; _ }) -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (N.Codec.error_to_string e)
+   | Ok _ -> Alcotest.fail "zero window decoded");
+  (* sequence numbers are u32 *)
+  match
+    N.Codec.encode
+      (N.Codec.Report_seq { seq = 0x1_0000_0000; wire = "r" })
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "encoded a 33-bit sequence number"
 
 let test_codec_masks_args () =
   (* args land in 16-bit registers; encoding masks them *)
@@ -470,6 +511,215 @@ let test_e2e_max_conns_busy () =
       retry 50)
 
 (* ------------------------------------------------------------- *)
+(* Pipelined sessions.                                             *)
+
+let test_e2e_pipelined_loopback () =
+  with_gateway (fun ~server ~dial ~device ->
+      let conn = dial () in
+      let session =
+        N.Client.attest_pipelined ~config:client_config ~window:4 ~device
+          ~device_id:"dev-pipe" ~rounds:8 conn
+      in
+      N.Transport.close conn;
+      check_int "granted the requested window" 4 session.N.Client.granted;
+      check_int "eight rounds" 8 (Array.length session.N.Client.results);
+      Array.iter
+        (fun (r : N.Client.pipelined_round) ->
+           check_bool "accepted" true r.N.Client.p_accepted;
+           check_bool "latency measured" true
+             (Float.is_finite r.N.Client.p_latency
+              && r.N.Client.p_latency >= 0.0))
+        session.N.Client.results;
+      check_int "no busy bounces" 0 session.N.Client.busy_bounces;
+      let stats = N.Server.stop server in
+      check_int "verdicts accepted" 8 stats.N.Server.verdicts_accepted;
+      check_int "requests issued" 8 stats.N.Server.requests_issued;
+      check_int "no window overflow" 0 stats.N.Server.window_overflow;
+      check_int "no bad seq" 0 stats.N.Server.bad_seq;
+      check_int "no sessions left" 0 stats.N.Server.sessions_active)
+
+let test_e2e_pipelined_window_clamped () =
+  let config = { gateway_config with N.Server.max_window = 2 } in
+  with_gateway ~config (fun ~server:_ ~dial ~device ->
+      let conn = dial () in
+      let session =
+        N.Client.attest_pipelined ~config:client_config ~window:16 ~device
+          ~device_id:"dev-greedy" ~rounds:4 conn
+      in
+      N.Transport.close conn;
+      check_int "server clamped the window" 2 session.N.Client.granted;
+      check_bool "all rounds still complete" true
+        (Array.for_all
+           (fun (r : N.Client.pipelined_round) -> r.N.Client.p_accepted)
+           session.N.Client.results))
+
+let test_e2e_pipelined_tamper_per_round () =
+  (* tamper exactly rounds 1 and 3 of 5: the verdict array must show
+     rejections at those indexes and acceptances elsewhere — windowed
+     dispatch must not mix rounds up *)
+  with_gateway (fun ~server ~dial ~device ->
+      let tampered = [ 1; 3 ] in
+      let respond ~seq req =
+        let report, _ = C.Protocol.prover_execute (device ()) req in
+        if List.mem seq tampered then
+          { report with A.Pox.or_data = String.map (fun _ -> '\xAA') report.A.Pox.or_data }
+        else report
+      in
+      let conn = dial () in
+      let session =
+        N.Client.attest_pipelined ~config:client_config ~window:5 ~respond
+          ~device ~device_id:"dev-mixed" ~rounds:5 conn
+      in
+      N.Transport.close conn;
+      Array.iteri
+        (fun i (r : N.Client.pipelined_round) ->
+           check_bool
+             (Printf.sprintf "round %d verdict" i)
+             (not (List.mem i tampered))
+             r.N.Client.p_accepted)
+        session.N.Client.results;
+      let stats = N.Server.stop server in
+      check_int "three accepted" 3 stats.N.Server.verdicts_accepted;
+      check_int "two rejected" 2 stats.N.Server.verdicts_rejected)
+
+(* ------------------------------------------------------------- *)
+(* Hostile pipelining: bad sequence numbers, window floods, Bye
+   with rounds in flight — typed rejections, and the gateway keeps
+   serving honest provers.                                         *)
+
+let pipelined_handshake chan ~device_id ~window =
+  N.Chan.send chan (N.Codec.Hello_ex { device_id; window });
+  match N.Chan.recv chan ~deadline:2.0 () with
+  | Ok (Some (N.Codec.Welcome { window = w })) -> w
+  | _ -> Alcotest.fail "no Welcome"
+
+let test_hostile_bad_seq_reports () =
+  with_gateway (fun ~server ~dial ~device ->
+      let conn = dial () in
+      let chan = N.Chan.create conn in
+      let recv () =
+        match N.Chan.recv chan ~deadline:2.0 () with
+        | Ok (Some m) -> m
+        | _ -> Alcotest.fail "gateway hung up"
+      in
+      let _ = pipelined_handshake chan ~device_id:"dev-seq" ~window:4 in
+      (* a report for a sequence number that was never issued *)
+      N.Chan.send chan (N.Codec.Report_seq { seq = 7; wire = "junk" });
+      (match recv () with
+       | N.Codec.Verdict_seq { seq = 7; accepted = false; findings } ->
+         check_bool "typed bad-seq finding" true
+           (List.exists (fun (k, _) -> k = "bad-seq") findings)
+       | m -> Alcotest.failf "expected Verdict#7, got %a" N.Codec.pp_msg m);
+      (* run one honest round, then answer the same sequence again *)
+      N.Chan.send chan N.Codec.Ready;
+      let seq0, wire0 =
+        match recv () with
+        | N.Codec.Request_seq { seq; challenge; args } ->
+          let req = { C.Protocol.challenge; args } in
+          let report, _ = C.Protocol.prover_execute (device ()) req in
+          (seq, A.Wire.encode report)
+        | m -> Alcotest.failf "expected Request, got %a" N.Codec.pp_msg m
+      in
+      N.Chan.send chan (N.Codec.Report_seq { seq = seq0; wire = wire0 });
+      (match recv () with
+       | N.Codec.Verdict_seq { seq; accepted = true; _ } when seq = seq0 -> ()
+       | m -> Alcotest.failf "expected Verdict#0+, got %a" N.Codec.pp_msg m);
+      N.Chan.send chan (N.Codec.Report_seq { seq = seq0; wire = wire0 });
+      (match recv () with
+       | N.Codec.Verdict_seq { seq; accepted = false; findings }
+         when seq = seq0 ->
+         check_bool "already-answered seq gets bad-seq" true
+           (List.exists (fun (k, _) -> k = "bad-seq") findings)
+       | m -> Alcotest.failf "expected rejection, got %a" N.Codec.pp_msg m);
+      N.Chan.send chan N.Codec.Bye;
+      N.Transport.close conn;
+      let stats = N.Server.stop server in
+      check_int "bad_seq counted twice" 2 stats.N.Server.bad_seq;
+      check_int "one honest verdict" 1 stats.N.Server.verdicts_accepted;
+      (* the bad-seq junk never reached the verify engine *)
+      check_int "engine saw one report" 1
+        stats.N.Server.verify.F.Metrics.batch_size)
+
+let test_hostile_window_flood_and_bye () =
+  with_gateway (fun ~server ~dial ~device ->
+      let conn = dial () in
+      let chan = N.Chan.create conn in
+      let granted = pipelined_handshake chan ~device_id:"dev-flood" ~window:4 in
+      check_int "granted 4" 4 granted;
+      (* flood Ready far past the window without ever reporting *)
+      for _ = 1 to 10 do
+        N.Chan.send chan N.Codec.Ready
+      done;
+      let requests = ref 0 and busys = ref 0 in
+      for _ = 1 to 10 do
+        match N.Chan.recv chan ~deadline:2.0 () with
+        | Ok (Some (N.Codec.Request_seq _)) -> incr requests
+        | Ok (Some (N.Codec.Busy _)) -> incr busys
+        | _ -> Alcotest.fail "gateway hung up mid-flood"
+      done;
+      check_int "window worth of requests" 4 !requests;
+      check_int "flood bounced" 6 !busys;
+      (* Bye with four rounds in flight: typed refusal, then drop *)
+      N.Chan.send chan N.Codec.Bye;
+      (match N.Chan.recv chan ~deadline:2.0 () with
+       | Ok (Some (N.Codec.Busy _)) -> ()
+       | m ->
+         Alcotest.failf "expected Busy after hostile Bye, got %s"
+           (match m with
+            | Ok (Some m) -> Format.asprintf "%a" N.Codec.pp_msg m
+            | Ok None -> "EOF"
+            | Error _ -> "decode error"));
+      (* the connection is dropped after the refusal *)
+      (match N.Chan.recv chan ~deadline:2.0 () with
+       | Ok None -> ()
+       | Ok (Some m) ->
+         Alcotest.failf "expected EOF, got %a" N.Codec.pp_msg m
+       | Error _ -> ()
+       | exception N.Transport.Closed -> ());
+      N.Transport.close conn;
+      (* honest traffic still flows *)
+      let conn = dial () in
+      let rounds =
+        N.Client.attest_rounds ~config:client_config ~device
+          ~device_id:"dev-honest" ~rounds:1 conn
+      in
+      N.Transport.close conn;
+      (match rounds with
+       | [ r ] -> check_bool "honest round accepted" true r.N.Client.accepted
+       | _ -> Alcotest.fail "expected one round");
+      let stats = N.Server.stop server in
+      check_int "window overflow counted" 6 stats.N.Server.window_overflow;
+      check_bool "hostile Bye counted" true (stats.N.Server.protocol_errors >= 1);
+      check_int "no sessions leaked" 0 stats.N.Server.sessions_active)
+
+let test_hostile_seq_frames_on_legacy_session () =
+  with_gateway (fun ~server ~dial ~device ->
+      let conn = dial () in
+      let chan = N.Chan.create conn in
+      N.Chan.send chan (N.Codec.Hello { device_id = "dev-old" });
+      (* numbered frames on a single-shot session: hostile, dropped *)
+      N.Chan.send chan (N.Codec.Report_seq { seq = 0; wire = "x" });
+      (match N.Chan.recv chan ~deadline:2.0 () with
+       | Ok None -> ()
+       | Ok (Some m) ->
+         Alcotest.failf "expected drop, got %a" N.Codec.pp_msg m
+       | Error _ -> ()
+       | exception N.Transport.Closed -> ());
+      N.Transport.close conn;
+      (* and the gateway still serves *)
+      let conn = dial () in
+      let rounds =
+        N.Client.attest_rounds ~config:client_config ~device
+          ~device_id:"dev-honest" ~rounds:1 conn
+      in
+      N.Transport.close conn;
+      (match rounds with
+       | [ r ] -> check_bool "honest round accepted" true r.N.Client.accepted
+       | _ -> Alcotest.fail "expected one round");
+      let stats = N.Server.stop server in
+      check_bool "violation counted" true (stats.N.Server.protocol_errors >= 1))
+
+(* ------------------------------------------------------------- *)
 (* Hostile peers: the gateway must shed them and keep serving.     *)
 
 let test_server_survives_malformed_peers () =
@@ -589,7 +839,8 @@ let suites =
     ("net-codec",
      [ Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
        Alcotest.test_case "args masked" `Quick test_codec_masks_args;
-       Alcotest.test_case "typed errors" `Quick test_codec_errors ]);
+       Alcotest.test_case "typed errors" `Quick test_codec_errors;
+       Alcotest.test_case "window bounds" `Quick test_codec_window_bounds ]);
     ("net-ratelimit",
      [ Alcotest.test_case "token bucket" `Quick test_ratelimit ]);
     ("net-transport",
@@ -615,6 +866,19 @@ let suites =
          test_server_survives_malformed_peers;
        Alcotest.test_case "survives slow loris" `Quick
          test_server_survives_slow_loris ]);
+    ("net-pipelined",
+     [ Alcotest.test_case "e2e pipelined loopback" `Quick
+         test_e2e_pipelined_loopback;
+       Alcotest.test_case "window clamped by server" `Quick
+         test_e2e_pipelined_window_clamped;
+       Alcotest.test_case "per-round tamper isolated" `Quick
+         test_e2e_pipelined_tamper_per_round;
+       Alcotest.test_case "bad sequence numbers rejected" `Quick
+         test_hostile_bad_seq_reports;
+       Alcotest.test_case "window flood and hostile Bye" `Quick
+         test_hostile_window_flood_and_bye;
+       Alcotest.test_case "seq frames on legacy session" `Quick
+         test_hostile_seq_frames_on_legacy_session ]);
     ("net-client",
      [ Alcotest.test_case "backoff deterministic" `Quick
          test_backoff_deterministic ]) ]

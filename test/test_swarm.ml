@@ -1,0 +1,301 @@
+(* Swarm load generation and pipelined/sequential equivalence: the
+   windowed session machine must be observationally identical to the
+   single-shot protocol (same verdicts, same per-session order), stay
+   fair under a flooding peer, and keep its stats snapshot consistent
+   while a swarm hammers it. *)
+
+module A = Dialed_apex
+module C = Dialed_core
+module F = Dialed_fleet
+module N = Dialed_net
+module Apps = Dialed_apps.Apps
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fire_sensor = List.find (fun a -> a.Apps.name = "fire-sensor") Apps.all
+
+let built =
+  lazy
+    (let compiled =
+       Dialed_minic.Minic.compile ~entry:fire_sensor.Apps.entry
+         fire_sensor.Apps.source
+     in
+     C.Pipeline.build ~variant:C.Pipeline.Full
+       ~data:compiled.Dialed_minic.Minic.data
+       ~op:compiled.Dialed_minic.Minic.op
+       ~or_min:fire_sensor.Apps.or_min ())
+
+let make_device () =
+  let d = C.Pipeline.device (Lazy.force built) in
+  fire_sensor.Apps.setup d;
+  d
+
+let gateway_config =
+  { N.Server.default_config with
+    N.Server.domains = 1; window = 4; read_deadline = Some 5.0;
+    max_conns = 128; args = fire_sensor.Apps.benign_args }
+
+let with_gateway ?(config = gateway_config) f =
+  let plan = F.Plan.of_built (Lazy.force built) in
+  let listener, dial = N.Transport.loopback_listener () in
+  let server = N.Server.create ~config ~plan listener in
+  N.Server.start server;
+  Fun.protect
+    ~finally:(fun () -> ignore (N.Server.stop server))
+    (fun () -> f ~server ~dial)
+
+let client_config =
+  { N.Client.default_config with
+    N.Client.read_deadline = Some 5.0; backoff_base = 0.01;
+    backoff_cap = 0.05 }
+
+let flip_or_data (r : A.Pox.report) =
+  let b = Bytes.of_string r.A.Pox.or_data in
+  let j = Bytes.length b / 2 in
+  Bytes.set b j (Char.chr (Char.code (Bytes.get b j) lxor 0x01));
+  { r with A.Pox.or_data = Bytes.to_string b }
+
+(* --------------------------------------------------------------- *)
+(* Property: a pipelined session and a sequence of single-shot rounds
+   with the same per-round tampering produce the same per-round
+   verdicts, in the same per-session order, for any window size.     *)
+
+let round_key accepted findings =
+  (accepted, List.sort compare (List.map fst findings))
+
+let sequential_run ~dial ~tamper rounds =
+  let conn = dial () in
+  let i = ref 0 in
+  let mangle r =
+    let k = !i in
+    incr i;
+    if tamper.(k) then flip_or_data r else r
+  in
+  let config =
+    { client_config with N.Client.attempts = 1; mangle = Some mangle }
+  in
+  let out =
+    N.Client.attest_rounds ~config ~device:make_device
+      ~device_id:"dev-seq" ~rounds conn
+  in
+  N.Transport.close conn;
+  List.map
+    (fun (r : N.Client.round) -> round_key r.N.Client.accepted r.N.Client.findings)
+    out
+
+let pipelined_run ~dial ~tamper ~window rounds =
+  let conn = dial () in
+  let respond ~seq req =
+    let report, _ = C.Protocol.prover_execute (make_device ()) req in
+    if tamper.(seq) then flip_or_data report else report
+  in
+  let session =
+    N.Client.attest_pipelined ~config:client_config ~window ~respond
+      ~device:make_device ~device_id:"dev-pipe" ~rounds conn
+  in
+  N.Transport.close conn;
+  Array.to_list
+    (Array.map
+       (fun (r : N.Client.pipelined_round) ->
+          round_key r.N.Client.p_accepted r.N.Client.p_findings)
+       session.N.Client.results)
+
+let prop_pipelined_equals_sequential =
+  QCheck.Test.make
+    ~name:"pipelined session = sequential single-shot (verdicts and order)"
+    ~count:8
+    QCheck.(pair (int_range 1 5) (list_of_size (Gen.int_range 1 6) bool))
+    (fun (window, tamper_list) ->
+       let rounds = List.length tamper_list in
+       let tamper = Array.of_list tamper_list in
+       with_gateway (fun ~server:_ ~dial ->
+           let seq = sequential_run ~dial ~tamper rounds in
+           let pipe = pipelined_run ~dial ~tamper ~window rounds in
+           seq = pipe))
+
+(* --------------------------------------------------------------- *)
+(* Swarm smoke: many provers over loopback, all accepted.            *)
+
+let test_swarm_loopback () =
+  with_gateway (fun ~server ~dial ->
+      let config =
+        { N.Swarm.default_config with
+          N.Swarm.clients = 12; rounds = 3; window = 4; concurrency = 6;
+          client = client_config }
+      in
+      let respond ~client:_ =
+        N.Swarm.cheap_responder ~build:make_device ()
+      in
+      let outcome = N.Swarm.run ~config ~dial ~respond () in
+      check_int "no client failed" 0 outcome.N.Swarm.clients_failed;
+      check_int "all rounds accepted" 36 outcome.N.Swarm.rounds_accepted;
+      check_int "nothing rejected" 0 outcome.N.Swarm.rounds_rejected;
+      check_bool "throughput measured" true (outcome.N.Swarm.throughput > 0.0);
+      check_int "every latency recorded" 36
+        (Array.length outcome.N.Swarm.latencies);
+      check_bool "p99 >= p50" true
+        (N.Swarm.latency_p outcome 99.0 >= N.Swarm.latency_p outcome 50.0);
+      let stats = N.Server.stop server in
+      check_int "server agrees on accepts" 36 stats.N.Server.verdicts_accepted)
+
+(* With the cheap responder each prover's reports share one execution,
+   but every report is still individually replayed by the engine:
+   batch_size = clients * rounds, not clients. *)
+let test_swarm_engine_sees_all_reports () =
+  with_gateway (fun ~server ~dial ->
+      let config =
+        { N.Swarm.default_config with
+          N.Swarm.clients = 3; rounds = 2; window = 2; concurrency = 3;
+          client = client_config }
+      in
+      let respond ~client:_ =
+        N.Swarm.cheap_responder ~build:make_device ()
+      in
+      let outcome = N.Swarm.run ~config ~dial ~respond () in
+      check_int "all accepted" 6 outcome.N.Swarm.rounds_accepted;
+      let stats = N.Server.stop server in
+      check_int "engine saw every report" 6
+        stats.N.Server.verify.F.Metrics.batch_size)
+
+(* --------------------------------------------------------------- *)
+(* Fairness: per-session rate limiting lands on the flooder, never on
+   the honest provers sharing the gateway.                           *)
+
+let test_fairness_flooder_vs_honest () =
+  let config =
+    { gateway_config with N.Server.rate = Some 4.0; burst = 2.0 }
+  in
+  with_gateway ~config (fun ~server ~dial ->
+      let honest_failures = Atomic.make 0 in
+      let honest_busy = Atomic.make 0 in
+      let honest n =
+        Thread.create
+          (fun () ->
+             let conn = dial () in
+             match
+               N.Client.attest_pipelined ~config:client_config ~window:2
+                 ~device:make_device
+                 ~device_id:(Printf.sprintf "dev-honest-%d" n) ~rounds:2 conn
+             with
+             | session ->
+               N.Transport.close conn;
+               Atomic.fetch_and_add honest_busy
+                 session.N.Client.busy_bounces |> ignore;
+               if
+                 not
+                   (Array.for_all
+                      (fun (r : N.Client.pipelined_round) ->
+                         r.N.Client.p_accepted)
+                      session.N.Client.results)
+               then Atomic.incr honest_failures
+             | exception _ ->
+               N.Transport.close conn;
+               Atomic.incr honest_failures)
+          ()
+      in
+      (* the flooder spams Ready far over its own token bucket and
+         counts the Busy bounces it gets back *)
+      let flooder_busy = ref 0 in
+      let flooder =
+        Thread.create
+          (fun () ->
+             let conn = dial () in
+             let chan = N.Chan.create conn in
+             N.Chan.send chan
+               (N.Codec.Hello_ex { device_id = "dev-flood"; window = 8 });
+             (match N.Chan.recv chan ~deadline:5.0 () with
+              | Ok (Some (N.Codec.Welcome _)) -> ()
+              | _ -> Alcotest.fail "flooder got no Welcome");
+             for _ = 1 to 30 do
+               N.Chan.send chan N.Codec.Ready
+             done;
+             for _ = 1 to 30 do
+               match N.Chan.recv chan ~deadline:5.0 () with
+               | Ok (Some (N.Codec.Busy _)) -> incr flooder_busy
+               | Ok (Some (N.Codec.Request_seq _)) -> ()
+               | _ -> Alcotest.fail "flooder lost its connection"
+             done;
+             N.Transport.close conn)
+          ()
+      in
+      let honests = List.init 4 honest in
+      Thread.join flooder;
+      List.iter Thread.join honests;
+      check_int "every honest prover completed" 0
+        (Atomic.get honest_failures);
+      check_int "honest provers never bounced" 0 (Atomic.get honest_busy);
+      check_bool "flooder was bounced" true (!flooder_busy > 0);
+      let stats = N.Server.stop server in
+      (* every rate-limit event the server counted was observed by the
+         flooder: the defense never hit anyone else *)
+      check_int "rate_limited lands only on the flooder" !flooder_busy
+        (stats.N.Server.rate_limited + stats.N.Server.window_overflow))
+
+(* --------------------------------------------------------------- *)
+(* Stats under concurrency: poll the snapshot while a swarm runs and
+   assert cross-counter invariants in every observation.             *)
+
+let test_stats_snapshot_consistent_under_load () =
+  with_gateway (fun ~server ~dial ->
+      let stop_polling = Atomic.make false in
+      let violations = ref [] in
+      let polls = ref 0 in
+      let last_requests = ref 0 in
+      let poller =
+        Thread.create
+          (fun () ->
+             while not (Atomic.get stop_polling) do
+               let s = N.Server.stats server in
+               incr polls;
+               let bad what = violations := what :: !violations in
+               if
+                 s.N.Server.verdicts_accepted + s.N.Server.verdicts_rejected
+                 > s.N.Server.reports_received
+               then bad "verdicts > reports";
+               if s.N.Server.reports_received > s.N.Server.requests_issued
+               then bad "reports > requests (honest swarm)";
+               if s.N.Server.requests_issued < !last_requests then
+                 bad "requests_issued went backwards";
+               last_requests := s.N.Server.requests_issued;
+               if s.N.Server.sessions_active > s.N.Server.connections_active
+               then bad "sessions > connections";
+               if s.N.Server.connections_active < 0 then
+                 bad "negative active connections";
+               Thread.yield ()
+             done)
+          ()
+      in
+      let config =
+        { N.Swarm.default_config with
+          N.Swarm.clients = 16; rounds = 3; window = 4; concurrency = 8;
+          client = client_config }
+      in
+      let respond ~client:_ =
+        N.Swarm.cheap_responder ~build:make_device ()
+      in
+      let outcome = N.Swarm.run ~config ~dial ~respond () in
+      Atomic.set stop_polling true;
+      Thread.join poller;
+      check_int "swarm completed clean" 0 outcome.N.Swarm.clients_failed;
+      check_int "all rounds accepted" 48 outcome.N.Swarm.rounds_accepted;
+      check_bool "poller actually ran" true (!polls > 0);
+      (match !violations with
+       | [] -> ()
+       | v -> Alcotest.failf "stats invariants violated: %s"
+                (String.concat ", " v));
+      (* final snapshot adds up *)
+      let s = N.Server.stop server in
+      check_int "every report got a verdict" s.N.Server.reports_received
+        (s.N.Server.verdicts_accepted + s.N.Server.verdicts_rejected))
+
+let suites =
+  [ ("net-swarm",
+     [ QCheck_alcotest.to_alcotest prop_pipelined_equals_sequential;
+       Alcotest.test_case "swarm over loopback" `Quick test_swarm_loopback;
+       Alcotest.test_case "engine sees every report" `Quick
+         test_swarm_engine_sees_all_reports;
+       Alcotest.test_case "flooder cannot starve honest provers" `Quick
+         test_fairness_flooder_vs_honest;
+       Alcotest.test_case "stats consistent under load" `Quick
+         test_stats_snapshot_consistent_under_load ]) ]
