@@ -1,7 +1,8 @@
 # Convenience wrappers around dune; `dune` remains the source of truth.
 
 .PHONY: build test lint bench bench-replay bench-fleet bench-fleet-gate \
-        bench-lint bench-net bench-swarm bench-swarm-gate examples clean
+        bench-lint bench-net bench-swarm bench-swarm-gate bench-memo \
+        bench-memo-gate examples clean
 
 build:
 	dune build @all
@@ -49,6 +50,17 @@ bench-swarm:
 # attest+replay ceiling (provers share the verifier's core).
 bench-swarm-gate:
 	dune exec bench/main.exe -- swarm-gate
+
+# Verdict-memo repeat-ratio sweep: memo-on vs memo-off throughput at
+# 1x/8x/64x log repetition (BENCH_memo.json)
+bench-memo:
+	dune exec bench/main.exe -- memo
+
+# CI perf gate: memo-on >= 3x memo-off at a 64x repeat ratio. The win
+# is replay elision, not parallelism, but sub-2-core runners are too
+# noisy to gate on, so they self-skip like the swarm gate.
+bench-memo-gate:
+	dune exec bench/main.exe -- memo-gate
 
 examples:
 	dune exec examples/quickstart.exe

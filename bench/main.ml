@@ -590,6 +590,198 @@ let fleet_gate () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Verdict memoization: a fleet of identical well-behaved devices emits
+   the same execution log under ever-fresh challenges, so the verifier
+   keeps re-deriving a verdict it has already computed. The memo keys on
+   (plan namespace, canonical log digest): a repeat log pays only the
+   per-report HMAC precheck, never the abstract replay. Sweep the repeat
+   ratio (reports / distinct log shapes) with Zipf-ranked shape
+   popularity — real fleets are skewed, not uniform — and pin memo-on
+   vs memo-off verdict equality. Writes BENCH_memo.json.                *)
+
+let memo_total = 384
+let memo_ratios = [ 1; 8; 64 ]
+
+(* Zipf(1) sampler over ranks [0, n): rank r carries weight 1/(r+1), so
+   a handful of shapes dominate the traffic the way a few firmware
+   configurations dominate a deployed fleet. Seeded: reruns sample the
+   same popularity sequence. *)
+let zipf_picker n seed =
+  let cum = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1.0 /. float_of_int (r + 1));
+    cum.(r) <- !acc
+  done;
+  let total = !acc in
+  let rng = Random.State.make [| seed |] in
+  fun () ->
+    let u = Random.State.float rng total in
+    let rec find r =
+      if r >= n - 1 || cum.(r) >= u then r else find (r + 1)
+    in
+    find 0
+
+let memo_workload built (app : Apps.app) ~distinct ~total =
+  (* one real execution per distinct log shape (different ADC readings
+     -> different OR bytes -> different digests), then every report is
+     a fresh attestation of some shape under its own unique challenge:
+     tokens never repeat, only the logs do *)
+  let devices =
+    Array.init distinct (fun s ->
+        let device = C.Pipeline.device built in
+        (* feed instead of [setup]: the ADC queue must hold exactly this
+           shape's samples, or every shape reads the same defaults *)
+        let base = 520 + (3 * s) in
+        M.Peripherals.feed_adc (A.Device.board device)
+          [ base; base + 2; base + 4; base + 2 ];
+        ignore (A.Device.run_operation ~args:app.Apps.benign_args device);
+        device)
+  in
+  let pick = zipf_picker distinct 0x5EED in
+  List.init total (fun i ->
+      let s = if distinct >= total then i else pick () in
+      let report =
+        A.Device.attest devices.(s)
+          ~challenge:(Printf.sprintf "memo-%d-%06d" distinct i)
+      in
+      (Printf.sprintf "dev-%04d" (i land 0x3F), report))
+
+type memo_point = {
+  mp_ratio : int;
+  mp_distinct : int;
+  mp_off : F.Fleet.summary;
+  mp_on : F.Fleet.summary;
+  mp_identical : bool;
+  mp_hit_rate : float;
+}
+
+let memo_sweep () =
+  let app = Apps.fire_sensor in
+  let built = Apps.build app in
+  let plan = F.Plan.of_built built in
+  let pool = F.Pool.create ~domains:fleet_domains () in
+  (* warm-up: pool spawn, scratch binding, allocator first-touch *)
+  let warm = memo_workload built app ~distinct:8 ~total:32 in
+  ignore (F.Fleet.verify_stream ~pool plan warm : F.Fleet.summary);
+  ignore
+    (F.Fleet.verify_stream ~pool ~memo:(F.Memo.create ()) plan warm
+     : F.Fleet.summary);
+  let points =
+    List.map
+      (fun ratio ->
+         let distinct = max 1 (memo_total / ratio) in
+         let batch = memo_workload built app ~distinct ~total:memo_total in
+         let off =
+           median_summary (fun () -> F.Fleet.verify_stream ~pool plan batch)
+         in
+         (* a fresh, cold memo per run: the measured hit rate is what a
+            single pass over the batch earns, not an artifact of warm
+            repetitions *)
+         let on =
+           median_summary (fun () ->
+               F.Fleet.verify_stream ~pool ~memo:(F.Memo.create ()) plan
+                 batch)
+         in
+         let m = on.F.Fleet.metrics in
+         let hits = m.F.Metrics.memo_hits
+         and misses = m.F.Metrics.memo_misses in
+         let hit_rate =
+           if hits + misses = 0 then 0.0
+           else float_of_int hits /. float_of_int (hits + misses)
+         in
+         { mp_ratio = ratio; mp_distinct = distinct; mp_off = off;
+           mp_on = on; mp_identical = same_verdicts off on;
+           mp_hit_rate = hit_rate })
+      memo_ratios
+  in
+  F.Pool.shutdown pool;
+  points
+
+let memo_json cores identical points =
+  Printf.sprintf
+    "{\n\
+    \  \"experiment\": \"verdict_memoization\",\n\
+    \  \"available_cores\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"reports\": %d,\n\
+    \  \"repetitions\": %d,\n\
+    \  \"verdicts_identical\": %b,\n\
+    \  \"sweep\": [%s\n  ],\n\
+    \  \"speedup_at_64x\": %.2f\n\
+     }\n"
+    cores fleet_domains memo_total fleet_reps identical
+    (String.concat ","
+       (List.map
+          (fun p ->
+             Printf.sprintf
+               "\n    { \"repeat_ratio\": %d, \"distinct_logs\": %d,\n\
+               \      \"memo_off\": %s,\n\
+               \      \"memo_on\": %s,\n\
+               \      \"hit_rate\": %.4f, \"speedup\": %.2f }"
+               p.mp_ratio p.mp_distinct
+               (F.Metrics.to_json p.mp_off.F.Fleet.metrics)
+               (F.Metrics.to_json p.mp_on.F.Fleet.metrics)
+               p.mp_hit_rate
+               (speedup_vs p.mp_off p.mp_on))
+          points))
+    (match List.find_opt (fun p -> p.mp_ratio = 64) points with
+     | Some p -> speedup_vs p.mp_off p.mp_on
+     | None -> 0.0)
+
+let memo_report points =
+  printf "%-8s %-9s %12s %12s %9s %9s@." "repeat" "distinct" "off (ms)"
+    "on (ms)" "hit rate" "speedup";
+  List.iter
+    (fun p ->
+       printf "%-8d %-9d %12.2f %12.2f %8.1f%% %8.2fx@." p.mp_ratio
+         p.mp_distinct
+         (p.mp_off.F.Fleet.metrics.F.Metrics.wall_seconds *. 1000.0)
+         (p.mp_on.F.Fleet.metrics.F.Metrics.wall_seconds *. 1000.0)
+         (100.0 *. p.mp_hit_rate)
+         (speedup_vs p.mp_off p.mp_on))
+    points
+
+let memo_bench () =
+  section "Verdict memo: repeat-ratio sweep (memo-on vs memo-off)";
+  let cores = Domain.recommended_domain_count () in
+  let points = memo_sweep () in
+  memo_report points;
+  let identical = List.for_all (fun p -> p.mp_identical) points in
+  printf "@.verdicts identical memo-on vs memo-off at every ratio: %s@."
+    (if identical then "yes" else "NO — SOUNDNESS BUG");
+  write_file "BENCH_memo.json" (memo_json cores identical points);
+  printf "wrote BENCH_memo.json@."
+
+(* CI perf gate: at a 64x repeat ratio the memo must buy >= 3x. Unlike
+   the fleet gate this is not a parallelism claim — the win is replay
+   elision, so it holds on any core count — but sub-2-core runners are
+   too noisy to gate on, so they self-skip the same way.                *)
+let memo_gate () =
+  section "Memo perf gate (memo >= 3x at 64x repeat ratio)";
+  let cores = Domain.recommended_domain_count () in
+  if cores < 2 then
+    printf "SKIPPED: only %d core%s available (need >= 2 for the gate)@."
+      cores (if cores = 1 then "" else "s")
+  else begin
+    let points = memo_sweep () in
+    memo_report points;
+    if not (List.for_all (fun p -> p.mp_identical) points) then
+      failwith "memo-gate: verdicts diverged between memo-on and memo-off";
+    match List.find_opt (fun p -> p.mp_ratio = 64) points with
+    | None -> failwith "memo-gate: no 64x point"
+    | Some p ->
+      let s = speedup_vs p.mp_off p.mp_on in
+      printf "memo-on vs memo-off at 64x repeat: %.2fx (hit rate %.1f%%)@."
+        s (100.0 *. p.mp_hit_rate);
+      if s < 3.0 then
+        failwith
+          (Printf.sprintf
+             "memo-gate: speedup %.2fx < 3x at 64x repeat (hit rate %.1f%%)"
+             s (100.0 *. p.mp_hit_rate))
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Static audit throughput: the lint pass the verifier runs once per
    distinct firmware fingerprint before admitting it to the plan cache.
    Writes BENCH_lint.json.                                             *)
@@ -866,7 +1058,7 @@ let swarm_measure () =
       client = { N.Client.default_config with
                  N.Client.read_deadline = Some 60.0 } }
   in
-  let respond ~client:_ =
+  let respond ~client:_ ~shape:_ =
     N.Swarm.cheap_responder
       ~build:(fun () ->
           let d = C.Pipeline.device built in
@@ -1053,11 +1245,14 @@ let () =
     [ ("table1", table1); ("fig6a", fig6a); ("fig6b", fig6b);
       ("fig6c", fig6c); ("ablations", ablations); ("breakdown", breakdown);
       ("swatt", swatt_bench); ("micro", micro); ("replay", replay_bench);
-      ("fleet", fleet); ("lint", lint_bench); ("net", net_bench);
-      ("swarm", swarm_bench); ("shapes", shape_check) ]
+      ("fleet", fleet); ("memo", memo_bench); ("lint", lint_bench);
+      ("net", net_bench); ("swarm", swarm_bench); ("shapes", shape_check) ]
   in
   (* CI-only gates, reachable by name but excluded from a bare run-all *)
-  let gates = [ ("fleet-gate", fleet_gate); ("swarm-gate", swarm_gate) ] in
+  let gates =
+    [ ("fleet-gate", fleet_gate); ("swarm-gate", swarm_gate);
+      ("memo-gate", memo_gate) ]
+  in
   match Array.to_list Sys.argv with
   | _ :: ((_ :: _) as picks) ->
     List.iter

@@ -301,7 +301,16 @@ let fleet_cmd =
     in
     Arg.(value & flag & info [ "stream" ] ~doc)
   in
-  let run app file entry args count domains tamper use_pool use_stream =
+  let memo_arg =
+    let doc =
+      "Arm the verdict memo: repeat log shapes skip the abstract replay \
+       (the HMAC token check still runs per report). Prints hit/miss \
+       counters with the summary."
+    in
+    Arg.(value & flag & info [ "memo" ] ~doc)
+  in
+  let run app file entry args count domains tamper use_pool use_stream
+      use_memo =
     (* a fleet of the paper's fire sensors unless told otherwise *)
     let app =
       match app, file with None, None -> Some "fire-sensor" | _ -> app
@@ -341,18 +350,23 @@ let fleet_cmd =
                   (Printf.sprintf "dev-%06d" i, report))
             in
             let plan = F.Plan.of_built built in
+            let memo = if use_memo then Some (F.Memo.create ()) else None in
             let summary =
-              if use_stream then F.Fleet.verify_stream ~domains plan batch
+              if use_stream then
+                F.Fleet.verify_stream ~domains ?memo plan batch
               else if use_pool then begin
                 let pool = F.Pool.create ~domains () in
                 Fun.protect ~finally:(fun () -> F.Pool.shutdown pool)
-                  (fun () -> F.Fleet.verify_batch ~pool plan batch)
+                  (fun () -> F.Fleet.verify_batch ~pool ?memo plan batch)
               end
-              else F.Fleet.verify_batch ~domains plan batch
+              else F.Fleet.verify_batch ~domains ?memo plan batch
             in
             Format.printf "firmware %s@."
               (String.sub (F.Plan.fingerprint plan) 0 16);
             Format.printf "%a@." F.Fleet.pp_summary summary;
+            (match memo with
+             | Some m -> Format.printf "%a@." F.Memo.pp_stats (F.Memo.stats m)
+             | None -> ());
             Format.printf "json: %s@."
               (F.Metrics.to_json summary.F.Fleet.metrics);
             Ok (if summary.F.Fleet.metrics.F.Metrics.rejected > 0 then 1
@@ -364,7 +378,7 @@ let fleet_cmd =
        ~doc:"Verify a simulated device fleet in parallel (batch replay)")
     Term.(term_result
             (const run $ app_arg $ file_arg $ entry_arg $ args_arg $ count_arg
-             $ domains_arg $ tamper_arg $ pool_arg $ stream_arg))
+             $ domains_arg $ tamper_arg $ pool_arg $ stream_arg $ memo_arg))
 
 let lint_cmd =
   let all_arg =
@@ -491,8 +505,23 @@ let serve_cmd =
                (default: until SIGINT)." in
     Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"S" ~doc)
   in
+  let memo_flag_arg =
+    let doc = "Arm the verdict memo with default bounds: repeat log \
+               shapes skip the abstract replay; freshness and token \
+               checks still run per report." in
+    Arg.(value & flag & info [ "memo" ] ~doc)
+  in
+  let memo_entries_arg =
+    let doc = "Verdict-memo entry ceiling (implies --memo)." in
+    Arg.(value & opt (some int) None
+         & info [ "memo-entries" ] ~docv:"N" ~doc)
+  in
+  let memo_bytes_arg =
+    let doc = "Verdict-memo resident-byte ceiling (implies --memo)." in
+    Arg.(value & opt (some int) None & info [ "memo-bytes" ] ~docv:"B" ~doc)
+  in
   let run app file entry args port domains window max_window rate burst
-      max_conns deadline duration =
+      max_conns deadline duration memo_flag memo_entries memo_bytes =
     let app =
       match app, file with None, None -> Some "fire-sensor" | _ -> app
     in
@@ -501,17 +530,33 @@ let serve_cmd =
         | Error e -> Error e
         | Ok (source, entry, a) ->
           let built = build_from source entry a C.Pipeline.Full in
-          let plan = F.Plan.of_built built in
+          (* route the build through a plan cache so the stats endpoint
+             can report plan-cache counters alongside the memo's *)
+          let pcache = F.Plan.cache () in
+          let plan = F.Plan.find_or_build pcache built in
           let args =
             if args = [] then
               match a with Some a -> a.Apps.benign_args | None -> []
             else args
           in
           let listener, port = N.Transport.tcp_listener ~port () in
+          let memo =
+            if memo_flag || memo_entries <> None || memo_bytes <> None then
+              Some
+                { F.Memo.default_config with
+                  F.Memo.max_entries =
+                    Option.value memo_entries
+                      ~default:F.Memo.default_config.F.Memo.max_entries;
+                  max_bytes =
+                    Option.value memo_bytes
+                      ~default:F.Memo.default_config.F.Memo.max_bytes }
+            else None
+          in
           let config =
             { N.Server.default_config with
               N.Server.max_conns; domains; window; max_window; rate;
-              burst; args; read_deadline = Some deadline }
+              burst; args; read_deadline = Some deadline; memo;
+              plan_cache = Some pcache }
           in
           let server = N.Server.create ~config ~plan listener in
           Format.printf "gateway: firmware %s on 127.0.0.1:%d@."
@@ -533,7 +578,8 @@ let serve_cmd =
             (const run $ app_arg $ file_arg $ entry_arg $ args_arg
              $ port_arg ~default:4242 $ domains_arg $ window_arg
              $ max_window_arg $ rate_arg $ burst_arg $ max_conns_arg
-             $ deadline_arg $ duration_arg))
+             $ deadline_arg $ duration_arg $ memo_flag_arg
+             $ memo_entries_arg $ memo_bytes_arg))
 
 let prover_cmd =
   let host_arg =

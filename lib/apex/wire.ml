@@ -66,31 +66,58 @@ let bytes c n what =
   c.pos <- c.pos + n;
   s
 
-let decode data =
+let parse data =
   let c = { data; pos = 0 } in
-  try
-    let m = bytes c 2 "magic" in
-    if m <> magic then raise (Bad Bad_magic);
-    let v = byte c "version" in
-    if v <> version then raise (Bad (Unsupported_version v));
-    let exec =
-      match byte c "exec flag" with
-      | 0 -> false
-      | 1 -> true
-      | b -> raise (Bad (Bad_field { what = "exec flag"; value = b }))
+  let m = bytes c 2 "magic" in
+  if m <> magic then raise (Bad Bad_magic);
+  let v = byte c "version" in
+  if v <> version then raise (Bad (Unsupported_version v));
+  let exec =
+    match byte c "exec flag" with
+    | 0 -> false
+    | 1 -> true
+    | b -> raise (Bad (Bad_field { what = "exec flag"; value = b }))
+  in
+  let challenge_len = word c "challenge length" in
+  let challenge = bytes c challenge_len "challenge" in
+  let er_min = word c "er_min" in
+  let er_max = word c "er_max" in
+  let er_exit = word c "er_exit" in
+  let or_min = word c "or_min" in
+  let or_max = word c "or_max" in
+  let or_len = word c "or length" in
+  let or_data = bytes c or_len "or data" in
+  let token = bytes c tag_len "token" in
+  if c.pos <> String.length data then
+    raise (Bad (Trailing_garbage { extra = String.length data - c.pos }));
+  { Pox.challenge; er_min; er_max; er_exit; or_min; or_max; exec;
+    or_data; token }
+
+let decode data = try Ok (parse data) with Bad e -> Error e
+
+(* Canonical log digest streamed over the just-parsed fields — byte for
+   byte the preimage of [Dialed_core.Verifier.log_digest] ("DMEMO1",
+   the five layout words little-endian, the OR bytes) — so the memo key
+   falls out of decoding without re-encoding the report. The challenge,
+   exec flag and token are deliberately left out: they are per-session
+   authenticity material, checked on every report, cached never. *)
+let decode_digested data =
+  match parse data with
+  | exception Bad e -> Error e
+  | r ->
+    let module Sha = Dialed_crypto.Sha256 in
+    let ctx = Sha.init () in
+    let (_ : Sha.ctx) = Sha.update ctx "DMEMO1" in
+    let hdr = Bytes.create 10 in
+    let put i v =
+      Bytes.set hdr i (Char.chr (v land 0xFF));
+      Bytes.set hdr (i + 1) (Char.chr ((v lsr 8) land 0xFF))
     in
-    let challenge_len = word c "challenge length" in
-    let challenge = bytes c challenge_len "challenge" in
-    let er_min = word c "er_min" in
-    let er_max = word c "er_max" in
-    let er_exit = word c "er_exit" in
-    let or_min = word c "or_min" in
-    let or_max = word c "or_max" in
-    let or_len = word c "or length" in
-    let or_data = bytes c or_len "or data" in
-    let token = bytes c tag_len "token" in
-    if c.pos <> String.length data then
-      raise (Bad (Trailing_garbage { extra = String.length data - c.pos }));
-    Ok { Pox.challenge; er_min; er_max; er_exit; or_min; or_max; exec;
-         or_data; token }
-  with Bad e -> Error e
+    put 0 r.Pox.er_min;
+    put 2 r.Pox.er_max;
+    put 4 r.Pox.er_exit;
+    put 6 r.Pox.or_min;
+    put 8 r.Pox.or_max;
+    let (_ : Sha.ctx) = Sha.update ctx (Bytes.unsafe_to_string hdr) in
+    let (_ : Sha.ctx) = Sha.update ctx r.Pox.or_data in
+    Ok (r, Sha.finalize ctx)

@@ -113,6 +113,7 @@ type plan = {
   plan_policies : policy list;
   plan_max_steps : int;
   plan_audit : S.Report.t option;
+  plan_ns : string;              (* memo namespace, fixed at build time *)
 }
 
 (* Run the static auditor over an assembled build: load the image into a
@@ -124,6 +125,11 @@ let audit_built ?config built =
   let l = built.Pipeline.layout in
   S.Audit.audit ?config ~mem:scratch ~er_min:l.er_min ~er_max:l.er_max
     ~or_min:l.or_min ~or_max:l.or_max ()
+
+(* Plans whose policies differ must never share memo entries, but policy
+   closures are opaque — so any plan carrying policies gets a namespace
+   of its own via this process-wide counter. *)
+let memo_ns_uid = Atomic.make 0
 
 let plan ?(key = A.Device.default_key) ?(policies = [])
     ?(max_steps = 2_000_000) ?(decode_cache = true) ?audit built =
@@ -190,6 +196,28 @@ let plan ?(key = A.Device.default_key) ?(policies = [])
            ~or_min:l.or_min ~or_max:l.or_max ())
     | _ -> None
   in
+  (* Memo namespace: everything a replay verdict depends on beyond the
+     log itself. Fingerprint covers the image + layout + annotations;
+     max_steps bounds the replay; the key rides along for conservatism
+     (it only affects the uncached token check). decode_cache is
+     deliberately excluded — verdicts are pinned identical either way.
+     Policies are opaque closures, so a plan with any gets a unique
+     namespace and never shares entries with another plan. *)
+  let ns =
+    let module Sha = Dialed_crypto.Sha256 in
+    let b = Buffer.create 160 in
+    Buffer.add_string b "DIALED-memo-ns-v1\x00";
+    Buffer.add_string b (Pipeline.fingerprint built);
+    Buffer.add_char b '\x00';
+    Buffer.add_string b key;
+    Buffer.add_char b '\x00';
+    Buffer.add_string b (string_of_int max_steps);
+    if policies <> [] then begin
+      Buffer.add_char b '\x00';
+      Buffer.add_string b (string_of_int (Atomic.fetch_and_add memo_ns_uid 1))
+    end;
+    Sha.hex (Sha.digest (Buffer.contents b))
+  in
   { plan_key_state = Hmac.key_state ~key;
     plan_built = built;
     plan_sites = sites;
@@ -199,10 +227,33 @@ let plan ?(key = A.Device.default_key) ?(policies = [])
       Assemble.symbol built.Pipeline.image Pipeline.caller_ret_symbol;
     plan_policies = policies;
     plan_max_steps = max_steps;
-    plan_audit = audit_report }
+    plan_audit = audit_report;
+    plan_ns = ns }
 
 let plan_layout p = p.plan_built.Pipeline.layout
 let plan_audit p = p.plan_audit
+let plan_memo_ns p = p.plan_ns
+
+(* Canonical digest of the attacker-visible log material: the layout
+   words the report claims plus the OR bytes, and nothing else. The
+   challenge, token and EXEC byte are deliberately excluded — they are
+   per-session authenticity material handled by {!precheck}, while the
+   replay verdict is a pure function of (plan, layout words, or_data). *)
+let log_digest (r : A.Pox.report) =
+  let module Sha = Dialed_crypto.Sha256 in
+  let b = Buffer.create (String.length r.A.Pox.or_data + 16) in
+  Buffer.add_string b "DMEMO1";
+  let le16 v =
+    Buffer.add_char b (Char.chr (v land 0xFF));
+    Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF))
+  in
+  le16 r.A.Pox.er_min;
+  le16 r.A.Pox.er_max;
+  le16 r.A.Pox.er_exit;
+  le16 r.A.Pox.or_min;
+  le16 r.A.Pox.or_max;
+  Buffer.add_string b r.A.Pox.or_data;
+  Sha.digest (Buffer.contents b)
 
 type t = { t_plan : plan }
 
@@ -460,37 +511,53 @@ let replay ?(keep_trace = true) ?scratch p report =
     findings;
     trace = Some trace }
 
-let verify_plan ?keep_trace ?scratch p report =
+(* Stages 0–2: everything that depends on per-session material (the
+   challenge-bound token) or on plan-level gates, and nothing that
+   depends on replaying the log. A memoizing caller runs this on every
+   report — hit or miss — so a stale or forged token can never ride a
+   cached verdict. *)
+let precheck p report =
   let built = p.plan_built in
   let layout = built.Pipeline.layout in
-  let reject findings = { accepted = false; findings; trace = None } in
   (* 0. static audit: a binary the auditor rejects carries broken or
      hostile instrumentation, so no report over it can attest anything *)
   match p.plan_audit with
   | Some r when not (S.Report.ok r) ->
-    reject [ Bad_instrumentation (S.Report.summary r) ]
+    Error (Bad_instrumentation (S.Report.summary r))
   | _ ->
-  (* 1. layout consistency *)
-  let open A.Layout in
-  if report.A.Pox.er_min <> layout.er_min || report.A.Pox.er_max <> layout.er_max
-     || report.A.Pox.er_exit <> layout.er_exit
-     || report.A.Pox.or_min <> layout.or_min
-     || report.A.Pox.or_max <> layout.or_max
-  then reject [ Wrong_layout "report ranges differ from the provisioned layout" ]
-  else
-    (* 2. token + EXEC *)
-    match
-      A.Pox.verify_with ~key_state:p.plan_key_state
-        ~expected_er:built.Pipeline.expected_er report
-    with
-    | Error msg -> reject [ Bad_token msg ]
-    | Ok () ->
-      (* 3.+4. replay and policies; a report whose OR bytes cannot even
-         back the log view (e.g. short or_data with a forged token) is a
-         malformed report, not a crash *)
-      (try replay ?keep_trace ?scratch p report
-       with Invalid_argument msg ->
-         reject [ Replay_failed (Printf.sprintf "malformed report: %s" msg) ])
+    (* 1. layout consistency *)
+    let open A.Layout in
+    if report.A.Pox.er_min <> layout.er_min
+       || report.A.Pox.er_max <> layout.er_max
+       || report.A.Pox.er_exit <> layout.er_exit
+       || report.A.Pox.or_min <> layout.or_min
+       || report.A.Pox.or_max <> layout.or_max
+    then Error (Wrong_layout "report ranges differ from the provisioned layout")
+    else
+      (* 2. token + EXEC *)
+      match
+        A.Pox.verify_with ~key_state:p.plan_key_state
+          ~expected_er:built.Pipeline.expected_er report
+      with
+      | Error msg -> Error (Bad_token msg)
+      | Ok () -> Ok ()
+
+(* Stages 3–4: the replay and the policies over it — a pure function of
+   (plan, layout words, or_data), i.e. of (plan, {!log_digest}). This is
+   the memoizable half; see [Dialed_fleet.Memo]. *)
+let replay_outcome ?keep_trace ?scratch p report =
+  (* a report whose OR bytes cannot even back the log view (e.g. short
+     or_data with a forged token) is a malformed report, not a crash *)
+  try replay ?keep_trace ?scratch p report
+  with Invalid_argument msg ->
+    { accepted = false;
+      findings = [ Replay_failed (Printf.sprintf "malformed report: %s" msg) ];
+      trace = None }
+
+let verify_plan ?keep_trace ?scratch p report =
+  match precheck p report with
+  | Error f -> { accepted = false; findings = [ f ]; trace = None }
+  | Ok () -> replay_outcome ?keep_trace ?scratch p report
 
 let verify t report = verify_plan t.t_plan report
 

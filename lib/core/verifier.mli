@@ -119,6 +119,26 @@ val plan_audit : plan -> Dialed_staticcheck.Report.t option
 (** The audit report captured at plan-build time, when [audit] was
     given. *)
 
+val plan_memo_ns : plan -> string
+(** The plan's memoization namespace, fixed at build time: a digest of
+    everything a {e replay} verdict depends on beyond the log itself —
+    the build fingerprint (image, layout, annotations), [max_steps], and
+    the key (conservatively; it only affects the uncached token check).
+    Two plans with equal namespaces produce identical {!replay_outcome}s
+    for equal {!log_digest}s, so a verdict cache may key entries by
+    [(plan_memo_ns, log_digest)]. A plan carrying policies gets a unique
+    namespace — policy closures are opaque, so such plans never share
+    cached verdicts. [decode_cache] is excluded: verdicts are pinned
+    identical either way. *)
+
+val log_digest : Dialed_apex.Pox.report -> string
+(** Canonical digest (raw SHA-256 bytes) of the report material the
+    replay consumes: the five claimed layout words plus the OR bytes.
+    The challenge, token, and EXEC byte are {e excluded} — they are
+    per-session authenticity material checked by {!precheck}, never by
+    the replay. [Dialed_apex.Wire.decode_digested] computes the same
+    digest incrementally during wire decode. *)
+
 val audit_built :
   ?config:Dialed_staticcheck.Audit.config ->
   Pipeline.built -> Dialed_staticcheck.Report.t
@@ -163,7 +183,32 @@ val verify_plan :
     [scratch] reuses the given arena for the replay sandbox. The
     returned [trace.replay_memory] then aliases the arena and is only
     valid until the arena's next use; policies (which run before
-    returning) are unaffected. *)
+    returning) are unaffected.
+
+    [verify_plan] is exactly {!precheck} followed (on [Ok]) by
+    {!replay_outcome}; the split exists so a memoizing caller can run
+    the per-session half on every report while caching the replay
+    half. *)
+
+val precheck :
+  plan -> Dialed_apex.Pox.report -> (unit, finding) result
+(** Stages 0–2 of verification: static-audit gate, layout consistency,
+    token + EXEC. Everything that depends on per-session material (the
+    challenge-bound token) and nothing that replays the log. A caller
+    memoizing replay verdicts must run this on {e every} report — hit or
+    miss — so a stale or forged token can never ride a cached verdict.
+    [Error f] verdicts from here are never sound to cache by log digest:
+    they depend on challenge/nonce material, not the log. *)
+
+val replay_outcome :
+  ?keep_trace:bool -> ?scratch:scratch -> plan ->
+  Dialed_apex.Pox.report -> outcome
+(** Stages 3–4: the abstract-execution replay plus policies, including
+    the malformed-report catch ([Invalid_argument] from the log view
+    becomes a [Replay_failed] finding). A pure function of
+    [(plan, log_digest report)] — both acceptance and rejection — which
+    is what makes its verdicts memoizable. Callers must have passed
+    {!precheck} first; skipping it skips authenticity. *)
 
 val plan_layout : plan -> Dialed_apex.Layout.t
 

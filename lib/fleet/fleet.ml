@@ -95,10 +95,24 @@ end
 
 let default_chunk = 4
 
-let verify_one vplan scratch device_id report =
-  (* fleet verdicts never inspect individual steps, so skip trace
-     retention — the replay still runs every detector *)
-  let outcome = C.Verifier.verify_plan ~keep_trace:false ~scratch vplan report in
+(* A batch/stream's view of a verdict memo: the per-plan handle plus
+   this run's own hit/miss counters (Atomic: workers on several domains
+   bump them). The memo itself is shared and outlives the run. *)
+type memo_ctx = {
+  mc_memo : Memo.t;
+  mc_handle : Memo.handle;
+  mc_hits : int Atomic.t;
+  mc_misses : int Atomic.t;
+}
+
+let memo_ctx_of plan memo =
+  { mc_memo = memo;
+    mc_handle =
+      Memo.handle memo ~ns:(C.Verifier.plan_memo_ns (Plan.vplan plan));
+    mc_hits = Atomic.make 0;
+    mc_misses = Atomic.make 0 }
+
+let verdict_of_outcome device_id (outcome : C.Verifier.outcome) =
   let replay_steps =
     match outcome.C.Verifier.trace with
     | Some t -> t.C.Verifier.step_count
@@ -106,6 +120,45 @@ let verify_one vplan scratch device_id report =
   in
   { device_id; accepted = outcome.C.Verifier.accepted;
     findings = outcome.C.Verifier.findings; replay_steps }
+
+let verify_one ?memo ?digest vplan scratch device_id report =
+  (* fleet verdicts never inspect individual steps, so skip trace
+     retention — the replay still runs every detector *)
+  match memo with
+  | None ->
+    verdict_of_outcome device_id
+      (C.Verifier.verify_plan ~keep_trace:false ~scratch vplan report)
+  | Some mc ->
+    (* the per-session half (audit gate, layout, HMAC token) runs on
+       every report, hit or miss — authenticity is never cached, and a
+       precheck rejection never enters the memo (it depends on
+       challenge/nonce material, not the log) *)
+    (match C.Verifier.precheck vplan report with
+     | Error f ->
+       { device_id; accepted = false; findings = [ f ]; replay_steps = 0 }
+     | Ok () ->
+       let digest =
+         match digest with
+         | Some d -> d
+         | None -> C.Verifier.log_digest report
+       in
+       let entry, outcome =
+         Memo.find_or_replay mc.mc_handle ~digest (fun () ->
+             let o =
+               C.Verifier.replay_outcome ~keep_trace:false ~scratch vplan
+                 report
+             in
+             let v = verdict_of_outcome device_id o in
+             { Memo.e_accepted = v.accepted; e_findings = v.findings;
+               e_steps = v.replay_steps })
+       in
+       (match outcome with
+        | `Hit -> Atomic.incr mc.mc_hits
+        | `Miss -> Atomic.incr mc.mc_misses);
+       (* e_steps is what the original fresh replay executed, so memo-on
+          and memo-off verdicts are bit-identical *)
+       { device_id; accepted = entry.Memo.e_accepted;
+         findings = entry.Memo.e_findings; replay_steps = entry.Memo.e_steps })
 
 let rejects_by_kind verdicts =
   let tbl = Hashtbl.create 8 in
@@ -127,25 +180,38 @@ let rejects_by_kind verdicts =
     verdicts;
   List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl [])
 
-let summarize ~domains ~wall_seconds verdicts =
+(* Memo counters for a finished run: this run's own hits/misses, plus
+   the shared cache's cumulative eviction count at snapshot time. *)
+let memo_counts memo =
+  match memo with
+  | None -> (0, 0, 0)
+  | Some mc ->
+    (Atomic.get mc.mc_hits, Atomic.get mc.mc_misses,
+     (Memo.stats mc.mc_memo).Memo.evictions)
+
+let summarize ?memo ~domains ~wall_seconds verdicts =
   let n = List.length verdicts in
   let accepted = List.length (List.filter (fun v -> v.accepted) verdicts) in
   let replay_steps =
     List.fold_left (fun acc v -> acc + v.replay_steps) 0 verdicts
   in
+  let memo_hits, memo_misses, memo_evictions = memo_counts memo in
   { verdicts;
     metrics =
       { Metrics.domains; batch_size = n; accepted;
         rejected = n - accepted; replay_steps; wall_seconds;
-        rejects_by_kind = rejects_by_kind verdicts } }
+        rejects_by_kind = rejects_by_kind verdicts;
+        memo_hits; memo_misses; memo_evictions } }
 
-let verify_batch ?pool ?(domains = 1) ?(chunk = default_chunk) plan batch =
+let verify_batch ?pool ?(domains = 1) ?(chunk = default_chunk) ?memo plan
+    batch =
   if domains < 1 then invalid_arg "Fleet.verify_batch: domains must be >= 1";
   if chunk < 1 then invalid_arg "Fleet.verify_batch: chunk must be >= 1";
   let reports = Array.of_list batch in
   let n = Array.length reports in
   let n_chunks = (n + chunk - 1) / chunk in
   let vplan = Plan.vplan plan in
+  let mc = Option.map (memo_ctx_of plan) memo in
   let results = Array.make n None in
   let verify_range (first, len) =
     with_scratch (fun scratch ->
@@ -153,7 +219,7 @@ let verify_batch ?pool ?(domains = 1) ?(chunk = default_chunk) plan batch =
           let device_id, report = reports.(i) in
           (* slots are disjoint per worker; publication happens-before the
              submitter reads them, via Domain.join / the pool's latch *)
-          results.(i) <- Some (verify_one vplan scratch device_id report)
+          results.(i) <- Some (verify_one ?memo:mc vplan scratch device_id report)
         done)
   in
   let ranges =
@@ -202,7 +268,7 @@ let verify_batch ?pool ?(domains = 1) ?(chunk = default_chunk) plan batch =
          (function Some v -> v | None -> assert false (* every slot filled *))
          results)
   in
-  summarize ~domains:domains_used ~wall_seconds verdicts
+  summarize ?memo:mc ~domains:domains_used ~wall_seconds verdicts
 
 (* ------------------------------------------------------------------ *)
 (* Streaming verification: reports arrive one at a time, verdicts are
@@ -215,6 +281,7 @@ type stream = {
   st_vplan : C.Verifier.plan;
   st_pool : Pool.t;
   st_owned : bool;                   (* shut the pool down on close *)
+  st_memo : memo_ctx option;
   st_window : int;
   st_mutex : Mutex.t;
   st_progress : Condition.t;         (* a verdict landed *)
@@ -232,7 +299,7 @@ type stream = {
   st_kinds : (string, int) Hashtbl.t;
 }
 
-let stream ?domains ?pool ?window plan =
+let stream ?domains ?pool ?window ?memo plan =
   let p, owned =
     match pool with
     | Some p -> (p, false)
@@ -244,6 +311,7 @@ let stream ?domains ?pool ?window plan =
     | None -> max 16 (4 * Pool.domains p)
   in
   { st_vplan = Plan.vplan plan; st_pool = p; st_owned = owned;
+    st_memo = Option.map (memo_ctx_of plan) memo;
     st_window = window; st_mutex = Mutex.create ();
     st_progress = Condition.create (); st_results = Array.make 64 None;
     st_submitted = 0; st_inflight = 0; st_polled = 0; st_exn = None;
@@ -260,7 +328,7 @@ let help_while st cond =
     if (not ran) && cond () then Condition.wait st.st_progress st.st_mutex
   done
 
-let stream_submit st device_id report =
+let stream_submit ?digest st device_id report =
   Mutex.lock st.st_mutex;
   if st.st_closed then begin
     Mutex.unlock st.st_mutex;
@@ -279,7 +347,8 @@ let stream_submit st device_id report =
     let result =
       try
         Ok (with_scratch (fun scratch ->
-            verify_one st.st_vplan scratch device_id report))
+            verify_one ?memo:st.st_memo ?digest st.st_vplan scratch
+              device_id report))
       with e -> Error e
     in
     Mutex.lock st.st_mutex;
@@ -323,10 +392,14 @@ let stream_snapshot st =
       wall_seconds = Unix.gettimeofday () -. st.st_t0;
       rejects_by_kind =
         List.sort compare
-          (Hashtbl.fold (fun k n acc -> (k, n) :: acc) st.st_kinds []) }
+          (Hashtbl.fold (fun k n acc -> (k, n) :: acc) st.st_kinds []);
+      memo_hits = 0; memo_misses = 0; memo_evictions = 0 }
   in
   Mutex.unlock st.st_mutex;
-  m
+  (* memo counters live outside st_mutex (Atomics + the memo's own
+     locks); read them after releasing it to keep lock order flat *)
+  let memo_hits, memo_misses, memo_evictions = memo_counts st.st_memo in
+  { m with Metrics.memo_hits; memo_misses; memo_evictions }
 
 let stream_pending st =
   Mutex.lock st.st_mutex;
@@ -395,10 +468,11 @@ let stream_close st =
         | Some v -> v
         | None -> assert false (* inflight drained and no exn recorded *))
   in
-  summarize ~domains:(Pool.domains st.st_pool) ~wall_seconds verdicts
+  summarize ?memo:st.st_memo ~domains:(Pool.domains st.st_pool) ~wall_seconds
+    verdicts
 
-let verify_stream ?domains ?pool ?window plan batch =
-  let st = stream ?domains ?pool ?window plan in
+let verify_stream ?domains ?pool ?window ?memo plan batch =
+  let st = stream ?domains ?pool ?window ?memo plan in
   List.iter (fun (device_id, report) -> stream_submit st device_id report)
     batch;
   stream_close st

@@ -33,7 +33,7 @@ type summary = {
 }
 
 val verify_batch :
-  ?pool:Pool.t -> ?domains:int -> ?chunk:int ->
+  ?pool:Pool.t -> ?domains:int -> ?chunk:int -> ?memo:Memo.t ->
   Plan.t -> (string * Dialed_apex.Pox.report) list -> summary
 (** [verify_batch ~pool plan batch] replays every [(device_id, report)]
     pair on the pool's domains (the caller participates) and aggregates
@@ -49,7 +49,17 @@ val verify_batch :
 
     Guidance: replay is CPU-bound and shares no mutable state, so a pool
     of [Domain.recommended_domain_count ()] is the sensible maximum;
-    beyond physical cores it only adds scheduling noise. *)
+    beyond physical cores it only adds scheduling noise.
+
+    [memo] arms verdict memoization: every report still pays the
+    per-session {!Dialed_core.Verifier.precheck} (HMAC token, layout,
+    audit gate), but the replay runs only on the first report with a
+    given {!Dialed_core.Verifier.log_digest} — repeats return the cached
+    verdict, findings and step count, bit-identical to a fresh replay
+    (pinned by [test_memo]). The memo outlives the batch: pass the same
+    [Memo.t] to successive batches and the entries carry over. The
+    batch's own hit/miss counts (and the memo's cumulative evictions)
+    land in {!Metrics.t}. *)
 
 val rejects_by_kind : verdict list -> (string * int) list
 (** Histogram of rejected verdicts by the
@@ -68,27 +78,39 @@ val rejects_by_kind : verdict list -> (string * int) list
 
 type stream
 
-val stream : ?domains:int -> ?pool:Pool.t -> ?window:int -> Plan.t -> stream
+val stream :
+  ?domains:int -> ?pool:Pool.t -> ?window:int -> ?memo:Memo.t ->
+  Plan.t -> stream
 (** Open a stream over [plan]. With [pool], replays run on it (and the
     pool survives the stream); otherwise a private pool of [domains]
     (default {!Domain.recommended_domain_count}) is created and shut
     down by {!stream_close}. [window] (default [max 16 (4 * domains)])
-    bounds the submitted-but-unfinished report count. *)
+    bounds the submitted-but-unfinished report count. [memo] arms
+    verdict memoization exactly as in {!verify_batch}; the memo
+    survives the stream. *)
 
-val stream_submit : stream -> string -> Dialed_apex.Pox.report -> unit
+val stream_submit :
+  ?digest:string -> stream -> string -> Dialed_apex.Pox.report -> unit
 (** Submit one report. Blocks (productively: the caller steals pool
     jobs) while the in-flight window is full. Raises [Invalid_argument]
-    on a closed stream. *)
+    on a closed stream. [digest], when the caller already computed the
+    report's canonical log digest (e.g. incrementally during wire
+    decode via {!Dialed_apex.Wire.decode_digested}), skips the memo
+    path's own {!Dialed_core.Verifier.log_digest} pass; ignored on a
+    memo-less stream. Passing a digest that is {e not} the report's own
+    log digest corrupts the memo — never pass one from another
+    report. *)
 
 val stream_pending : stream -> int
 (** Reports submitted whose verdicts have not landed yet. *)
 
 val stream_snapshot : stream -> Metrics.t
 (** Live, non-destructive counters: submitted / accepted / rejected /
-    replay steps / rejects-by-kind so far, with [wall_seconds] measured
-    from stream open to now. In-flight reports are counted in
-    [batch_size] but in neither verdict bucket. The gateway surfaces
-    this from its stats endpoint while the stream keeps running. *)
+    replay steps / rejects-by-kind / memo hit-miss-eviction counters so
+    far, with [wall_seconds] measured from stream open to now. In-flight
+    reports are counted in [batch_size] but in neither verdict bucket.
+    The gateway surfaces this from its stats endpoint while the stream
+    keeps running. *)
 
 val stream_poll : stream -> verdict list
 (** Verdicts completed since the last poll, in submission order (an
@@ -113,7 +135,7 @@ val stream_close : stream -> summary
     by {!stream_poll}. [wall_seconds] spans stream open to drain. *)
 
 val verify_stream :
-  ?domains:int -> ?pool:Pool.t -> ?window:int ->
+  ?domains:int -> ?pool:Pool.t -> ?window:int -> ?memo:Memo.t ->
   Plan.t -> (string * Dialed_apex.Pox.report) list -> summary
 (** [stream] + submit each pair + [stream_close]: batch semantics over
     the streaming path. Summaries are verdict-identical to

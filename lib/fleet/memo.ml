@@ -1,0 +1,213 @@
+module V = Dialed_core.Verifier
+
+type config = {
+  max_entries : int;
+  max_bytes : int;
+  shards : int;
+}
+
+let default_config =
+  { max_entries = 4096; max_bytes = 8 * 1024 * 1024; shards = 8 }
+
+type entry = {
+  e_accepted : bool;
+  e_findings : V.finding list;
+  e_steps : int;
+}
+
+(* Resident-size accounting is an estimate: key bytes plus a fixed
+   per-entry overhead plus each finding's payload strings. It only has
+   to be monotone in the real footprint for the byte bound to mean
+   anything, not exact. *)
+let finding_bytes f =
+  let base = 64 in
+  match f with
+  | V.Bad_instrumentation s | V.Bad_token s | V.Wrong_layout s
+  | V.Replay_failed s -> base + String.length s
+  | V.Policy_violation { policy; reason } ->
+    base + String.length policy + String.length reason
+  | V.Oob_access { array; _ } -> base + String.length array
+  | V.Log_divergence _ | V.Shadow_stack_violation _ -> base
+
+let entry_bytes key e =
+  String.length key + 96
+  + List.fold_left (fun acc f -> acc + finding_bytes f) 0 e.e_findings
+
+(* One stripe: its own mutex, table, LRU stamps, in-flight set and
+   counters. All mutable state is touched under [sh_mutex] only. *)
+type shard = {
+  sh_mutex : Mutex.t;
+  sh_cond : Condition.t;              (* an in-flight replay finished/failed *)
+  sh_table : (string, entry) Hashtbl.t;
+  sh_stamps : (string, int) Hashtbl.t;
+  sh_building : (string, unit) Hashtbl.t;
+  sh_max_entries : int;
+  sh_max_bytes : int;
+  mutable sh_tick : int;
+  mutable sh_bytes : int;
+  mutable sh_hits : int;
+  mutable sh_misses : int;
+  mutable sh_evictions : int;
+}
+
+type t = {
+  t_shards : shard array;
+  t_config : config;
+}
+
+let create ?(config = default_config) () =
+  if config.max_entries < 1 then
+    invalid_arg "Memo.create: max_entries must be positive";
+  if config.max_bytes < 1 then
+    invalid_arg "Memo.create: max_bytes must be positive";
+  if config.shards < 1 then invalid_arg "Memo.create: shards must be positive";
+  (* per-shard budgets: ceil(total/shards), at least one entry each, so
+     the global bounds hold within a one-entry-per-shard rounding slack *)
+  let per total = max 1 ((total + config.shards - 1) / config.shards) in
+  let mk _ =
+    { sh_mutex = Mutex.create (); sh_cond = Condition.create ();
+      sh_table = Hashtbl.create 64; sh_stamps = Hashtbl.create 64;
+      sh_building = Hashtbl.create 8;
+      sh_max_entries = per config.max_entries;
+      sh_max_bytes = per config.max_bytes;
+      sh_tick = 0; sh_bytes = 0; sh_hits = 0; sh_misses = 0;
+      sh_evictions = 0 }
+  in
+  { t_shards = Array.init config.shards mk; t_config = config }
+
+let config t = t.t_config
+
+let shard_of t key =
+  t.t_shards.(Hashtbl.hash key mod Array.length t.t_shards)
+
+(* must hold [sh_mutex] *)
+let touch sh key =
+  sh.sh_tick <- sh.sh_tick + 1;
+  Hashtbl.replace sh.sh_stamps key sh.sh_tick
+
+(* must hold [sh_mutex]; stamps are unique, so the victim is too *)
+let evict_lru sh =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+       let s = Option.value ~default:0 (Hashtbl.find_opt sh.sh_stamps k) in
+       match !victim with
+       | Some (_, _, vs) when vs <= s -> ()
+       | _ -> victim := Some (k, e, s))
+    sh.sh_table;
+  match !victim with
+  | Some (k, e, _) ->
+    Hashtbl.remove sh.sh_table k;
+    Hashtbl.remove sh.sh_stamps k;
+    sh.sh_bytes <- sh.sh_bytes - entry_bytes k e;
+    sh.sh_evictions <- sh.sh_evictions + 1
+  | None -> ()
+
+(* must hold [sh_mutex]. The just-inserted key carries the freshest
+   stamp, so the eviction loop never removes it; a single entry larger
+   than the shard's byte budget therefore stays resident alone (the
+   bound is soft by at most that one entry). *)
+let insert sh key e =
+  if not (Hashtbl.mem sh.sh_table key) then begin
+    Hashtbl.add sh.sh_table key e;
+    sh.sh_bytes <- sh.sh_bytes + entry_bytes key e;
+    touch sh key;
+    while
+      (Hashtbl.length sh.sh_table > sh.sh_max_entries
+       || sh.sh_bytes > sh.sh_max_bytes)
+      && Hashtbl.length sh.sh_table > 1
+    do
+      evict_lru sh
+    done
+  end
+  else touch sh key
+
+type handle = {
+  h_t : t;
+  h_ns : string;
+}
+
+let handle t ~ns = { h_t = t; h_ns = ns }
+
+let find_or_replay h ~digest replay =
+  let key = h.h_ns ^ digest in
+  let sh = shard_of h.h_t key in
+  Mutex.lock sh.sh_mutex;
+  let rec lookup () =
+    match Hashtbl.find_opt sh.sh_table key with
+    | Some e ->
+      sh.sh_hits <- sh.sh_hits + 1;
+      touch sh key;
+      Mutex.unlock sh.sh_mutex;
+      (e, `Hit)
+    | None ->
+      if Hashtbl.mem sh.sh_building key then begin
+        (* someone else is replaying this exact log: wait, then take the
+           hit path — same rule as the plan LRU, waiters are hits and
+           nothing is double-counted (the builder alone counts a miss) *)
+        Condition.wait sh.sh_cond sh.sh_mutex;
+        lookup ()
+      end
+      else begin
+        sh.sh_misses <- sh.sh_misses + 1;
+        Hashtbl.add sh.sh_building key ();
+        Mutex.unlock sh.sh_mutex;
+        (* replay outside the lock: the abstract execution is the
+           expensive part and must not serialize other shard traffic *)
+        match replay () with
+        | exception e ->
+          Mutex.lock sh.sh_mutex;
+          Hashtbl.remove sh.sh_building key;
+          Condition.broadcast sh.sh_cond;
+          Mutex.unlock sh.sh_mutex;
+          raise e
+        | entry ->
+          Mutex.lock sh.sh_mutex;
+          Hashtbl.remove sh.sh_building key;
+          insert sh key entry;
+          Condition.broadcast sh.sh_cond;
+          Mutex.unlock sh.sh_mutex;
+          (entry, `Miss)
+      end
+  in
+  lookup ()
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;
+}
+
+let stats t =
+  Array.fold_left
+    (fun acc sh ->
+       Mutex.lock sh.sh_mutex;
+       let acc =
+         { hits = acc.hits + sh.sh_hits;
+           misses = acc.misses + sh.sh_misses;
+           evictions = acc.evictions + sh.sh_evictions;
+           entries = acc.entries + Hashtbl.length sh.sh_table;
+           bytes = acc.bytes + sh.sh_bytes }
+       in
+       Mutex.unlock sh.sh_mutex;
+       acc)
+    { hits = 0; misses = 0; evictions = 0; entries = 0; bytes = 0 }
+    t.t_shards
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let stats_to_json s =
+  Printf.sprintf
+    "{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d,\
+     \"bytes\":%d,\"hit_rate\":%.4f}"
+    s.hits s.misses s.evictions s.entries s.bytes (hit_rate s)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "memo: %d hits, %d misses (%.1f%% hit rate), %d evictions, \
+     %d entries resident (%d bytes)"
+    s.hits s.misses (hit_rate s *. 100.0) s.evictions s.entries s.bytes

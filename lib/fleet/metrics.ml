@@ -6,6 +6,9 @@ type t = {
   replay_steps : int;
   wall_seconds : float;
   rejects_by_kind : (string * int) list;
+  memo_hits : int;
+  memo_misses : int;
+  memo_evictions : int;
 }
 
 let reports_per_sec m =
@@ -30,7 +33,13 @@ let pp ppf m =
     List.iter
       (fun (kind, n) -> Format.fprintf ppf " %s=%d" kind n)
       m.rejects_by_kind
-  end
+  end;
+  if m.memo_hits + m.memo_misses > 0 then
+    Format.fprintf ppf "@,memo: %d hits / %d misses (%.1f%% hit rate), %d evictions"
+      m.memo_hits m.memo_misses
+      (100.0 *. float_of_int m.memo_hits
+       /. float_of_int (m.memo_hits + m.memo_misses))
+      m.memo_evictions
 
 (* Hand-rolled JSON: every value here is an int, a float or a fixed-alphabet
    kind tag, so no escaping is needed beyond quoting. *)
@@ -44,6 +53,8 @@ let to_json m =
   Printf.sprintf
     "{\"domains\":%d,\"batch\":%d,\"accepted\":%d,\"rejected\":%d,\
      \"replay_steps\":%d,\"wall_seconds\":%.6f,\"reports_per_sec\":%.1f,\
-     \"rejects_by_kind\":{%s}}"
+     \"rejects_by_kind\":{%s},\"memo_hits\":%d,\"memo_misses\":%d,\
+     \"memo_evictions\":%d}"
     m.domains m.batch_size m.accepted m.rejected m.replay_steps
-    m.wall_seconds (reports_per_sec m) kinds
+    m.wall_seconds (reports_per_sec m) kinds m.memo_hits m.memo_misses
+    m.memo_evictions

@@ -10,6 +10,15 @@ type t = {
   rejects_by_kind : (string * int) list;
       (** rejected reports bucketed by the {!Dialed_core.Verifier.finding_kind}
           of their first (decisive) finding, sorted by kind *)
+  memo_hits : int;
+      (** verdict-memo hits among this batch's reports (0 when the batch
+          ran memo-off) *)
+  memo_misses : int;
+      (** reports in this batch that actually replayed under the memo *)
+  memo_evictions : int;
+      (** the memo's {e cumulative} eviction count at snapshot time —
+          the cache outlives any one batch, so unlike hits/misses this
+          is not per-batch *)
 }
 
 val reports_per_sec : t -> float

@@ -35,13 +35,15 @@ type cache = {
   mutable hits : int;
   mutable misses : int;
   mutable audits : int;             (* static audits actually executed *)
+  mutable evictions : int;
 }
 
 let cache ?(capacity = 16) () =
   if capacity < 1 then invalid_arg "Plan.cache: capacity must be positive";
   { capacity; mutex = Mutex.create (); built_cond = Condition.create ();
     table = Hashtbl.create 16; stamps = Hashtbl.create 16;
-    building = Hashtbl.create 4; tick = 0; hits = 0; misses = 0; audits = 0 }
+    building = Hashtbl.create 4; tick = 0; hits = 0; misses = 0; audits = 0;
+    evictions = 0 }
 
 let cache_key ~key fingerprint =
   fingerprint ^ ":" ^ Dialed_crypto.Sha256.hex (Dialed_crypto.Sha256.digest key)
@@ -64,7 +66,8 @@ let evict_lru cache =
   match !victim with
   | Some (k, _) ->
     Hashtbl.remove cache.table k;
-    Hashtbl.remove cache.stamps k
+    Hashtbl.remove cache.stamps k;
+    cache.evictions <- cache.evictions + 1
   | None -> ()
 
 let find_or_build cache ?(key = Dialed_apex.Device.default_key) ?policies
@@ -130,8 +133,45 @@ let cache_audits cache =
   Mutex.unlock cache.mutex;
   n
 
+let cache_evictions cache =
+  Mutex.lock cache.mutex;
+  let n = cache.evictions in
+  Mutex.unlock cache.mutex;
+  n
+
 let cache_size cache =
   Mutex.lock cache.mutex;
   let n = Hashtbl.length cache.table in
   Mutex.unlock cache.mutex;
   n
+
+type cache_counters = {
+  cc_hits : int;
+  cc_misses : int;
+  cc_evictions : int;
+  cc_resident : int;
+  cc_audits : int;
+}
+
+let cache_counters cache =
+  Mutex.lock cache.mutex;
+  let c =
+    { cc_hits = cache.hits; cc_misses = cache.misses;
+      cc_evictions = cache.evictions;
+      cc_resident = Hashtbl.length cache.table; cc_audits = cache.audits }
+  in
+  Mutex.unlock cache.mutex;
+  c
+
+let cache_counters_to_json c =
+  Printf.sprintf
+    "{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"resident\":%d,\
+     \"audits\":%d}"
+    c.cc_hits c.cc_misses c.cc_evictions c.cc_resident c.cc_audits
+
+let cache_stats_json cache = cache_counters_to_json (cache_counters cache)
+
+let pp_cache_counters ppf c =
+  Format.fprintf ppf
+    "plans: %d hits, %d misses, %d evictions, %d resident, %d audits"
+    c.cc_hits c.cc_misses c.cc_evictions c.cc_resident c.cc_audits

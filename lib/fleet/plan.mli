@@ -66,5 +66,29 @@ val cache_audits : cache -> int
     per miss with [audit] armed; hits (including deduplicated concurrent
     lookups) never re-audit, and a build that raises counts nothing. *)
 
+val cache_evictions : cache -> int
+(** Plans evicted by LRU pressure so far. *)
+
 val cache_size : cache -> int
 (** Plans currently resident. *)
+
+type cache_counters = {
+  cc_hits : int;
+  cc_misses : int;         (** lookups that started a build *)
+  cc_evictions : int;
+  cc_resident : int;       (** plans resident now *)
+  cc_audits : int;         (** static audits actually executed *)
+}
+(** One consistent snapshot of a cache's counters, taken under the cache
+    lock — the same waiters-are-hits accounting as {!cache_stats}. The
+    gateway embeds this in its stats so operators can watch plan-cache
+    effectiveness live next to the verdict-memo counters. *)
+
+val cache_counters : cache -> cache_counters
+
+val cache_counters_to_json : cache_counters -> string
+
+val cache_stats_json : cache -> string
+(** [cache_counters_to_json (cache_counters cache)]. *)
+
+val pp_cache_counters : Format.formatter -> cache_counters -> unit

@@ -13,12 +13,15 @@ type config = {
   burst : float;
   args : int list;
   session_seed : string;
+  memo : F.Memo.config option;
+  plan_cache : F.Plan.cache option;
 }
 
 let default_config =
   { max_frame = Frame.default_cap; read_deadline = Some 10.0; max_conns = 64;
     domains = 2; window = 32; max_window = 32; rate = None; burst = 8.0;
-    args = []; session_seed = "dialed-gateway" }
+    args = []; session_seed = "dialed-gateway"; memo = None;
+    plan_cache = None }
 
 type stats = {
   connections_accepted : int;
@@ -38,6 +41,8 @@ type stats = {
   protocol_errors : int;
   deadline_timeouts : int;
   verify : F.Metrics.t;
+  memo : F.Memo.stats option;
+  plan_cache : F.Plan.cache_counters option;
 }
 
 (* One accepted session, shared between its handler thread (reads the
@@ -67,6 +72,7 @@ type t = {
   listener : Transport.listener;
   pool : F.Pool.t;
   stream : F.Fleet.stream;
+  memo_cache : F.Memo.t option;
   (* dispatcher: FIFO of submitted-not-yet-answered reports *)
   disp_m : Mutex.t;
   pending : pending Queue.t;
@@ -199,9 +205,14 @@ let create ?(config = default_config) ~plan listener =
   if config.max_window > Codec.max_window then
     invalid_arg "Server.create: max_window exceeds Codec.max_window";
   let pool = F.Pool.create ~domains:config.domains () in
-  let stream = F.Fleet.stream ~pool ~window:config.window plan in
+  let memo_cache =
+    Option.map (fun c -> F.Memo.create ~config:c ()) config.memo
+  in
+  let stream =
+    F.Fleet.stream ~pool ~window:config.window ?memo:memo_cache plan
+  in
   let t =
-    { cfg = config; listener; pool; stream;
+    { cfg = config; listener; pool; stream; memo_cache;
       disp_m = Mutex.create (); pending = Queue.create ();
       disp_thread = None; disp_quit = false;
       m = Mutex.create (); live = Hashtbl.create 16; handlers = [];
@@ -310,16 +321,25 @@ let session_loop t chan =
   in
   let on_report s g seq req wire =
     Hashtbl.remove issued seq;
-    match A.Wire.decode wire with
+    (* with the memo armed, the canonical log digest falls out of the
+       wire decode itself — a future memo hit then never touches the
+       report's OR bytes again *)
+    let decoded =
+      if t.memo_cache = None then
+        Result.map (fun r -> (r, None)) (A.Wire.decode wire)
+      else
+        Result.map (fun (r, d) -> (r, Some d)) (A.Wire.decode_digested wire)
+    in
+    match decoded with
     | Error e -> reject_round s seq "bad-report" (A.Wire.error_to_string e)
-    | Ok report ->
+    | Ok (report, digest) ->
       match C.Protocol.gate_redeem g req report with
       | Error reason -> reject_round s seq "bad-token" reason
       | Ok () ->
         (* under [disp_m], so FIFO order = stream submission order *)
         Mutex.lock t.disp_m;
         Queue.add { px_sess = s; px_seq = seq } t.pending;
-        (match F.Fleet.stream_submit t.stream !device report with
+        (match F.Fleet.stream_submit ?digest t.stream !device report with
          | () -> Mutex.unlock t.disp_m
          | exception e -> Mutex.unlock t.disp_m; raise e)
   in
@@ -477,7 +497,7 @@ let start t =
       t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ()))
 
 (* call with [m] held: one critical section, one consistent view *)
-let snapshot t verify =
+let snapshot t verify memo plan_cache =
   { connections_accepted = t.c_accepted;
     connections_active = t.c_active;
     sessions_active = t.c_sessions;
@@ -494,7 +514,7 @@ let snapshot t verify =
     bad_seq = t.c_bad_seq;
     protocol_errors = t.c_proto_errors;
     deadline_timeouts = t.c_timeouts;
-    verify }
+    verify; memo; plan_cache }
 
 let stats t =
   match locked t (fun () -> t.final) with
@@ -503,7 +523,9 @@ let stats t =
     (* the verify metrics live under the stream's own lock; taking them
        first keeps the lock order acyclic (never [m] -> stream) *)
     let verify = F.Fleet.stream_snapshot t.stream in
-    locked t (fun () -> snapshot t verify)
+    let memo = Option.map F.Memo.stats t.memo_cache in
+    let plan_cache = Option.map F.Plan.cache_counters t.cfg.plan_cache in
+    locked t (fun () -> snapshot t verify memo plan_cache)
 
 let stop t =
   let already = locked t (fun () ->
@@ -531,8 +553,10 @@ let stop t =
        cannot block on lost work *)
     let summary = F.Fleet.stream_close t.stream in
     F.Pool.shutdown t.pool;
+    let memo = Option.map F.Memo.stats t.memo_cache in
+    let plan_cache = Option.map F.Plan.cache_counters t.cfg.plan_cache in
     let final =
-      locked t (fun () -> snapshot t summary.F.Fleet.metrics)
+      locked t (fun () -> snapshot t summary.F.Fleet.metrics memo plan_cache)
     in
     locked t (fun () -> t.final <- Some final);
     final
@@ -549,7 +573,13 @@ let pp_stats ppf s =
     s.frames_rx s.frames_tx s.bytes_rx s.bytes_tx s.requests_issued
     s.reports_received s.verdicts_accepted s.verdicts_rejected
     s.rate_limited s.window_overflow s.bad_seq s.protocol_errors
-    s.deadline_timeouts F.Metrics.pp s.verify
+    s.deadline_timeouts F.Metrics.pp s.verify;
+  (match s.memo with
+   | None -> ()
+   | Some m -> Format.fprintf ppf "@,%a" F.Memo.pp_stats m);
+  match s.plan_cache with
+  | None -> ()
+  | Some c -> Format.fprintf ppf "@,%a" F.Plan.pp_cache_counters c
 
 let stats_to_json s =
   Printf.sprintf
@@ -559,10 +589,17 @@ let stats_to_json s =
      \"reports_received\": %d, \"verdicts_accepted\": %d, \
      \"verdicts_rejected\": %d, \"rate_limited\": %d, \
      \"window_overflow\": %d, \"bad_seq\": %d, \
-     \"protocol_errors\": %d, \"deadline_timeouts\": %d, \"verify\": %s }"
+     \"protocol_errors\": %d, \"deadline_timeouts\": %d, \"verify\": %s, \
+     \"memo\": %s, \"plan_cache\": %s }"
     s.connections_accepted s.connections_active s.sessions_active
     s.frames_rx s.frames_tx s.bytes_rx s.bytes_tx s.requests_issued
     s.reports_received s.verdicts_accepted s.verdicts_rejected
     s.rate_limited s.window_overflow s.bad_seq s.protocol_errors
     s.deadline_timeouts
     (F.Metrics.to_json s.verify)
+    (match s.memo with
+     | None -> "null"
+     | Some m -> F.Memo.stats_to_json m)
+    (match s.plan_cache with
+     | None -> "null"
+     | Some c -> F.Plan.cache_counters_to_json c)

@@ -60,11 +60,24 @@ type config = {
   burst : float;              (** rate-limiter bucket size *)
   args : int list;            (** operation arguments issued in requests *)
   session_seed : string;      (** base seed for per-connection gates *)
+  memo : Dialed_fleet.Memo.config option;
+      (** arm verdict memoization on the fleet stream: the canonical log
+          digest is computed incrementally during wire decode
+          ({!Dialed_apex.Wire.decode_digested}), so a repeat log skips
+          the replay entirely while challenge freshness
+          ({!Dialed_core.Protocol.gate}) and the HMAC token check still
+          run on every report. [None] (default) = off *)
+  plan_cache : Dialed_fleet.Plan.cache option;
+      (** the plan cache the operator built this server's plan through,
+          if any — the server only reads its counters so {!stats} can
+          show plan-cache effectiveness next to the memo's; it never
+          inserts into it. [None] (default) = no plan-cache section in
+          the stats *)
 }
 
 val default_config : config
 (** 1 MiB frames, 10 s deadline, 64 connections, 2 domains, stream
-    window 32, session window 32, no rate limit, empty args. *)
+    window 32, session window 32, no rate limit, empty args, memo off. *)
 
 type t
 
@@ -86,7 +99,15 @@ type stats = {
   protocol_errors : int;      (** hostile/garbled streams dropped *)
   deadline_timeouts : int;
   verify : Dialed_fleet.Metrics.t;
-      (** live {!Dialed_fleet.Fleet.stream_snapshot} (final after stop) *)
+      (** live {!Dialed_fleet.Fleet.stream_snapshot} (final after stop);
+          carries the stream's memo hit/miss/eviction counters when the
+          memo is armed *)
+  memo : Dialed_fleet.Memo.stats option;
+      (** the memo cache's own counters (entries and resident bytes
+          included); [None] when the server runs memo-off *)
+  plan_cache : Dialed_fleet.Plan.cache_counters option;
+      (** counters of the plan cache named in the config, snapshotted at
+          {!stats} time; [None] when no cache was handed over *)
 }
 
 val create : ?config:config -> plan:Dialed_fleet.Plan.t ->

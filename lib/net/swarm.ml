@@ -7,12 +7,13 @@ type config = {
   window : int;
   concurrency : int;
   device_prefix : string;
+  distinct_logs : int;
   client : Client.config;
 }
 
 let default_config =
   { clients = 100; rounds = 4; window = 8; concurrency = 16;
-    device_prefix = "swarm";
+    device_prefix = "swarm"; distinct_logs = 0;
     client = { Client.default_config with Client.read_deadline = Some 30.0 } }
 
 type outcome = {
@@ -76,6 +77,12 @@ let run ?(config = default_config) ~dial ~respond () =
   in
   let drive i =
     let device_id = Printf.sprintf "%s-%04d" config.device_prefix i in
+    (* repeat-heavy traffic: fold the fleet onto [distinct_logs] path
+       shapes so every shape is driven by clients/distinct_logs provers
+       (0 = every prover its own shape, the memo-hostile extreme) *)
+    let shape =
+      if config.distinct_logs <= 0 then i else i mod config.distinct_logs
+    in
     let cfg =
       { config.client with
         Client.jitter_seed =
@@ -87,7 +94,7 @@ let run ?(config = default_config) ~dial ~respond () =
       let close () = try Transport.close conn with _ -> () in
       (match
          Client.attest_pipelined ~config:cfg ~window:config.window
-           ~respond:(respond ~client:i)
+           ~respond:(respond ~client:i ~shape)
            ~device:(fun () ->
                invalid_arg "Swarm.run: respond must produce the report")
            ~device_id ~rounds:config.rounds conn

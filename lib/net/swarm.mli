@@ -19,11 +19,20 @@ type config = {
   window : int;             (** per-session window to request *)
   concurrency : int;        (** worker threads driving the provers *)
   device_prefix : string;   (** device ids are [prefix-%04d] *)
+  distinct_logs : int;
+      (** fold the fleet onto this many execution-path shapes: prover
+          [i] is handed [shape = i mod distinct_logs], so a
+          shape-respecting responder produces repeat-heavy traffic
+          (clients/distinct_logs provers per log shape — what a real
+          fleet of identical well-behaved devices looks like, and what
+          the gateway's verdict memo feeds on). [0] (default): every
+          prover is its own shape, the memo-hostile extreme *)
   client : Client.config;   (** template; jitter seed is per-prover *)
 }
 
 val default_config : config
-(** 100 clients, 4 rounds, window 8, 16 workers, 30 s read deadline. *)
+(** 100 clients, 4 rounds, window 8, 16 workers, distinct shapes,
+    30 s read deadline. *)
 
 type outcome = {
   clients_run : int;
@@ -50,14 +59,17 @@ val cheap_responder :
 val run :
   ?config:config ->
   dial:(unit -> Transport.conn) ->
-  respond:(client:int -> seq:int ->
+  respond:(client:int -> shape:int -> seq:int ->
            Dialed_core.Protocol.request -> Dialed_apex.Pox.report) ->
   unit -> outcome
 (** Drive the swarm to completion. [dial] opens one connection per
-    prover; [respond ~client] produces that prover's per-request
-    responder (e.g. [fun ~client:_ -> cheap_responder ~build () ]
+    prover; [respond ~client ~shape] produces that prover's per-request
+    responder (e.g. [fun ~client:_ ~shape:_ -> cheap_responder ~build ()]
     — note the responder must be created per client to get fresh
-    state). A prover whose session raises ({!Client.Protocol_violation},
+    state). [shape] is the prover's log-shape index under
+    [distinct_logs]; a responder that varies device inputs by [shape]
+    (and ignores [client] otherwise) makes the repeat ratio real.
+    A prover whose session raises ({!Client.Protocol_violation},
     [Transport.Closed], a failed dial) is counted in [clients_failed];
     the rest of the swarm keeps running. *)
 

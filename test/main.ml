@@ -5,4 +5,5 @@ let () =
      @ Test_adversarial.suites @ Test_replay_equiv.suites
      @ Test_staticcheck.suites @ Test_gate.suites @ Test_net.suites
      @ Test_swarm.suites
+     @ Test_memo.suites
      @ Test_cli.suites)

@@ -124,7 +124,7 @@ let test_swarm_loopback () =
           N.Swarm.clients = 12; rounds = 3; window = 4; concurrency = 6;
           client = client_config }
       in
-      let respond ~client:_ =
+      let respond ~client:_ ~shape:_ =
         N.Swarm.cheap_responder ~build:make_device ()
       in
       let outcome = N.Swarm.run ~config ~dial ~respond () in
@@ -149,7 +149,7 @@ let test_swarm_engine_sees_all_reports () =
           N.Swarm.clients = 3; rounds = 2; window = 2; concurrency = 3;
           client = client_config }
       in
-      let respond ~client:_ =
+      let respond ~client:_ ~shape:_ =
         N.Swarm.cheap_responder ~build:make_device ()
       in
       let outcome = N.Swarm.run ~config ~dial ~respond () in
@@ -271,7 +271,7 @@ let test_stats_snapshot_consistent_under_load () =
           N.Swarm.clients = 16; rounds = 3; window = 4; concurrency = 8;
           client = client_config }
       in
-      let respond ~client:_ =
+      let respond ~client:_ ~shape:_ =
         N.Swarm.cheap_responder ~build:make_device ()
       in
       let outcome = N.Swarm.run ~config ~dial ~respond () in
