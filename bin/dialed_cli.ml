@@ -87,13 +87,20 @@ let load_source app file entry =
   | None, None -> Error (`Msg "one of --app or --file is required")
   | Some _, Some _ -> Error (`Msg "--app and --file are exclusive")
 
-let build_from source entry app variant =
+let build_from ?(selective = false) source entry app variant =
   let compiled = Minic.compile ~entry source in
   let or_min =
     match app with Some a -> a.Apps.or_min | None -> 0x0280
   in
-  C.Pipeline.build ~variant ~data:compiled.Minic.data ~op:compiled.Minic.op
-    ~or_min ()
+  let dfa_config =
+    if selective then
+      { C.Dfa.default_config with
+        C.Dfa.selective =
+          Some { C.Dfa.critical = List.map fst compiled.Minic.criticals } }
+    else C.Dfa.default_config
+  in
+  C.Pipeline.build ~variant ~dfa_config ~critical:compiled.Minic.criticals
+    ~data:compiled.Minic.data ~op:compiled.Minic.op ~or_min ()
 
 (* Commands evaluate to an exit status: [Ok 0] (success) or [Ok 1]
    (rejection / findings). Usage, IO, and build failures stay in the
@@ -392,7 +399,7 @@ let lint_cmd =
   let loop_bound_arg =
     let doc =
       "Assume every loop iterates at most $(docv) times when bounding the \
-       worst-case log footprint."
+       worst-case log footprint. Must be positive (exit 2 otherwise)."
     in
     Arg.(value & opt (some int) None & info [ "loop-bound" ] ~docv:"K" ~doc)
   in
@@ -400,69 +407,105 @@ let lint_cmd =
     let doc = "Treat an unbounded worst-case log footprint as a finding." in
     Arg.(value & flag & info [ "require-bounded" ] ~doc)
   in
-  let run app file entry variant all json loop_bound require_bounded =
+  let no_dataflow_arg =
+    let doc =
+      "Skip the taint dataflow pass (pattern and discipline checks only). \
+       The dataflow pass is on by default and is mandatory for selective \
+       builds."
+    in
+    Arg.(value & flag & info [ "no-dataflow" ] ~doc)
+  in
+  let selective_arg =
+    let doc =
+      "Audit the OAT-style selective build: F4 logging reduced to the \
+       source's 'critical' globals, with read guards elsewhere."
+    in
+    Arg.(value & flag & info [ "selective" ] ~doc)
+  in
+  let sarif_arg =
+    let doc = "Also write the findings as a SARIF 2.1.0 log to $(docv)." in
+    Arg.(value & opt (some string) None
+         & info [ "sarif" ] ~docv:"FILE" ~doc)
+  in
+  let run app file entry variant all json loop_bound require_bounded
+      no_dataflow selective sarif =
     wrap (fun () ->
-        let config =
-          { S.Audit.default_config with
-            S.Audit.loop_bound; S.Audit.require_bounded }
-        in
-        let targets =
-          if all then
-            Ok (List.map
-                  (fun (name, a) -> (name, a.Apps.source, a.Apps.entry, Some a))
-                  apps_by_name)
-          else
-            match load_source app file entry with
-            | Error e -> Error e
-            | Ok (source, entry, a) ->
-              let name =
-                match a, file with
-                | Some a, _ -> a.Apps.name
-                | None, Some f -> f
-                | None, None -> "stdin"
-              in
-              Ok [ (name, source, entry, a) ]
-        in
-        match targets with
-        | Error e -> Error e
-        | Ok targets ->
-          let reports =
-            List.map
-              (fun (name, source, entry, a) ->
-                 let built = build_from source entry a variant in
-                 (name, C.Verifier.audit_built ~config built))
-              targets
+        match loop_bound with
+        | Some k when k <= 0 ->
+          Error (`Msg (Printf.sprintf "--loop-bound must be positive (got %d)" k))
+        | _ ->
+          let config =
+            { S.Audit.default_config with
+              S.Audit.loop_bound; S.Audit.require_bounded;
+              S.Audit.dataflow = not no_dataflow }
           in
-          if json then
-            Format.printf "[%s]@."
-              (String.concat ","
-                 (List.map
-                    (fun (name, r) ->
-                       Printf.sprintf "{\"app\":%S,\"report\":%s}" name
-                         (S.Report.to_json r))
-                    reports))
-          else
-            List.iter
-              (fun (name, r) ->
-                 Format.printf "%s: %s@." name (S.Report.summary r);
-                 if not (S.Report.ok r) then Format.printf "%a" S.Report.pp r)
-              reports;
-          let bad =
-            List.filter (fun (_, r) -> not (S.Report.ok r)) reports
+          let targets =
+            if all then
+              Ok (List.map
+                    (fun (name, a) -> (name, a.Apps.source, a.Apps.entry, Some a))
+                    apps_by_name)
+            else
+              match load_source app file entry with
+              | Error e -> Error e
+              | Ok (source, entry, a) ->
+                let name =
+                  match a, file with
+                  | Some a, _ -> a.Apps.name
+                  | None, Some f -> f
+                  | None, None -> "stdin"
+                in
+                Ok [ (name, source, entry, a) ]
           in
-          match bad with
-          | [] -> Ok 0
-          | bad ->
-            Format.eprintf "static audit rejected %d binar%s@."
-              (List.length bad) (if List.length bad = 1 then "y" else "ies");
-            Ok 1)
+          match targets with
+          | Error e -> Error e
+          | Ok targets ->
+            let reports =
+              List.map
+                (fun (name, source, entry, a) ->
+                   let built = build_from ~selective source entry a variant in
+                   (name, C.Verifier.audit_built ~config built))
+                targets
+            in
+            (match sarif with
+             | Some path ->
+               let oc = open_out_bin path in
+               output_string oc
+                 (S.Report.to_sarif_multi
+                    (List.map (fun (name, r) -> (name ^ ".bin", r)) reports));
+               output_char oc '\n';
+               close_out oc
+             | None -> ());
+            if json then
+              Format.printf "[%s]@."
+                (String.concat ","
+                   (List.map
+                      (fun (name, r) ->
+                         Printf.sprintf "{\"app\":%S,\"report\":%s}" name
+                           (S.Report.to_json r))
+                      reports))
+            else
+              List.iter
+                (fun (name, r) ->
+                   Format.printf "%s: %s@." name (S.Report.summary r);
+                   if not (S.Report.ok r) then Format.printf "%a" S.Report.pp r)
+                reports;
+            let bad =
+              List.filter (fun (_, r) -> not (S.Report.ok r)) reports
+            in
+            match bad with
+            | [] -> Ok 0
+            | bad ->
+              Format.eprintf "static audit rejected %d binar%s@."
+                (List.length bad) (if List.length bad = 1 then "y" else "ies");
+              Ok 1)
   in
   Cmd.v
     (Cmd.info "lint" ~exits
        ~doc:"Statically audit an instrumented binary (exit 1 on findings)")
     Term.(term_result
             (const run $ app_arg $ file_arg $ entry_arg $ variant_arg $ all_arg
-             $ json_arg $ loop_bound_arg $ require_bounded_arg))
+             $ json_arg $ loop_bound_arg $ require_bounded_arg
+             $ no_dataflow_arg $ selective_arg $ sarif_arg))
 
 let port_arg ~default =
   let doc = "TCP port (0 picks an ephemeral port)." in

@@ -25,7 +25,7 @@ let syringe_pump_source = {|
 
   int steps_per_unit = 4;
   int syringe_pos = 0;            // units currently in the barrel
-  int max_units = 9;              // hardware barrel capacity
+  critical int max_units = 9;     // hardware barrel capacity (safety bound)
 
   void pulse(int coil) {
     P3OUT = coil;
@@ -68,7 +68,7 @@ let fire_sensor_source = {|
   volatile char P3OUT @ 0x0019;   // bit 2: alarm
   volatile char TXBUF @ 0x0077;
 
-  int threshold = 55;             // degrees
+  critical int threshold = 55;    // degrees (alarm trip point)
   int history[8];
   int hist_idx = 0;
 
@@ -112,7 +112,7 @@ let ultrasonic_ranger_source = {|
   volatile char P3OUT @ 0x0019;   // bit 3: proximity warning
   volatile char TXBUF @ 0x0077;
 
-  int min_distance_cm = 10;
+  critical int min_distance_cm = 10;
 
   void measure(int rounds) {
     int closest = 32767;
@@ -184,13 +184,80 @@ let syringe_pump_vuln = {
    change — invisible to CFA, caught by DIALED's abstract execution *)
 let attack_args_syringe_vuln = [ 0; 8 ]
 
-let all = [ syringe_pump; fire_sensor; ultrasonic_ranger ]
+(* ------------------------------------------------------------------ *)
+
+(* The selective-attestation showcase: most of the data this operation
+   reads is a static calibration table the verifier can reproduce from
+   its own memory, so under the OAT-style discipline only the ADC sample
+   and the critical trip point need log entries. *)
+let thermocouple_source =
+  let cal_entries =
+    (* a plausible correction curve: small, slowly-varying offsets *)
+    String.concat ", "
+      (List.init 64 (fun i -> string_of_int (8 + (i * (64 - i)) / 40)))
+  in
+  Printf.sprintf {|
+  // Thermocouple linearizer: sweep a 64-entry calibration table (a
+  // checksum guards against flash decay), take an ADC sample, apply the
+  // table correction, trip the heater cutoff above the critical limit.
+  volatile int ADC @ 0x0140;
+  volatile char P3OUT @ 0x0019;   // bit 2: heater cutoff
+  volatile char TXBUF @ 0x0077;
+
+  critical int trip_point = 520;  // corrected counts; safety limit
+  int cal[64] = {%s};
+
+  void linearize_and_trip(int samples) {
+    int sum = 0;
+    int i = 0;
+    while (i < 64) {              // integrity sweep over the table
+      sum += cal[i];
+      i++;
+    }
+    int acc = 0;
+    i = 0;
+    while (i < samples) {
+      acc += ADC;                 // the one peripheral data input
+      i++;
+    }
+    int raw = acc / samples;
+    int idx = raw / 16;
+    if (idx > 63) { idx = 63; }
+    int corrected = raw + cal[idx] - sum / 64;
+    if (corrected > trip_point) { P3OUT = 4; } else { P3OUT = 0; }
+    TXBUF = corrected;
+  }
+|}
+    cal_entries
+
+let thermocouple = {
+  name = "thermocouple";
+  description = "thermocouple linearizer over a 64-entry calibration table";
+  source = thermocouple_source;
+  entry = "linearize_and_trip";
+  or_min = 0x0300;   (* the table pushes the data segment past 0x0280 *)
+  benign_args = [ 2 ];
+  setup =
+    (fun device ->
+       (* two samples around 470 counts: corrected stays below 520 *)
+       M.Peripherals.feed_adc (A.Device.board device) [ 468; 472 ]);
+}
+
+let all = [ syringe_pump; fire_sensor; ultrasonic_ranger; thermocouple ]
 
 let compile app = Minic.compile ~entry:app.entry app.source
 
-let build ?(variant = C.Pipeline.Full) app =
+let build ?(variant = C.Pipeline.Full) ?(selective = false) app =
   let compiled = compile app in
-  C.Pipeline.build ~variant ~data:compiled.Minic.data ~op:compiled.Minic.op
+  let dfa_config =
+    if selective then
+      { C.Dfa.default_config with
+        C.Dfa.selective =
+          Some { C.Dfa.critical = List.map fst compiled.Minic.criticals } }
+    else C.Dfa.default_config
+  in
+  C.Pipeline.build ~variant ~dfa_config ~data:compiled.Minic.data
+    ~critical:compiled.Minic.criticals ~op:compiled.Minic.op
     ~or_min:app.or_min ()
 
 type run = {
@@ -199,9 +266,9 @@ type run = {
   result : A.Device.run_result;
 }
 
-let run ?(variant = C.Pipeline.Full) ?args app =
+let run ?(variant = C.Pipeline.Full) ?(selective = false) ?args app =
   let args = match args with Some a -> a | None -> app.benign_args in
-  let built = build ~variant app in
+  let built = build ~variant ~selective app in
   let device = C.Pipeline.device built in
   app.setup device;
   let result = A.Device.run_operation ~args device in

@@ -6,11 +6,19 @@
     - {b fire_sensor} — Seeed temperature/humidity alarm: averages ADC
       samples, converts to degrees, raises an alarm pin over a threshold;
     - {b ultrasonic_ranger} — Seeed HC-SR04-style ranger: triggers pulses,
-      converts echo time to centimetres, raises a proximity warning.
+      converts echo time to centimetres, raises a proximity warning;
+
+    plus {b thermocouple}, the selective-attestation showcase: a
+    linearizer whose data inputs are dominated by reads of a static
+    64-entry calibration table, so the OAT-style reduced discipline
+    (guards instead of log entries for non-critical objects) shrinks the
+    data log by well over 5x.
 
     Each application names one {e embedded operation} (the attested entry
     point called from the untrusted main loop) and a deterministic
     peripheral scenario, so benches and tests reproduce identical runs.
+    Safety-relevant configuration globals carry the MiniC [critical]
+    annotation, which selective builds keep logging.
 
     [syringe_pump_vuln] is the Fig. 2-style vulnerable variant whose
     configuration store can be overflowed from operation arguments. *)
@@ -28,15 +36,23 @@ type app = {
 val syringe_pump : app
 val fire_sensor : app
 val ultrasonic_ranger : app
+val thermocouple : app
 val syringe_pump_vuln : app
 
 val all : app list
-(** The three benchmark applications (excludes the vulnerable variant). *)
+(** The four benchmark applications (excludes the vulnerable variant). *)
 
 val compile : app -> Dialed_minic.Minic.compiled
 
-val build : ?variant:Dialed_core.Pipeline.variant -> app -> Dialed_core.Pipeline.built
-(** Compile and build the app at the given instrumentation variant. *)
+val build :
+  ?variant:Dialed_core.Pipeline.variant -> ?selective:bool -> app ->
+  Dialed_core.Pipeline.built
+(** Compile and build the app at the given instrumentation variant.
+    [selective] (default false, meaningful for [Full]) switches the DFA
+    pass to the OAT-style reduced discipline scoped to the app's
+    [critical] globals, and threads those globals into the build so the
+    static dataflow audit (a hard precondition of any selective plan)
+    knows which ranges must stay covered. *)
 
 type run = {
   built : Dialed_core.Pipeline.built;
@@ -45,7 +61,8 @@ type run = {
 }
 
 val run :
-  ?variant:Dialed_core.Pipeline.variant -> ?args:int list -> app -> run
+  ?variant:Dialed_core.Pipeline.variant -> ?selective:bool ->
+  ?args:int list -> app -> run
 (** Build a fresh device, apply the app's scenario, run the operation with
     [args] (default: the app's benign arguments). *)
 

@@ -7,12 +7,18 @@ exception Error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
+type selective = {
+  critical : string list;
+}
+
 type config = {
   static_fast_path : bool;
   trust_frame_reads : bool;
+  selective : selective option;
 }
 
-let default_config = { static_fast_path = true; trust_frame_reads = true }
+let default_config =
+  { static_fast_path = true; trust_frame_reads = true; selective = None }
 
 let frame_pointer = 6
 let r4 = T.reserved_register
@@ -147,27 +153,70 @@ let operand_of_role i role =
   | `Dst, P.Two (_, _, _, dst) -> dst
   | _ -> assert false
 
-let rewrite config ~fresh i =
+(* ------------------------------------------------------------------ *)
+(* Selective attestation (OAT-style).                                  *)
+
+(* Does this static read still need a log entry under the selective
+   discipline? Named globals: only when declared critical (the verifier's
+   replay reproduces non-critical RAM from its own memory). Numeric
+   absolute addresses are memory-mapped peripherals in generated code:
+   their values exist only on the device, so they are always logged. *)
+let selective_logs_static sel op =
+  match op with
+  | P.Abs (P.Lab name) -> List.mem name sel.critical
+  | _ -> true
+
+(* A dynamic read may drop its F4 log when the compiler names the object
+   it stays inside ([Array_load] annotation) and that object is not
+   critical: a read guard proves the address at run time, and the static
+   dataflow audit re-proves from the binary that the guarded range avoids
+   MMIO, the critical set and the log. *)
+let selective_guard sel annot =
+  match annot with
+  | Some (P.Array_load { array_name; base; size_bytes })
+    when not (List.mem array_name sel.critical) ->
+    Some (base, size_bytes)
+  | _ -> None
+
+let emit_guard ~fresh i lo size_bytes base offset =
+  let scratch = scratch_for i in
+  T.read_guard ~fresh ~lo ~size_bytes base offset scratch @ [ P.Instr i ]
+
+let rewrite config ~fresh annot i =
   match read_operands config i with
   | [] -> [ P.Instr i ]
   | [ (role, cls) ] ->
     (match cls, i with
      | Static_input op, P.Two (Isa.MOV, _, _, P.Reg rn) when rn <> 0 ->
-       ignore op;
-       (* the loaded value sits in the register: log it directly, never
-          re-reading the (possibly side-effecting) peripheral *)
-       P.Instr i :: log_input ~fresh (P.Reg rn)
-     | Static_input op, _ -> P.Instr i :: log_input ~fresh op
+       (match config.selective with
+        | Some sel when not (selective_logs_static sel op) -> [ P.Instr i ]
+        | Some _ | None ->
+          (* the loaded value sits in the register: log it directly, never
+             re-reading the (possibly side-effecting) peripheral *)
+          P.Instr i :: log_input ~fresh (P.Reg rn))
+     | Static_input op, _ ->
+       (match config.selective with
+        | Some sel when not (selective_logs_static sel op) -> [ P.Instr i ]
+        | Some _ | None -> P.Instr i :: log_input ~fresh op)
      | Dynamic { base; offset; autoinc }, P.Two (Isa.MOV, _, _, P.Reg rn)
        when rn <> 0 ->
        if rn = base then
          fail "load into its own address register cannot be attested (%a)"
            P.pp_instr i
-       else dynamic_mov_load ~fresh i rn base (if autoinc then None else offset)
+       else
+         let offset = if autoinc then None else offset in
+         (match Option.bind config.selective (fun s -> selective_guard s annot)
+          with
+          | Some (lo, size_bytes) when not autoinc ->
+            emit_guard ~fresh i lo size_bytes base offset
+          | _ -> dynamic_mov_load ~fresh i rn base offset)
      | Dynamic { autoinc = true; _ }, _ ->
        fail "auto-increment read cannot be attested here (%a)" P.pp_instr i
      | Dynamic { base; offset; _ }, _ ->
-       dynamic_general ~fresh i (operand_of_role i role) base offset
+       (match Option.bind config.selective (fun s -> selective_guard s annot)
+        with
+        | Some (lo, size_bytes) -> emit_guard ~fresh i lo size_bytes base offset
+        | None -> dynamic_general ~fresh i (operand_of_role i role) base offset)
      | (No_read | In_stack), _ -> assert false)
   | multi ->
     (* two memory reads in one instruction: support the all-static case *)
@@ -177,7 +226,12 @@ let rewrite config ~fresh i =
       P.Instr i
       :: List.concat_map
         (fun (_, c) ->
-           match c with Static_input op -> log_input ~fresh op | _ -> [])
+           match c with
+           | Static_input op ->
+             (match config.selective with
+              | Some sel when not (selective_logs_static sel op) -> []
+              | Some _ | None -> log_input ~fresh op)
+           | _ -> [])
         multi
     else
       fail "instruction with multiple dynamic memory reads (%a)" P.pp_instr i
@@ -212,6 +266,27 @@ let validate config prog =
 
 (* ------------------------------------------------------------------ *)
 
+(* Like [P.map_instrs], but hands the rewrite the [Array_load] annotation
+   bound to each instruction — the object name and bounds selective mode
+   needs to emit a read guard. Annotations themselves stay in place. *)
+let map_instrs_annot f items =
+  let pending = ref None in
+  List.concat_map
+    (fun item ->
+       match item with
+       | P.Annot (P.Array_load _ as a) ->
+         pending := Some a;
+         [ item ]
+       | P.Instr i ->
+         let a = !pending in
+         pending := None;
+         f a i
+       | P.Annot _ | P.Label _ | P.Comment _ -> [ item ]
+       | _ ->
+         pending := None;
+         [ item ])
+    items
+
 (* F3: log the base stack pointer (lands in the word at OR_MAX, where F4's
    range checks read it back) followed by all argument registers r8..r15. *)
 let entry_logging ~fresh =
@@ -241,7 +316,7 @@ let instrument ?(config = default_config) prog =
     | rest -> (List.rev acc, rest)
   in
   let prefix, body = split_prefix [] prog in
-  prefix @ entry_logging ~fresh @ P.map_instrs (rewrite config ~fresh) body
+  prefix @ entry_logging ~fresh @ map_instrs_annot (rewrite config ~fresh) body
 
 let count_input_sites prog =
   let rec count acc items =

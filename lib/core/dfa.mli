@@ -22,6 +22,12 @@
 
 exception Error of string
 
+type selective = {
+  critical : string list;
+      (** names of the globals declared [critical] in the source; only
+          their reads (plus all peripheral reads) keep F4 log entries *)
+}
+
 type config = {
   static_fast_path : bool;
       (** log statically-out-of-stack reads without a runtime range check
@@ -30,10 +36,21 @@ type config = {
       (** treat [X(sp)] and [X(r6)] (frame pointer) reads as statically
           in-stack and skip them entirely. [false] = runtime-check them
           too. *)
+  selective : selective option;
+      (** [Some _] switches F4 to OAT-style selective attestation: static
+          reads of non-critical named globals are left unlogged (the
+          verifier's replay reproduces them from its own memory), and
+          dynamic reads of compiler-named non-critical arrays get a
+          {!Dialed_tinycfa.Instrument.read_guard} instead of a log entry.
+          Peripheral reads, critical reads and unattributed dynamic reads
+          keep the full F4 treatment. Sound only together with the
+          [Dialed_staticcheck] dataflow audit, which re-proves coverage
+          from the binary. [None] (default) = log everything. *)
 }
 
 val default_config : config
-(** Both true — the configuration the evaluation uses. *)
+(** Both booleans true, [selective = None] — the configuration the
+    evaluation uses. *)
 
 val frame_pointer : Dialed_msp430.Isa.reg
 (** [r6]: the register the MiniC code generator uses as frame pointer and

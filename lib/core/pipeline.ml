@@ -23,6 +23,8 @@ type built = {
   image : Assemble.image;
   layout : A.Layout.t;
   expected_er : string;
+  selective : bool;
+  critical_ranges : (int * int) list;
 }
 
 let caller_symbol = "__caller"
@@ -70,7 +72,7 @@ let concrete_is_ret i =
   | _ -> false
 
 let build ?(variant = Full) ?(dfa_config = Dfa.default_config)
-    ?(cfa_config = T.default_config) ?(data = [])
+    ?(cfa_config = T.default_config) ?(data = []) ?(critical = [])
     ?(or_min = A.Layout.default_or_min) ?(or_max = A.Layout.default_or_max)
     ?(stack_top = A.Layout.default_stack_top) ~op () =
   let code_base = A.Layout.default_code_base in
@@ -155,18 +157,40 @@ let build ?(variant = Full) ?(dfa_config = Dfa.default_config)
     Assemble.load image mem;
     M.Memory.dump mem ~addr:er_min ~len:(er_max - er_min + 1)
   in
-  { variant; program; image; layout; expected_er }
+  let selective = variant = Full && dfa_config.Dfa.selective <> None in
+  (* resolve the critical globals to the inclusive address ranges the
+     static audit must see covered *)
+  let critical_ranges =
+    List.map
+      (fun (name, size) ->
+         match Assemble.symbol_opt image name with
+         | Some a -> (a, a + max size 1 - 1)
+         | None -> fail "critical global %s not in the image" name)
+      critical
+    |> List.sort compare
+  in
+  { variant; program; image; layout; expected_er; selective;
+    critical_ranges }
 
 let fingerprint built =
   let l = built.layout in
   Dialed_crypto.Sha256.hex
     (Dialed_crypto.Sha256.digest
        (String.concat "|"
-          [ variant_name built.variant;
-            Printf.sprintf "%04x.%04x.%04x.%04x.%04x.%04x" l.A.Layout.er_min
-              l.A.Layout.er_max l.A.Layout.er_exit l.A.Layout.or_min
-              l.A.Layout.or_max l.A.Layout.stack_top;
-            built.expected_er ]))
+          ([ variant_name built.variant;
+             Printf.sprintf "%04x.%04x.%04x.%04x.%04x.%04x" l.A.Layout.er_min
+               l.A.Layout.er_max l.A.Layout.er_exit l.A.Layout.or_min
+               l.A.Layout.or_max l.A.Layout.stack_top;
+             built.expected_er ]
+           (* the reduced discipline is part of the firmware identity: the
+              same ER bytes audited against different critical sets must
+              not share a cached plan *)
+           @ (if built.selective then
+                [ "selective";
+                  String.concat ","
+                    (List.map (fun (lo, hi) -> Printf.sprintf "%04x-%04x" lo hi)
+                       built.critical_ranges) ]
+              else []))))
 
 let device ?key built =
   match key with

@@ -34,6 +34,12 @@ type built = {
   image : Dialed_msp430.Assemble.image;
   layout : Dialed_apex.Layout.t;
   expected_er : string;                (** ER bytes the verifier expects *)
+  selective : bool;
+      (** built under the OAT-style selective discipline (a [Full]
+          variant with [dfa_config.selective] set) *)
+  critical_ranges : (int * int) list;
+      (** resolved inclusive address ranges of the [critical] globals —
+          what the static dataflow audit must see covered *)
 }
 
 val build :
@@ -41,10 +47,14 @@ val build :
   ?dfa_config:Dfa.config ->
   ?cfa_config:Dialed_tinycfa.Instrument.config ->
   ?data:Dialed_msp430.Program.t ->
+  ?critical:(string * int) list ->
   ?or_min:int -> ?or_max:int -> ?stack_top:int ->
   op:Dialed_msp430.Program.t ->
   unit -> built
-(** Raises {!Error} (or the passes' own errors) on contract violations. *)
+(** Raises {!Error} (or the passes' own errors) on contract violations.
+    [critical] lists the critical globals as [(symbol, size_bytes)]
+    (from {!Dialed_minic.Minic.compiled}'s [criticals]); each symbol must
+    resolve in the image. *)
 
 val device : ?key:string -> built -> Dialed_apex.Device.t
 (** Convenience: a fresh prover loaded with the built image. *)

@@ -116,15 +116,28 @@ type plan = {
   plan_ns : string;              (* memo namespace, fixed at build time *)
 }
 
+(* The audit configuration a build must be judged against: a selective
+   build is audited with its own resolved critical ranges, whatever the
+   caller passed — auditing a reduced-discipline binary against the full
+   discipline (or with no critical set) would be meaningless. *)
+let effective_audit_config ?(config = S.Audit.default_config) built =
+  if built.Pipeline.selective then
+    { config with
+      S.Audit.selective = Some built.Pipeline.critical_ranges }
+  else config
+
 (* Run the static auditor over an assembled build: load the image into a
    scratch memory and audit the ER range by its bytes alone. *)
-let audit_built ?config built =
+let audit_built_timed ?config built =
+  let config = effective_audit_config ?config built in
   let scratch = Memory.create () in
   Assemble.load built.Pipeline.image scratch;
   let open A.Layout in
   let l = built.Pipeline.layout in
-  S.Audit.audit ?config ~mem:scratch ~er_min:l.er_min ~er_max:l.er_max
+  S.Audit.audit_timed ~config ~mem:scratch ~er_min:l.er_min ~er_max:l.er_max
     ~or_min:l.or_min ~or_max:l.or_max ()
+
+let audit_built ?config built = fst (audit_built_timed ?config built)
 
 (* Plans whose policies differ must never share memo entries, but policy
    closures are opaque — so any plan carrying policies gets a namespace
@@ -140,6 +153,17 @@ let plan ?(key = A.Device.default_key) ?(policies = [])
        (Printf.sprintf
           "Verifier.plan: replay verification needs the DIALED variant, got %s"
           (Pipeline.variant_name v)));
+  (* a reduced-discipline (selective) build is only sound when the
+     dataflow audit has proven its unlogged flows replayable — so the
+     audit is a hard precondition of every selective plan, caller-armed
+     or not, and it always runs with the build's critical ranges *)
+  let audit =
+    match audit with
+    | Some config -> Some (effective_audit_config ~config built)
+    | None when built.Pipeline.selective ->
+      Some (effective_audit_config built)
+    | None -> None
+  in
   let sites = Array.make 0x8000 [] in
   List.iter
     (fun (addr, annots) ->

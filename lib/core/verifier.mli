@@ -113,7 +113,11 @@ val plan :
     once here, at plan-build time, and its report rides in the plan.
     Every subsequent {!verify_plan} call rejects up front — before even
     looking at the token — when the audit found the instrumentation
-    broken. Omitting [audit] skips the stage entirely. *)
+    broken. Omitting [audit] skips the stage entirely — except for a
+    {e selective} build ({!Pipeline.built.selective}), where the audit
+    (including its dataflow pass) is a hard precondition of the reduced
+    discipline and always runs, against the build's own
+    [critical_ranges]. *)
 
 val plan_audit : plan -> Dialed_staticcheck.Report.t option
 (** The audit report captured at plan-build time, when [audit] was
@@ -139,14 +143,30 @@ val log_digest : Dialed_apex.Pox.report -> string
     the replay. [Dialed_apex.Wire.decode_digested] computes the same
     digest incrementally during wire decode. *)
 
+val effective_audit_config :
+  ?config:Dialed_staticcheck.Audit.config ->
+  Pipeline.built -> Dialed_staticcheck.Audit.config
+(** The configuration a build must be audited against: for a selective
+    build, [config] with [selective] forced to the build's resolved
+    critical ranges; otherwise [config] unchanged (default
+    {!Dialed_staticcheck.Audit.default_config}). *)
+
 val audit_built :
   ?config:Dialed_staticcheck.Audit.config ->
   Pipeline.built -> Dialed_staticcheck.Report.t
 (** Run the static auditor over an assembled build without building a
     plan: loads the image into a scratch memory and audits the ER range
-    from its bytes alone. Works on any variant — auditing a
-    [Cfa_only]/[Unmodified] build is exactly how one demonstrates what
-    the auditor rejects. *)
+    from its bytes alone (always via {!effective_audit_config}). Works on
+    any variant — auditing a [Cfa_only]/[Unmodified] build is exactly how
+    one demonstrates what the auditor rejects. *)
+
+val audit_built_timed :
+  ?config:Dialed_staticcheck.Audit.config ->
+  Pipeline.built ->
+  Dialed_staticcheck.Report.t * Dialed_staticcheck.Audit.timings
+(** {!audit_built} plus the per-pass wall-clock breakdown
+    (scan / register discipline / footprint / dataflow microseconds) —
+    what the lint bench reports. *)
 
 type scratch
 (** A reusable replay arena: one 64 KiB sandbox {!Dialed_msp430.Memory}

@@ -106,8 +106,10 @@ let find_or_build cache ?(key = Dialed_apex.Device.default_key) ?policies
           Mutex.lock cache.mutex;
           Hashtbl.remove cache.building k;
           (* count the audit only now that the build (and therefore the
-             audit inside it) actually ran to completion *)
-          (if audit <> None then cache.audits <- cache.audits + 1);
+             audit inside it) actually ran to completion; selective
+             builds are always audited, armed or not *)
+          (if audit <> None || built.C.Pipeline.selective then
+             cache.audits <- cache.audits + 1);
           if not (Hashtbl.mem cache.table k) then begin
             if Hashtbl.length cache.table >= cache.capacity then
               evict_lru cache;

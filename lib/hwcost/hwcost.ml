@@ -67,6 +67,80 @@ let estimate_monitor (_ : Dialed_apex.Layout.t) =
     est_registers = state_bits + sampled_signal_bits }
 
 (* ------------------------------------------------------------------ *)
+(* Selective-attestation savings (OAT-style reduced discipline).       *)
+
+type log_cost = {
+  lc_or_bytes : int;
+  lc_cycles : int;
+}
+
+type selective_savings = {
+  ss_app : string;
+  ss_cfa : log_cost;
+  ss_full : log_cost;
+  ss_selective : log_cost;
+}
+
+(* The CF-Log is identical across disciplines (the CFA pass never sees
+   the DFA pass's synthetic code), so the DFA data-log overhead of a
+   variant is its OR usage minus the Tiny-CFA baseline's. *)
+let data_log_bytes ~over:cfa v = max 0 (v.lc_or_bytes - cfa.lc_or_bytes)
+
+let ratio num den =
+  if den = 0 then if num = 0 then 1.0 else infinity
+  else float_of_int num /. float_of_int den
+
+let data_log_reduction s =
+  ratio
+    (data_log_bytes ~over:s.ss_cfa s.ss_full)
+    (data_log_bytes ~over:s.ss_cfa s.ss_selective)
+
+let total_log_reduction s = ratio s.ss_full.lc_or_bytes s.ss_selective.lc_or_bytes
+
+let report_bytes_saved s = s.ss_full.lc_or_bytes - s.ss_selective.lc_or_bytes
+
+let cycle_overhead_reduction s =
+  ratio
+    (max 0 (s.ss_full.lc_cycles - s.ss_cfa.lc_cycles))
+    (max 0 (s.ss_selective.lc_cycles - s.ss_cfa.lc_cycles))
+
+let cycles_saved s = s.ss_full.lc_cycles - s.ss_selective.lc_cycles
+
+let pp_selective ppf s =
+  Format.fprintf ppf
+    "%s: data log %dB -> %dB (%.1fx), report %dB -> %dB (%.2fx, %dB saved), \
+     DFA cycles %d -> %d (%.2fx, %d saved)"
+    s.ss_app
+    (data_log_bytes ~over:s.ss_cfa s.ss_full)
+    (data_log_bytes ~over:s.ss_cfa s.ss_selective)
+    (data_log_reduction s)
+    s.ss_full.lc_or_bytes s.ss_selective.lc_or_bytes
+    (total_log_reduction s) (report_bytes_saved s)
+    (max 0 (s.ss_full.lc_cycles - s.ss_cfa.lc_cycles))
+    (max 0 (s.ss_selective.lc_cycles - s.ss_cfa.lc_cycles))
+    (cycle_overhead_reduction s) (cycles_saved s)
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else if Float.is_finite f then Printf.sprintf "%.4f" f
+  else "null"
+
+let selective_to_json s =
+  Printf.sprintf
+    "{\"app\":%S,\"or_bytes\":{\"cfa\":%d,\"full\":%d,\"selective\":%d},\
+     \"cycles\":{\"cfa\":%d,\"full\":%d,\"selective\":%d},\
+     \"data_log_reduction\":%s,\"total_log_reduction\":%s,\
+     \"report_bytes_saved\":%d,\"cycle_overhead_reduction\":%s}"
+    s.ss_app
+    s.ss_cfa.lc_or_bytes s.ss_full.lc_or_bytes s.ss_selective.lc_or_bytes
+    s.ss_cfa.lc_cycles s.ss_full.lc_cycles s.ss_selective.lc_cycles
+    (json_float (data_log_reduction s))
+    (json_float (total_log_reduction s))
+    (report_bytes_saved s)
+    (json_float (cycle_overhead_reduction s))
+
+(* ------------------------------------------------------------------ *)
 
 let yes_no b = if b then "yes" else "-"
 

@@ -51,6 +51,50 @@ val estimate_monitor : Dialed_apex.Layout.t -> estimate
     per watched bound on the PC and data-address buses (~8 LUTs each on a
     4-input-LUT fabric), plus decision glue, plus registered state. *)
 
+(** {1 Selective-attestation savings}
+
+    The OAT-style reduced discipline trades log entries for read guards.
+    These helpers turn three measured runs of the same operation —
+    Tiny-CFA only, full DIALED, selective DIALED — into the headline
+    savings numbers. The CF-Log is bit-identical across the three (the
+    CFA pass never instruments the DFA pass's synthetic code), so
+    [or_bytes(variant) - or_bytes(cfa)] isolates the DFA data-log
+    overhead each discipline pays. *)
+
+type log_cost = {
+  lc_or_bytes : int;   (** OR bytes the run consumed (or_max - final r4) *)
+  lc_cycles : int;     (** device cycles for the run *)
+}
+
+type selective_savings = {
+  ss_app : string;
+  ss_cfa : log_cost;        (** Tiny-CFA baseline: CF-Log only *)
+  ss_full : log_cost;       (** full DIALED discipline *)
+  ss_selective : log_cost;  (** OAT-style reduced discipline *)
+}
+
+val data_log_reduction : selective_savings -> float
+(** DFA data-log overhead shrink factor:
+    [(full - cfa) / (selective - cfa)] over OR bytes. [infinity] when
+    the selective build logs no data at all. *)
+
+val total_log_reduction : selective_savings -> float
+(** Whole-report shrink factor (CF-Log included) — what the radio sees. *)
+
+val report_bytes_saved : selective_savings -> int
+(** OR bytes the reduced discipline removes from every PoX report. *)
+
+val cycle_overhead_reduction : selective_savings -> float
+(** DFA runtime-overhead shrink factor over cycles, measured the same
+    way against the Tiny-CFA baseline. *)
+
+val cycles_saved : selective_savings -> int
+
+val pp_selective : Format.formatter -> selective_savings -> unit
+
+val selective_to_json : selective_savings -> string
+(** One JSON object per app, for the bench artifacts. *)
+
 val table1_rows : unit -> (string * string * string * string * string) list
 (** Formatted rows: (technique, CFA, DFA, LUTs, registers), starting with
     the MSP430 baseline — Table I verbatim. *)

@@ -37,8 +37,8 @@ type func = {
 }
 
 type global =
-  | Gvar of string * int
-  | Garray of string * int * int list
+  | Gvar of string * int * bool
+  | Garray of string * int * int list * bool
   | Gio of string * io_width * int
   | Gfunc of func
 
@@ -90,9 +90,11 @@ and pp_block ppf b =
 
 let pp_global ppf g =
   match g with
-  | Gvar (n, v) -> Format.fprintf ppf "int %s = %d;" n v
-  | Garray (n, size, inits) ->
-    Format.fprintf ppf "int %s[%d] = {%a};" n size
+  | Gvar (n, v, crit) ->
+    Format.fprintf ppf "%sint %s = %d;" (if crit then "critical " else "") n v
+  | Garray (n, size, inits, crit) ->
+    Format.fprintf ppf "%sint %s[%d] = {%a};"
+      (if crit then "critical " else "") n size
       (Format.pp_print_list
          ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
          Format.pp_print_int)

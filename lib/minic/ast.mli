@@ -45,8 +45,11 @@ type func = {
 }
 
 type global =
-  | Gvar of string * int
-  | Garray of string * int * int list  (** name, size, initializers *)
+  | Gvar of string * int * bool
+      (** name, initializer, critical: a [critical] global must stay
+          covered by F4 logging even under selective attestation *)
+  | Garray of string * int * int list * bool
+      (** name, size, initializers, critical *)
   | Gio of string * io_width * int     (** name, width, address *)
   | Gfunc of func
 

@@ -487,9 +487,9 @@ let generate ~entry env program =
   List.iter
     (fun g ->
        match g with
-       | Ast.Gvar (n, v) ->
+       | Ast.Gvar (n, v, _) ->
          Buffer.add_string data_buf (Printf.sprintf "%s:\n    .word %d\n" n v)
-       | Ast.Garray (n, size, inits) ->
+       | Ast.Garray (n, size, inits, _) ->
          let padded =
            inits @ List.init (size - List.length inits) (fun _ -> 0)
          in

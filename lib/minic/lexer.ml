@@ -12,8 +12,8 @@ exception Error of int * string
 let fail line fmt = Format.kasprintf (fun s -> raise (Error (line, s))) fmt
 
 let keywords =
-  [ "int"; "char"; "void"; "volatile"; "if"; "else"; "while"; "for";
-    "return"; "break"; "continue" ]
+  [ "int"; "char"; "void"; "volatile"; "critical"; "if"; "else"; "while";
+    "for"; "return"; "break"; "continue" ]
 
 (* multi-character punctuation, longest first *)
 let puncts3 = [ "<<="; ">>=" ]

@@ -8,6 +8,7 @@ type compiled = {
   op : Dialed_msp430.Program.t;
   data : Dialed_msp430.Program.t;
   op_text : string;
+  criticals : (string * int) list;
 }
 
 let compile ?(entry = "main") ?(optimize = true) source =
@@ -36,4 +37,5 @@ let compile ?(entry = "main") ?(optimize = true) source =
   let op = if optimize then Dialed_msp430.Peephole.optimize op else op in
   { ast; env; op;
     data = parse_asm "data" output.Codegen.data_text;
-    op_text = output.Codegen.op_text }
+    op_text = output.Codegen.op_text;
+    criticals = env.Typecheck.criticals }

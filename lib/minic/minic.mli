@@ -11,6 +11,9 @@ type compiled = {
   op : Dialed_msp430.Program.t;    (** operation body (entry fn first) *)
   data : Dialed_msp430.Program.t;  (** globals *)
   op_text : string;                (** the generated assembly, for display *)
+  criticals : (string * int) list;
+      (** globals declared [critical] (name, size in bytes); the inputs a
+          selective-attestation build must keep logging *)
 }
 
 val compile : ?entry:string -> ?optimize:bool -> string -> compiled

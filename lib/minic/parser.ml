@@ -389,8 +389,13 @@ let parse_global st =
     Ast.Gio (id, width, addr)
   end
   else begin
+    let critical = try_kw st "critical" in
     let returns_value =
-      if try_kw st "void" then false
+      if critical then begin
+        eat_kw st "int";
+        true
+      end
+      else if try_kw st "void" then false
       else begin
         eat_kw st "int";
         true
@@ -399,6 +404,8 @@ let parse_global st =
     let id = eat_ident st in
     match peek st with
     | Lexer.PUNCT "(" ->
+      if critical then
+        fail (line st) "'critical' applies to global variables, not functions";
       let params = parse_params st in
       if List.length params > 8 then
         fail (line st) "at most 8 parameters are supported";
@@ -426,15 +433,15 @@ let parse_global st =
       eat_punct st ";";
       if List.length inits > size then
         fail (line st) "too many initializers for %s[%d]" id size;
-      Ast.Garray (id, size, inits)
+      Ast.Garray (id, size, inits, critical)
     | Lexer.PUNCT "=" ->
       advance st;
       let v = eat_int st in
       eat_punct st ";";
-      Ast.Gvar (id, v)
+      Ast.Gvar (id, v, critical)
     | Lexer.PUNCT ";" ->
       advance st;
-      Ast.Gvar (id, 0)
+      Ast.Gvar (id, 0, critical)
     | _ -> fail (line st) "expected '(', '[', '=' or ';' after %s" id
   end
 

@@ -10,13 +10,15 @@ type kind =
 type env = {
   globals : (string * kind) list;
   funcs : (string * (int * bool)) list;
+  criticals : (string * int) list;
+      (* critical globals: name -> object size in bytes *)
 }
 
 let lookup_global env name = List.assoc_opt name env.globals
 let lookup_func env name = List.assoc_opt name env.funcs
 
 let collect_env program =
-  let globals = ref [] and funcs = ref [] in
+  let globals = ref [] and funcs = ref [] and criticals = ref [] in
   let declare_global name kind =
     if List.mem_assoc name !globals || List.mem_assoc name !funcs then
       fail "duplicate global name %s" name;
@@ -25,10 +27,13 @@ let collect_env program =
   List.iter
     (fun g ->
        match g with
-       | Ast.Gvar (n, _) -> declare_global n Kglobal
-       | Ast.Garray (n, size, _) ->
+       | Ast.Gvar (n, _, crit) ->
+         declare_global n Kglobal;
+         if crit then criticals := (n, 2) :: !criticals
+       | Ast.Garray (n, size, _, crit) ->
          if size <= 0 then fail "array %s has non-positive size" n;
-         declare_global n (Karray size)
+         declare_global n (Karray size);
+         if crit then criticals := (n, 2 * size) :: !criticals
        | Ast.Gio (n, w, addr) ->
          if addr < 0 || addr > 0xFFFF then fail "io register %s address out of range" n;
          declare_global n (Kio (w, addr))
@@ -37,7 +42,8 @@ let collect_env program =
            fail "duplicate global name %s" f.fname;
          funcs := (f.fname, (List.length f.params, f.returns_value)) :: !funcs)
     program;
-  { globals = List.rev !globals; funcs = List.rev !funcs }
+  { globals = List.rev !globals; funcs = List.rev !funcs;
+    criticals = List.rev !criticals }
 
 let rec check_expr env locals ~as_value e =
   match e with

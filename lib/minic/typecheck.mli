@@ -11,6 +11,9 @@ type kind =
 type env = {
   globals : (string * kind) list;
   funcs : (string * (int * bool)) list;  (** name -> (arity, returns value) *)
+  criticals : (string * int) list;
+      (** globals declared [critical], with their object size in bytes —
+          the set a selective-attestation build must keep F4-covered *)
 }
 
 val check : Ast.program -> env

@@ -8,14 +8,29 @@ type config = Scan.config = {
   trust_frame_reads : bool;
   loop_bound : int option;
   require_bounded : bool;
+  selective : (int * int) list option;
+  dataflow : bool;
 }
 
 let default_config = Scan.default_config
 
+type timings = {
+  scan_us : float;
+  regdiscipline_us : float;
+  footprint_us : float;
+  dataflow_us : float;
+}
+
 (* OR holds 2-byte log entries over [or_min, or_max + 1]. *)
 let capacity_entries ~or_min ~or_max = ((or_max - or_min) / 2) + 1
 
-let audit ?(config = default_config) ~mem ~er_min ~er_max ~or_min ~or_max () =
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1e6)
+
+let audit_timed ?(config = default_config) ~mem ~er_min ~er_max ~or_min
+    ~or_max () =
   let stream = Stream.of_memory mem ~lo:er_min ~hi:er_max in
   let undecodable =
     match stream.Stream.stopped with
@@ -29,7 +44,9 @@ let audit ?(config = default_config) ~mem ~er_min ~er_max ~or_min ~or_max () =
           { reason = "no check guard branches to a self-loop" } ]
     else []
   in
-  let scan = Scan.run ~config ~stream ~abort ~or_min ~or_max in
+  let scan, scan_us =
+    timed (fun () -> Scan.run ~config ~stream ~abort ~or_min ~or_max)
+  in
   let cfg = B.build mem ~lo:er_min ~hi:er_max ~entry:er_min in
   let allowed =
     let tbl = Hashtbl.create 256 in
@@ -38,15 +55,27 @@ let audit ?(config = default_config) ~mem ~er_min ~er_max ~or_min ~or_max () =
          match mk with
          | Scan.Seq | Scan.AbortLoop ->
            Hashtbl.replace tbl (Stream.get stream i).Stream.addr ()
-         | Scan.App | Scan.Cf_site | Scan.Checked_store | Scan.Checked_read ->
+         | Scan.App | Scan.Cf_site | Scan.Checked_store | Scan.Checked_read
+         | Scan.Guarded_read ->
            ())
       scan.Scan.marks;
     fun addr -> Hashtbl.mem tbl addr
   in
-  let reg_findings = Regdiscipline.check ~cfg ~allowed in
-  let footprint =
-    Footprint.worst_case ~cfg ~appends:scan.Scan.appends
-      ?loop_bound:config.loop_bound ~entry:er_min ()
+  let reg_findings, regdiscipline_us =
+    timed (fun () -> Regdiscipline.check ~cfg ~allowed)
+  in
+  let footprint, footprint_us =
+    timed (fun () ->
+        Footprint.worst_case ~cfg ~appends:scan.Scan.appends
+          ?loop_bound:config.loop_bound ~entry:er_min ())
+  in
+  (* the semantic pass only makes sense on a decodable ER *)
+  let df_findings, dataflow_us =
+    if config.dataflow && undecodable = [] then
+      timed (fun () ->
+          Dataflow.run ~config ~stream ~scan ~cfg ~entry:er_min ~abort
+            ~or_min ~or_max)
+    else ([], 0.)
   in
   let capacity = capacity_entries ~or_min ~or_max in
   let fp_findings =
@@ -67,7 +96,12 @@ let audit ?(config = default_config) ~mem ~er_min ~er_max ~or_min ~or_max () =
       capacity_entries = capacity;
       footprint }
   in
-  { R.findings =
-      undecodable @ abort_findings @ scan.Scan.findings @ reg_findings
-      @ fp_findings;
-    stats }
+  ({ R.findings =
+       R.normalize
+         (undecodable @ abort_findings @ scan.Scan.findings @ reg_findings
+          @ fp_findings @ df_findings);
+     stats },
+   { scan_us; regdiscipline_us; footprint_us; dataflow_us })
+
+let audit ?config ~mem ~er_min ~er_max ~or_min ~or_max () =
+  fst (audit_timed ?config ~mem ~er_min ~er_max ~or_min ~or_max ())

@@ -2,8 +2,9 @@
 
     Runs the whole pipeline over nothing but the bytes in memory: linear
     sweep, abort-loop discovery, the completeness scan, the r4
-    register-discipline pass over the recovered CFG, and the worst-case
-    log footprint analysis. Produces one structured {!Report.t}.
+    register-discipline pass over the recovered CFG, the worst-case
+    log footprint analysis, and the semantic {!Dataflow} taint pass.
+    Produces one structured, normalized {!Report.t}.
 
     The auditor proves the instrumentation is {e present and intact};
     the replay engine then proves the logged values are {e consistent}
@@ -17,9 +18,22 @@ type config = Scan.config = {
   trust_frame_reads : bool;
   loop_bound : int option;
   require_bounded : bool;
+  selective : (int * int) list option;
+      (** [Some ranges]: audit against the OAT-style selective discipline
+          with these critical address ranges (inclusive); read guards are
+          accepted and the {!Dataflow} pass owns static-read coverage *)
+  dataflow : bool;
+      (** run the semantic taint pass (default true) *)
 }
 
 val default_config : config
+
+type timings = {
+  scan_us : float;
+  regdiscipline_us : float;
+  footprint_us : float;
+  dataflow_us : float;
+}
 
 val capacity_entries : or_min:int -> or_max:int -> int
 (** Log entries the OR can hold. *)
@@ -33,3 +47,15 @@ val audit :
   or_max:int ->
   unit ->
   Report.t
+
+val audit_timed :
+  ?config:config ->
+  mem:Dialed_msp430.Memory.t ->
+  er_min:int ->
+  er_max:int ->
+  or_min:int ->
+  or_max:int ->
+  unit ->
+  Report.t * timings
+(** Same audit, plus wall-clock microseconds per pass — the lint bench's
+    per-pass breakdown. *)

@@ -105,6 +105,58 @@ let store_check_matches sc ins =
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
+(* Selective read guard (OAT-style):
+   push s; mov base, s; [add #x, s;] cmp #lo, s; jc ok1;
+   mov #abort, pc; ok1: cmp #hi, s; jnc ok2; mov #abort, pc;
+   ok2: mov @sp+, s                                                    *)
+
+type read_guard = {
+  rg_index : int;
+  rg_scratch : int;
+  rg_base : int;
+  rg_offset : int;      (* 0 when the emitter elided the add *)
+  rg_lo : int;
+  rg_hi_excl : int;
+  rg_next : int;        (* index of the guarded read *)
+}
+
+let read_guard t ~abort i =
+  let ins k =
+    if k < Stream.length t then Some (Stream.get t k).Stream.ins else None
+  in
+  match ins i, ins (i + 1) with
+  | Some (Isa.One (Isa.PUSH, Isa.Word, Isa.Sreg s0)),
+    Some (Isa.Two (Isa.MOV, Isa.Word, Isa.Sreg base, Isa.Dreg s1))
+    when s0 = s1 ->
+    let j, x =
+      match ins (i + 2) with
+      | Some (Isa.Two (Isa.ADD, Isa.Word, Isa.Simm x, Isa.Dreg s2))
+        when s2 = s0 -> (i + 3, x)
+      | _ -> (i + 2, 0)
+    in
+    (match Stream.slice t j 7 with
+     | Some [ e0; e1; e2; e3; e4; e5; e6 ] ->
+       (match e0.Stream.ins, e1.Stream.ins, e2.Stream.ins, e3.Stream.ins,
+              e4.Stream.ins, e5.Stream.ins, e6.Stream.ins with
+        | Isa.Two (Isa.CMP, Isa.Word, Isa.Simm lo, Isa.Dreg c0),
+          Isa.Jump (Isa.JC, off1),
+          Isa.Two (Isa.MOV, Isa.Word, Isa.Simm a1, Isa.Dreg 0),
+          Isa.Two (Isa.CMP, Isa.Word, Isa.Simm hi, Isa.Dreg c3),
+          Isa.Jump (Isa.JNC, off4),
+          Isa.Two (Isa.MOV, Isa.Word, Isa.Simm a2, Isa.Dreg 0),
+          Isa.Two (Isa.MOV, Isa.Word, Isa.Sindirect_inc 1, Isa.Dreg c6)
+          when c0 = s0 && c3 = s0 && c6 = s0
+               && Some a1 = abort && Some a2 = abort
+               && Stream.jump_target e1 off1 = e3.Stream.addr
+               && Stream.jump_target e4 off4 = e6.Stream.addr ->
+          Some { rg_index = i; rg_scratch = s0; rg_base = base;
+                 rg_offset = x; rg_lo = lo land 0xFFFF;
+                 rg_hi_excl = hi land 0xFFFF; rg_next = j + 7 }
+        | _ -> None)
+     | _ -> None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
 (* F4 read range check (Fig. 5).                                       *)
 
 (* The effective-address prefix computed into the scratch register. *)
@@ -143,6 +195,18 @@ let dynamic_candidates ins =
   | Isa.One (Isa.CALL, _, _) -> []
   | Isa.One (_, _, src) -> Option.to_list (of_src src)
   | Isa.Jump _ | Isa.Reti -> []
+
+(* does this read guard cover the given read instruction's dynamic
+   effective address? *)
+let read_guard_matches rg ins =
+  List.exists
+    (fun cand ->
+       match cand with
+       | Ea_base_offset (b, x) ->
+         b = rg.rg_base && x land 0xFFFF = rg.rg_offset land 0xFFFF
+       | Ea_base b -> b = rg.rg_base && rg.rg_offset = 0
+       | Ea_imm _ -> false)
+    (dynamic_candidates ins)
 
 let prefix_covers prefix ins =
   let eq16 a b = a land 0xFFFF = b land 0xFFFF in

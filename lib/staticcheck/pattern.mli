@@ -49,6 +49,27 @@ val store_check_matches : store_check -> Dialed_msp430.Isa.instr -> bool
 (** Whether the guarded store writes through exactly the checked
     effective address. *)
 
+type read_guard = {
+  rg_index : int;
+  rg_scratch : int;
+  rg_base : int;
+  rg_offset : int;   (** 0 when the emitter elided the add *)
+  rg_lo : int;
+  rg_hi_excl : int;
+  rg_next : int;     (** index of the guarded read *)
+}
+
+val read_guard : Stream.t -> abort:int option -> int -> read_guard option
+(** The OAT-style selective alternative to an F4 log
+    ({!Dialed_tinycfa.Instrument.read_guard}): [push s; mov base, s;
+    \[add #x, s;\] cmp #lo, s; jc ok1; mov #abort, pc; ok1: cmp #hi, s;
+    jnc ok2; mov #abort, pc; ok2: mov @sp+, s]. Proves the effective
+    address stays inside [\[lo, hi)] instead of logging the value. *)
+
+val read_guard_matches : read_guard -> Dialed_msp430.Isa.instr -> bool
+(** Whether the guarded read's dynamic operand is exactly the checked
+    effective address. *)
+
 type read_check = {
   rc_index : int;
   rc_append : append;

@@ -18,6 +18,9 @@ type finding =
   | Reti_in_er of { at : int }
   | Log_overflow of { worst : int; capacity : int }
   | Unbounded_footprint of { reason : string }
+  | Untracked_flow_to_or of { at : int; source : int; trace : int list }
+  | Critical_not_covered of { at : int; ea : int }
+  | Overtainted_indirect of { at : int; reason : string }
 
 let finding_kind f =
   match f with
@@ -36,6 +39,9 @@ let finding_kind f =
   | Reti_in_er _ -> "reti"
   | Log_overflow _ -> "log-overflow"
   | Unbounded_footprint _ -> "unbounded-footprint"
+  | Untracked_flow_to_or _ -> "untracked-flow-or"
+  | Critical_not_covered _ -> "critical-not-covered"
+  | Overtainted_indirect _ -> "overtainted-indirect"
 
 let finding_addr f =
   match f with
@@ -44,7 +50,9 @@ let finding_addr f =
   | Unlogged_control_flow { at; _ } | Wrong_logged_operand { at }
   | Unchecked_store { at } | Unchecked_read { at } | Unlogged_input { at }
   | Reserved_register_clobber { at; _ } | Static_store_into_or { at; _ }
-  | Reti_in_er { at } -> Some at
+  | Reti_in_er { at } | Untracked_flow_to_or { at; _ }
+  | Critical_not_covered { at; _ } | Overtainted_indirect { at; _ } ->
+    Some at
   | No_abort_loop _ | Log_overflow _ | Unbounded_footprint _ -> None
 
 let pp_growth ppf g =
@@ -90,6 +98,38 @@ let pp_finding ppf f =
       capacity
   | Unbounded_footprint { reason } ->
     Format.fprintf ppf "log footprint not statically bounded: %s" reason
+  | Untracked_flow_to_or { at; source; trace } ->
+    Format.fprintf ppf
+      "unattested value read at 0x%04x reaches the attested output at \
+       0x%04x%s"
+      source at
+      (if trace = [] then ""
+       else
+         " via "
+         ^ String.concat ", "
+             (List.map (Printf.sprintf "0x%04x") trace))
+  | Critical_not_covered { at; ea } ->
+    Format.fprintf ppf
+      "read of critical/peripheral address 0x%04x at 0x%04x has no \
+       covering I-Log append"
+      ea at
+  | Overtainted_indirect { at; reason } ->
+    Format.fprintf ppf
+      "guarded indirect access at 0x%04x may reach attested state: %s" at
+      reason
+
+(* canonical order for presentation and diffing: by anchor address, then
+   kind; structurally identical findings collapse to one *)
+let normalize findings =
+  let key f =
+    ((match finding_addr f with Some a -> a | None -> max_int),
+     finding_kind f)
+  in
+  List.sort_uniq
+    (fun a b ->
+       let c = compare (key a) (key b) in
+       if c <> 0 then c else compare a b)
+    findings
 
 type stats = {
   er_bytes : int;
@@ -154,10 +194,18 @@ let to_json t =
     | Unbounded reason -> Printf.sprintf "{\"unbounded\":%S}" reason
   in
   let finding_json f =
+    let extra =
+      match f with
+      | Untracked_flow_to_or { source; trace; _ } ->
+        Printf.sprintf ",\"source\":%d,\"trace\":[%s]" source
+          (String.concat "," (List.map string_of_int trace))
+      | Critical_not_covered { ea; _ } -> Printf.sprintf ",\"ea\":%d" ea
+      | _ -> ""
+    in
     match finding_addr f with
     | Some at ->
-      Printf.sprintf "{\"kind\":%S,\"at\":%d}" (finding_kind f) at
-    | None -> Printf.sprintf "{\"kind\":%S}" (finding_kind f)
+      Printf.sprintf "{\"kind\":%S,\"at\":%d%s}" (finding_kind f) at extra
+    | None -> Printf.sprintf "{\"kind\":%S%s}" (finding_kind f) extra
   in
   Printf.sprintf
     "{\"ok\":%b,\"findings\":[%s],\"er_bytes\":%d,\"instructions\":%d,\
@@ -169,3 +217,43 @@ let to_json t =
     t.stats.input_sites t.stats.store_checks t.stats.read_checks
     t.stats.capacity_entries
     (growth_json t.stats.footprint)
+
+(* SARIF 2.1.0; finding addresses map to physicalLocation.address, since
+   the artifact is a raw binary with no source URIs. Strings are either
+   fixed in-code alphabets or pp_finding output (hex and fixed words), so
+   %S quoting is enough here too. *)
+let sarif_run ~uri t =
+  let kinds = List.sort_uniq compare (List.map finding_kind t.findings) in
+  let rule k = Printf.sprintf "{\"id\":%S}" k in
+  let result f =
+    let msg = Format.asprintf "%a" pp_finding f in
+    let loc =
+      match finding_addr f with
+      | Some at ->
+        Printf.sprintf
+          ",\"locations\":[{\"physicalLocation\":{\"artifactLocation\":\
+           {\"uri\":%S},\"address\":{\"absoluteAddress\":%d}}}]"
+          uri at
+      | None -> ""
+    in
+    Printf.sprintf
+      "{\"ruleId\":%S,\"level\":\"error\",\"message\":{\"text\":%S}%s}"
+      (finding_kind f) msg loc
+  in
+  Printf.sprintf
+    "{\"tool\":{\"driver\":{\"name\":\"dialed-lint\",\"rules\":[%s]}},\
+     \"artifacts\":[{\"location\":{\"uri\":%S}}],\"results\":[%s]}"
+    (String.concat "," (List.map rule kinds))
+    uri
+    (String.concat "," (List.map result t.findings))
+
+let sarif_doc runs =
+  Printf.sprintf
+    "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+     \"version\":\"2.1.0\",\"runs\":[%s]}"
+    (String.concat "," runs)
+
+let to_sarif ?(uri = "attested-operation.bin") t = sarif_doc [ sarif_run ~uri t ]
+
+let to_sarif_multi reports =
+  sarif_doc (List.map (fun (uri, t) -> sarif_run ~uri t) reports)

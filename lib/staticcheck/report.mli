@@ -26,6 +26,16 @@ type finding =
   | Reti_in_er of { at : int }
   | Log_overflow of { worst : int; capacity : int }
   | Unbounded_footprint of { reason : string }
+  | Untracked_flow_to_or of { at : int; source : int; trace : int list }
+      (** dataflow: the value read (unattested) at [source] reaches the
+          attested output at [at]; [trace] is a bounded witness path of
+          intermediate instruction addresses *)
+  | Critical_not_covered of { at : int; ea : int }
+      (** dataflow: a read of the critical/peripheral address [ea] has no
+          covering I-Log append *)
+  | Overtainted_indirect of { at : int; reason : string }
+      (** dataflow: a guarded indirect access whose proven address range
+          still overlaps MMIO, the critical set or the OR *)
 
 val finding_kind : finding -> string
 (** Stable short tag ("unlogged-cf", "r4-clobber", ...) — the error class
@@ -36,6 +46,11 @@ val finding_addr : finding -> int option
 
 val pp_finding : Format.formatter -> finding -> unit
 val pp_growth : Format.formatter -> growth -> unit
+
+val normalize : finding list -> finding list
+(** Canonical presentation order — sorted by (anchor address, kind), with
+    structurally identical findings deduplicated. Every audit report is
+    normalized before printing or serialization. *)
 
 type stats = {
   er_bytes : int;
@@ -61,3 +76,13 @@ val summary : t -> string
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> string
+
+val to_sarif : ?uri:string -> t -> string
+(** SARIF 2.1.0 log with one rule per finding kind present and one result
+    per finding; addresses surface as
+    [physicalLocation.address.absoluteAddress] against the (binary)
+    artifact [uri]. *)
+
+val to_sarif_multi : (string * t) list -> string
+(** One SARIF log with one run per [(artifact uri, report)] pair — the
+    shape [dialed lint --all --sarif] emits. *)

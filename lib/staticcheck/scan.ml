@@ -8,27 +8,33 @@ type config = {
   trust_frame_reads : bool;
   loop_bound : int option;
   require_bounded : bool;
+  selective : (int * int) list option;
+  dataflow : bool;
 }
 
 let default_config =
   { check_stores = true; log_uncond_jumps = true; trust_frame_reads = true;
-    loop_bound = None; require_bounded = false }
+    loop_bound = None; require_bounded = false; selective = None;
+    dataflow = true }
 
 type mark =
   | App            (* plain application instruction *)
   | Cf_site        (* control-flow instruction consumed by a CF append *)
   | Checked_store  (* store guarded by a preceding F5 check *)
   | Checked_read   (* duplicated load inside an F4 region *)
+  | Guarded_read   (* read covered by a selective read guard *)
   | Seq            (* instrumentation-sequence instruction *)
   | AbortLoop
 
 type t = {
   marks : mark array;
   appends : (int * [ `Cf | `Input ]) list;
+  guards : (int * (int * int)) list;
   cf_sites : int;
   input_sites : int;
   store_checks : int;
   read_checks : int;
+  read_guards : int;
   findings : R.finding list;
 }
 
@@ -56,8 +62,10 @@ let run ~config ~stream ~abort ~or_min ~or_max =
   let findings = ref [] in
   let add f = findings := f :: !findings in
   let appends = ref [] in
+  let guards = ref [] in
   let cf_sites = ref 0 and input_sites = ref 0 in
   let store_checks = ref 0 and read_checks = ref 0 in
+  let read_guards = ref 0 in
   let cf_start = Hashtbl.create 32 in     (* CF-append start address *)
   let input_start = Hashtbl.create 32 in  (* input-append start index *)
   let seq i j = for k = i to j - 1 do marks.(k) <- Seq done in
@@ -146,6 +154,28 @@ let run ~config ~stream ~abort ~or_min ~or_max =
              i := sc.Pattern.sc_next
            end
          | None ->
+           (match Pattern.read_guard stream ~abort !i with
+            | Some rg ->
+              incr read_guards;
+              seq !i rg.Pattern.rg_next;
+              if rg.Pattern.rg_next < n
+                 && Pattern.read_guard_matches rg
+                      (Stream.get stream rg.Pattern.rg_next).Stream.ins
+              then begin
+                let at = (Stream.get stream rg.Pattern.rg_next).Stream.addr in
+                marks.(rg.Pattern.rg_next) <- Guarded_read;
+                guards :=
+                  (at, (rg.Pattern.rg_lo, rg.Pattern.rg_hi_excl)) :: !guards;
+                i := rg.Pattern.rg_next + 1
+              end
+              else begin
+                add (R.Malformed_append
+                       { at = e.Stream.addr;
+                         reason = "read guard does not cover the following \
+                                   read" });
+                i := rg.Pattern.rg_next
+              end
+            | None ->
            (match Pattern.append stream ~abort ~or_min !i with
             | Some ap ->
               let nxt = ap.Pattern.ap_next in
@@ -173,7 +203,7 @@ let run ~config ~stream ~abort ~or_min ~or_max =
                 marks.(!i) <- Seq;
                 incr i
               end
-              else incr i))
+              else incr i)))
   done;
   (* ---- completeness rules over what remains application code ---- *)
   let classify_src s =
@@ -210,6 +240,11 @@ let run ~config ~stream ~abort ~or_min ~or_max =
     let e = Stream.get stream idx in
     match marks.(idx) with
     | Seq | AbortLoop | Cf_site | Checked_read -> ()
+    | Guarded_read ->
+      (* a guard replaces the F4 log only under the selective discipline;
+         under the full discipline the read's value is still unlogged *)
+      if config.selective = None then
+        add (R.Unchecked_read { at = e.Stream.addr })
     | (App | Checked_store) as m ->
       (match e.Stream.ins with
        | Isa.Reti -> add (R.Reti_in_er { at = e.Stream.addr })
@@ -262,7 +297,10 @@ let run ~config ~stream ~abort ~or_min ~or_max =
          let statics =
            List.length (List.filter (fun c -> c = `Static) classes)
          in
-         if statics > 0 then begin
+         (* under the selective discipline, static-read coverage is owned
+            by the dataflow pass (non-critical globals are legitimately
+            unlogged: the replay reproduces them) *)
+         if statics > 0 && config.selective = None then begin
            let ok = ref true in
            let cur = ref (idx + 1) in
            for _ = 1 to statics do
@@ -275,8 +313,10 @@ let run ~config ~stream ~abort ~or_min ~or_max =
   done;
   { marks;
     appends = List.rev !appends;
+    guards = List.rev !guards;
     cf_sites = !cf_sites;
     input_sites = !input_sites;
     store_checks = !store_checks;
     read_checks = !read_checks;
+    read_guards = !read_guards;
     findings = List.rev !findings }

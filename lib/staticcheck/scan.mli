@@ -15,17 +15,29 @@ type config = {
   trust_frame_reads : bool; (** treat r6-based accesses as stack accesses *)
   loop_bound : int option;  (** iteration bound for footprint loops *)
   require_bounded : bool;   (** report an unbounded footprint as a finding *)
+  selective : (int * int) list option;
+      (** [Some ranges]: the binary uses the OAT-style selective
+          discipline and [ranges] are the critical address ranges
+          (inclusive). The scan then accepts read guards in place of F4
+          logs and cedes static-read coverage to the {!Dataflow} pass.
+          [None]: full discipline — every input must be logged, and a
+          guard does not count as a check. *)
+  dataflow : bool;
+      (** run the taint/dataflow audit after the syntactic passes
+          (consulted by {!Audit}, not by the scan itself) *)
 }
 
 val default_config : config
 (** Matches the emitter defaults: stores checked, [jmp] logged, frame
-    reads trusted, no loop bound, unbounded footprint tolerated. *)
+    reads trusted, no loop bound, unbounded footprint tolerated, full
+    discipline, dataflow on. *)
 
 type mark =
   | App
   | Cf_site
   | Checked_store
   | Checked_read
+  | Guarded_read
   | Seq
   | AbortLoop
 
@@ -34,10 +46,14 @@ type t = {
   appends : (int * [ `Cf | `Input ]) list;
       (** start address and kind of every recognized append, in program
           order *)
+  guards : (int * (int * int)) list;
+      (** guarded-read address -> proven EA range [\[lo, hi)], in program
+          order *)
   cf_sites : int;
   input_sites : int;
   store_checks : int;
   read_checks : int;
+  read_guards : int;
   findings : Report.finding list;
 }
 

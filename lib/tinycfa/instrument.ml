@@ -149,6 +149,30 @@ let store_check ~fresh x_expr base_reg scratch =
     P.Synth (P.Two (Isa.MOV, Isa.Word, P.Ind_inc Isa.sp, P.Reg scratch)) ]
 
 (* ------------------------------------------------------------------ *)
+(* Selective read guard (OAT-style).                                   *)
+
+(* Instead of logging a dynamic read's value, prove its effective
+   address stays inside the declared (non-critical) object
+   [lo, lo+size): the replay then reproduces the value from its own
+   memory, so no log entry is needed. Aborts on escape, exactly like
+   the F5 store check aborts on a log-range hit. *)
+let read_guard ~fresh ~lo ~size_bytes base_reg offset scratch =
+  [ P.Annot (P.Synth_mark "guard");
+    P.Synth (P.One (Isa.PUSH, Isa.Word, P.Reg scratch));
+    P.Synth (P.Two (Isa.MOV, Isa.Word, P.Reg base_reg, P.Reg scratch)) ]
+  @ (match offset with
+     | Some e ->
+       [ P.Synth (P.Two (Isa.ADD, Isa.Word, P.Imm e, P.Reg scratch)) ]
+     | None -> [])
+  @ [ P.Synth (P.Two (Isa.CMP, Isa.Word, P.Imm lo, P.Reg scratch)) ]
+  @ abort_unless ~fresh Isa.JC   (* ea >= lo *)
+  @ [ P.Synth (P.Two (Isa.CMP, Isa.Word,
+                      P.Imm (P.Add (lo, P.Num size_bytes)),
+                      P.Reg scratch)) ]
+  @ abort_unless ~fresh Isa.JNC  (* ea < lo + size *)
+  @ [ P.Synth (P.Two (Isa.MOV, Isa.Word, P.Ind_inc Isa.sp, P.Reg scratch)) ]
+
+(* ------------------------------------------------------------------ *)
 
 let instrument ?(config = default_config) prog =
   validate_contract prog;

@@ -65,6 +65,20 @@ val entry_check :
   fresh:(unit -> string) -> Dialed_msp430.Program.item list
 (** [cmp #__OR_MAX, r4; <abort unless equal>] — Fig. 4 lines 2-4. *)
 
+val read_guard :
+  fresh:(unit -> string) -> lo:Dialed_msp430.Program.expr ->
+  size_bytes:int -> Dialed_msp430.Isa.reg ->
+  Dialed_msp430.Program.expr option -> Dialed_msp430.Isa.reg ->
+  Dialed_msp430.Program.item list
+(** [read_guard ~fresh ~lo ~size_bytes base offset scratch]: the
+    OAT-style selective alternative to an F4 read log. Computes the
+    effective address [base + offset] into the (pushed) scratch register
+    and aborts unless it stays inside the declared object
+    [\[lo, lo+size_bytes)]. A guarded read needs no log entry: the
+    verifier's replay reproduces the value from its own memory once the
+    address provably avoids MMIO, the critical set and the log itself —
+    which the static dataflow audit re-checks from the binary. *)
+
 val instrument :
   ?config:config -> Dialed_msp430.Program.t -> Dialed_msp430.Program.t
 (** Instrument an operation body. Prepends {!entry_check}, rewrites

@@ -362,6 +362,183 @@ let test_mutation_corpus () =
            S.Report.pp r)
     mutants
 
+(* ---------------------------------------------------------------- *)
+(* Dataflow mutation corpus: mutations that keep every instrumentation
+   sequence syntactically recognizable — or that remove instrumentation
+   the pattern scan does not own under the selective discipline — so
+   only the semantic taint pass can catch them. Each mutant is audited
+   three ways: the unpatched build must be clean, the patched build
+   must STILL be clean with the dataflow pass switched off (proving the
+   syntactic checks alone cannot see the mutation), and the full audit
+   must reject it with the expected class.                             *)
+
+let audit_mem_cfg config built mem =
+  let l = built.C.Pipeline.layout in
+  S.Audit.audit ~config ~mem ~er_min:l.A.Layout.er_min
+    ~er_max:l.A.Layout.er_max ~or_min:l.A.Layout.or_min
+    ~or_max:l.A.Layout.or_max ()
+
+(* the configuration the verifier would audit this build against *)
+let audit_config ?(dataflow = true) built =
+  let selective =
+    if built.C.Pipeline.selective then
+      Some built.C.Pipeline.critical_ranges
+    else None
+  in
+  { S.Audit.default_config with S.Audit.selective; dataflow }
+
+let selective_build ?data ?(critical = []) op_src =
+  let dfa_config =
+    { C.Dfa.default_config with
+      C.Dfa.selective = Some { C.Dfa.critical = List.map fst critical } }
+  in
+  C.Pipeline.build ~dfa_config
+    ?data:(Option.map Asm_parse.parse data)
+    ~critical ~op:(Asm_parse.parse op_src) ()
+
+let full_build ?data op_src =
+  C.Pipeline.build
+    ?data:(Option.map Asm_parse.parse data)
+    ~op:(Asm_parse.parse op_src) ()
+
+let nop_word = 0x4303 (* mov r3, r3 *)
+
+(* overwrite stream entries [i, i + count) with NOPs, word by word *)
+let nop_entries mem stream i count =
+  let lo = (S.Stream.get stream i).S.Stream.addr in
+  let hi = (S.Stream.get stream (i + count)).S.Stream.addr in
+  let a = ref lo in
+  while !a < hi do
+    M.Memory.poke16 mem !a nop_word;
+    a := !a + 2
+  done
+
+(* NOP the whole I-Log append that follows the matching instruction *)
+let nop_append_after pred built mem =
+  let stream = stream_of built mem in
+  let i, _ = find_entry stream (fun _ e -> pred built e.S.Stream.ins) in
+  nop_entries mem stream (i + 1) S.Pattern.append_len
+
+(* retarget the logged source register of the append following the
+   matching instruction: mov rSRC, 0(r4) -> mov rNEW, 0(r4) *)
+let retarget_append_src pred ~new_reg built mem =
+  let stream = stream_of built mem in
+  let i, _ = find_entry stream (fun _ e -> pred built e.S.Stream.ins) in
+  let head = S.Stream.get stream (i + 1) in
+  (match head.S.Stream.ins with
+   | Isa.Two (Isa.MOV, _, Isa.Sreg _, Isa.Dindexed (0, 4)) -> ()
+   | ins ->
+     Alcotest.failf "expected a register-logging append head, found %a"
+       Isa.pp ins);
+  let w = M.Memory.peek16 mem head.S.Stream.addr in
+  M.Memory.poke16 mem head.S.Stream.addr
+    ((w land 0xF0FF) lor (new_reg lsl 8))
+
+let is_mmio_read _ ins =
+  ins = Isa.Two (Isa.MOV, Isa.Word, Isa.Sabsolute 0x0140, Isa.Dreg 15)
+
+let is_crit_read built ins =
+  let crit = M.Assemble.symbol built.C.Pipeline.image "crit" in
+  ins = Isa.Two (Isa.MOV, Isa.Word, Isa.Sabsolute crit, Isa.Dreg 15)
+
+(* each: (name, build, patch, expected kind, extra check on the report) *)
+let df_mutants =
+  [ ("selective: MMIO append removed",
+     (fun () ->
+        selective_build
+          "op:\n    mov &0x0140, r15\n    mov r15, r10\n    ret\n"),
+     nop_append_after is_mmio_read,
+     "critical-not-covered",
+     (fun _ -> true));
+    ("full: append logs the wrong register",
+     (fun () ->
+        full_build
+          "op:\n    mov &0x0140, r15\n    mov r15, &0x0078\n    ret\n"),
+     retarget_append_src is_mmio_read ~new_reg:14,
+     "untracked-flow-or",
+     (fun _ -> true));
+    ("selective: critical-global append removed",
+     (fun () ->
+        selective_build ~data:"crit:\n    .word 42\n"
+          ~critical:[ ("crit", 2) ]
+          "op:\n    mov &crit, r15\n    mov r15, r10\n    ret\n"),
+     nop_append_after is_crit_read,
+     "critical-not-covered",
+     (fun _ -> true));
+    ("selective: read guard widened into the OR",
+     (fun () ->
+        selective_build ~data:"arr:\n    .space 8\n"
+          "op:\n\
+          \    mov #2, r14\n\
+          \    .annot load arr arr 8\n\
+          \    mov arr(r14), r15\n\
+          \    ret\n"),
+     (fun built mem ->
+        (* the guard's upper cmp #(arr+8) immediate is widened so the
+           proven EA range reaches into the OR; the pattern recognizer
+           still accepts the guard, only the taint pass re-checks the
+           range *)
+        let hi = M.Assemble.symbol built.C.Pipeline.image "arr" + 8 in
+        let _, e =
+          find_entry (stream_of built mem) (fun _ e ->
+              match e.S.Stream.ins with
+              | Isa.Two (Isa.CMP, Isa.Word, Isa.Simm m, Isa.Dreg _) ->
+                m = hi
+              | _ -> false)
+        in
+        M.Memory.poke16 mem (e.S.Stream.addr + 2)
+          (built.C.Pipeline.layout.A.Layout.or_min + 0x80)),
+     "overtainted-indirect",
+     (fun _ -> true));
+    ("full: taint laundered through a frame slot",
+     (fun () ->
+        full_build
+          "op:\n\
+          \    sub #6, r1\n\
+          \    mov r1, r6\n\
+          \    mov &0x0140, r15\n\
+          \    mov r15, 2(r6)\n\
+          \    mov 2(r6), r14\n\
+          \    mov r14, &0x0078\n\
+          \    add #6, r1\n\
+          \    ret\n"),
+     retarget_append_src is_mmio_read ~new_reg:13,
+     "untracked-flow-or",
+     (* the witness path must walk through the spill/reload laundering *)
+     (fun r ->
+        List.exists
+          (fun f ->
+             match f with
+             | S.Report.Untracked_flow_to_or { trace; _ } -> trace <> []
+             | _ -> false)
+          r.S.Report.findings)) ]
+
+let test_dataflow_mutation_corpus () =
+  List.iter
+    (fun (name, mk, patch, expected, extra) ->
+       let built = mk () in
+       let clean = audit_mem_cfg (audit_config built) built (mem_of built) in
+       if not (S.Report.ok clean) then
+         Alcotest.failf "%s: baseline not clean:@.%a" name S.Report.pp clean;
+       let mem = mem_of built in
+       patch built mem;
+       let syntactic =
+         audit_mem_cfg (audit_config ~dataflow:false built) built mem
+       in
+       if not (S.Report.ok syntactic) then
+         Alcotest.failf
+           "%s: the pattern scan alone already sees the mutation \
+            (it must be dataflow-only):@.%a"
+           name S.Report.pp syntactic;
+       let r = audit_mem_cfg (audit_config built) built mem in
+       check_bool (name ^ ": mutant rejected") false (S.Report.ok r);
+       let ks = List.map S.Report.finding_kind r.S.Report.findings in
+       if not (List.mem expected ks) then
+         Alcotest.failf "%s: expected class %s, report was:@.%a" name
+           expected S.Report.pp r;
+       check_bool (name ^ ": witness check") true (extra r))
+    df_mutants
+
 (* The gating stage: a plan built with ~audit over a doctored image
    rejects every report up front with bad-instrumentation — before the
    token is even looked at. *)
@@ -405,6 +582,51 @@ let test_audit_gates_verification () =
   let genuine = C.Verifier.plan ~audit:S.Audit.default_config built in
   check_bool "genuine binary still accepted" true
     (C.Verifier.verify_plan genuine report).C.Verifier.accepted
+
+(* A selective build needs no explicit ~audit: the reduced discipline
+   makes the audit (including the dataflow pass) a hard precondition,
+   so the plan runs it unconditionally and a doctored selective image
+   is rejected before any replay — the same report verifies against
+   the genuine image. *)
+let test_selective_plan_always_gates () =
+  let run = Apps.run ~selective:true Apps.fire_sensor in
+  let built = run.Apps.built in
+  let report = A.Device.attest run.Apps.device ~challenge:"sel-gate" in
+  let genuine = C.Verifier.plan built in
+  check_bool "benign selective run verifies" true
+    (C.Verifier.verify_plan genuine report).C.Verifier.accepted;
+  (* NOP one MMIO append out of the image, rebuilding the segments from
+     patched memory; the pattern scan cannot see it (selective cedes
+     static-read coverage to the dataflow pass) *)
+  let mem = mem_of built in
+  let stream = stream_of built mem in
+  let i, _ =
+    find_entry stream (fun _ e ->
+        match e.S.Stream.ins with
+        | Isa.Two (Isa.MOV, Isa.Word, Isa.Sabsolute a, Isa.Dreg _) ->
+          a < 0x0200
+        | _ -> false)
+  in
+  nop_entries mem stream (i + 1) S.Pattern.append_len;
+  let patched_segments =
+    List.map
+      (fun (base, data) ->
+         ( base,
+           String.init (String.length data) (fun k ->
+               Char.chr (M.Memory.peek8 mem (base + k))) ))
+      built.C.Pipeline.image.M.Assemble.segments
+  in
+  let doctored =
+    { built with
+      C.Pipeline.image =
+        { built.C.Pipeline.image with
+          M.Assemble.segments = patched_segments } }
+  in
+  let outcome = C.Verifier.verify_plan (C.Verifier.plan doctored) report in
+  check_bool "doctored selective binary rejected" true
+    (not outcome.C.Verifier.accepted);
+  Alcotest.(check (list string)) "rejected by the forced audit, pre-token"
+    [ "bad-instrumentation" ] (kinds outcome)
 
 (* ---------------------------------------------------------------- *)
 (* Scratch-arena equivalence: replaying through one reused
@@ -476,5 +698,9 @@ let suites =
          test_empty_shadow_stack_reported;
        Alcotest.test_case "auditor mutation corpus" `Quick
          test_mutation_corpus;
+       Alcotest.test_case "dataflow mutation corpus" `Quick
+         test_dataflow_mutation_corpus;
        Alcotest.test_case "audit gates verification" `Quick
-         test_audit_gates_verification ]) ]
+         test_audit_gates_verification;
+       Alcotest.test_case "selective plan always gates" `Quick
+         test_selective_plan_always_gates ]) ]

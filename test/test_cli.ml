@@ -42,6 +42,35 @@ let test_help_is_zero () =
   check_code "subcommand help" 0 "serve --help";
   check_code "version" 0 "--version"
 
+let test_lint_flags () =
+  (* the selective discipline and the dataflow switch stay exit-0 on
+     clean in-tree binaries *)
+  check_code "lint selective" 0 "lint --all --selective";
+  check_code "lint no-dataflow" 0 "lint --all --no-dataflow";
+  (* a non-positive loop bound is a usage error, not a finding *)
+  check_code "loop-bound zero" 2 "lint --all --loop-bound 0";
+  check_code "loop-bound negative" 2 "lint --all --loop-bound=-3"
+
+let test_lint_sarif_output () =
+  let path = Filename.temp_file "dialed-lint" ".sarif" in
+  let code = run (Printf.sprintf "lint --all --sarif %s" (Filename.quote path)) in
+  Alcotest.(check int) "lint --sarif exits 0" 0 code;
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "sarif file non-empty" true (len > 0);
+  let contains needle =
+    let nh = String.length body and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub body i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "sarif file carries the 2.1.0 header" true
+    (contains "2.1.0");
+  Alcotest.(check bool) "one run per linted app" true
+    (contains "fire-sensor.bin")
+
 let test_serve_smoke () =
   (* ephemeral port, fixed duration: starts, serves nothing, exits 0 *)
   check_code "serve window" 0 "serve --port 0 --duration 0.2 --domains 1"
@@ -52,4 +81,6 @@ let suites =
        Alcotest.test_case "rejection -> 1" `Quick test_rejection_is_one;
        Alcotest.test_case "usage error -> 2" `Quick test_usage_error_is_two;
        Alcotest.test_case "help/version -> 0" `Quick test_help_is_zero;
+       Alcotest.test_case "lint flags" `Quick test_lint_flags;
+       Alcotest.test_case "lint sarif output" `Quick test_lint_sarif_output;
        Alcotest.test_case "serve smoke" `Quick test_serve_smoke ]) ]

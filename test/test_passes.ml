@@ -156,7 +156,7 @@ let test_dfa_frame_trust_config () =
   let trusted = Dfa.instrument prog in
   let untrusted =
     Dfa.instrument
-      ~config:{ Dfa.static_fast_path = true; trust_frame_reads = false }
+      ~config:{ Dfa.static_fast_path = true; trust_frame_reads = false; selective = None }
       prog
   in
   check_int "trusted: no extra site" 9 (count_inputs trusted);
@@ -184,7 +184,7 @@ let test_dfa_static_fast_path_config () =
   let literal =
     P.instr_count
       (Dfa.instrument
-         ~config:{ Dfa.static_fast_path = false; trust_frame_reads = true }
+         ~config:{ Dfa.static_fast_path = false; trust_frame_reads = true; selective = None }
          prog)
   in
   check_bool "literal Fig. 5 checks cost more" true (literal > fast)

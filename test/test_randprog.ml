@@ -89,18 +89,21 @@ let rec pp_stmt buf indent s =
     List.iter (pp_stmt buf (indent + 2)) body;
     Buffer.add_string buf (pad ^ "}\n")
 
-let program_source stmts =
+let program_source ?(critical = []) stmts =
   loop_counter := 0;
   let buf = Buffer.create 1024 in
+  let mark name = if List.mem name critical then "critical " else "" in
   Buffer.add_string buf
-    {|int g0 = 3;
-int g1 = -5;
-int t[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    (Printf.sprintf
+       {|%sint g0 = 3;
+%sint g1 = -5;
+%sint t[8] = {1, 2, 3, 4, 5, 6, 7, 8};
 int twice(int x) { return x + x; }
 int main(int p0, int p1) {
   int a0 = 0;
   int a1 = 1;
-|};
+|}
+       (mark "g0") (mark "g1") (mark "t"));
   List.iter (pp_stmt buf 2) stmts;
   Buffer.add_string buf
     {|  return a0 + a1 + g0 + g1 + t[0] + t[3] + t[7];
@@ -265,9 +268,111 @@ let prop_cfa_walker_validates_random_paths =
             | None -> "?")
        else true)
 
+(* ----------------------------------------------------------------- *)
+(* Selective-attestation soundness: over random programs and random
+   non-empty critical subsets, a selectively instrumented binary that
+   passes the dataflow audit gives the same verdict as the fully
+   instrumented one — accepted when benign, and identical accept/reject
+   on every pre-run tampering of a critical global. The reduced
+   discipline trades away detection of non-critical RAM tampering only;
+   this pins that the trade never reaches the critical set.            *)
+
+module S = Dialed_staticcheck
+
+let build_disciplines source =
+  let compiled = Minic.compile source in
+  let build selective =
+    let dfa_config =
+      if selective then
+        { C.Dfa.default_config with
+          C.Dfa.selective =
+            Some
+              { C.Dfa.critical =
+                  List.map fst compiled.Minic.criticals } }
+      else C.Dfa.default_config
+    in
+    C.Pipeline.build ~dfa_config ~data:compiled.Minic.data
+      ~critical:compiled.Minic.criticals ~op:compiled.Minic.op
+      ~or_min:0x0280 ()
+  in
+  (build false, build true, compiled.Minic.criticals)
+
+(* verdict on a device whose critical global [name] was tampered with
+   before the run; None when the tampered run never completes *)
+let tampered_verdict built name size =
+  let device = C.Pipeline.device built in
+  let mem = A.Device.memory device in
+  let addr = M.Assemble.symbol built.C.Pipeline.image name in
+  for k = 0 to (size / 2) - 1 do
+    let a = addr + (2 * k) in
+    M.Memory.poke16 mem a (M.Memory.peek16 mem a lxor 0x5A5A)
+  done;
+  let run = A.Device.run_operation ~args:[ 5; 9 ] device in
+  if not run.A.Device.completed then None
+  else begin
+    let report = A.Device.attest device ~challenge:"sel-tamper" in
+    let outcome = C.Verifier.verify_plan (C.Verifier.plan built) report in
+    Some outcome.C.Verifier.accepted
+  end
+
+let prop_selective_soundness =
+  QCheck.Test.make
+    ~name:"random programs: selective verdicts match full on critical \
+           tampering"
+    ~count:15
+    (QCheck.pair arb_program
+       (QCheck.triple QCheck.bool QCheck.bool QCheck.bool))
+    (fun (stmts, (c0, c1, ct)) ->
+       QCheck.assume (c0 || c1 || ct);
+       let critical =
+         List.concat
+           [ (if c0 then [ "g0" ] else []);
+             (if c1 then [ "g1" ] else []);
+             (if ct then [ "t" ] else []) ]
+       in
+       let source = program_source ~critical stmts in
+       let full, sel, criticals = build_disciplines source in
+       (* the reduced discipline is only sound behind a clean audit *)
+       let audit = C.Verifier.audit_built sel in
+       if not (S.Report.ok audit) then
+         QCheck.Test.fail_reportf
+           "selective build failed its own dataflow audit:\n%s\n%s" source
+           (Format.asprintf "%a" S.Report.pp audit);
+       (* benign runs: both disciplines accept *)
+       let benign built =
+         let device = C.Pipeline.device built in
+         let run = A.Device.run_operation ~args:[ 5; 9 ] device in
+         run.A.Device.completed
+         &&
+         let report = A.Device.attest device ~challenge:"sel-benign" in
+         (C.Verifier.verify_plan (C.Verifier.plan built) report)
+           .C.Verifier.accepted
+       in
+       if not (benign full && benign sel) then
+         QCheck.Test.fail_reportf "benign run rejected:\n%s" source;
+       (* per-critical tampering: identical verdicts *)
+       List.iter
+         (fun (name, size) ->
+            let vf = tampered_verdict full name size in
+            let vs = tampered_verdict sel name size in
+            if vf <> vs then
+              QCheck.Test.fail_reportf
+                "verdicts diverge on tampered %s (full=%s selective=%s):\n%s"
+                name
+                (match vf with
+                 | None -> "no-run"
+                 | Some b -> string_of_bool b)
+                (match vs with
+                 | None -> "no-run"
+                 | Some b -> string_of_bool b)
+                source)
+         criticals;
+       true)
+
 let suites =
   [ ("random-programs",
      List.map QCheck_alcotest.to_alcotest
        [ prop_variants_agree; prop_benign_runs_verify;
          prop_tampered_log_never_verifies;
-         prop_cfa_walker_validates_random_paths ]) ]
+         prop_cfa_walker_validates_random_paths;
+         prop_selective_soundness ]) ]

@@ -123,6 +123,60 @@ let test_capacity () =
     (S.Audit.capacity_entries ~or_min:0x0400 ~or_max:0x05FE)
 
 (* ------------------------------------------------------------------ *)
+(* selective discipline: every in-tree binary also audits clean when
+   built selectively (the dataflow pass proves the dropped F4 coverage
+   safe), and a read guard is only an acceptable substitute for a log
+   entry under that discipline *)
+
+let test_selective_apps_audit_clean () =
+  List.iter
+    (fun app ->
+       let built = A.build ~selective:true app in
+       let r = audit built in
+       Alcotest.(check string)
+         (app.A.name ^ " selective audits clean") ""
+         (if S.Report.ok r then "" else report_str r))
+    A.all
+
+let guarded_op =
+  "op:\n\
+  \    mov #2, r14\n\
+  \    .annot load arr arr 8\n\
+  \    mov arr(r14), r15\n\
+  \    ret\n"
+
+let guarded_build () =
+  let dfa_config =
+    { C.Dfa.default_config with
+      C.Dfa.selective = Some { C.Dfa.critical = [] } }
+  in
+  C.Pipeline.build ~dfa_config
+    ~data:(parse "arr:\n    .space 8\n")
+    ~op:(parse guarded_op) ()
+
+let test_read_guard_selective_only () =
+  let built = guarded_build () in
+  (* under its own discipline the guarded binary is clean *)
+  check_bool "selective build carries the reduced discipline" true
+    built.C.Pipeline.selective;
+  check_bool "guarded read audits clean under selective" true
+    (S.Report.ok (audit built));
+  (* the same binary audited against the FULL discipline is rejected: a
+     guard is not a log entry. [Verifier.audit_built] would force the
+     build's own discipline back on, so call the auditor directly. *)
+  let mem = M.Memory.create () in
+  M.Assemble.load built.C.Pipeline.image mem;
+  let l = built.C.Pipeline.layout in
+  let r =
+    S.Audit.audit ~mem
+      ~er_min:l.Dialed_apex.Layout.er_min ~er_max:l.Dialed_apex.Layout.er_max
+      ~or_min:l.Dialed_apex.Layout.or_min ~or_max:l.Dialed_apex.Layout.or_max
+      ()
+  in
+  check_bool "guard does not satisfy the full discipline" false
+    (S.Report.ok r)
+
+(* ------------------------------------------------------------------ *)
 (* plan integration + report serialization *)
 
 let test_plan_carries_audit () =
@@ -146,6 +200,50 @@ let test_json_shape () =
 let test_summary () =
   let r = audit (A.build A.syringe_pump) in
   Alcotest.(check string) "clean summary" "clean" (S.Report.summary r)
+
+(* findings are presented sorted by (anchor address, kind) and exact
+   duplicates collapse, whatever order the passes emitted them in *)
+let test_normalize_orders_and_dedupes () =
+  let a = S.Report.Unchecked_read { at = 0xE010 } in
+  let b = S.Report.Unchecked_store { at = 0xE004 } in
+  let c = S.Report.Critical_not_covered { at = 0xE004; ea = 0x0140 } in
+  let got = S.Report.normalize [ a; c; b; a; c ] in
+  Alcotest.(check (list string))
+    "sorted by (addr, kind), deduped"
+    [ "critical-not-covered"; "unchecked-store"; "unchecked-read" ]
+    (List.map S.Report.finding_kind got);
+  check_int "duplicates collapsed" 3 (List.length got)
+
+let test_sarif_shape () =
+  let clean = audit (A.build A.fire_sensor) in
+  let s = S.Report.to_sarif clean in
+  List.iter
+    (fun key -> check_bool ("sarif has " ^ key) true (contains s key))
+    [ "\"version\":\"2.1.0\""; "sarif-2.1.0.json"; "\"runs\""; "dialed-lint" ];
+  let bad = audit (A.build ~variant:C.Pipeline.Unmodified A.fire_sensor) in
+  let s = S.Report.to_sarif ~uri:"fire.bin" bad in
+  List.iter
+    (fun key -> check_bool ("sarif result has " ^ key) true (contains s key))
+    [ "\"ruleId\""; "unlogged-cf"; "absoluteAddress"; "fire.bin" ]
+
+let test_sarif_multi_one_run_per_app () =
+  (* two rejected builds, so each run carries results anchored to its
+     own artifact uri *)
+  let bad1 = audit (A.build ~variant:C.Pipeline.Cfa_only A.fire_sensor) in
+  let bad2 = audit (A.build ~variant:C.Pipeline.Unmodified A.fire_sensor) in
+  let s = S.Report.to_sarif_multi [ ("a.bin", bad1); ("b.bin", bad2) ] in
+  check_bool "first artifact present" true (contains s "a.bin");
+  check_bool "second artifact present" true (contains s "b.bin");
+  let count_driver =
+    let n = ref 0 in
+    let needle = "dialed-lint" in
+    let nh = String.length s and nn = String.length needle in
+    for i = 0 to nh - nn do
+      if String.sub s i nn = needle then incr n
+    done;
+    !n
+  in
+  check_int "one tool.driver per run" 2 count_driver
 
 (* ------------------------------------------------------------------ *)
 (* QCheck: encode/decode round-trip over the ISA subset the auditor
@@ -253,8 +351,17 @@ let suites =
        Alcotest.test_case "footprint overflow" `Quick
          test_footprint_overflow_flagged;
        Alcotest.test_case "capacity" `Quick test_capacity;
+       Alcotest.test_case "selective apps audit clean" `Quick
+         test_selective_apps_audit_clean;
+       Alcotest.test_case "read guard selective-only" `Quick
+         test_read_guard_selective_only;
        Alcotest.test_case "plan carries audit" `Quick test_plan_carries_audit;
        Alcotest.test_case "json shape" `Quick test_json_shape;
        Alcotest.test_case "summary" `Quick test_summary;
+       Alcotest.test_case "normalize orders and dedupes" `Quick
+         test_normalize_orders_and_dedupes;
+       Alcotest.test_case "sarif shape" `Quick test_sarif_shape;
+       Alcotest.test_case "sarif multi-run" `Quick
+         test_sarif_multi_one_run_per_app;
        QCheck_alcotest.to_alcotest roundtrip_test;
        QCheck_alcotest.to_alcotest audit_accepts_random ]) ]
