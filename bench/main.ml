@@ -1062,9 +1062,14 @@ type swarm_results = {
   sw_replay_us : float;       (* verifier replay cost per report *)
   sw_engine_raw : float;      (* reports/s, pre-attested input *)
   sw_engine_colocated : float;(* reports/s, attest+replay on this host *)
-  sw_loopback : N.Swarm.outcome;
+  sw_loopback : N.Swarm.outcome;     (* 48x16, evloop engine *)
   sw_loopback_stats : N.Server.stats;
-  sw_fleet : N.Swarm.outcome;       (* thousand-prover scale run *)
+  sw_threads : N.Swarm.outcome;      (* same load, thread-per-conn engine *)
+  sw_threads_stats : N.Server.stats;
+  sw_churn_4k : N.Swarm.outcome;     (* 4096 held sessions, multiplexed *)
+  sw_churn_4k_stats : N.Server.stats;
+  sw_churn_10k : N.Swarm.outcome;    (* 10240 held sessions, multiplexed *)
+  sw_churn_10k_stats : N.Server.stats;
   sw_tcp : N.Swarm.outcome;
   sw_tcp_stats : N.Server.stats;
 }
@@ -1138,27 +1143,42 @@ let swarm_measure () =
           d)
       ()
   in
-  let with_server ~listener f =
-    let server = N.Server.create ~config:server_config ~plan listener in
+  let with_server ?(config = server_config) ~listener f =
+    let server = N.Server.create ~config ~plan listener in
     N.Server.start server;
     let outcome = f () in
     (outcome, N.Server.stop server)
   in
-  let listener, dial = N.Transport.loopback_listener () in
-  let loopback, loopback_stats =
-    with_server ~listener (fun () ->
-        N.Swarm.run ~config:swarm_config ~dial ~respond ())
+  (* the same 48x16 load against each server engine: the readiness loop
+     must not cost throughput relative to thread-per-connection *)
+  let saturation engine =
+    let listener, dial = N.Transport.loopback_listener () in
+    with_server ~config:{ server_config with N.Server.engine } ~listener
+      (fun () -> N.Swarm.run ~config:swarm_config ~dial ~respond ())
   in
-  (* fleet-scale: a thousand provers, shallow sessions — connection and
-     session churn at scale rather than peak rate *)
-  let listener2, dial2 = N.Transport.loopback_listener () in
-  let fleet_scale, _ =
-    with_server ~listener:listener2 (fun () ->
-        N.Swarm.run
+  let loopback, loopback_stats = saturation N.Server.Evloop in
+  let threads, threads_stats = saturation N.Server.Threads in
+  (* churn sweeps: every session held open simultaneously (multiplexed
+     provers over 16 worker loops, barrier-released), shallow rounds,
+     memo armed over a folded fleet of 64 log shapes — the c10k shape:
+     held-connection count, not per-session depth, is the load *)
+  let churn ~clients ~rounds ~window =
+    let config =
+      { server_config with
+        N.Server.engine = N.Server.Evloop; max_conns = clients + 64;
+        memo = Some F.Memo.default_config }
+    in
+    let listener, dial = N.Transport.loopback_listener () in
+    with_server ~config ~listener (fun () ->
+        N.Swarm.run_multiplexed
           ~config:{ swarm_config with
-                    N.Swarm.clients = 1024; rounds = 2; window = 2;
-                    concurrency = 64 }
-          ~dial:dial2 ~respond ())
+                    N.Swarm.clients; rounds; window; concurrency = 16;
+                    distinct_logs = 64 }
+          ~dial ~respond ())
+  in
+  let churn_4k, churn_4k_stats = churn ~clients:4096 ~rounds:2 ~window:2 in
+  let churn_10k, churn_10k_stats =
+    churn ~clients:10240 ~rounds:1 ~window:1
   in
   (* a smaller confirmation run over real TCP sockets *)
   (* backlog must cover the simultaneous connect burst: a dropped SYN
@@ -1174,11 +1194,21 @@ let swarm_measure () =
   { sw_cores = cores; sw_attest_us = attest_us; sw_replay_us = replay_us;
     sw_engine_raw = engine_raw; sw_engine_colocated = engine_colocated;
     sw_loopback = loopback; sw_loopback_stats = loopback_stats;
-    sw_fleet = fleet_scale; sw_tcp = tcp; sw_tcp_stats = tcp_stats }
+    sw_threads = threads; sw_threads_stats = threads_stats;
+    sw_churn_4k = churn_4k; sw_churn_4k_stats = churn_4k_stats;
+    sw_churn_10k = churn_10k; sw_churn_10k_stats = churn_10k_stats;
+    sw_tcp = tcp; sw_tcp_stats = tcp_stats }
 
 let swarm_json r =
   let gap_raw = r.sw_engine_raw /. r.sw_loopback.N.Swarm.throughput in
   let gap_col = r.sw_engine_colocated /. r.sw_loopback.N.Swarm.throughput in
+  let evloop_vs_threads =
+    r.sw_loopback.N.Swarm.throughput /. r.sw_threads.N.Swarm.throughput
+  in
+  let max_held =
+    max r.sw_churn_4k_stats.N.Server.connections_peak
+      r.sw_churn_10k_stats.N.Server.connections_peak
+  in
   Printf.sprintf
     "{\n\
     \  \"experiment\": \"swarm_saturation\",\n\
@@ -1189,20 +1219,32 @@ let swarm_json r =
     \  \"engine_colocated_reports_per_sec\": %.1f,\n\
     \  \"gateway_gap_vs_raw_x\": %.3f,\n\
     \  \"gateway_gap_vs_colocated_x\": %.3f,\n\
+    \  \"evloop_vs_threads_x\": %.3f,\n\
+    \  \"max_held_connections\": %d,\n\
     \  \"gate_threshold_x\": 1.5,\n\
     \  \"gate_baseline\": \"%s\",\n\
     \  \"loopback\": %s,\n\
     \  \"loopback_server\": %s,\n\
-    \  \"fleet_scale\": %s,\n\
+    \  \"loopback_threads\": %s,\n\
+    \  \"loopback_threads_server\": %s,\n\
+    \  \"churn_4k\": %s,\n\
+    \  \"churn_4k_server\": %s,\n\
+    \  \"churn_10k\": %s,\n\
+    \  \"churn_10k_server\": %s,\n\
     \  \"tcp\": %s,\n\
     \  \"tcp_server\": %s\n\
      }\n"
     r.sw_cores r.sw_attest_us r.sw_replay_us r.sw_engine_raw
-    r.sw_engine_colocated gap_raw gap_col
+    r.sw_engine_colocated gap_raw gap_col evloop_vs_threads max_held
     (if r.sw_cores >= 2 then "raw" else "colocated")
     (N.Swarm.outcome_to_json r.sw_loopback)
     (N.Server.stats_to_json r.sw_loopback_stats)
-    (N.Swarm.outcome_to_json r.sw_fleet)
+    (N.Swarm.outcome_to_json r.sw_threads)
+    (N.Server.stats_to_json r.sw_threads_stats)
+    (N.Swarm.outcome_to_json r.sw_churn_4k)
+    (N.Server.stats_to_json r.sw_churn_4k_stats)
+    (N.Swarm.outcome_to_json r.sw_churn_10k)
+    (N.Server.stats_to_json r.sw_churn_10k_stats)
     (N.Swarm.outcome_to_json r.sw_tcp)
     (N.Server.stats_to_json r.sw_tcp_stats)
 
@@ -1214,10 +1256,19 @@ let swarm_report r =
   printf "%-48s %10.0f@." "engine, raw stream (reports/s)" r.sw_engine_raw;
   printf "%-48s %10.0f@." "engine, co-located attest+replay (reports/s)"
     r.sw_engine_colocated;
-  printf "%-48s %10.0f@." "gateway swarm, loopback (rounds/s)"
+  printf "%-48s %10.0f@." "gateway swarm, loopback evloop (rounds/s)"
     r.sw_loopback.N.Swarm.throughput;
-  printf "%-48s %10.0f@." "gateway swarm, 1024 provers (rounds/s)"
-    r.sw_fleet.N.Swarm.throughput;
+  printf "%-48s %10.0f@." "gateway swarm, loopback threads (rounds/s)"
+    r.sw_threads.N.Swarm.throughput;
+  printf "%-48s %10.2f@." "evloop vs threads (x)"
+    (r.sw_loopback.N.Swarm.throughput /. r.sw_threads.N.Swarm.throughput);
+  printf "%-48s %10.0f@." "churn, 4096 held sessions (rounds/s)"
+    r.sw_churn_4k.N.Swarm.throughput;
+  printf "%-48s %10.0f@." "churn, 10240 held sessions (rounds/s)"
+    r.sw_churn_10k.N.Swarm.throughput;
+  printf "%-48s %10d@." "peak simultaneously-held connections"
+    (max r.sw_churn_4k_stats.N.Server.connections_peak
+       r.sw_churn_10k_stats.N.Server.connections_peak);
   printf "%-48s %10.0f@." "gateway swarm, tcp (rounds/s)"
     r.sw_tcp.N.Swarm.throughput;
   printf "%-48s %10.2f@." "gap vs raw engine (x)" gap_raw;
@@ -1233,6 +1284,16 @@ let swarm_report r =
     r.sw_loopback_stats.N.Server.rate_limited
     r.sw_loopback_stats.N.Server.window_overflow
     r.sw_loopback_stats.N.Server.protocol_errors;
+  printf
+    "churn: 4096 held -> peak %d, %d busy, %d timeouts, %d failed; 10240 \
+     held -> peak %d, %d busy, %d timeouts, %d failed@."
+    r.sw_churn_4k_stats.N.Server.connections_peak
+    r.sw_churn_4k.N.Swarm.busy_bounces r.sw_churn_4k.N.Swarm.reply_timeouts
+    r.sw_churn_4k.N.Swarm.clients_failed
+    r.sw_churn_10k_stats.N.Server.connections_peak
+    r.sw_churn_10k.N.Swarm.busy_bounces
+    r.sw_churn_10k.N.Swarm.reply_timeouts
+    r.sw_churn_10k.N.Swarm.clients_failed;
   if r.sw_cores < 2 then
     printf
       "(1 core: provers and verifier share it, so attest %.0f us rides on \
@@ -1275,7 +1336,44 @@ let swarm_gate () =
     failwith
       (Printf.sprintf
          "swarm-gate: gateway %.2fx slower than the %s engine (budget \
-          1.5x) on %d cores" gap name cores)
+          1.5x) on %d cores" gap name cores);
+  (* the evloop checks compare two engine runs and a 4k-session churn
+     smoke; on a single core the scheduler interleaving between swarm
+     workers and the one gateway thread dominates both numbers, so the
+     comparison self-skips below 2 cores *)
+  if cores < 2 then
+    printf
+      "gate: evloop-vs-threads and churn checks skipped (%d core)@." cores
+  else begin
+    let ratio =
+      r.sw_loopback.N.Swarm.throughput /. r.sw_threads.N.Swarm.throughput
+    in
+    printf "gate: evloop %.0f vs threads %.0f rounds/s = %.2fx@."
+      r.sw_loopback.N.Swarm.throughput r.sw_threads.N.Swarm.throughput
+      ratio;
+    if ratio < 0.95 then
+      failwith
+        (Printf.sprintf
+           "swarm-gate: evloop engine %.2fx of threads at %dx%d (must \
+            not be worse)" ratio swarm_clients swarm_rounds);
+    let c = r.sw_churn_4k and cs = r.sw_churn_4k_stats in
+    printf "gate: churn smoke peak %d held, %d busy, %d timeouts@."
+      cs.N.Server.connections_peak c.N.Swarm.busy_bounces
+      c.N.Swarm.reply_timeouts;
+    if cs.N.Server.connections_peak < 4096 then
+      failwith
+        (Printf.sprintf
+           "swarm-gate: churn held only %d of 4096 sessions at peak"
+           cs.N.Server.connections_peak);
+    if c.N.Swarm.busy_bounces > 0 || c.N.Swarm.reply_timeouts > 0
+       || c.N.Swarm.clients_failed > 0
+    then
+      failwith
+        (Printf.sprintf
+           "swarm-gate: churn smoke unhealthy (%d busy, %d timeouts, %d \
+            failed)" c.N.Swarm.busy_bounces c.N.Swarm.reply_timeouts
+           c.N.Swarm.clients_failed)
+  end
 
 (* ------------------------------------------------------------------ *)
 

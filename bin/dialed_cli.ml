@@ -11,7 +11,7 @@
      dialed lint     [--app NAME | --file F | --all] [--variant V] [--json]
                      [--loop-bound K] [--require-bounded]
      dialed serve    [--app NAME] [--port P] [--domains D] [--rate R]
-                     [--max-window W] ...
+                     [--max-window W] [--engine evloop|threads] ...
      dialed prover   [--app NAME] [--host H] [--port P] [--rounds N]
                      [--device-id ID] [--tamper] [--pipeline W]
 
@@ -563,8 +563,20 @@ let serve_cmd =
     let doc = "Verdict-memo resident-byte ceiling (implies --memo)." in
     Arg.(value & opt (some int) None & info [ "memo-bytes" ] ~docv:"B" ~doc)
   in
+  let engine_arg =
+    let doc =
+      "Connection engine: $(b,evloop) (single-threaded readiness loop, \
+       holds thousands of idle provers) or $(b,threads) (one systhread \
+       per connection)."
+    in
+    let engine_conv =
+      Arg.enum [ ("evloop", N.Server.Evloop); ("threads", N.Server.Threads) ]
+    in
+    Arg.(value & opt engine_conv N.Server.Evloop
+         & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
   let run app file entry args port domains window max_window rate burst
-      max_conns deadline duration memo_flag memo_entries memo_bytes =
+      max_conns deadline duration memo_flag memo_entries memo_bytes engine =
     let app =
       match app, file with None, None -> Some "fire-sensor" | _ -> app
     in
@@ -597,8 +609,8 @@ let serve_cmd =
           in
           let config =
             { N.Server.default_config with
-              N.Server.max_conns; domains; window; max_window; rate;
-              burst; args; read_deadline = Some deadline; memo;
+              N.Server.engine; max_conns; domains; window; max_window;
+              rate; burst; args; read_deadline = Some deadline; memo;
               plan_cache = Some pcache }
           in
           let server = N.Server.create ~config ~plan listener in
@@ -607,8 +619,11 @@ let serve_cmd =
           (match duration with
            | Some s -> N.Server.start server; Thread.delay s
            | None ->
+             (* the handler runs on the serving thread itself, so it
+                must only *request* the stop (lock-free); the blocking
+                teardown happens below once serve_forever unwinds *)
              Sys.set_signal Sys.sigint
-               (Sys.Signal_handle (fun _ -> ignore (N.Server.stop server)));
+               (Sys.Signal_handle (fun _ -> N.Server.request_stop server));
              N.Server.serve_forever server);
           Format.printf "%a@." N.Server.pp_stats (N.Server.stop server);
           Ok 0)
@@ -622,7 +637,7 @@ let serve_cmd =
              $ port_arg ~default:4242 $ domains_arg $ window_arg
              $ max_window_arg $ rate_arg $ burst_arg $ max_conns_arg
              $ deadline_arg $ duration_arg $ memo_flag_arg
-             $ memo_entries_arg $ memo_bytes_arg))
+             $ memo_entries_arg $ memo_bytes_arg $ engine_arg))
 
 let prover_cmd =
   let host_arg =

@@ -291,6 +291,7 @@ type stream = {
   mutable st_polled : int;           (* next index stream_poll hands out *)
   mutable st_exn : exn option;
   mutable st_closed : bool;
+  mutable st_on_progress : (unit -> unit) option;
   st_t0 : float;
   (* running aggregates for non-destructive snapshots *)
   mutable st_accepted : int;
@@ -315,7 +316,8 @@ let stream ?domains ?pool ?window ?memo plan =
     st_window = window; st_mutex = Mutex.create ();
     st_progress = Condition.create (); st_results = Array.make 64 None;
     st_submitted = 0; st_inflight = 0; st_polled = 0; st_exn = None;
-    st_closed = false; st_t0 = Unix.gettimeofday (); st_accepted = 0;
+    st_closed = false; st_on_progress = None;
+    st_t0 = Unix.gettimeofday (); st_accepted = 0;
     st_rejected = 0; st_steps = 0; st_kinds = Hashtbl.create 8 }
 
 (* Wait (helping the pool) until [cond ()] turns false; call with
@@ -328,12 +330,10 @@ let help_while st cond =
     if (not ran) && cond () then Condition.wait st.st_progress st.st_mutex
   done
 
-let stream_submit ?digest st device_id report =
-  Mutex.lock st.st_mutex;
-  if st.st_closed then begin
-    Mutex.unlock st.st_mutex;
-    invalid_arg "Fleet.stream_submit: stream is closed"
-  end;
+(* Register the next submission and build its replay job. Call with
+   [st_mutex] held and [st_closed] already checked; returns with the
+   lock released. *)
+let enqueue_locked ?digest st device_id report =
   let seq = st.st_submitted in
   st.st_submitted <- seq + 1;
   st.st_inflight <- st.st_inflight + 1;
@@ -343,7 +343,7 @@ let stream_submit ?digest st device_id report =
     st.st_results <- bigger
   end;
   Mutex.unlock st.st_mutex;
-  let job () =
+  fun () ->
     let result =
       try
         Ok (with_scratch (fun scratch ->
@@ -370,8 +370,19 @@ let stream_submit ?digest st device_id report =
      | Error e -> if st.st_exn = None then st.st_exn <- Some e);
     st.st_inflight <- st.st_inflight - 1;
     Condition.broadcast st.st_progress;
-    Mutex.unlock st.st_mutex
-  in
+    (* notify outside the lock so the callback may call back into the
+       stream (the event loop's wakeup thunk does) without deadlock *)
+    let cb = st.st_on_progress in
+    Mutex.unlock st.st_mutex;
+    match cb with Some f -> f () | None -> ()
+
+let stream_submit ?digest st device_id report =
+  Mutex.lock st.st_mutex;
+  if st.st_closed then begin
+    Mutex.unlock st.st_mutex;
+    invalid_arg "Fleet.stream_submit: stream is closed"
+  end;
+  let job = enqueue_locked ?digest st device_id report in
   if Pool.workers st.st_pool = 0 then job ()
   else begin
     Pool.submit st.st_pool job;
@@ -380,6 +391,29 @@ let stream_submit ?digest st device_id report =
     help_while st (fun () -> st.st_inflight >= st.st_window);
     Mutex.unlock st.st_mutex
   end
+
+let stream_try_submit ?digest st device_id report =
+  Mutex.lock st.st_mutex;
+  if st.st_closed then begin
+    Mutex.unlock st.st_mutex;
+    invalid_arg "Fleet.stream_try_submit: stream is closed"
+  end;
+  if Pool.workers st.st_pool > 0 && st.st_inflight >= st.st_window then begin
+    Mutex.unlock st.st_mutex;
+    false
+  end
+  else begin
+    let job = enqueue_locked ?digest st device_id report in
+    (* a 0-worker pool runs the job inline (like stream_submit), so the
+       window can never be full there *)
+    if Pool.workers st.st_pool = 0 then job () else Pool.submit st.st_pool job;
+    true
+  end
+
+let stream_on_progress st cb =
+  Mutex.lock st.st_mutex;
+  st.st_on_progress <- cb;
+  Mutex.unlock st.st_mutex
 
 let stream_snapshot st =
   Mutex.lock st.st_mutex;

@@ -101,6 +101,22 @@ val stream_submit :
     log digest corrupts the memo — never pass one from another
     report. *)
 
+val stream_try_submit :
+  ?digest:string -> stream -> string -> Dialed_apex.Pox.report -> bool
+(** Non-blocking {!stream_submit}: [false] when the in-flight window is
+    full (nothing was submitted — retry after progress). The event-loop
+    gateway uses this so a full verify window queues reports at the
+    session layer instead of blocking the loop thread. On a 0-worker
+    pool the replay runs inline (as in {!stream_submit}) and the result
+    is always [true]. Raises [Invalid_argument] on a closed stream. *)
+
+val stream_on_progress : stream -> (unit -> unit) option -> unit
+(** Register (or clear) a callback invoked after {e each} verdict lands,
+    from the worker domain that produced it, outside the stream's lock
+    — safe to call back into the stream. The event loop points this at
+    a self-pipe wakeup so verdict completion re-arms the loop without a
+    dedicated dispatcher thread. *)
+
 val stream_pending : stream -> int
 (** Reports submitted whose verdicts have not landed yet. *)
 

@@ -1,0 +1,40 @@
+(* Thin bindings over poll(2)/epoll(7) C stubs. Event bits are shared
+   with dialed_poll_stubs.c: 1 = readable, 2 = writable. *)
+
+let ev_read = 1
+let ev_write = 2
+
+external has_epoll : unit -> bool = "dialed_has_epoll"
+external int_of_fd : Unix.file_descr -> int = "%identity"
+external epoll_create : unit -> Unix.file_descr = "dialed_epoll_create"
+
+external epoll_ctl_raw :
+  Unix.file_descr -> int -> Unix.file_descr -> int -> unit = "dialed_epoll_ctl"
+
+let epoll_add ep fd mask = epoll_ctl_raw ep 0 fd mask
+let epoll_mod ep fd mask = epoll_ctl_raw ep 1 fd mask
+let epoll_del ep fd = epoll_ctl_raw ep 2 fd 0
+
+external epoll_wait :
+  Unix.file_descr -> int -> int array -> int = "dialed_epoll_wait"
+
+external poll : int array -> int -> int -> int array -> int = "dialed_poll"
+
+external poll_one :
+  Unix.file_descr -> int -> int -> int = "dialed_poll_one"
+
+(* Deadline wait on one fd. [deadline] is an absolute Unix.gettimeofday
+   time; returns ready event bits or 0 on timeout. Handles EINTR by
+   retrying with the remaining budget. *)
+let wait_fd fd mask ~deadline =
+  let rec go () =
+    let remaining = deadline -. Unix.gettimeofday () in
+    if remaining <= 0.0 then 0
+    else
+      let ms = int_of_float (ceil (remaining *. 1000.0)) in
+      let ms = if ms < 1 then 1 else ms in
+      match poll_one fd mask ms with
+      | -1 -> go ()
+      | n -> n
+  in
+  go ()

@@ -2,7 +2,10 @@ module C = Dialed_core
 module A = Dialed_apex
 module F = Dialed_fleet
 
+type engine = Threads | Evloop
+
 type config = {
+  engine : engine;
   max_frame : int;
   read_deadline : float option;
   max_conns : int;
@@ -18,7 +21,8 @@ type config = {
 }
 
 let default_config =
-  { max_frame = Frame.default_cap; read_deadline = Some 10.0; max_conns = 64;
+  { engine = Evloop; max_frame = Frame.default_cap;
+    read_deadline = Some 10.0; max_conns = 64;
     domains = 2; window = 32; max_window = 32; rate = None; burst = 8.0;
     args = []; session_seed = "dialed-gateway"; memo = None;
     plan_cache = None }
@@ -26,6 +30,7 @@ let default_config =
 type stats = {
   connections_accepted : int;
   connections_active : int;
+  connections_peak : int;
   sessions_active : int;
   frames_rx : int;
   frames_tx : int;
@@ -44,6 +49,8 @@ type stats = {
   memo : F.Memo.stats option;
   plan_cache : F.Plan.cache_counters option;
 }
+
+(* ---------------- threads engine: session plumbing ---------------- *)
 
 (* One accepted session, shared between its handler thread (reads the
    peer, issues challenges, rejects bad rounds) and the server's verdict
@@ -67,13 +74,38 @@ type sess = {
    session (and sequence number) that submitted the report. *)
 type pending = { px_sess : sess; px_seq : int }
 
+(* ----------------- evloop engine: connection state ---------------- *)
+
+(* One connection on the event loop: an explicit state machine instead
+   of a blocked thread. [ec_sess = None] is the AWAIT_HELLO state; all
+   fields are loop-thread-only. *)
+type esess = {
+  es_legacy : bool;
+  es_window : int;
+  es_gate : C.Protocol.gate;
+  es_limiter : Ratelimit.t option;
+  es_issued : (int, C.Protocol.request) Hashtbl.t;
+  mutable es_next_seq : int;
+  es_device : string;
+  mutable es_open : int;
+}
+
+type econn = {
+  ec_id : int;
+  mutable ec_ev : Evconn.t option;
+  mutable ec_sess : esess option;
+  mutable ec_alive : bool;
+  mutable ec_deadline : Evloop.timer option;
+}
+
 type t = {
   cfg : config;
   listener : Transport.listener;
   pool : F.Pool.t;
   stream : F.Fleet.stream;
   memo_cache : F.Memo.t option;
-  (* dispatcher: FIFO of submitted-not-yet-answered reports *)
+  (* threads-engine dispatcher: FIFO of submitted-not-yet-answered
+     reports *)
   disp_m : Mutex.t;
   pending : pending Queue.t;
   mutable disp_thread : Thread.t option;
@@ -84,14 +116,27 @@ type t = {
      never observe a torn pair (e.g. a verdict counted before its
      report). *)
   m : Mutex.t;
+  cv : Condition.t;                  (* signalled when [ev_done] flips *)
   live : (int, Transport.conn) Hashtbl.t;
   mutable handlers : Thread.t list;
   mutable accept_thread : Thread.t option;
   mutable next_conn_id : int;
   mutable stopping : bool;
   mutable final : stats option;
+  (* evloop-engine lifecycle (all guarded by [m]; loop internals live
+     inside [run_evloop], never on [t]) *)
+  mutable loop : Evloop.t option;
+  mutable loop_thread : Thread.t option;
+  mutable ev_started : bool;
+  mutable ev_stop : bool;
+  mutable ev_done : bool;
+  (* lock-free stop request, settable from a signal handler (which may
+     run on the loop thread itself — taking [m] there could self-
+     deadlock, and [stop]'s wait-for-cleanup certainly would) *)
+  stop_req : bool Atomic.t;
   mutable c_accepted : int;
   mutable c_active : int;
+  mutable c_peak : int;
   mutable c_sessions : int;
   mutable c_frames_rx : int;
   mutable c_frames_tx : int;
@@ -113,10 +158,10 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
 
 (* ---------------------------------------------------------------- *)
-(* Sending. The handler and the dispatcher both write frames to the
-   same peer; [sx_m] keeps them whole. A dead connection flips
-   [sx_alive] and later sends become no-ops — the dispatcher must not
-   die (or stall the queue) because one peer hung up.                *)
+(* Sending (threads engine). The handler and the dispatcher both write
+   frames to the same peer; [sx_m] keeps them whole. A dead connection
+   flips [sx_alive] and later sends become no-ops — the dispatcher must
+   not die (or stall the queue) because one peer hung up.            *)
 
 let sess_send t sess msg =
   Mutex.lock sess.sx_m;
@@ -150,18 +195,18 @@ let verdict_msg (v : F.Fleet.verdict) =
   in
   (v.F.Fleet.accepted, findings)
 
-let rejection sess seq kind detail =
+let rejection ~legacy seq kind detail =
   let findings = [ (kind, detail) ] in
-  if sess.sx_legacy then Codec.Verdict { accepted = false; findings }
+  if legacy then Codec.Verdict { accepted = false; findings }
   else Codec.Verdict_seq { seq; accepted = false; findings }
 
 (* ---------------------------------------------------------------- *)
-(* Verdict dispatcher: one thread per server that sleeps on the fleet
-   stream and routes each completed verdict back to the session that
-   submitted its report. The stream yields verdicts in global
-   submission order — an interleaving of the per-session submission
-   orders — so every session still sees its own verdicts in FIFO order
-   while sessions overlap freely.                                     *)
+(* Verdict dispatcher (threads engine): one thread per server that
+   sleeps on the fleet stream and routes each completed verdict back to
+   the session that submitted its report. The stream yields verdicts in
+   global submission order — an interleaving of the per-session
+   submission orders — so every session still sees its own verdicts in
+   FIFO order while sessions overlap freely.                         *)
 
 let dispatch_one t (v : F.Fleet.verdict) =
   Mutex.lock t.disp_m;
@@ -215,22 +260,30 @@ let create ?(config = default_config) ~plan listener =
     { cfg = config; listener; pool; stream; memo_cache;
       disp_m = Mutex.create (); pending = Queue.create ();
       disp_thread = None; disp_quit = false;
-      m = Mutex.create (); live = Hashtbl.create 16; handlers = [];
+      m = Mutex.create (); cv = Condition.create ();
+      live = Hashtbl.create 16; handlers = [];
       accept_thread = None; next_conn_id = 0; stopping = false; final = None;
-      c_accepted = 0; c_active = 0; c_sessions = 0; c_frames_rx = 0;
+      loop = None; loop_thread = None; ev_started = false; ev_stop = false;
+      ev_done = false; stop_req = Atomic.make false;
+      c_accepted = 0; c_active = 0; c_peak = 0; c_sessions = 0;
+      c_frames_rx = 0;
       c_frames_tx = 0; c_bytes_rx = 0; c_bytes_tx = 0; c_requests = 0;
       c_reports = 0; c_accepted_verdicts = 0; c_rejected_verdicts = 0;
       c_ratelimited = 0; c_window_overflow = 0; c_bad_seq = 0;
       c_proto_errors = 0; c_timeouts = 0 }
   in
-  t.disp_thread <- Some (Thread.create (fun () -> dispatcher_loop t) ());
+  (* the evloop engine routes verdicts on the loop itself; only the
+     threads engine needs the dispatcher thread *)
+  (match config.engine with
+   | Threads -> t.disp_thread <- Some (Thread.create (fun () -> dispatcher_loop t) ())
+   | Evloop -> ());
   t
 
 (* ---------------------------------------------------------------- *)
 (* One connection's protocol state machine. Any exit path — clean Bye,
    EOF, hostile bytes, deadline — lands in the caller's cleanup.
 
-   The windowed-session machine (DESIGN §5e):
+   The windowed-session machine (DESIGN §5e), shared by both engines:
 
      AWAIT_HELLO --Hello----------> OPEN(legacy, W=1)
      AWAIT_HELLO --Hello_ex-------> OPEN(pipelined, W=min(req,max))  [Welcome]
@@ -317,7 +370,7 @@ let session_loop t chan =
   let reject_round s seq kind detail =
     close_round s;
     count (fun t -> t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
-    sess_send t s (rejection s seq kind detail)
+    sess_send t s (rejection ~legacy:s.sx_legacy seq kind detail)
   in
   let on_report s g seq req wire =
     Hashtbl.remove issued seq;
@@ -331,7 +384,8 @@ let session_loop t chan =
         Result.map (fun (r, d) -> (r, Some d)) (A.Wire.decode_digested wire)
     in
     match decoded with
-    | Error e -> reject_round s seq "bad-report" (A.Wire.error_to_string e)
+    | Error e ->
+      reject_round s seq "bad-report" (A.Wire.error_to_string e)
     | Ok (report, digest) ->
       match C.Protocol.gate_redeem g req report with
       | Error reason -> reject_round s seq "bad-token" reason
@@ -392,7 +446,9 @@ let session_loop t chan =
          | None ->
            count (fun t ->
                t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
-           sess_send t s (rejection s 0 "bad-token" "no outstanding challenge")
+           sess_send t s
+             (rejection ~legacy:s.sx_legacy 0 "bad-token"
+                "no outstanding challenge")
          | Some (seq, req) -> on_report s g seq req wire);
         loop ()
       | Some s, Some g, Codec.Report_seq { seq; wire } ->
@@ -410,7 +466,7 @@ let session_loop t chan =
                  t.c_bad_seq <- t.c_bad_seq + 1;
                  t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
              sess_send t s
-               (rejection s seq "bad-seq"
+               (rejection ~legacy:s.sx_legacy seq "bad-seq"
                   "unknown or already-answered sequence number")
            | Some req -> on_report s g seq req wire);
           loop ()
@@ -451,37 +507,48 @@ let handle t conn_id conn =
         locked t (fun () -> t.c_timeouts <- t.c_timeouts + 1)
       | Unix.Unix_error _ -> ())
 
+(* Admission control, shared by both engines: called with [m] held. *)
+let admit_locked t =
+  if t.stopping then `Refuse "shutting down"
+  else if t.c_active >= t.cfg.max_conns then `Refuse "server full"
+  else begin
+    let id = t.next_conn_id in
+    t.next_conn_id <- id + 1;
+    t.c_accepted <- t.c_accepted + 1;
+    t.c_active <- t.c_active + 1;
+    if t.c_active > t.c_peak then t.c_peak <- t.c_active;
+    `Admit id
+  end
+
+let refuse t conn reason =
+  (try
+     Transport.send conn
+       (Frame.encode ~cap:t.cfg.max_frame
+          (Codec.encode (Codec.Busy reason)));
+     Transport.close conn
+   with _ -> ());
+  locked t (fun () ->
+      if reason = "server full" then
+        t.c_ratelimited <- t.c_ratelimited + 1)
+
 let accept_loop t =
   let rec loop () =
     match Transport.accept t.listener with
     | exception Transport.Closed -> ()
     | exception Unix.Unix_error _ ->
-      if not (locked t (fun () -> t.stopping)) then loop ()
+      if not (Atomic.get t.stop_req || locked t (fun () -> t.stopping))
+      then loop ()
     | conn ->
       let admitted =
         locked t (fun () ->
-            if t.stopping then `Refuse "shutting down"
-            else if t.c_active >= t.cfg.max_conns then `Refuse "server full"
-            else begin
-              let id = t.next_conn_id in
-              t.next_conn_id <- id + 1;
-              t.c_accepted <- t.c_accepted + 1;
-              t.c_active <- t.c_active + 1;
+            match admit_locked t with
+            | `Admit id ->
               Hashtbl.replace t.live id conn;
               `Admit id
-            end)
+            | `Refuse _ as r -> r)
       in
       (match admitted with
-       | `Refuse reason ->
-         (try
-            Transport.send conn
-              (Frame.encode ~cap:t.cfg.max_frame
-                 (Codec.encode (Codec.Busy reason)));
-            Transport.close conn
-          with _ -> ());
-         locked t (fun () ->
-             if reason = "server full" then
-               t.c_ratelimited <- t.c_ratelimited + 1)
+       | `Refuse reason -> refuse t conn reason
        | `Admit id ->
          let th = Thread.create (fun () -> handle t id conn) () in
          locked t (fun () -> t.handlers <- th :: t.handlers));
@@ -489,17 +556,361 @@ let accept_loop t =
   in
   loop ()
 
-let serve_forever t = accept_loop t
+(* ---------------------------------------------------------------- *)
+(* The evloop engine: every connection is an [econn] state machine on a
+   single readiness loop (DESIGN §5g). Reads pump through {!Evconn}
+   into the same session machine as above; replay work still goes to
+   the fleet pool via the stream, but verdict completion wakes the loop
+   (self-pipe via [stream_on_progress]) instead of a dispatcher thread.
+   When the stream window is full, reports wait in a loop-local FIFO —
+   backpressure without blocking the loop.
+
+   Everything inside [run_evloop] is loop-thread-only; only the shared
+   counters (under [t.m]) and the stream cross threads.              *)
+
+type ev_waiting = {
+  wt_ec : econn;
+  wt_es : esess;
+  wt_seq : int;
+  wt_digest : string option;
+  wt_report : A.Pox.report;
+}
+
+let run_evloop t =
+  let loop = Evloop.create () in
+  locked t (fun () -> t.loop <- Some loop);
+  let conns : (int, econn) Hashtbl.t = Hashtbl.create 256 in
+  (* submitted reports awaiting verdicts, in stream-submission order *)
+  let pending : (econn * int) Queue.t = Queue.create () in
+  (* reports that found the stream window full *)
+  let waiting : ev_waiting Queue.t = Queue.create () in
+  let count f = locked t (fun () -> f t) in
+  let on_traffic ~rx ~tx =
+    locked t (fun () ->
+        t.c_bytes_rx <- t.c_bytes_rx + rx;
+        t.c_bytes_tx <- t.c_bytes_tx + tx)
+  in
+  let send ec msg =
+    match ec.ec_ev with
+    | None -> ()
+    | Some ev ->
+      if not (Evconn.is_closed ev) then begin
+        Evconn.send ev msg;
+        (* a send that discovered a dead peer closed the pump; count
+           only frames that were actually queued (threads parity) *)
+        if not (Evconn.is_closed ev) then
+          count (fun t -> t.c_frames_tx <- t.c_frames_tx + 1)
+      end
+  in
+  let close_conn ?(flush = false) ec =
+    if ec.ec_alive then begin
+      ec.ec_alive <- false;
+      (match ec.ec_deadline with
+       | Some tm -> Evloop.cancel loop tm; ec.ec_deadline <- None
+       | None -> ());
+      (match ec.ec_ev with
+       | Some ev ->
+         if flush then Evconn.close_after_flush ev else Evconn.close ev
+       | None -> ());
+      Hashtbl.remove conns ec.ec_id;
+      locked t (fun () ->
+          t.c_active <- t.c_active - 1;
+          if ec.ec_sess <> None then t.c_sessions <- t.c_sessions - 1)
+    end
+  in
+  let proto_error ?(flush = false) ?busy ec =
+    count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1);
+    (match busy with Some reason -> send ec (Codec.Busy reason) | None -> ());
+    close_conn ~flush ec
+  in
+  let rec arm_deadline ec =
+    match t.cfg.read_deadline with
+    | None -> ()
+    | Some d ->
+      (match ec.ec_deadline with
+       | Some tm -> Evloop.cancel loop tm
+       | None -> ());
+      ec.ec_deadline <- Some (Evloop.after loop d (fun () -> on_deadline ec))
+  and on_deadline ec =
+    if ec.ec_alive then begin
+      ec.ec_deadline <- None;
+      match ec.ec_sess with
+      | Some es when Hashtbl.length es.es_issued = 0 && es.es_open > 0 ->
+        (* every issued challenge answered, verdicts still queued in the
+           engine: the peer owes us nothing — re-arm instead of killing
+           it for our own queueing delay (threads-engine exemption) *)
+        arm_deadline ec
+      | _ ->
+        count (fun t -> t.c_timeouts <- t.c_timeouts + 1);
+        close_conn ec
+    end
+  in
+  let reject_round ec es seq kind detail =
+    es.es_open <- es.es_open - 1;
+    count (fun t -> t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
+    send ec (rejection ~legacy:es.es_legacy seq kind detail)
+  in
+  let on_ready ec es =
+    let admit =
+      match es.es_limiter with None -> true | Some l -> Ratelimit.try_take l
+    in
+    if not admit then begin
+      count (fun t -> t.c_ratelimited <- t.c_ratelimited + 1);
+      send ec (Codec.Busy "rate limited")
+    end
+    else if es.es_open >= es.es_window then begin
+      count (fun t -> t.c_window_overflow <- t.c_window_overflow + 1);
+      send ec (Codec.Busy "window full")
+    end
+    else begin
+      let seq = es.es_next_seq in
+      es.es_next_seq <- seq + 1;
+      let req = C.Protocol.gate_issue es.es_gate ~args:t.cfg.args in
+      Hashtbl.replace es.es_issued seq req;
+      es.es_open <- es.es_open + 1;
+      count (fun t -> t.c_requests <- t.c_requests + 1);
+      let msg =
+        if es.es_legacy then
+          Codec.Request
+            { challenge = req.C.Protocol.challenge;
+              args = req.C.Protocol.args }
+        else
+          Codec.Request_seq
+            { seq; challenge = req.C.Protocol.challenge;
+              args = req.C.Protocol.args }
+      in
+      send ec msg
+    end
+  in
+  (* Submission. Per-session verdict FIFO requires global submission
+     order to extend per-session arrival order, so once anything waits,
+     everything new waits behind it. *)
+  let submit ec es seq digest report =
+    if not (Queue.is_empty waiting) then
+      Queue.add { wt_ec = ec; wt_es = es; wt_seq = seq; wt_digest = digest;
+                  wt_report = report }
+        waiting
+    else if F.Fleet.stream_try_submit ?digest t.stream es.es_device report
+    then Queue.add (ec, seq) pending
+    else
+      Queue.add { wt_ec = ec; wt_es = es; wt_seq = seq; wt_digest = digest;
+                  wt_report = report }
+        waiting
+  in
+  let drain_waiting () =
+    let continue = ref true in
+    while !continue && not (Queue.is_empty waiting) do
+      let w = Queue.peek waiting in
+      if not w.wt_ec.ec_alive then ignore (Queue.pop waiting)
+      else if
+        F.Fleet.stream_try_submit ?digest:w.wt_digest t.stream
+          w.wt_es.es_device w.wt_report
+      then begin
+        ignore (Queue.pop waiting);
+        Queue.add (w.wt_ec, w.wt_seq) pending
+      end
+      else continue := false
+    done
+  in
+  let on_report ec es seq req wire =
+    Hashtbl.remove es.es_issued seq;
+    let decoded =
+      if t.memo_cache = None then
+        Result.map (fun r -> (r, None)) (A.Wire.decode wire)
+      else
+        Result.map (fun (r, d) -> (r, Some d)) (A.Wire.decode_digested wire)
+    in
+    match decoded with
+    | Error e -> reject_round ec es seq "bad-report" (A.Wire.error_to_string e)
+    | Ok (report, digest) ->
+      match C.Protocol.gate_redeem es.es_gate req report with
+      | Error reason -> reject_round ec es seq "bad-token" reason
+      | Ok () -> submit ec es seq digest report
+  in
+  let drain_verdicts () =
+    List.iter
+      (fun (v : F.Fleet.verdict) ->
+        match Queue.take_opt pending with
+        | None -> ()   (* unreachable: enqueued at submission *)
+        | Some (ec, seq) ->
+          count (fun t ->
+              if v.F.Fleet.accepted then
+                t.c_accepted_verdicts <- t.c_accepted_verdicts + 1
+              else t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
+          (match ec.ec_sess with
+           | None -> ()
+           | Some es ->
+             es.es_open <- es.es_open - 1;
+             if ec.ec_alive then begin
+               let accepted, findings = verdict_msg v in
+               let msg =
+                 if es.es_legacy then Codec.Verdict { accepted; findings }
+                 else Codec.Verdict_seq { seq; accepted; findings }
+               in
+               send ec msg
+             end))
+      (F.Fleet.stream_poll t.stream);
+    drain_waiting ()
+  in
+  let start_session ec ~legacy ~window device_id =
+    let es =
+      { es_legacy = legacy; es_window = window;
+        es_gate =
+          C.Protocol.make_gate
+            ~seed:(t.cfg.session_seed ^ "/" ^ device_id) ();
+        es_limiter =
+          Option.map
+            (fun rate -> Ratelimit.create ~rate ~burst:t.cfg.burst ())
+            t.cfg.rate;
+        es_issued = Hashtbl.create 8; es_next_seq = 0;
+        es_device = device_id; es_open = 0 }
+    in
+    ec.ec_sess <- Some es;
+    count (fun t -> t.c_sessions <- t.c_sessions + 1);
+    es
+  in
+  let on_msg ec msg =
+    count (fun t -> t.c_frames_rx <- t.c_frames_rx + 1);
+    arm_deadline ec;
+    match ec.ec_sess, msg with
+    | None, Codec.Hello { device_id }
+      when device_id <> "" && String.length device_id <= 128 ->
+      ignore (start_session ec ~legacy:true ~window:1 device_id)
+    | None, Codec.Hello_ex { device_id; window }
+      when device_id <> "" && String.length device_id <= 128 && window >= 1
+      ->
+      let granted = min window t.cfg.max_window in
+      ignore (start_session ec ~legacy:false ~window:granted device_id);
+      send ec (Codec.Welcome { window = granted })
+    | None, _ -> proto_error ec
+    | Some _, (Codec.Hello _ | Codec.Hello_ex _) -> proto_error ec
+    | Some es, Codec.Bye ->
+      if (not es.es_legacy) && es.es_open > 0 then
+        proto_error ~flush:true ~busy:"bye with rounds in flight" ec
+      else close_conn ec
+    | Some es, Codec.Ready -> on_ready ec es
+    | Some es, Codec.Report wire ->
+      count (fun t -> t.c_reports <- t.c_reports + 1);
+      (match Hashtbl.fold (fun k v _ -> Some (k, v)) es.es_issued None with
+       | None ->
+         count (fun t ->
+             t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
+         send ec
+           (rejection ~legacy:es.es_legacy 0 "bad-token"
+              "no outstanding challenge")
+       | Some (seq, req) -> on_report ec es seq req wire)
+    | Some es, Codec.Report_seq { seq; wire } ->
+      count (fun t -> t.c_reports <- t.c_reports + 1);
+      if es.es_legacy then proto_error ec
+      else (
+        match Hashtbl.find_opt es.es_issued seq with
+        | None ->
+          count (fun t ->
+              t.c_bad_seq <- t.c_bad_seq + 1;
+              t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
+          send ec
+            (rejection ~legacy:es.es_legacy seq "bad-seq"
+               "unknown or already-answered sequence number")
+        | Some req -> on_report ec es seq req wire)
+    | Some _,
+      ( Codec.Request _ | Codec.Verdict _ | Codec.Busy _ | Codec.Welcome _
+      | Codec.Request_seq _ | Codec.Verdict_seq _ ) ->
+      proto_error ec
+  in
+  let admit conn =
+    match locked t (fun () -> admit_locked t) with
+    | `Refuse reason -> refuse t conn reason
+    | `Admit id ->
+      let ec =
+        { ec_id = id; ec_ev = None; ec_sess = None; ec_alive = true;
+          ec_deadline = None }
+      in
+      Hashtbl.replace conns id ec;
+      let ev =
+        Evconn.attach ~loop ~cap:t.cfg.max_frame
+          ~on_msg:(fun _ev msg -> on_msg ec msg)
+          ~on_eof:(fun _ev -> close_conn ec)
+          ~on_error:(fun _ev e ->
+            match e with
+            | `Send_closed -> close_conn ec
+            | `Eof_mid_frame | `Frame _ | `Codec _ | `Wqueue_overflow ->
+              proto_error ec)
+          ~on_traffic conn
+      in
+      ec.ec_ev <- Some ev;
+      arm_deadline ec
+  in
+  let accept_burst () =
+    let rec go () =
+      match Transport.try_accept t.listener with
+      | Some conn -> admit conn; go ()
+      | None -> ()
+      | exception Transport.Closed -> ()
+      | exception Unix.Unix_error _ -> ()
+    in
+    go ()
+  in
+  (match Transport.listener_readiness t.listener with
+   | Some (Transport.Fd lfd) ->
+     Evloop.watch loop lfd ~read:(Some accept_burst) ~write:None
+   | Some Transport.Hook ->
+     Transport.on_acceptable t.listener
+       (Some (Evloop.hook_source loop accept_burst));
+     (* dials that raced the hook installation *)
+     Evloop.post loop accept_burst
+   | None ->
+     invalid_arg "Server: evloop engine needs a readiness-capable listener");
+  F.Fleet.stream_on_progress t.stream
+    (Some (Evloop.hook_source loop drain_verdicts));
+  Evloop.run loop ~stop:(fun () ->
+      Atomic.get t.stop_req || locked t (fun () -> t.ev_stop));
+  (* cleanup, still on the loop thread *)
+  F.Fleet.stream_on_progress t.stream None;
+  (match Transport.listener_readiness t.listener with
+   | Some (Transport.Fd lfd) -> Evloop.unwatch loop lfd
+   | Some Transport.Hook ->
+     (try Transport.on_acceptable t.listener None with _ -> ())
+   | None -> ());
+  let all = Hashtbl.fold (fun _ ec acc -> ec :: acc) conns [] in
+  List.iter (fun ec -> close_conn ec) all;
+  (* verdicts for submitted-but-unanswered reports are dropped, exactly
+     like the threads engine's sends to dead peers *)
+  Queue.clear pending;
+  Queue.clear waiting;
+  Evloop.close loop;
+  locked t (fun () ->
+      t.loop <- None;
+      t.ev_done <- true;
+      Condition.broadcast t.cv)
+
+(* ---------------------------------------------------------------- *)
+
+let serve_forever t =
+  match t.cfg.engine with
+  | Threads -> accept_loop t
+  | Evloop ->
+    locked t (fun () ->
+        if t.ev_started then invalid_arg "Server.serve_forever: running";
+        t.ev_started <- true);
+    run_evloop t
 
 let start t =
-  locked t (fun () ->
-      if t.accept_thread <> None then invalid_arg "Server.start: running";
-      t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ()))
+  match t.cfg.engine with
+  | Threads ->
+    locked t (fun () ->
+        if t.accept_thread <> None then invalid_arg "Server.start: running";
+        t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ()))
+  | Evloop ->
+    locked t (fun () ->
+        if t.ev_started then invalid_arg "Server.start: running";
+        t.ev_started <- true;
+        t.loop_thread <- Some (Thread.create (fun () -> run_evloop t) ()))
 
 (* call with [m] held: one critical section, one consistent view *)
 let snapshot t verify memo plan_cache =
   { connections_accepted = t.c_accepted;
     connections_active = t.c_active;
+    connections_peak = t.c_peak;
     sessions_active = t.c_sessions;
     frames_rx = t.c_frames_rx;
     frames_tx = t.c_frames_tx;
@@ -527,6 +938,21 @@ let stats t =
     let plan_cache = Option.map F.Plan.cache_counters t.cfg.plan_cache in
     locked t (fun () -> snapshot t verify memo plan_cache)
 
+(* Async-signal-safe stop request: no OCaml mutexes, so it can run from
+   a signal handler — including one delivered to the loop (or accept)
+   thread itself, the [serve_forever] + SIGINT case where calling
+   [stop] would self-deadlock waiting for a cleanup that can never run.
+   The engine unwinds and [serve_forever] returns; the caller then runs
+   [stop] normally to finish teardown and collect final stats. *)
+let request_stop t =
+  Atomic.set t.stop_req true;
+  (* closing the listener bounces a blocked [accept] with [Closed] and
+     stops new dials; [Evloop.wake] is atomics + a pipe write *)
+  (try Transport.shutdown t.listener with _ -> ());
+  match t.loop with
+  | Some l -> Evloop.wake l
+  | None -> ()
+
 let stop t =
   let already = locked t (fun () ->
       if t.stopping then t.final else begin t.stopping <- true; None end)
@@ -536,21 +962,44 @@ let stop t =
   | None ->
     (* no new connections *)
     Transport.shutdown t.listener;
-    (match locked t (fun () -> t.accept_thread) with
-     | Some th -> Thread.join th
-     | None -> ());
-    (* cut every live connection; handlers observe EOF/Closed and exit *)
-    let conns = locked t (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) t.live []) in
-    List.iter (fun c -> try Transport.close c with _ -> ()) conns;
-    let handlers = locked t (fun () -> t.handlers) in
-    List.iter Thread.join handlers;
-    (* the dispatcher drains whatever the dead handlers left in flight
-       (sends to closed peers are dropped), then exits *)
-    locked t (fun () -> t.disp_quit <- true);
-    F.Fleet.stream_wake t.stream;
-    (match t.disp_thread with Some th -> Thread.join th | None -> ());
-    (* everything submitted has been dispatched, so closing the stream
-       cannot block on lost work *)
+    (match t.cfg.engine with
+     | Threads ->
+       (match locked t (fun () -> t.accept_thread) with
+        | Some th -> Thread.join th
+        | None -> ());
+       (* cut every live connection; handlers observe EOF/Closed and
+          exit *)
+       let conns =
+         locked t (fun () ->
+             Hashtbl.fold (fun _ c acc -> c :: acc) t.live [])
+       in
+       List.iter (fun c -> try Transport.close c with _ -> ()) conns;
+       let handlers = locked t (fun () -> t.handlers) in
+       List.iter Thread.join handlers;
+       (* the dispatcher drains whatever the dead handlers left in
+          flight (sends to closed peers are dropped), then exits *)
+       locked t (fun () -> t.disp_quit <- true);
+       F.Fleet.stream_wake t.stream;
+       (match t.disp_thread with Some th -> Thread.join th | None -> ())
+     | Evloop ->
+       let started =
+         locked t (fun () ->
+             t.ev_stop <- true;
+             (match t.loop with Some l -> Evloop.wake l | None -> ());
+             t.ev_started)
+       in
+       if started then begin
+         (* the loop thread runs its own cleanup (closing connections
+            needs loop state); wait for it before touching the stream *)
+         Mutex.lock t.m;
+         while not t.ev_done do Condition.wait t.cv t.m done;
+         Mutex.unlock t.m
+       end;
+       (match locked t (fun () -> t.loop_thread) with
+        | Some th -> Thread.join th
+        | None -> ()));
+    (* everything submitted has been dispatched or dropped, so closing
+       the stream cannot block on lost work *)
     let summary = F.Fleet.stream_close t.stream in
     F.Pool.shutdown t.pool;
     let memo = Option.map F.Memo.stats t.memo_cache in
@@ -563,13 +1012,14 @@ let stop t =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "@[<v>conns: %d accepted, %d active, %d sessions@,\
+    "@[<v>conns: %d accepted, %d active (peak %d), %d sessions@,\
      frames: %d rx / %d tx   bytes: %d rx / %d tx@,\
      rounds: %d requests, %d reports, %d accepted, %d rejected@,\
      defenses: %d rate-limited, %d window-overflow, %d bad-seq, \
      %d protocol errors, %d timeouts@,\
      verify: %a@]"
-    s.connections_accepted s.connections_active s.sessions_active
+    s.connections_accepted s.connections_active s.connections_peak
+    s.sessions_active
     s.frames_rx s.frames_tx s.bytes_rx s.bytes_tx s.requests_issued
     s.reports_received s.verdicts_accepted s.verdicts_rejected
     s.rate_limited s.window_overflow s.bad_seq s.protocol_errors
@@ -584,6 +1034,7 @@ let pp_stats ppf s =
 let stats_to_json s =
   Printf.sprintf
     "{ \"connections_accepted\": %d, \"connections_active\": %d, \
+     \"connections_peak\": %d, \
      \"sessions_active\": %d, \"frames_rx\": %d, \"frames_tx\": %d, \
      \"bytes_rx\": %d, \"bytes_tx\": %d, \"requests_issued\": %d, \
      \"reports_received\": %d, \"verdicts_accepted\": %d, \
@@ -591,7 +1042,8 @@ let stats_to_json s =
      \"window_overflow\": %d, \"bad_seq\": %d, \
      \"protocol_errors\": %d, \"deadline_timeouts\": %d, \"verify\": %s, \
      \"memo\": %s, \"plan_cache\": %s }"
-    s.connections_accepted s.connections_active s.sessions_active
+    s.connections_accepted s.connections_active s.connections_peak
+    s.sessions_active
     s.frames_rx s.frames_tx s.bytes_rx s.bytes_tx s.requests_issued
     s.reports_received s.verdicts_accepted s.verdicts_rejected
     s.rate_limited s.window_overflow s.bad_seq s.protocol_errors

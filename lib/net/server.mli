@@ -2,14 +2,41 @@
     listener, issues challenges, and judges framed PoX reports through
     the fleet verification engine.
 
-    Architecture (one box per thread of control):
+    Two interchangeable connection engines drive the {e same} session
+    state machine, wire behavior, and counters (pinned by the
+    dual-engine corpus in [test_net] and a QCheck equivalence suite):
+
+    {b [Evloop]} (default) — one readiness event loop (epoll, or
+    poll(2) where epoll is unavailable) on a single thread runs every
+    connection as an explicit state machine (DESIGN §5g):
+
+    {v
+      event loop ──► accept burst ──► econn state machines
+                       │  readiness → Evconn pump → Frame/Codec decode
+                       │  Hello / Hello_ex → session (window W)
+                       │  Ready → window + rate checks → Request | Busy
+                       │  Report[_seq] → Wire.decode → gate_redeem
+                       │        → Fleet.stream_try_submit ──► pool domains
+                       │           (window full → loop-local wait queue)
+                       └─ per-connection deadline timers (timer wheel)
+      stream progress ──self-pipe──► loop drains verdicts → Verdict[_seq]
+    v}
+
+    Memory per idle connection is one [econn] record, a frame decoder,
+    and an empty write queue — no stack, no thread — which is what lets
+    a single domain hold 10k concurrent provers. Replay work still runs
+    on the fleet pool's domains; verdict completion wakes the loop over
+    a self-pipe instead of a dispatcher thread. When the fleet stream's
+    window is full, reports queue at the session layer (loop-local
+    FIFO) so backpressure never blocks the loop.
+
+    {b [Threads]} (legacy, selectable) — one systhread per connection
+    plus a verdict-dispatcher thread sleeping on the stream:
 
     {v
       accept loop ──► handler (1 systhread per connection)
-                        │  Hello / Hello_ex → session (window W)
-                        │  Ready → window + rate checks → Request | Busy
-                        │  Report[_seq] → Wire.decode → gate_redeem
-                        │           → Fleet.stream_submit ──► pool domains
+                        │  (same session machine as above)
+                        │  Report[_seq] → Fleet.stream_submit (blocking)
                         └─ rejections / Busy frames back to the prover
       dispatcher  ◄── Fleet.stream_next (verdicts, submission order)
                         └─ Verdict[_seq] frames back to each session
@@ -17,14 +44,17 @@
 
     Sessions are {e windowed}: a peer that greets with [Hello_ex]
     negotiates up to [max_window] rounds in flight and its verdicts are
-    pushed by the dispatcher as the fleet engine completes them, so the
-    engine never idles waiting for a network round-trip. A legacy
-    [Hello] peer gets the same machine with a window of 1 and unnumbered
-    frames — wire-compatible with single-shot clients. Per-session FIFO
-    verdict order is preserved (the fleet stream yields in submission
-    order); cross-session order is whatever the engine produces.
+    pushed as the fleet engine completes them, so the engine never
+    idles waiting for a network round-trip. A legacy [Hello] peer gets
+    the same machine with a window of 1 and unnumbered frames —
+    wire-compatible with single-shot clients. Per-session FIFO verdict
+    order is preserved (the fleet stream yields in submission order,
+    and the evloop engine keeps its wait queue FIFO so submission order
+    extends arrival order); cross-session order is whatever the engine
+    produces.
 
-    Defenses, all of them counted in {!stats}:
+    Defenses, all of them counted in {!stats} and enforced identically
+    by both engines:
     - hard frame cap and typed decode errors ({!Frame}/{!Codec}) — a
       hostile byte stream closes its own connection, never the gateway;
     - per-message read deadlines (slow-loris: drip-feeding a frame
@@ -38,6 +68,9 @@
     - reports for never-issued or already-answered sequence numbers get
       a typed rejection and bump [bad_seq];
     - a connection ceiling ([max_conns]) answered with [Busy];
+    - a bounded per-connection write queue (evloop engine): a peer that
+      requests verdicts but never reads them cannot buffer the gateway
+      into the ground;
     - challenge freshness per connection via
       {!Dialed_core.Protocol.gate} — replayed or cross-session reports
       are rejected before any replay work is spent on them.
@@ -45,7 +78,12 @@
     Verification runs on a {!Dialed_fleet.Fleet.stream} whose bounded
     in-flight window applies backpressure to the handlers. *)
 
+type engine =
+  | Threads  (** one systhread per connection + dispatcher thread *)
+  | Evloop   (** single-threaded readiness loop over {!Evloop} *)
+
 type config = {
+  engine : engine;            (** connection engine; default [Evloop] *)
   max_frame : int;            (** per-frame byte cap (framing layer) *)
   read_deadline : float option;
       (** seconds a peer may take to complete one message *)
@@ -76,14 +114,18 @@ type config = {
 }
 
 val default_config : config
-(** 1 MiB frames, 10 s deadline, 64 connections, 2 domains, stream
-    window 32, session window 32, no rate limit, empty args, memo off. *)
+(** Evloop engine, 1 MiB frames, 10 s deadline, 64 connections,
+    2 domains, stream window 32, session window 32, no rate limit,
+    empty args, memo off. *)
 
 type t
 
 type stats = {
   connections_accepted : int;
   connections_active : int;
+  connections_peak : int;
+      (** high-water mark of simultaneously held connections — the
+          c10k witness: a swarm holding N sessions shows [peak >= N] *)
   sessions_active : int;      (** connections past their [Hello] *)
   frames_rx : int;
   frames_tx : int;
@@ -112,20 +154,33 @@ type stats = {
 
 val create : ?config:config -> plan:Dialed_fleet.Plan.t ->
   Transport.listener -> t
-(** The gateway owns the listener, a private fleet pool/stream, and a
-    verdict-dispatcher thread from [create] until {!stop}. *)
+(** The gateway owns the listener, a private fleet pool/stream, and —
+    under the [Threads] engine — a verdict-dispatcher thread, from
+    [create] until {!stop}. Under [Evloop] the loop itself routes
+    verdicts and no dispatcher exists. *)
 
 val start : t -> unit
-(** Spawn the accept loop in a background thread and return. *)
+(** Spawn the engine (accept loop, or event loop) in a background
+    thread and return. *)
 
 val serve_forever : t -> unit
-(** Run the accept loop on the calling thread; returns when {!stop} is
-    called from elsewhere. *)
+(** Run the engine on the calling thread; returns when {!stop} or
+    {!request_stop} is called. *)
+
+val request_stop : t -> unit
+(** Ask the engine to unwind, without blocking and without taking any
+    OCaml lock: safe from a signal handler, even one delivered to the
+    thread running {!serve_forever} (where calling {!stop} directly
+    would self-deadlock — it waits for a cleanup that thread can never
+    reach while suspended in the handler). Closes the listener and
+    wakes the engine; once {!serve_forever} returns, call {!stop} to
+    finish teardown and collect final stats. *)
 
 val stop : t -> stats
-(** Shut the listener, close every live connection, join the handlers,
-    drain the dispatcher, close the fleet stream, and return the final
-    stats. Idempotent (later calls return the same final stats). *)
+(** Shut the listener, close every live connection, stop the engine
+    (joining handler threads, or waking and joining the event loop),
+    close the fleet stream, and return the final stats. Idempotent
+    (later calls return the same final stats). *)
 
 val stats : t -> stats
 (** Non-blocking snapshot; callable at any time, including mid-traffic.

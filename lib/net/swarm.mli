@@ -43,6 +43,10 @@ type outcome = {
   reply_timeouts : int;
   wall_seconds : float;
   throughput : float;       (** completed rounds per second *)
+  clients_per_thread : int;
+      (** sessions each worker thread holds open simultaneously: [1]
+          for {!run} (a worker drives one prover at a time),
+          [ceil (clients / workers)] for {!run_multiplexed} *)
   latencies : float array;  (** sorted report→verdict times, seconds *)
 }
 
@@ -72,6 +76,29 @@ val run :
     A prover whose session raises ({!Client.Protocol_violation},
     [Transport.Closed], a failed dial) is counted in [clients_failed];
     the rest of the swarm keeps running. *)
+
+val run_multiplexed :
+  ?config:config ->
+  dial:(unit -> Transport.conn) ->
+  respond:(client:int -> shape:int -> seq:int ->
+           Dialed_core.Protocol.request -> Dialed_apex.Pox.report) ->
+  unit -> outcome
+(** Like {!run}, but each of the [concurrency] worker threads runs an
+    {!Evloop} that multiplexes its share of the provers ([client i] is
+    owned by [worker (i mod concurrency)]) as non-blocking state
+    machines — so all [clients] sessions are held {e open
+    simultaneously} instead of at most [concurrency] at a time. This is
+    the c10k load shape: 10k provers over 16 threads.
+
+    After every prover has dialed and completed its
+    [Hello_ex]/[Welcome] handshake (or died trying), a cross-worker
+    barrier releases the fleet at once, so the gateway's
+    peak-connection counter provably reaches [clients] before the first
+    round is played. Per-prover behavior (window top-up, Busy backoff
+    with the same jittered delays, reply deadlines, give-up rules)
+    mirrors {!Client.attest_pipelined}; the semantics differ only in
+    that deadlines and backoffs are loop timers rather than blocking
+    waits. Failure accounting matches {!run}. *)
 
 val latency_p : outcome -> float -> float
 (** [latency_p o 99.0] = the p99 round latency in seconds (0 when no

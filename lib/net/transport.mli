@@ -8,9 +8,20 @@
     {e per-read deadline}; the gateway composes those into per-message
     deadlines (its slow-loris defense).
 
+    Two driving styles coexist:
+    {ul
+    {- {e blocking}: {!recv}/{!send}, used by the thread-per-connection
+       engine and the blocking client;}
+    {- {e readiness}: {!try_recv}/{!try_send} plus either a pollable
+       file descriptor ({!Fd}) or a writer-invoked callback ({!Hook}),
+       used by the {!Evloop} engine.}}
+
     Loopback connections and listeners are internally locked and safe to
     drive from multiple threads; Unix-socket connections carry the usual
-    file-descriptor caveats (one reader at a time). *)
+    file-descriptor caveats (one reader at a time). Deadline waits ride
+    on [poll(2)] (sockets) or a condition variable plus a shared timer
+    thread (loopback) — no [Unix.select], so nothing breaks past
+    [FD_SETSIZE] fds, and no polling sleeps. *)
 
 exception Timeout
 (** A read outlived its deadline. *)
@@ -36,6 +47,40 @@ val close : conn -> unit
 val peer : conn -> string
 (** Human-readable peer name, for logs and stats. *)
 
+(** {2 Readiness (event-loop driving)} *)
+
+type readiness =
+  | Fd of Unix.file_descr  (** pollable: register with poll/epoll *)
+  | Hook  (** in-memory: writer invokes a registered callback *)
+
+val readiness : conn -> readiness option
+(** How an event loop can learn this connection is readable, or [None]
+    for transports that only support blocking reads. *)
+
+val set_nonblock : conn -> unit
+(** Put the underlying endpoint in non-blocking mode so {!try_recv} and
+    {!try_send} return [`Again] instead of blocking. No-op for
+    loopback. *)
+
+val try_recv : conn -> bytes -> int -> int -> [ `Data of int | `Eof | `Again ]
+(** Non-blocking read: [`Data n] for [n > 0] bytes, [`Eof] at
+    end-of-stream (including peer reset), [`Again] when nothing is
+    available right now. *)
+
+val try_send : conn -> string -> int -> int -> [ `Sent of int | `Again ]
+(** Non-blocking write of [s[pos..pos+len)]: [`Sent n] for [n] bytes
+    accepted ([n < len] is a partial write), [`Again] when the kernel
+    buffer is full. Raises {!Closed} when the peer is gone. Loopback
+    sends always complete. *)
+
+val on_readable : conn -> (unit -> unit) option -> unit
+(** Register (or with [None] clear) the readability callback of a
+    {!Hook} connection; the peer's writes and close invoke it (outside
+    any transport lock). Data queued {e before} registration does not
+    re-fire the hook — poll the connection once with {!try_recv} right
+    after registering. Raises [Invalid_argument] on {!Fd}
+    connections. *)
+
 type listener
 
 val accept : listener -> conn
@@ -44,6 +89,21 @@ val accept : listener -> conn
 
 val shutdown : listener -> unit
 (** Stop accepting; wakes blocked accepts. Idempotent. *)
+
+val listener_readiness : listener -> readiness option
+(** How an event loop can learn this listener has pending
+    connections. *)
+
+val try_accept : listener -> conn option
+(** Non-blocking accept: [None] when no connection is pending (the
+    first call puts an fd-backed listener in non-blocking mode).
+    Accepted socket connections are left {e blocking}; the evloop engine
+    calls {!set_nonblock} itself. Raises {!Closed} after {!shutdown}. *)
+
+val on_acceptable : listener -> (unit -> unit) option -> unit
+(** Register the pending-connection callback of a {!Hook} listener;
+    {!shutdown} also fires it. Same once-after-registration caveat as
+    {!on_readable}. Raises [Invalid_argument] on {!Fd} listeners. *)
 
 (** {2 In-memory loopback} *)
 

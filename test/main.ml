@@ -3,7 +3,8 @@ let () =
     (Test_word.suites @ Test_encdec.suites @ Test_crypto.suites @ Test_memory.suites
      @ Test_cpu.suites @ Test_asm.suites @ Test_periph.suites @ Test_apex.suites @ Test_dialed_e2e.suites @ Test_minic.suites @ Test_apps.suites @ Test_cfa_verifier.suites @ Test_cfg.suites @ Test_passes.suites @ Test_oplog_pipeline.suites @ Test_extras.suites @ Test_randprog.suites @ Test_wire_sugar.suites @ Test_trace.suites @ Test_swatt.suites @ Test_fuzz.suites @ Test_monitor.suites @ Test_fleet.suites
      @ Test_adversarial.suites @ Test_replay_equiv.suites
-     @ Test_staticcheck.suites @ Test_gate.suites @ Test_net.suites
+     @ Test_staticcheck.suites @ Test_gate.suites
+     @ Test_evloop.suites @ Test_net.suites
      @ Test_swarm.suites
      @ Test_memo.suites
      @ Test_cli.suites)

@@ -1,0 +1,211 @@
+(* The readiness event loop in isolation: timer-wheel ordering and
+   cancellation, hook-source deduplication, cross-thread posting into a
+   blocked loop, and fd watches — under both poller backends where the
+   platform provides epoll. *)
+
+module N = Dialed_net
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_loop backend f =
+  let loop = N.Evloop.create ~backend () in
+  Fun.protect ~finally:(fun () -> N.Evloop.close loop) (fun () -> f loop)
+
+(* Run the loop until [cond] holds, failing the test after [deadline]
+   seconds so a loop bug can never hang the suite. *)
+let run_until ?(deadline = 5.0) loop cond =
+  let t0 = Unix.gettimeofday () in
+  let expired () = Unix.gettimeofday () -. t0 > deadline in
+  (* a coarse repeating tick bounds every wait so expiry is observed *)
+  let rec tick () =
+    if not (cond () || expired ()) then
+      ignore (N.Evloop.after loop 0.05 tick : N.Evloop.timer)
+  in
+  tick ();
+  N.Evloop.run loop ~stop:(fun () -> cond () || expired ());
+  if not (cond ()) then Alcotest.fail "run_until: condition never held"
+
+(* ------------------------------------------------------------- *)
+(* Timers.                                                         *)
+
+let test_timer_order backend () =
+  with_loop backend (fun loop ->
+      let fired = ref [] in
+      let t0 = Unix.gettimeofday () in
+      let arm tag delay =
+        ignore
+          (N.Evloop.after loop delay (fun () ->
+               fired := (tag, Unix.gettimeofday () -. t0) :: !fired)
+           : N.Evloop.timer)
+      in
+      arm "c" 0.09;
+      arm "a" 0.03;
+      arm "b" 0.06;
+      run_until loop (fun () -> List.length !fired = 3);
+      let order = List.rev_map fst !fired in
+      check_bool "fired in deadline order" true (order = [ "a"; "b"; "c" ]);
+      (* never early: each timer waited at least its full delay *)
+      List.iter
+        (fun (tag, el) ->
+           let d =
+             match tag with "a" -> 0.03 | "b" -> 0.06 | _ -> 0.09
+           in
+           if el < d -. 0.001 then
+             Alcotest.failf "timer %s fired %.4fs early" tag (d -. el))
+        !fired)
+
+let test_timer_cancel backend () =
+  with_loop backend (fun loop ->
+      let fired = ref [] in
+      let arm tag delay =
+        N.Evloop.after loop delay (fun () -> fired := tag :: !fired)
+      in
+      let a = arm "a" 0.02 in
+      let _b = arm "b" 0.04 in
+      let c = arm "c" 0.06 in
+      N.Evloop.cancel loop a;
+      N.Evloop.cancel loop c;
+      (* double-cancel is a no-op, not a crash or a count underflow *)
+      N.Evloop.cancel loop c;
+      run_until loop (fun () -> !fired <> []);
+      Thread.yield ();
+      check_bool "only the live timer fired" true (!fired = [ "b" ]))
+
+(* A delay past the level-0 horizon (256 ticks = 2.56 s) exercises the
+   wheel cascade: the timer parks in level 1 and must still fire on
+   time, not at the wrap. *)
+let test_timer_cascade () =
+  with_loop `Poll (fun loop ->
+      let fired = ref false in
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (N.Evloop.after loop 2.7 (fun () -> fired := true) : N.Evloop.timer);
+      run_until ~deadline:8.0 loop (fun () -> !fired);
+      let el = Unix.gettimeofday () -. t0 in
+      check_bool "cascaded timer not early" true (el >= 2.7 -. 0.001);
+      check_bool "cascaded timer not wildly late" true (el < 4.0))
+
+(* ------------------------------------------------------------- *)
+(* Cross-thread machinery.                                         *)
+
+let test_hook_source_dedup backend () =
+  with_loop backend (fun loop ->
+      let calls = ref 0 in
+      let thunk = N.Evloop.hook_source loop (fun () -> incr calls) in
+      (* burst of readiness signals before the loop looks: one callback *)
+      for _ = 1 to 5 do thunk () done;
+      run_until loop (fun () -> !calls >= 1);
+      check_int "burst coalesced to one callback" 1 !calls;
+      (* re-arms after delivery: a later signal fires again *)
+      thunk ();
+      thunk ();
+      run_until loop (fun () -> !calls >= 2);
+      check_int "second burst coalesced too" 2 !calls)
+
+let test_cross_thread_post backend () =
+  with_loop backend (fun loop ->
+      let landed = ref false in
+      (* the loop blocks with no timers armed; only the poster's wake
+         can get the thunk delivered *)
+      let poster =
+        Thread.create
+          (fun () ->
+             Thread.delay 0.05;
+             N.Evloop.post loop (fun () -> landed := true))
+          ()
+      in
+      N.Evloop.run loop ~stop:(fun () -> !landed);
+      Thread.join poster;
+      check_bool "posted thunk ran on the loop" true !landed)
+
+(* ------------------------------------------------------------- *)
+(* Fd watches.                                                     *)
+
+let test_fd_watch backend () =
+  with_loop backend (fun loop ->
+      let r, w = Unix.pipe ~cloexec:true () in
+      Unix.set_nonblock r;
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close r with Unix.Unix_error _ -> ());
+          (try Unix.close w with Unix.Unix_error _ -> ()))
+        (fun () ->
+           let got = Buffer.create 8 in
+           let buf = Bytes.create 64 in
+           N.Evloop.watch loop r
+             ~read:
+               (Some
+                  (fun () ->
+                    match Unix.read r buf 0 64 with
+                    | n when n > 0 ->
+                      Buffer.add_subbytes got buf 0 n
+                    | _ -> ()
+                    | exception
+                        Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()))
+             ~write:None;
+           (* data written from another thread wakes the watch *)
+           let writer =
+             Thread.create
+               (fun () ->
+                  Thread.delay 0.03;
+                  ignore (Unix.write_substring w "ping" 0 4))
+               ()
+           in
+           run_until loop (fun () -> Buffer.length got >= 4);
+           Thread.join writer;
+           check_bool "read callback saw the bytes" true
+             (Buffer.contents got = "ping");
+           (* unwatch: later writes no longer reach the callback *)
+           N.Evloop.unwatch loop r;
+           ignore (Unix.write_substring w "more" 0 4);
+           let parked = ref false in
+           ignore
+             (N.Evloop.after loop 0.1 (fun () -> parked := true)
+              : N.Evloop.timer);
+           run_until loop (fun () -> !parked);
+           check_bool "unwatched fd stayed silent" true
+             (Buffer.contents got = "ping")))
+
+let test_write_interest backend () =
+  with_loop backend (fun loop ->
+      let r, w = Unix.pipe ~cloexec:true () in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close r with Unix.Unix_error _ -> ());
+          (try Unix.close w with Unix.Unix_error _ -> ()))
+        (fun () ->
+           (* an empty pipe is immediately writable: write interest
+              fires without any peer action *)
+           let writable = ref false in
+           N.Evloop.watch loop w ~read:None
+             ~write:
+               (Some
+                  (fun () ->
+                    writable := true;
+                    N.Evloop.unwatch loop w));
+           run_until loop (fun () -> !writable);
+           check_bool "write readiness delivered" true !writable))
+
+(* ------------------------------------------------------------- *)
+
+let backends =
+  ("poll", `Poll)
+  :: (if N.Rawpoll.has_epoll () then [ ("epoll", `Epoll) ] else [])
+
+let suites =
+  [ ("net-evloop",
+     List.concat_map
+       (fun (tag, backend) ->
+          let t name f =
+            Alcotest.test_case (name ^ " [" ^ tag ^ "]") `Quick (f backend)
+          in
+          [ t "timers fire in deadline order" test_timer_order;
+            t "cancelled timers never fire" test_timer_cancel;
+            t "hook source coalesces bursts" test_hook_source_dedup;
+            t "cross-thread post wakes a blocked loop" test_cross_thread_post;
+            t "fd read watch" test_fd_watch;
+            t "fd write interest" test_write_interest ])
+       backends
+     @ [ Alcotest.test_case "timer cascades across wheel levels" `Slow
+           test_timer_cascade ]) ]

@@ -289,12 +289,18 @@ let build_app () =
   C.Pipeline.build ~variant:C.Pipeline.Full ~data:compiled.Dialed_minic.Minic.data
     ~op:compiled.Dialed_minic.Minic.op ~or_min:fire_sensor.Apps.or_min ()
 
-let gateway_config =
+(* every gateway test below runs under BOTH engines: the evloop and
+   threads engines must be observationally identical, and the hostile
+   corpus is the proof *)
+let gateway_config engine =
   { N.Server.default_config with
-    N.Server.domains = 1; window = 4; read_deadline = Some 2.0;
+    N.Server.engine; domains = 1; window = 4; read_deadline = Some 2.0;
     args = fire_sensor.Apps.benign_args }
 
-let with_gateway ?(config = gateway_config) f =
+let with_gateway ?config ~engine f =
+  let config =
+    match config with Some c -> c | None -> gateway_config engine
+  in
   let built = build_app () in
   let plan = F.Plan.of_built built in
   let listener, dial = N.Transport.loopback_listener () in
@@ -314,8 +320,8 @@ let client_config =
     N.Client.read_deadline = Some 2.0; backoff_base = 0.01;
     backoff_cap = 0.05 }
 
-let test_e2e_loopback () =
-  with_gateway (fun ~server ~dial ~device ->
+let test_e2e_loopback engine =
+  with_gateway ~engine (fun ~server ~dial ~device ->
       let conn = dial () in
       let rounds =
         N.Client.attest_rounds ~config:client_config ~device
@@ -336,11 +342,11 @@ let test_e2e_loopback () =
       check_int "no conns left" 0 stats.N.Server.connections_active;
       check_int "fleet agrees" 3 stats.N.Server.verify.F.Metrics.accepted)
 
-let test_e2e_tcp () =
+let test_e2e_tcp engine =
   let built = build_app () in
   let plan = F.Plan.of_built built in
   let listener, port = N.Transport.tcp_listener ~port:0 () in
-  let server = N.Server.create ~config:gateway_config ~plan listener in
+  let server = N.Server.create ~config:(gateway_config engine) ~plan listener in
   N.Server.start server;
   let device () =
     let d = C.Pipeline.device built in
@@ -362,8 +368,8 @@ let test_e2e_tcp () =
        let stats = N.Server.stats server in
        check_int "two verdicts over tcp" 2 stats.N.Server.verdicts_accepted)
 
-let test_e2e_two_provers () =
-  with_gateway (fun ~server:_ ~dial ~device ->
+let test_e2e_two_provers engine =
+  with_gateway ~engine (fun ~server:_ ~dial ~device ->
       let run id () =
         let conn = dial () in
         let rounds =
@@ -381,8 +387,8 @@ let test_e2e_two_provers () =
       check_bool "prover a all accepted" true !ok_a;
       check_bool "prover b all accepted" true !ok_b)
 
-let test_e2e_tampered_report_rejected () =
-  with_gateway (fun ~server ~dial ~device ->
+let test_e2e_tampered_report_rejected engine =
+  with_gateway ~engine (fun ~server ~dial ~device ->
       let mangle (r : A.Pox.report) =
         let b = Bytes.of_string r.A.Pox.or_data in
         let j = Bytes.length b / 2 in
@@ -405,10 +411,10 @@ let test_e2e_tampered_report_rejected () =
       let stats = N.Server.stop server in
       check_int "rejected counted" 1 stats.N.Server.verdicts_rejected)
 
-let test_e2e_wire_replay_rejected () =
+let test_e2e_wire_replay_rejected engine =
   (* a prover that answers the second challenge with the first round's
      report: freshness gate rejects it without any replay work *)
-  with_gateway (fun ~server ~dial ~device ->
+  with_gateway ~engine (fun ~server ~dial ~device ->
       let conn = dial () in
       let chan = N.Chan.create conn in
       let recv () =
@@ -452,11 +458,11 @@ let test_e2e_wire_replay_rejected () =
       check_int "only honest report replayed" 1
         stats.N.Server.verify.F.Metrics.batch_size)
 
-let test_e2e_rate_limited_busy () =
+let test_e2e_rate_limited_busy engine =
   let config =
-    { gateway_config with N.Server.rate = Some 0.000001; burst = 1.0 }
+    { (gateway_config engine) with N.Server.rate = Some 0.000001; burst = 1.0 }
   in
-  with_gateway ~config (fun ~server ~dial ~device:_ ->
+  with_gateway ~config ~engine (fun ~server ~dial ~device:_ ->
       let conn = dial () in
       let chan = N.Chan.create conn in
       N.Chan.send chan (N.Codec.Hello { device_id = "dev-greedy" });
@@ -472,9 +478,9 @@ let test_e2e_rate_limited_busy () =
       let stats = N.Server.stop server in
       check_int "rate limited counted" 1 stats.N.Server.rate_limited)
 
-let test_e2e_max_conns_busy () =
-  let config = { gateway_config with N.Server.max_conns = 1 } in
-  with_gateway ~config (fun ~server:_ ~dial ~device ->
+let test_e2e_max_conns_busy engine =
+  let config = { (gateway_config engine) with N.Server.max_conns = 1 } in
+  with_gateway ~config ~engine (fun ~server:_ ~dial ~device ->
       (* occupy the only slot with a live session *)
       let first = dial () in
       let chan = N.Chan.create first in
@@ -513,8 +519,8 @@ let test_e2e_max_conns_busy () =
 (* ------------------------------------------------------------- *)
 (* Pipelined sessions.                                             *)
 
-let test_e2e_pipelined_loopback () =
-  with_gateway (fun ~server ~dial ~device ->
+let test_e2e_pipelined_loopback engine =
+  with_gateway ~engine (fun ~server ~dial ~device ->
       let conn = dial () in
       let session =
         N.Client.attest_pipelined ~config:client_config ~window:4 ~device
@@ -538,9 +544,9 @@ let test_e2e_pipelined_loopback () =
       check_int "no bad seq" 0 stats.N.Server.bad_seq;
       check_int "no sessions left" 0 stats.N.Server.sessions_active)
 
-let test_e2e_pipelined_window_clamped () =
-  let config = { gateway_config with N.Server.max_window = 2 } in
-  with_gateway ~config (fun ~server:_ ~dial ~device ->
+let test_e2e_pipelined_window_clamped engine =
+  let config = { (gateway_config engine) with N.Server.max_window = 2 } in
+  with_gateway ~config ~engine (fun ~server:_ ~dial ~device ->
       let conn = dial () in
       let session =
         N.Client.attest_pipelined ~config:client_config ~window:16 ~device
@@ -553,11 +559,11 @@ let test_e2e_pipelined_window_clamped () =
            (fun (r : N.Client.pipelined_round) -> r.N.Client.p_accepted)
            session.N.Client.results))
 
-let test_e2e_pipelined_tamper_per_round () =
+let test_e2e_pipelined_tamper_per_round engine =
   (* tamper exactly rounds 1 and 3 of 5: the verdict array must show
      rejections at those indexes and acceptances elsewhere — windowed
      dispatch must not mix rounds up *)
-  with_gateway (fun ~server ~dial ~device ->
+  with_gateway ~engine (fun ~server ~dial ~device ->
       let tampered = [ 1; 3 ] in
       let respond ~seq req =
         let report, _ = C.Protocol.prover_execute (device ()) req in
@@ -593,8 +599,8 @@ let pipelined_handshake chan ~device_id ~window =
   | Ok (Some (N.Codec.Welcome { window = w })) -> w
   | _ -> Alcotest.fail "no Welcome"
 
-let test_hostile_bad_seq_reports () =
-  with_gateway (fun ~server ~dial ~device ->
+let test_hostile_bad_seq_reports engine =
+  with_gateway ~engine (fun ~server ~dial ~device ->
       let conn = dial () in
       let chan = N.Chan.create conn in
       let recv () =
@@ -640,8 +646,8 @@ let test_hostile_bad_seq_reports () =
       check_int "engine saw one report" 1
         stats.N.Server.verify.F.Metrics.batch_size)
 
-let test_hostile_window_flood_and_bye () =
-  with_gateway (fun ~server ~dial ~device ->
+let test_hostile_window_flood_and_bye engine =
+  with_gateway ~engine (fun ~server ~dial ~device ->
       let conn = dial () in
       let chan = N.Chan.create conn in
       let granted = pipelined_handshake chan ~device_id:"dev-flood" ~window:4 in
@@ -692,8 +698,8 @@ let test_hostile_window_flood_and_bye () =
       check_bool "hostile Bye counted" true (stats.N.Server.protocol_errors >= 1);
       check_int "no sessions leaked" 0 stats.N.Server.sessions_active)
 
-let test_hostile_seq_frames_on_legacy_session () =
-  with_gateway (fun ~server ~dial ~device ->
+let test_hostile_seq_frames_on_legacy_session engine =
+  with_gateway ~engine (fun ~server ~dial ~device ->
       let conn = dial () in
       let chan = N.Chan.create conn in
       N.Chan.send chan (N.Codec.Hello { device_id = "dev-old" });
@@ -722,11 +728,11 @@ let test_hostile_seq_frames_on_legacy_session () =
 (* ------------------------------------------------------------- *)
 (* Hostile peers: the gateway must shed them and keep serving.     *)
 
-let test_server_survives_malformed_peers () =
+let test_server_survives_malformed_peers engine =
   let config =
-    { gateway_config with N.Server.read_deadline = Some 0.15; max_frame = 4096 }
+    { (gateway_config engine) with N.Server.read_deadline = Some 0.15; max_frame = 4096 }
   in
-  with_gateway ~config (fun ~server ~dial ~device ->
+  with_gateway ~config ~engine (fun ~server ~dial ~device ->
       let attack bytes =
         let conn = dial () in
         (try N.Transport.send conn bytes with N.Transport.Closed -> ());
@@ -777,9 +783,9 @@ let test_server_survives_malformed_peers () =
       check_int "no sessions leaked" 0 stats.N.Server.sessions_active;
       check_int "no conns leaked" 0 stats.N.Server.connections_active)
 
-let test_server_survives_slow_loris () =
-  let config = { gateway_config with N.Server.read_deadline = Some 0.1 } in
-  with_gateway ~config (fun ~server ~dial ~device ->
+let test_server_survives_slow_loris engine =
+  let config = { (gateway_config engine) with N.Server.read_deadline = Some 0.1 } in
+  with_gateway ~config ~engine (fun ~server ~dial ~device ->
       let conn = dial () in
       (* a valid Hello, then a frame header that never completes *)
       let chan = N.Chan.create conn in
@@ -806,6 +812,133 @@ let test_server_survives_slow_loris () =
       let stats = N.Server.stop server in
       check_bool "timeout counted" true (stats.N.Server.deadline_timeouts >= 1);
       check_int "no sessions leaked" 0 stats.N.Server.sessions_active)
+
+(* ------------------------------------------------------------- *)
+(* Idle reaping and half-open connections.                         *)
+
+let test_idle_connection_reaped engine =
+  (* a peer that opens a session and then falls silent is reaped at
+     the read deadline — idle sockets must not accumulate *)
+  let config =
+    { (gateway_config engine) with N.Server.read_deadline = Some 0.1 }
+  in
+  with_gateway ~config ~engine (fun ~server ~dial ~device:_ ->
+      let conn = dial () in
+      let chan = N.Chan.create conn in
+      N.Chan.send chan (N.Codec.Hello_ex { device_id = "dev-idle"; window = 4 });
+      (match N.Chan.recv chan ~deadline:2.0 () with
+       | Ok (Some (N.Codec.Welcome _)) -> ()
+       | _ -> Alcotest.fail "no Welcome");
+      (* now say nothing; the server must hang up on us *)
+      let buf = Bytes.create 16 in
+      (match N.Transport.recv conn ~deadline:2.0 buf 0 16 with
+       | 0 -> ()
+       | _ -> Alcotest.fail "expected EOF for the idle session"
+       | exception N.Transport.Timeout ->
+         Alcotest.fail "idle connection never reaped");
+      N.Transport.close conn;
+      let stats = N.Server.stop server in
+      check_bool "timeout counted" true (stats.N.Server.deadline_timeouts >= 1);
+      check_int "no sessions leaked" 0 stats.N.Server.sessions_active;
+      check_int "no conns leaked" 0 stats.N.Server.connections_active)
+
+let test_half_open_fin_no_bye engine =
+  (* TCP half-close: the peer FINs its write side without sending Bye
+     and keeps its read side open. The gateway must treat the EOF as
+     the end of the session and release the connection — a half-open
+     socket held forever is a slot leak an attacker can farm. *)
+  let built = build_app () in
+  let plan = F.Plan.of_built built in
+  let listener, port = N.Transport.tcp_listener ~port:0 () in
+  let server =
+    N.Server.create ~config:(gateway_config engine) ~plan listener
+  in
+  N.Server.start server;
+  Fun.protect
+    ~finally:(fun () -> ignore (N.Server.stop server))
+    (fun () ->
+       let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       Unix.connect sock
+         (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+       let hello =
+         N.Frame.encode
+           (N.Codec.encode (N.Codec.Hello { device_id = "dev-fin" }))
+       in
+       let n = Unix.write_substring sock hello 0 (String.length hello) in
+       check_int "hello written" (String.length hello) n;
+       (* FIN our write side; our read side stays open *)
+       Unix.shutdown sock Unix.SHUTDOWN_SEND;
+       (* the gateway closes its end: we observe EOF rather than hang *)
+       let buf = Bytes.create 64 in
+       let deadline = Unix.gettimeofday () +. 5.0 in
+       let rec drain () =
+         if Unix.gettimeofday () > deadline then
+           Alcotest.fail "gateway never closed the half-open connection"
+         else
+           match Unix.select [ sock ] [] [] 0.2 with
+           | [], _, _ -> drain ()
+           | _ ->
+             (match Unix.read sock buf 0 64 with
+              | 0 -> ()
+              | _ -> drain ()
+              | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ())
+       in
+       drain ();
+       Unix.close sock;
+       (* the slot is free again *)
+       let rec settled n =
+         let stats = N.Server.stats server in
+         if stats.N.Server.connections_active = 0 then stats
+         else if n = 0 then stats
+         else (Thread.delay 0.02; settled (n - 1))
+       in
+       let stats = settled 100 in
+       check_int "no sessions leaked" 0 stats.N.Server.sessions_active;
+       check_int "no conns leaked" 0 stats.N.Server.connections_active;
+       (* a clean FIN is EOF, not a protocol violation *)
+       check_int "FIN is not an error" 0 stats.N.Server.protocol_errors)
+
+let test_request_stop_unwinds engine =
+  (* request_stop is the signal-handler path: lock-free, closes the
+     listener, and makes serve_forever return so the caller can run
+     the full stop for teardown + stats. A regression here shows up as
+     a gateway that ignores Ctrl-C (the handler used to call [stop]
+     from the serving thread and self-deadlock). *)
+  let built = build_app () in
+  let plan = F.Plan.of_built built in
+  let listener, port = N.Transport.tcp_listener ~port:0 () in
+  let server =
+    N.Server.create ~config:(gateway_config engine) ~plan listener
+  in
+  let unwound = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () -> N.Server.serve_forever server; Atomic.set unwound true) ()
+  in
+  (* prove the engine is actually serving before pulling the plug *)
+  let conn = N.Transport.tcp_connect ~host:"127.0.0.1" ~port () in
+  let chan = N.Chan.create conn in
+  N.Chan.send chan (N.Codec.Hello_ex { device_id = "dev-sig"; window = 2 });
+  (match N.Chan.recv chan ~deadline:5.0 () with
+   | Ok (Some (N.Codec.Welcome _)) -> ()
+   | _ -> Alcotest.fail "no Welcome");
+  N.Server.request_stop server;
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while not (Atomic.get unwound) && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  check_bool "serve_forever returned" true (Atomic.get unwound);
+  Thread.join th;
+  N.Transport.close conn;
+  (* new dials are refused: the listener socket is gone *)
+  (match N.Transport.tcp_connect ~host:"127.0.0.1" ~port () with
+   | conn2 ->
+     N.Transport.close conn2;
+     Alcotest.fail "listener still accepting after request_stop"
+   | exception Unix.Unix_error (_, _, _) -> ());
+  let stats = N.Server.stop server in
+  check_int "no sessions leaked" 0 stats.N.Server.sessions_active;
+  check_int "no conns leaked" 0 stats.N.Server.connections_active
 
 (* ------------------------------------------------------------- *)
 (* Client backoff.                                                 *)
@@ -853,32 +986,46 @@ let suites =
        Alcotest.test_case "slow loris times out" `Quick
          test_chan_slow_loris_times_out ]);
     ("net-gateway",
-     [ Alcotest.test_case "e2e loopback" `Quick test_e2e_loopback;
-       Alcotest.test_case "e2e tcp" `Quick test_e2e_tcp;
-       Alcotest.test_case "two provers" `Quick test_e2e_two_provers;
-       Alcotest.test_case "tamper rejected" `Quick
-         test_e2e_tampered_report_rejected;
-       Alcotest.test_case "wire replay rejected" `Quick
-         test_e2e_wire_replay_rejected;
-       Alcotest.test_case "rate limit Busy" `Quick test_e2e_rate_limited_busy;
-       Alcotest.test_case "max conns Busy" `Quick test_e2e_max_conns_busy;
-       Alcotest.test_case "survives malformed peers" `Quick
-         test_server_survives_malformed_peers;
-       Alcotest.test_case "survives slow loris" `Quick
-         test_server_survives_slow_loris ]);
+     (* the full corpus, once per engine: identical observable behavior
+        is the contract *)
+     List.concat_map
+       (fun (tag, engine) ->
+          let case name f =
+            Alcotest.test_case (name ^ " [" ^ tag ^ "]") `Quick
+              (fun () -> f engine)
+          in
+          [ case "e2e loopback" test_e2e_loopback;
+            case "e2e tcp" test_e2e_tcp;
+            case "two provers" test_e2e_two_provers;
+            case "tamper rejected" test_e2e_tampered_report_rejected;
+            case "wire replay rejected" test_e2e_wire_replay_rejected;
+            case "rate limit Busy" test_e2e_rate_limited_busy;
+            case "max conns Busy" test_e2e_max_conns_busy;
+            case "survives malformed peers"
+              test_server_survives_malformed_peers;
+            case "survives slow loris" test_server_survives_slow_loris;
+            case "idle connection reaped" test_idle_connection_reaped;
+            case "half-open FIN without Bye" test_half_open_fin_no_bye;
+            case "request_stop unwinds serve_forever"
+              test_request_stop_unwinds ])
+       [ ("evloop", N.Server.Evloop); ("threads", N.Server.Threads) ]);
     ("net-pipelined",
-     [ Alcotest.test_case "e2e pipelined loopback" `Quick
-         test_e2e_pipelined_loopback;
-       Alcotest.test_case "window clamped by server" `Quick
-         test_e2e_pipelined_window_clamped;
-       Alcotest.test_case "per-round tamper isolated" `Quick
-         test_e2e_pipelined_tamper_per_round;
-       Alcotest.test_case "bad sequence numbers rejected" `Quick
-         test_hostile_bad_seq_reports;
-       Alcotest.test_case "window flood and hostile Bye" `Quick
-         test_hostile_window_flood_and_bye;
-       Alcotest.test_case "seq frames on legacy session" `Quick
-         test_hostile_seq_frames_on_legacy_session ]);
+     List.concat_map
+       (fun (tag, engine) ->
+          let case name f =
+            Alcotest.test_case (name ^ " [" ^ tag ^ "]") `Quick
+              (fun () -> f engine)
+          in
+          [ case "e2e pipelined loopback" test_e2e_pipelined_loopback;
+            case "window clamped by server" test_e2e_pipelined_window_clamped;
+            case "per-round tamper isolated"
+              test_e2e_pipelined_tamper_per_round;
+            case "bad sequence numbers rejected" test_hostile_bad_seq_reports;
+            case "window flood and hostile Bye"
+              test_hostile_window_flood_and_bye;
+            case "seq frames on legacy session"
+              test_hostile_seq_frames_on_legacy_session ])
+       [ ("evloop", N.Server.Evloop); ("threads", N.Server.Threads) ]);
     ("net-client",
      [ Alcotest.test_case "backoff deterministic" `Quick
          test_backoff_deterministic ]) ]

@@ -31,12 +31,15 @@ let make_device () =
   fire_sensor.Apps.setup d;
   d
 
-let gateway_config =
+let gateway_config engine =
   { N.Server.default_config with
-    N.Server.domains = 1; window = 4; read_deadline = Some 5.0;
+    N.Server.engine; domains = 1; window = 4; read_deadline = Some 5.0;
     max_conns = 128; args = fire_sensor.Apps.benign_args }
 
-let with_gateway ?(config = gateway_config) f =
+let with_gateway ?config ~engine f =
+  let config =
+    match config with Some c -> c | None -> gateway_config engine
+  in
   let plan = F.Plan.of_built (Lazy.force built) in
   let listener, dial = N.Transport.loopback_listener () in
   let server = N.Server.create ~config ~plan listener in
@@ -101,24 +104,46 @@ let pipelined_run ~dial ~tamper ~window rounds =
           round_key r.N.Client.p_accepted r.N.Client.p_findings)
        session.N.Client.results)
 
-let prop_pipelined_equals_sequential =
+let prop_pipelined_equals_sequential ~tag engine =
   QCheck.Test.make
-    ~name:"pipelined session = sequential single-shot (verdicts and order)"
+    ~name:
+      (Printf.sprintf
+         "pipelined session = sequential single-shot (verdicts and order) [%s]"
+         tag)
     ~count:8
     QCheck.(pair (int_range 1 5) (list_of_size (Gen.int_range 1 6) bool))
     (fun (window, tamper_list) ->
        let rounds = List.length tamper_list in
        let tamper = Array.of_list tamper_list in
-       with_gateway (fun ~server:_ ~dial ->
+       with_gateway ~engine (fun ~server:_ ~dial ->
            let seq = sequential_run ~dial ~tamper rounds in
            let pipe = pipelined_run ~dial ~tamper ~window rounds in
            seq = pipe))
 
+(* The two server engines must be observationally interchangeable: the
+   same tampered session yields the same verdicts in the same order
+   (list equality subsumes multiset equality) whichever engine serves
+   it. *)
+let prop_engines_equivalent =
+  QCheck.Test.make
+    ~name:"evloop gateway = threads gateway (verdicts and order)"
+    ~count:6
+    QCheck.(pair (int_range 1 5) (list_of_size (Gen.int_range 1 6) bool))
+    (fun (window, tamper_list) ->
+       let rounds = List.length tamper_list in
+       let tamper = Array.of_list tamper_list in
+       let under engine =
+         with_gateway ~engine (fun ~server:_ ~dial ->
+             ( sequential_run ~dial ~tamper rounds,
+               pipelined_run ~dial ~tamper ~window rounds ))
+       in
+       under N.Server.Evloop = under N.Server.Threads)
+
 (* --------------------------------------------------------------- *)
 (* Swarm smoke: many provers over loopback, all accepted.            *)
 
-let test_swarm_loopback () =
-  with_gateway (fun ~server ~dial ->
+let test_swarm_loopback engine () =
+  with_gateway ~engine (fun ~server ~dial ->
       let config =
         { N.Swarm.default_config with
           N.Swarm.clients = 12; rounds = 3; window = 4; concurrency = 6;
@@ -142,8 +167,8 @@ let test_swarm_loopback () =
 (* With the cheap responder each prover's reports share one execution,
    but every report is still individually replayed by the engine:
    batch_size = clients * rounds, not clients. *)
-let test_swarm_engine_sees_all_reports () =
-  with_gateway (fun ~server ~dial ->
+let test_swarm_engine_sees_all_reports engine () =
+  with_gateway ~engine (fun ~server ~dial ->
       let config =
         { N.Swarm.default_config with
           N.Swarm.clients = 3; rounds = 2; window = 2; concurrency = 3;
@@ -162,11 +187,11 @@ let test_swarm_engine_sees_all_reports () =
 (* Fairness: per-session rate limiting lands on the flooder, never on
    the honest provers sharing the gateway.                           *)
 
-let test_fairness_flooder_vs_honest () =
+let test_fairness_flooder_vs_honest engine () =
   let config =
-    { gateway_config with N.Server.rate = Some 4.0; burst = 2.0 }
+    { (gateway_config engine) with N.Server.rate = Some 4.0; burst = 2.0 }
   in
-  with_gateway ~config (fun ~server ~dial ->
+  with_gateway ~config ~engine (fun ~server ~dial ->
       let honest_failures = Atomic.make 0 in
       let honest_busy = Atomic.make 0 in
       let honest n =
@@ -236,8 +261,8 @@ let test_fairness_flooder_vs_honest () =
 (* Stats under concurrency: poll the snapshot while a swarm runs and
    assert cross-counter invariants in every observation.             *)
 
-let test_stats_snapshot_consistent_under_load () =
-  with_gateway (fun ~server ~dial ->
+let test_stats_snapshot_consistent_under_load engine () =
+  with_gateway ~engine (fun ~server ~dial ->
       let stop_polling = Atomic.make false in
       let violations = ref [] in
       let polls = ref 0 in
@@ -289,13 +314,73 @@ let test_stats_snapshot_consistent_under_load () =
       check_int "every report got a verdict" s.N.Server.reports_received
         (s.N.Server.verdicts_accepted + s.N.Server.verdicts_rejected))
 
+(* --------------------------------------------------------------- *)
+(* Multiplexed swarm: every session held open simultaneously by a few
+   evloop-driven worker threads — the c10k load shape, scaled down.   *)
+
+let test_swarm_multiplexed engine () =
+  with_gateway ~engine (fun ~server ~dial ->
+      let config =
+        { N.Swarm.default_config with
+          N.Swarm.clients = 12; rounds = 3; window = 4; concurrency = 4;
+          client = client_config }
+      in
+      let respond ~client:_ ~shape:_ =
+        N.Swarm.cheap_responder ~build:make_device ()
+      in
+      let outcome = N.Swarm.run_multiplexed ~config ~dial ~respond () in
+      check_int "no client failed" 0 outcome.N.Swarm.clients_failed;
+      check_int "all rounds accepted" 36 outcome.N.Swarm.rounds_accepted;
+      check_int "nothing rejected" 0 outcome.N.Swarm.rounds_rejected;
+      check_int "sessions multiplexed per thread" 3
+        outcome.N.Swarm.clients_per_thread;
+      check_int "every latency recorded" 36
+        (Array.length outcome.N.Swarm.latencies);
+      let stats = N.Server.stop server in
+      check_int "server agrees on accepts" 36
+        stats.N.Server.verdicts_accepted;
+      (* the start barrier held every session open before the first
+         round was played *)
+      check_bool "peak connections >= clients" true
+        (stats.N.Server.connections_peak >= 12))
+
+let test_swarm_multiplexed_tampered () =
+  with_gateway ~engine:N.Server.Evloop (fun ~server:_ ~dial ->
+      let config =
+        { N.Swarm.default_config with
+          N.Swarm.clients = 4; rounds = 2; window = 2; concurrency = 2;
+          client = client_config }
+      in
+      let respond ~client ~shape:_ =
+        let inner = N.Swarm.cheap_responder ~build:make_device () in
+        fun ~seq req ->
+          let r = inner ~seq req in
+          if client = 0 && seq = 0 then flip_or_data r else r
+      in
+      let outcome = N.Swarm.run_multiplexed ~config ~dial ~respond () in
+      check_int "no client failed" 0 outcome.N.Swarm.clients_failed;
+      check_int "one round rejected" 1 outcome.N.Swarm.rounds_rejected;
+      check_int "rest accepted" 7 outcome.N.Swarm.rounds_accepted)
+
+let engines = [ ("evloop", N.Server.Evloop); ("threads", N.Server.Threads) ]
+
 let suites =
   [ ("net-swarm",
-     [ QCheck_alcotest.to_alcotest prop_pipelined_equals_sequential;
-       Alcotest.test_case "swarm over loopback" `Quick test_swarm_loopback;
-       Alcotest.test_case "engine sees every report" `Quick
-         test_swarm_engine_sees_all_reports;
-       Alcotest.test_case "flooder cannot starve honest provers" `Quick
-         test_fairness_flooder_vs_honest;
-       Alcotest.test_case "stats consistent under load" `Quick
-         test_stats_snapshot_consistent_under_load ]) ]
+     List.concat_map
+       (fun (tag, engine) ->
+          let t name f =
+            Alcotest.test_case (name ^ " [" ^ tag ^ "]") `Quick (f engine)
+          in
+          [ QCheck_alcotest.to_alcotest
+              (prop_pipelined_equals_sequential ~tag engine);
+            t "swarm over loopback" test_swarm_loopback;
+            t "engine sees every report" test_swarm_engine_sees_all_reports;
+            t "flooder cannot starve honest provers"
+              test_fairness_flooder_vs_honest;
+            t "stats consistent under load"
+              test_stats_snapshot_consistent_under_load;
+            t "multiplexed swarm holds all sessions" test_swarm_multiplexed ])
+       engines
+     @ [ QCheck_alcotest.to_alcotest prop_engines_equivalent;
+         Alcotest.test_case "multiplexed swarm surfaces rejections" `Quick
+           test_swarm_multiplexed_tampered ]) ]
