@@ -2,7 +2,7 @@
 
 .PHONY: build test lint bench bench-replay bench-fleet bench-fleet-gate \
         bench-lint bench-net bench-swarm bench-swarm-gate bench-memo \
-        bench-memo-gate examples clean
+        bench-memo-gate bench-lifecycle examples clean
 
 build:
 	dune build @all
@@ -61,6 +61,12 @@ bench-memo:
 # noisy to gate on, so they self-skip like the swarm gate.
 bench-memo-gate:
 	dune exec bench/main.exe -- memo-gate
+
+# Device lifecycle under load: revocation-to-quarantine latency in
+# rounds (both engines) and a staged rollout holding two firmware
+# versions' plans hot in the LRU (BENCH_lifecycle.json)
+bench-lifecycle:
+	dune exec bench/main.exe -- lifecycle
 
 examples:
 	dune exec examples/quickstart.exe

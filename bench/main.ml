@@ -1376,6 +1376,284 @@ let swarm_gate () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Lifecycle: the operational trust loop under load.
+
+   Two measurements, both on live gateways:
+
+   1. Revocation-to-quarantine latency, in rounds. One registered
+      prover pipelines a deep session; once the gateway has delivered a
+      handful of verdicts, the bench revokes the prover's key and
+      counts how many more verdicts the prover ever received. The
+      gateway rechecks the registry immediately before every verdict
+      send, so the answer should be ~0 — the session is cut with a
+      typed denial before the next verdict — and must hold identically
+      under both connection engines.
+
+   2. Staged rollout with two firmware versions live. A registered
+      fleet splits deterministically across stable (fire-sensor) and
+      canary (ultrasonic-ranger) versions; each session's reports
+      verify against its version's plan, resolved through the
+      operator's plan cache. The witness that one stream serves both
+      versions without thrash: exactly two plan-cache misses (one build
+      per version), zero evictions, every admitted session accepted. A
+      tail of provers claiming a retired version shows up as typed
+      stale-firmware denials, not failures.
+
+   Writes BENCH_lifecycle.json.                                        *)
+
+module L = Dialed_lifecycle.Lifecycle
+
+type revocation_result = {
+  rv_rounds : int;            (* session depth requested *)
+  rv_at_revocation : int;     (* verdicts delivered when the key died *)
+  rv_completed : int;         (* verdicts the prover ever received *)
+  rv_latency_rounds : int;    (* rv_completed - rv_at_revocation *)
+  rv_denied : string option;  (* denial cause the prover saw *)
+  rv_midsession_denials : int;(* server-side counter *)
+}
+
+let lifecycle_revocation engine =
+  let app = Apps.fire_sensor in
+  let built = Apps.build app in
+  let plan = F.Plan.of_built built in
+  let lc = L.create () in
+  (match L.register lc ~id:"victim" ~key_id:"k-victim" with
+   | Ok () -> ()
+   | Error m -> failwith m);
+  let config =
+    { N.Server.default_config with
+      N.Server.engine; domains = 2; read_deadline = Some 30.0;
+      args = app.Apps.benign_args; lifecycle = Some lc }
+  in
+  let listener, dial = N.Transport.loopback_listener () in
+  let server = N.Server.create ~config ~plan listener in
+  N.Server.start server;
+  let rounds = 256 in
+  let respond =
+    N.Swarm.cheap_responder
+      ~build:(fun () ->
+          let d = C.Pipeline.device built in
+          app.Apps.setup d;
+          d)
+      ()
+  in
+  let session = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+         let conn = dial () in
+         session :=
+           Some
+             (N.Client.attest_pipelined
+                ~config:{ N.Client.default_config with
+                          N.Client.read_deadline = Some 30.0 }
+                ~window:8 ~respond:(fun ~seq req -> respond ~seq req)
+                ~device:(fun () -> invalid_arg "respond supplies reports")
+                ~device_id:"victim" ~rounds conn);
+         try N.Transport.close conn with _ -> ())
+      ()
+  in
+  (* let some verdicts land, then pull the key *)
+  let rec wait spins =
+    let s = N.Server.stats server in
+    let v = s.N.Server.verdicts_accepted + s.N.Server.verdicts_rejected in
+    if v >= 8 || spins > 6000 then v
+    else begin Thread.delay 0.005; wait (spins + 1) end
+  in
+  let at_revocation = wait 0 in
+  ignore (L.revoke_key lc "k-victim" : int);
+  Thread.join th;
+  let stats = N.Server.stop server in
+  let sess = Option.get !session in
+  let completed =
+    Array.fold_left
+      (fun acc (r : N.Client.pipelined_round) ->
+         if Float.is_finite r.N.Client.p_latency then acc + 1 else acc)
+      0 sess.N.Client.results
+  in
+  let midsession =
+    match stats.N.Server.lifecycle with
+    | Some l -> l.N.Server.lc_midsession_denials
+    | None -> 0
+  in
+  { rv_rounds = rounds;
+    rv_at_revocation = at_revocation;
+    rv_completed = completed;
+    rv_latency_rounds = completed - at_revocation;
+    rv_denied =
+      (match sess.N.Client.denied with
+       | Some (cause, _) -> Some (N.Codec.denial_to_string cause)
+       | None -> None);
+    rv_midsession_denials = midsession }
+
+type rollout_result = {
+  ro_clients : int;
+  ro_stale : int;             (* provers claiming the retired version *)
+  ro_canary_assigned : int;   (* deterministic cohort size *)
+  ro_outcome : N.Swarm.outcome;
+  ro_stats : N.Server.stats;
+}
+
+let lifecycle_rollout () =
+  let stable_app = Apps.fire_sensor in
+  let canary_app = Apps.ultrasonic_ranger in
+  let stable_built = Apps.build stable_app in
+  let canary_built = Apps.build canary_app in
+  let pcache = F.Plan.cache () in
+  let stable_plan = F.Plan.find_or_build pcache stable_built in
+  let fleet_n = 64 and stale_n = 8 in
+  let clients = fleet_n + stale_n in
+  let id i = Printf.sprintf "roll-%04d" i in
+  let lc = L.create ~allow_anonymous:false () in
+  for i = 0 to clients - 1 do
+    match L.register lc ~id:(id i) ~key_id:(Printf.sprintf "k-%04d" i) with
+    | Ok () -> ()
+    | Error m -> failwith m
+  done;
+  L.set_stable lc "1.0";
+  (match L.begin_canary lc ~version:"1.1" ~percent:50 with
+   | Ok () -> ()
+   | Error m -> failwith m);
+  let canary_assigned = ref 0 in
+  for i = 0 to fleet_n - 1 do
+    if L.assigned_canary lc (id i) then incr canary_assigned
+  done;
+  (* both versions' plans resolve through the operator's cache, so the
+     rollout is what populates (and must not thrash) the LRU *)
+  let resolve_plan = function
+    | "1.0" -> Some (F.Plan.find_or_build pcache stable_built)
+    | "1.1" -> Some (F.Plan.find_or_build pcache canary_built)
+    | _ -> None
+  in
+  let cores = Domain.recommended_domain_count () in
+  let config =
+    { N.Server.default_config with
+      N.Server.domains = cores; window = 16 * cores; max_window = 16;
+      max_conns = clients + 16; read_deadline = Some 60.0;
+      args = stable_app.Apps.benign_args;
+      plan_cache = Some pcache; lifecycle = Some lc;
+      resolve_plan = Some resolve_plan }
+  in
+  let listener, dial = N.Transport.loopback_listener () in
+  let server = N.Server.create ~config ~plan:stable_plan listener in
+  N.Server.start server;
+  let firmware i =
+    if i >= fleet_n then "0.9" (* retired: denied Stale_firmware *)
+    else L.expected_firmware lc (id i)
+  in
+  let respond ~client ~shape:_ =
+    let app, built =
+      if client < fleet_n && L.assigned_canary lc (id client) then
+        (canary_app, canary_built)
+      else (stable_app, stable_built)
+    in
+    N.Swarm.cheap_responder
+      ~build:(fun () ->
+          let d = C.Pipeline.device built in
+          app.Apps.setup d;
+          d)
+      ()
+  in
+  let outcome =
+    N.Swarm.run
+      ~config:{ N.Swarm.default_config with
+                N.Swarm.clients; rounds = 8; window = 4; concurrency = 24;
+                device_prefix = "roll"; firmware;
+                client = { N.Client.default_config with
+                           N.Client.read_deadline = Some 60.0 } }
+      ~dial ~respond ()
+  in
+  let stats = N.Server.stop server in
+  { ro_clients = clients; ro_stale = stale_n;
+    ro_canary_assigned = !canary_assigned;
+    ro_outcome = outcome; ro_stats = stats }
+
+let revocation_json r =
+  Printf.sprintf
+    "{ \"rounds\": %d, \"verdicts_at_revocation\": %d, \
+     \"verdicts_completed\": %d, \"latency_rounds\": %d, \
+     \"denied\": %s, \"midsession_denials\": %d }"
+    r.rv_rounds r.rv_at_revocation r.rv_completed r.rv_latency_rounds
+    (match r.rv_denied with
+     | Some c -> Printf.sprintf "\"%s\"" c
+     | None -> "null")
+    r.rv_midsession_denials
+
+let lifecycle_json ev th ro =
+  let pc =
+    match ro.ro_stats.N.Server.plan_cache with
+    | Some c -> c
+    | None -> failwith "lifecycle: no plan-cache counters in stats"
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"experiment\": \"lifecycle\",\n\
+    \  \"revocation_evloop\": %s,\n\
+    \  \"revocation_threads\": %s,\n\
+    \  \"rollout\": {\n\
+    \    \"clients\": %d,\n\
+    \    \"stale_clients\": %d,\n\
+    \    \"canary_assigned\": %d,\n\
+    \    \"plan_cache_misses\": %d,\n\
+    \    \"plan_cache_evictions\": %d,\n\
+    \    \"plans_resident\": %d,\n\
+    \    \"outcome\": %s,\n\
+    \    \"server\": %s\n\
+    \  }\n\
+     }\n"
+    (revocation_json ev) (revocation_json th)
+    ro.ro_clients ro.ro_stale ro.ro_canary_assigned
+    pc.F.Plan.cc_misses pc.F.Plan.cc_evictions pc.F.Plan.cc_resident
+    (N.Swarm.outcome_to_json ro.ro_outcome)
+    (N.Server.stats_to_json ro.ro_stats)
+
+let lifecycle_report ev th ro =
+  let one name r =
+    printf "%-48s %10d@."
+      (Printf.sprintf "revocation latency, %s (rounds)" name)
+      r.rv_latency_rounds;
+    printf "%-48s %10s@."
+      (Printf.sprintf "  denial cause seen by prover (%s)" name)
+      (Option.value r.rv_denied ~default:"none");
+    printf "%-48s %10d@."
+      (Printf.sprintf "  mid-session cuts counted (%s)" name)
+      r.rv_midsession_denials
+  in
+  one "evloop" ev;
+  one "threads" th;
+  let pc = Option.get ro.ro_stats.N.Server.plan_cache in
+  printf "%-48s %10d@." "rollout fleet (provers)" ro.ro_clients;
+  printf "%-48s %10d@." "  canary cohort (of 64, at 50%)"
+    ro.ro_canary_assigned;
+  printf "%-48s %10d@." "  rounds accepted"
+    ro.ro_outcome.N.Swarm.rounds_accepted;
+  printf "%-48s %10d@." "  sessions denied"
+    ro.ro_outcome.N.Swarm.clients_denied;
+  List.iter
+    (fun (cause, n) -> printf "%-48s %10d@." ("    " ^ cause) n)
+    ro.ro_outcome.N.Swarm.denied_by_cause;
+  printf "%-48s %10d@." "  plan-cache misses (= versions built)"
+    pc.F.Plan.cc_misses;
+  printf "%-48s %10d@." "  plan-cache evictions (no thrash = 0)"
+    pc.F.Plan.cc_evictions;
+  printf "%-48s %10d@." "  plans resident" pc.F.Plan.cc_resident;
+  (match ro.ro_stats.N.Server.lifecycle with
+   | Some l ->
+     printf "%-48s %10d@." "  sessions admitted" l.N.Server.lc_admitted;
+     printf "%-48s %10d@." "  stale-firmware denials"
+       l.N.Server.lc_denied_stale
+   | None -> ())
+
+let lifecycle_bench () =
+  section "Lifecycle: revocation latency and staged rollout";
+  let ev = lifecycle_revocation N.Server.Evloop in
+  let th = lifecycle_revocation N.Server.Threads in
+  let ro = lifecycle_rollout () in
+  lifecycle_report ev th ro;
+  write_file "BENCH_lifecycle.json" (lifecycle_json ev th ro);
+  printf "wrote BENCH_lifecycle.json@."
+
+(* ------------------------------------------------------------------ *)
 
 let shape_check () =
   section "Shape check against the paper's reported trends";
@@ -1416,7 +1694,8 @@ let () =
       ("fig6c", fig6c); ("ablations", ablations); ("breakdown", breakdown);
       ("swatt", swatt_bench); ("micro", micro); ("replay", replay_bench);
       ("fleet", fleet); ("memo", memo_bench); ("lint", lint_bench);
-      ("net", net_bench); ("swarm", swarm_bench); ("shapes", shape_check) ]
+      ("net", net_bench); ("swarm", swarm_bench);
+      ("lifecycle", lifecycle_bench); ("shapes", shape_check) ]
   in
   (* CI-only gates, reachable by name but excluded from a bare run-all *)
   let gates =

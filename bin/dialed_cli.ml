@@ -14,6 +14,12 @@
                      [--max-window W] [--engine evloop|threads] ...
      dialed prover   [--app NAME] [--host H] [--port P] [--rounds N]
                      [--device-id ID] [--tamper] [--pipeline W]
+                     [--firmware V]
+     dialed devices  --registry FILE [--register ID --key K]
+                     [--quarantine ID] [--release ID] [--json]
+     dialed revoke   --registry FILE KEY...
+     dialed rollout  --registry FILE [--stable V] [--canary V --percent P]
+                     [--promote] [--rollback] [--json]
 
    Exit codes are uniform across commands:
      0  success — verification accepted, audit clean, output produced
@@ -26,6 +32,7 @@ module A = Dialed_apex
 module C = Dialed_core
 module F = Dialed_fleet
 module N = Dialed_net
+module L = Dialed_lifecycle.Lifecycle
 module S = Dialed_staticcheck
 module Apps = Dialed_apps.Apps
 module Minic = Dialed_minic.Minic
@@ -575,8 +582,32 @@ let serve_cmd =
     Arg.(value & opt engine_conv N.Server.Evloop
          & info [ "engine" ] ~docv:"ENGINE" ~doc)
   in
+  let registry_arg =
+    let doc = "Device registry journal: replayed at startup, appended to \
+               on every lifecycle transition. Arms lifecycle enforcement \
+               (identity, revocation, firmware allowlist) on the gateway." in
+    Arg.(value & opt (some string) None
+         & info [ "registry" ] ~docv:"FILE" ~doc)
+  in
+  let no_anonymous_arg =
+    let doc = "Refuse peers that greet without a registered device id \
+               (default: anonymous legacy peers are served outside the \
+               registry)." in
+    Arg.(value & flag & info [ "no-anonymous" ] ~doc)
+  in
+  let firmware_plan_arg =
+    let doc = "Map a claimed firmware version to a bundled app's verify \
+               plan, e.g. $(b,--firmware-plan 1.1=syringe-pump). \
+               Repeatable: a staged rollout keeps every mapped version's \
+               plan resident in the gateway's plan cache. Sessions \
+               claiming an unmapped (or no) version verify on the \
+               default plan." in
+    Arg.(value & opt_all string []
+         & info [ "firmware-plan" ] ~docv:"VERSION=APP" ~doc)
+  in
   let run app file entry args port domains window max_window rate burst
-      max_conns deadline duration memo_flag memo_entries memo_bytes engine =
+      max_conns deadline duration memo_flag memo_entries memo_bytes engine
+      registry no_anonymous firmware_plans =
     let app =
       match app, file with None, None -> Some "fire-sensor" | _ -> app
     in
@@ -593,6 +624,47 @@ let serve_cmd =
             if args = [] then
               match a with Some a -> a.Apps.benign_args | None -> []
             else args
+          in
+          let fw_plans =
+            List.fold_left
+              (fun acc spec ->
+                 match acc with
+                 | Error _ as e -> e
+                 | Ok acc ->
+                   match String.index_opt spec '=' with
+                   | None ->
+                     Error (`Msg (Printf.sprintf
+                                    "--firmware-plan expects VERSION=APP \
+                                     (got %S)" spec))
+                   | Some i ->
+                     let version = String.sub spec 0 i in
+                     let app_name =
+                       String.sub spec (i + 1) (String.length spec - i - 1)
+                     in
+                     match List.assoc_opt app_name apps_by_name with
+                     | None ->
+                       Error (`Msg (Printf.sprintf "unknown app %S" app_name))
+                     | Some ap ->
+                       let b =
+                         build_from ap.Apps.source ap.Apps.entry (Some ap)
+                           C.Pipeline.Full
+                       in
+                       Ok ((version, F.Plan.find_or_build pcache b) :: acc))
+              (Ok []) firmware_plans
+          in
+          match fw_plans with
+          | Error e -> Error e
+          | Ok fw_plans ->
+          let lifecycle =
+            if registry <> None || no_anonymous || fw_plans <> [] then
+              Some (L.create ?journal:registry
+                      ~allow_anonymous:(not no_anonymous) ())
+            else None
+          in
+          let resolve_plan =
+            match fw_plans with
+            | [] -> None
+            | plans -> Some (fun v -> List.assoc_opt v plans)
           in
           let listener, port = N.Transport.tcp_listener ~port () in
           let memo =
@@ -611,11 +683,19 @@ let serve_cmd =
             { N.Server.default_config with
               N.Server.engine; max_conns; domains; window; max_window;
               rate; burst; args; read_deadline = Some deadline; memo;
-              plan_cache = Some pcache }
+              plan_cache = Some pcache; lifecycle; resolve_plan }
           in
           let server = N.Server.create ~config ~plan listener in
           Format.printf "gateway: firmware %s on 127.0.0.1:%d@."
             (String.sub (F.Plan.fingerprint plan) 0 16) port;
+          (match lifecycle with
+           | Some lc ->
+             let s = L.summary lc in
+             Format.printf
+               "registry: %d device(s), %d quarantined, %d revoked key(s)%s@."
+               s.L.devices s.L.quarantined s.L.revoked_keys
+               (if s.L.allow_anonymous then "" else ", anonymous refused")
+           | None -> ());
           (match duration with
            | Some s -> N.Server.start server; Thread.delay s
            | None ->
@@ -626,6 +706,7 @@ let serve_cmd =
                (Sys.Signal_handle (fun _ -> N.Server.request_stop server));
              N.Server.serve_forever server);
           Format.printf "%a@." N.Server.pp_stats (N.Server.stop server);
+          Option.iter L.close lifecycle;
           Ok 0)
   in
   Cmd.v
@@ -637,7 +718,8 @@ let serve_cmd =
              $ port_arg ~default:4242 $ domains_arg $ window_arg
              $ max_window_arg $ rate_arg $ burst_arg $ max_conns_arg
              $ deadline_arg $ duration_arg $ memo_flag_arg
-             $ memo_entries_arg $ memo_bytes_arg $ engine_arg))
+             $ memo_entries_arg $ memo_bytes_arg $ engine_arg
+             $ registry_arg $ no_anonymous_arg $ firmware_plan_arg))
 
 let prover_cmd =
   let host_arg =
@@ -664,7 +746,14 @@ let prover_cmd =
                without this flag each round is a single-shot exchange." in
     Arg.(value & opt (some int) None & info [ "pipeline" ] ~docv:"W" ~doc)
   in
-  let run app file entry host port device_id rounds tamper pipeline =
+  let firmware_arg =
+    let doc = "Firmware version to claim in the Hello_ex greeting \
+               (pipelined sessions only); a lifecycle-enforcing gateway \
+               checks it against the fleet rollout and verifies reports \
+               on that version's plan." in
+    Arg.(value & opt string "" & info [ "firmware" ] ~docv:"V" ~doc)
+  in
+  let run app file entry host port device_id rounds tamper pipeline firmware =
     let app =
       match app, file with None, None -> Some "fire-sensor" | _ -> app
     in
@@ -700,11 +789,16 @@ let prover_cmd =
                    if window < 1 then Error (`Msg "--pipeline must be >= 1")
                    else begin
                      let session =
-                       N.Client.attest_pipelined ~config ~window ~device
-                         ~device_id ~rounds conn
+                       N.Client.attest_pipelined ~config ~window ~firmware
+                         ~device ~device_id ~rounds conn
                      in
                      Format.printf "pipelined session: window %d granted@."
                        session.N.Client.granted;
+                     (match session.N.Client.denied with
+                      | Some (cause, detail) ->
+                        Format.printf "session denied: %s (%s)@."
+                          (N.Codec.denial_to_string cause) detail
+                      | None -> ());
                      Array.iteri
                        (fun i (r : N.Client.pipelined_round) ->
                           Format.printf "round %d: %s (%.1f ms)@." i
@@ -717,18 +811,28 @@ let prover_cmd =
                             r.N.Client.p_findings)
                        session.N.Client.results;
                      let all_ok =
-                       Array.for_all
-                         (fun (r : N.Client.pipelined_round) ->
-                            r.N.Client.p_accepted)
-                         session.N.Client.results
+                       session.N.Client.denied = None
+                       && Array.for_all
+                            (fun (r : N.Client.pipelined_round) ->
+                               r.N.Client.p_accepted)
+                            session.N.Client.results
                      in
                      Ok (if all_ok then 0 else 1)
                    end
                  | None ->
-                   let results =
+                   if firmware <> "" then
+                     Error (`Msg "--firmware requires --pipeline (legacy \
+                                  Hello carries no firmware claim)")
+                   else
+                   match
                      N.Client.attest_rounds ~config ~device ~device_id
                        ~rounds conn
-                   in
+                   with
+                   | exception N.Client.Denied (cause, detail) ->
+                     Format.printf "session denied: %s (%s)@."
+                       (N.Codec.denial_to_string cause) detail;
+                     Ok 1
+                   | results ->
                    List.iteri
                      (fun i (r : N.Client.round) ->
                         Format.printf "round %d: %s (attempt %d)@." i
@@ -756,7 +860,250 @@ let prover_cmd =
     Term.(term_result
             (const run $ app_arg $ file_arg $ entry_arg $ host_arg
              $ port_arg ~default:4242 $ device_id_arg $ rounds_arg
-             $ tamper_arg $ pipeline_arg))
+             $ tamper_arg $ pipeline_arg $ firmware_arg))
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle administration: every command opens the registry journal
+   (replaying it), applies its mutations (each one appended + flushed),
+   and prints the resulting state — the same journal the gateway loads
+   at startup, so admin actions taken between restarts are visible on
+   the next one. *)
+
+let registry_req_arg =
+  let doc = "Device registry journal (created if absent)." in
+  Arg.(required & opt (some string) None
+       & info [ "registry" ] ~docv:"FILE" ~doc)
+
+let with_registry file f =
+  let lc = L.create ~journal:file () in
+  Fun.protect ~finally:(fun () -> L.close lc) (fun () -> f lc)
+
+let json_arg =
+  let doc = "Emit the result as JSON." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let devices_cmd =
+  let register_arg =
+    let doc = "Register (or re-key) device $(docv); requires --key." in
+    Arg.(value & opt (some string) None
+         & info [ "register" ] ~docv:"ID" ~doc)
+  in
+  let key_arg =
+    let doc = "Provisioning key id for --register (revocation is keyed \
+               on this)." in
+    Arg.(value & opt (some string) None & info [ "key" ] ~docv:"KEY" ~doc)
+  in
+  let quarantine_arg =
+    let doc = "Quarantine device $(docv) (operator judgement; only \
+               --release lets it back)." in
+    Arg.(value & opt (some string) None
+         & info [ "quarantine" ] ~docv:"ID" ~doc)
+  in
+  let release_arg =
+    let doc = "Release device $(docv) from quarantine, back to \
+               registered. Refused while its key is still revoked — \
+               re-key it with --register --key first." in
+    Arg.(value & opt (some string) None
+         & info [ "release" ] ~docv:"ID" ~doc)
+  in
+  let run registry register key quarantine release json =
+    wrap (fun () ->
+        with_registry registry (fun lc ->
+            let ( let* ) = Result.bind in
+            let* () =
+              match register, key with
+              | Some id, Some key_id ->
+                (match L.register lc ~id ~key_id with
+                 | Ok () -> Ok ()
+                 | Error m -> Error (`Msg m))
+              | Some _, None -> Error (`Msg "--register requires --key")
+              | None, Some _ -> Error (`Msg "--key requires --register")
+              | None, None -> Ok ()
+            in
+            let* () =
+              match quarantine with
+              | None -> Ok ()
+              | Some id ->
+                if L.quarantine lc id then Ok ()
+                else Error (`Msg (Printf.sprintf "unknown device %S" id))
+            in
+            let* () =
+              match release with
+              | None -> Ok ()
+              | Some id ->
+                (match L.release lc id with
+                 | Ok () -> Ok ()
+                 | Error m -> Error (`Msg m))
+            in
+            let devs = L.devices lc in
+            let s = L.summary lc in
+            if json then
+              Format.printf "{ \"summary\": %s, \"devices\": [%s] }@."
+                (L.summary_to_json s)
+                (String.concat ", " (List.map L.device_to_json devs))
+            else begin
+              if devs <> [] then begin
+                Format.printf "%-20s %-16s %-22s %6s  %s@." "id" "key"
+                  "state" "rounds" "firmware";
+                List.iter
+                  (fun (d : L.device) ->
+                     Format.printf "%-20s %-16s %-22s %6d  %s@." d.L.id
+                       d.L.key_id
+                       (L.state_to_string d.L.state)
+                       d.L.rounds
+                       (if d.L.firmware = "" then "-" else d.L.firmware))
+                  devs
+              end;
+              Format.printf
+                "%d device(s): %d registered, %d attested, %d quarantined; \
+                 %d revoked key(s)@."
+                s.L.devices s.L.registered s.L.attested s.L.quarantined
+                s.L.revoked_keys
+            end;
+            Ok 0))
+  in
+  Cmd.v
+    (Cmd.info "devices" ~exits
+       ~doc:"Administer the device registry: list, register, quarantine, \
+             release")
+    Term.(term_result
+            (const run $ registry_req_arg $ register_arg $ key_arg
+             $ quarantine_arg $ release_arg $ json_arg))
+
+let revoke_cmd =
+  let keys_arg =
+    let doc = "Key id(s) to revoke." in
+    Arg.(value & pos_all string [] & info [] ~docv:"KEY" ~doc)
+  in
+  let run registry keys json =
+    wrap (fun () ->
+        if keys = [] then Error (`Msg "at least one KEY is required")
+        else
+          with_registry registry (fun lc ->
+              let per_key =
+                List.map (fun k -> (k, L.revoke_key lc k)) keys
+              in
+              let s = L.summary lc in
+              if json then
+                Format.printf
+                  "{ \"revoked\": { %s }, \"summary\": %s }@."
+                  (String.concat ", "
+                     (List.map
+                        (fun (k, n) -> Printf.sprintf "%S: %d" k n)
+                        per_key))
+                  (L.summary_to_json s)
+              else begin
+                List.iter
+                  (fun (k, n) ->
+                     Format.printf
+                       "revoked %s: %d device(s) newly quarantined@." k n)
+                  per_key;
+                Format.printf
+                  "%d revoked key(s) total, %d device(s) in quarantine@."
+                  s.L.revoked_keys s.L.quarantined
+              end;
+              Ok 0))
+  in
+  Cmd.v
+    (Cmd.info "revoke" ~exits
+       ~doc:"Revoke provisioning keys: every device on a revoked key is \
+             quarantined immediately, mid-session included")
+    Term.(term_result (const run $ registry_req_arg $ keys_arg $ json_arg))
+
+let rollout_cmd =
+  let stable_arg =
+    let doc = "Set the stable firmware version ($(b,\"\") clears the \
+               policy)." in
+    Arg.(value & opt (some string) None & info [ "stable" ] ~docv:"V" ~doc)
+  in
+  let canary_arg =
+    let doc = "Begin a staged rollout of version $(docv) to --percent of \
+               the fleet." in
+    Arg.(value & opt (some string) None & info [ "canary" ] ~docv:"V" ~doc)
+  in
+  let percent_arg =
+    let doc = "Fleet percentage assigned to the canary (deterministic \
+               per-device hash)." in
+    Arg.(value & opt int 10 & info [ "percent" ] ~docv:"P" ~doc)
+  in
+  let promote_arg =
+    let doc = "Promote: the canary version becomes the new stable." in
+    Arg.(value & flag & info [ "promote" ] ~doc)
+  in
+  let rollback_arg =
+    let doc = "Abort the rollout: the canary version is no longer \
+               allowed." in
+    Arg.(value & flag & info [ "rollback" ] ~doc)
+  in
+  let run registry stable canary percent promote rollback json =
+    wrap (fun () ->
+        with_registry registry (fun lc ->
+            let ( let* ) = Result.bind in
+            let* () =
+              match stable with
+              | Some v -> L.set_stable lc v; Ok ()
+              | None -> Ok ()
+            in
+            let* () =
+              match canary with
+              | Some version ->
+                (match L.begin_canary lc ~version ~percent with
+                 | Ok () -> Ok ()
+                 | Error m -> Error (`Msg m))
+              | None -> Ok ()
+            in
+            let* () =
+              if promote then
+                match L.promote lc with
+                | Ok () -> Ok ()
+                | Error m -> Error (`Msg m)
+              else Ok ()
+            in
+            let* () =
+              if rollback then
+                match L.rollback lc with
+                | Ok () -> Ok ()
+                | Error m -> Error (`Msg m)
+              else Ok ()
+            in
+            let r = L.rollout lc in
+            let devs = L.devices lc in
+            let assigned =
+              List.length
+                (List.filter (fun (d : L.device) -> L.assigned_canary lc d.L.id)
+                   devs)
+            in
+            if json then
+              Format.printf
+                "{ \"stable\": %S, \"canary\": %s, \"percent\": %d, \
+                 \"devices\": %d, \"devices_assigned\": %d }@."
+                r.L.stable
+                (match r.L.canary with
+                 | Some (v, _) -> Printf.sprintf "%S" v
+                 | None -> "null")
+                (match r.L.canary with Some (_, p) -> p | None -> 0)
+                (List.length devs) assigned
+            else begin
+              (match r.L.canary with
+               | Some (v, p) ->
+                 Format.printf
+                   "stable %s, canary %s at %d%% (%d of %d device(s) \
+                    assigned)@."
+                   r.L.stable v p assigned (List.length devs)
+               | None ->
+                 if r.L.stable = "" then
+                   Format.printf "no firmware policy (all versions allowed)@."
+                 else Format.printf "stable %s, no canary@." r.L.stable)
+            end;
+            Ok 0))
+  in
+  Cmd.v
+    (Cmd.info "rollout" ~exits
+       ~doc:"Stage a firmware rollout: stable + canary percentage, \
+             promote or roll back")
+    Term.(term_result
+            (const run $ registry_req_arg $ stable_arg $ canary_arg
+             $ percent_arg $ promote_arg $ rollback_arg $ json_arg))
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -767,7 +1114,8 @@ let () =
   let group =
     Cmd.group ~default info
       [ list_cmd; compile_cmd; instrument_cmd; disasm_cmd; run_cmd;
-        attest_cmd; fleet_cmd; lint_cmd; serve_cmd; prover_cmd ]
+        attest_cmd; fleet_cmd; lint_cmd; serve_cmd; prover_cmd;
+        devices_cmd; revoke_cmd; rollout_cmd ]
   in
   (* Normalized exit codes: commands yield 0 (ok) or 1 (rejection);
      cmdliner's parse/term errors — bad flags, unknown apps, IO — all

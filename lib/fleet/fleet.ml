@@ -277,11 +277,20 @@ let verify_batch ?pool ?(domains = 1) ?(chunk = default_chunk) ?memo plan
    whenever it would otherwise block, so a window-full stream on a
    1-worker (or busy) pool still makes progress.                        *)
 
+(* One verify context per firmware version the stream serves: the
+   immutable vplan plus (when memoizing) a per-plan-namespace memo
+   handle with this stream's own hit/miss counters. *)
+type plan_slot = {
+  ps_vplan : C.Verifier.plan;
+  ps_memo : memo_ctx option;
+}
+
 type stream = {
-  st_vplan : C.Verifier.plan;
+  st_default : plan_slot;            (* the plan the stream was opened on *)
+  st_plans : (string, plan_slot) Hashtbl.t;  (* by Plan.fingerprint *)
+  st_memo_src : Memo.t option;       (* to derive handles for new slots *)
   st_pool : Pool.t;
   st_owned : bool;                   (* shut the pool down on close *)
-  st_memo : memo_ctx option;
   st_window : int;
   st_mutex : Mutex.t;
   st_progress : Condition.t;         (* a verdict landed *)
@@ -311,8 +320,13 @@ let stream ?domains ?pool ?window ?memo plan =
     | Some w -> if w < 1 then invalid_arg "Fleet.stream: window must be >= 1" else w
     | None -> max 16 (4 * Pool.domains p)
   in
-  { st_vplan = Plan.vplan plan; st_pool = p; st_owned = owned;
-    st_memo = Option.map (memo_ctx_of plan) memo;
+  let slot =
+    { ps_vplan = Plan.vplan plan; ps_memo = Option.map (memo_ctx_of plan) memo }
+  in
+  let plans = Hashtbl.create 4 in
+  Hashtbl.replace plans (Plan.fingerprint plan) slot;
+  { st_default = slot; st_plans = plans; st_memo_src = memo;
+    st_pool = p; st_owned = owned;
     st_window = window; st_mutex = Mutex.create ();
     st_progress = Condition.create (); st_results = Array.make 64 None;
     st_submitted = 0; st_inflight = 0; st_polled = 0; st_exn = None;
@@ -330,10 +344,50 @@ let help_while st cond =
     if (not ran) && cond () then Condition.wait st.st_progress st.st_mutex
   done
 
+(* Resolve the verify context for a submission: the stream's own plan
+   unless the caller routed this report to another firmware version.
+   Slots are created on first sight of a fingerprint and then reused —
+   the hashtable lookup is the entire per-report cost of multi-version
+   service. Call with [st_mutex] held. *)
+let slot_for_locked st = function
+  | None -> st.st_default
+  | Some plan ->
+    let fp = Plan.fingerprint plan in
+    (match Hashtbl.find_opt st.st_plans fp with
+     | Some slot -> slot
+     | None ->
+       let slot =
+         { ps_vplan = Plan.vplan plan;
+           ps_memo = Option.map (memo_ctx_of plan) st.st_memo_src }
+       in
+       Hashtbl.replace st.st_plans fp slot;
+       slot)
+
+(* This stream's memo counters, aggregated across every plan slot it
+   served; evictions are the shared cache's cumulative count. *)
+let stream_memo_counts st =
+  match st.st_memo_src with
+  | None -> (0, 0, 0)
+  | Some memo ->
+    let h = ref 0 and m = ref 0 in
+    Mutex.lock st.st_mutex;
+    let slots = Hashtbl.fold (fun _ s acc -> s :: acc) st.st_plans [] in
+    Mutex.unlock st.st_mutex;
+    List.iter
+      (fun s ->
+        match s.ps_memo with
+        | None -> ()
+        | Some mc ->
+          h := !h + Atomic.get mc.mc_hits;
+          m := !m + Atomic.get mc.mc_misses)
+      slots;
+    (!h, !m, (Memo.stats memo).Memo.evictions)
+
 (* Register the next submission and build its replay job. Call with
    [st_mutex] held and [st_closed] already checked; returns with the
    lock released. *)
-let enqueue_locked ?digest st device_id report =
+let enqueue_locked ?digest ?plan st device_id report =
+  let slot = slot_for_locked st plan in
   let seq = st.st_submitted in
   st.st_submitted <- seq + 1;
   st.st_inflight <- st.st_inflight + 1;
@@ -347,7 +401,7 @@ let enqueue_locked ?digest st device_id report =
     let result =
       try
         Ok (with_scratch (fun scratch ->
-            verify_one ?memo:st.st_memo ?digest st.st_vplan scratch
+            verify_one ?memo:slot.ps_memo ?digest slot.ps_vplan scratch
               device_id report))
       with e -> Error e
     in
@@ -376,13 +430,13 @@ let enqueue_locked ?digest st device_id report =
     Mutex.unlock st.st_mutex;
     match cb with Some f -> f () | None -> ()
 
-let stream_submit ?digest st device_id report =
+let stream_submit ?digest ?plan st device_id report =
   Mutex.lock st.st_mutex;
   if st.st_closed then begin
     Mutex.unlock st.st_mutex;
     invalid_arg "Fleet.stream_submit: stream is closed"
   end;
-  let job = enqueue_locked ?digest st device_id report in
+  let job = enqueue_locked ?digest ?plan st device_id report in
   if Pool.workers st.st_pool = 0 then job ()
   else begin
     Pool.submit st.st_pool job;
@@ -392,7 +446,7 @@ let stream_submit ?digest st device_id report =
     Mutex.unlock st.st_mutex
   end
 
-let stream_try_submit ?digest st device_id report =
+let stream_try_submit ?digest ?plan st device_id report =
   Mutex.lock st.st_mutex;
   if st.st_closed then begin
     Mutex.unlock st.st_mutex;
@@ -403,7 +457,7 @@ let stream_try_submit ?digest st device_id report =
     false
   end
   else begin
-    let job = enqueue_locked ?digest st device_id report in
+    let job = enqueue_locked ?digest ?plan st device_id report in
     (* a 0-worker pool runs the job inline (like stream_submit), so the
        window can never be full there *)
     if Pool.workers st.st_pool = 0 then job () else Pool.submit st.st_pool job;
@@ -432,7 +486,7 @@ let stream_snapshot st =
   Mutex.unlock st.st_mutex;
   (* memo counters live outside st_mutex (Atomics + the memo's own
      locks); read them after releasing it to keep lock order flat *)
-  let memo_hits, memo_misses, memo_evictions = memo_counts st.st_memo in
+  let memo_hits, memo_misses, memo_evictions = stream_memo_counts st in
   { m with Metrics.memo_hits; memo_misses; memo_evictions }
 
 let stream_pending st =
@@ -502,8 +556,10 @@ let stream_close st =
         | Some v -> v
         | None -> assert false (* inflight drained and no exn recorded *))
   in
-  summarize ?memo:st.st_memo ~domains:(Pool.domains st.st_pool) ~wall_seconds
-    verdicts
+  let s = summarize ~domains:(Pool.domains st.st_pool) ~wall_seconds verdicts in
+  let memo_hits, memo_misses, memo_evictions = stream_memo_counts st in
+  { s with
+    metrics = { s.metrics with Metrics.memo_hits; memo_misses; memo_evictions } }
 
 let verify_stream ?domains ?pool ?window ?memo plan batch =
   let st = stream ?domains ?pool ?window ?memo plan in

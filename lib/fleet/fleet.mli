@@ -90,7 +90,8 @@ val stream :
     survives the stream. *)
 
 val stream_submit :
-  ?digest:string -> stream -> string -> Dialed_apex.Pox.report -> unit
+  ?digest:string -> ?plan:Plan.t -> stream ->
+  string -> Dialed_apex.Pox.report -> unit
 (** Submit one report. Blocks (productively: the caller steals pool
     jobs) while the in-flight window is full. Raises [Invalid_argument]
     on a closed stream. [digest], when the caller already computed the
@@ -98,11 +99,22 @@ val stream_submit :
     decode via {!Dialed_apex.Wire.decode_digested}), skips the memo
     path's own {!Dialed_core.Verifier.log_digest} pass; ignored on a
     memo-less stream. Passing a digest that is {e not} the report's own
-    log digest corrupts the memo — never pass one from another
-    report. *)
+    log digest corrupts the memo — never pass one from another report.
+
+    [plan] routes {e this} report to a different verify plan than the
+    one the stream was opened on — how one stream (and one FIFO verdict
+    order) serves a fleet running several firmware versions at once
+    (staged rollout: stable + canary in flight together). The stream
+    keeps one verify context per distinct {!Plan.fingerprint}, created
+    on first sight and reused after — so per-report overhead is one
+    hashtable lookup, and memoization stays correct because each
+    context keeps its own per-plan memo namespace. The stream does
+    {e not} retain [plan]'s cache entry beyond the context it derives;
+    plan-cache residency/eviction policy stays with {!Plan.cache}. *)
 
 val stream_try_submit :
-  ?digest:string -> stream -> string -> Dialed_apex.Pox.report -> bool
+  ?digest:string -> ?plan:Plan.t -> stream ->
+  string -> Dialed_apex.Pox.report -> bool
 (** Non-blocking {!stream_submit}: [false] when the in-flight window is
     full (nothing was submitted — retry after progress). The event-loop
     gateway uses this so a full verify window queues reports at the

@@ -40,6 +40,11 @@ type round = {
 
 exception Protocol_violation of string
 
+exception Denied of Codec.denial * string
+(* the gateway's lifecycle registry refused or cut the session: a typed
+   outcome, not a protocol violation — revoked / quarantined / stale
+   firmware / unknown device *)
+
 let violation fmt = Printf.ksprintf (fun s -> raise (Protocol_violation s)) fmt
 
 let recv_msg cfg chan =
@@ -49,25 +54,49 @@ let recv_msg cfg chan =
   | Error e -> violation "undecodable gateway frame: %s" (Chan.error_to_string e)
   | exception Transport.Timeout -> None
 
+(* The gateway sends a lifecycle [Denied] and then closes the
+   connection; a client mid-write can observe the close before it has
+   read the pending frame. On a closed send, drain whatever the gateway
+   managed to queue and surface the typed denial if one is there. *)
+let drain_denial chan =
+  let rec go () =
+    match Chan.recv chan ~deadline:0.2 () with
+    | Ok (Some (Codec.Denied { cause; detail })) -> Some (cause, detail)
+    | Ok (Some _) -> go ()
+    | Ok None | Error _ -> None
+    | exception Transport.Timeout -> None
+    | exception Transport.Closed -> None
+  in
+  go ()
+
 (* One attempt at one round. [`Retry] covers Busy and reply timeouts —
    transient by construction; anything else either concludes the round
    or is a protocol violation. *)
 let try_round cfg chan device =
-  Chan.send chan Codec.Ready;
+  let send msg =
+    try Chan.send chan msg
+    with Transport.Closed ->
+      (match drain_denial chan with
+       | Some (cause, detail) -> raise (Denied (cause, detail))
+       | None -> raise Transport.Closed)
+  in
+  send Codec.Ready;
   match recv_msg cfg chan with
   | None | Some (Codec.Busy _) -> `Retry
+  | Some (Codec.Denied { cause; detail }) -> raise (Denied (cause, detail))
   | Some (Codec.Request { challenge; args }) ->
     let req = { C.Protocol.challenge; args } in
     let report, run = C.Protocol.prover_execute (device ()) req in
     let report =
       match cfg.mangle with None -> report | Some f -> f report
     in
-    Chan.send chan (Codec.Report (A.Wire.encode report));
+    send (Codec.Report (A.Wire.encode report));
     (match recv_msg cfg chan with
      | None -> `Retry
      | Some (Codec.Verdict { accepted; findings }) ->
        `Done (accepted, findings, Some run)
      | Some (Codec.Busy _) -> `Retry
+     | Some (Codec.Denied { cause; detail }) -> raise (Denied (cause, detail))
      | Some other ->
        violation "expected Verdict, got %s"
          (Format.asprintf "%a" Codec.pp_msg other))
@@ -116,14 +145,19 @@ type pipelined = {
   results : pipelined_round array;
   busy_bounces : int;
   reply_timeouts : int;
+  denied : (Codec.denial * string) option;
+      (* set when the gateway's lifecycle registry refused the session
+         at handshake (granted = 0, no rounds ran) or cut it mid-window
+         (the completed prefix of [results] is preserved — which is how
+         revocation-to-quarantine latency is measured in rounds) *)
 }
 
 let failed_round detail =
   { p_accepted = false; p_findings = [ ("client", detail) ];
     p_latency = Float.nan }
 
-let attest_pipelined ?(config = default_config) ?(window = 8) ?respond
-    ~device ~device_id ~rounds conn =
+let attest_pipelined ?(config = default_config) ?(window = 8) ?(firmware = "")
+    ?respond ~device ~device_id ~rounds conn =
   if rounds < 0 then invalid_arg "Client.attest_pipelined: rounds < 0";
   if window < 1 then invalid_arg "Client.attest_pipelined: window < 1";
   if config.attempts < 1 then
@@ -135,19 +169,27 @@ let attest_pipelined ?(config = default_config) ?(window = 8) ?respond
       fun ~seq:_ req -> fst (C.Protocol.prover_execute (device ()) req)
   in
   let chan = Chan.create conn in
-  Chan.send chan (Codec.Hello_ex { device_id; window });
+  Chan.send chan (Codec.Hello_ex { device_id; window; firmware });
+  let denied = ref None in
   let granted =
     match recv_msg config chan with
     | Some (Codec.Welcome { window = w }) ->
       if w > window then
         violation "gateway granted window %d > requested %d" w window;
       w
+    | Some (Codec.Denied { cause; detail }) ->
+      denied := Some (cause, detail);
+      0
     | Some (Codec.Busy reason) -> violation "gateway refused session: %s" reason
     | None -> violation "no Welcome from gateway (timeout)"
     | Some other ->
       violation "expected Welcome, got %s"
         (Format.asprintf "%a" Codec.pp_msg other)
   in
+  if !denied <> None then
+    { granted = 0; results = [||]; busy_bounces = 0; reply_timeouts = 0;
+      denied = !denied }
+  else begin
   let results = Array.make rounds (failed_round "round never completed") in
   let landed = Array.make rounds false in
   let sent_at : (int, float) Hashtbl.t = Hashtbl.create (2 * granted) in
@@ -160,11 +202,24 @@ let attest_pipelined ?(config = default_config) ?(window = 8) ?respond
   let busy_budget = config.attempts * max rounds 1 in
   let consecutive_timeouts = ref 0 in
   let give_up = ref false in
-  while (not !give_up) && !completed < rounds do
-    while !inflight < granted && !completed + !inflight < rounds do
-      Chan.send chan Codec.Ready;
-      incr inflight
+  (* same close-vs-write race as the legacy path: a mid-session cut
+     lands as [Denied]+close, and our next send may lose the race *)
+  let send_or_denied msg =
+    try Chan.send chan msg; true
+    with Transport.Closed ->
+      (match drain_denial chan with
+       | Some d -> denied := Some d; false
+       | None -> raise Transport.Closed)
+  in
+  while (not !give_up) && !denied = None && !completed < rounds do
+    while
+      !denied = None && !inflight < granted
+      && !completed + !inflight < rounds
+    do
+      if send_or_denied Codec.Ready then incr inflight
     done;
+    if !denied <> None then ()
+    else
     match recv_msg config chan with
     | None ->
       incr timeouts;
@@ -179,7 +234,9 @@ let attest_pipelined ?(config = default_config) ?(window = 8) ?respond
         match config.mangle with None -> report | Some f -> f report
       in
       Hashtbl.replace sent_at seq (Unix.gettimeofday ());
-      Chan.send chan (Codec.Report_seq { seq; wire = A.Wire.encode report })
+      ignore
+        (send_or_denied (Codec.Report_seq { seq; wire = A.Wire.encode report })
+         : bool)
     | Some (Codec.Verdict_seq { seq; accepted; findings }) ->
       consecutive_timeouts := 0;
       if seq >= rounds then
@@ -202,9 +259,16 @@ let attest_pipelined ?(config = default_config) ?(window = 8) ?respond
       decr inflight;
       if !busy > busy_budget then give_up := true
       else Thread.delay (backoff_delay config ~attempt:(min !busy 8))
+    | Some (Codec.Denied { cause; detail }) ->
+      (* revoked (or quarantined) mid-session: the gateway cut the
+         window before the next verdict. Keep the completed prefix —
+         rounds still in flight never conclude. *)
+      denied := Some (cause, detail)
     | Some other ->
       violation "unexpected gateway frame %s in pipelined session"
         (Format.asprintf "%a" Codec.pp_msg other)
   done;
   (try Chan.send chan Codec.Bye with Transport.Closed -> ());
-  { granted; results; busy_bounces = !busy; reply_timeouts = !timeouts }
+  { granted; results; busy_bounces = !busy; reply_timeouts = !timeouts;
+    denied = !denied }
+  end

@@ -39,6 +39,13 @@ exception Protocol_violation of string
 (** The gateway answered outside the protocol (e.g. a [Report] frame or
     garbage where a [Request]/[Verdict] was expected). *)
 
+exception Denied of Codec.denial * string
+(** The gateway's lifecycle registry refused or cut the session — a
+    typed, in-protocol outcome (revoked key, quarantined device, stale
+    firmware, unknown device), distinct from {!Protocol_violation}.
+    Raised by {!attest_rounds}; {!attest_pipelined} reports it in the
+    [denied] field instead so the completed prefix survives. *)
+
 val attest_rounds :
   ?config:config ->
   device:(unit -> Dialed_apex.Device.t) ->
@@ -70,26 +77,39 @@ type pipelined_round = {
 type pipelined = {
   granted : int;          (** window the gateway actually granted *)
   results : pipelined_round array;
-      (** indexed by sequence number = issue order, length [rounds] *)
+      (** indexed by sequence number = issue order, length [rounds]
+          (empty when the session was denied at handshake) *)
   busy_bounces : int;     (** [Busy] answers absorbed (with backoff) *)
   reply_timeouts : int;   (** reads that hit [read_deadline] *)
+  denied : (Codec.denial * string) option;
+      (** set when the gateway's lifecycle registry refused the session
+          at handshake ([granted = 0], no rounds ran) or cut it
+          mid-window — the completed prefix of [results] is preserved,
+          which is how revocation-to-quarantine latency is measured in
+          rounds *)
 }
 
 val attest_pipelined :
   ?config:config ->
   ?window:int ->
+  ?firmware:string ->
   ?respond:(seq:int -> Dialed_core.Protocol.request -> Dialed_apex.Pox.report) ->
   device:(unit -> Dialed_apex.Device.t) ->
   device_id:string -> rounds:int -> Transport.conn -> pipelined
 (** Run [rounds] rounds over one pipelined session, requesting [window]
     (default 8) rounds in flight; the gateway may grant less, never
-    more. [respond] overrides report production (default: a fresh
-    [device ()] executes and attests per request — same work as
-    {!attest_rounds}); [config.mangle] applies to whichever report
-    [respond] produced. Rounds the session could not finish (timeout
-    budget or Busy budget exhausted) come back [p_accepted = false] with
-    a [("client", _)] finding. Raises {!Protocol_violation} on
-    out-of-window sequence numbers, duplicate verdicts, an oversized
-    [Welcome] grant, or any frame outside the pipelined protocol —
-    including talking to a pre-windowing gateway (which drops the
-    unknown [Hello_ex] frame). *)
+    more. [firmware] (default [""] = no claim) is the firmware version
+    announced in [Hello_ex]; a lifecycle-enforcing gateway checks it
+    against the fleet's rollout and routes reports to that version's
+    verify plan. The empty claim encodes byte-identically to the
+    pre-lifecycle [Hello_ex], so old gateways are unaffected. [respond]
+    overrides report production (default: a fresh [device ()] executes
+    and attests per request — same work as {!attest_rounds});
+    [config.mangle] applies to whichever report [respond] produced.
+    Rounds the session could not finish (timeout budget or Busy budget
+    exhausted) come back [p_accepted = false] with a [("client", _)]
+    finding. A lifecycle denial does {e not} raise: it lands in
+    [denied]. Raises {!Protocol_violation} on out-of-window sequence
+    numbers, duplicate verdicts, an oversized [Welcome] grant, or any
+    frame outside the pipelined protocol — including talking to a
+    pre-windowing gateway (which drops the unknown [Hello_ex] frame). *)

@@ -6,12 +6,21 @@ type msg =
   | Verdict of { accepted : bool; findings : (string * string) list }
   | Busy of string
   | Bye
-  | Hello_ex of { device_id : string; window : int }
+  | Hello_ex of { device_id : string; window : int; firmware : string }
   | Welcome of { window : int }
   | Request_seq of { seq : int; challenge : string; args : int list }
   | Report_seq of { seq : int; wire : string }
   | Verdict_seq of
       { seq : int; accepted : bool; findings : (string * string) list }
+  | Denied of { cause : denial; detail : string }
+
+and denial = Revoked | Quarantined | Stale_firmware | Unknown_device
+
+let denial_to_string = function
+  | Revoked -> "revoked"
+  | Quarantined -> "quarantined"
+  | Stale_firmware -> "stale-firmware"
+  | Unknown_device -> "unknown-device"
 
 type error =
   | Empty
@@ -49,6 +58,23 @@ let t_welcome = 9
 let t_request_seq = 10
 let t_report_seq = 11
 let t_verdict_seq = 12
+(* lifecycle extension: only ever sent by a gateway that is denying a
+   session, so a legacy anonymous peer (served under allow_anonymous)
+   never sees it *)
+let t_denied = 13
+
+let denial_code = function
+  | Revoked -> 1
+  | Quarantined -> 2
+  | Stale_firmware -> 3
+  | Unknown_device -> 4
+
+let denial_of_code = function
+  | 1 -> Some Revoked
+  | 2 -> Some Quarantined
+  | 3 -> Some Stale_firmware
+  | 4 -> Some Unknown_device
+  | _ -> None
 
 (* ---------------------------------------------------------------- *)
 (* Encoding.                                                         *)
@@ -107,12 +133,16 @@ let encode msg =
      Buffer.add_char b (Char.chr t_busy);
      add_str b reason
    | Bye -> Buffer.add_char b (Char.chr t_bye)
-   | Hello_ex { device_id; window } ->
+   | Hello_ex { device_id; window; firmware } ->
      Buffer.add_char b (Char.chr t_hello_ex);
      add_str b device_id;
      if window < 1 || window > max_window then
        invalid_arg (Printf.sprintf "Codec.encode: window %d" window);
-     add_u16 b window
+     add_u16 b window;
+     (* the firmware field is appended only when claimed, so a
+        no-firmware Hello_ex is byte-identical to the pre-lifecycle
+        encoding — old gateways accept it, old captures still decode *)
+     if firmware <> "" then add_str b firmware
    | Welcome { window } ->
      Buffer.add_char b (Char.chr t_welcome);
      if window < 1 || window > max_window then
@@ -129,7 +159,11 @@ let encode msg =
    | Verdict_seq { seq; accepted; findings } ->
      Buffer.add_char b (Char.chr t_verdict_seq);
      add_seq b seq;
-     add_verdict_body b accepted findings);
+     add_verdict_body b accepted findings
+   | Denied { cause; detail } ->
+     Buffer.add_char b (Char.chr t_denied);
+     Buffer.add_char b (Char.chr (denial_code cause));
+     add_str b detail);
   Buffer.contents b
 
 (* ---------------------------------------------------------------- *)
@@ -226,7 +260,13 @@ let decode data =
       else if tag = t_bye then finish c (Ok Bye)
       else if tag = t_hello_ex then begin
         let device_id = str c "device id" in
-        finish c (Ok (Hello_ex { device_id; window = window c }))
+        let window = window c in
+        (* pre-lifecycle encoders stop after the window; the firmware
+           field is present iff bytes remain *)
+        let firmware =
+          if c.pos < String.length c.data then str c "firmware" else ""
+        in
+        finish c (Ok (Hello_ex { device_id; window; firmware }))
       end
       else if tag = t_welcome then finish c (Ok (Welcome { window = window c }))
       else if tag = t_request_seq then begin
@@ -242,6 +282,13 @@ let decode data =
         let seq = u32 c "sequence number" in
         let accepted, findings = verdict_body () in
         finish c (Ok (Verdict_seq { seq; accepted; findings }))
+      end
+      else if tag = t_denied then begin
+        let code = byte c "denial cause" in
+        match denial_of_code code with
+        | None -> Error (Bad_value { what = "denial cause"; value = code })
+        | Some cause ->
+          finish c (Ok (Denied { cause; detail = str c "denial detail" }))
       end
       else Error (Bad_tag tag)
     with Fail e -> Error e
@@ -261,8 +308,10 @@ let pp_msg ppf = function
       (if List.length findings = 1 then "" else "s")
   | Busy reason -> Format.fprintf ppf "Busy %S" reason
   | Bye -> Format.pp_print_string ppf "Bye"
-  | Hello_ex { device_id; window } ->
+  | Hello_ex { device_id; window; firmware = "" } ->
     Format.fprintf ppf "Hello_ex %S window=%d" device_id window
+  | Hello_ex { device_id; window; firmware } ->
+    Format.fprintf ppf "Hello_ex %S window=%d fw=%S" device_id window firmware
   | Welcome { window } -> Format.fprintf ppf "Welcome window=%d" window
   | Request_seq { seq; challenge; args } ->
     Format.fprintf ppf "Request#%d chal=%dB args=[%s]" seq
@@ -275,3 +324,5 @@ let pp_msg ppf = function
       (if accepted then "accepted" else "REJECTED")
       (List.length findings)
       (if List.length findings = 1 then "" else "s")
+  | Denied { cause; detail } ->
+    Format.fprintf ppf "Denied %s %S" (denial_to_string cause) detail

@@ -35,7 +35,17 @@
     to [window] rounds open at once. The extension is wire-compatible:
     the five new tags are only ever sent after an explicit [Hello_ex] /
     [Welcome] exchange, so a single-shot peer speaking the original
-    seven messages interoperates unchanged. *)
+    seven messages interoperates unchanged.
+
+    {b Lifecycle extension.} [Hello_ex] additionally carries the
+    firmware version the device claims to be running — appended to the
+    encoding only when non-empty, so a no-claim [Hello_ex] is
+    byte-identical to the pre-lifecycle wire format. A gateway running
+    a device registry answers an untrusted greeting (or a mid-session
+    frame from a freshly revoked device) with [Denied], naming the
+    cause; it is only ever sent when a registry denies, so legacy
+    anonymous peers served under the gateway's [allow_anonymous] policy
+    never see the new tag. *)
 
 type msg =
   | Hello of { device_id : string }
@@ -45,8 +55,10 @@ type msg =
   | Verdict of { accepted : bool; findings : (string * string) list }
   | Busy of string         (** server declined (rate limit, overload) *)
   | Bye
-  | Hello_ex of { device_id : string; window : int }
-      (** pipelined session opener; [window] in-flight rounds requested *)
+  | Hello_ex of { device_id : string; window : int; firmware : string }
+      (** pipelined session opener; [window] in-flight rounds requested;
+          [firmware] is the version the device claims ([""] = no claim,
+          encoded identically to the pre-lifecycle format) *)
   | Welcome of { window : int }
       (** gateway's reply to [Hello_ex]: the granted window *)
   | Request_seq of { seq : int; challenge : string; args : int list }
@@ -54,6 +66,13 @@ type msg =
       (** answers the [Request_seq] carrying the same [seq] *)
   | Verdict_seq of
       { seq : int; accepted : bool; findings : (string * string) list }
+  | Denied of { cause : denial; detail : string }
+      (** gateway refuses (at handshake) or terminates (mid-session,
+          after a revocation landed) the session for lifecycle reasons *)
+
+and denial = Revoked | Quarantined | Stale_firmware | Unknown_device
+
+val denial_to_string : denial -> string
 
 type error =
   | Empty                                        (** zero-length payload *)

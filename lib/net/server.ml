@@ -1,6 +1,7 @@
 module C = Dialed_core
 module A = Dialed_apex
 module F = Dialed_fleet
+module L = Dialed_lifecycle.Lifecycle
 
 type engine = Threads | Evloop
 
@@ -18,6 +19,8 @@ type config = {
   session_seed : string;
   memo : F.Memo.config option;
   plan_cache : F.Plan.cache option;
+  lifecycle : L.t option;
+  resolve_plan : (string -> F.Plan.t option) option;
 }
 
 let default_config =
@@ -25,7 +28,18 @@ let default_config =
     read_deadline = Some 10.0; max_conns = 64;
     domains = 2; window = 32; max_window = 32; rate = None; burst = 8.0;
     args = []; session_seed = "dialed-gateway"; memo = None;
-    plan_cache = None }
+    plan_cache = None; lifecycle = None; resolve_plan = None }
+
+type lifecycle_stats = {
+  lc_admitted : int;
+  lc_anonymous : int;
+  lc_denied_unknown : int;
+  lc_denied_revoked : int;
+  lc_denied_quarantined : int;
+  lc_denied_stale : int;
+  lc_midsession_denials : int;
+  lc_attested : int;
+}
 
 type stats = {
   connections_accepted : int;
@@ -48,6 +62,7 @@ type stats = {
   verify : F.Metrics.t;
   memo : F.Memo.stats option;
   plan_cache : F.Plan.cache_counters option;
+  lifecycle : lifecycle_stats option;
 }
 
 (* ---------------- threads engine: session plumbing ---------------- *)
@@ -64,7 +79,10 @@ type sess = {
   sx_m : Mutex.t;
   sx_legacy : bool;            (* single-shot peer: unnumbered frames *)
   sx_window : int;             (* granted in-flight round ceiling *)
+  sx_device : string;
+  sx_plan : F.Plan.t option;   (* per-firmware verify plan override *)
   mutable sx_alive : bool;
+  mutable sx_denied : bool;    (* lifecycle cut the session mid-flight *)
   mutable sx_open_rounds : int;
 }
 
@@ -87,6 +105,8 @@ type esess = {
   es_issued : (int, C.Protocol.request) Hashtbl.t;
   mutable es_next_seq : int;
   es_device : string;
+  es_plan : F.Plan.t option;   (* per-firmware verify plan override *)
+  mutable es_denied : bool;    (* lifecycle cut the session mid-flight *)
   mutable es_open : int;
 }
 
@@ -151,11 +171,87 @@ type t = {
   mutable c_bad_seq : int;
   mutable c_proto_errors : int;
   mutable c_timeouts : int;
+  (* lifecycle counters: same discipline — only touched under [m], so
+     {!stats} sees them in the same consistent snapshot as everything
+     else (the PR 6 torn-stats rule extends to the new subsystem) *)
+  mutable c_lc_admitted : int;
+  mutable c_lc_anonymous : int;
+  mutable c_lc_denied_unknown : int;
+  mutable c_lc_denied_revoked : int;
+  mutable c_lc_denied_quarantined : int;
+  mutable c_lc_denied_stale : int;
+  mutable c_lc_midsession : int;
+  mutable c_lc_attested : int;
 }
 
 let locked t f =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* ---------------------------------------------------------------- *)
+(* Lifecycle plumbing, shared by both engines. The registry has its own
+   mutex; it is always taken {e outside} [t.m] (a leaf lock), so the
+   order is lifecycle -> m, never the reverse.                       *)
+
+let denial_wire = function
+  | L.Unknown_device -> Codec.Unknown_device
+  | L.Revoked -> Codec.Revoked
+  | L.Quarantined_device -> Codec.Quarantined
+  | L.Stale_firmware -> Codec.Stale_firmware
+
+let denial_msg d =
+  Codec.Denied { cause = denial_wire d; detail = L.denial_to_string d }
+
+(* call with [m] held *)
+let count_denial_locked t = function
+  | L.Unknown_device -> t.c_lc_denied_unknown <- t.c_lc_denied_unknown + 1
+  | L.Revoked -> t.c_lc_denied_revoked <- t.c_lc_denied_revoked + 1
+  | L.Quarantined_device ->
+    t.c_lc_denied_quarantined <- t.c_lc_denied_quarantined + 1
+  | L.Stale_firmware -> t.c_lc_denied_stale <- t.c_lc_denied_stale + 1
+
+(* Handshake-time decision: ask the registry, attribute the counters.
+   [Ok] on a registry-less server — everything stays anonymous. *)
+let lifecycle_admit t ~device_id ~firmware =
+  match t.cfg.lifecycle with
+  | None -> Ok ()
+  | Some lc ->
+    (match L.admit lc ~device_id ~firmware with
+     | Ok () ->
+       let known = L.find lc device_id <> None in
+       locked t (fun () ->
+           if known then t.c_lc_admitted <- t.c_lc_admitted + 1
+           else t.c_lc_anonymous <- t.c_lc_anonymous + 1);
+       Ok ()
+     | Error d ->
+       locked t (fun () -> count_denial_locked t d);
+       Error d)
+
+(* Mid-session gate: ran on every inbound session frame and again right
+   before each verdict leaves, so a revocation landing mid-window stops
+   the very next verdict. *)
+let lifecycle_recheck t device_id =
+  match t.cfg.lifecycle with
+  | None -> Ok ()
+  | Some lc -> L.recheck lc device_id
+
+(* Credit one delivered, accepted verdict to the device. *)
+let lifecycle_attested t device_id =
+  match t.cfg.lifecycle with
+  | None -> ()
+  | Some lc ->
+    if device_id <> "" && L.find lc device_id <> None then begin
+      L.note_attested lc device_id;
+      locked t (fun () -> t.c_lc_attested <- t.c_lc_attested + 1)
+    end
+
+(* The verify plan this session's reports route to: the per-firmware
+   plan when the operator wired a resolver and the peer claimed a
+   version, else the server's default plan. *)
+let resolve_session_plan t firmware =
+  match t.cfg.resolve_plan with
+  | Some f when firmware <> "" -> f firmware
+  | _ -> None
 
 (* ---------------------------------------------------------------- *)
 (* Sending (threads engine). The handler and the dispatcher both write
@@ -219,13 +315,37 @@ let dispatch_one t (v : F.Fleet.verdict) =
         if v.F.Fleet.accepted then
           t.c_accepted_verdicts <- t.c_accepted_verdicts + 1
         else t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
-    let accepted, findings = verdict_msg v in
-    let msg =
-      if sess.sx_legacy then Codec.Verdict { accepted; findings }
-      else Codec.Verdict_seq { seq; accepted; findings }
+    (* the quarantine gate runs between the fleet finishing the round
+       and the verdict frame leaving: a revocation that landed while
+       the report was in flight means this verdict is never issued *)
+    let denied =
+      match lifecycle_recheck t sess.sx_device with
+      | Ok () -> false
+      | Error d ->
+        let first =
+          Mutex.lock sess.sx_m;
+          let f = not sess.sx_denied in
+          sess.sx_denied <- true;
+          Mutex.unlock sess.sx_m;
+          f
+        in
+        if first then begin
+          locked t (fun () -> t.c_lc_midsession <- t.c_lc_midsession + 1);
+          sess_send t sess (denial_msg d)
+        end;
+        true
     in
-    sess_send t sess msg;
-    close_round sess
+    if denied then close_round sess
+    else begin
+      let accepted, findings = verdict_msg v in
+      let msg =
+        if sess.sx_legacy then Codec.Verdict { accepted; findings }
+        else Codec.Verdict_seq { seq; accepted; findings }
+      in
+      sess_send t sess msg;
+      close_round sess;
+      if v.F.Fleet.accepted then lifecycle_attested t sess.sx_device
+    end
 
 let dispatcher_loop t =
   let rec loop () =
@@ -270,7 +390,10 @@ let create ?(config = default_config) ~plan listener =
       c_frames_tx = 0; c_bytes_rx = 0; c_bytes_tx = 0; c_requests = 0;
       c_reports = 0; c_accepted_verdicts = 0; c_rejected_verdicts = 0;
       c_ratelimited = 0; c_window_overflow = 0; c_bad_seq = 0;
-      c_proto_errors = 0; c_timeouts = 0 }
+      c_proto_errors = 0; c_timeouts = 0;
+      c_lc_admitted = 0; c_lc_anonymous = 0; c_lc_denied_unknown = 0;
+      c_lc_denied_revoked = 0; c_lc_denied_quarantined = 0;
+      c_lc_denied_stale = 0; c_lc_midsession = 0; c_lc_attested = 0 }
   in
   (* the evloop engine routes verdicts on the loop itself; only the
      threads engine needs the dispatcher thread *)
@@ -310,10 +433,12 @@ let session_loop t chan =
   let issued : (int, C.Protocol.request) Hashtbl.t = Hashtbl.create 8 in
   let next_seq = ref 0 in
   let device = ref "" in
-  let start_session ~legacy ~window device_id =
+  let start_session ~legacy ~window ~firmware device_id =
     let s =
       { sx_chan = chan; sx_m = Mutex.create (); sx_legacy = legacy;
-        sx_window = window; sx_alive = true; sx_open_rounds = 0 }
+        sx_window = window; sx_device = device_id;
+        sx_plan = resolve_session_plan t firmware;
+        sx_alive = true; sx_denied = false; sx_open_rounds = 0 }
     in
     sess := Some s;
     device := device_id;
@@ -393,9 +518,40 @@ let session_loop t chan =
         (* under [disp_m], so FIFO order = stream submission order *)
         Mutex.lock t.disp_m;
         Queue.add { px_sess = s; px_seq = seq } t.pending;
-        (match F.Fleet.stream_submit ?digest t.stream !device report with
+        (match
+           F.Fleet.stream_submit ?digest ?plan:s.sx_plan t.stream !device
+             report
+         with
          | () -> Mutex.unlock t.disp_m
          | exception e -> Mutex.unlock t.disp_m; raise e)
+  in
+  (* Handshake denial: no session was started, so answer on the raw
+     channel and let the connection close. *)
+  let deny_handshake d =
+    (try
+       Chan.send chan (denial_msg d);
+       locked t (fun () -> t.c_frames_tx <- t.c_frames_tx + 1)
+     with Transport.Closed | Unix.Unix_error _ -> ())
+  in
+  (* Inbound mid-session gate: [true] = carry on; [false] = the session
+     was cut (Denied sent unless the dispatcher already sent one) and
+     the caller must stop reading. *)
+  let lifecycle_ok s =
+    match lifecycle_recheck t s.sx_device with
+    | Ok () -> true
+    | Error d ->
+      let first =
+        Mutex.lock s.sx_m;
+        let f = not s.sx_denied in
+        s.sx_denied <- true;
+        Mutex.unlock s.sx_m;
+        f
+      in
+      if first then begin
+        locked t (fun () -> t.c_lc_midsession <- t.c_lc_midsession + 1);
+        sess_send t s (denial_msg d)
+      end;
+      false
   in
   let rec loop () =
     match Chan.recv chan ?deadline:t.cfg.read_deadline () with
@@ -416,15 +572,23 @@ let session_loop t chan =
       match !sess, !gate, msg with
       | None, _, Codec.Hello { device_id }
         when device_id <> "" && String.length device_id <= 128 ->
-        ignore (start_session ~legacy:true ~window:1 device_id);
-        loop ()
-      | None, _, Codec.Hello_ex { device_id; window }
+        (match lifecycle_admit t ~device_id ~firmware:"" with
+         | Ok () ->
+           ignore (start_session ~legacy:true ~window:1 ~firmware:"" device_id);
+           loop ()
+         | Error d -> deny_handshake d)
+      | None, _, Codec.Hello_ex { device_id; window; firmware }
         when device_id <> "" && String.length device_id <= 128
              && window >= 1 ->
-        let granted = min window t.cfg.max_window in
-        let s = start_session ~legacy:false ~window:granted device_id in
-        sess_send t s (Codec.Welcome { window = granted });
-        loop ()
+        (match lifecycle_admit t ~device_id ~firmware with
+         | Ok () ->
+           let granted = min window t.cfg.max_window in
+           let s =
+             start_session ~legacy:false ~window:granted ~firmware device_id
+           in
+           sess_send t s (Codec.Welcome { window = granted });
+           loop ()
+         | Error d -> deny_handshake d)
       | None, _, _ ->
         (* anything before a well-formed Hello is a protocol violation *)
         count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1)
@@ -438,43 +602,49 @@ let session_loop t chan =
           count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1);
           sess_send t s (Codec.Busy "bye with rounds in flight")
         end
-      | Some s, Some g, Codec.Ready -> on_ready s g; loop ()
+      | Some s, Some g, Codec.Ready ->
+        if lifecycle_ok s then begin on_ready s g; loop () end
       | Some s, Some g, Codec.Report wire ->
-        count (fun t -> t.c_reports <- t.c_reports + 1);
-        (* a legacy session has at most one issued challenge *)
-        (match Hashtbl.fold (fun k v _ -> Some (k, v)) issued None with
-         | None ->
-           count (fun t ->
-               t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
-           sess_send t s
-             (rejection ~legacy:s.sx_legacy 0 "bad-token"
-                "no outstanding challenge")
-         | Some (seq, req) -> on_report s g seq req wire);
-        loop ()
-      | Some s, Some g, Codec.Report_seq { seq; wire } ->
-        count (fun t -> t.c_reports <- t.c_reports + 1);
-        if s.sx_legacy then begin
-          (* numbered frames on a single-shot session: hostile *)
-          count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1)
-        end
-        else begin
-          (match Hashtbl.find_opt issued seq with
+        if lifecycle_ok s then begin
+          count (fun t -> t.c_reports <- t.c_reports + 1);
+          (* a legacy session has at most one issued challenge *)
+          (match Hashtbl.fold (fun k v _ -> Some (k, v)) issued None with
            | None ->
-             (* never issued, or already answered: typed rejection, no
-                round accounting (no round is open under that seq) *)
              count (fun t ->
-                 t.c_bad_seq <- t.c_bad_seq + 1;
                  t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
              sess_send t s
-               (rejection ~legacy:s.sx_legacy seq "bad-seq"
-                  "unknown or already-answered sequence number")
-           | Some req -> on_report s g seq req wire);
+               (rejection ~legacy:s.sx_legacy 0 "bad-token"
+                  "no outstanding challenge")
+           | Some (seq, req) -> on_report s g seq req wire);
           loop ()
+        end
+      | Some s, Some g, Codec.Report_seq { seq; wire } ->
+        if lifecycle_ok s then begin
+          count (fun t -> t.c_reports <- t.c_reports + 1);
+          if s.sx_legacy then begin
+            (* numbered frames on a single-shot session: hostile *)
+            count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1)
+          end
+          else begin
+            (match Hashtbl.find_opt issued seq with
+             | None ->
+               (* never issued, or already answered: typed rejection, no
+                  round accounting (no round is open under that seq) *)
+               count (fun t ->
+                   t.c_bad_seq <- t.c_bad_seq + 1;
+                   t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
+               sess_send t s
+                 (rejection ~legacy:s.sx_legacy seq "bad-seq"
+                    "unknown or already-answered sequence number")
+             | Some req -> on_report s g seq req wire);
+            loop ()
+          end
         end
       | Some _, None, _ -> assert false   (* gate set with sess *)
       | Some _, _,
         ( Codec.Request _ | Codec.Verdict _ | Codec.Busy _
-        | Codec.Welcome _ | Codec.Request_seq _ | Codec.Verdict_seq _ ) ->
+        | Codec.Welcome _ | Codec.Request_seq _ | Codec.Verdict_seq _
+        | Codec.Denied _ ) ->
         (* server-to-client messages arriving at the server *)
         count (fun t -> t.c_proto_errors <- t.c_proto_errors + 1)
   in
@@ -690,7 +860,9 @@ let run_evloop t =
       Queue.add { wt_ec = ec; wt_es = es; wt_seq = seq; wt_digest = digest;
                   wt_report = report }
         waiting
-    else if F.Fleet.stream_try_submit ?digest t.stream es.es_device report
+    else if
+      F.Fleet.stream_try_submit ?digest ?plan:es.es_plan t.stream
+        es.es_device report
     then Queue.add (ec, seq) pending
     else
       Queue.add { wt_ec = ec; wt_es = es; wt_seq = seq; wt_digest = digest;
@@ -703,8 +875,8 @@ let run_evloop t =
       let w = Queue.peek waiting in
       if not w.wt_ec.ec_alive then ignore (Queue.pop waiting)
       else if
-        F.Fleet.stream_try_submit ?digest:w.wt_digest t.stream
-          w.wt_es.es_device w.wt_report
+        F.Fleet.stream_try_submit ?digest:w.wt_digest ?plan:w.wt_es.es_plan
+          t.stream w.wt_es.es_device w.wt_report
       then begin
         ignore (Queue.pop waiting);
         Queue.add (w.wt_ec, w.wt_seq) pending
@@ -727,6 +899,16 @@ let run_evloop t =
       | Error reason -> reject_round ec es seq "bad-token" reason
       | Ok () -> submit ec es seq digest report
   in
+  (* Mid-session lifecycle cut: count it once, push the Denied frame,
+     and close (flushing, so the frame gets out before the FIN). *)
+  let deny_midsession ec es d =
+    if not es.es_denied then begin
+      es.es_denied <- true;
+      count (fun t -> t.c_lc_midsession <- t.c_lc_midsession + 1);
+      send ec (denial_msg d)
+    end;
+    close_conn ~flush:true ec
+  in
   let drain_verdicts () =
     List.iter
       (fun (v : F.Fleet.verdict) ->
@@ -742,17 +924,23 @@ let run_evloop t =
            | Some es ->
              es.es_open <- es.es_open - 1;
              if ec.ec_alive then begin
-               let accepted, findings = verdict_msg v in
-               let msg =
-                 if es.es_legacy then Codec.Verdict { accepted; findings }
-                 else Codec.Verdict_seq { seq; accepted; findings }
-               in
-               send ec msg
+               (* pre-issue quarantine gate: a revocation that landed
+                  while this round was in the engine stops its verdict *)
+               match lifecycle_recheck t es.es_device with
+               | Error d -> deny_midsession ec es d
+               | Ok () ->
+                 let accepted, findings = verdict_msg v in
+                 let msg =
+                   if es.es_legacy then Codec.Verdict { accepted; findings }
+                   else Codec.Verdict_seq { seq; accepted; findings }
+                 in
+                 send ec msg;
+                 if v.F.Fleet.accepted then lifecycle_attested t es.es_device
              end))
       (F.Fleet.stream_poll t.stream);
     drain_waiting ()
   in
-  let start_session ec ~legacy ~window device_id =
+  let start_session ec ~legacy ~window ~firmware device_id =
     let es =
       { es_legacy = legacy; es_window = window;
         es_gate =
@@ -763,11 +951,19 @@ let run_evloop t =
             (fun rate -> Ratelimit.create ~rate ~burst:t.cfg.burst ())
             t.cfg.rate;
         es_issued = Hashtbl.create 8; es_next_seq = 0;
-        es_device = device_id; es_open = 0 }
+        es_device = device_id; es_plan = resolve_session_plan t firmware;
+        es_denied = false; es_open = 0 }
     in
     ec.ec_sess <- Some es;
     count (fun t -> t.c_sessions <- t.c_sessions + 1);
     es
+  in
+  (* Inbound mid-session gate, mirror of the threads engine's: [true] =
+     carry on, [false] = session cut (Denied sent, connection closing). *)
+  let lifecycle_ok ec es =
+    match lifecycle_recheck t es.es_device with
+    | Ok () -> true
+    | Error d -> deny_midsession ec es d; false
   in
   let on_msg ec msg =
     count (fun t -> t.c_frames_rx <- t.c_frames_rx + 1);
@@ -775,46 +971,62 @@ let run_evloop t =
     match ec.ec_sess, msg with
     | None, Codec.Hello { device_id }
       when device_id <> "" && String.length device_id <= 128 ->
-      ignore (start_session ec ~legacy:true ~window:1 device_id)
-    | None, Codec.Hello_ex { device_id; window }
+      (match lifecycle_admit t ~device_id ~firmware:"" with
+       | Ok () ->
+         ignore (start_session ec ~legacy:true ~window:1 ~firmware:"" device_id)
+       | Error d ->
+         send ec (denial_msg d);
+         close_conn ~flush:true ec)
+    | None, Codec.Hello_ex { device_id; window; firmware }
       when device_id <> "" && String.length device_id <= 128 && window >= 1
       ->
-      let granted = min window t.cfg.max_window in
-      ignore (start_session ec ~legacy:false ~window:granted device_id);
-      send ec (Codec.Welcome { window = granted })
+      (match lifecycle_admit t ~device_id ~firmware with
+       | Ok () ->
+         let granted = min window t.cfg.max_window in
+         ignore
+           (start_session ec ~legacy:false ~window:granted ~firmware
+              device_id);
+         send ec (Codec.Welcome { window = granted })
+       | Error d ->
+         send ec (denial_msg d);
+         close_conn ~flush:true ec)
     | None, _ -> proto_error ec
     | Some _, (Codec.Hello _ | Codec.Hello_ex _) -> proto_error ec
     | Some es, Codec.Bye ->
       if (not es.es_legacy) && es.es_open > 0 then
         proto_error ~flush:true ~busy:"bye with rounds in flight" ec
       else close_conn ec
-    | Some es, Codec.Ready -> on_ready ec es
+    | Some es, Codec.Ready -> if lifecycle_ok ec es then on_ready ec es
     | Some es, Codec.Report wire ->
-      count (fun t -> t.c_reports <- t.c_reports + 1);
-      (match Hashtbl.fold (fun k v _ -> Some (k, v)) es.es_issued None with
-       | None ->
-         count (fun t ->
-             t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
-         send ec
-           (rejection ~legacy:es.es_legacy 0 "bad-token"
-              "no outstanding challenge")
-       | Some (seq, req) -> on_report ec es seq req wire)
-    | Some es, Codec.Report_seq { seq; wire } ->
-      count (fun t -> t.c_reports <- t.c_reports + 1);
-      if es.es_legacy then proto_error ec
-      else (
-        match Hashtbl.find_opt es.es_issued seq with
+      if lifecycle_ok ec es then begin
+        count (fun t -> t.c_reports <- t.c_reports + 1);
+        match Hashtbl.fold (fun k v _ -> Some (k, v)) es.es_issued None with
         | None ->
           count (fun t ->
-              t.c_bad_seq <- t.c_bad_seq + 1;
               t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
           send ec
-            (rejection ~legacy:es.es_legacy seq "bad-seq"
-               "unknown or already-answered sequence number")
-        | Some req -> on_report ec es seq req wire)
+            (rejection ~legacy:es.es_legacy 0 "bad-token"
+               "no outstanding challenge")
+        | Some (seq, req) -> on_report ec es seq req wire
+      end
+    | Some es, Codec.Report_seq { seq; wire } ->
+      if lifecycle_ok ec es then begin
+        count (fun t -> t.c_reports <- t.c_reports + 1);
+        if es.es_legacy then proto_error ec
+        else (
+          match Hashtbl.find_opt es.es_issued seq with
+          | None ->
+            count (fun t ->
+                t.c_bad_seq <- t.c_bad_seq + 1;
+                t.c_rejected_verdicts <- t.c_rejected_verdicts + 1);
+            send ec
+              (rejection ~legacy:es.es_legacy seq "bad-seq"
+                 "unknown or already-answered sequence number")
+          | Some req -> on_report ec es seq req wire)
+      end
     | Some _,
       ( Codec.Request _ | Codec.Verdict _ | Codec.Busy _ | Codec.Welcome _
-      | Codec.Request_seq _ | Codec.Verdict_seq _ ) ->
+      | Codec.Request_seq _ | Codec.Verdict_seq _ | Codec.Denied _ ) ->
       proto_error ec
   in
   let admit conn =
@@ -908,6 +1120,20 @@ let start t =
 
 (* call with [m] held: one critical section, one consistent view *)
 let snapshot t verify memo plan_cache =
+  let lifecycle =
+    match t.cfg.lifecycle with
+    | None -> None
+    | Some _ ->
+      Some
+        { lc_admitted = t.c_lc_admitted;
+          lc_anonymous = t.c_lc_anonymous;
+          lc_denied_unknown = t.c_lc_denied_unknown;
+          lc_denied_revoked = t.c_lc_denied_revoked;
+          lc_denied_quarantined = t.c_lc_denied_quarantined;
+          lc_denied_stale = t.c_lc_denied_stale;
+          lc_midsession_denials = t.c_lc_midsession;
+          lc_attested = t.c_lc_attested }
+  in
   { connections_accepted = t.c_accepted;
     connections_active = t.c_active;
     connections_peak = t.c_peak;
@@ -925,7 +1151,7 @@ let snapshot t verify memo plan_cache =
     bad_seq = t.c_bad_seq;
     protocol_errors = t.c_proto_errors;
     deadline_timeouts = t.c_timeouts;
-    verify; memo; plan_cache }
+    verify; memo; plan_cache; lifecycle }
 
 let stats t =
   match locked t (fun () -> t.final) with
@@ -1027,9 +1253,19 @@ let pp_stats ppf s =
   (match s.memo with
    | None -> ()
    | Some m -> Format.fprintf ppf "@,%a" F.Memo.pp_stats m);
-  match s.plan_cache with
+  (match s.plan_cache with
+   | None -> ()
+   | Some c -> Format.fprintf ppf "@,%a" F.Plan.pp_cache_counters c);
+  match s.lifecycle with
   | None -> ()
-  | Some c -> Format.fprintf ppf "@,%a" F.Plan.pp_cache_counters c
+  | Some l ->
+    Format.fprintf ppf
+      "@,lifecycle: %d admitted, %d anonymous, denied %d unknown / %d \
+       revoked / %d quarantined / %d stale, %d mid-session cuts, %d \
+       attested verdicts"
+      l.lc_admitted l.lc_anonymous l.lc_denied_unknown l.lc_denied_revoked
+      l.lc_denied_quarantined l.lc_denied_stale l.lc_midsession_denials
+      l.lc_attested
 
 let stats_to_json s =
   Printf.sprintf
@@ -1041,7 +1277,7 @@ let stats_to_json s =
      \"verdicts_rejected\": %d, \"rate_limited\": %d, \
      \"window_overflow\": %d, \"bad_seq\": %d, \
      \"protocol_errors\": %d, \"deadline_timeouts\": %d, \"verify\": %s, \
-     \"memo\": %s, \"plan_cache\": %s }"
+     \"memo\": %s, \"plan_cache\": %s, \"lifecycle\": %s }"
     s.connections_accepted s.connections_active s.connections_peak
     s.sessions_active
     s.frames_rx s.frames_tx s.bytes_rx s.bytes_tx s.requests_issued
@@ -1055,3 +1291,14 @@ let stats_to_json s =
     (match s.plan_cache with
      | None -> "null"
      | Some c -> F.Plan.cache_counters_to_json c)
+    (match s.lifecycle with
+     | None -> "null"
+     | Some l ->
+       Printf.sprintf
+         "{ \"admitted\": %d, \"anonymous\": %d, \"denied_unknown\": %d, \
+          \"denied_revoked\": %d, \"denied_quarantined\": %d, \
+          \"denied_stale\": %d, \"midsession_denials\": %d, \
+          \"attested\": %d }"
+         l.lc_admitted l.lc_anonymous l.lc_denied_unknown
+         l.lc_denied_revoked l.lc_denied_quarantined l.lc_denied_stale
+         l.lc_midsession_denials l.lc_attested)

@@ -111,6 +111,24 @@ type config = {
           show plan-cache effectiveness next to the memo's; it never
           inserts into it. [None] (default) = no plan-cache section in
           the stats *)
+  lifecycle : Dialed_lifecycle.Lifecycle.t option;
+      (** the device registry this gateway enforces. When set, every
+          greeting is submitted to {!Dialed_lifecycle.Lifecycle.admit}
+          (unregistered peers ride the registry's [allow_anonymous]
+          policy), every session frame and every outbound verdict
+          re-checks the registry — a revocation landing mid-window cuts
+          the session with a typed [Codec.Denied] {e before} the next
+          verdict is issued — and accepted verdicts that were actually
+          delivered are credited back via [note_attested]. [None]
+          (default) = anonymous gateway, wire behavior unchanged. *)
+  resolve_plan : (string -> Dialed_fleet.Plan.t option) option;
+      (** maps a claimed firmware version (from [Hello_ex]) to the
+          verify plan its reports should replay against — typically
+          [Plan.find_or_build] through the operator's {!plan_cache}, so
+          a staged rollout keeps both versions' plans resident in the
+          LRU. [None] result (or no resolver, or no claim): the session
+          verifies on the server's default plan. Resolution happens
+          once per session at admission. *)
 }
 
 val default_config : config
@@ -119,6 +137,19 @@ val default_config : config
     empty args, memo off. *)
 
 type t
+
+type lifecycle_stats = {
+  lc_admitted : int;       (** registered devices admitted to a session *)
+  lc_anonymous : int;      (** sessions served outside the registry *)
+  lc_denied_unknown : int;
+  lc_denied_revoked : int;
+  lc_denied_quarantined : int;
+  lc_denied_stale : int;
+  lc_midsession_denials : int;
+      (** sessions cut after admission — the revoked-mid-window path *)
+  lc_attested : int;       (** accepted verdicts delivered to registered
+                               devices (drives registered → attested) *)
+}
 
 type stats = {
   connections_accepted : int;
@@ -150,6 +181,10 @@ type stats = {
   plan_cache : Dialed_fleet.Plan.cache_counters option;
       (** counters of the plan cache named in the config, snapshotted at
           {!stats} time; [None] when no cache was handed over *)
+  lifecycle : lifecycle_stats option;
+      (** lifecycle counters, snapshotted in the {e same} critical
+          section as every other counter; [None] on a registry-less
+          server *)
 }
 
 val create : ?config:config -> plan:Dialed_fleet.Plan.t ->

@@ -8,17 +8,20 @@ type config = {
   concurrency : int;
   device_prefix : string;
   distinct_logs : int;
+  firmware : int -> string;
   client : Client.config;
 }
 
 let default_config =
   { clients = 100; rounds = 4; window = 8; concurrency = 16;
-    device_prefix = "swarm"; distinct_logs = 0;
+    device_prefix = "swarm"; distinct_logs = 0; firmware = (fun _ -> "");
     client = { Client.default_config with Client.read_deadline = Some 30.0 } }
 
 type outcome = {
   clients_run : int;
   clients_failed : int;
+  clients_denied : int;
+  denied_by_cause : (string * int) list;  (* sorted by cause name *)
   rounds_accepted : int;
   rounds_rejected : int;
   busy_bounces : int;
@@ -66,6 +69,8 @@ type client_result =
 let aggregate ~clients ~clients_per_thread ~wall results =
   let accepted = ref 0 and rejected = ref 0 in
   let busy = ref 0 and timeouts = ref 0 and failed = ref 0 in
+  let denied = ref 0 in
+  let causes : (string, int ref) Hashtbl.t = Hashtbl.create 4 in
   let lats = ref [] in
   Array.iter
     (function
@@ -73,18 +78,40 @@ let aggregate ~clients ~clients_per_thread ~wall results =
       | Finished s ->
         busy := !busy + s.Client.busy_bounces;
         timeouts := !timeouts + s.Client.reply_timeouts;
+        (match s.Client.denied with
+         | None -> ()
+         | Some (cause, _) ->
+           incr denied;
+           let key = Codec.denial_to_string cause in
+           (match Hashtbl.find_opt causes key with
+            | Some r -> incr r
+            | None -> Hashtbl.add causes key (ref 1)));
         Array.iter
           (fun (r : Client.pipelined_round) ->
-             if r.Client.p_accepted then incr accepted else incr rejected;
-             if Float.is_finite r.Client.p_latency then
-               lats := r.Client.p_latency :: !lats)
+             (* on a denied (cut) session only the completed prefix
+                counts: rounds the cut orphaned never got a verdict and
+                are neither accepted nor rejected *)
+             let counted =
+               s.Client.denied = None || Float.is_finite r.Client.p_latency
+             in
+             if counted then begin
+               if r.Client.p_accepted then incr accepted else incr rejected;
+               if Float.is_finite r.Client.p_latency then
+                 lats := r.Client.p_latency :: !lats
+             end)
           s.Client.results)
     results;
   let latencies = Array.of_list !lats in
   Array.sort compare latencies;
+  let denied_by_cause =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) causes []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   let completed = !accepted + !rejected in
   { clients_run = clients;
     clients_failed = !failed;
+    clients_denied = !denied;
+    denied_by_cause;
     rounds_accepted = !accepted;
     rounds_rejected = !rejected;
     busy_bounces = !busy;
@@ -126,6 +153,7 @@ let run ?(config = default_config) ~dial ~respond () =
       let close () = try Transport.close conn with _ -> () in
       (match
          Client.attest_pipelined ~config:cfg ~window:config.window
+           ~firmware:(config.firmware i)
            ~respond:(respond ~client:i ~shape)
            ~device:(fun () ->
                invalid_arg "Swarm.run: respond must produce the report")
@@ -195,6 +223,7 @@ type mx_prover = {
   mutable mx_phase : mx_phase;
   mutable mx_ev : Evconn.t option;
   mutable mx_granted : int;
+  mutable mx_denied : (Codec.denial * string) option;
   mx_results : Client.pipelined_round array;
   mx_landed : bool array;
   mx_sent_at : (int, float) Hashtbl.t;
@@ -290,7 +319,8 @@ let run_multiplexed ?(config = default_config) ~dial ~respond () =
         results.(p.mx_i) <-
           Finished
             { Client.granted = p.mx_granted; results = p.mx_results;
-              busy_bounces = p.mx_busy; reply_timeouts = p.mx_timeouts };
+              busy_bounces = p.mx_busy; reply_timeouts = p.mx_timeouts;
+              denied = p.mx_denied };
         (match p.mx_ev with
          | Some ev ->
            Evconn.send ev Codec.Bye;
@@ -339,6 +369,16 @@ let run_multiplexed ?(config = default_config) ~dial ~respond () =
     let on_msg p msg =
       match p.mx_phase, msg with
       | Mx_done, _ -> ()
+      | _, Codec.Denied { cause; detail } ->
+        (* a typed lifecycle denial, not a protocol violation: the
+           gateway refused the handshake or cut the session mid-window.
+           The prover counts as Finished-with-denied; if the denial
+           landed where the Welcome would have, it still checks in at
+           the barrier so the rest of the fleet is not held hostage. *)
+        let at_handshake = p.mx_phase = Mx_welcome in
+        p.mx_denied <- Some (cause, detail);
+        finish p;
+        if at_handshake then mx_arrive bar
       | Mx_welcome, Codec.Welcome { window = w } ->
         if w > p.mx_req_window then
           die p
@@ -470,6 +510,7 @@ let run_multiplexed ?(config = default_config) ~dial ~respond () =
              mx_req_window = config.window;
              mx_respond = respond ~client:i ~shape;
              mx_phase = Mx_welcome; mx_ev = None; mx_granted = 0;
+             mx_denied = None;
              mx_results =
                Array.make config.rounds
                  { Client.p_accepted = false;
@@ -509,7 +550,8 @@ let run_multiplexed ?(config = default_config) ~dial ~respond () =
              p.mx_ev <- Some ev;
              Evconn.send ev
                (Codec.Hello_ex
-                  { device_id; window = config.window });
+                  { device_id; window = config.window;
+                    firmware = config.firmware i });
              arm_deadline p)
       !mine;
     (* run until every prover is done *and* its Bye has flushed *)
@@ -533,23 +575,40 @@ let run_multiplexed ?(config = default_config) ~dial ~respond () =
 
 let pp_outcome ppf o =
   Format.fprintf ppf
-    "@[<v>%d clients (%d failed), %d accepted / %d rejected rounds@,\
+    "@[<v>%d clients (%d failed, %d denied), \
+     %d accepted / %d rejected rounds@,\
      %d busy bounces, %d reply timeouts@,\
      %.2f s wall, %.1f rounds/s, latency p50 %.1f ms p99 %.1f ms@]"
-    o.clients_run o.clients_failed o.rounds_accepted o.rounds_rejected
+    o.clients_run o.clients_failed o.clients_denied
+    o.rounds_accepted o.rounds_rejected
     o.busy_bounces o.reply_timeouts o.wall_seconds o.throughput
     (1000.0 *. latency_p o 50.0)
-    (1000.0 *. latency_p o 99.0)
+    (1000.0 *. latency_p o 99.0);
+  if o.denied_by_cause <> [] then begin
+    Format.fprintf ppf "@,@[<v2>denials by cause:";
+    List.iter
+      (fun (cause, n) -> Format.fprintf ppf "@,%s: %d" cause n)
+      o.denied_by_cause;
+    Format.fprintf ppf "@]"
+  end
 
 let outcome_to_json o =
+  let denied =
+    o.denied_by_cause
+    |> List.map (fun (cause, n) -> Printf.sprintf "\"%s\": %d" cause n)
+    |> String.concat ", "
+  in
   Printf.sprintf
-    "{ \"clients\": %d, \"clients_failed\": %d, \"rounds_accepted\": %d, \
+    "{ \"clients\": %d, \"clients_failed\": %d, \"clients_denied\": %d, \
+     \"denied_by_cause\": { %s }, \
+     \"rounds_accepted\": %d, \
      \"rounds_rejected\": %d, \"busy_bounces\": %d, \"reply_timeouts\": %d, \
      \"wall_seconds\": %.6f, \"throughput_rps\": %.3f, \
      \"clients_per_thread\": %d, \
      \"latency_p50_ms\": %.3f, \"latency_p90_ms\": %.3f, \
      \"latency_p99_ms\": %.3f }"
-    o.clients_run o.clients_failed o.rounds_accepted o.rounds_rejected
+    o.clients_run o.clients_failed o.clients_denied denied
+    o.rounds_accepted o.rounds_rejected
     o.busy_bounces o.reply_timeouts o.wall_seconds o.throughput
     o.clients_per_thread
     (1000.0 *. latency_p o 50.0)

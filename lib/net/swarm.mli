@@ -27,16 +27,29 @@ type config = {
           fleet of identical well-behaved devices looks like, and what
           the gateway's verdict memo feeds on). [0] (default): every
           prover is its own shape, the memo-hostile extreme *)
+  firmware : int -> string;
+      (** firmware version prover [i] claims in its [Hello_ex] —
+          [fun _ -> ""] (default) claims nothing; a staged-rollout
+          experiment splits the fleet across versions here so some
+          provers verify on the stable plan and some on the canary *)
   client : Client.config;   (** template; jitter seed is per-prover *)
 }
 
 val default_config : config
-(** 100 clients, 4 rounds, window 8, 16 workers, distinct shapes,
-    30 s read deadline. *)
+(** 100 clients, 4 rounds, window 8, 16 workers, distinct shapes, no
+    firmware claim, 30 s read deadline. *)
 
 type outcome = {
   clients_run : int;
   clients_failed : int;     (** sessions that died (dial/protocol/EOF) *)
+  clients_denied : int;
+      (** sessions the gateway's lifecycle registry refused at handshake
+          or cut mid-window ([Codec.Denied]) — a typed outcome, counted
+          separately from [clients_failed] *)
+  denied_by_cause : (string * int) list;
+      (** denial counts keyed by {!Codec.denial_to_string} (["revoked"],
+          ["quarantined"], ["stale-firmware"], ["unknown-device"]),
+          sorted by cause name; [[]] when nothing was denied *)
   rounds_accepted : int;
   rounds_rejected : int;
   busy_bounces : int;       (** [Busy] answers absorbed across the swarm *)
@@ -75,7 +88,10 @@ val run :
     (and ignores [client] otherwise) makes the repeat ratio real.
     A prover whose session raises ({!Client.Protocol_violation},
     [Transport.Closed], a failed dial) is counted in [clients_failed];
-    the rest of the swarm keeps running. *)
+    the rest of the swarm keeps running. A prover the gateway denies
+    (lifecycle registry) is {e not} a failure: it lands in
+    [clients_denied]/[denied_by_cause], and only its completed prefix
+    of rounds is counted in the accepted/rejected totals. *)
 
 val run_multiplexed :
   ?config:config ->

@@ -7,4 +7,5 @@ let () =
      @ Test_evloop.suites @ Test_net.suites
      @ Test_swarm.suites
      @ Test_memo.suites
+     @ Test_lifecycle.suites
      @ Test_cli.suites)

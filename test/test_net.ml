@@ -83,8 +83,8 @@ let test_codec_roundtrip () =
       N.Codec.Busy "rate limited";
       N.Codec.Bye;
       (* windowed-session messages *)
-      N.Codec.Hello_ex { device_id = "dev-43"; window = 1 };
-      N.Codec.Hello_ex { device_id = "d"; window = N.Codec.max_window };
+      N.Codec.Hello_ex { device_id = "dev-43"; window = 1; firmware = "" };
+      N.Codec.Hello_ex { device_id = "d"; window = N.Codec.max_window; firmware = "" };
       N.Codec.Welcome { window = 17 };
       N.Codec.Request_seq
         { seq = 0; challenge = String.make 32 'c'; args = [ 1; 2 ] };
@@ -101,7 +101,7 @@ let test_codec_roundtrip () =
 let test_codec_window_bounds () =
   (* a zero window would deadlock a session; the codec rejects it on
      both ends *)
-  (match N.Codec.encode (N.Codec.Hello_ex { device_id = "d"; window = 0 }) with
+  (match N.Codec.encode (N.Codec.Hello_ex { device_id = "d"; window = 0; firmware = "" }) with
    | exception Invalid_argument _ -> ()
    | _ -> Alcotest.fail "encoded a zero window");
   (match N.Codec.encode
@@ -594,7 +594,7 @@ let test_e2e_pipelined_tamper_per_round engine =
    serving honest provers.                                         *)
 
 let pipelined_handshake chan ~device_id ~window =
-  N.Chan.send chan (N.Codec.Hello_ex { device_id; window });
+  N.Chan.send chan (N.Codec.Hello_ex { device_id; window; firmware = "" });
   match N.Chan.recv chan ~deadline:2.0 () with
   | Ok (Some (N.Codec.Welcome { window = w })) -> w
   | _ -> Alcotest.fail "no Welcome"
@@ -825,7 +825,7 @@ let test_idle_connection_reaped engine =
   with_gateway ~config ~engine (fun ~server ~dial ~device:_ ->
       let conn = dial () in
       let chan = N.Chan.create conn in
-      N.Chan.send chan (N.Codec.Hello_ex { device_id = "dev-idle"; window = 4 });
+      N.Chan.send chan (N.Codec.Hello_ex { device_id = "dev-idle"; window = 4; firmware = "" });
       (match N.Chan.recv chan ~deadline:2.0 () with
        | Ok (Some (N.Codec.Welcome _)) -> ()
        | _ -> Alcotest.fail "no Welcome");
@@ -918,7 +918,7 @@ let test_request_stop_unwinds engine =
   (* prove the engine is actually serving before pulling the plug *)
   let conn = N.Transport.tcp_connect ~host:"127.0.0.1" ~port () in
   let chan = N.Chan.create conn in
-  N.Chan.send chan (N.Codec.Hello_ex { device_id = "dev-sig"; window = 2 });
+  N.Chan.send chan (N.Codec.Hello_ex { device_id = "dev-sig"; window = 2; firmware = "" });
   (match N.Chan.recv chan ~deadline:5.0 () with
    | Ok (Some (N.Codec.Welcome _)) -> ()
    | _ -> Alcotest.fail "no Welcome");

@@ -228,7 +228,7 @@ let test_fairness_flooder_vs_honest engine () =
              let conn = dial () in
              let chan = N.Chan.create conn in
              N.Chan.send chan
-               (N.Codec.Hello_ex { device_id = "dev-flood"; window = 8 });
+               (N.Codec.Hello_ex { device_id = "dev-flood"; window = 8; firmware = "" });
              (match N.Chan.recv chan ~deadline:5.0 () with
               | Ok (Some (N.Codec.Welcome _)) -> ()
               | _ -> Alcotest.fail "flooder got no Welcome");
